@@ -1,0 +1,54 @@
+// Shared helpers for the table/figure reproduction binaries.
+#ifndef SC_BENCH_BENCH_UTIL_H_
+#define SC_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "accel/accelerator.h"
+#include "nn/network.h"
+#include "nn/tensor.h"
+#include "support/rng.h"
+#include "trace/trace.h"
+
+namespace sc::bench {
+
+inline nn::Tensor RandomInput(const nn::Shape& s, std::uint64_t seed) {
+  nn::Tensor t(s);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < t.numel(); ++i) t[i] = rng.GaussianF(1.0f);
+  return t;
+}
+
+// Runs the victim on the simulated accelerator and returns its bus trace.
+inline trace::Trace CaptureTrace(const nn::Network& net, std::uint64_t seed,
+                                 accel::RunResult* run_out = nullptr) {
+  accel::Accelerator accel{accel::AcceleratorConfig{}};
+  trace::Trace tr;
+  accel::RunResult run = accel.Run(net, RandomInput(net.input_shape(), seed),
+                                   &tr);
+  if (run_out) *run_out = std::move(run);
+  return tr;
+}
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void Banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+}  // namespace sc::bench
+
+#endif  // SC_BENCH_BENCH_UTIL_H_

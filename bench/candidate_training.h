@@ -1,0 +1,115 @@
+// Shared machinery for the candidate-ranking figures (paper Figs. 4 and 5):
+// instantiate each reverse-engineered structure at reduced channel width,
+// train briefly on the synthetic dataset, and rank by validation accuracy.
+//
+// Substitution note (DESIGN.md §2): the paper trains candidates on
+// ImageNet; we train channel-scaled candidates on a deterministic synthetic
+// task. What the experiment demonstrates — candidates differ measurably in
+// achievable accuracy so a short training run filters them — is preserved.
+#ifndef SC_BENCH_CANDIDATE_TRAINING_H_
+#define SC_BENCH_CANDIDATE_TRAINING_H_
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "attack/structure/pipeline.h"
+#include "nn/init.h"
+#include "nn/train/trainer.h"
+
+namespace sc::bench {
+
+struct RankingConfig {
+  int channel_divisor = 16;
+  int min_channels = 1;
+  int spatial_divisor = 1;
+  int num_classes = 10;
+  int train_samples = 96;
+  int test_samples = 48;
+  int epochs = 2;
+  // Adam: narrow, deep candidate proxies collapse under plain SGD.
+  float learning_rate = 2e-3f;
+  int batch_size = 8;
+  std::uint64_t seed = 5;
+};
+
+struct RankedCandidate {
+  std::size_t index = 0;
+  float top1 = 0.0f;
+  float top5 = 0.0f;
+  float loss = 0.0f;
+  bool is_truth = false;
+};
+
+inline std::vector<RankedCandidate> RankCandidates(
+    const attack::StructureAttackResult& attack_result,
+    const nn::train::DatasetConfig& data_cfg, const RankingConfig& cfg,
+    std::size_t truth_index) {
+  nn::train::SyntheticDataset dataset(data_cfg);
+  const auto train_set = dataset.MakeTrainSet(cfg.train_samples);
+  const auto test_set = dataset.MakeTestSet(cfg.test_samples);
+
+  std::vector<RankedCandidate> ranked;
+  const auto& structures = attack_result.search.structures;
+  for (std::size_t i = 0; i < structures.size(); ++i) {
+    attack::InstantiateOptions opts;
+    opts.channel_divisor = cfg.channel_divisor;
+    opts.min_channels = cfg.min_channels;
+    opts.spatial_divisor = cfg.spatial_divisor;
+    opts.num_classes = cfg.num_classes;
+    nn::Network net = attack::InstantiateCandidate(
+        attack_result.analysis.observations, structures[i], opts);
+    Rng rng(cfg.seed);
+    nn::InitNetwork(net, rng);
+
+    nn::train::TrainConfig tcfg;
+    tcfg.epochs = cfg.epochs;
+    tcfg.batch_size = cfg.batch_size;
+    tcfg.optimizer = nn::train::Optimizer::kAdam;
+    tcfg.adam.learning_rate = cfg.learning_rate;
+    nn::train::Train(net, train_set, tcfg);
+    const nn::train::EvalResult eval =
+        nn::train::Evaluate(net, test_set);
+
+    RankedCandidate rc;
+    rc.index = i;
+    rc.top1 = eval.top1;
+    rc.top5 = eval.top5;
+    rc.loss = eval.mean_loss;
+    rc.is_truth = (i == truth_index);
+    ranked.push_back(rc);
+    std::cout << "  candidate " << std::setw(3) << i << ": top-1 "
+              << std::fixed << std::setprecision(3) << eval.top1
+              << "  top-5 " << eval.top5 << (rc.is_truth ? "  <= truth" : "")
+              << "\n";
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedCandidate& a, const RankedCandidate& b) {
+              return a.top1 > b.top1;
+            });
+  return ranked;
+}
+
+// Index of the structure matching the true geometry chain, or the count if
+// absent.
+inline std::size_t FindTruthIndex(
+    const attack::StructureAttackResult& r,
+    const std::vector<nn::LayerGeometry>& truth) {
+  for (std::size_t i = 0; i < r.search.structures.size(); ++i) {
+    const auto& layers = r.search.structures[i].layers;
+    if (layers.size() != truth.size()) continue;
+    bool all = true;
+    for (std::size_t k = 0; k < truth.size() && all; ++k) {
+      nn::LayerGeometry t = truth[k];
+      if (t.has_pool()) t.pool = nn::PoolKind::kMax;
+      all = layers[k].geom == t;
+    }
+    if (all) return i;
+  }
+  return r.search.structures.size();
+}
+
+}  // namespace sc::bench
+
+#endif  // SC_BENCH_CANDIDATE_TRAINING_H_

@@ -1,0 +1,85 @@
+// Figure 4 reproduction: validation accuracy of every structure candidate
+// the attack recovers for AlexNet. The adversary trains each candidate
+// briefly and keeps the best — the figure's payload is that accuracies
+// spread widely and the true structure ranks near the top.
+#include <iostream>
+
+#include "bench_util.h"
+#include "candidate_training.h"
+#include "models/zoo.h"
+
+int main() {
+  using namespace sc;
+  bench::Banner("Figure 4: accuracy ranking of AlexNet candidates");
+  bench::Timer timer;
+
+  nn::Network victim = models::MakeAlexNet(1);
+  trace::Trace tr = bench::CaptureTrace(victim, 21);
+
+  attack::StructureAttackConfig cfg;
+  cfg.analysis.known_input_elems = 3LL * 227 * 227;
+  cfg.search.known_input_width = 227;
+  cfg.search.known_input_depth = 3;
+  cfg.search.known_output_classes = 1000;
+  // Accelerator datasheet (public): enables the bandwidth-aware filter.
+  cfg.search.macs_per_cycle = accel::AcceleratorConfig{}.macs_per_cycle;
+  cfg.search.bytes_per_cycle = accel::AcceleratorConfig{}.bytes_per_cycle;
+  const attack::StructureAttackResult r = attack::RunStructureAttack(tr, cfg);
+  std::cout << "candidates: " << r.num_structures() << " (paper: 24)\n";
+  if (r.num_structures() == 0) return 1;
+
+  const std::vector<nn::LayerGeometry> truth = {
+      {227, 3, 27, 96, 11, 4, 0, nn::PoolKind::kMax, 3, 2, 0},
+      {27, 96, 13, 256, 5, 1, 2, nn::PoolKind::kMax, 3, 2, 0},
+      {13, 256, 13, 384, 3, 1, 1, nn::PoolKind::kNone, 0, 0, 0},
+      {13, 384, 13, 384, 3, 1, 1, nn::PoolKind::kNone, 0, 0, 0},
+      {13, 384, 6, 256, 3, 1, 1, nn::PoolKind::kMax, 3, 2, 0},
+      {6, 256, 1, 4096, 6, 1, 0, nn::PoolKind::kNone, 0, 0, 0},
+      {1, 4096, 1, 4096, 1, 1, 0, nn::PoolKind::kNone, 0, 0, 0},
+      {1, 4096, 1, 1000, 1, 1, 0, nn::PoolKind::kNone, 0, 0, 0},
+  };
+  const std::size_t truth_index = bench::FindTruthIndex(r, truth);
+  std::cout << "true structure is candidate #"
+            << (truth_index < r.num_structures()
+                    ? std::to_string(truth_index)
+                    : std::string("<missing!>"))
+            << "\n\ntraining " << r.num_structures()
+            << " channel-scaled candidates (substitution: synthetic task, "
+               "see DESIGN.md)\n";
+
+  // Spatially-scaled proxy (DESIGN.md §2): 1/4 spatial extent, Adam.
+  nn::train::DatasetConfig data;
+  data.depth = 3;
+  data.width = 56;
+  data.num_classes = 10;
+  data.noise = 0.30f;
+  data.jitter = 0.12f;
+  data.seed = 3;
+
+  bench::RankingConfig rank_cfg;
+  rank_cfg.channel_divisor = 12;
+  rank_cfg.min_channels = 4;
+  rank_cfg.spatial_divisor = 4;
+  rank_cfg.train_samples = 240;
+  rank_cfg.test_samples = 80;
+  rank_cfg.epochs = 2;
+
+  const auto ranked = bench::RankCandidates(r, data, rank_cfg, truth_index);
+
+  std::cout << "\nranking (top-1), paper-style series:\n";
+  std::size_t truth_rank = ranked.size();
+  for (std::size_t pos = 0; pos < ranked.size(); ++pos) {
+    std::cout << "  rank " << pos + 1 << ": candidate " << ranked[pos].index
+              << " top-1 " << ranked[pos].top1
+              << (ranked[pos].is_truth ? "  <= true structure" : "") << "\n";
+    if (ranked[pos].is_truth) truth_rank = pos + 1;
+  }
+  const float best = ranked.front().top1;
+  const float worst = ranked.back().top1;
+  std::cout << "\nbest-vs-worst top-1 gap: " << best - worst
+            << " (paper: 12.3% absolute; shape check: gap > 0)\n";
+  std::cout << "true structure rank: " << truth_rank << "/" << ranked.size()
+            << " (paper: 4/24)\n";
+  std::cout << "elapsed: " << timer.Seconds() << " s\n";
+  return (best > worst && truth_rank <= ranked.size()) ? 0 : 1;
+}

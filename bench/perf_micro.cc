@@ -1,0 +1,125 @@
+// Microbenchmarks (google-benchmark) for the attack-side costs: trace
+// analysis throughput, per-layer constraint solving, structure search and
+// oracle queries. These quantify the adversary's offline effort.
+#include <benchmark/benchmark.h>
+
+#include "attack/structure/pipeline.h"
+#include "attack/weights/attack.h"
+#include "bench_util.h"
+#include "models/zoo.h"
+
+namespace {
+
+using namespace sc;
+
+const trace::Trace& LeNetTrace() {
+  static const trace::Trace tr = [] {
+    nn::Network net = models::MakeLeNet(1);
+    return bench::CaptureTrace(net, 5);
+  }();
+  return tr;
+}
+
+void BM_TraceSegmentation(benchmark::State& state) {
+  const trace::Trace& tr = LeNetTrace();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attack::SegmentTrace(tr));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tr.size()));
+}
+BENCHMARK(BM_TraceSegmentation);
+
+void BM_TraceAnalysis(benchmark::State& state) {
+  const trace::Trace& tr = LeNetTrace();
+  attack::AnalysisConfig cfg;
+  cfg.known_input_elems = 28 * 28;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attack::AnalyzeTrace(tr, cfg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tr.size()));
+}
+BENCHMARK(BM_TraceAnalysis);
+
+void BM_SolveConv1(benchmark::State& state) {
+  attack::LayerObservation o;
+  o.role = attack::SegmentRole::kConvOrFc;
+  o.size_ifm = 227LL * 227 * 3;
+  o.size_ofm = 27LL * 27 * 96;
+  o.size_fltr = 11LL * 11 * 3 * 96;
+  attack::SolverConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        attack::EnumerateConvConfigs(o, {{227, 3}}, cfg));
+  }
+}
+BENCHMARK(BM_SolveConv1);
+
+void BM_StructureSearchLeNet(benchmark::State& state) {
+  attack::AnalysisConfig acfg;
+  acfg.known_input_elems = 28 * 28;
+  const attack::TraceAnalysis a = attack::AnalyzeTrace(LeNetTrace(), acfg);
+  attack::SearchConfig cfg;
+  cfg.known_input_width = 28;
+  cfg.known_input_depth = 1;
+  cfg.known_output_classes = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attack::SearchStructures(a.observations, cfg));
+  }
+}
+BENCHMARK(BM_StructureSearchLeNet);
+
+void BM_SparseOracleQuery(benchmark::State& state) {
+  attack::SparseConvOracle::StageSpec spec;
+  spec.in_depth = 3;
+  spec.in_width = 227;
+  spec.filter = 11;
+  spec.stride = 4;
+  spec.pool = nn::PoolKind::kMax;
+  spec.pool_window = 3;
+  spec.pool_stride = 2;
+  const models::CompressedConv1 secret =
+      models::MakeCompressedConv1Weights();
+  attack::SparseConvOracle oracle(spec, secret.weights, secret.bias);
+  float x = 0.0f;
+  for (auto _ : state) {
+    x += 0.001f;
+    benchmark::DoNotOptimize(
+        oracle.ChannelNonZeros({{0, 5, 5, 1.0f + x}}, 3));
+  }
+}
+BENCHMARK(BM_SparseOracleQuery);
+
+void BM_AcceleratorLeNetInference(benchmark::State& state) {
+  nn::Network net = models::MakeLeNet(1);
+  const nn::Tensor input = bench::RandomInput(net.input_shape(), 9);
+  accel::Accelerator accel{accel::AcceleratorConfig{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(accel.Run(net, input, nullptr));
+  }
+}
+BENCHMARK(BM_AcceleratorLeNetInference);
+
+void BM_WeightRecoveryOneFilter(benchmark::State& state) {
+  attack::SparseConvOracle::StageSpec spec;
+  spec.in_depth = 1;
+  spec.in_width = 16;
+  spec.filter = 3;
+  spec.stride = 1;
+  nn::Tensor w(nn::Shape{1, 1, 3, 3});
+  nn::Tensor b(nn::Shape{1});
+  Rng rng(4);
+  for (std::size_t i = 0; i < w.numel(); ++i) w[i] = rng.GaussianF(0.5f);
+  b.at(0) = 0.25f;
+  attack::SparseConvOracle oracle(spec, w, b);
+  attack::WeightAttack attack(oracle, spec, attack::WeightAttackConfig{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attack.RecoverFilter(0));
+  }
+}
+BENCHMARK(BM_WeightRecoveryOneFilter);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Defense demo (paper §5): the same structure attack that cracks the clear
+// trace collapses once an ORAM-style obfuscating controller sits between
+// the accelerator and DRAM — at a quantified traffic cost.
+//
+//   $ ./defend_with_obfuscation
+#include <iostream>
+
+#include "accel/accelerator.h"
+#include "attack/structure/pipeline.h"
+#include "defense/obfuscation.h"
+#include "models/zoo.h"
+#include "support/rng.h"
+#include "trace/stats.h"
+
+int main() {
+  using namespace sc;
+  nn::Network victim = models::MakeLeNet(11);
+
+  accel::Accelerator accelerator{accel::AcceleratorConfig{}};
+  nn::Tensor image(victim.input_shape());
+  Rng rng(3);
+  for (std::size_t i = 0; i < image.numel(); ++i)
+    image[i] = rng.GaussianF(1.0f);
+  trace::Trace clear;
+  accelerator.Run(victim, image, &clear);
+
+  attack::StructureAttackConfig cfg;
+  cfg.analysis.known_input_elems = 28 * 28;
+  cfg.search.known_input_width = 28;
+  cfg.search.known_input_depth = 1;
+  cfg.search.known_output_classes = 10;
+  // Accelerator datasheet (public): enables the bandwidth-aware filter.
+  cfg.search.macs_per_cycle = accel::AcceleratorConfig{}.macs_per_cycle;
+  cfg.search.bytes_per_cycle = accel::AcceleratorConfig{}.bytes_per_cycle;
+
+  const auto broken = attack::RunStructureAttack(clear, cfg);
+  std::cout << "without defense: attack finds " << broken.num_structures()
+            << " candidate structures (LeNet among them)\n";
+
+  defense::ObfuscationConfig ocfg;
+  ocfg.dummy_per_access = 2.0;
+  const defense::ObfuscationResult shielded =
+      defense::ObfuscateTrace(clear, ocfg);
+  std::cout << "\nobfuscation cost: " << shielded.traffic_overhead
+            << "x traffic, " << shielded.event_overhead << "x bus events\n";
+
+  std::size_t candidates = 0;
+  try {
+    candidates =
+        attack::RunStructureAttack(shielded.trace, cfg).num_structures();
+    std::cout << "with defense: attack finds " << candidates
+              << " structures\n";
+  } catch (const sc::Error& e) {
+    std::cout << "with defense: attack analysis fails outright (" << e.what()
+              << ")\n";
+  }
+  std::cout << "\nThe paper's conclusion stands: hiding the access pattern "
+               "works, but the overhead is why accelerators do not do it.\n";
+  return candidates == 0 ? 0 : 1;
+}

@@ -1,0 +1,76 @@
+// Cycle-approximate CNN inference accelerator simulator.
+//
+// Substitutes for the paper's FPGA prototype (DESIGN.md §2). The simulator
+//   - executes the *real* inference arithmetic for every stage (the output
+//     tensor is bit-identical to the reference nn::Network::Forward),
+//   - walks the same tiled schedule a weight-stationary accelerator would
+//     (output-channel blocks x output-row blocks constrained by the three
+//     on-chip buffers) and emits one burst-level MemEvent per DMA transfer,
+//   - advances a cycle counter per tile as max(compute, memory) time,
+//   - optionally compresses OFM write-back with dynamic zero pruning, in
+//     which case write volumes leak the per-tile non-zero counts (paper §4).
+//
+// The memory trace therefore has exactly the properties the paper's attacks
+// exploit: RAW dependencies between layers, contiguous per-tensor regions,
+// read-only weights, and compute-bound per-layer timing.
+#ifndef SC_ACCEL_ACCELERATOR_H_
+#define SC_ACCEL_ACCELERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/address_map.h"
+#include "accel/config.h"
+#include "accel/stage.h"
+#include "nn/network.h"
+#include "trace/trace.h"
+
+namespace sc::accel {
+
+struct StageStats {
+  int stage_index = -1;
+  StageKind kind = StageKind::kConv;
+  int main_node = -1;
+  int output_node = -1;
+  std::uint64_t start_cycle = 0;
+  std::uint64_t end_cycle = 0;
+  long long macs = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  // Zero-pruning observables for the stage's OFM (valid whether or not
+  // pruning is enabled; with pruning these equal what the ordered write
+  // bursts reveal — asserted by tests).
+  std::size_t ofm_elems = 0;
+  std::size_t ofm_nonzeros = 0;
+  std::vector<std::size_t> ofm_channel_nonzeros;
+};
+
+struct RunResult {
+  nn::Tensor output;                    // final node's output tensor
+  std::vector<StageStats> stages;
+  std::uint64_t total_cycles = 0;
+};
+
+class Accelerator {
+ public:
+  explicit Accelerator(AcceleratorConfig cfg) : cfg_(cfg) {}
+
+  const AcceleratorConfig& config() const { return cfg_; }
+  AcceleratorConfig& config() { return cfg_; }
+
+  // Runs inference. If `out_trace` is non-null, appends the full memory
+  // trace. The address map is rebuilt per call (deterministic for a given
+  // network), so traces from repeated runs are directly comparable.
+  RunResult Run(const nn::Network& net, const nn::Tensor& input,
+                trace::Trace* out_trace) const;
+
+  // The DRAM layout the accelerator uses for this network.
+  AddressMap BuildMap(const nn::Network& net) const;
+
+ private:
+  AcceleratorConfig cfg_;
+};
+
+}  // namespace sc::accel
+
+#endif  // SC_ACCEL_ACCELERATOR_H_

@@ -1,0 +1,135 @@
+#include "accel/address_map.h"
+
+#include "nn/layer.h"
+#include "support/check.h"
+
+namespace sc::accel {
+
+namespace {
+
+// Returns the concat consumer of `node`, or -1. A node may feed at most one
+// concat (it has a single physical copy of its output).
+int ConcatConsumer(const nn::Network& net, int node) {
+  int found = -1;
+  for (int consumer : net.ConsumersOf(node)) {
+    if (net.layer(consumer).kind() == nn::LayerKind::kConcat) {
+      SC_CHECK_MSG(found == -1, "node " << node
+                                        << " feeds more than one concat; "
+                                           "aliased layout is ambiguous");
+      found = consumer;
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+AddressMap::AddressMap(const nn::Network& net, int element_bytes,
+                       std::uint64_t align, std::uint64_t guard,
+                       std::uint64_t fmap_extra_per_elem,
+                       std::uint64_t fmap_extra_const)
+    : element_bytes_(element_bytes),
+      align_(align),
+      guard_(guard),
+      weights_(static_cast<std::size_t>(net.num_nodes())),
+      ofm_(static_cast<std::size_t>(net.num_nodes())) {
+  SC_CHECK_MSG(element_bytes_ >= 1, "element_bytes must be >= 1");
+  SC_CHECK_MSG(align_ >= 1, "alignment must be >= 1");
+
+  const auto eb = static_cast<std::uint64_t>(element_bytes_);
+  // Capacity of a feature-map region holding n elements.
+  auto fmap_bytes = [&](std::uint64_t n) {
+    return n * (eb + fmap_extra_per_elem) + fmap_extra_const;
+  };
+  // Capacity of node i's region. A concat region is exactly the sum of its
+  // children's capacities (children alias into it back-to-back).
+  auto node_capacity = [&](int i, auto&& self) -> std::uint64_t {
+    if (net.layer(i).kind() == nn::LayerKind::kConcat) {
+      std::uint64_t total = 0;
+      for (int src : net.inputs_of(i)) {
+        SC_CHECK_MSG(src != nn::kInputNode,
+                     "concat over the network input is not supported");
+        total += self(src, self);
+      }
+      return total;
+    }
+    return fmap_bytes(net.output_shape(i).numel());
+  };
+
+  // Input feature map first (what a host-side DMA would set up).
+  input_ = Region{Allocate(net.input_shape().numel() * eb),
+                  net.input_shape().numel() * eb};
+
+  // Weights: one region per parameterized layer, in layer order. Bias
+  // vectors are *not* stored off-chip: they are tiny and ship with the
+  // layer's configuration, so the filter region size matches the paper's
+  // Eq. (3) exactly (F^2 * D_IFM * D_OFM).
+  for (int i = 0; i < net.num_nodes(); ++i) {
+    // Params() is non-const by design (it exposes gradient slots); the map
+    // only needs sizes, so a const_cast here is contained and safe.
+    auto& layer = const_cast<nn::Layer&>(net.layer(i));
+    std::uint64_t param_elems = 0;
+    for (const nn::ParamRef& p : layer.Params())
+      if (p.value->shape().rank() >= 2) param_elems += p.value->numel();
+    if (param_elems > 0) {
+      weights_[static_cast<std::size_t>(i)] =
+          Region{Allocate(param_elems * eb), param_elems * eb};
+    }
+  }
+
+  // Feature maps: concat nodes get one region; their producers alias into
+  // it. Two passes: allocate non-aliased regions first, then resolve.
+  for (int i = 0; i < net.num_nodes(); ++i) {
+    if (ConcatConsumer(net, i) != -1) continue;  // aliased, resolved below
+    const std::uint64_t bytes = node_capacity(i, node_capacity);
+    ofm_[static_cast<std::size_t>(i)] = Region{Allocate(bytes), bytes};
+  }
+  // Resolve aliases. Nested concats resolve because we iterate until fixed
+  // point (a producer's concat may itself alias into an outer concat).
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int i = 0; i < net.num_nodes(); ++i) {
+      auto& region = ofm_[static_cast<std::size_t>(i)];
+      if (region.valid()) continue;
+      const int concat = ConcatConsumer(net, i);
+      SC_CHECK(concat != -1);
+      const Region& parent = ofm_[static_cast<std::size_t>(concat)];
+      if (!parent.valid()) continue;  // outer concat not yet resolved
+      // Offset = sum of sizes of concat inputs that precede this node.
+      std::uint64_t offset = 0;
+      for (int src : net.inputs_of(concat)) {
+        if (src == i) break;
+        offset += node_capacity(src, node_capacity);
+      }
+      const std::uint64_t bytes = node_capacity(i, node_capacity);
+      SC_CHECK(offset + bytes <= parent.bytes);
+      region = Region{parent.base + offset, bytes};
+      progress = true;
+    }
+  }
+  for (int i = 0; i < net.num_nodes(); ++i)
+    SC_CHECK_MSG(ofm_[static_cast<std::size_t>(i)].valid(),
+                 "unresolved feature-map region for node " << i);
+}
+
+std::uint64_t AddressMap::Allocate(std::uint64_t bytes) {
+  SC_CHECK(bytes > 0);
+  // Round the cursor up to alignment, reserve, then add the guard gap so
+  // adjacent tensors are never contiguous in the address space.
+  const std::uint64_t base = (next_free_ + align_ - 1) / align_ * align_;
+  next_free_ = base + bytes + guard_;
+  return base;
+}
+
+const Region& AddressMap::weights(int node) const {
+  SC_CHECK(node >= 0 && static_cast<std::size_t>(node) < weights_.size());
+  return weights_[static_cast<std::size_t>(node)];
+}
+
+const Region& AddressMap::ofm(int node) const {
+  SC_CHECK(node >= 0 && static_cast<std::size_t>(node) < ofm_.size());
+  return ofm_[static_cast<std::size_t>(node)];
+}
+
+}  // namespace sc::accel

@@ -1,0 +1,70 @@
+// DRAM layout for a network's tensors.
+//
+// Every weight tensor and every stage output feature map gets its own
+// contiguous region, aligned and separated by a guard gap (what a real
+// allocator's page alignment produces). Feature maps that feed a Concat
+// node are aliased into the concat node's region at the proper channel
+// offset, so concatenation costs no data movement — exactly the behaviour
+// the paper relies on when it treats the fire-module output as one OFM.
+#ifndef SC_ACCEL_ADDRESS_MAP_H_
+#define SC_ACCEL_ADDRESS_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace sc::accel {
+
+struct Region {
+  std::uint64_t base = 0;
+  std::uint64_t bytes = 0;
+
+  std::uint64_t end() const { return base + bytes; }
+  bool valid() const { return bytes > 0; }
+};
+
+class AddressMap {
+ public:
+  // Builds the map for `net`. element_bytes is the off-chip storage size of
+  // one tensor element; align/guard control region placement.
+  //
+  // fmap_extra_per_elem / fmap_extra_const add worst-case slack to every
+  // feature-map region. Zero for dense layouts; with dynamic zero pruning a
+  // run-length-compressed stream can exceed the dense size (index bytes +
+  // per-tile headers when nothing prunes), so the accelerator reserves
+  // capacity for the incompressible case.
+  AddressMap(const nn::Network& net, int element_bytes, std::uint64_t align,
+             std::uint64_t guard, std::uint64_t fmap_extra_per_elem = 0,
+             std::uint64_t fmap_extra_const = 0);
+
+  int element_bytes() const { return element_bytes_; }
+
+  // Region holding the network input feature map.
+  const Region& input() const { return input_; }
+
+  // Region for node's weights; !valid() for parameter-free layers.
+  const Region& weights(int node) const;
+
+  // Region for node's output feature map. For a node that feeds a Concat,
+  // this is the aliased sub-range of the concat node's region.
+  const Region& ofm(int node) const;
+
+  // Total extent of the mapped address space.
+  std::uint64_t total_bytes() const { return next_free_; }
+
+ private:
+  std::uint64_t Allocate(std::uint64_t bytes);
+
+  int element_bytes_;
+  std::uint64_t align_;
+  std::uint64_t guard_;
+  std::uint64_t next_free_ = 0;
+  Region input_;
+  std::vector<Region> weights_;
+  std::vector<Region> ofm_;
+};
+
+}  // namespace sc::accel
+
+#endif  // SC_ACCEL_ADDRESS_MAP_H_

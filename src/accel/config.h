@@ -1,0 +1,50 @@
+// Accelerator configuration (Figure 1 of the paper: PE array + on-chip
+// buffers + DRAM behind a narrow bus).
+#ifndef SC_ACCEL_CONFIG_H_
+#define SC_ACCEL_CONFIG_H_
+
+#include <cstdint>
+
+namespace sc::accel {
+
+struct AcceleratorConfig {
+  // --- datapath ---
+  int macs_per_cycle = 64;        // PE-array throughput
+  int simd_lanes = 16;            // pool/eltwise/activation throughput
+
+  // --- on-chip buffers (bytes) ---
+  std::uint64_t ifm_buffer_bytes = 128 * 1024;
+  std::uint64_t weight_buffer_bytes = 128 * 1024;
+  std::uint64_t ofm_buffer_bytes = 64 * 1024;
+
+  // --- off-chip interface ---
+  int element_bytes = 4;          // bytes per feature-map / weight element
+  int bytes_per_cycle = 16;       // DRAM bandwidth
+  std::uint64_t region_align = 4096;  // allocator alignment for tensors
+  std::uint64_t region_guard = 4096;  // guard gap between tensors
+
+  // --- dynamic zero pruning (paper §4) ---
+  // When enabled, OFM write-back is run-length compressed: only non-zero
+  // elements are stored, plus a small per-element index and a per-tile
+  // header. Write volume then leaks the number of zeros.
+  bool zero_pruning = false;
+  int prune_index_bytes = 2;      // per stored non-zero element
+  int prune_header_bytes = 4;     // per written tile
+
+  // Mitigation for the §4 count leak: pad every compressed write burst to
+  // its worst-case size so write volumes carry no information. Data stays
+  // compressed in DRAM (reads keep the bandwidth saving), so the write-
+  // side leak closes at the cost of the write-side saving only. Effective
+  // only with zero_pruning enabled.
+  bool prune_constant_shape = false;
+
+  // --- activation ---
+  // Tunable ReLU threshold applied by fused activation stages *in place of*
+  // each Relu layer's own threshold when >= 0 (Minerva-style knob). A
+  // negative value means "use the network's thresholds unchanged".
+  float relu_threshold_override = -1.0f;
+};
+
+}  // namespace sc::accel
+
+#endif  // SC_ACCEL_CONFIG_H_

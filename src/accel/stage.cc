@@ -1,0 +1,121 @@
+#include "accel/stage.h"
+
+#include "support/check.h"
+
+namespace sc::accel {
+
+const char* ToString(StageKind k) {
+  switch (k) {
+    case StageKind::kConv:
+      return "conv";
+    case StageKind::kFc:
+      return "fc";
+    case StageKind::kPool:
+      return "pool";
+    case StageKind::kEltwise:
+      return "eltwise";
+  }
+  return "?";
+}
+
+namespace {
+
+// Returns the sole consumer of `node` if it has exactly one, else -1.
+int SoleConsumer(const nn::Network& net, int node) {
+  const std::vector<int> consumers = net.ConsumersOf(node);
+  return consumers.size() == 1 ? consumers[0] : -1;
+}
+
+bool IsKind(const nn::Network& net, int node, nn::LayerKind k) {
+  return node >= 0 && net.layer(node).kind() == k;
+}
+
+}  // namespace
+
+std::vector<Stage> BuildStages(const nn::Network& net) {
+  std::vector<bool> assigned(static_cast<std::size_t>(net.num_nodes()), false);
+  std::vector<Stage> stages;
+
+  auto mark = [&](int node) {
+    SC_CHECK(!assigned[static_cast<std::size_t>(node)]);
+    assigned[static_cast<std::size_t>(node)] = true;
+  };
+
+  for (int i = 0; i < net.num_nodes(); ++i) {
+    if (assigned[static_cast<std::size_t>(i)]) continue;
+    const nn::LayerKind kind = net.layer(i).kind();
+
+    if (kind == nn::LayerKind::kConcat) {
+      // Pure aliasing: producers write straight into the concat region.
+      mark(i);
+      continue;
+    }
+    SC_CHECK_MSG(kind != nn::LayerKind::kRelu,
+                 "standalone ReLU node '"
+                     << net.layer(i).name()
+                     << "' cannot be scheduled; attach it after a conv/fc/"
+                        "pool/eltwise node so it fuses");
+
+    Stage s;
+    s.main_node = i;
+    s.input_nodes = net.inputs_of(i);
+    mark(i);
+    int cur = i;
+
+    switch (kind) {
+      case nn::LayerKind::kConv:
+        s.kind = StageKind::kConv;
+        break;
+      case nn::LayerKind::kFullyConnected:
+        s.kind = StageKind::kFc;
+        break;
+      case nn::LayerKind::kMaxPool:
+      case nn::LayerKind::kAvgPool:
+        s.kind = StageKind::kPool;
+        s.pool_node = i;
+        break;
+      case nn::LayerKind::kEltwiseAdd:
+        s.kind = StageKind::kEltwise;
+        break;
+      default:
+        SC_CHECK_MSG(false, "unreachable");
+    }
+
+    // Greedy fusion along sole-consumer chains.
+    if (s.kind == StageKind::kConv) {
+      int next = SoleConsumer(net, cur);
+      if (IsKind(net, next, nn::LayerKind::kRelu)) {
+        s.relu_node = next;
+        mark(next);
+        cur = next;
+        next = SoleConsumer(net, cur);
+      }
+      if (IsKind(net, next, nn::LayerKind::kMaxPool) ||
+          IsKind(net, next, nn::LayerKind::kAvgPool)) {
+        s.pool_node = next;
+        mark(next);
+        cur = next;
+        next = SoleConsumer(net, cur);
+      }
+      if (s.pool_node != -1 && IsKind(net, next, nn::LayerKind::kRelu)) {
+        s.post_relu_node = next;
+        mark(next);
+        cur = next;
+      }
+    } else if (s.kind == StageKind::kFc || s.kind == StageKind::kEltwise ||
+               s.kind == StageKind::kPool) {
+      const int next = SoleConsumer(net, cur);
+      if (IsKind(net, next, nn::LayerKind::kRelu)) {
+        s.relu_node = next;
+        mark(next);
+        cur = next;
+      }
+    }
+
+    s.output_node = cur;
+    stages.push_back(std::move(s));
+  }
+  return stages;
+}
+
+}  // namespace sc::accel

@@ -1,0 +1,48 @@
+// Fusion of network nodes into accelerator execution stages.
+//
+// Real CNN accelerators merge convolution, activation and pooling into one
+// pass so intermediate results never leave the chip (paper §3.1: "These
+// three operations are often merged and performed together as a single
+// layer"). A Stage is that merged unit: it reads its input feature maps and
+// weights from DRAM, computes, and writes exactly one output feature map
+// back. Concat nodes dissolve entirely (their producers write into aliased
+// sub-regions, see AddressMap).
+#ifndef SC_ACCEL_STAGE_H_
+#define SC_ACCEL_STAGE_H_
+
+#include <vector>
+
+#include "nn/network.h"
+
+namespace sc::accel {
+
+enum class StageKind {
+  kConv,      // Conv2D (+ fused ReLU / pooling / ReLU)
+  kFc,        // FullyConnected (+ fused ReLU)
+  kPool,      // standalone pooling (input produced by another stage)
+  kEltwise,   // element-wise addition (bypass path, + fused ReLU)
+};
+
+const char* ToString(StageKind k);
+
+struct Stage {
+  StageKind kind = StageKind::kConv;
+  int main_node = -1;              // the Conv2D / FC / Pooling / EltwiseAdd
+  int relu_node = -1;              // fused ReLU before pooling (-1 if none)
+  int pool_node = -1;              // fused Pooling (-1 if none)
+  int post_relu_node = -1;         // fused ReLU after pooling (-1 if none)
+  int output_node = -1;            // last node of the stage (defines OFM)
+  std::vector<int> input_nodes;    // producers feeding main_node; entries are
+                                   // node ids or nn::kInputNode. A Concat
+                                   // producer is replaced by the concat node
+                                   // itself (its region holds the data).
+};
+
+// Partitions the network into stages. Every non-concat node belongs to
+// exactly one stage; throws sc::Error if the graph contains a pattern the
+// accelerator cannot schedule (e.g. a ReLU consumed by two stages).
+std::vector<Stage> BuildStages(const nn::Network& net);
+
+}  // namespace sc::accel
+
+#endif  // SC_ACCEL_STAGE_H_

@@ -1,0 +1,50 @@
+// What the adversary can extract from a memory trace before any
+// constraint solving: per-layer sizes, timing, and the dependency graph.
+#ifndef SC_ATTACK_STRUCTURE_OBSERVATION_H_
+#define SC_ATTACK_STRUCTURE_OBSERVATION_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace sc::attack {
+
+// Coarse role of a trace segment, inferred from region access patterns
+// (weights present / input arity / size relations).
+enum class SegmentRole {
+  kConvOrFc,   // reads a read-only (weight) region
+  kPool,       // no weights, one FMAP input, output smaller than input
+  kEltwise,    // no weights, >= 2 equally-sized FMAP inputs
+  kUnknown,
+};
+
+const char* ToString(SegmentRole r);
+
+// One feature-map input of a segment.
+struct ObservedInput {
+  // Segments whose writes produced the bytes this segment read; -1 denotes
+  // the network input region (written by the host before the run).
+  std::vector<int> writer_segments;
+  long long elems = 0;  // unique elements read
+};
+
+// Everything the trace reveals about one layer (= one trace segment).
+struct LayerObservation {
+  int segment = -1;
+  SegmentRole role = SegmentRole::kUnknown;
+  std::vector<ObservedInput> inputs;
+  long long size_ifm = 0;   // total unique FMAP elements read (all inputs)
+  long long size_ofm = 0;   // unique elements written
+  long long size_fltr = 0;  // unique elements read from weight regions
+  std::uint64_t cycles = 0; // segment duration
+  // Total bytes moved during the segment (reads + writes, with re-reads) —
+  // directly observable and used by the bandwidth-aware timing filter.
+  std::uint64_t bytes_accessed = 0;
+  bool reads_network_input = false;
+};
+
+std::ostream& operator<<(std::ostream& os, const LayerObservation& o);
+
+}  // namespace sc::attack
+
+#endif  // SC_ATTACK_STRUCTURE_OBSERVATION_H_

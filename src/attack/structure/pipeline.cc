@@ -1,0 +1,171 @@
+#include "attack/structure/pipeline.h"
+
+#include <algorithm>
+#include <map>
+
+#include "nn/activation.h"
+#include "nn/combine.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pooling.h"
+#include "support/check.h"
+
+namespace sc::attack {
+
+StructureAttackResult RunStructureAttack(const trace::Trace& trace,
+                                         const StructureAttackConfig& cfg) {
+  StructureAttackResult result;
+  result.analysis = AnalyzeTrace(trace, cfg.analysis);
+
+  SearchConfig search_cfg = cfg.search;
+  if (cfg.assume_identical_modules) {
+    for (auto& g : DetectFireModuleGroups(result.analysis.observations))
+      search_cfg.identical_groups.push_back(std::move(g));
+  }
+  result.search = SearchStructures(result.analysis.observations, search_cfg);
+  return result;
+}
+
+nn::Network InstantiateCandidate(const std::vector<LayerObservation>& obs,
+                                 const CandidateStructure& cs,
+                                 const InstantiateOptions& opts) {
+  SC_CHECK_MSG(obs.size() == cs.layers.size(),
+               "candidate does not match observations");
+  SC_CHECK(opts.channel_divisor >= 1);
+  SC_CHECK(!obs.empty());
+
+  auto scaled = [&](int d) {
+    return std::min(d, std::max(opts.min_channels, d / opts.channel_divisor));
+  };
+
+  // Find the segment that reads the network input (defines input shape)
+  // and the last weighted segment (receives the class count).
+  int input_segment = -1;
+  int last_weighted = -1;
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    if (obs[i].reads_network_input && input_segment == -1)
+      input_segment = static_cast<int>(i);
+    if (obs[i].role == SegmentRole::kConvOrFc)
+      last_weighted = static_cast<int>(i);
+  }
+  SC_CHECK_MSG(input_segment != -1, "no segment reads the network input");
+  SC_CHECK_MSG(last_weighted != -1, "no weighted segment found");
+
+  SC_CHECK(opts.spatial_divisor >= 1);
+  const nn::LayerGeometry& gin =
+      cs.layers[static_cast<std::size_t>(input_segment)].geom;
+  const int in_w = std::max(8, gin.w_ifm / opts.spatial_divisor);
+  nn::Network net(nn::Shape{gin.d_ifm, in_w, in_w});
+
+  std::vector<int> out_node(obs.size(), -1);
+  std::map<std::vector<int>, int> concat_cache;
+
+  auto node_for_writers = [&](const std::vector<int>& writers) -> int {
+    if (writers.size() == 1 && writers[0] == -1) return nn::kInputNode;
+    if (writers.size() == 1)
+      return out_node[static_cast<std::size_t>(writers[0])];
+    auto it = concat_cache.find(writers);
+    if (it != concat_cache.end()) return it->second;
+    std::vector<int> srcs;
+    for (int t : writers) {
+      SC_CHECK(t >= 0);
+      srcs.push_back(out_node[static_cast<std::size_t>(t)]);
+    }
+    const int id = net.Add(std::make_unique<nn::Concat>(
+                               "concat@" + std::to_string(writers[0]),
+                               static_cast<int>(writers.size())),
+                           srcs);
+    concat_cache[writers] = id;
+    return id;
+  };
+
+  for (std::size_t si = 0; si < obs.size(); ++si) {
+    const LayerObservation& o = obs[si];
+    const nn::LayerGeometry& g = cs.layers[si].geom;
+    const std::string tag = "seg" + std::to_string(si);
+    const bool is_last_segment = (si + 1 == obs.size());
+    const bool takes_classes =
+        (static_cast<int>(si) == last_weighted && opts.num_classes > 0);
+
+    switch (cs.layers[si].role) {
+      case SegmentRole::kConvOrFc: {
+        SC_CHECK_MSG(o.inputs.size() == 1, "conv layer with multiple inputs");
+        const int src = node_for_writers(o.inputs[0].writer_segments);
+        const nn::Shape in_shape =
+            src == nn::kInputNode ? net.input_shape() : net.output_shape(src);
+        const int out_d = takes_classes ? opts.num_classes : scaled(g.d_ofm);
+        int cur;
+        if (g.IsFullyConnected()) {
+          cur = net.Add(std::make_unique<nn::FullyConnected>(
+                            tag + "_fc", static_cast<int>(in_shape.numel()),
+                            out_d),
+                        {src});
+        } else {
+          // Clamp the window to the (possibly spatially scaled) map.
+          const int f =
+              std::min(g.f_conv, in_shape[1] + 2 * g.p_conv);
+          const int p = std::min(g.p_conv, f - 1);
+          cur = net.Add(std::make_unique<nn::Conv2D>(tag + "_conv",
+                                                     in_shape[0], out_d, f,
+                                                     g.s_conv, p),
+                        {src});
+        }
+        if (!is_last_segment || static_cast<int>(si) != last_weighted) {
+          cur = net.Add(std::make_unique<nn::Relu>(tag + "_relu"), {cur});
+        }
+        if (g.has_pool()) {
+          // A pool fused with the final weighted layer (or any pool that
+          // produced a single output pixel) is a global head — keep it
+          // global after spatial scaling; interior fused pools are max
+          // pools with windows clamped to the shrunken map.
+          const int cur_w = net.output_shape(cur)[1];
+          const bool global = g.w_ofm == 1;
+          const int fp = global ? cur_w : std::min(g.f_pool, cur_w);
+          const int sp = global ? 1 : g.s_pool;
+          const int pp = std::min(g.p_pool, fp - 1);
+          auto pool_layer =
+              is_last_segment
+                  ? nn::MakeAvgPool(tag + "_gpool", fp, sp, pp)
+                  : nn::MakeMaxPool(tag + "_pool", fp, sp, pp);
+          cur = net.Add(std::move(pool_layer), {cur});
+        }
+        out_node[si] = cur;
+        break;
+      }
+      case SegmentRole::kPool: {
+        SC_CHECK(o.inputs.size() == 1);
+        const int src = node_for_writers(o.inputs[0].writer_segments);
+        SC_CHECK_MSG(g.has_pool(), "pool candidate without pool params");
+        const nn::Shape in_shape =
+            src == nn::kInputNode ? net.input_shape() : net.output_shape(src);
+        const bool global = g.w_ofm == 1;
+        const int fp = global ? in_shape[1] : std::min(g.f_pool, in_shape[1]);
+        const int sp = global ? 1 : g.s_pool;
+        const int pp = std::min(g.p_pool, fp - 1);
+        // A trailing global pool is average pooling in modern networks
+        // (SqueezeNet); interior pools are max pools.
+        auto layer = is_last_segment
+                         ? nn::MakeAvgPool(tag + "_gpool", fp, sp, pp)
+                         : nn::MakeMaxPool(tag + "_pool", fp, sp, pp);
+        out_node[si] = net.Add(std::move(layer), {src});
+        break;
+      }
+      case SegmentRole::kEltwise: {
+        SC_CHECK(o.inputs.size() >= 2);
+        std::vector<int> srcs;
+        for (const ObservedInput& in : o.inputs)
+          srcs.push_back(node_for_writers(in.writer_segments));
+        out_node[si] = net.Add(
+            std::make_unique<nn::EltwiseAdd>(
+                tag + "_add", static_cast<int>(srcs.size())),
+            srcs);
+        break;
+      }
+      case SegmentRole::kUnknown:
+        SC_CHECK_MSG(false, "cannot instantiate an unclassified segment");
+    }
+  }
+  return net;
+}
+
+}  // namespace sc::attack

@@ -1,0 +1,58 @@
+// End-to-end structure reverse engineering (paper Algorithm 1) and
+// candidate instantiation for the training-based ranking step.
+#ifndef SC_ATTACK_STRUCTURE_PIPELINE_H_
+#define SC_ATTACK_STRUCTURE_PIPELINE_H_
+
+#include "attack/structure/region_analysis.h"
+#include "attack/structure/search.h"
+#include "nn/network.h"
+#include "trace/trace.h"
+
+namespace sc::attack {
+
+struct StructureAttackConfig {
+  AnalysisConfig analysis;
+  SearchConfig search;
+  // Detect repeated fire-module motifs and apply the identical-modules
+  // assumption automatically (paper's SqueezeNet analysis).
+  bool assume_identical_modules = false;
+};
+
+struct StructureAttackResult {
+  TraceAnalysis analysis;
+  SearchResult search;
+
+  std::size_t num_structures() const { return search.structures.size(); }
+};
+
+// Runs segmentation -> region analysis -> per-layer solving -> chained
+// search on an observed memory trace.
+StructureAttackResult RunStructureAttack(const trace::Trace& trace,
+                                         const StructureAttackConfig& cfg);
+
+// Builds a trainable network realizing one candidate structure.
+struct InstantiateOptions {
+  // Divide every channel/feature depth by this factor (>= 1) to make
+  // training tractable; spatial geometry is preserved. The network input
+  // depth and the class count are never scaled.
+  int channel_divisor = 1;
+  // Floor for scaled depths (deep nets with narrow bottleneck layers —
+  // SqueezeNet squeeze stages — stop learning below a few channels).
+  int min_channels = 1;
+  // Divide the spatial extent by this factor (>= 1). Filter/stride/padding
+  // parameters — the quantities being ranked — are preserved; windows are
+  // clamped to the shrunken maps where necessary and a fused global pool
+  // stays global. Cuts the training proxy's compute by the factor squared.
+  int spatial_divisor = 1;
+  // Class count for the final layer (overrides the candidate's D_OFM,
+  // which came from the victim's class count).
+  int num_classes = 0;  // 0 = keep candidate D_OFM
+};
+
+nn::Network InstantiateCandidate(const std::vector<LayerObservation>& obs,
+                                 const CandidateStructure& cs,
+                                 const InstantiateOptions& opts);
+
+}  // namespace sc::attack
+
+#endif  // SC_ATTACK_STRUCTURE_PIPELINE_H_

@@ -1,0 +1,214 @@
+#include "attack/structure/region_analysis.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "support/check.h"
+
+namespace sc::attack {
+
+const char* ToString(SegmentRole r) {
+  switch (r) {
+    case SegmentRole::kConvOrFc:
+      return "conv/fc";
+    case SegmentRole::kPool:
+      return "pool";
+    case SegmentRole::kEltwise:
+      return "eltwise";
+    case SegmentRole::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const LayerObservation& o) {
+  os << "seg " << o.segment << " [" << ToString(o.role)
+     << "] ifm=" << o.size_ifm << " ofm=" << o.size_ofm
+     << " fltr=" << o.size_fltr << " cycles=" << o.cycles << " deps={";
+  for (std::size_t i = 0; i < o.inputs.size(); ++i) {
+    if (i) os << "; ";
+    for (std::size_t j = 0; j < o.inputs[i].writer_segments.size(); ++j) {
+      if (j) os << ',';
+      os << o.inputs[i].writer_segments[j];
+    }
+  }
+  return os << '}';
+}
+
+namespace {
+
+// Per-(segment, region) access coverage.
+struct Use {
+  trace::IntervalSet reads;
+  trace::IntervalSet writes;
+};
+
+// Index of the region containing `addr` (regions are sorted and disjoint).
+std::size_t RegionIndex(const std::vector<trace::AddrInterval>& regions,
+                        std::uint64_t addr) {
+  auto it = std::upper_bound(
+      regions.begin(), regions.end(), addr,
+      [](std::uint64_t v, const trace::AddrInterval& r) { return v < r.hi; });
+  SC_CHECK_MSG(it != regions.end() && it->Contains(addr),
+               "address outside every region");
+  return static_cast<std::size_t>(it - regions.begin());
+}
+
+}  // namespace
+
+TraceAnalysis AnalyzeTrace(const trace::Trace& trace,
+                           const AnalysisConfig& cfg) {
+  SC_CHECK_MSG(cfg.element_bytes >= 1, "bad element size");
+  TraceAnalysis out;
+  if (trace.empty()) return out;
+
+  // --- region discovery (first: segmentation uses region identities) ---
+  trace::IntervalSet all;
+  for (const trace::MemEvent& e : trace) all.Insert(e.addr, e.end());
+  const std::vector<trace::AddrInterval> spans =
+      all.SplitRegions(cfg.region_gap);
+
+  out.segments = SegmentTraceWithRegions(trace, spans);
+  if (out.segments.empty()) return out;
+
+  // --- per-(segment, region) coverage ---
+  const std::size_t nseg = out.segments.size();
+  const std::size_t nreg = spans.size();
+  // Sparse: most segments touch a handful of regions.
+  std::map<std::pair<std::size_t, std::size_t>, Use> use;
+  std::vector<bool> written(nreg, false);
+
+  for (std::size_t si = 0; si < nseg; ++si) {
+    const Segment& seg = out.segments[si];
+    for (std::size_t i = seg.first_event; i < seg.end_event; ++i) {
+      const trace::MemEvent& e = trace[i];
+      const std::size_t r = RegionIndex(spans, e.addr);
+      Use& u = use[{si, r}];
+      if (e.op == trace::MemOp::kRead) {
+        u.reads.Insert(e.addr, e.end());
+      } else {
+        u.writes.Insert(e.addr, e.end());
+        written[r] = true;
+      }
+    }
+  }
+
+  // --- region summaries & input identification ---
+  const auto eb = static_cast<std::uint64_t>(cfg.element_bytes);
+  trace::IntervalSet touched_per_region;
+  out.regions.resize(nreg);
+  for (std::size_t r = 0; r < nreg; ++r) {
+    RegionSummary& summary = out.regions[r];
+    summary.span = spans[r];
+    summary.ever_written = written[r];
+    trace::IntervalSet cover;
+    for (std::size_t si = 0; si < nseg; ++si) {
+      auto it = use.find({si, r});
+      if (it == use.end()) continue;
+      for (const auto& p : it->second.reads.parts()) cover.Insert(p);
+      for (const auto& p : it->second.writes.parts()) cover.Insert(p);
+    }
+    summary.elems = static_cast<long long>(cover.CoveredBytes() / eb);
+  }
+  // Input region: never written, read from segment 0, matching the known
+  // input size when provided (largest such region otherwise).
+  std::size_t input_region = nreg;  // sentinel: none
+  long long best = -1;
+  for (std::size_t r = 0; r < nreg; ++r) {
+    if (out.regions[r].ever_written) continue;
+    auto it = use.find({0, r});
+    if (it == use.end() || it->second.reads.empty()) continue;
+    const long long elems = out.regions[r].elems;
+    if (cfg.known_input_elems > 0) {
+      // A strided first convolution may leave a small unread tail of the
+      // input (floor mode), so match with a tolerance.
+      if (elems <= cfg.known_input_elems &&
+          10 * elems >= 9 * cfg.known_input_elems) {
+        SC_CHECK_MSG(input_region == nreg,
+                     "two candidate input regions of the declared size");
+        input_region = r;
+      }
+    } else if (elems > best) {
+      best = elems;
+      input_region = r;
+    }
+  }
+  if (input_region != nreg)
+    out.regions[input_region].is_network_input = true;
+
+  // --- per-segment observations ---
+  out.observations.resize(nseg);
+  for (std::size_t si = 0; si < nseg; ++si) {
+    LayerObservation& o = out.observations[si];
+    o.segment = static_cast<int>(si);
+    o.cycles = out.segments[si].cycles();
+    for (std::size_t i = out.segments[si].first_event;
+         i < out.segments[si].end_event; ++i)
+      o.bytes_accessed += trace[i].bytes;
+
+    for (std::size_t r = 0; r < nreg; ++r) {
+      auto it = use.find({si, r});
+      if (it == use.end()) continue;
+      const Use& u = it->second;
+
+      const std::uint64_t read_bytes = u.reads.CoveredBytes();
+      const std::uint64_t write_bytes = u.writes.CoveredBytes();
+      o.size_ofm += static_cast<long long>(write_bytes / eb);
+
+      if (read_bytes == 0) continue;
+      if (r == input_region) {
+        ObservedInput in;
+        in.writer_segments.push_back(-1);
+        in.elems = static_cast<long long>(read_bytes / eb);
+        o.size_ifm += in.elems;
+        o.inputs.push_back(std::move(in));
+        o.reads_network_input = true;
+      } else if (!out.regions[r].ever_written) {
+        o.size_fltr += static_cast<long long>(read_bytes / eb);
+      } else {
+        // FMAP input: find which earlier segments wrote what we read.
+        ObservedInput in;
+        in.elems = static_cast<long long>(read_bytes / eb);
+        for (std::size_t t = 0; t < si; ++t) {
+          auto wt = use.find({t, r});
+          if (wt == use.end() || wt->second.writes.empty()) continue;
+          bool overlaps = false;
+          for (const auto& part : wt->second.writes.parts())
+            if (u.reads.OverlapsInterval(part)) {
+              overlaps = true;
+              break;
+            }
+          if (overlaps) in.writer_segments.push_back(static_cast<int>(t));
+        }
+        SC_CHECK_MSG(!in.writer_segments.empty(),
+                     "segment " << si
+                                << " reads a written region with no "
+                                   "identifiable writer");
+        o.size_ifm += in.elems;
+        o.inputs.push_back(std::move(in));
+      }
+    }
+
+    // Role classification.
+    if (o.size_fltr > 0) {
+      o.role = SegmentRole::kConvOrFc;
+    } else if (o.inputs.size() >= 2 &&
+               std::all_of(o.inputs.begin(), o.inputs.end(),
+                           [&](const ObservedInput& in) {
+                             return in.elems == o.inputs[0].elems;
+                           })) {
+      o.role = SegmentRole::kEltwise;
+    } else if (o.inputs.size() == 1 && o.size_ofm <= o.size_ifm &&
+               o.size_ofm > 0) {
+      // Weight-free, one operand, non-growing output: a pooling stage.
+      // (Size-preserving pools exist: inception's 3x3/1 SAME-pad branch.)
+      o.role = SegmentRole::kPool;
+    } else {
+      o.role = SegmentRole::kUnknown;
+    }
+  }
+  return out;
+}
+
+}  // namespace sc::attack

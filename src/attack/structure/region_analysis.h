@@ -1,0 +1,56 @@
+// Region discovery and role classification over a segmented trace
+// (paper §3.1, Algorithm 1 step 2).
+//
+// Tensors live in contiguous DRAM regions separated by allocator guard
+// gaps, so the union of all touched bytes splits into per-tensor regions.
+// A region that is never written holds weights (they are read-only during
+// inference) or the network input; a region written in segment i and read
+// in segment j > i carries an OFM -> IFM dependency from layer i to layer
+// j. Unique covered bytes give SIZE_IFM / SIZE_OFM / SIZE_FLTR.
+#ifndef SC_ATTACK_STRUCTURE_REGION_ANALYSIS_H_
+#define SC_ATTACK_STRUCTURE_REGION_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/structure/observation.h"
+#include "attack/structure/segmentation.h"
+#include "trace/interval.h"
+#include "trace/trace.h"
+
+namespace sc::attack {
+
+struct AnalysisConfig {
+  // Element size of the accelerator's off-chip number format. The adversary
+  // knows the data type (it is a property of the accelerator, not the
+  // model).
+  int element_bytes = 4;
+  // Maximum gap (bytes) between accesses that still belong to one tensor;
+  // anything larger is an allocator guard between tensors.
+  std::uint64_t region_gap = 1024;
+  // W_IFM^2 * D_IFM of the network input, known from the threat model (the
+  // adversary feeds the input). Used to tell the input region apart from
+  // first-layer weights. 0 = unknown (falls back to a size heuristic).
+  long long known_input_elems = 0;
+};
+
+// One discovered DRAM region with its global access summary.
+struct RegionSummary {
+  trace::AddrInterval span;
+  bool ever_written = false;
+  bool is_network_input = false;
+  long long elems = 0;  // unique elements touched over the whole trace
+};
+
+struct TraceAnalysis {
+  std::vector<Segment> segments;
+  std::vector<RegionSummary> regions;
+  std::vector<LayerObservation> observations;  // aligned with segments
+};
+
+TraceAnalysis AnalyzeTrace(const trace::Trace& trace,
+                           const AnalysisConfig& cfg);
+
+}  // namespace sc::attack
+
+#endif  // SC_ATTACK_STRUCTURE_REGION_ANALYSIS_H_

@@ -1,0 +1,72 @@
+#include "attack/structure/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+#include "support/check.h"
+
+namespace sc::attack {
+
+std::vector<nn::LayerGeometry> UsedConfigsAt(const SearchResult& result,
+                                             std::size_t segment) {
+  std::vector<nn::LayerGeometry> used;
+  for (const CandidateStructure& cs : result.structures) {
+    SC_CHECK_MSG(segment < cs.layers.size(), "segment out of range");
+    const nn::LayerGeometry& g = cs.layers[segment].geom;
+    if (std::find(used.begin(), used.end(), g) == used.end())
+      used.push_back(g);
+  }
+  return used;
+}
+
+std::size_t PrintConfigTable(std::ostream& os, const SearchResult& result) {
+  os << std::left << std::setw(7) << "layer" << std::setw(7) << "Wifm"
+     << std::setw(7) << "Difm" << std::setw(7) << "Wofm" << std::setw(7)
+     << "Dofm" << std::setw(7) << "Fconv" << std::setw(7) << "Sconv"
+     << std::setw(7) << "Pconv" << std::setw(7) << "Fpool" << std::setw(7)
+     << "Spool" << std::setw(7) << "Ppool" << "\n";
+  std::size_t rows = 0;
+  if (result.structures.empty()) return rows;
+  const std::size_t num_layers = result.structures.front().layers.size();
+  for (std::size_t seg = 0; seg < num_layers; ++seg) {
+    for (const nn::LayerGeometry& g : UsedConfigsAt(result, seg)) {
+      if (g.IsFullyConnected()) continue;
+      if (result.structures.front().layers[seg].role !=
+          SegmentRole::kConvOrFc)
+        continue;
+      ++rows;
+      os << std::left << "CONV" << std::setw(3) << seg + 1 << std::setw(7)
+         << g.w_ifm << std::setw(7) << g.d_ifm << std::setw(7) << g.w_ofm
+         << std::setw(7) << g.d_ofm << std::setw(7) << g.f_conv
+         << std::setw(7) << g.s_conv << std::setw(7) << g.p_conv;
+      if (g.has_pool()) {
+        os << std::setw(7) << g.f_pool << std::setw(7) << g.s_pool
+           << std::setw(7) << g.p_pool;
+      } else {
+        os << std::setw(7) << "N/A" << std::setw(7) << "N/A" << std::setw(7)
+           << "N/A";
+      }
+      os << "\n";
+    }
+  }
+  return rows;
+}
+
+void WriteStructuresCsv(std::ostream& os, const SearchResult& result) {
+  os << "structure,layer,role,w_ifm,d_ifm,w_ofm,d_ofm,f,s,p,pool,f_pool,"
+        "s_pool,p_pool,timing_spread\n";
+  for (std::size_t si = 0; si < result.structures.size(); ++si) {
+    const CandidateStructure& cs = result.structures[si];
+    for (std::size_t li = 0; li < cs.layers.size(); ++li) {
+      const nn::LayerGeometry& g = cs.layers[li].geom;
+      os << si << ',' << li << ',' << ToString(cs.layers[li].role) << ','
+         << g.w_ifm << ',' << g.d_ifm << ',' << g.w_ofm << ',' << g.d_ofm
+         << ',' << g.f_conv << ',' << g.s_conv << ',' << g.p_conv << ','
+         << nn::ToString(g.pool) << ',' << g.f_pool << ',' << g.s_pool
+         << ',' << g.p_pool << ',' << cs.timing_spread << '\n';
+    }
+  }
+}
+
+}  // namespace sc::attack

@@ -1,0 +1,30 @@
+// Reporting helpers for structure-attack results: the Table 4-style view
+// (per-layer configurations used by surviving structures) and CSV export.
+#ifndef SC_ATTACK_STRUCTURE_REPORT_H_
+#define SC_ATTACK_STRUCTURE_REPORT_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "attack/structure/search.h"
+
+namespace sc::attack {
+
+// Distinct geometries used at `segment` across the surviving structures,
+// in first-seen order.
+std::vector<nn::LayerGeometry> UsedConfigsAt(const SearchResult& result,
+                                             std::size_t segment);
+
+// Paper-Table-4-style text table: one row per distinct conv configuration
+// per layer (FC rows omitted — they are always unique, as the paper notes).
+// Returns the number of rows printed.
+std::size_t PrintConfigTable(std::ostream& os, const SearchResult& result);
+
+// Machine-readable export: one row per (structure, layer) with all 11
+// parameters. Header: structure,layer,role,w_ifm,d_ifm,w_ofm,d_ofm,f,s,p,
+// pool,f_pool,s_pool,p_pool,timing_spread.
+void WriteStructuresCsv(std::ostream& os, const SearchResult& result);
+
+}  // namespace sc::attack
+
+#endif  // SC_ATTACK_STRUCTURE_REPORT_H_

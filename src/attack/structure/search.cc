@@ -1,0 +1,213 @@
+#include "attack/structure/search.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/check.h"
+
+namespace sc::attack {
+
+namespace {
+
+// Dimensions of one ObservedInput given the geometries already chosen for
+// its writers. Returns false when the writers' shapes are incompatible
+// (unequal widths feeding a concat) - a dead end for the search.
+bool InputDims(const ObservedInput& in,
+               const std::vector<LayerConfig>& chosen, int* w, int* d) {
+  SC_CHECK(!in.writer_segments.empty());
+  if (in.writer_segments.size() == 1 && in.writer_segments[0] == -1) {
+    return false;  // network input; caller handles it with prior knowledge
+  }
+  int width = -1;
+  int depth = 0;
+  for (int t : in.writer_segments) {
+    SC_CHECK_MSG(t >= 0 && static_cast<std::size_t>(t) < chosen.size(),
+                 "forward dependency in observation graph");
+    const nn::LayerGeometry& g = chosen[static_cast<std::size_t>(t)].geom;
+    if (width == -1) width = g.w_ofm;
+    if (g.w_ofm != width) return false;  // concat widths must agree
+    depth += g.d_ofm;
+  }
+  *w = width;
+  *d = depth;
+  return true;
+}
+
+struct SearchState {
+  const std::vector<LayerObservation>& obs;
+  const SearchConfig& cfg;
+  std::vector<LayerConfig> chosen;
+  std::vector<CandidateStructure>* out;
+  // Memoized per-(segment, w_ifm, d_ifm) candidate lists.
+  std::map<std::tuple<int, int, int>, std::vector<nn::LayerGeometry>> memo;
+  // Union of candidates seen per segment (Table 4-style reporting).
+  std::vector<std::vector<nn::LayerGeometry>>* per_layer;
+};
+
+const std::vector<nn::LayerGeometry>& CandidatesFor(SearchState& st, int si,
+                                                    int w_ifm, int d_ifm) {
+  const auto key = std::make_tuple(si, w_ifm, d_ifm);
+  auto it = st.memo.find(key);
+  if (it != st.memo.end()) return it->second;
+
+  const LayerObservation& o = st.obs[static_cast<std::size_t>(si)];
+  const IfmDims dims{{w_ifm, d_ifm}};
+  std::vector<nn::LayerGeometry> cands;
+  switch (o.role) {
+    case SegmentRole::kConvOrFc:
+      cands = EnumerateConvConfigs(o, dims, st.cfg.solver);
+      break;
+    case SegmentRole::kPool:
+      cands = EnumerateStandalonePoolConfigs(o, dims, st.cfg.solver);
+      break;
+    case SegmentRole::kEltwise:
+      cands = EnumerateEltwiseConfigs(o, dims);
+      break;
+    case SegmentRole::kUnknown:
+      break;  // unclassifiable segment: dead end
+  }
+  auto& slot = st.memo[key];
+  slot = std::move(cands);
+  // Record for reporting.
+  auto& seen = (*st.per_layer)[static_cast<std::size_t>(si)];
+  for (const nn::LayerGeometry& g : slot)
+    if (std::find(seen.begin(), seen.end(), g) == seen.end())
+      seen.push_back(g);
+  return slot;
+}
+
+// True when the structure satisfies the identical-modules assumption.
+bool GroupsConsistent(const std::vector<LayerConfig>& layers,
+                      const std::vector<std::vector<int>>& groups) {
+  for (const auto& group : groups) {
+    if (group.size() < 2) continue;
+    const nn::LayerGeometry& ref =
+        layers[static_cast<std::size_t>(group[0])].geom;
+    for (std::size_t k = 1; k < group.size(); ++k) {
+      const nn::LayerGeometry& g =
+          layers[static_cast<std::size_t>(group[k])].geom;
+      if (g.f_conv != ref.f_conv || g.s_conv != ref.s_conv ||
+          g.p_conv != ref.p_conv || g.has_pool() != ref.has_pool() ||
+          g.f_pool != ref.f_pool || g.s_pool != ref.s_pool ||
+          g.p_pool != ref.p_pool)
+        return false;
+    }
+  }
+  return true;
+}
+
+void Recurse(SearchState& st, std::size_t si, double min_ratio,
+             double max_ratio) {
+  if (si == st.obs.size()) {
+    if (!GroupsConsistent(st.chosen, st.cfg.identical_groups)) return;
+    SC_CHECK_MSG(st.out->size() < st.cfg.max_structures,
+                 "structure explosion: > " << st.cfg.max_structures
+                                           << " candidates");
+    CandidateStructure cs;
+    cs.layers = st.chosen;
+    cs.timing_spread = (min_ratio > 0) ? max_ratio / min_ratio : 1.0;
+    st.out->push_back(std::move(cs));
+    return;
+  }
+
+  const LayerObservation& o = st.obs[si];
+
+  // Determine the input dimensions allowed by earlier choices.
+  std::vector<std::pair<int, int>> dims;
+  bool from_network_input = false;
+  if (o.inputs.size() == 1) {
+    int w = 0, d = 0;
+    if (o.inputs[0].writer_segments == std::vector<int>{-1}) {
+      from_network_input = true;
+    } else if (InputDims(o.inputs[0], st.chosen, &w, &d)) {
+      dims.emplace_back(w, d);
+    }
+  } else if (!o.inputs.empty()) {
+    // Multi-operand layer (eltwise): all operands must agree.
+    int w = 0, d = 0;
+    bool ok = InputDims(o.inputs[0], st.chosen, &w, &d);
+    for (std::size_t k = 1; ok && k < o.inputs.size(); ++k) {
+      int w2 = 0, d2 = 0;
+      ok = InputDims(o.inputs[k], st.chosen, &w2, &d2) && w2 == w && d2 == d;
+    }
+    if (ok) dims.emplace_back(w, d);
+  }
+  if (from_network_input) {
+    if (st.cfg.known_input_width > 0 && st.cfg.known_input_depth > 0) {
+      dims.emplace_back(st.cfg.known_input_width, st.cfg.known_input_depth);
+    } else {
+      dims = FactorizeFmapSize(o.size_ifm);
+    }
+  }
+
+  const bool last = (si + 1 == st.obs.size());
+  for (const auto& [w_ifm, d_ifm] : dims) {
+    // Size consistency between the chosen dims and the observed reads is
+    // enforced inside the per-role enumerators (the conv solver's coverage
+    // constraint tolerates an unread tail; eltwise requires equality).
+    for (const nn::LayerGeometry& g : CandidatesFor(st, static_cast<int>(si),
+                                                    w_ifm, d_ifm)) {
+      if (last && st.cfg.known_output_classes > 0) {
+        if (g.d_ofm != st.cfg.known_output_classes || g.w_ofm != 1) continue;
+      }
+      double lo = min_ratio, hi = max_ratio;
+      const bool bandwidth_model =
+          st.cfg.macs_per_cycle > 0 && st.cfg.bytes_per_cycle > 0;
+      if (st.cfg.timing_tolerance > 1.0 && o.role == SegmentRole::kConvOrFc &&
+          (bandwidth_model || !g.IsFullyConnected()) && o.cycles > 0) {
+        double work = static_cast<double>(g.ConvMacCount());
+        if (bandwidth_model) {
+          work = std::max(
+              work / st.cfg.macs_per_cycle,
+              static_cast<double>(o.bytes_accessed) / st.cfg.bytes_per_cycle);
+        }
+        const double r = work / static_cast<double>(o.cycles);
+        lo = (lo == 0) ? r : std::min(lo, r);
+        hi = std::max(hi, r);
+        if (lo > 0 && hi / lo > st.cfg.timing_tolerance) continue;
+      }
+      st.chosen[si] = LayerConfig{o.role, g};
+      Recurse(st, si + 1, lo, hi);
+    }
+  }
+  st.chosen[si] = LayerConfig{};
+}
+
+}  // namespace
+
+SearchResult SearchStructures(const std::vector<LayerObservation>& obs,
+                              const SearchConfig& cfg) {
+  SearchResult result;
+  result.per_layer_candidates.resize(obs.size());
+  if (obs.empty()) return result;
+
+  SearchState st{obs, cfg, std::vector<LayerConfig>(obs.size()),
+                 &result.structures, {}, &result.per_layer_candidates};
+  Recurse(st, 0, 0.0, 0.0);
+  return result;
+}
+
+std::vector<std::vector<int>> DetectFireModuleGroups(
+    const std::vector<LayerObservation>& obs) {
+  // consumers[t] = conv segments whose input was written by segment t.
+  std::map<int, std::vector<int>> consumers;
+  for (const LayerObservation& o : obs) {
+    if (o.role != SegmentRole::kConvOrFc) continue;
+    for (const ObservedInput& in : o.inputs)
+      for (int t : in.writer_segments)
+        if (t >= 0) consumers[t].push_back(o.segment);
+  }
+  std::vector<int> squeezes, expand_a, expand_b;
+  for (const LayerObservation& o : obs) {
+    if (o.role != SegmentRole::kConvOrFc) continue;
+    auto it = consumers.find(o.segment);
+    if (it == consumers.end() || it->second.size() != 2) continue;
+    squeezes.push_back(o.segment);
+    expand_a.push_back(std::min(it->second[0], it->second[1]));
+    expand_b.push_back(std::max(it->second[0], it->second[1]));
+  }
+  if (squeezes.size() < 2) return {};
+  return {squeezes, expand_a, expand_b};
+}
+
+}  // namespace sc::attack

@@ -1,0 +1,85 @@
+// Whole-network candidate search (paper §3.1, Algorithm 1 steps 4-5).
+//
+// Chains per-layer candidate sets along the observed dependency graph
+// (W_OFM_i == W_IFM_{i+1}, D_OFM_i == D_IFM_{i+1}, with concat inputs
+// summing producer depths), prunes candidates whose MAC count is
+// inconsistent with the measured per-layer execution time, and optionally
+// applies the paper's "identical repeated modules" assumption used for
+// SqueezeNet.
+#ifndef SC_ATTACK_STRUCTURE_SEARCH_H_
+#define SC_ATTACK_STRUCTURE_SEARCH_H_
+
+#include <vector>
+
+#include "attack/structure/observation.h"
+#include "attack/structure/solver.h"
+#include "nn/geometry.h"
+
+namespace sc::attack {
+
+struct SearchConfig {
+  SolverConfig solver;
+
+  // Timing filter: the per-layer ratio (predicted work / measured cycles)
+  // must agree across all weighted layers of a structure to within this
+  // factor (max/min). Executed MACs are the pre-pooling count — see
+  // DESIGN.md §4. <= 1 disables the filter.
+  double timing_tolerance = 1.3;
+
+  // Accelerator datasheet values (public microarchitecture, not part of
+  // the secret model). When both are > 0 the predicted work is
+  // max(macs / macs_per_cycle, observed_bytes / bytes_per_cycle), which
+  // stays valid for memory-bound layers (1x1 convolutions, FC); when 0 the
+  // paper's pure-MAC proportionality is used and FC layers are skipped.
+  int macs_per_cycle = 0;
+  int bytes_per_cycle = 0;
+
+  // Prior knowledge from the threat model (paper §3.1): the adversary sees
+  // the accelerator's input and output, so it knows the first layer's input
+  // dimensions and the class count (last layer has W_OFM == 1).
+  int known_input_width = 0;   // 0 = unknown
+  int known_input_depth = 0;
+  long long known_output_classes = 0;  // 0 = unknown
+
+  // The paper's modularity assumption: layers within each group must share
+  // identical structural parameters (F/S/P of conv and pool); feature-map
+  // dimensions may differ. Used to shrink SqueezeNet's candidate set.
+  std::vector<std::vector<int>> identical_groups;
+
+  // Abort if more than this many full structures survive (guards against a
+  // mis-calibrated solver).
+  std::size_t max_structures = 100000;
+};
+
+// One fully-specified layer hypothesis.
+struct LayerConfig {
+  SegmentRole role = SegmentRole::kUnknown;
+  nn::LayerGeometry geom;
+};
+
+struct CandidateStructure {
+  std::vector<LayerConfig> layers;  // aligned with the observations
+  double timing_spread = 1.0;      // max/min MAC-per-cycle ratio achieved
+};
+
+struct SearchResult {
+  std::vector<CandidateStructure> structures;
+  // Per-segment candidate counts before chaining (Table 4-style view),
+  // taken over all input-dimension hypotheses that occurred in the search.
+  std::vector<std::vector<nn::LayerGeometry>> per_layer_candidates;
+};
+
+SearchResult SearchStructures(const std::vector<LayerObservation>& obs,
+                              const SearchConfig& cfg);
+
+// Groups segments belonging to repeated fire-module motifs: a conv segment
+// whose output feeds exactly two conv segments which then merge (their
+// outputs are read together downstream) is a squeeze layer. Returns groups
+// {squeezes, first expands, second expands} when at least two motifs exist,
+// else an empty vector.
+std::vector<std::vector<int>> DetectFireModuleGroups(
+    const std::vector<LayerObservation>& obs);
+
+}  // namespace sc::attack
+
+#endif  // SC_ATTACK_STRUCTURE_SEARCH_H_

@@ -1,0 +1,52 @@
+// Layer-boundary detection from RAW dependencies (paper §3.1, Algorithm 1
+// step 1).
+//
+// "The beginning of a new convolutional/fully connected layer is revealed
+// by the first read access on a memory address that was previously
+// written." A layer never reads its own output, so a read hitting an
+// address written *since the last boundary* marks the start of the next
+// layer. Because an accelerator may prefetch operands written in older
+// layers (e.g. the bypass operand of an element-wise layer) just before
+// that triggering read, the detector also pulls the maximal run of
+// directly-preceding reads-of-previously-written-data into the new segment.
+#ifndef SC_ATTACK_STRUCTURE_SEGMENTATION_H_
+#define SC_ATTACK_STRUCTURE_SEGMENTATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/interval.h"
+#include "trace/trace.h"
+
+namespace sc::attack {
+
+// Half-open event-index range of one layer's activity.
+struct Segment {
+  std::size_t first_event = 0;
+  std::size_t end_event = 0;  // exclusive
+  std::uint64_t start_cycle = 0;
+  std::uint64_t end_cycle = 0;
+
+  std::size_t num_events() const { return end_event - first_event; }
+  std::uint64_t cycles() const { return end_cycle - start_cycle; }
+};
+
+// Splits the trace at RAW boundaries. Returns at least one segment for a
+// non-empty trace; an empty trace yields no segments.
+std::vector<Segment> SegmentTrace(const trace::Trace& trace);
+
+// Region-aware segmentation. Adds a second boundary rule the pure RAW rule
+// cannot express: sibling branch layers (the two expand convolutions of a
+// fire module) read the same producer and share no RAW edge, but each reads
+// its *own* read-only weight region. A read of a never-written region that
+// is new to the current segment, after the segment already started writing
+// its output, therefore starts a new layer. `regions` is the global region
+// decomposition of the trace (see region_analysis.h).
+std::vector<Segment> SegmentTraceWithRegions(
+    const trace::Trace& trace,
+    const std::vector<trace::AddrInterval>& regions);
+
+}  // namespace sc::attack
+
+#endif  // SC_ATTACK_STRUCTURE_SEGMENTATION_H_

@@ -1,0 +1,256 @@
+#include "attack/structure/solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "support/check.h"
+
+namespace sc::attack {
+
+namespace {
+
+// Integer square root; returns -1 when v is not a perfect square.
+int PerfectSqrt(long long v) {
+  if (v < 1) return -1;
+  long long r = static_cast<long long>(std::sqrt(static_cast<double>(v)));
+  // Guard against floating-point rounding on large values.
+  while (r * r > v) --r;
+  while ((r + 1) * (r + 1) <= v) ++r;
+  return r * r == v ? static_cast<int>(r) : -1;
+}
+
+void PushUnique(std::vector<nn::LayerGeometry>& out,
+                const nn::LayerGeometry& g, const SolverConfig& cfg) {
+  SC_CHECK_MSG(out.size() < cfg.max_candidates,
+               "candidate explosion: more than " << cfg.max_candidates
+                                                 << " layer configurations");
+  if (std::find(out.begin(), out.end(), g) == out.end()) out.push_back(g);
+}
+
+// Observed filter-region size for a candidate (D_OFM biases ride along with
+// the weights when bias_in_filter_region).
+long long ExpectedFilterElems(int f, int d_ifm, int d_ofm,
+                              const SolverConfig& cfg) {
+  const long long weights =
+      static_cast<long long>(f) * f * d_ifm * d_ofm;
+  return cfg.bias_in_filter_region ? weights + d_ofm : weights;
+}
+
+// Enumerates (f_pool, s_pool, p_pool) taking w_conv to w_ofm and appends
+// the resulting geometries.
+void EnumeratePools(nn::LayerGeometry base, int w_conv, int max_window,
+                    const SolverConfig& cfg,
+                    std::vector<nn::LayerGeometry>& out) {
+  for (int fp = 2; fp <= std::min(max_window, w_conv); ++fp) {
+    for (int sp = 1; sp <= fp; ++sp) {
+      const int max_pp = cfg.allow_pool_padding ? fp - 1 : 0;
+      for (int pp = 0; pp <= max_pp; ++pp) {
+        if (w_conv + 2 * pp < fp) continue;
+        if (cfg.exact_pool_division &&
+            !nn::PoolDividesExactly(w_conv, fp, sp, pp))
+          continue;
+        const int w_out = nn::PoolOutWidth(w_conv, fp, sp, pp);
+        if (w_out != base.w_ofm) continue;
+        if (cfg.forbid_pool_upsample && w_out > w_conv) continue;
+        // A single-output (global) pool is insensitive to its stride; keep
+        // the canonical stride-1 form only.
+        if (w_out == 1 && sp > 1) continue;
+        nn::LayerGeometry g = base;
+        // Max vs average pooling are trace-indistinguishable; kMax stands
+        // for "some pooling stage exists" (paper's P flag).
+        g.pool = nn::PoolKind::kMax;
+        g.f_pool = fp;
+        g.s_pool = sp;
+        g.p_pool = pp;
+        if (g.IsConsistent()) PushUnique(out, g, cfg);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+IfmDims FactorizeFmapSize(long long elems) {
+  IfmDims dims;
+  for (long long w = 1; w * w <= elems; ++w) {
+    if (elems % (w * w) == 0)
+      dims.emplace_back(static_cast<int>(w),
+                        static_cast<int>(elems / (w * w)));
+  }
+  return dims;
+}
+
+std::vector<nn::LayerGeometry> EnumerateConvConfigs(
+    const LayerObservation& obs, const IfmDims& ifm_dims,
+    const SolverConfig& cfg) {
+  SC_CHECK_MSG(obs.size_fltr > 0, "conv/fc observation has no filter bytes");
+  SC_CHECK_MSG(obs.size_ofm > 0 && obs.size_ifm > 0,
+               "degenerate observation");
+  std::vector<nn::LayerGeometry> out;
+
+  for (const auto& [w_ifm, d_ifm] : ifm_dims) {
+    // Observed coverage: DMA fetches whole rows, so a conv walk that leaves
+    // a tail of u rows unread covers (W - u) * W * D elements. Recover u
+    // from the read footprint; a (W, D) hypothesis admitting no integer
+    // tail is infeasible.
+    int u_obs = 0;
+    if (cfg.enforce_coverage) {
+      const long long row_elems =
+          static_cast<long long>(w_ifm) * d_ifm;
+      if (obs.size_ifm % row_elems != 0) continue;
+      const long long covered_rows = obs.size_ifm / row_elems;
+      if (covered_rows < 1 || covered_rows > w_ifm) continue;
+      u_obs = static_cast<int>(w_ifm - covered_rows);
+    }
+
+    // --- fully-connected interpretation (F == W_IFM, one output pixel per
+    // class score). Always unique for a given input factorization. An FC
+    // filter covers the whole input (no unread tail).
+    if (u_obs == 0 &&
+        ExpectedFilterElems(w_ifm, d_ifm, static_cast<int>(obs.size_ofm),
+                            cfg) == obs.size_fltr &&
+        obs.size_ofm <= INT32_MAX) {
+      nn::LayerGeometry fc;
+      fc.w_ifm = w_ifm;
+      fc.d_ifm = d_ifm;
+      fc.w_ofm = 1;
+      fc.d_ofm = static_cast<int>(obs.size_ofm);
+      fc.f_conv = w_ifm;
+      fc.s_conv = 1;
+      fc.p_conv = 0;
+      if (fc.IsConsistent()) PushUnique(out, fc, cfg);
+    }
+
+    // --- convolutional interpretations: F <= W_IFM / 2 (Eq. 5).
+    for (int f = 1; 2 * f <= w_ifm; ++f) {
+      // D_OFM from Eq. (3): SIZE_FLTR = D_OFM * (F^2 * D_IFM [+ 1]).
+      const long long per_out =
+          static_cast<long long>(f) * f * d_ifm +
+          (cfg.bias_in_filter_region ? 1 : 0);
+      if (obs.size_fltr % per_out != 0) continue;
+      const long long d_ofm_ll = obs.size_fltr / per_out;
+      if (d_ofm_ll < 1 || d_ofm_ll > INT32_MAX) continue;
+      const int d_ofm = static_cast<int>(d_ofm_ll);
+      // W_OFM from Eq. (2).
+      if (obs.size_ofm % d_ofm != 0) continue;
+      const int w_ofm = PerfectSqrt(obs.size_ofm / d_ofm);
+      if (w_ofm < 1) continue;
+
+      nn::LayerGeometry base;
+      base.w_ifm = w_ifm;
+      base.d_ifm = d_ifm;
+      base.w_ofm = w_ofm;
+      base.d_ofm = d_ofm;
+      base.f_conv = f;
+
+      const int max_pad = cfg.half_filter_padding ? (f - 1) / 2 : f - 1;
+      for (int s = 1; s <= f; ++s) {          // Eq. (5): S_conv <= F_conv
+        for (int p = 0; p <= max_pad; ++p) {  // Eq. (7) / half-filter prior
+          if (w_ifm + 2 * p < f) continue;
+          const int rem = (w_ifm + 2 * p - f) % s;
+          if (cfg.exact_conv_division && rem != 0) continue;
+          if (cfg.enforce_coverage && std::max(0, rem - p) != u_obs)
+            continue;
+          const int w_conv = nn::ConvOutWidth(w_ifm, f, s, p);
+          base.s_conv = s;
+          base.p_conv = p;
+          if (w_conv == w_ofm) {
+            nn::LayerGeometry g = base;
+            g.pool = nn::PoolKind::kNone;
+            g.f_pool = g.s_pool = g.p_pool = 0;
+            if (g.IsConsistent()) PushUnique(out, g, cfg);
+          }
+          // A one-pixel output admits global pooling (window == w_conv),
+          // common as the final stage of modern networks.
+          const int max_window =
+              w_ofm == 1 ? w_conv : cfg.max_pool_window;
+          EnumeratePools(base, w_conv, max_window, cfg, out);
+        }
+      }
+    }
+  }
+
+  if (cfg.canonical_padding) {
+    // Collapse candidates that differ only in conv padding (identical
+    // F/S/conv width/pool) to the minimal-padding representative.
+    std::vector<nn::LayerGeometry> canonical;
+    for (const nn::LayerGeometry& g : out) {
+      bool superseded = false;
+      for (nn::LayerGeometry& kept : canonical) {
+        const bool same = kept.w_ifm == g.w_ifm && kept.d_ifm == g.d_ifm &&
+                          kept.w_ofm == g.w_ofm && kept.d_ofm == g.d_ofm &&
+                          kept.f_conv == g.f_conv &&
+                          kept.s_conv == g.s_conv &&
+                          kept.pool == g.pool && kept.f_pool == g.f_pool &&
+                          kept.s_pool == g.s_pool &&
+                          kept.p_pool == g.p_pool &&
+                          kept.ConvStageWidth() == g.ConvStageWidth();
+        if (same) {
+          if (g.p_conv < kept.p_conv) kept = g;
+          superseded = true;
+          break;
+        }
+      }
+      if (!superseded) canonical.push_back(g);
+    }
+    out = std::move(canonical);
+  }
+  return out;
+}
+
+std::vector<nn::LayerGeometry> EnumerateStandalonePoolConfigs(
+    const LayerObservation& obs, const IfmDims& ifm_dims,
+    const SolverConfig& cfg_in) {
+  SC_CHECK_MSG(obs.size_fltr == 0, "pool observation must have no weights");
+  // Standalone pooling layers do use SAME padding in practice (inception's
+  // 3x3/1 pad-1 branch), unlike fused output-reducing pools.
+  SolverConfig cfg = cfg_in;
+  cfg.allow_pool_padding = true;
+  std::vector<nn::LayerGeometry> out;
+  for (const auto& [w_ifm, d_ifm] : ifm_dims) {
+    // Pooling preserves depth: D_OFM == D_IFM.
+    if (obs.size_ofm % d_ifm != 0) continue;
+    const int w_ofm = PerfectSqrt(obs.size_ofm / d_ifm);
+    if (w_ofm < 1) continue;
+    nn::LayerGeometry base;
+    base.w_ifm = w_ifm;
+    base.d_ifm = d_ifm;
+    base.w_ofm = w_ofm;
+    base.d_ofm = d_ifm;
+    base.f_conv = 1;  // identity convolution stage carries the pool fields
+    base.s_conv = 1;
+    base.p_conv = 0;
+    if (w_ifm >= 2) {
+      const int max_window =
+          w_ofm == 1 ? w_ifm : cfg.max_standalone_pool_window;
+      EnumeratePools(base, w_ifm, max_window, cfg, out);
+    }
+  }
+  return out;
+}
+
+std::vector<nn::LayerGeometry> EnumerateEltwiseConfigs(
+    const LayerObservation& obs, const IfmDims& ifm_dims) {
+  std::vector<nn::LayerGeometry> out;
+  for (const auto& [w_ifm, d_ifm] : ifm_dims) {
+    // Element-wise addition is shape-preserving; the observation's per-
+    // operand size must equal the output size.
+    if (obs.inputs.empty() ||
+        obs.inputs[0].elems != static_cast<long long>(w_ifm) * w_ifm * d_ifm)
+      continue;
+    if (obs.size_ofm != obs.inputs[0].elems) continue;
+    nn::LayerGeometry g;
+    g.w_ifm = w_ifm;
+    g.d_ifm = d_ifm;
+    g.w_ofm = w_ifm;
+    g.d_ofm = d_ifm;
+    g.f_conv = 1;
+    g.s_conv = 1;
+    g.p_conv = 0;
+    out.push_back(g);
+  }
+  return out;
+}
+
+}  // namespace sc::attack

@@ -1,0 +1,91 @@
+// Per-layer constraint solver (paper §3.1, Eq. (1)-(8); Algorithm 1 step 3).
+//
+// Given the sizes a trace segment reveals (SIZE_IFM, SIZE_OFM, SIZE_FLTR)
+// and the input dimensions allowed by the preceding layer, enumerates every
+// 11-parameter layer geometry (Table 2) consistent with the equations and
+// the practical constraints. See DESIGN.md §5 for the conventions and the
+// calibrated practical priors (exact window division, small pool windows).
+#ifndef SC_ATTACK_STRUCTURE_SOLVER_H_
+#define SC_ATTACK_STRUCTURE_SOLVER_H_
+
+#include <utility>
+#include <vector>
+
+#include "attack/structure/observation.h"
+#include "nn/geometry.h"
+
+namespace sc::attack {
+
+struct SolverConfig {
+  // Some accelerators store each filter's bias with its weights, making
+  // the observed filter-region size F^2*D_IFM*D_OFM + D_OFM — which pins
+  // D_OFM uniquely and collapses the candidate set far below the paper's.
+  // Our reference accelerator keeps biases on chip, matching the paper's
+  // Eq. (3), so the default is false.
+  bool bias_in_filter_region = false;
+  // Coverage constraint: a floor-mode convolution walk that does not
+  // divide the padded input exactly leaves an L-shaped unread tail of
+  // max(0, (W + 2P - F) % S - P) rows/columns, and that tail is *visible*
+  // in the trace (those IFM addresses are never read). Candidates must
+  // reproduce the observed tail exactly — this subsumes an exact-division
+  // prior (tail 0) but also admits nets like SqueezeNet's 7/2 conv1 on a
+  // 224 input (tail 1). Pooling needs no such constraint: ceil mode's
+  // partial window still consumes the tail.
+  bool enforce_coverage = true;
+  // Optional paper-style prior on top of the coverage constraint: require
+  // the conv walk to divide the padded input exactly (remainder 0). The
+  // paper's Table 4 is consistent with this restriction, but it excludes
+  // real nets (SqueezeNet's conv1 walk has remainder 1), so it is off by
+  // default; the Table 3 bench reports counts both ways.
+  bool exact_conv_division = false;
+  bool exact_pool_division = false;
+  // Canonical-padding prior: with floor division several paddings can give
+  // the same conv output width (the extra padded ring is computed and
+  // discarded); real designs use the smallest. Candidates that differ only
+  // in p_conv (same F, S, conv width and pooling) collapse to min p.
+  bool canonical_padding = true;
+  // Practical prior: fused pooling windows are small.
+  int max_pool_window = 4;
+  // Pooling with padding is uncommon; allow it only when set.
+  bool allow_pool_padding = false;
+  // Strengthened Eq. (7): real nets never pad beyond half the filter
+  // (2P < F; "SAME" padding is the extreme case). Every row of the paper's
+  // Table 4 satisfies this.
+  bool half_filter_padding = true;
+  // Reject pooling stages that enlarge the feature map.
+  bool forbid_pool_upsample = true;
+  // Standalone pooling layers (SqueezeNet) may use windows up to this.
+  int max_standalone_pool_window = 4;
+  // Safety valve against degenerate observations.
+  std::size_t max_candidates = 200000;
+};
+
+// (width, depth) pairs a layer's input may have.
+using IfmDims = std::vector<std::pair<int, int>>;
+
+// All (W, D) with W^2 * D == elems.
+IfmDims FactorizeFmapSize(long long elems);
+
+// Enumerates conv and FC geometries for one conv/fc observation. Each
+// returned geometry is IsConsistent(). When a geometry admits pooling, the
+// pool kind is reported as kMax (max vs average pooling produce identical
+// traces and are indistinguishable to this attack).
+std::vector<nn::LayerGeometry> EnumerateConvConfigs(
+    const LayerObservation& obs, const IfmDims& ifm_dims,
+    const SolverConfig& cfg);
+
+// Enumerates geometries for a standalone pooling observation (no weights).
+// Encoded as LayerGeometry with a 1x1/s1/p0 identity convolution stage so
+// the pool fields carry the parameters.
+std::vector<nn::LayerGeometry> EnumerateStandalonePoolConfigs(
+    const LayerObservation& obs, const IfmDims& ifm_dims,
+    const SolverConfig& cfg);
+
+// The element-wise (bypass-merge) layer has no free parameters; this checks
+// dimensional consistency and returns the pass-through geometry.
+std::vector<nn::LayerGeometry> EnumerateEltwiseConfigs(
+    const LayerObservation& obs, const IfmDims& ifm_dims);
+
+}  // namespace sc::attack
+
+#endif  // SC_ATTACK_STRUCTURE_SOLVER_H_

@@ -1,0 +1,604 @@
+#include "attack/weights/attack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "nn/geometry.h"
+#include "support/check.h"
+
+namespace sc::attack {
+
+namespace {
+
+// Affected convolution output: conv output (oy, ox) whose value changed
+// because of the crafted pixels; sigma = sum of (w/b) * pixel over known
+// weights, i.e. its value is b * (sigma + 1). Outputs touched through the
+// still-unknown weight are marked contaminated and must lie in the
+// excluded window.
+struct Affected {
+  int oy = 0;
+  int ox = 0;
+  double sigma = 0.0;
+  bool contaminated = false;
+};
+
+}  // namespace
+
+WeightAttack::WeightAttack(ZeroCountOracle& oracle,
+                           const SparseConvOracle::StageSpec& geometry,
+                           WeightAttackConfig cfg)
+    : oracle_(oracle), geo_(geometry), cfg_(cfg) {
+  SC_CHECK(geo_.filter >= 1 && geo_.stride >= 1 && geo_.pad >= 0);
+  // A non-zero geo_.relu_threshold means the caller has set the victim's
+  // tunable threshold to T; recovery then works in *effective-bias* units
+  // (b - T), and RecoverFilter's ratios are w / (b - T). The caller must
+  // have configured the oracle to the same T.
+  SC_CHECK_MSG(geo_.relu_threshold >= 0.0f, "negative threshold");
+  SC_CHECK_MSG(geo_.relu_threshold == 0.0f ||
+                   geo_.pool != nn::PoolKind::kAvg || geo_.relu_before_pool,
+               "thresholded pre-activation average pooling is unsupported");
+  if (geo_.pool == nn::PoolKind::kAvg && !geo_.relu_before_pool) {
+    SC_CHECK_MSG(geo_.pool_stride >= geo_.pool_window,
+                 "pre-activation average pooling must be non-overlapping "
+                 "for the linear-window attack");
+  }
+  SC_CHECK_MSG(geo_.pool == nn::PoolKind::kNone || geo_.pool_pad == 0,
+               "pooled attack assumes unpadded pooling");
+}
+
+namespace {
+
+int ConvWidth(const SparseConvOracle::StageSpec& g) {
+  return nn::ConvOutWidth(g.in_width, g.filter, g.stride, g.pad);
+}
+
+int PooledWidth(const SparseConvOracle::StageSpec& g) {
+  const int cw = ConvWidth(g);
+  return g.pool == nn::PoolKind::kNone
+             ? cw
+             : nn::PoolOutWidth(cw, g.pool_window, g.pool_stride, g.pool_pad);
+}
+
+// Enumerates the affected outputs for a set of pixels in one input channel,
+// accumulating known-ratio contributions. `unknown` marks the single
+// not-yet-recovered weight (or {-1,-1,-1} when all contributions are known).
+std::vector<Affected> AffectedOutputs(const SparseConvOracle::StageSpec& g,
+                                      const std::vector<SparsePixel>& pixels,
+                                      const nn::Tensor& ratio,
+                                      const std::vector<bool>& known,
+                                      int uc, int ui, int uj) {
+  const int cw = ConvWidth(g);
+  const int f = g.filter;
+  std::vector<Affected> out;
+  auto slot = [&](int oy, int ox) -> Affected& {
+    for (Affected& a : out)
+      if (a.oy == oy && a.ox == ox) return a;
+    out.push_back(Affected{oy, ox, 0.0, false});
+    return out.back();
+  };
+  for (const SparsePixel& p : pixels) {
+    if (p.value == 0.0f) continue;
+    for (int ky = 0; ky < f; ++ky) {
+      const int num = p.y + g.pad - ky;
+      if (num < 0 || num % g.stride != 0) continue;
+      const int oy = num / g.stride;
+      if (oy >= cw) continue;
+      for (int kx = 0; kx < f; ++kx) {
+        const int numx = p.x + g.pad - kx;
+        if (numx < 0 || numx % g.stride != 0) continue;
+        const int ox = numx / g.stride;
+        if (ox >= cw) continue;
+        Affected& a = slot(oy, ox);
+        if (p.c == uc && ky == ui && kx == uj) {
+          a.contaminated = true;
+        } else {
+          const std::size_t idx = static_cast<std::size_t>(
+              (p.c * f + ky) * f + kx);
+          SC_CHECK_MSG(known[idx],
+                       "attack touched an unrecovered weight out of order");
+          a.sigma += static_cast<double>(ratio.at(p.c, ky, kx)) *
+                     static_cast<double>(p.value);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// Sign of a conv output in bias units: value = b * (sigma + 1).
+bool ValuePositive(double sigma, bool bias_positive) {
+  return bias_positive ? (sigma + 1.0 > 0.0) : (sigma + 1.0 < 0.0);
+}
+
+}  // namespace
+
+long long WeightAttack::PredictKnown(const std::vector<SparsePixel>& pixels,
+                                     const nn::Tensor& ratio,
+                                     const std::vector<bool>& known,
+                                     bool bias_positive, int uc, int ui,
+                                     int uj) {
+  // Note: the unknown weight only ever touches conv output (0,0) (pixels
+  // are placed so), and the excluded window is the pooled window (0,0).
+  const std::vector<Affected> affected =
+      AffectedOutputs(geo_, pixels, ratio, known, uc, ui, uj);
+  const int cw = ConvWidth(geo_);
+
+  if (geo_.pool == nn::PoolKind::kNone) {
+    long long count = 0;
+    long long baseline_cells =
+        static_cast<long long>(cw) * cw - 1;  // all but (0,0)
+    for (const Affected& a : affected) {
+      if (a.oy == 0 && a.ox == 0) continue;
+      --baseline_cells;
+      if (ValuePositive(a.sigma, bias_positive)) ++count;
+    }
+    if (bias_positive) count += baseline_cells;
+    return count;
+  }
+
+  const int pw = PooledWidth(geo_);
+  const int m = geo_.pool_window;
+  const int ps = geo_.pool_stride;
+  const bool max_like =
+      geo_.pool == nn::PoolKind::kMax || geo_.relu_before_pool;
+
+  // Windows containing an affected output (touched); everything else is at
+  // baseline: untouched windows always hold a valid member of value b, so
+  // they are non-zero iff the (effective) bias is positive.
+  std::vector<std::pair<int, int>> touched;
+  for (const Affected& a : affected) {
+    for (int qy = 0; qy < pw; ++qy) {
+      const int wy0 = qy * ps;
+      if (a.oy < wy0) break;
+      if (a.oy >= wy0 + m) continue;
+      for (int qx = 0; qx < pw; ++qx) {
+        const int wx0 = qx * ps;
+        if (a.ox < wx0) break;
+        if (a.ox >= wx0 + m) continue;
+        if (std::find(touched.begin(), touched.end(),
+                      std::make_pair(qy, qx)) == touched.end())
+          touched.emplace_back(qy, qx);
+      }
+    }
+  }
+
+  long long count =
+      bias_positive ? static_cast<long long>(pw) * pw - 1 : 0;  // excl (0,0)
+  for (const auto& [qy, qx] : touched) {
+    if (qy == 0 && qx == 0) continue;  // excluded window (contains (0,0))
+    const int wy0 = qy * ps;
+    const int wx0 = qx * ps;
+    int n_valid = 0;
+    int n_affected = 0;
+    bool any_positive_affected = false;
+    double sigma_sum = 0.0;
+    for (int dy = 0; dy < m; ++dy) {
+      const int oy = wy0 + dy;
+      if (oy >= cw) continue;
+      for (int dx = 0; dx < m; ++dx) {
+        const int ox = wx0 + dx;
+        if (ox >= cw) continue;
+        ++n_valid;
+        for (const Affected& a : affected) {
+          if (a.oy == oy && a.ox == ox) {
+            SC_CHECK_MSG(!a.contaminated,
+                         "unknown weight leaked outside window (0,0)");
+            ++n_affected;
+            sigma_sum += a.sigma;
+            if (ValuePositive(a.sigma, bias_positive))
+              any_positive_affected = true;
+            break;
+          }
+        }
+      }
+    }
+    bool nonzero;
+    if (max_like) {
+      // Non-zero iff any member's activation is positive.
+      nonzero = (bias_positive && n_valid > n_affected) ||
+                any_positive_affected;
+    } else {
+      // Pre-activation average: value = b*(sigma_sum + n_valid)/area.
+      const double tau = sigma_sum + static_cast<double>(n_valid);
+      nonzero = bias_positive ? tau > 0.0 : tau < 0.0;
+    }
+    count += (nonzero ? 1 : 0) - (bias_positive ? 1 : 0);
+  }
+  return count;
+}
+
+long long WeightAttack::Residual(int channel,
+                                 const std::vector<SparsePixel>& pixels,
+                                 const nn::Tensor& ratio,
+                                 const std::vector<bool>& known,
+                                 bool bias_positive, int uc, int ui,
+                                 int uj) {
+  const long long measured = static_cast<long long>(
+      oracle_.ChannelNonZeros(pixels, channel));
+  return measured -
+         PredictKnown(pixels, ratio, known, bias_positive, uc, ui, uj);
+}
+
+RecoveredFilter WeightAttack::RecoverFilter(int channel) {
+  const int f = geo_.filter;
+  const int ic = geo_.in_depth;
+  const int s = geo_.stride;
+  const int p = geo_.pad;
+  const int m = geo_.pool == nn::PoolKind::kNone ? 1 : geo_.pool_window;
+  const bool max_like =
+      geo_.pool != nn::PoolKind::kNone &&
+      (geo_.pool == nn::PoolKind::kMax || geo_.relu_before_pool);
+
+  RecoveredFilter rec;
+  rec.channel = channel;
+  rec.ratio = nn::Tensor(nn::Shape{ic, f, f});
+  rec.is_zero.assign(static_cast<std::size_t>(ic * f * f), false);
+  rec.failed.assign(static_cast<std::size_t>(ic * f * f), false);
+  std::vector<bool> known(static_cast<std::size_t>(ic * f * f), false);
+
+  const std::uint64_t q0 = oracle_.queries();
+
+  // Bias sign from the all-zero baseline (paper: the count itself leaks).
+  const std::size_t count0 = oracle_.ChannelNonZeros({}, channel);
+  rec.bias_positive = count0 > 0;
+
+  if (max_like && rec.bias_positive) {
+    // Every pooled window contains an always-positive baseline member, so
+    // the count never changes at threshold 0: the ratio attack is blind.
+    // (RecoverAbsolute with a threshold knob still works — paper §4.1.)
+    rec.failed.assign(rec.failed.size(), true);
+    rec.queries = oracle_.queries() - q0;
+    return rec;
+  }
+
+  auto idx = [&](int c, int i, int j) {
+    return static_cast<std::size_t>((c * f + i) * f + j);
+  };
+  const double R = cfg_.search_radius;
+
+  // Generic single-flip bisection of the residual over pixel value theta;
+  // (uc, ui, uj) is the weight being recovered.
+  auto bisect = [&](auto&& make_pixels, int uc, int ui,
+                    int uj) -> std::optional<double> {
+    auto res = [&](double theta) {
+      return Residual(channel, make_pixels(theta), rec.ratio, known,
+                      rec.bias_positive, uc, ui, uj);
+    };
+    double lo = -R, hi = R;
+    const long long r_lo = res(lo);
+    if (res(hi) == r_lo) return std::nullopt;
+    for (int it = 0; it < cfg_.max_bisect_iters; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      if (res(mid) == r_lo) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+      if (hi - lo <
+          cfg_.rel_tolerance * std::max(1.0, std::fabs(0.5 * (lo + hi))))
+        break;
+    }
+    return 0.5 * (lo + hi);
+  };
+
+  for (int c = 0; c < ic; ++c) {
+    for (int i = 0; i < f; ++i) {
+      for (int j = 0; j < f; ++j) {
+        const std::size_t id = idx(c, i, j);
+        // The pixel isolating weight (i, j) sits at (i - pad, j - pad):
+        // it reaches (i, j) exactly at conv output (0,0).
+        const int py = i - p;
+        const int px = j - p;
+        if (py < 0 || px < 0 || py >= geo_.in_width || px >= geo_.in_width) {
+          rec.failed[id] = true;  // shadowed by padding geometry
+          known[id] = true;       // treat as 0 in later predictions
+          continue;
+        }
+
+        // Interfering outputs: affected outputs sharing pooled window
+        // (0,0), i.e. (t, u) != (0,0) with t,u < pool window and weights
+        // (i - s*t, j - s*u) — all recovered earlier (row-major order).
+        std::vector<std::pair<int, int>> interferers;  // weight coords
+        for (int t = 0; t * s <= i && t < m; ++t) {
+          for (int u = 0; u * s <= j && u < m; ++u) {
+            if (t == 0 && u == 0) continue;
+            interferers.emplace_back(i - s * t, j - s * u);
+          }
+        }
+
+        double recovered = 0.0;
+        bool got = false;
+
+        if (geo_.pool == nn::PoolKind::kAvg && !geo_.relu_before_pool) {
+          // Linear window: one crossing even with interference.
+          double known_sum = 0.0;
+          for (auto& [ky, kx] : interferers)
+            known_sum += rec.ratio.at(c, ky, kx);
+          // Valid members of window (0,0).
+          const int cw = ConvWidth(geo_);
+          const int n_valid =
+              std::min(m, cw) * std::min(m, cw);
+          auto pixels = [&](double x) {
+            return std::vector<SparsePixel>{
+                {c, py, px, static_cast<float>(x)}};
+          };
+          if (auto x = bisect(pixels, c, i, j)) {
+            recovered = -static_cast<double>(n_valid) / *x - known_sum;
+            got = true;
+          } else if (known_sum == 0.0) {
+            got = true;  // flat window: zero weight
+            recovered = 0.0;
+          } else {
+            rec.failed[id] = true;
+          }
+        } else if (interferers.empty()) {
+          // Direct crossing: value = b*(rho*x + 1), crossing at -1/rho.
+          auto pixels = [&](double x) {
+            return std::vector<SparsePixel>{
+                {c, py, px, static_cast<float>(x)}};
+          };
+          if (auto x = bisect(pixels, c, i, j)) {
+            recovered = -1.0 / *x;
+            got = true;
+          } else {
+            got = true;  // no crossing in radius: zero weight (paper §4.1)
+            recovered = 0.0;
+          }
+        } else {
+          // Pinned two-pixel search (paper Eq. (10) generalized): fix the
+          // isolating pixel at v such that every interferer stays pruned
+          // (bias is negative here), then sweep a helper pixel that reaches
+          // output (0,0) through an already-known non-zero weight.
+          double lo = -R, hi = R;
+          for (auto& [ky, kx] : interferers) {
+            const double r = rec.ratio.at(c, ky, kx);
+            // b < 0: need rho*v + 1 >= 0.
+            if (r > 0.0) lo = std::max(lo, -1.0 / r);
+            if (r < 0.0) hi = std::min(hi, -1.0 / r);
+          }
+          // Helper weight (hk, hl) in [pad, stride) so its pixel touches
+          // only output (0,0).
+          int hk = -1, hl = -1;
+          for (int a = p; a < s && hk < 0; ++a)
+            for (int bcol = p; bcol < s && hk < 0; ++bcol)
+              if (known[idx(c, a, bcol)] &&
+                  rec.ratio.at(c, a, bcol) != 0.0f) {
+                hk = a;
+                hl = bcol;
+              }
+          if (lo >= hi || hk < 0) {
+            rec.failed[id] = true;
+          } else {
+            // Pin magnitude: aim for |rho_unknown * v| ~ 1 so the helper's
+            // crossing stays inside the search radius. The unknown ratio's
+            // scale is estimated from the ratios recovered so far; fall
+            // back to progressively smaller pins when the crossing escapes.
+            double rho_typ = 0.0;
+            int nonzero_known = 0;
+            for (std::size_t q = 0; q < known.size(); ++q) {
+              if (known[q] && rec.ratio[q] != 0.0f) {
+                rho_typ += std::fabs(rec.ratio[q]);
+                ++nonzero_known;
+              }
+            }
+            rho_typ = nonzero_known ? rho_typ / nonzero_known : 1.0;
+
+            const double rho_h = rec.ratio.at(c, hk, hl);
+            bool done = false;
+            for (double scale : {1.0, 0.2, 0.04, 5.0, 0.008}) {
+              for (double sign : {1.0, -1.0}) {
+                double v = sign * scale / rho_typ;
+                if (v <= lo || v >= hi || v == 0.0) continue;
+                auto pixels = [&](double h) {
+                  return std::vector<SparsePixel>{
+                      {c, py, px, static_cast<float>(v)},
+                      {c, hk - p, hl - p, static_cast<float>(h)}};
+                };
+                if (auto h = bisect(pixels, c, i, j)) {
+                  // Crossing: rho*v + rho_h*h + 1 == 0.
+                  recovered = (-1.0 - rho_h * *h) / v;
+                  got = true;
+                  done = true;
+                  break;
+                }
+              }
+              if (done) break;
+            }
+            if (!done) rec.failed[id] = true;
+          }
+        }
+
+        if (got) {
+          if (std::fabs(recovered) <= 1.0 / R) {
+            rec.is_zero[id] = true;
+            rec.ratio.at(c, i, j) = 0.0f;
+          } else {
+            rec.ratio.at(c, i, j) = static_cast<float>(recovered);
+          }
+        }
+        known[id] = true;
+      }
+    }
+  }
+  rec.queries = oracle_.queries() - q0;
+  return rec;
+}
+
+std::optional<AbsoluteFilter> WeightAttack::RecoverAbsolute(
+    int channel, const RecoveredFilter& ratios) {
+  const int f = geo_.filter;
+  const int s = geo_.stride;
+  const int p = geo_.pad;
+
+  // Anchor: a non-zero weight whose isolating pixel touches only conv
+  // output (0,0) (no interference regardless of pooling): (i, j) in
+  // [pad, pad + stride) works because further outputs need ky = i - s*t.
+  int ac = -1, ai = -1, aj = -1;
+  for (int c = 0; c < geo_.in_depth && ac < 0; ++c)
+    for (int i = p; i < std::min(f, p + s) && ac < 0; ++i)
+      for (int j = p; j < std::min(f, p + s) && ac < 0; ++j)
+        if (!ratios.zero_at(c, i, j, f) &&
+            ratios.ratio.at(c, i, j) != 0.0f &&
+            !ratios.failed[static_cast<std::size_t>((c * f + i) * f + j)]) {
+          ac = c;
+          ai = i;
+          aj = j;
+        }
+  if (ac < 0) return std::nullopt;
+
+  // Find a threshold high enough to prune the whole baseline OFM.
+  float t1 = 1.0f;
+  bool knob = oracle_.SetActivationThreshold(t1);
+  if (!knob) return std::nullopt;
+  for (int it = 0; it < 64; ++it) {
+    if (oracle_.ChannelNonZeros({}, channel) == 0) break;
+    t1 *= 2.0f;
+    SC_CHECK_MSG(it + 1 < 64, "cannot prune baseline: threshold too small");
+    oracle_.SetActivationThreshold(t1);
+  }
+  const float t2 = 2.0f * t1;
+
+  // With the baseline fully pruned, the count is exactly the indicator of
+  // the anchor's window, flipping where w*x + b crosses the threshold.
+  auto crossing_at = [&](float threshold) -> std::optional<double> {
+    oracle_.SetActivationThreshold(threshold);
+    auto count = [&](double x) {
+      return oracle_.ChannelNonZeros(
+          {{ac, ai - p, aj - p, static_cast<float>(x)}}, channel);
+    };
+    double lo = -static_cast<double>(cfg_.search_radius);
+    double hi = static_cast<double>(cfg_.search_radius);
+    const std::size_t r_lo = count(lo);
+    if (count(hi) == r_lo) return std::nullopt;
+    for (int it = 0; it < cfg_.max_bisect_iters; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      if (count(mid) == r_lo) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+      if (hi - lo <
+          cfg_.rel_tolerance * std::max(1.0, std::fabs(0.5 * (lo + hi))))
+        break;
+    }
+    return 0.5 * (lo + hi);
+  };
+
+  const std::optional<double> x1 = crossing_at(t1);
+  const std::optional<double> x2 = crossing_at(t2);
+  oracle_.SetActivationThreshold(0.0f);  // restore the victim's default
+  if (!x1 || !x2 || *x1 == *x2) return std::nullopt;
+
+  // w*x1 + b = t1, w*x2 + b = t2  =>  w = (t2 - t1) / (x2 - x1).
+  const double w_anchor =
+      (static_cast<double>(t2) - static_cast<double>(t1)) / (*x2 - *x1);
+  const double bias = static_cast<double>(t1) - w_anchor * *x1;
+
+  AbsoluteFilter abs;
+  abs.channel = channel;
+  abs.bias = static_cast<float>(bias);
+  abs.weights = nn::Tensor(nn::Shape{geo_.in_depth, f, f});
+  for (int c = 0; c < geo_.in_depth; ++c)
+    for (int i = 0; i < f; ++i)
+      for (int j = 0; j < f; ++j)
+        abs.weights.at(c, i, j) = static_cast<float>(
+            static_cast<double>(ratios.ratio.at(c, i, j)) * bias);
+  return abs;
+}
+
+std::optional<float> WeightAttack::FindBiasViaThreshold(int channel) {
+  if (!oracle_.SetActivationThreshold(0.0f)) return std::nullopt;
+  if (oracle_.ChannelNonZeros({}, channel) == 0) {
+    return std::nullopt;  // bias <= 0: the baseline leaks nothing more
+  }
+  // Bracket: double until the baseline disappears.
+  float hi = 1.0f;
+  for (int it = 0; it < 64; ++it) {
+    oracle_.SetActivationThreshold(hi);
+    if (oracle_.ChannelNonZeros({}, channel) == 0) break;
+    hi *= 2.0f;
+    SC_CHECK_MSG(it + 1 < 64, "bias beyond threshold search range");
+  }
+  float lo = 0.0f;
+  for (int it = 0; it < cfg_.max_bisect_iters; ++it) {
+    const float mid = 0.5f * (lo + hi);
+    oracle_.SetActivationThreshold(mid);
+    if (oracle_.ChannelNonZeros({}, channel) == 0) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+    if (hi - lo < cfg_.rel_tolerance *
+                      std::max(1.0f, std::fabs(0.5f * (lo + hi))))
+      break;
+  }
+  oracle_.SetActivationThreshold(0.0f);
+  return 0.5f * (lo + hi);
+}
+
+std::vector<std::vector<float>> WeightAttack::RecoverRatioSetsAggregate() {
+  SC_CHECK_MSG(geo_.pool == nn::PoolKind::kNone,
+               "aggregate-mode recovery is implemented for un-pooled layers");
+  const int f = geo_.filter;
+  const int p = geo_.pad;
+  std::vector<std::vector<float>> sets;
+
+  for (int c = 0; c < geo_.in_depth; ++c) {
+    for (int i = 0; i < f; ++i) {
+      for (int j = 0; j < f; ++j) {
+        std::vector<float> crossings;
+        const int py = i - p;
+        const int px = j - p;
+        if (py < 0 || px < 0 || py >= geo_.in_width ||
+            px >= geo_.in_width) {
+          sets.push_back(std::move(crossings));
+          continue;
+        }
+        auto count = [&](double x) {
+          return static_cast<long long>(oracle_.TotalNonZeros(
+              {{c, py, px, static_cast<float>(x)}}));
+        };
+        // Grid sweep, then bisect every cell whose endpoint counts differ.
+        // Two resolutions: coarse over the whole radius, fine over the
+        // central band where weight/bias ratios concentrate — crossings
+        // closer than the fine step can still merge (a limitation the
+        // paper shares: only count *changes* are observable).
+        auto sweep = [&](double lo_r, double hi_r, int cells) {
+          const double step = (hi_r - lo_r) / cells;
+          long long prev = count(lo_r);
+          for (int g = 1; g <= cells; ++g) {
+            const double hi_x = lo_r + g * step;
+            const long long cur = count(hi_x);
+            if (cur != prev) {
+              double lo = hi_x - step, hi = hi_x;
+              const long long r_lo = prev;
+              for (int it = 0; it < cfg_.max_bisect_iters; ++it) {
+                const double mid = 0.5 * (lo + hi);
+                if (count(mid) == r_lo) {
+                  lo = mid;
+                } else {
+                  hi = mid;
+                }
+                if (hi - lo < cfg_.rel_tolerance *
+                                  std::max(1.0, std::fabs(0.5 * (lo + hi))))
+                  break;
+              }
+              crossings.push_back(static_cast<float>(0.5 * (lo + hi)));
+            }
+            prev = cur;
+          }
+        };
+        const double R = cfg_.search_radius;
+        const double kFineBand = std::min(64.0, R);
+        sweep(-R, -kFineBand, 1 << 9);
+        sweep(-kFineBand, kFineBand, 1 << 13);
+        sweep(kFineBand, R, 1 << 9);
+        sets.push_back(std::move(crossings));
+      }
+    }
+  }
+  return sets;
+}
+
+}  // namespace sc::attack

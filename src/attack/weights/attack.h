@@ -1,0 +1,115 @@
+// Weight reverse engineering through zero pruning (paper §4, Algorithm 2).
+//
+// The adversary crafts inputs that are zero except for one or two pixels,
+// watches the non-zero count of the target layer's OFM, and binary-searches
+// the pixel value for the point where an output crosses the activation
+// threshold. Each crossing fixes one ratio w_{c,i,j}/b. Extensions:
+//   - fused max pooling merges outputs: a second, already-understood pixel
+//     pins the interfering outputs below zero (paper Eq. (10));
+//   - fused average pooling (accumulated before the activation) scales the
+//     crossing by the window arithmetic (paper Eq. (11); we derive the
+//     exact form for our clipped-window semantics);
+//   - weights that never produce a crossing inside the search radius are
+//     zero (paper: "zero-valued weights can be identified from missing
+//     zero-crossing points");
+//   - with a tunable activation threshold (Minerva-style), two threshold
+//     settings turn one ratio into absolute w and b values (paper §4.1,
+//     last paragraph).
+#ifndef SC_ATTACK_WEIGHTS_ATTACK_H_
+#define SC_ATTACK_WEIGHTS_ATTACK_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "attack/weights/oracle.h"
+#include "nn/tensor.h"
+
+namespace sc::attack {
+
+struct WeightAttackConfig {
+  // Crossings with |x| beyond this radius are treated as zero weights.
+  float search_radius = 1.0e4f;
+  // Bisection stops when the bracket is narrower than
+  // rel_tolerance * max(1, |x|).
+  float rel_tolerance = 1.0e-7f;
+  int max_bisect_iters = 100;
+};
+
+// Ratios recovered for one output channel (filter).
+struct RecoveredFilter {
+  int channel = -1;
+  bool bias_positive = false;
+  nn::Tensor ratio;           // {ic, f, f}: w / b; 0 where is_zero
+  std::vector<bool> is_zero;  // row-major (c, i, j): no crossing found
+  std::vector<bool> failed;   // positions the attack could not isolate
+  std::uint64_t queries = 0;
+
+  bool zero_at(int c, int i, int j, int f) const {
+    return is_zero[static_cast<std::size_t>((c * f + i) * f + j)];
+  }
+};
+
+// Absolute weights after the threshold-assisted extension.
+struct AbsoluteFilter {
+  int channel = -1;
+  float bias = 0.0f;
+  nn::Tensor weights;  // {ic, f, f}
+};
+
+class WeightAttack {
+ public:
+  // `geometry` carries only public facts (layer geometry recovered by the
+  // structure attack + the accelerator's fusion/activation conventions).
+  // The oracle holds the secrets.
+  WeightAttack(ZeroCountOracle& oracle,
+               const SparseConvOracle::StageSpec& geometry,
+               WeightAttackConfig cfg);
+
+  // Algorithm 2 generalized: recovers w/b for every weight of one filter
+  // using per-channel counts.
+  RecoveredFilter RecoverFilter(int channel);
+
+  // Threshold-assisted absolute recovery: needs a filter's ratios and a
+  // victim exposing the activation-threshold knob. Returns nullopt when
+  // the oracle has no knob or no usable non-zero anchor weight exists.
+  std::optional<AbsoluteFilter> RecoverAbsolute(
+      int channel, const RecoveredFilter& ratios);
+
+  // Binary-searches the smallest activation threshold that prunes the
+  // channel's whole baseline OFM; for a positive bias under ReLU/max
+  // pooling that threshold *is* the bias. Requires the threshold knob.
+  // Returns nullopt without a knob or when the baseline is already zero
+  // (bias <= 0). Restores threshold 0 before returning.
+  std::optional<float> FindBiasViaThreshold(int channel);
+
+  // Aggregate-count variant (minimal leak; no per-channel attribution):
+  // for each filter position, the unordered set of crossing points over
+  // all filters. Only supported for un-pooled layers.
+  std::vector<std::vector<float>> RecoverRatioSetsAggregate();
+
+ private:
+  // Residual = measured channel count minus the predicted count of every
+  // window not containing conv output (0,0), in ratio arithmetic.
+  // (uc, ui, uj) names the weight currently being recovered so its
+  // contributions are excluded from the prediction.
+  long long Residual(int channel, const std::vector<SparsePixel>& pixels,
+                     const nn::Tensor& ratio,
+                     const std::vector<bool>& known, bool bias_positive,
+                     int uc, int ui, int uj);
+
+  // Predicted non-zero count of all windows/outputs that do NOT contain
+  // conv output (0,0), given known ratios.
+  long long PredictKnown(const std::vector<SparsePixel>& pixels,
+                         const nn::Tensor& ratio,
+                         const std::vector<bool>& known, bool bias_positive,
+                         int uc, int ui, int uj);
+
+  ZeroCountOracle& oracle_;
+  SparseConvOracle::StageSpec geo_;
+  WeightAttackConfig cfg_;
+};
+
+}  // namespace sc::attack
+
+#endif  // SC_ATTACK_WEIGHTS_ATTACK_H_

@@ -1,0 +1,299 @@
+#include "attack/weights/oracle.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "accel/stage.h"
+#include "nn/conv2d.h"
+#include "support/check.h"
+#include "trace/trace.h"
+
+namespace sc::attack {
+
+namespace {
+
+nn::Tensor Densify(const nn::Shape& shape,
+                   const std::vector<SparsePixel>& pixels) {
+  nn::Tensor t(shape);
+  // Additive so duplicate positions mean the same thing to every oracle.
+  for (const SparsePixel& p : pixels) t.at(p.c, p.y, p.x) += p.value;
+  return t;
+}
+
+}  // namespace
+
+// --- AcceleratorOracle -------------------------------------------------------
+
+AcceleratorOracle::AcceleratorOracle(const nn::Network& net, int target_node,
+                                     accel::AcceleratorConfig cfg)
+    : net_(net), target_node_(target_node), accel_(cfg) {
+  accel_.config().zero_pruning = true;  // the §4 leak requires pruning
+  const std::vector<accel::Stage> stages = accel::BuildStages(net);
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    if (stages[i].output_node == target_node_) {
+      target_stage_ = static_cast<int>(i);
+      break;
+    }
+  }
+  SC_CHECK_MSG(target_stage_ != -1,
+               "node " << target_node_
+                       << " is not a stage output (fused away?)");
+  num_channels_ = net.output_shape(target_node_)[0];
+}
+
+bool AcceleratorOracle::SetActivationThreshold(float threshold) {
+  accel_.config().relu_threshold_override = threshold;
+  return true;
+}
+
+AcceleratorOracle::Counts AcceleratorOracle::Query(
+    const std::vector<SparsePixel>& pixels) {
+  ++queries_;
+  const nn::Tensor input = Densify(net_.input_shape(), pixels);
+  trace::Trace tr;
+  accel_.Run(net_, input, &tr);
+
+  // Side-channel decode: compressed write bursts inside the target OFM
+  // region. Burst size = header + nnz*(element+index); the channel is the
+  // slot the burst's address falls into.
+  const accel::AddressMap map = accel_.BuildMap(net_);
+  const accel::Region region = map.ofm(target_node_);
+  const auto& cfg = accel_.config();
+  const auto eb = static_cast<std::uint64_t>(cfg.element_bytes);
+  const auto per_elem = eb + static_cast<std::uint64_t>(cfg.prune_index_bytes);
+  const auto header = static_cast<std::uint64_t>(cfg.prune_header_bytes);
+
+  const auto d = static_cast<std::uint64_t>(num_channels_);
+  const auto shape = net_.output_shape(target_node_);
+  const auto h = static_cast<std::uint64_t>(shape[1]);
+  const auto w = static_cast<std::uint64_t>(shape[2]);
+  const std::uint64_t slot = h * w * per_elem + h * header;
+
+  Counts counts;
+  counts.per_channel.assign(static_cast<std::size_t>(d), 0);
+  for (const trace::MemEvent& e : tr) {
+    if (e.op != trace::MemOp::kWrite) continue;
+    if (e.addr < region.base || e.addr >= region.end()) continue;
+    SC_CHECK_MSG(e.bytes >= header && (e.bytes - header) % per_elem == 0,
+                 "unexpected compressed burst size");
+    const std::size_t nnz = (e.bytes - header) / per_elem;
+    counts.total += nnz;
+    const std::uint64_t channel = (e.addr - region.base) / slot;
+    SC_CHECK(channel < d);
+    counts.per_channel[static_cast<std::size_t>(channel)] += nnz;
+  }
+  return counts;
+}
+
+std::size_t AcceleratorOracle::ChannelNonZeros(
+    const std::vector<SparsePixel>& pixels, int channel) {
+  SC_CHECK(channel >= 0 && channel < num_channels_);
+  return Query(pixels).per_channel[static_cast<std::size_t>(channel)];
+}
+
+std::size_t AcceleratorOracle::TotalNonZeros(
+    const std::vector<SparsePixel>& pixels) {
+  return Query(pixels).total;
+}
+
+// --- SparseConvOracle --------------------------------------------------------
+
+SparseConvOracle::SparseConvOracle(StageSpec spec, nn::Tensor weights,
+                                   nn::Tensor bias)
+    : spec_(spec), weights_(std::move(weights)), bias_(std::move(bias)) {
+  SC_CHECK_MSG(weights_.shape().rank() == 4, "weights must be {oc,ic,f,f}");
+  SC_CHECK(weights_.shape()[1] == spec_.in_depth);
+  SC_CHECK(weights_.shape()[2] == spec_.filter &&
+           weights_.shape()[3] == spec_.filter);
+  SC_CHECK(bias_.shape().rank() == 1 &&
+           bias_.shape()[0] == weights_.shape()[0]);
+  SC_CHECK(spec_.stride >= 1 && spec_.pad >= 0 && spec_.pad < spec_.filter);
+  if (spec_.pool != nn::PoolKind::kNone) {
+    SC_CHECK(spec_.pool_window >= 1 && spec_.pool_stride >= 1 &&
+             spec_.pool_pad == 0);
+    SC_CHECK_MSG(!(spec_.pool == nn::PoolKind::kMax && !spec_.relu_before_pool),
+                 "max pooling is only modelled after the activation");
+  }
+}
+
+int SparseConvOracle::num_channels() const { return weights_.shape()[0]; }
+
+int SparseConvOracle::out_width() const {
+  return nn::ConvOutWidth(spec_.in_width, spec_.filter, spec_.stride,
+                          spec_.pad);
+}
+
+int SparseConvOracle::pooled_width() const {
+  const int cw = out_width();
+  if (spec_.pool == nn::PoolKind::kNone) return cw;
+  return nn::PoolOutWidth(cw, spec_.pool_window, spec_.pool_stride,
+                          spec_.pool_pad);
+}
+
+bool SparseConvOracle::SetActivationThreshold(float threshold) {
+  if (!spec_.has_threshold_knob) return false;
+  SC_CHECK(threshold >= 0.0f);
+  spec_.relu_threshold = threshold;
+  return true;
+}
+
+std::size_t SparseConvOracle::ChannelCount(
+    const std::vector<SparsePixel>& pixels, int oc) {
+  const int cw = out_width();
+  const float b = bias_.at(oc);
+  const float thr = spec_.relu_threshold;
+
+  // Convolution outputs differing from the all-zero-input baseline: only
+  // those touched by the sparse pixels.
+  // delta[(oy, ox)] = sum of w * pixel contributions.
+  std::vector<std::pair<int, float>> deltas;  // key = oy*cw+ox
+  auto add_delta = [&](int oy, int ox, float v) {
+    const int key = oy * cw + ox;
+    for (auto& kv : deltas) {
+      if (kv.first == key) {
+        kv.second += v;
+        return;
+      }
+    }
+    deltas.emplace_back(key, v);
+  };
+  for (const SparsePixel& p : pixels) {
+    SC_CHECK(p.c >= 0 && p.c < spec_.in_depth);
+    SC_CHECK(p.y >= 0 && p.y < spec_.in_width && p.x >= 0 &&
+             p.x < spec_.in_width);
+    if (p.value == 0.0f) continue;
+    // Outputs (oy, ox) with oy*s - pad <= y < oy*s - pad + f.
+    for (int ky = 0; ky < spec_.filter; ++ky) {
+      const int num = p.y + spec_.pad - ky;
+      if (num < 0 || num % spec_.stride != 0) continue;
+      const int oy = num / spec_.stride;
+      if (oy >= cw) continue;
+      for (int kx = 0; kx < spec_.filter; ++kx) {
+        const int numx = p.x + spec_.pad - kx;
+        if (numx < 0 || numx % spec_.stride != 0) continue;
+        const int ox = numx / spec_.stride;
+        if (ox >= cw) continue;
+        add_delta(oy, ox, weights_.at(oc, p.c, ky, kx) * p.value);
+      }
+    }
+  }
+
+  auto conv_at = [&](int oy, int ox) {
+    const int key = oy * cw + ox;
+    for (const auto& kv : deltas)
+      if (kv.first == key) return b + kv.second;
+    return b;
+  };
+  auto relu = [&](float v) { return v > thr ? v : 0.0f; };
+
+  if (spec_.pool == nn::PoolKind::kNone) {
+    // Baseline: every output is relu(b).
+    std::size_t count = (b > thr) ? static_cast<std::size_t>(cw) *
+                                        static_cast<std::size_t>(cw)
+                                  : 0;
+    for (const auto& kv : deltas) {
+      const bool base_nz = b > thr;
+      const bool now_nz = (b + kv.second) > thr;
+      if (base_nz && !now_nz) --count;
+      if (!base_nz && now_nz) ++count;
+    }
+    return count;
+  }
+
+  // Pooled: evaluate only windows whose members include a delta; all other
+  // windows equal the baseline, which is analytic: every window has at
+  // least one valid member of value b (relu'd for max-like pooling;
+  // averaged with positive weight for pre-activation average pooling at
+  // threshold 0), so the whole baseline OFM is non-zero iff b > threshold.
+  const int pw = pooled_width();
+  const float area = static_cast<float>(spec_.pool_window) *
+                     static_cast<float>(spec_.pool_window);
+  SC_CHECK_MSG(spec_.relu_before_pool || thr == 0.0f,
+               "thresholded pre-activation average pooling is unsupported");
+
+  // Collect candidate windows: those containing a delta output. Edge
+  // windows of average pooling have fewer valid members than area, so every
+  // touched window is evaluated with exact clipped-window arithmetic below.
+  std::vector<int> window_keys;
+  for (const auto& kv : deltas) {
+    const int oy = kv.first / cw;
+    const int ox = kv.first % cw;
+    for (int qy = 0; qy < pw; ++qy) {
+      const int wy0 = qy * spec_.pool_stride - spec_.pool_pad;
+      if (oy < wy0) break;  // windows only move right/down with q
+      if (oy >= wy0 + spec_.pool_window) continue;
+      for (int qx = 0; qx < pw; ++qx) {
+        const int wx0 = qx * spec_.pool_stride - spec_.pool_pad;
+        if (ox < wx0) break;
+        if (ox >= wx0 + spec_.pool_window) continue;
+        const int key = qy * pw + qx;
+        if (std::find(window_keys.begin(), window_keys.end(), key) ==
+            window_keys.end())
+          window_keys.push_back(key);
+      }
+    }
+  }
+
+  auto window_value = [&](int qy, int qx, bool with_deltas) {
+    const int wy0 = qy * spec_.pool_stride - spec_.pool_pad;
+    const int wx0 = qx * spec_.pool_stride - spec_.pool_pad;
+    if (spec_.pool == nn::PoolKind::kMax) {
+      float m = -std::numeric_limits<float>::infinity();
+      for (int dy = 0; dy < spec_.pool_window; ++dy) {
+        const int oy = wy0 + dy;
+        if (oy < 0 || oy >= cw) continue;
+        for (int dx = 0; dx < spec_.pool_window; ++dx) {
+          const int ox = wx0 + dx;
+          if (ox < 0 || ox >= cw) continue;
+          m = std::max(m, relu(with_deltas ? conv_at(oy, ox) : b));
+        }
+      }
+      return m;
+    }
+    float sum = 0.0f;
+    for (int dy = 0; dy < spec_.pool_window; ++dy) {
+      const int oy = wy0 + dy;
+      if (oy < 0 || oy >= cw) continue;
+      for (int dx = 0; dx < spec_.pool_window; ++dx) {
+        const int ox = wx0 + dx;
+        if (ox < 0 || ox >= cw) continue;
+        const float v = with_deltas ? conv_at(oy, ox) : b;
+        sum += spec_.relu_before_pool ? relu(v) : v;
+      }
+    }
+    const float pooled = sum / area;
+    return spec_.relu_before_pool ? pooled : relu(pooled);
+  };
+
+  // Analytic baseline (all windows), then correct the touched ones.
+  std::size_t count = (b > thr) ? static_cast<std::size_t>(pw) *
+                                      static_cast<std::size_t>(pw)
+                                : 0;
+  for (int key : window_keys) {
+    const int qy = key / pw;
+    const int qx = key % pw;
+    const bool base_nz = window_value(qy, qx, false) != 0.0f;
+    const bool now_nz = window_value(qy, qx, true) != 0.0f;
+    if (base_nz && !now_nz) --count;
+    if (!base_nz && now_nz) ++count;
+  }
+  return count;
+}
+
+std::size_t SparseConvOracle::ChannelNonZeros(
+    const std::vector<SparsePixel>& pixels, int channel) {
+  ++queries_;
+  SC_CHECK(channel >= 0 && channel < num_channels());
+  return ChannelCount(pixels, channel);
+}
+
+std::size_t SparseConvOracle::TotalNonZeros(
+    const std::vector<SparsePixel>& pixels) {
+  ++queries_;
+  std::size_t total = 0;
+  for (int oc = 0; oc < num_channels(); ++oc)
+    total += ChannelCount(pixels, oc);
+  return total;
+}
+
+}  // namespace sc::attack

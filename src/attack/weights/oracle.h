@@ -1,0 +1,140 @@
+// Zero-count oracles: the §4 side channel.
+//
+// With dynamic zero pruning, OFM write-back volume reveals how many
+// non-zero elements a layer produced. The adversary drives the accelerator
+// with crafted (almost-all-zero) inputs and watches that count change.
+//
+// Two granularities are modelled (DESIGN.md §2):
+//   - aggregate: total non-zeros of the target OFM (the minimal leak the
+//     paper assumes);
+//   - per-channel: write-back is channel-tiled, so the ordered compressed
+//     bursts reveal each output channel's count separately. This is what
+//     makes per-filter attribution exact.
+#ifndef SC_ATTACK_WEIGHTS_ORACLE_H_
+#define SC_ATTACK_WEIGHTS_ORACLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "nn/geometry.h"
+#include "nn/network.h"
+#include "nn/tensor.h"
+
+namespace sc::attack {
+
+// One non-zero pixel of a crafted input; everything else is zero.
+struct SparsePixel {
+  int c = 0;
+  int y = 0;
+  int x = 0;
+  float value = 0.0f;
+};
+
+class ZeroCountOracle {
+ public:
+  virtual ~ZeroCountOracle() = default;
+
+  // Non-zero count of output channel `channel` of the target layer for the
+  // crafted input.
+  virtual std::size_t ChannelNonZeros(
+      const std::vector<SparsePixel>& pixels, int channel) = 0;
+
+  // Aggregate non-zero count over all output channels.
+  virtual std::size_t TotalNonZeros(
+      const std::vector<SparsePixel>& pixels) = 0;
+
+  virtual int num_channels() const = 0;
+
+  // Sets the accelerator's tunable activation threshold (Minerva-style
+  // knob); returns false when the victim exposes no such knob.
+  virtual bool SetActivationThreshold(float threshold) {
+    (void)threshold;
+    return false;
+  }
+
+  std::uint64_t queries() const { return queries_; }
+
+ protected:
+  std::uint64_t queries_ = 0;
+};
+
+// Side-channel oracle backed by the accelerator simulator with zero pruning
+// enabled. Counts are decoded from the trace's compressed write bursts to
+// the target stage's OFM region — precisely what a bus probe sees.
+class AcceleratorOracle : public ZeroCountOracle {
+ public:
+  // `net` must stay alive for the oracle's lifetime. `target_node` selects
+  // the stage whose OFM is observed (its stage output node).
+  AcceleratorOracle(const nn::Network& net, int target_node,
+                    accel::AcceleratorConfig cfg);
+
+  std::size_t ChannelNonZeros(const std::vector<SparsePixel>& pixels,
+                              int channel) override;
+  std::size_t TotalNonZeros(const std::vector<SparsePixel>& pixels) override;
+  int num_channels() const override { return num_channels_; }
+  bool SetActivationThreshold(float threshold) override;
+
+ private:
+  struct Counts {
+    std::size_t total = 0;
+    std::vector<std::size_t> per_channel;
+  };
+  Counts Query(const std::vector<SparsePixel>& pixels);
+
+  const nn::Network& net_;
+  int target_node_;
+  int target_stage_ = -1;
+  int num_channels_ = 0;
+  accel::Accelerator accel_;
+};
+
+// Fast functional oracle for a single fused conv stage (conv [+ReLU]
+// [+pool] in either order), exploiting the sparsity of crafted inputs.
+// Used by the large benchmark sweeps; tests assert query-for-query
+// equivalence with AcceleratorOracle.
+class SparseConvOracle : public ZeroCountOracle {
+ public:
+  struct StageSpec {
+    int in_depth = 0;
+    int in_width = 0;
+    int filter = 1;
+    int stride = 1;
+    int pad = 0;
+    nn::PoolKind pool = nn::PoolKind::kNone;
+    int pool_window = 0;
+    int pool_stride = 0;
+    int pool_pad = 0;
+    // True: conv -> ReLU -> pool (standard; required for max pooling).
+    // False: conv -> pool -> ReLU (average-pooling accelerators that merge
+    // pooling into the accumulation, which Eq. (11) of the paper assumes).
+    bool relu_before_pool = true;
+    float relu_threshold = 0.0f;
+    bool has_threshold_knob = false;
+  };
+
+  // Weights {oc, ic, f, f}, bias {oc} — the victim's secrets, held only by
+  // the oracle (the attack never touches them).
+  SparseConvOracle(StageSpec spec, nn::Tensor weights, nn::Tensor bias);
+
+  std::size_t ChannelNonZeros(const std::vector<SparsePixel>& pixels,
+                              int channel) override;
+  std::size_t TotalNonZeros(const std::vector<SparsePixel>& pixels) override;
+  int num_channels() const override;
+  bool SetActivationThreshold(float threshold) override;
+
+  const StageSpec& spec() const { return spec_; }
+  int out_width() const;        // pre-pool convolution output width
+  int pooled_width() const;     // final OFM width
+
+ private:
+  std::size_t ChannelCount(const std::vector<SparsePixel>& pixels, int oc);
+
+  StageSpec spec_;
+  nn::Tensor weights_;
+  nn::Tensor bias_;
+};
+
+}  // namespace sc::attack
+
+#endif  // SC_ATTACK_WEIGHTS_ORACLE_H_

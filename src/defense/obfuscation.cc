@@ -1,0 +1,76 @@
+#include "defense/obfuscation.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "support/check.h"
+#include "support/rng.h"
+#include "trace/stats.h"
+
+namespace sc::defense {
+
+ObfuscationResult ObfuscateTrace(const trace::Trace& input,
+                                 const ObfuscationConfig& cfg) {
+  SC_CHECK(cfg.block_bytes >= 64);
+  SC_CHECK(cfg.dummy_per_access >= 0.0);
+  ObfuscationResult out;
+  if (input.empty()) return out;
+
+  // Footprint: the address space the controller manages.
+  std::uint64_t lo = UINT64_MAX, hi = 0;
+  for (const trace::MemEvent& e : input) {
+    lo = std::min(lo, e.addr);
+    hi = std::max(hi, e.end());
+  }
+  const std::uint64_t first_block = lo / cfg.block_bytes;
+  const std::uint64_t num_blocks =
+      (hi + cfg.block_bytes - 1) / cfg.block_bytes - first_block;
+
+  // Random block permutation.
+  sc::Rng rng(cfg.seed);
+  std::vector<std::uint64_t> perm(num_blocks);
+  std::iota(perm.begin(), perm.end(), std::uint64_t{0});
+  if (cfg.permute_blocks)
+    std::shuffle(perm.begin(), perm.end(), rng.engine());
+
+  auto remap = [&](std::uint64_t block) {
+    return (first_block + perm[block - first_block]) * cfg.block_bytes;
+  };
+
+  double dummy_budget = 0.0;
+  for (const trace::MemEvent& e : input) {
+    // Split the burst into block-granular accesses (the controller always
+    // moves whole blocks).
+    const std::uint64_t b0 = e.addr / cfg.block_bytes;
+    const std::uint64_t b1 = (e.end() - 1) / cfg.block_bytes;
+    for (std::uint64_t b = b0; b <= b1; ++b) {
+      out.trace.Append(e.cycle, remap(b),
+                       static_cast<std::uint32_t>(cfg.block_bytes), e.op);
+      // Interleave dummy block accesses.
+      dummy_budget += cfg.dummy_per_access;
+      while (dummy_budget >= 1.0) {
+        dummy_budget -= 1.0;
+        const auto blk = static_cast<std::uint64_t>(
+            rng.UniformInt(0, static_cast<int>(
+                                  std::min<std::uint64_t>(num_blocks, INT32_MAX)
+                                  - 1)));
+        out.trace.Append(e.cycle, (first_block + blk) * cfg.block_bytes,
+                         static_cast<std::uint32_t>(cfg.block_bytes),
+                         rng.Chance(cfg.dummy_write_fraction)
+                             ? trace::MemOp::kWrite
+                             : trace::MemOp::kRead);
+      }
+    }
+  }
+
+  const trace::TraceStats before = trace::ComputeStats(input);
+  const trace::TraceStats after = trace::ComputeStats(out.trace);
+  out.traffic_overhead = static_cast<double>(after.total_bytes()) /
+                         static_cast<double>(before.total_bytes());
+  out.event_overhead = static_cast<double>(after.total_events()) /
+                       static_cast<double>(before.total_events());
+  return out;
+}
+
+}  // namespace sc::defense

@@ -1,0 +1,46 @@
+// Mitigations against memory-access-pattern leakage (paper §5 and §6).
+//
+// The paper points to ORAM as the principled countermeasure and notes its
+// cost. This module provides a bus-level approximation of what an ORAM-ish
+// controller presents to a probe — block-granular address permutation plus
+// dummy traffic — and measures its overhead, so the ablation bench can show
+// (a) the structure attack collapsing under obfuscation and (b) the
+// bandwidth price paid. It is an obfuscation model, not a real ORAM: it
+// hides *which* tensor is touched, not the total traffic volume.
+#ifndef SC_DEFENSE_OBFUSCATION_H_
+#define SC_DEFENSE_OBFUSCATION_H_
+
+#include <cstdint>
+
+#include "trace/trace.h"
+
+namespace sc::defense {
+
+struct ObfuscationConfig {
+  // Granularity of the permuted blocks (ORAM bucket size).
+  std::uint64_t block_bytes = 4096;
+  // Random permutation of block addresses across the footprint.
+  bool permute_blocks = true;
+  // Dummy accesses injected per real access (ORAM-style redundancy).
+  double dummy_per_access = 2.0;
+  // Dummies are reads/writes with this write probability.
+  double dummy_write_fraction = 0.3;
+  std::uint64_t seed = 1;
+};
+
+struct ObfuscationResult {
+  trace::Trace trace;
+  double traffic_overhead = 1.0;  // obfuscated bytes / original bytes
+  double event_overhead = 1.0;
+};
+
+// Transforms a victim trace into what the probe would observe behind the
+// obfuscating controller. Burst events are split into blocks, block
+// addresses are permuted over the footprint, and dummy block accesses are
+// interleaved.
+ObfuscationResult ObfuscateTrace(const trace::Trace& input,
+                                 const ObfuscationConfig& cfg);
+
+}  // namespace sc::defense
+
+#endif  // SC_DEFENSE_OBFUSCATION_H_

@@ -1,0 +1,239 @@
+#include "models/zoo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/activation.h"
+#include "nn/combine.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/init.h"
+#include "nn/pooling.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace sc::models {
+
+namespace {
+
+using nn::Network;
+
+// conv + relu (+ max pool) block.
+int ConvBlock(Network& net, int src, const std::string& name, int in_d,
+              int out_d, int f, int s, int p, int pool_f = 0, int pool_s = 0) {
+  int cur = net.Add(
+      std::make_unique<nn::Conv2D>(name, in_d, out_d, f, s, p), {src});
+  cur = net.Add(std::make_unique<nn::Relu>(name + "_relu"), {cur});
+  if (pool_f > 0)
+    cur = net.Add(nn::MakeMaxPool(name + "_pool", pool_f, pool_s), {cur});
+  return cur;
+}
+
+int FcBlock(Network& net, int src, const std::string& name, int in_f,
+            int out_f, bool relu) {
+  int cur = net.Add(std::make_unique<nn::FullyConnected>(name, in_f, out_f),
+                    {src});
+  if (relu) cur = net.Add(std::make_unique<nn::Relu>(name + "_relu"), {cur});
+  return cur;
+}
+
+}  // namespace
+
+nn::Network MakeLeNet(std::uint64_t seed) {
+  Network net(nn::Shape{1, 28, 28});
+  int cur = ConvBlock(net, nn::kInputNode, "conv1", 1, 20, 5, 1, 0, 2, 2);
+  cur = ConvBlock(net, cur, "conv2", 20, 50, 5, 1, 0, 2, 2);
+  cur = FcBlock(net, cur, "ip1", 4 * 4 * 50, 500, /*relu=*/true);
+  FcBlock(net, cur, "ip2", 500, 10, /*relu=*/false);
+  sc::Rng rng(seed);
+  nn::InitNetwork(net, rng);
+  return net;
+}
+
+// CIFAR-scale ConvNet. The paper does not specify its ConvNet beyond "4
+// layers"; this one follows the cifar10-quick lineage while satisfying the
+// paper's Eq. (5) (F_conv <= W_IFM / 2) on every layer, which the attack's
+// constraint system assumes of its victims.
+nn::Network MakeConvNet(std::uint64_t seed) {
+  Network net(nn::Shape{3, 32, 32});
+  int cur = ConvBlock(net, nn::kInputNode, "conv1", 3, 32, 5, 1, 2, 2, 2);
+  cur = ConvBlock(net, cur, "conv2", 32, 32, 5, 1, 2, 2, 2);
+  cur = ConvBlock(net, cur, "conv3", 32, 64, 3, 1, 1, 2, 2);
+  FcBlock(net, cur, "ip1", 4 * 4 * 64, 10, /*relu=*/false);
+  sc::Rng rng(seed);
+  nn::InitNetwork(net, rng);
+  return net;
+}
+
+nn::Network MakeAlexNet(std::uint64_t seed) {
+  Network net(nn::Shape{3, 227, 227});
+  int cur = ConvBlock(net, nn::kInputNode, "conv1", 3, 96, 11, 4, 0, 3, 2);
+  cur = ConvBlock(net, cur, "conv2", 96, 256, 5, 1, 2, 3, 2);
+  cur = ConvBlock(net, cur, "conv3", 256, 384, 3, 1, 1);
+  cur = ConvBlock(net, cur, "conv4", 384, 384, 3, 1, 1);
+  cur = ConvBlock(net, cur, "conv5", 384, 256, 3, 1, 1, 3, 2);
+  cur = FcBlock(net, cur, "fc6", 6 * 6 * 256, 4096, /*relu=*/true);
+  cur = FcBlock(net, cur, "fc7", 4096, 4096, /*relu=*/true);
+  FcBlock(net, cur, "fc8", 4096, 1000, /*relu=*/false);
+  sc::Rng rng(seed);
+  nn::InitNetwork(net, rng);
+  return net;
+}
+
+nn::Network MakeSqueezeNet(const SqueezeNetOptions& opts) {
+  Network net(nn::Shape{3, 224, 224});
+
+  auto fire = [&](int src, const std::string& name, int in_d, int squeeze,
+                  int expand) {
+    int s = ConvBlock(net, src, name + "_squeeze1x1", in_d, squeeze, 1, 1, 0);
+    int e1 =
+        ConvBlock(net, s, name + "_expand1x1", squeeze, expand, 1, 1, 0);
+    int e3 =
+        ConvBlock(net, s, name + "_expand3x3", squeeze, expand, 3, 1, 1);
+    return net.Add(std::make_unique<nn::Concat>(name + "_concat", 2),
+                   {e1, e3});
+  };
+  auto bypass_wanted = [&](int fire_idx) {
+    return std::find(opts.bypass_fires.begin(), opts.bypass_fires.end(),
+                     fire_idx) != opts.bypass_fires.end();
+  };
+
+  int cur = ConvBlock(net, nn::kInputNode, "conv1", 3, 96, 7, 2, 0);
+  cur = net.Add(nn::MakeMaxPool("pool1", 3, 2), {cur});
+
+  struct FireSpec {
+    int squeeze, expand;
+    bool pool_after;
+  };
+  // SqueezeNet v1.0: fire2..fire9; pools after fire4 and fire8.
+  const FireSpec specs[] = {{16, 64, false}, {16, 64, false},
+                            {32, 128, true}, {32, 128, false},
+                            {48, 192, false}, {48, 192, false},
+                            {64, 256, true}, {64, 256, false}};
+  int in_d = 96;
+  for (int k = 0; k < 8; ++k) {
+    const int fire_idx = k + 2;
+    const int out = fire(cur, "fire" + std::to_string(fire_idx), in_d,
+                         specs[k].squeeze, specs[k].expand);
+    const int out_d = 2 * specs[k].expand;
+    if (bypass_wanted(fire_idx)) {
+      SC_CHECK_MSG(in_d == out_d, "simple bypass needs matching depths at "
+                                      << "fire" << fire_idx);
+      cur = net.Add(std::make_unique<nn::EltwiseAdd>(
+                        "bypass" + std::to_string(fire_idx), 2),
+                    {out, cur});
+    } else {
+      cur = out;
+    }
+    if (specs[k].pool_after) {
+      cur = net.Add(
+          nn::MakeMaxPool("pool" + std::to_string(fire_idx), 3, 2), {cur});
+    }
+    in_d = out_d;
+  }
+
+  cur = ConvBlock(net, cur, "conv10", 512, 1000, 1, 1, 0);
+  // Global average pooling down to one score per class.
+  const int final_w = net.output_shape(cur)[1];
+  net.Add(nn::MakeAvgPool("gpool", final_w, 1), {cur});
+
+  sc::Rng rng(opts.seed);
+  nn::InitNetwork(net, rng);
+  return net;
+}
+
+nn::Network MakeInceptionNet(std::uint64_t seed) {
+  Network net(nn::Shape{3, 64, 64});
+
+  auto inception = [&](int src, const std::string& name, int in_d, int b1,
+                       int b2_reduce, int b2, int b3_reduce, int b3,
+                       int b4) {
+    const int br1 = ConvBlock(net, src, name + "_1x1", in_d, b1, 1, 1, 0);
+    int br2 = ConvBlock(net, src, name + "_3x3r", in_d, b2_reduce, 1, 1, 0);
+    br2 = ConvBlock(net, br2, name + "_3x3", b2_reduce, b2, 3, 1, 1);
+    int br3 = ConvBlock(net, src, name + "_5x5r", in_d, b3_reduce, 1, 1, 0);
+    br3 = ConvBlock(net, br3, name + "_5x5", b3_reduce, b3, 5, 1, 2);
+    int br4 = net.Add(nn::MakeMaxPool(name + "_pool", 3, 1, 1), {src});
+    br4 = ConvBlock(net, br4, name + "_poolproj", in_d, b4, 1, 1, 0);
+    return net.Add(std::make_unique<nn::Concat>(name + "_concat", 4),
+                   {br1, br2, br3, br4});
+  };
+
+  int cur = ConvBlock(net, nn::kInputNode, "stem", 3, 16, 3, 1, 1, 2, 2);
+  cur = inception(cur, "inc1", 16, 8, 6, 12, 4, 6, 6);      // out 32 @32x32
+  cur = net.Add(nn::MakeMaxPool("pool1", 2, 2), {cur});     // 16x16
+  cur = inception(cur, "inc2", 32, 12, 8, 16, 4, 8, 12);    // out 48 @16x16
+  cur = ConvBlock(net, cur, "classifier", 48, 10, 1, 1, 0);
+  net.Add(nn::MakeAvgPool("gpool", 16, 1), {cur});
+  sc::Rng rng(seed);
+  nn::InitNetwork(net, rng);
+  return net;
+}
+
+CompressedConv1 MakeCompressedConv1Weights(float zero_fraction,
+                                           std::uint64_t seed) {
+  SC_CHECK(zero_fraction >= 0.0f && zero_fraction < 1.0f);
+  CompressedConv1 out;
+  out.weights = nn::Tensor(nn::Shape{96, 3, 11, 11});
+  out.bias = nn::Tensor(nn::Shape{96});
+  sc::Rng rng(seed);
+  nn::HeInit(out.weights, 3 * 11 * 11, rng);
+
+  // Magnitude pruning: zero out the globally smallest fraction.
+  std::vector<float> mags(out.weights.numel());
+  for (std::size_t i = 0; i < mags.size(); ++i)
+    mags[i] = std::fabs(out.weights[i]);
+  std::vector<float> sorted = mags;
+  std::sort(sorted.begin(), sorted.end());
+  const float cutoff =
+      sorted[static_cast<std::size_t>(zero_fraction *
+                                      static_cast<float>(sorted.size()))];
+  for (std::size_t i = 0; i < out.weights.numel(); ++i)
+    if (mags[i] < cutoff) out.weights[i] = 0.0f;
+
+  // Biases: mixed signs, bounded away from zero so ratios are defined.
+  for (int k = 0; k < 96; ++k) {
+    const float mag = rng.UniformF(0.05f, 0.5f);
+    out.bias.at(k) = rng.Chance(0.5) ? mag : -mag;
+  }
+  return out;
+}
+
+nn::Network MakeConvStageVictim(const ConvStageVictimSpec& spec,
+                                const nn::Tensor& weights,
+                                const nn::Tensor& bias) {
+  Network net(nn::Shape{spec.in_depth, spec.in_width, spec.in_width});
+  auto conv = std::make_unique<nn::Conv2D>("victim_conv", spec.in_depth,
+                                           spec.out_depth, spec.filter,
+                                           spec.stride, spec.pad);
+  SC_CHECK(conv->weights().shape() == weights.shape());
+  SC_CHECK(conv->bias().shape() == bias.shape());
+  conv->weights() = weights;
+  conv->bias() = bias;
+  int cur = net.Add(std::move(conv), {nn::kInputNode});
+
+  auto add_relu = [&](int src) {
+    return net.Add(std::make_unique<nn::Relu>("victim_relu"), {src});
+  };
+  auto add_pool = [&](int src) {
+    auto layer = spec.pool == nn::PoolKind::kMax
+                     ? nn::MakeMaxPool("victim_pool", spec.pool_window,
+                                       spec.pool_stride)
+                     : nn::MakeAvgPool("victim_pool", spec.pool_window,
+                                       spec.pool_stride);
+    return net.Add(std::move(layer), {src});
+  };
+
+  if (spec.pool == nn::PoolKind::kNone) {
+    if (spec.relu) cur = add_relu(cur);
+  } else if (spec.relu_before_pool) {
+    if (spec.relu) cur = add_relu(cur);
+    cur = add_pool(cur);
+  } else {
+    cur = add_pool(cur);
+    if (spec.relu) cur = add_relu(cur);
+  }
+  return net;
+}
+
+}  // namespace sc::models

@@ -1,0 +1,78 @@
+// Victim model builders: the four networks the paper evaluates (Table 3)
+// plus helpers for the weight-attack case study.
+//
+// Weight values are deterministic pseudo-random (He init) — the structure
+// attack depends only on geometry and timing, and the weight-attack case
+// study generates its own weights (CompressedConv1Weights).
+#ifndef SC_MODELS_ZOO_H_
+#define SC_MODELS_ZOO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/geometry.h"
+#include "nn/network.h"
+#include "nn/tensor.h"
+
+namespace sc::models {
+
+// 4 weighted layers, 28x28x1 input, 10 classes (Caffe LeNet geometry).
+nn::Network MakeLeNet(std::uint64_t seed = 1);
+
+// 4 weighted layers, 32x32x3 input, 10 classes (CIFAR-10 quick geometry).
+nn::Network MakeConvNet(std::uint64_t seed = 1);
+
+// 8 weighted layers, 227x227x3 input, 1000 classes (AlexNet; LRN layers are
+// omitted — they run on-chip and leave no off-chip trace).
+nn::Network MakeAlexNet(std::uint64_t seed = 1);
+
+struct SqueezeNetOptions {
+  // Simple-bypass connections around these fire modules (2-indexed as in
+  // the paper: fire2..fire9). Empty = vanilla SqueezeNet v1.0.
+  std::vector<int> bypass_fires{3, 5, 7, 9};
+  std::uint64_t seed = 1;
+};
+
+// 18 weighted layers (2 conv + 8 fire modules x 2), 224x224x3 input,
+// 1000 classes; SqueezeNet v1.0 with optional simple bypass.
+nn::Network MakeSqueezeNet(const SqueezeNetOptions& opts = {});
+
+// Small GoogLeNet-style victim: a stem convolution, two inception modules
+// (four parallel branches each: 1x1; 1x1->3x3; 1x1->5x5; 3x3/1 max pool ->
+// 1x1; depth-concatenated), a 1x1 classifier conv and global average
+// pooling. Exercises 4-way branching and the weight-free pool branch the
+// paper's networks never produce. 64x64x3 input, 10 classes.
+nn::Network MakeInceptionNet(std::uint64_t seed = 1);
+
+// Weights mimicking the compressed AlexNet CONV1 of the paper's §4.2 case
+// study: {96, 3, 11, 11} He-initialized, smallest `zero_fraction` of
+// magnitudes pruned to exact zeros (Deep Compression prunes ~16% of CONV1).
+struct CompressedConv1 {
+  nn::Tensor weights;  // {96, 3, 11, 11}
+  nn::Tensor bias;     // {96}; magnitudes in [0.05, 0.5], mixed signs
+};
+CompressedConv1 MakeCompressedConv1Weights(float zero_fraction = 0.16f,
+                                           std::uint64_t seed = 7);
+
+// Single fused-stage victim (conv [+ReLU] [+pool]) with the given secrets,
+// for driving the weight attack against the accelerator simulator.
+struct ConvStageVictimSpec {
+  int in_depth = 3;
+  int in_width = 32;
+  int out_depth = 8;
+  int filter = 3;
+  int stride = 1;
+  int pad = 0;
+  bool relu = true;
+  nn::PoolKind pool = nn::PoolKind::kNone;
+  int pool_window = 0;
+  int pool_stride = 0;
+  bool relu_before_pool = true;  // false: conv -> pool -> relu
+};
+nn::Network MakeConvStageVictim(const ConvStageVictimSpec& spec,
+                                const nn::Tensor& weights,
+                                const nn::Tensor& bias);
+
+}  // namespace sc::models
+
+#endif  // SC_MODELS_ZOO_H_

@@ -1,0 +1,33 @@
+#include "nn/activation.h"
+
+namespace sc::nn {
+
+Shape Relu::OutputShape(const std::vector<Shape>& in) const {
+  SC_CHECK_MSG(in.size() == 1, "Relu expects one input");
+  return in[0];
+}
+
+Tensor Relu::Forward(const std::vector<const Tensor*>& in) const {
+  SC_CHECK(in.size() == 1 && in[0] != nullptr);
+  const Tensor& x = *in[0];
+  Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    y[i] = x[i] > threshold_ ? x[i] : 0.0f;
+  return y;
+}
+
+std::vector<Tensor> Relu::Backward(const std::vector<const Tensor*>& in,
+                                   const Tensor& out,
+                                   const Tensor& grad_out) {
+  SC_CHECK(in.size() == 1 && in[0] != nullptr);
+  SC_CHECK(grad_out.shape() == out.shape());
+  const Tensor& x = *in[0];
+  Tensor grad_in(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    grad_in[i] = x[i] > threshold_ ? grad_out[i] : 0.0f;
+  std::vector<Tensor> grads;
+  grads.push_back(std::move(grad_in));
+  return grads;
+}
+
+}  // namespace sc::nn

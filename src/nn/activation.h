@@ -1,0 +1,42 @@
+// ReLU activation with an optional tunable threshold.
+//
+// Standard ReLU is threshold == 0. Several accelerator designs the paper
+// cites (Minerva, Cnvlutin) replace ReLU with a tunable threshold function
+// that prunes small positive values too; the weight attack's full bias
+// recovery (paper §4.1, last paragraph) exploits exactly that knob.
+#ifndef SC_NN_ACTIVATION_H_
+#define SC_NN_ACTIVATION_H_
+
+#include "nn/layer.h"
+
+namespace sc::nn {
+
+// y = x if x > threshold else 0.
+class Relu : public Layer {
+ public:
+  explicit Relu(std::string name, float threshold = 0.0f)
+      : Layer(std::move(name)), threshold_(threshold) {
+    SC_CHECK_MSG(threshold >= 0.0f, "ReLU threshold must be >= 0");
+  }
+
+  LayerKind kind() const override { return LayerKind::kRelu; }
+  Shape OutputShape(const std::vector<Shape>& in) const override;
+  Tensor Forward(const std::vector<const Tensor*>& in) const override;
+  std::vector<Tensor> Backward(const std::vector<const Tensor*>& in,
+                               const Tensor& out,
+                               const Tensor& grad_out) override;
+
+  float threshold() const { return threshold_; }
+  // The tunable-threshold knob exposed by Minerva-style accelerators.
+  void set_threshold(float t) {
+    SC_CHECK_MSG(t >= 0.0f, "ReLU threshold must be >= 0");
+    threshold_ = t;
+  }
+
+ private:
+  float threshold_;
+};
+
+}  // namespace sc::nn
+
+#endif  // SC_NN_ACTIVATION_H_

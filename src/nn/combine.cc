@@ -1,0 +1,89 @@
+#include "nn/combine.h"
+
+namespace sc::nn {
+
+Concat::Concat(std::string name, int num_inputs)
+    : Layer(std::move(name)), num_inputs_(num_inputs) {
+  SC_CHECK_MSG(num_inputs >= 2, "Concat needs >= 2 inputs");
+}
+
+Shape Concat::OutputShape(const std::vector<Shape>& in) const {
+  SC_CHECK_MSG(static_cast<int>(in.size()) == num_inputs_,
+               "Concat arity mismatch");
+  int depth = 0;
+  for (const Shape& s : in) {
+    SC_CHECK_MSG(s.rank() == 3, "Concat inputs must be rank-3");
+    SC_CHECK_MSG(s[1] == in[0][1] && s[2] == in[0][2],
+                 "Concat spatial extents differ: " << s << " vs " << in[0]);
+    depth += s[0];
+  }
+  return Shape{depth, in[0][1], in[0][2]};
+}
+
+Tensor Concat::Forward(const std::vector<const Tensor*>& in) const {
+  std::vector<Shape> shapes;
+  shapes.reserve(in.size());
+  for (const Tensor* t : in) {
+    SC_CHECK(t != nullptr);
+    shapes.push_back(t->shape());
+  }
+  Tensor y(OutputShape(shapes));
+  std::size_t offset = 0;
+  for (const Tensor* t : in) {
+    for (std::size_t i = 0; i < t->numel(); ++i) y[offset + i] = (*t)[i];
+    offset += t->numel();
+  }
+  return y;
+}
+
+std::vector<Tensor> Concat::Backward(const std::vector<const Tensor*>& in,
+                                     const Tensor& out,
+                                     const Tensor& grad_out) {
+  SC_CHECK(grad_out.shape() == out.shape());
+  std::vector<Tensor> grads;
+  std::size_t offset = 0;
+  for (const Tensor* t : in) {
+    Tensor g(t->shape());
+    for (std::size_t i = 0; i < g.numel(); ++i) g[i] = grad_out[offset + i];
+    offset += g.numel();
+    grads.push_back(std::move(g));
+  }
+  return grads;
+}
+
+EltwiseAdd::EltwiseAdd(std::string name, int num_inputs)
+    : Layer(std::move(name)), num_inputs_(num_inputs) {
+  SC_CHECK_MSG(num_inputs >= 2, "EltwiseAdd needs >= 2 inputs");
+}
+
+Shape EltwiseAdd::OutputShape(const std::vector<Shape>& in) const {
+  SC_CHECK_MSG(static_cast<int>(in.size()) == num_inputs_,
+               "EltwiseAdd arity mismatch");
+  for (const Shape& s : in)
+    SC_CHECK_MSG(s == in[0], "EltwiseAdd shape mismatch: " << s << " vs "
+                                                           << in[0]);
+  return in[0];
+}
+
+Tensor EltwiseAdd::Forward(const std::vector<const Tensor*>& in) const {
+  SC_CHECK(static_cast<int>(in.size()) == num_inputs_);
+  for (const Tensor* t : in) SC_CHECK(t != nullptr);
+  Tensor y(in[0]->shape());
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    float acc = 0.0f;
+    for (const Tensor* t : in) acc += (*t)[i];
+    y[i] = acc;
+  }
+  return y;
+}
+
+std::vector<Tensor> EltwiseAdd::Backward(const std::vector<const Tensor*>& in,
+                                         const Tensor& out,
+                                         const Tensor& grad_out) {
+  SC_CHECK(grad_out.shape() == out.shape());
+  std::vector<Tensor> grads;
+  for (std::size_t k = 0; k < in.size(); ++k) grads.push_back(grad_out);
+  return grads;
+}
+
+}  // namespace sc::nn

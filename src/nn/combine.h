@@ -1,0 +1,52 @@
+// Multi-input combination layers: depth concatenation and element-wise add.
+//
+// Concat implements the fire-module output of SqueezeNet (expand1x1 ++
+// expand3x3 along the channel dimension). EltwiseAdd implements the bypass
+// connections of ResNet/SqueezeNet-with-bypass; following the paper, it is
+// realised as a separate layer that reads both operands (the Caffe /
+// TensorFlow strategy), which is what makes bypass paths visible as extra
+// RAW dependencies in the memory trace.
+#ifndef SC_NN_COMBINE_H_
+#define SC_NN_COMBINE_H_
+
+#include "nn/layer.h"
+
+namespace sc::nn {
+
+// Concatenates N >= 2 inputs with equal spatial extents along depth.
+class Concat : public Layer {
+ public:
+  Concat(std::string name, int num_inputs);
+
+  LayerKind kind() const override { return LayerKind::kConcat; }
+  int num_inputs() const override { return num_inputs_; }
+  Shape OutputShape(const std::vector<Shape>& in) const override;
+  Tensor Forward(const std::vector<const Tensor*>& in) const override;
+  std::vector<Tensor> Backward(const std::vector<const Tensor*>& in,
+                               const Tensor& out,
+                               const Tensor& grad_out) override;
+
+ private:
+  int num_inputs_;
+};
+
+// Element-wise sum of N >= 2 equal-shape inputs.
+class EltwiseAdd : public Layer {
+ public:
+  EltwiseAdd(std::string name, int num_inputs);
+
+  LayerKind kind() const override { return LayerKind::kEltwiseAdd; }
+  int num_inputs() const override { return num_inputs_; }
+  Shape OutputShape(const std::vector<Shape>& in) const override;
+  Tensor Forward(const std::vector<const Tensor*>& in) const override;
+  std::vector<Tensor> Backward(const std::vector<const Tensor*>& in,
+                               const Tensor& out,
+                               const Tensor& grad_out) override;
+
+ private:
+  int num_inputs_;
+};
+
+}  // namespace sc::nn
+
+#endif  // SC_NN_COMBINE_H_

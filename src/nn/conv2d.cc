@@ -1,0 +1,176 @@
+#include "nn/conv2d.h"
+
+#include <algorithm>
+
+namespace sc::nn {
+
+const char* ToString(LayerKind k) {
+  switch (k) {
+    case LayerKind::kConv:
+      return "conv";
+    case LayerKind::kMaxPool:
+      return "maxpool";
+    case LayerKind::kAvgPool:
+      return "avgpool";
+    case LayerKind::kRelu:
+      return "relu";
+    case LayerKind::kFullyConnected:
+      return "fc";
+    case LayerKind::kConcat:
+      return "concat";
+    case LayerKind::kEltwiseAdd:
+      return "eltwise_add";
+  }
+  return "?";
+}
+
+Conv2D::Conv2D(std::string name, int in_depth, int out_depth, int filter,
+               int stride, int pad)
+    : Layer(std::move(name)),
+      in_depth_(in_depth),
+      out_depth_(out_depth),
+      filter_(filter),
+      stride_(stride),
+      pad_(pad),
+      weights_(Shape{out_depth, in_depth, filter, filter}),
+      bias_(Shape{out_depth}),
+      grad_weights_(Shape{out_depth, in_depth, filter, filter}),
+      grad_bias_(Shape{out_depth}) {
+  SC_CHECK_MSG(in_depth >= 1 && out_depth >= 1 && filter >= 1 && stride >= 1 &&
+                   pad >= 0 && pad < filter,
+               "bad Conv2D config");
+}
+
+Shape Conv2D::OutputShape(const std::vector<Shape>& in) const {
+  SC_CHECK_MSG(in.size() == 1, "Conv2D expects one input");
+  const Shape& s = in[0];
+  SC_CHECK_MSG(s.rank() == 3, "Conv2D input must be rank-3 {d,h,w}");
+  SC_CHECK_MSG(s[0] == in_depth_, "Conv2D depth mismatch: input " << s[0]
+                                      << " vs configured " << in_depth_);
+  SC_CHECK_MSG(s[1] == s[2], "Conv2D requires square feature maps");
+  const int out_w = ConvOutWidth(s[1], filter_, stride_, pad_);
+  return Shape{out_depth_, out_w, out_w};
+}
+
+Tensor Conv2D::Forward(const std::vector<const Tensor*>& in) const {
+  SC_CHECK(in.size() == 1 && in[0] != nullptr);
+  const Tensor& x = *in[0];
+  Tensor y(OutputShape({x.shape()}));
+  const int h = x.shape()[1];
+  const int w = x.shape()[2];
+  const int out_w = y.shape()[1];
+  const float* xd = x.data();
+  const float* wd = weights_.data();
+  float* yd = y.data();
+
+  // Pointer-arithmetic hot loop: per output row, clamp the filter window to
+  // the valid input range once, then run contiguous inner loops.
+  for (int oc = 0; oc < out_depth_; ++oc) {
+    const float b = bias_.at(oc);
+    for (int oy = 0; oy < out_w; ++oy) {
+      const int iy0 = oy * stride_ - pad_;
+      const int ky_lo = iy0 < 0 ? -iy0 : 0;
+      const int ky_hi = std::min(filter_, h - iy0);
+      for (int ox = 0; ox < out_w; ++ox) {
+        const int ix0 = ox * stride_ - pad_;
+        const int kx_lo = ix0 < 0 ? -ix0 : 0;
+        const int kx_hi = std::min(filter_, w - ix0);
+        float acc = b;
+        for (int ic = 0; ic < in_depth_; ++ic) {
+          const float* x_chan =
+              xd + static_cast<std::size_t>(ic) * static_cast<std::size_t>(h) *
+                       static_cast<std::size_t>(w);
+          const float* w_chan =
+              wd + (static_cast<std::size_t>(oc) *
+                        static_cast<std::size_t>(in_depth_) +
+                    static_cast<std::size_t>(ic)) *
+                       static_cast<std::size_t>(filter_) *
+                       static_cast<std::size_t>(filter_);
+          for (int ky = ky_lo; ky < ky_hi; ++ky) {
+            const float* x_row =
+                x_chan + static_cast<std::size_t>(iy0 + ky) *
+                             static_cast<std::size_t>(w) +
+                static_cast<std::size_t>(ix0);
+            const float* w_row = w_chan + static_cast<std::size_t>(ky) *
+                                              static_cast<std::size_t>(filter_);
+            for (int kx = kx_lo; kx < kx_hi; ++kx)
+              acc += x_row[kx] * w_row[kx];
+          }
+        }
+        *yd++ = acc;
+      }
+    }
+  }
+  return y;
+}
+
+std::vector<Tensor> Conv2D::Backward(const std::vector<const Tensor*>& in,
+                                     const Tensor& out,
+                                     const Tensor& grad_out) {
+  SC_CHECK(in.size() == 1 && in[0] != nullptr);
+  SC_CHECK(grad_out.shape() == out.shape());
+  const Tensor& x = *in[0];
+  Tensor grad_in(x.shape());
+  const int h = x.shape()[1];
+  const int w = x.shape()[2];
+  const int out_w = out.shape()[1];
+
+  const float* xd = x.data();
+  const float* wd = weights_.data();
+  float* gxd = grad_in.data();
+  float* gwd = grad_weights_.data();
+  const float* god = grad_out.data();
+
+  const auto chan_stride =
+      static_cast<std::size_t>(h) * static_cast<std::size_t>(w);
+  const auto filt_area =
+      static_cast<std::size_t>(filter_) * static_cast<std::size_t>(filter_);
+
+  for (int oc = 0; oc < out_depth_; ++oc) {
+    for (int oy = 0; oy < out_w; ++oy) {
+      const int iy0 = oy * stride_ - pad_;
+      const int ky_lo = iy0 < 0 ? -iy0 : 0;
+      const int ky_hi = std::min(filter_, h - iy0);
+      for (int ox = 0; ox < out_w; ++ox) {
+        const float g = *god++;
+        if (g == 0.0f) continue;
+        grad_bias_.at(oc) += g;
+        const int ix0 = ox * stride_ - pad_;
+        const int kx_lo = ix0 < 0 ? -ix0 : 0;
+        const int kx_hi = std::min(filter_, w - ix0);
+        for (int ic = 0; ic < in_depth_; ++ic) {
+          const std::size_t x_base = static_cast<std::size_t>(ic) * chan_stride;
+          const std::size_t w_base =
+              (static_cast<std::size_t>(oc) *
+                   static_cast<std::size_t>(in_depth_) +
+               static_cast<std::size_t>(ic)) *
+              filt_area;
+          for (int ky = ky_lo; ky < ky_hi; ++ky) {
+            const std::size_t row =
+                x_base + static_cast<std::size_t>(iy0 + ky) *
+                             static_cast<std::size_t>(w) +
+                static_cast<std::size_t>(ix0);
+            const std::size_t wrow =
+                w_base + static_cast<std::size_t>(ky) *
+                             static_cast<std::size_t>(filter_);
+            for (int kx = kx_lo; kx < kx_hi; ++kx) {
+              gwd[wrow + static_cast<std::size_t>(kx)] +=
+                  g * xd[row + static_cast<std::size_t>(kx)];
+              gxd[row + static_cast<std::size_t>(kx)] +=
+                  g * wd[wrow + static_cast<std::size_t>(kx)];
+            }
+          }
+        }
+      }
+    }
+  }
+  std::vector<Tensor> grads;
+  grads.push_back(std::move(grad_in));
+  return grads;
+}
+
+std::vector<ParamRef> Conv2D::Params() {
+  return {{&weights_, &grad_weights_}, {&bias_, &grad_bias_}};
+}
+
+}  // namespace sc::nn

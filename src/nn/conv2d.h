@@ -1,0 +1,50 @@
+// 2-D convolution layer (square filters, square feature maps).
+#ifndef SC_NN_CONV2D_H_
+#define SC_NN_CONV2D_H_
+
+#include "nn/geometry.h"
+#include "nn/layer.h"
+
+namespace sc::nn {
+
+// Convolution with per-side zero padding, floor output arithmetic (see
+// geometry.h) and a per-output-channel bias. Weights are {oc, ic, f, f}.
+class Conv2D : public Layer {
+ public:
+  Conv2D(std::string name, int in_depth, int out_depth, int filter,
+         int stride, int pad);
+
+  LayerKind kind() const override { return LayerKind::kConv; }
+  Shape OutputShape(const std::vector<Shape>& in) const override;
+  Tensor Forward(const std::vector<const Tensor*>& in) const override;
+  std::vector<Tensor> Backward(const std::vector<const Tensor*>& in,
+                               const Tensor& out,
+                               const Tensor& grad_out) override;
+  std::vector<ParamRef> Params() override;
+
+  int in_depth() const { return in_depth_; }
+  int out_depth() const { return out_depth_; }
+  int filter() const { return filter_; }
+  int stride() const { return stride_; }
+  int pad() const { return pad_; }
+
+  Tensor& weights() { return weights_; }
+  const Tensor& weights() const { return weights_; }
+  Tensor& bias() { return bias_; }
+  const Tensor& bias() const { return bias_; }
+
+ private:
+  int in_depth_;
+  int out_depth_;
+  int filter_;
+  int stride_;
+  int pad_;
+  Tensor weights_;       // {oc, ic, f, f}
+  Tensor bias_;          // {oc}
+  Tensor grad_weights_;  // same shapes as the parameters
+  Tensor grad_bias_;
+};
+
+}  // namespace sc::nn
+
+#endif  // SC_NN_CONV2D_H_

@@ -1,0 +1,72 @@
+#include "nn/dense.h"
+
+namespace sc::nn {
+
+FullyConnected::FullyConnected(std::string name, int in_features,
+                               int out_features)
+    : Layer(std::move(name)),
+      in_features_(in_features),
+      out_features_(out_features),
+      weights_(Shape{out_features, in_features}),
+      bias_(Shape{out_features}),
+      grad_weights_(Shape{out_features, in_features}),
+      grad_bias_(Shape{out_features}) {
+  SC_CHECK_MSG(in_features >= 1 && out_features >= 1, "bad FC config");
+}
+
+Shape FullyConnected::OutputShape(const std::vector<Shape>& in) const {
+  SC_CHECK_MSG(in.size() == 1, "FC expects one input");
+  SC_CHECK_MSG(in[0].rank() == 3, "FC input must be rank-3");
+  SC_CHECK_MSG(static_cast<int>(in[0].numel()) == in_features_,
+               "FC feature count mismatch: input " << in[0] << " has "
+                                                   << in[0].numel()
+                                                   << ", expected "
+                                                   << in_features_);
+  return Shape{out_features_, 1, 1};
+}
+
+Tensor FullyConnected::Forward(const std::vector<const Tensor*>& in) const {
+  SC_CHECK(in.size() == 1 && in[0] != nullptr);
+  const Tensor& x = *in[0];
+  Tensor y(OutputShape({x.shape()}));
+  for (int o = 0; o < out_features_; ++o) {
+    float acc = bias_.at(o);
+    const float* w_row =
+        weights_.data() + static_cast<std::size_t>(o) *
+                              static_cast<std::size_t>(in_features_);
+    for (int i = 0; i < in_features_; ++i)
+      acc += w_row[i] * x[static_cast<std::size_t>(i)];
+    y.at(o, 0, 0) = acc;
+  }
+  return y;
+}
+
+std::vector<Tensor> FullyConnected::Backward(
+    const std::vector<const Tensor*>& in, const Tensor& out,
+    const Tensor& grad_out) {
+  SC_CHECK(in.size() == 1 && in[0] != nullptr);
+  SC_CHECK(grad_out.shape() == out.shape());
+  const Tensor& x = *in[0];
+  Tensor grad_in(x.shape());
+  for (int o = 0; o < out_features_; ++o) {
+    const float g = grad_out.at(o, 0, 0);
+    if (g == 0.0f) continue;
+    grad_bias_.at(o) += g;
+    const std::size_t row =
+        static_cast<std::size_t>(o) * static_cast<std::size_t>(in_features_);
+    for (int i = 0; i < in_features_; ++i) {
+      const auto ii = static_cast<std::size_t>(i);
+      grad_weights_[row + ii] += g * x[ii];
+      grad_in[ii] += g * weights_[row + ii];
+    }
+  }
+  std::vector<Tensor> grads;
+  grads.push_back(std::move(grad_in));
+  return grads;
+}
+
+std::vector<ParamRef> FullyConnected::Params() {
+  return {{&weights_, &grad_weights_}, {&bias_, &grad_bias_}};
+}
+
+}  // namespace sc::nn

@@ -1,0 +1,45 @@
+// Fully-connected layer.
+//
+// Accepts any rank-3 input {d, h, w} and treats it as a flat vector of
+// d*h*w features (the accelerator-level view: an FC layer is a convolution
+// whose filter covers the whole input). Output is {out, 1, 1} so FC layers
+// compose with the rest of the rank-3 pipeline.
+#ifndef SC_NN_DENSE_H_
+#define SC_NN_DENSE_H_
+
+#include "nn/layer.h"
+
+namespace sc::nn {
+
+class FullyConnected : public Layer {
+ public:
+  FullyConnected(std::string name, int in_features, int out_features);
+
+  LayerKind kind() const override { return LayerKind::kFullyConnected; }
+  Shape OutputShape(const std::vector<Shape>& in) const override;
+  Tensor Forward(const std::vector<const Tensor*>& in) const override;
+  std::vector<Tensor> Backward(const std::vector<const Tensor*>& in,
+                               const Tensor& out,
+                               const Tensor& grad_out) override;
+  std::vector<ParamRef> Params() override;
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+
+  Tensor& weights() { return weights_; }
+  const Tensor& weights() const { return weights_; }
+  Tensor& bias() { return bias_; }
+  const Tensor& bias() const { return bias_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  Tensor weights_;  // {out, in}
+  Tensor bias_;     // {out}
+  Tensor grad_weights_;
+  Tensor grad_bias_;
+};
+
+}  // namespace sc::nn
+
+#endif  // SC_NN_DENSE_H_

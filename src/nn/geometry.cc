@@ -1,0 +1,121 @@
+#include "nn/geometry.h"
+
+#include <ostream>
+
+#include "support/check.h"
+
+namespace sc::nn {
+
+int ConvOutWidth(int w, int f, int s, int p) {
+  SC_CHECK_MSG(w >= 1 && f >= 1 && s >= 1 && p >= 0,
+               "bad conv geometry w=" << w << " f=" << f << " s=" << s
+                                      << " p=" << p);
+  SC_CHECK_MSG(w + 2 * p >= f, "filter larger than padded input");
+  return (w + 2 * p - f) / s + 1;
+}
+
+int PoolOutWidth(int w, int f, int s, int p) {
+  SC_CHECK_MSG(w >= 1 && f >= 1 && s >= 1 && p >= 0,
+               "bad pool geometry w=" << w << " f=" << f << " s=" << s
+                                      << " p=" << p);
+  SC_CHECK_MSG(w + 2 * p >= f, "pool window larger than padded input");
+  const int span = w + 2 * p - f;
+  return (span + s - 1) / s + 1;  // ceil(span / s) + 1
+}
+
+bool ConvDividesExactly(int w, int f, int s, int p) {
+  return (w + 2 * p - f) % s == 0;
+}
+
+bool PoolDividesExactly(int w, int f, int s, int p) {
+  return (w + 2 * p - f) % s == 0;
+}
+
+const char* ToString(PoolKind k) {
+  switch (k) {
+    case PoolKind::kNone:
+      return "none";
+    case PoolKind::kMax:
+      return "max";
+    case PoolKind::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, PoolKind k) {
+  return os << ToString(k);
+}
+
+int LayerGeometry::ConvStageWidth() const {
+  return ConvOutWidth(w_ifm, f_conv, s_conv, p_conv);
+}
+
+long long LayerGeometry::SizeIfm() const {
+  return static_cast<long long>(w_ifm) * w_ifm * d_ifm;
+}
+
+long long LayerGeometry::SizeOfm() const {
+  return static_cast<long long>(w_ofm) * w_ofm * d_ofm;
+}
+
+long long LayerGeometry::SizeFilter() const {
+  return static_cast<long long>(f_conv) * f_conv * d_ifm * d_ofm;
+}
+
+long long LayerGeometry::MacCount() const {
+  return static_cast<long long>(w_ofm) * w_ofm * d_ofm * f_conv * f_conv *
+         d_ifm;
+}
+
+long long LayerGeometry::ConvMacCount() const {
+  const long long w = ConvStageWidth();
+  return w * w * d_ofm * f_conv * f_conv * d_ifm;
+}
+
+bool LayerGeometry::IsFullyConnected() const {
+  return f_conv == w_ifm && s_conv == 1 && p_conv == 0 && !has_pool() &&
+         w_ofm == 1;
+}
+
+bool LayerGeometry::IsConsistent() const {
+  if (w_ifm < 1 || d_ifm < 1 || w_ofm < 1 || d_ofm < 1 || f_conv < 1 ||
+      s_conv < 1 || p_conv < 0) {
+    return false;
+  }
+  if (w_ifm + 2 * p_conv < f_conv) return false;
+
+  if (IsFullyConnected()) return true;
+
+  // Eq. (5): S_conv <= F_conv <= W_IFM / 2; Eq. (7): P_conv < F_conv.
+  if (s_conv > f_conv) return false;
+  if (2 * f_conv > w_ifm) return false;
+  if (p_conv >= f_conv) return false;
+
+  const int w_conv = ConvOutWidth(w_ifm, f_conv, s_conv, p_conv);
+  if (w_conv < 1) return false;
+
+  if (!has_pool()) {
+    return f_pool == 0 && s_pool == 0 && p_pool == 0 && w_ofm == w_conv;
+  }
+
+  // Eq. (6): S_pool <= F_pool <= W_conv; Eq. (8): P_pool < F_pool.
+  if (f_pool < 1 || s_pool < 1 || p_pool < 0) return false;
+  if (s_pool > f_pool) return false;
+  if (f_pool > w_conv) return false;
+  if (p_pool >= f_pool) return false;
+  return w_ofm == PoolOutWidth(w_conv, f_pool, s_pool, p_pool);
+}
+
+std::ostream& operator<<(std::ostream& os, const LayerGeometry& g) {
+  os << "ifm " << g.w_ifm << "x" << g.w_ifm << "x" << g.d_ifm << " -> ofm "
+     << g.w_ofm << "x" << g.w_ofm << "x" << g.d_ofm << ", conv f=" << g.f_conv
+     << " s=" << g.s_conv << " p=" << g.p_conv;
+  if (g.has_pool()) {
+    os << ", " << g.pool << "pool f=" << g.f_pool << " s=" << g.s_pool
+       << " p=" << g.p_pool;
+  }
+  return os;
+}
+
+}  // namespace sc::nn

@@ -1,0 +1,86 @@
+// Layer-geometry arithmetic shared by the inference engine, the accelerator
+// simulator, and the structure-attack constraint solver.
+//
+// Conventions (validated element-by-element against the paper's Table 4,
+// see DESIGN.md §5):
+//   - padding values are per-side (P pixels added on each of the 4 edges);
+//   - convolution output width uses floor division (Caffe convolution);
+//   - pooling output width uses ceil division (Caffe pooling), i.e. a
+//     partial window at the right/bottom edge still produces an output.
+#ifndef SC_NN_GEOMETRY_H_
+#define SC_NN_GEOMETRY_H_
+
+#include <iosfwd>
+
+namespace sc::nn {
+
+// Output width of a convolution: floor((w + 2p - f) / s) + 1.
+// Requires f >= 1, s >= 1, and a non-empty padded window (w + 2p >= f).
+int ConvOutWidth(int w, int f, int s, int p);
+
+// Output width of a pooling stage: ceil((w + 2p - f) / s) + 1.
+int PoolOutWidth(int w, int f, int s, int p);
+
+// True when the padded convolution walk covers the input exactly, i.e.
+// (w + 2p - f) is divisible by s (no pixels dropped by the floor).
+bool ConvDividesExactly(int w, int f, int s, int p);
+bool PoolDividesExactly(int w, int f, int s, int p);
+
+// Pooling flavour for fused conv+pool stages.
+enum class PoolKind { kNone, kMax, kAvg };
+
+const char* ToString(PoolKind k);
+std::ostream& operator<<(std::ostream& os, PoolKind k);
+
+// The 11 structural parameters of one CONV (+ optional fused pool) layer
+// from the paper's Table 2. An FC layer is the degenerate case
+// f_conv == w_ifm, s_conv == 1, p_conv == 0, no pooling, w_ofm == 1.
+struct LayerGeometry {
+  int w_ifm = 0;   // input feature-map width (== height; square maps)
+  int d_ifm = 0;   // input depth (channels)
+  int w_ofm = 0;   // output width after the optional pooling stage
+  int d_ofm = 0;   // output depth
+  int f_conv = 0;  // convolution filter width
+  int s_conv = 1;  // convolution stride
+  int p_conv = 0;  // convolution padding (per side)
+  PoolKind pool = PoolKind::kNone;
+  int f_pool = 0;  // pooling window (0 when pool == kNone)
+  int s_pool = 0;
+  int p_pool = 0;
+
+  bool has_pool() const { return pool != PoolKind::kNone; }
+
+  // Width between the convolution and the pooling stage.
+  int ConvStageWidth() const;
+
+  // Element counts observable from the memory trace (Eq. 1-3).
+  long long SizeIfm() const;
+  long long SizeOfm() const;
+  long long SizeFilter() const;
+
+  // Paper's MAC-count model: W_OFM^2 * D_OFM * F_conv^2 * D_IFM.
+  long long MacCount() const;
+
+  // MACs the hardware actually executes: the convolution runs at the
+  // pre-pooling width (pooling discards values after they are computed),
+  // so W_conv^2 * D_OFM * F_conv^2 * D_IFM. This is the count execution
+  // time is proportional to, and what the timing filter uses.
+  long long ConvMacCount() const;
+
+  // True when this is the FC special case.
+  bool IsFullyConnected() const;
+
+  // Validates internal consistency (w_ofm matches the conv/pool arithmetic,
+  // Eq. 5-8 inequality constraints). Returns false instead of throwing so
+  // the solver can use it as a filter.
+  bool IsConsistent() const;
+
+  friend auto operator<=>(const LayerGeometry&,
+                          const LayerGeometry&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const LayerGeometry& g);
+
+}  // namespace sc::nn
+
+#endif  // SC_NN_GEOMETRY_H_

@@ -1,0 +1,31 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+
+namespace sc::nn {
+
+void HeInit(Tensor& weights, int fan_in, Rng& rng) {
+  SC_CHECK(fan_in >= 1);
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  for (std::size_t i = 0; i < weights.numel(); ++i)
+    weights[i] = rng.GaussianF(stddev);
+}
+
+void InitNetwork(Network& net, Rng& rng) {
+  for (int i = 0; i < net.num_nodes(); ++i) {
+    Layer& l = net.layer(i);
+    if (auto* conv = dynamic_cast<Conv2D*>(&l)) {
+      const int fan_in = conv->in_depth() * conv->filter() * conv->filter();
+      HeInit(conv->weights(), fan_in, rng);
+      conv->bias().Zero();
+    } else if (auto* fc = dynamic_cast<FullyConnected*>(&l)) {
+      HeInit(fc->weights(), fc->in_features(), rng);
+      fc->bias().Zero();
+    }
+  }
+}
+
+}  // namespace sc::nn

@@ -1,0 +1,20 @@
+// Weight initialization.
+#ifndef SC_NN_INIT_H_
+#define SC_NN_INIT_H_
+
+#include "nn/network.h"
+#include "support/rng.h"
+
+namespace sc::nn {
+
+// He (Kaiming) initialization for one conv/FC weight tensor: Gaussian with
+// stddev sqrt(2 / fan_in). Biases are zero-initialized.
+void HeInit(Tensor& weights, int fan_in, Rng& rng);
+
+// Initializes every parameterized layer in the network: He init for
+// weights, zero for biases. Deterministic given the Rng seed.
+void InitNetwork(Network& net, Rng& rng);
+
+}  // namespace sc::nn
+
+#endif  // SC_NN_INIT_H_

@@ -1,0 +1,73 @@
+// Polymorphic layer interface.
+//
+// Layers are pure functions of their inputs plus owned parameters. Training
+// support lives in the same interface (Backward accumulates into per-layer
+// gradient tensors) so the candidate-ranking experiments (paper Figs. 4, 5)
+// can train any network the builders produce.
+#ifndef SC_NN_LAYER_H_
+#define SC_NN_LAYER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace sc::nn {
+
+enum class LayerKind {
+  kConv,
+  kMaxPool,
+  kAvgPool,
+  kRelu,
+  kFullyConnected,
+  kConcat,
+  kEltwiseAdd,
+};
+
+const char* ToString(LayerKind k);
+
+// A parameter tensor paired with its gradient accumulator.
+struct ParamRef {
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+};
+
+class Layer {
+ public:
+  explicit Layer(std::string name) : name_(std::move(name)) {}
+  virtual ~Layer() = default;
+
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  const std::string& name() const { return name_; }
+  virtual LayerKind kind() const = 0;
+
+  // Number of input tensors this layer consumes (1 for most; >= 2 for
+  // concat / eltwise).
+  virtual int num_inputs() const { return 1; }
+
+  // Shape inference; throws sc::Error on inconsistent input shapes.
+  virtual Shape OutputShape(const std::vector<Shape>& in) const = 0;
+
+  virtual Tensor Forward(const std::vector<const Tensor*>& in) const = 0;
+
+  // Reverse-mode gradient: given the forward inputs, the forward output and
+  // dL/d(output), returns dL/d(input_i) for each input and *accumulates*
+  // parameter gradients into the tensors exposed by Params().
+  virtual std::vector<Tensor> Backward(const std::vector<const Tensor*>& in,
+                                       const Tensor& out,
+                                       const Tensor& grad_out) = 0;
+
+  // Learnable parameters with their gradient accumulators; empty for
+  // parameter-free layers.
+  virtual std::vector<ParamRef> Params() { return {}; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace sc::nn
+
+#endif  // SC_NN_LAYER_H_

@@ -1,0 +1,111 @@
+#include "nn/network.h"
+
+#include <algorithm>
+
+namespace sc::nn {
+
+Network::Network(Shape input_shape) : input_shape_(input_shape) {
+  SC_CHECK_MSG(input_shape.rank() == 3, "network input must be rank-3");
+}
+
+const Network::Node& Network::NodeAt(int id) const {
+  SC_CHECK_MSG(id >= 0 && id < num_nodes(), "bad node id " << id);
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+Network::Node& Network::NodeAt(int id) {
+  SC_CHECK_MSG(id >= 0 && id < num_nodes(), "bad node id " << id);
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+int Network::Add(std::unique_ptr<Layer> layer, std::vector<int> inputs) {
+  SC_CHECK(layer != nullptr);
+  SC_CHECK_MSG(static_cast<int>(inputs.size()) == layer->num_inputs(),
+               "layer '" << layer->name() << "' expects "
+                         << layer->num_inputs() << " inputs, got "
+                         << inputs.size());
+  std::vector<Shape> in_shapes;
+  in_shapes.reserve(inputs.size());
+  for (int src : inputs) {
+    SC_CHECK_MSG(src == kInputNode || (src >= 0 && src < num_nodes()),
+                 "node '" << layer->name() << "' consumes unknown producer "
+                          << src);
+    in_shapes.push_back(src == kInputNode ? input_shape_
+                                          : output_shape(src));
+  }
+  Shape out = layer->OutputShape(in_shapes);
+  nodes_.push_back(Node{std::move(layer), std::move(inputs), out});
+  return num_nodes() - 1;
+}
+
+int Network::Append(std::unique_ptr<Layer> layer) {
+  const int prev = nodes_.empty() ? kInputNode : num_nodes() - 1;
+  return Add(std::move(layer), {prev});
+}
+
+const Shape& Network::final_shape() const {
+  SC_CHECK_MSG(!nodes_.empty(), "empty network");
+  return nodes_.back().out_shape;
+}
+
+std::vector<int> Network::OutputNodes() const {
+  std::vector<bool> consumed(nodes_.size(), false);
+  for (const Node& n : nodes_)
+    for (int src : n.inputs)
+      if (src != kInputNode) consumed[static_cast<std::size_t>(src)] = true;
+  std::vector<int> out;
+  for (int i = 0; i < num_nodes(); ++i)
+    if (!consumed[static_cast<std::size_t>(i)]) out.push_back(i);
+  return out;
+}
+
+std::vector<int> Network::ConsumersOf(int node) const {
+  std::vector<int> out;
+  for (int i = 0; i < num_nodes(); ++i) {
+    const auto& ins = nodes_[static_cast<std::size_t>(i)].inputs;
+    if (std::find(ins.begin(), ins.end(), node) != ins.end()) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<ParamRef> Network::Params() {
+  std::vector<ParamRef> all;
+  for (Node& n : nodes_)
+    for (ParamRef p : n.layer->Params()) all.push_back(p);
+  return all;
+}
+
+std::size_t Network::NumParams() {
+  std::size_t n = 0;
+  for (ParamRef p : Params()) n += p.value->numel();
+  return n;
+}
+
+std::vector<Tensor> Network::Forward(const Tensor& input) const {
+  SC_CHECK_MSG(input.shape() == input_shape_,
+               "input shape " << input.shape() << " != network input "
+                              << input_shape_);
+  std::vector<Tensor> outs;
+  outs.reserve(nodes_.size());
+  for (const Node& n : nodes_) {
+    std::vector<const Tensor*> ins;
+    ins.reserve(n.inputs.size());
+    for (int src : n.inputs)
+      ins.push_back(src == kInputNode
+                        ? &input
+                        : &outs[static_cast<std::size_t>(src)]);
+    outs.push_back(n.layer->Forward(ins));
+    SC_CHECK_MSG(outs.back().shape() == n.out_shape,
+                 "layer '" << n.layer->name()
+                           << "' produced unexpected shape");
+  }
+  return outs;
+}
+
+Tensor Network::ForwardFinal(const Tensor& input) const {
+  std::vector<Tensor> outs = Forward(input);
+  SC_CHECK_MSG(!outs.empty(), "empty network");
+  return std::move(outs.back());
+}
+
+}  // namespace sc::nn

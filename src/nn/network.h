@@ -1,0 +1,85 @@
+// A CNN as a DAG of layers.
+//
+// Nodes are appended in topological order; each node names the node indices
+// (or the network input) it consumes. This single representation is used by
+// the reference inference engine, the trainer, and the accelerator
+// simulator, so there is exactly one definition of every model.
+#ifndef SC_NN_NETWORK_H_
+#define SC_NN_NETWORK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "nn/tensor.h"
+
+namespace sc::nn {
+
+// Sentinel node id meaning "the network's input tensor".
+inline constexpr int kInputNode = -1;
+
+class Network {
+ public:
+  explicit Network(Shape input_shape);
+
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+
+  // Appends a node consuming the given producers (node indices or
+  // kInputNode). Validates arity and shape compatibility immediately.
+  // Returns the new node's id.
+  int Add(std::unique_ptr<Layer> layer, std::vector<int> inputs);
+
+  // Convenience for the common sequential case: consume the latest node
+  // (or the network input if the network is empty).
+  int Append(std::unique_ptr<Layer> layer);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const Shape& input_shape() const { return input_shape_; }
+
+  Layer& layer(int node) { return *NodeAt(node).layer; }
+  const Layer& layer(int node) const { return *NodeAt(node).layer; }
+  const std::vector<int>& inputs_of(int node) const {
+    return NodeAt(node).inputs;
+  }
+  const Shape& output_shape(int node) const { return NodeAt(node).out_shape; }
+
+  // Output shape of the final node.
+  const Shape& final_shape() const;
+
+  // Node ids that no other node consumes (the network outputs).
+  std::vector<int> OutputNodes() const;
+
+  // Node ids consuming the given node.
+  std::vector<int> ConsumersOf(int node) const;
+
+  // All learnable parameters across layers.
+  std::vector<ParamRef> Params();
+
+  // Total learnable parameter count.
+  std::size_t NumParams();
+
+  // Forward pass; returns one output tensor per node (index-aligned).
+  std::vector<Tensor> Forward(const Tensor& input) const;
+
+  // Forward pass returning only the final node's output.
+  Tensor ForwardFinal(const Tensor& input) const;
+
+ private:
+  struct Node {
+    std::unique_ptr<Layer> layer;
+    std::vector<int> inputs;
+    Shape out_shape;
+  };
+
+  const Node& NodeAt(int id) const;
+  Node& NodeAt(int id);
+
+  Shape input_shape_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace sc::nn
+
+#endif  // SC_NN_NETWORK_H_

@@ -1,0 +1,145 @@
+#include "nn/pooling.h"
+
+#include <limits>
+
+namespace sc::nn {
+
+Pooling::Pooling(std::string name, PoolKind pool, int window, int stride,
+                 int pad)
+    : Layer(std::move(name)),
+      pool_(pool),
+      window_(window),
+      stride_(stride),
+      pad_(pad) {
+  SC_CHECK_MSG(pool != PoolKind::kNone, "Pooling layer needs a pool kind");
+  SC_CHECK_MSG(window >= 1 && stride >= 1 && pad >= 0 && pad < window,
+               "bad pooling config");
+}
+
+Shape Pooling::OutputShape(const std::vector<Shape>& in) const {
+  SC_CHECK_MSG(in.size() == 1, "Pooling expects one input");
+  const Shape& s = in[0];
+  SC_CHECK_MSG(s.rank() == 3 && s[1] == s[2],
+               "Pooling input must be square rank-3");
+  const int out_w = PoolOutWidth(s[1], window_, stride_, pad_);
+  return Shape{s[0], out_w, out_w};
+}
+
+Tensor Pooling::Forward(const std::vector<const Tensor*>& in) const {
+  SC_CHECK(in.size() == 1 && in[0] != nullptr);
+  const Tensor& x = *in[0];
+  Tensor y(OutputShape({x.shape()}));
+  const int d = x.shape()[0];
+  const int w = x.shape()[1];
+  const int out_w = y.shape()[1];
+  const float area = static_cast<float>(window_) * static_cast<float>(window_);
+
+  for (int c = 0; c < d; ++c) {
+    for (int oy = 0; oy < out_w; ++oy) {
+      for (int ox = 0; ox < out_w; ++ox) {
+        const int iy0 = oy * stride_ - pad_;
+        const int ix0 = ox * stride_ - pad_;
+        if (pool_ == PoolKind::kMax) {
+          float m = -std::numeric_limits<float>::infinity();
+          bool any = false;
+          for (int ky = 0; ky < window_; ++ky) {
+            const int iy = iy0 + ky;
+            if (iy < 0 || iy >= w) continue;
+            for (int kx = 0; kx < window_; ++kx) {
+              const int ix = ix0 + kx;
+              if (ix < 0 || ix >= w) continue;
+              m = std::max(m, x.at(c, iy, ix));
+              any = true;
+            }
+          }
+          // A window fully outside the input can only arise from excessive
+          // padding, which the constructor forbids (pad < window).
+          SC_CHECK(any);
+          y.at(c, oy, ox) = m;
+        } else {
+          float sum = 0.0f;
+          for (int ky = 0; ky < window_; ++ky) {
+            const int iy = iy0 + ky;
+            if (iy < 0 || iy >= w) continue;
+            for (int kx = 0; kx < window_; ++kx) {
+              const int ix = ix0 + kx;
+              if (ix < 0 || ix >= w) continue;
+              sum += x.at(c, iy, ix);
+            }
+          }
+          y.at(c, oy, ox) = sum / area;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+std::vector<Tensor> Pooling::Backward(const std::vector<const Tensor*>& in,
+                                      const Tensor& out,
+                                      const Tensor& grad_out) {
+  SC_CHECK(in.size() == 1 && in[0] != nullptr);
+  SC_CHECK(grad_out.shape() == out.shape());
+  const Tensor& x = *in[0];
+  Tensor grad_in(x.shape());
+  const int d = x.shape()[0];
+  const int w = x.shape()[1];
+  const int out_w = out.shape()[1];
+  const float area = static_cast<float>(window_) * static_cast<float>(window_);
+
+  for (int c = 0; c < d; ++c) {
+    for (int oy = 0; oy < out_w; ++oy) {
+      for (int ox = 0; ox < out_w; ++ox) {
+        const float g = grad_out.at(c, oy, ox);
+        if (g == 0.0f) continue;
+        const int iy0 = oy * stride_ - pad_;
+        const int ix0 = ox * stride_ - pad_;
+        if (pool_ == PoolKind::kMax) {
+          // Route the gradient to the (first) argmax position.
+          const float m = out.at(c, oy, ox);
+          bool routed = false;
+          for (int ky = 0; ky < window_ && !routed; ++ky) {
+            const int iy = iy0 + ky;
+            if (iy < 0 || iy >= w) continue;
+            for (int kx = 0; kx < window_ && !routed; ++kx) {
+              const int ix = ix0 + kx;
+              if (ix < 0 || ix >= w) continue;
+              if (x.at(c, iy, ix) == m) {
+                grad_in.at(c, iy, ix) += g;
+                routed = true;
+              }
+            }
+          }
+          SC_CHECK(routed);
+        } else {
+          for (int ky = 0; ky < window_; ++ky) {
+            const int iy = iy0 + ky;
+            if (iy < 0 || iy >= w) continue;
+            for (int kx = 0; kx < window_; ++kx) {
+              const int ix = ix0 + kx;
+              if (ix < 0 || ix >= w) continue;
+              grad_in.at(c, iy, ix) += g / area;
+            }
+          }
+        }
+      }
+    }
+  }
+  std::vector<Tensor> grads;
+  grads.push_back(std::move(grad_in));
+  return grads;
+}
+
+std::unique_ptr<Pooling> MakeMaxPool(std::string name, int window, int stride,
+                                     int pad) {
+  return std::make_unique<Pooling>(std::move(name), PoolKind::kMax, window,
+                                   stride, pad);
+}
+
+std::unique_ptr<Pooling> MakeAvgPool(std::string name, int window, int stride,
+                                     int pad) {
+  return std::make_unique<Pooling>(std::move(name), PoolKind::kAvg, window,
+                                   stride, pad);
+}
+
+}  // namespace sc::nn

@@ -1,0 +1,49 @@
+// Max and average pooling layers.
+//
+// Both use ceil output arithmetic (geometry.h): a window that only partially
+// overlaps the input still produces an output. Max pooling ignores padding /
+// out-of-range positions; average pooling always divides by the full window
+// area f*f (Caffe's pad-inclusive convention, which is also what the paper's
+// Eq. (11) assumes).
+#ifndef SC_NN_POOLING_H_
+#define SC_NN_POOLING_H_
+
+#include "nn/geometry.h"
+#include "nn/layer.h"
+
+namespace sc::nn {
+
+class Pooling : public Layer {
+ public:
+  Pooling(std::string name, PoolKind pool, int window, int stride, int pad);
+
+  LayerKind kind() const override {
+    return pool_ == PoolKind::kMax ? LayerKind::kMaxPool : LayerKind::kAvgPool;
+  }
+  Shape OutputShape(const std::vector<Shape>& in) const override;
+  Tensor Forward(const std::vector<const Tensor*>& in) const override;
+  std::vector<Tensor> Backward(const std::vector<const Tensor*>& in,
+                               const Tensor& out,
+                               const Tensor& grad_out) override;
+
+  PoolKind pool_kind() const { return pool_; }
+  int window() const { return window_; }
+  int stride() const { return stride_; }
+  int pad() const { return pad_; }
+
+ private:
+  PoolKind pool_;
+  int window_;
+  int stride_;
+  int pad_;
+};
+
+// Convenience factories.
+std::unique_ptr<Pooling> MakeMaxPool(std::string name, int window, int stride,
+                                     int pad = 0);
+std::unique_ptr<Pooling> MakeAvgPool(std::string name, int window, int stride,
+                                     int pad = 0);
+
+}  // namespace sc::nn
+
+#endif  // SC_NN_POOLING_H_

@@ -1,0 +1,244 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "nn/activation.h"
+#include "nn/combine.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pooling.h"
+#include "support/check.h"
+
+namespace sc::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'C', 'N', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+void WriteU32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteF32(std::ostream& os, float v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteI32(std::ostream& os, std::int32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t ReadU32(std::istream& is) {
+  std::uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  SC_CHECK_MSG(static_cast<bool>(is), "truncated network stream");
+  return v;
+}
+
+float ReadF32(std::istream& is) {
+  float v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  SC_CHECK_MSG(static_cast<bool>(is), "truncated network stream");
+  return v;
+}
+
+std::int32_t ReadI32(std::istream& is) {
+  std::int32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  SC_CHECK_MSG(static_cast<bool>(is), "truncated network stream");
+  return v;
+}
+
+void WriteString(std::ostream& os, const std::string& s) {
+  WriteU32(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string ReadString(std::istream& is) {
+  const std::uint32_t n = ReadU32(is);
+  SC_CHECK_MSG(n <= 4096, "implausible string length in network stream");
+  std::string s(n, '\0');
+  is.read(s.data(), n);
+  SC_CHECK_MSG(static_cast<bool>(is), "truncated network stream");
+  return s;
+}
+
+void WriteShape(std::ostream& os, const Shape& s) {
+  WriteU32(os, static_cast<std::uint32_t>(s.rank()));
+  for (int i = 0; i < s.rank(); ++i)
+    WriteU32(os, static_cast<std::uint32_t>(s[i]));
+}
+
+Shape ReadShape(std::istream& is) {
+  const std::uint32_t rank = ReadU32(is);
+  SC_CHECK_MSG(rank >= 1 && rank <= 4, "bad shape rank in network stream");
+  std::vector<int> dims;
+  for (std::uint32_t i = 0; i < rank; ++i)
+    dims.push_back(static_cast<int>(ReadU32(is)));
+  return Shape(dims);
+}
+
+void WriteTensor(std::ostream& os, const Tensor& t) {
+  WriteShape(os, t.shape());
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+void ReadTensorInto(std::istream& is, Tensor& t) {
+  const Shape s = ReadShape(is);
+  SC_CHECK_MSG(s == t.shape(), "parameter shape mismatch while loading");
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  SC_CHECK_MSG(static_cast<bool>(is), "truncated network stream");
+}
+
+// On-disk layer-kind tags (stable; independent of the enum's order).
+enum Tag : std::uint8_t {
+  kTagConv = 1,
+  kTagMaxPool = 2,
+  kTagAvgPool = 3,
+  kTagRelu = 4,
+  kTagFc = 5,
+  kTagConcat = 6,
+  kTagEltwise = 7,
+};
+
+}  // namespace
+
+void SaveNetwork(const Network& net, std::ostream& os) {
+  os.write(kMagic, sizeof(kMagic));
+  WriteU32(os, kVersion);
+  WriteShape(os, net.input_shape());
+  WriteU32(os, static_cast<std::uint32_t>(net.num_nodes()));
+
+  for (int i = 0; i < net.num_nodes(); ++i) {
+    const Layer& layer = net.layer(i);
+    WriteString(os, layer.name());
+
+    if (const auto* conv = dynamic_cast<const Conv2D*>(&layer)) {
+      os.put(kTagConv);
+      WriteI32(os, conv->in_depth());
+      WriteI32(os, conv->out_depth());
+      WriteI32(os, conv->filter());
+      WriteI32(os, conv->stride());
+      WriteI32(os, conv->pad());
+    } else if (const auto* pool = dynamic_cast<const Pooling*>(&layer)) {
+      os.put(pool->pool_kind() == PoolKind::kMax ? kTagMaxPool : kTagAvgPool);
+      WriteI32(os, pool->window());
+      WriteI32(os, pool->stride());
+      WriteI32(os, pool->pad());
+    } else if (const auto* relu = dynamic_cast<const Relu*>(&layer)) {
+      os.put(kTagRelu);
+      WriteF32(os, relu->threshold());
+    } else if (const auto* fc = dynamic_cast<const FullyConnected*>(&layer)) {
+      os.put(kTagFc);
+      WriteI32(os, fc->in_features());
+      WriteI32(os, fc->out_features());
+    } else if (dynamic_cast<const Concat*>(&layer) != nullptr) {
+      os.put(kTagConcat);
+      WriteI32(os, layer.num_inputs());
+    } else if (dynamic_cast<const EltwiseAdd*>(&layer) != nullptr) {
+      os.put(kTagEltwise);
+      WriteI32(os, layer.num_inputs());
+    } else {
+      SC_CHECK_MSG(false, "unserializable layer kind");
+    }
+
+    const auto& inputs = net.inputs_of(i);
+    WriteU32(os, static_cast<std::uint32_t>(inputs.size()));
+    for (int src : inputs) WriteI32(os, src);
+
+    // Parameters (values only; gradients are transient).
+    auto params = const_cast<Layer&>(layer).Params();
+    WriteU32(os, static_cast<std::uint32_t>(params.size()));
+    for (const ParamRef& p : params) WriteTensor(os, *p.value);
+  }
+  SC_CHECK_MSG(static_cast<bool>(os), "write failure while saving network");
+}
+
+Network LoadNetwork(std::istream& is) {
+  char magic[4] = {};
+  is.read(magic, sizeof(magic));
+  SC_CHECK_MSG(static_cast<bool>(is) && std::equal(magic, magic + 4, kMagic),
+               "not a serialized network (bad magic)");
+  const std::uint32_t version = ReadU32(is);
+  SC_CHECK_MSG(version == kVersion,
+               "unsupported network version " << version);
+
+  Network net(ReadShape(is));
+  const std::uint32_t num_nodes = ReadU32(is);
+  SC_CHECK_MSG(num_nodes <= 100000, "implausible node count");
+
+  for (std::uint32_t i = 0; i < num_nodes; ++i) {
+    const std::string name = ReadString(is);
+    const int tag = is.get();
+    SC_CHECK_MSG(tag != EOF, "truncated network stream");
+
+    std::unique_ptr<Layer> layer;
+    switch (tag) {
+      case kTagConv: {
+        const int in_d = ReadI32(is), out_d = ReadI32(is), f = ReadI32(is),
+                  s = ReadI32(is), p = ReadI32(is);
+        layer = std::make_unique<Conv2D>(name, in_d, out_d, f, s, p);
+        break;
+      }
+      case kTagMaxPool:
+      case kTagAvgPool: {
+        const int w = ReadI32(is), s = ReadI32(is), p = ReadI32(is);
+        layer = std::make_unique<Pooling>(
+            name, tag == kTagMaxPool ? PoolKind::kMax : PoolKind::kAvg, w, s,
+            p);
+        break;
+      }
+      case kTagRelu:
+        layer = std::make_unique<Relu>(name, ReadF32(is));
+        break;
+      case kTagFc: {
+        const int in_f = ReadI32(is), out_f = ReadI32(is);
+        layer = std::make_unique<FullyConnected>(name, in_f, out_f);
+        break;
+      }
+      case kTagConcat:
+        layer = std::make_unique<Concat>(name, ReadI32(is));
+        break;
+      case kTagEltwise:
+        layer = std::make_unique<EltwiseAdd>(name, ReadI32(is));
+        break;
+      default:
+        SC_CHECK_MSG(false, "unknown layer tag " << tag);
+    }
+
+    const std::uint32_t num_inputs = ReadU32(is);
+    SC_CHECK_MSG(num_inputs <= 64, "implausible input count");
+    std::vector<int> inputs;
+    for (std::uint32_t k = 0; k < num_inputs; ++k)
+      inputs.push_back(ReadI32(is));
+
+    Layer* raw = layer.get();
+    net.Add(std::move(layer), std::move(inputs));
+
+    const std::uint32_t num_params = ReadU32(is);
+    auto params = raw->Params();
+    SC_CHECK_MSG(num_params == params.size(),
+                 "parameter count mismatch while loading");
+    for (const ParamRef& p : params) ReadTensorInto(is, *p.value);
+  }
+  return net;
+}
+
+void SaveNetworkFile(const Network& net, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  SC_CHECK_MSG(f.is_open(), "cannot open " << path << " for writing");
+  SaveNetwork(net, f);
+}
+
+Network LoadNetworkFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  SC_CHECK_MSG(f.is_open(), "cannot open " << path << " for reading");
+  return LoadNetwork(f);
+}
+
+}  // namespace sc::nn

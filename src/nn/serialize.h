@@ -1,0 +1,30 @@
+// Network (de)serialization.
+//
+// A compact binary format holding both the structure (layer kinds and
+// hyper-parameters, graph edges) and the learnable parameters. Used by the
+// model-cloning workflow: the adversary reverse engineers a victim, saves
+// the reconstruction, and ships it as a standalone model.
+//
+// Format (little-endian, host byte order):
+//   magic "SCNN" | u32 version | input shape | u32 num_nodes
+//   per node: u8 kind | name | kind-specific config | inputs | params
+// Tensors are serialized as rank + extents + raw float data.
+#ifndef SC_NN_SERIALIZE_H_
+#define SC_NN_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/network.h"
+
+namespace sc::nn {
+
+void SaveNetwork(const Network& net, std::ostream& os);
+Network LoadNetwork(std::istream& is);
+
+void SaveNetworkFile(const Network& net, const std::string& path);
+Network LoadNetworkFile(const std::string& path);
+
+}  // namespace sc::nn
+
+#endif  // SC_NN_SERIALIZE_H_

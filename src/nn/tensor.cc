@@ -1,0 +1,131 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace sc::nn {
+
+Shape::Shape(const std::vector<int>& dims) {
+  SC_CHECK_MSG(!dims.empty() && dims.size() <= 4,
+               "shape rank must be 1..4, got " << dims.size());
+  rank_ = static_cast<int>(dims.size());
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    SC_CHECK_MSG(dims[i] >= 1, "shape extent must be >= 1, got " << dims[i]);
+    dims_[i] = dims[i];
+  }
+}
+
+std::size_t Shape::numel() const {
+  if (rank_ == 0) return 0;
+  std::size_t n = 1;
+  for (int i = 0; i < rank_; ++i)
+    n *= static_cast<std::size_t>(dims_[static_cast<std::size_t>(i)]);
+  return n;
+}
+
+bool Shape::operator==(const Shape& o) const {
+  if (rank_ != o.rank_) return false;
+  for (int i = 0; i < rank_; ++i)
+    if ((*this)[i] != o[i]) return false;
+  return true;
+}
+
+std::string Shape::ToString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Shape& s) {
+  os << '{';
+  for (int i = 0; i < s.rank(); ++i) {
+    if (i) os << 'x';
+    os << s[i];
+  }
+  return os << '}';
+}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(shape), data_(shape.numel(), fill) {}
+
+std::size_t Tensor::Index1(int a) const {
+  SC_CHECK_MSG(shape_.rank() == 1, "rank-1 access on rank-" << shape_.rank());
+  SC_CHECK(a >= 0 && a < shape_[0]);
+  return static_cast<std::size_t>(a);
+}
+
+std::size_t Tensor::Index2(int a, int b) const {
+  SC_CHECK_MSG(shape_.rank() == 2, "rank-2 access on rank-" << shape_.rank());
+  SC_CHECK(a >= 0 && a < shape_[0] && b >= 0 && b < shape_[1]);
+  return static_cast<std::size_t>(a) * static_cast<std::size_t>(shape_[1]) +
+         static_cast<std::size_t>(b);
+}
+
+std::size_t Tensor::Index3(int a, int b, int c) const {
+  SC_CHECK_MSG(shape_.rank() == 3, "rank-3 access on rank-" << shape_.rank());
+  SC_CHECK(a >= 0 && a < shape_[0] && b >= 0 && b < shape_[1] && c >= 0 &&
+           c < shape_[2]);
+  return (static_cast<std::size_t>(a) * static_cast<std::size_t>(shape_[1]) +
+          static_cast<std::size_t>(b)) *
+             static_cast<std::size_t>(shape_[2]) +
+         static_cast<std::size_t>(c);
+}
+
+std::size_t Tensor::Index4(int a, int b, int c, int d) const {
+  SC_CHECK_MSG(shape_.rank() == 4, "rank-4 access on rank-" << shape_.rank());
+  SC_CHECK(a >= 0 && a < shape_[0] && b >= 0 && b < shape_[1] && c >= 0 &&
+           c < shape_[2] && d >= 0 && d < shape_[3]);
+  return ((static_cast<std::size_t>(a) * static_cast<std::size_t>(shape_[1]) +
+           static_cast<std::size_t>(b)) *
+              static_cast<std::size_t>(shape_[2]) +
+          static_cast<std::size_t>(c)) *
+             static_cast<std::size_t>(shape_[3]) +
+         static_cast<std::size_t>(d);
+}
+
+float& Tensor::at(int a) { return data_[Index1(a)]; }
+float Tensor::at(int a) const { return data_[Index1(a)]; }
+float& Tensor::at(int a, int b) { return data_[Index2(a, b)]; }
+float Tensor::at(int a, int b) const { return data_[Index2(a, b)]; }
+float& Tensor::at(int a, int b, int c) { return data_[Index3(a, b, c)]; }
+float Tensor::at(int a, int b, int c) const { return data_[Index3(a, b, c)]; }
+float& Tensor::at(int a, int b, int c, int d) {
+  return data_[Index4(a, b, c, d)];
+}
+float Tensor::at(int a, int b, int c, int d) const {
+  return data_[Index4(a, b, c, d)];
+}
+
+void Tensor::Fill(float v) {
+  for (float& x : data_) x = v;
+}
+
+std::size_t Tensor::CountZeros() const {
+  std::size_t n = 0;
+  for (float x : data_)
+    if (x == 0.0f) ++n;
+  return n;
+}
+
+void Tensor::Add(const Tensor& other, float scale) {
+  SC_CHECK_MSG(shape_ == other.shape_, "shape mismatch in Tensor::Add: "
+                                           << shape_ << " vs "
+                                           << other.shape_);
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += scale * other.data_[i];
+}
+
+void Tensor::Scale(float s) {
+  for (float& x : data_) x *= s;
+}
+
+float Tensor::MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  SC_CHECK_MSG(a.shape() == b.shape(), "shape mismatch in MaxAbsDiff");
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.numel(); ++i)
+    m = std::max(m, std::fabs(a.data_[i] - b.data_[i]));
+  return m;
+}
+
+}  // namespace sc::nn

@@ -1,0 +1,105 @@
+// Dense float32 tensor with up to 4 dimensions.
+//
+// Conventions used throughout the project:
+//   - activations (feature maps) are rank-3 {depth, height, width};
+//   - convolution weights are rank-4 {out_ch, in_ch, kh, kw};
+//   - fully-connected weights are rank-2 {out, in};
+//   - biases are rank-1 {out}.
+// Row-major layout, innermost dimension last.
+#ifndef SC_NN_TENSOR_H_
+#define SC_NN_TENSOR_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "support/check.h"
+
+namespace sc::nn {
+
+// Shape of a tensor: 1 to 4 extents, each >= 1.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int> dims) : Shape(std::vector<int>(dims)) {}
+  explicit Shape(const std::vector<int>& dims);
+
+  int rank() const { return rank_; }
+  int operator[](int i) const {
+    SC_CHECK(i >= 0 && i < rank_);
+    return dims_[static_cast<std::size_t>(i)];
+  }
+  std::size_t numel() const;
+
+  bool operator==(const Shape& o) const;
+  bool operator!=(const Shape& o) const { return !(*this == o); }
+
+  std::string ToString() const;
+
+ private:
+  std::array<int, 4> dims_{1, 1, 1, 1};
+  int rank_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const Shape& s);
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape, float fill = 0.0f);
+
+  const Shape& shape() const { return shape_; }
+  std::size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](std::size_t i) {
+    SC_CHECK(i < data_.size());
+    return data_[i];
+  }
+  float operator[](std::size_t i) const {
+    SC_CHECK(i < data_.size());
+    return data_[i];
+  }
+
+  // Rank-checked multi-dimensional accessors.
+  float& at(int a);
+  float at(int a) const;
+  float& at(int a, int b);
+  float at(int a, int b) const;
+  float& at(int a, int b, int c);
+  float at(int a, int b, int c) const;
+  float& at(int a, int b, int c, int d);
+  float at(int a, int b, int c, int d) const;
+
+  void Fill(float v);
+  void Zero() { Fill(0.0f); }
+
+  // Number of exactly-zero elements (used by zero-pruning analyses).
+  std::size_t CountZeros() const;
+  std::size_t CountNonZeros() const { return numel() - CountZeros(); }
+
+  // Elementwise helpers used by the trainer.
+  void Add(const Tensor& other, float scale = 1.0f);  // this += scale*other
+  void Scale(float s);
+
+  // Maximum |a - b| over all elements; shapes must match.
+  static float MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+ private:
+  std::size_t Index1(int a) const;
+  std::size_t Index2(int a, int b) const;
+  std::size_t Index3(int a, int b, int c) const;
+  std::size_t Index4(int a, int b, int c, int d) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace sc::nn
+
+#endif  // SC_NN_TENSOR_H_

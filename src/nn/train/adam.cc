@@ -1,0 +1,48 @@
+#include "nn/train/adam.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace sc::nn::train {
+
+void Adam::Step(const std::vector<ParamRef>& params) {
+  ++t_;
+  const double bc1 =
+      1.0 - std::pow(static_cast<double>(cfg_.beta1), static_cast<double>(t_));
+  const double bc2 =
+      1.0 - std::pow(static_cast<double>(cfg_.beta2), static_cast<double>(t_));
+
+  for (const ParamRef& p : params) {
+    SC_CHECK(p.value != nullptr && p.grad != nullptr);
+    SC_CHECK_MSG(p.value->shape() == p.grad->shape(),
+                 "param/grad shape mismatch");
+    auto it = std::find(keys_.begin(), keys_.end(), p.value);
+    std::size_t idx;
+    if (it == keys_.end()) {
+      keys_.push_back(p.value);
+      m_.emplace_back(p.value->shape());
+      v_.emplace_back(p.value->shape());
+      idx = keys_.size() - 1;
+    } else {
+      idx = static_cast<std::size_t>(it - keys_.begin());
+    }
+    Tensor& m = m_[idx];
+    Tensor& v = v_[idx];
+
+    for (std::size_t i = 0; i < p.value->numel(); ++i) {
+      const float g = (*p.grad)[i] + cfg_.weight_decay * (*p.value)[i];
+      m[i] = cfg_.beta1 * m[i] + (1.0f - cfg_.beta1) * g;
+      v[i] = cfg_.beta2 * v[i] + (1.0f - cfg_.beta2) * g * g;
+      const double m_hat = static_cast<double>(m[i]) / bc1;
+      const double v_hat = static_cast<double>(v[i]) / bc2;
+      (*p.value)[i] -= static_cast<float>(
+          cfg_.learning_rate * m_hat /
+          (std::sqrt(v_hat) + static_cast<double>(cfg_.epsilon)));
+    }
+    p.grad->Zero();
+  }
+}
+
+}  // namespace sc::nn::train

@@ -1,0 +1,44 @@
+// Adam optimizer (Kingma & Ba, 2015).
+//
+// Deep narrow networks (the channel-scaled SqueezeNet candidates of the
+// Fig. 5 experiment) collapse to constant outputs under plain SGD without
+// normalization layers; Adam's per-parameter step sizes avoid that, so the
+// candidate-ranking trainer uses it.
+#ifndef SC_NN_TRAIN_ADAM_H_
+#define SC_NN_TRAIN_ADAM_H_
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace sc::nn::train {
+
+struct AdamConfig {
+  float learning_rate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+class Adam {
+ public:
+  explicit Adam(AdamConfig cfg) : cfg_(cfg) {}
+
+  // Applies one update from the gradients accumulated in `params`, then
+  // zeroes the gradients. Moment buffers are keyed by parameter identity.
+  void Step(const std::vector<ParamRef>& params);
+
+  const AdamConfig& config() const { return cfg_; }
+
+ private:
+  AdamConfig cfg_;
+  std::vector<const Tensor*> keys_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  long long t_ = 0;
+};
+
+}  // namespace sc::nn::train
+
+#endif  // SC_NN_TRAIN_ADAM_H_

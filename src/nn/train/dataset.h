@@ -1,0 +1,58 @@
+// Deterministic synthetic image-classification dataset.
+//
+// Substitute for ImageNet in the candidate-ranking experiments (paper
+// Figs. 4 and 5) — see DESIGN.md §2. Each class is defined by a fixed
+// constellation of Gaussian blobs (position, radius, per-channel amplitude);
+// samples jitter the constellation and add noise, so the task is learnable
+// by convolution + pooling but not linearly trivial.
+#ifndef SC_NN_TRAIN_DATASET_H_
+#define SC_NN_TRAIN_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "support/rng.h"
+
+namespace sc::nn::train {
+
+struct Sample {
+  Tensor image;  // {d, h, w}
+  int label = 0;
+};
+
+struct DatasetConfig {
+  int depth = 3;
+  int width = 32;        // square images, height == width
+  int num_classes = 10;
+  int blobs_per_class = 4;
+  float jitter = 0.08f;  // positional jitter as a fraction of width
+  float noise = 0.15f;   // additive Gaussian pixel noise stddev
+  std::uint64_t seed = 1;
+};
+
+class SyntheticDataset {
+ public:
+  explicit SyntheticDataset(DatasetConfig cfg);
+
+  // Deterministic: sample i is a pure function of (config, split, i).
+  Sample MakeSample(int index, bool test_split) const;
+
+  std::vector<Sample> MakeTrainSet(int n) const;
+  std::vector<Sample> MakeTestSet(int n) const;
+
+  const DatasetConfig& config() const { return cfg_; }
+
+ private:
+  struct Blob {
+    float cx, cy, radius;
+    std::vector<float> amplitude;  // one per channel
+  };
+
+  DatasetConfig cfg_;
+  std::vector<std::vector<Blob>> class_blobs_;  // [class][blob]
+};
+
+}  // namespace sc::nn::train
+
+#endif  // SC_NN_TRAIN_DATASET_H_

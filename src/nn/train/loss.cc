@@ -1,0 +1,58 @@
+#include "nn/train/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace sc::nn::train {
+
+std::vector<float> Softmax(const Tensor& logits) {
+  SC_CHECK_MSG(logits.numel() > 0, "empty logits");
+  float mx = logits[0];
+  for (std::size_t i = 1; i < logits.numel(); ++i)
+    mx = std::max(mx, logits[i]);
+  std::vector<float> p(logits.numel());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    p[i] = std::exp(logits[i] - mx);
+    sum += p[i];
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (float& v : p) v *= inv;
+  return p;
+}
+
+LossResult SoftmaxCrossEntropy(const Tensor& logits, int label) {
+  SC_CHECK_MSG(label >= 0 && static_cast<std::size_t>(label) < logits.numel(),
+               "label " << label << " out of range for " << logits.numel()
+                        << " classes");
+  std::vector<float> p = Softmax(logits);
+  LossResult r;
+  const float pl = std::max(p[static_cast<std::size_t>(label)], 1e-12f);
+  r.loss = -std::log(pl);
+  r.grad_logits = Tensor(logits.shape());
+  for (std::size_t i = 0; i < logits.numel(); ++i) r.grad_logits[i] = p[i];
+  r.grad_logits[static_cast<std::size_t>(label)] -= 1.0f;
+  return r;
+}
+
+int ArgMax(const Tensor& logits) {
+  SC_CHECK(logits.numel() > 0);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < logits.numel(); ++i)
+    if (logits[i] > logits[best]) best = i;
+  return static_cast<int>(best);
+}
+
+bool InTopK(const Tensor& logits, int label, int k) {
+  SC_CHECK(k >= 1);
+  SC_CHECK(label >= 0 && static_cast<std::size_t>(label) < logits.numel());
+  const float lv = logits[static_cast<std::size_t>(label)];
+  int strictly_greater = 0;
+  for (std::size_t i = 0; i < logits.numel(); ++i)
+    if (logits[i] > lv) ++strictly_greater;
+  return strictly_greater < k;
+}
+
+}  // namespace sc::nn::train

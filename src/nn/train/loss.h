@@ -1,0 +1,30 @@
+// Softmax cross-entropy loss for classification heads.
+#ifndef SC_NN_TRAIN_LOSS_H_
+#define SC_NN_TRAIN_LOSS_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace sc::nn::train {
+
+// Numerically-stable softmax over a {c,1,1} (or {c}) logits tensor.
+std::vector<float> Softmax(const Tensor& logits);
+
+struct LossResult {
+  float loss = 0.0f;
+  Tensor grad_logits;  // dL/dlogits, same shape as the logits tensor
+};
+
+// Cross-entropy of softmax(logits) against an integer label.
+LossResult SoftmaxCrossEntropy(const Tensor& logits, int label);
+
+// Index of the max logit.
+int ArgMax(const Tensor& logits);
+
+// True when `label` is among the k largest logits.
+bool InTopK(const Tensor& logits, int label, int k);
+
+}  // namespace sc::nn::train
+
+#endif  // SC_NN_TRAIN_LOSS_H_

@@ -1,0 +1,36 @@
+#include "nn/train/sgd.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace sc::nn::train {
+
+void Sgd::Step(const std::vector<ParamRef>& params) {
+  for (const ParamRef& p : params) {
+    SC_CHECK(p.value != nullptr && p.grad != nullptr);
+    SC_CHECK_MSG(p.value->shape() == p.grad->shape(),
+                 "param/grad shape mismatch");
+
+    // Find or create the velocity buffer for this parameter.
+    auto it = std::find(keys_.begin(), keys_.end(), p.value);
+    std::size_t idx;
+    if (it == keys_.end()) {
+      keys_.push_back(p.value);
+      velocity_.emplace_back(p.value->shape());
+      idx = keys_.size() - 1;
+    } else {
+      idx = static_cast<std::size_t>(it - keys_.begin());
+    }
+    Tensor& v = velocity_[idx];
+
+    for (std::size_t i = 0; i < p.value->numel(); ++i) {
+      const float g = (*p.grad)[i] + cfg_.weight_decay * (*p.value)[i];
+      v[i] = cfg_.momentum * v[i] - cfg_.learning_rate * g;
+      (*p.value)[i] += v[i];
+    }
+    p.grad->Zero();
+  }
+}
+
+}  // namespace sc::nn::train

@@ -1,0 +1,39 @@
+// Stochastic gradient descent with momentum and weight decay.
+#ifndef SC_NN_TRAIN_SGD_H_
+#define SC_NN_TRAIN_SGD_H_
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace sc::nn::train {
+
+struct SgdConfig {
+  float learning_rate = 0.01f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+};
+
+// Classic momentum SGD: v = mu*v - lr*(g + wd*w); w += v.
+// Velocity buffers are keyed by parameter identity and created lazily, so
+// one optimizer instance serves a fixed parameter set for its lifetime.
+class Sgd {
+ public:
+  explicit Sgd(SgdConfig cfg) : cfg_(cfg) {}
+
+  // Applies one update using the gradients currently accumulated in
+  // `params` and then zeroes the gradients.
+  void Step(const std::vector<ParamRef>& params);
+
+  const SgdConfig& config() const { return cfg_; }
+  void set_learning_rate(float lr) { cfg_.learning_rate = lr; }
+
+ private:
+  SgdConfig cfg_;
+  std::vector<Tensor> velocity_;
+  std::vector<const Tensor*> keys_;
+};
+
+}  // namespace sc::nn::train
+
+#endif  // SC_NN_TRAIN_SGD_H_

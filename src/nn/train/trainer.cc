@@ -1,0 +1,117 @@
+#include "nn/train/trainer.h"
+
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "nn/train/loss.h"
+
+namespace sc::nn::train {
+
+float ForwardBackward(Network& net, const Tensor& input, int label) {
+  const std::vector<Tensor> outs = net.Forward(input);
+  SC_CHECK_MSG(!outs.empty(), "cannot train an empty network");
+  const int last = net.num_nodes() - 1;
+
+  LossResult loss = SoftmaxCrossEntropy(outs[static_cast<std::size_t>(last)],
+                                        label);
+
+  // dL/d(node output), accumulated over all consumers of each node.
+  std::vector<Tensor> node_grads(outs.size());
+  node_grads[static_cast<std::size_t>(last)] = std::move(loss.grad_logits);
+
+  for (int id = last; id >= 0; --id) {
+    Tensor& g_out = node_grads[static_cast<std::size_t>(id)];
+    if (g_out.empty()) continue;  // node does not feed the loss
+
+    const std::vector<int>& producers = net.inputs_of(id);
+    std::vector<const Tensor*> ins;
+    ins.reserve(producers.size());
+    for (int src : producers)
+      ins.push_back(src == kInputNode ? &input
+                                      : &outs[static_cast<std::size_t>(src)]);
+
+    std::vector<Tensor> in_grads = net.layer(id).Backward(
+        ins, outs[static_cast<std::size_t>(id)], g_out);
+    SC_CHECK(in_grads.size() == producers.size());
+
+    for (std::size_t k = 0; k < producers.size(); ++k) {
+      const int src = producers[k];
+      if (src == kInputNode) continue;  // input gradient is discarded
+      Tensor& acc = node_grads[static_cast<std::size_t>(src)];
+      if (acc.empty()) {
+        acc = std::move(in_grads[k]);
+      } else {
+        acc.Add(in_grads[k]);
+      }
+    }
+    g_out = Tensor();  // free memory as we walk backwards
+  }
+  return loss.loss;
+}
+
+float Train(Network& net, const std::vector<Sample>& train_set,
+            const TrainConfig& cfg) {
+  SC_CHECK_MSG(!train_set.empty(), "empty training set");
+  SC_CHECK(cfg.epochs >= 1 && cfg.batch_size >= 1);
+
+  Sgd sgd(cfg.sgd);
+  Adam adam(cfg.adam);
+  std::vector<ParamRef> params = net.Params();
+  Rng rng(cfg.shuffle_seed);
+
+  std::vector<std::size_t> order(train_set.size());
+  std::iota(order.begin(), order.end(), 0u);
+
+  float last_epoch_loss = 0.0f;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    double epoch_loss = 0.0;
+    std::size_t processed = 0;
+    while (processed < order.size()) {
+      const std::size_t batch =
+          std::min<std::size_t>(static_cast<std::size_t>(cfg.batch_size),
+                                order.size() - processed);
+      for (std::size_t b = 0; b < batch; ++b) {
+        const Sample& s = train_set[order[processed + b]];
+        epoch_loss += ForwardBackward(net, s.image, s.label);
+      }
+      // Average the accumulated gradients over the batch, then step.
+      const float inv = 1.0f / static_cast<float>(batch);
+      for (const ParamRef& p : params) p.grad->Scale(inv);
+      if (cfg.optimizer == Optimizer::kAdam) {
+        adam.Step(params);
+      } else {
+        sgd.Step(params);
+      }
+      processed += batch;
+    }
+    last_epoch_loss =
+        static_cast<float>(epoch_loss / static_cast<double>(order.size()));
+    if (cfg.verbose) {
+      std::cerr << "  epoch " << (epoch + 1) << "/" << cfg.epochs
+                << " mean loss " << last_epoch_loss << "\n";
+    }
+  }
+  return last_epoch_loss;
+}
+
+EvalResult Evaluate(const Network& net, const std::vector<Sample>& test_set) {
+  SC_CHECK_MSG(!test_set.empty(), "empty test set");
+  EvalResult r;
+  double loss = 0.0;
+  int top1 = 0, top5 = 0;
+  for (const Sample& s : test_set) {
+    const Tensor logits = net.ForwardFinal(s.image);
+    loss += SoftmaxCrossEntropy(logits, s.label).loss;
+    if (ArgMax(logits) == s.label) ++top1;
+    if (InTopK(logits, s.label, 5)) ++top5;
+  }
+  const float n = static_cast<float>(test_set.size());
+  r.top1 = static_cast<float>(top1) / n;
+  r.top5 = static_cast<float>(top5) / n;
+  r.mean_loss = static_cast<float>(loss / static_cast<double>(test_set.size()));
+  return r;
+}
+
+}  // namespace sc::nn::train

@@ -1,0 +1,52 @@
+// End-to-end training and evaluation of a Network on a labelled dataset.
+//
+// Drives the candidate-structure ranking experiments (paper Figs. 4, 5):
+// every reverse-engineered candidate is trained briefly and scored, and the
+// adversary keeps the best-scoring structure.
+#ifndef SC_NN_TRAIN_TRAINER_H_
+#define SC_NN_TRAIN_TRAINER_H_
+
+#include <vector>
+
+#include "nn/network.h"
+#include "nn/train/adam.h"
+#include "nn/train/dataset.h"
+#include "nn/train/sgd.h"
+#include "support/rng.h"
+
+namespace sc::nn::train {
+
+// Full reverse-mode sweep over the network for one sample: runs Forward,
+// applies softmax cross-entropy against `label`, back-propagates through the
+// DAG (accumulating parameter gradients in the layers), and returns the
+// loss. Multi-consumer nodes receive the sum of their consumers' gradients.
+float ForwardBackward(Network& net, const Tensor& input, int label);
+
+enum class Optimizer { kSgd, kAdam };
+
+struct TrainConfig {
+  int epochs = 3;
+  int batch_size = 16;
+  Optimizer optimizer = Optimizer::kSgd;
+  SgdConfig sgd;
+  AdamConfig adam;
+  std::uint64_t shuffle_seed = 7;
+  bool verbose = false;
+};
+
+struct EvalResult {
+  float top1 = 0.0f;
+  float top5 = 0.0f;
+  float mean_loss = 0.0f;
+};
+
+// Trains in-place with minibatch SGD (gradients averaged over the batch).
+// Returns the mean training loss of the final epoch.
+float Train(Network& net, const std::vector<Sample>& train_set,
+            const TrainConfig& cfg);
+
+EvalResult Evaluate(const Network& net, const std::vector<Sample>& test_set);
+
+}  // namespace sc::nn::train
+
+#endif  // SC_NN_TRAIN_TRAINER_H_

@@ -1,0 +1,54 @@
+// Lightweight runtime-check utilities shared by all subsystems.
+//
+// Library code reports precondition violations and internal inconsistencies
+// by throwing sc::Error (derived from std::runtime_error) so callers can
+// distinguish library failures from standard-library failures and tests can
+// assert on them.
+#ifndef SC_SUPPORT_CHECK_H_
+#define SC_SUPPORT_CHECK_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sc {
+
+// Error type thrown by all SC_CHECK* macros and explicit validation code.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void ThrowCheckFailure(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace sc
+
+// SC_CHECK(cond) / SC_CHECK_MSG(cond, streamed-message): throw sc::Error on
+// failure. These are *always on* (they guard API contracts, not debug-only
+// invariants), so library behaviour does not change between build types.
+#define SC_CHECK(cond)                                                 \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::sc::detail::ThrowCheckFailure(#cond, __FILE__, __LINE__, {});  \
+  } while (false)
+
+#define SC_CHECK_MSG(cond, msg)                                        \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream sc_check_os;                                  \
+      sc_check_os << msg;                                              \
+      ::sc::detail::ThrowCheckFailure(#cond, __FILE__, __LINE__,       \
+                                      sc_check_os.str());              \
+    }                                                                  \
+  } while (false)
+
+#endif  // SC_SUPPORT_CHECK_H_

@@ -1,0 +1,56 @@
+#include "trace/filter.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace sc::trace {
+
+Trace FilterByOp(const Trace& trace, MemOp op) {
+  Trace out;
+  for (const MemEvent& e : trace)
+    if (e.op == op) out.Append(e);
+  return out;
+}
+
+Trace FilterByAddressRange(const Trace& trace, std::uint64_t lo,
+                           std::uint64_t hi) {
+  SC_CHECK_MSG(lo <= hi, "inverted address range");
+  Trace out;
+  for (const MemEvent& e : trace)
+    if (e.addr < hi && e.end() > lo) out.Append(e);
+  return out;
+}
+
+Trace FilterByAddressRange(const Trace& trace, const AddrInterval& range) {
+  return FilterByAddressRange(trace, range.lo, range.hi);
+}
+
+Trace FilterByCycleWindow(const Trace& trace, std::uint64_t first,
+                          std::uint64_t last) {
+  SC_CHECK_MSG(first <= last, "inverted cycle window");
+  Trace out;
+  for (const MemEvent& e : trace)
+    if (e.cycle >= first && e.cycle <= last) out.Append(e);
+  return out;
+}
+
+Trace Concatenate(const Trace& head, const Trace& tail) {
+  Trace out = head;
+  for (const MemEvent& e : tail) out.Append(e);  // Append enforces ordering
+  return out;
+}
+
+std::uint64_t BytesWithin(const Trace& trace, std::uint64_t lo,
+                          std::uint64_t hi) {
+  SC_CHECK_MSG(lo <= hi, "inverted address range");
+  std::uint64_t total = 0;
+  for (const MemEvent& e : trace) {
+    const std::uint64_t a = std::max<std::uint64_t>(e.addr, lo);
+    const std::uint64_t b = std::min<std::uint64_t>(e.end(), hi);
+    if (a < b) total += b - a;
+  }
+  return total;
+}
+
+}  // namespace sc::trace

@@ -1,0 +1,37 @@
+// Trace slicing utilities: the raw bus capture is large, and both the
+// attacks and their tests repeatedly need views restricted by direction,
+// address range or cycle window.
+#ifndef SC_TRACE_FILTER_H_
+#define SC_TRACE_FILTER_H_
+
+#include <cstdint>
+
+#include "trace/interval.h"
+#include "trace/trace.h"
+
+namespace sc::trace {
+
+// Events with the given direction.
+Trace FilterByOp(const Trace& trace, MemOp op);
+
+// Events whose burst overlaps [lo, hi).
+Trace FilterByAddressRange(const Trace& trace, std::uint64_t lo,
+                           std::uint64_t hi);
+Trace FilterByAddressRange(const Trace& trace, const AddrInterval& range);
+
+// Events with cycle in [first, last] (inclusive, as cycle stamps are).
+Trace FilterByCycleWindow(const Trace& trace, std::uint64_t first,
+                          std::uint64_t last);
+
+// Concatenation of two traces; the first event of `tail` must not precede
+// the last event of `head` in time.
+Trace Concatenate(const Trace& head, const Trace& tail);
+
+// Total bytes of `trace` moved within [lo, hi) — clipped per burst, so a
+// burst straddling the boundary contributes only its inside part.
+std::uint64_t BytesWithin(const Trace& trace, std::uint64_t lo,
+                          std::uint64_t hi);
+
+}  // namespace sc::trace
+
+#endif  // SC_TRACE_FILTER_H_

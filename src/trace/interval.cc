@@ -1,0 +1,73 @@
+#include "trace/interval.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "support/check.h"
+
+namespace sc::trace {
+
+std::ostream& operator<<(std::ostream& os, const AddrInterval& iv) {
+  return os << "[0x" << std::hex << iv.lo << ", 0x" << iv.hi << std::dec
+            << ")";
+}
+
+void IntervalSet::Insert(std::uint64_t lo, std::uint64_t hi) {
+  SC_CHECK_MSG(lo <= hi, "inverted interval");
+  if (lo == hi) return;
+
+  // Find the first part that ends at or after lo (merge candidate, treating
+  // adjacency as overlap), and the first part starting strictly after hi.
+  auto first = std::lower_bound(
+      parts_.begin(), parts_.end(), lo,
+      [](const AddrInterval& p, std::uint64_t v) { return p.hi < v; });
+  auto last = first;
+  while (last != parts_.end() && last->lo <= hi) {
+    lo = std::min(lo, last->lo);
+    hi = std::max(hi, last->hi);
+    ++last;
+  }
+  auto it = parts_.erase(first, last);
+  parts_.insert(it, AddrInterval{lo, hi});
+}
+
+bool IntervalSet::Contains(std::uint64_t addr) const {
+  auto it = std::upper_bound(
+      parts_.begin(), parts_.end(), addr,
+      [](std::uint64_t v, const AddrInterval& p) { return v < p.hi; });
+  return it != parts_.end() && it->Contains(addr);
+}
+
+bool IntervalSet::OverlapsInterval(const AddrInterval& iv) const {
+  if (iv.empty()) return false;
+  auto it = std::upper_bound(
+      parts_.begin(), parts_.end(), iv.lo,
+      [](std::uint64_t v, const AddrInterval& p) { return v < p.hi; });
+  return it != parts_.end() && it->Overlaps(iv);
+}
+
+std::uint64_t IntervalSet::CoveredBytes() const {
+  std::uint64_t n = 0;
+  for (const AddrInterval& p : parts_) n += p.size();
+  return n;
+}
+
+AddrInterval IntervalSet::Hull() const {
+  SC_CHECK_MSG(!parts_.empty(), "hull of an empty interval set");
+  return AddrInterval{parts_.front().lo, parts_.back().hi};
+}
+
+std::vector<AddrInterval> IntervalSet::SplitRegions(
+    std::uint64_t max_gap) const {
+  std::vector<AddrInterval> regions;
+  for (const AddrInterval& p : parts_) {
+    if (!regions.empty() && p.lo - regions.back().hi <= max_gap) {
+      regions.back().hi = p.hi;
+    } else {
+      regions.push_back(p);
+    }
+  }
+  return regions;
+}
+
+}  // namespace sc::trace

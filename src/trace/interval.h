@@ -1,0 +1,65 @@
+// Address-interval arithmetic used by the trace-analysis side of the attack.
+//
+// The adversary reconstructs "regions" (contiguous tensors in DRAM) from the
+// raw burst stream by unioning the byte intervals each burst touches and
+// splitting the union at gaps larger than an allocator guard threshold.
+#ifndef SC_TRACE_INTERVAL_H_
+#define SC_TRACE_INTERVAL_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace sc::trace {
+
+// Half-open byte interval [lo, hi).
+struct AddrInterval {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  std::uint64_t size() const { return hi - lo; }
+  bool empty() const { return hi <= lo; }
+  bool Contains(std::uint64_t addr) const { return addr >= lo && addr < hi; }
+  bool Overlaps(const AddrInterval& o) const {
+    return lo < o.hi && o.lo < hi;
+  }
+
+  friend auto operator<=>(const AddrInterval&, const AddrInterval&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const AddrInterval& iv);
+
+// Maintains a canonical (sorted, disjoint, maximally-merged) set of byte
+// intervals. Insertions merge with neighbours; adjacency counts as overlap.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  // Inserts [lo, hi); no-op for empty input. Throws on hi < lo.
+  void Insert(std::uint64_t lo, std::uint64_t hi);
+  void Insert(const AddrInterval& iv) { Insert(iv.lo, iv.hi); }
+
+  bool Contains(std::uint64_t addr) const;
+  bool OverlapsInterval(const AddrInterval& iv) const;
+
+  // Total number of bytes covered.
+  std::uint64_t CoveredBytes() const;
+
+  bool empty() const { return parts_.empty(); }
+  const std::vector<AddrInterval>& parts() const { return parts_; }
+
+  // Lowest / highest covered address span, i.e. [min lo, max hi).
+  AddrInterval Hull() const;
+
+  // Splits the covered bytes into contiguous "regions": runs of intervals
+  // whose inter-interval gaps are <= max_gap bytes. A gap wider than
+  // max_gap is interpreted as an allocator guard between distinct tensors.
+  std::vector<AddrInterval> SplitRegions(std::uint64_t max_gap) const;
+
+ private:
+  std::vector<AddrInterval> parts_;
+};
+
+}  // namespace sc::trace
+
+#endif  // SC_TRACE_INTERVAL_H_

@@ -1,0 +1,42 @@
+// A single observed off-chip memory transaction.
+//
+// This is the adversary's unit of observation (threat model, paper §2): the
+// address, the transfer size, the direction (read/write), and the cycle at
+// which the transaction was issued. Data values are deliberately absent —
+// off-chip data is encrypted in the threat model, so no component of the
+// attack may depend on them.
+#ifndef SC_TRACE_MEM_EVENT_H_
+#define SC_TRACE_MEM_EVENT_H_
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+
+namespace sc::trace {
+
+// Direction of an off-chip transaction as seen on the memory bus.
+enum class MemOp : std::uint8_t { kRead = 0, kWrite = 1 };
+
+const char* ToString(MemOp op);
+std::ostream& operator<<(std::ostream& os, MemOp op);
+
+// One burst transaction: [addr, addr + bytes) transferred at `cycle`.
+// Bursts model DRAM traffic realistically (row transfers, not single words)
+// and keep traces for large CNNs tractable.
+struct MemEvent {
+  std::uint64_t cycle = 0;   // issue time in accelerator clock cycles
+  std::uint64_t addr = 0;    // first byte address of the burst
+  std::uint32_t bytes = 0;   // burst length in bytes (> 0 for valid events)
+  MemOp op = MemOp::kRead;
+
+  // Exclusive end address of the burst.
+  std::uint64_t end() const { return addr + bytes; }
+
+  friend auto operator<=>(const MemEvent&, const MemEvent&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const MemEvent& e);
+
+}  // namespace sc::trace
+
+#endif  // SC_TRACE_MEM_EVENT_H_

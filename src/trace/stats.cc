@@ -1,0 +1,42 @@
+#include "trace/stats.h"
+
+#include <ostream>
+
+namespace sc::trace {
+
+TraceStats ComputeStats(const Trace& trace) {
+  TraceStats s;
+  IntervalSet reads;
+  IntervalSet writes;
+  bool first = true;
+  for (const MemEvent& e : trace) {
+    if (first) {
+      s.first_cycle = e.cycle;
+      first = false;
+    }
+    s.last_cycle = e.cycle;
+    if (e.op == MemOp::kRead) {
+      ++s.read_events;
+      s.bytes_read += e.bytes;
+      reads.Insert(e.addr, e.end());
+    } else {
+      ++s.write_events;
+      s.bytes_written += e.bytes;
+      writes.Insert(e.addr, e.end());
+    }
+  }
+  s.unique_bytes_read = reads.CoveredBytes();
+  s.unique_bytes_written = writes.CoveredBytes();
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const TraceStats& s) {
+  return os << "events=" << s.total_events() << " (R " << s.read_events
+            << " / W " << s.write_events << "), bytes=" << s.total_bytes()
+            << " (R " << s.bytes_read << " / W " << s.bytes_written
+            << "), footprint R " << s.unique_bytes_read << " B / W "
+            << s.unique_bytes_written << " B, cycles [" << s.first_cycle
+            << ", " << s.last_cycle << "]";
+}
+
+}  // namespace sc::trace

@@ -1,0 +1,38 @@
+// Aggregate statistics over a memory trace.
+//
+// Used by benches/examples for reporting and by the zero-pruning ablation
+// (paper §4: pruning reduces off-chip write traffic).
+#ifndef SC_TRACE_STATS_H_
+#define SC_TRACE_STATS_H_
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "trace/interval.h"
+#include "trace/trace.h"
+
+namespace sc::trace {
+
+struct TraceStats {
+  std::uint64_t read_events = 0;
+  std::uint64_t write_events = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t unique_bytes_read = 0;     // footprint of read addresses
+  std::uint64_t unique_bytes_written = 0;  // footprint of written addresses
+  std::uint64_t first_cycle = 0;
+  std::uint64_t last_cycle = 0;
+
+  std::uint64_t total_events() const { return read_events + write_events; }
+  std::uint64_t total_bytes() const { return bytes_read + bytes_written; }
+  std::uint64_t duration_cycles() const { return last_cycle - first_cycle; }
+};
+
+// Single pass over the trace; footprint is exact (interval union).
+TraceStats ComputeStats(const Trace& trace);
+
+std::ostream& operator<<(std::ostream& os, const TraceStats& s);
+
+}  // namespace sc::trace
+
+#endif  // SC_TRACE_STATS_H_

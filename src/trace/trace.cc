@@ -1,0 +1,110 @@
+#include "trace/trace.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace sc::trace {
+
+const char* ToString(MemOp op) {
+  return op == MemOp::kRead ? "R" : "W";
+}
+
+std::ostream& operator<<(std::ostream& os, MemOp op) {
+  return os << ToString(op);
+}
+
+std::ostream& operator<<(std::ostream& os, const MemEvent& e) {
+  return os << "{cycle=" << e.cycle << " addr=0x" << std::hex << e.addr
+            << std::dec << " bytes=" << e.bytes << " op=" << e.op << "}";
+}
+
+void Trace::Append(const MemEvent& e) {
+  SC_CHECK_MSG(e.bytes > 0, "empty burst");
+  SC_CHECK_MSG(events_.empty() || events_.back().cycle <= e.cycle,
+               "trace cycles must be non-decreasing: last="
+                   << events_.back().cycle << " new=" << e.cycle);
+  events_.push_back(e);
+}
+
+void Trace::Append(std::uint64_t cycle, std::uint64_t addr,
+                   std::uint32_t bytes, MemOp op) {
+  Append(MemEvent{cycle, addr, bytes, op});
+}
+
+std::uint64_t Trace::last_cycle() const {
+  return events_.empty() ? 0 : events_.back().cycle;
+}
+
+std::uint64_t Trace::bytes_read() const {
+  std::uint64_t n = 0;
+  for (const MemEvent& e : events_)
+    if (e.op == MemOp::kRead) n += e.bytes;
+  return n;
+}
+
+std::uint64_t Trace::bytes_written() const {
+  std::uint64_t n = 0;
+  for (const MemEvent& e : events_)
+    if (e.op == MemOp::kWrite) n += e.bytes;
+  return n;
+}
+
+void Trace::WriteCsv(std::ostream& os) const {
+  os << "cycle,addr,bytes,op\n";
+  for (const MemEvent& e : events_) {
+    os << e.cycle << ',' << e.addr << ',' << e.bytes << ',' << ToString(e.op)
+       << '\n';
+  }
+}
+
+Trace Trace::ReadCsv(std::istream& is) {
+  Trace t;
+  std::string line;
+  SC_CHECK_MSG(static_cast<bool>(std::getline(is, line)), "empty CSV stream");
+  SC_CHECK_MSG(line == "cycle,addr,bytes,op",
+               "bad CSV header: '" << line << "'");
+  std::size_t lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    MemEvent e;
+    char c1 = 0, c2 = 0, c3 = 0;
+    std::uint64_t bytes64 = 0;
+    std::string op;
+    SC_CHECK_MSG(
+        static_cast<bool>(row >> e.cycle >> c1 >> e.addr >> c2 >> bytes64 >>
+                          c3 >> op) &&
+            c1 == ',' && c2 == ',' && c3 == ',',
+        "malformed CSV row " << lineno << ": '" << line << "'");
+    SC_CHECK_MSG(bytes64 > 0 && bytes64 <= UINT32_MAX,
+                 "bad burst size on row " << lineno);
+    e.bytes = static_cast<std::uint32_t>(bytes64);
+    if (op == "R") {
+      e.op = MemOp::kRead;
+    } else if (op == "W") {
+      e.op = MemOp::kWrite;
+    } else {
+      SC_CHECK_MSG(false, "bad op '" << op << "' on row " << lineno);
+    }
+    t.Append(e);
+  }
+  return t;
+}
+
+void Trace::SaveCsvFile(const std::string& path) const {
+  std::ofstream f(path);
+  SC_CHECK_MSG(f.is_open(), "cannot open " << path << " for writing");
+  WriteCsv(f);
+}
+
+Trace Trace::LoadCsvFile(const std::string& path) {
+  std::ifstream f(path);
+  SC_CHECK_MSG(f.is_open(), "cannot open " << path << " for reading");
+  return ReadCsv(f);
+}
+
+}  // namespace sc::trace

@@ -1,0 +1,58 @@
+// Container for an observed memory-access trace.
+//
+// A Trace is an append-only, cycle-ordered sequence of MemEvents captured
+// from the accelerator's memory bus. It is the sole input to the structure
+// reverse-engineering attack (paper §3) and is also what defenses transform.
+#ifndef SC_TRACE_TRACE_H_
+#define SC_TRACE_TRACE_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/mem_event.h"
+
+namespace sc::trace {
+
+class Trace {
+ public:
+  Trace() = default;
+
+  // Appends an event. Cycles must be non-decreasing (a bus observes
+  // transactions in time order) and bursts must be non-empty.
+  void Append(const MemEvent& e);
+  void Append(std::uint64_t cycle, std::uint64_t addr, std::uint32_t bytes,
+              MemOp op);
+
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  const MemEvent& operator[](std::size_t i) const { return events_[i]; }
+
+  auto begin() const { return events_.begin(); }
+  auto end() const { return events_.end(); }
+  const std::vector<MemEvent>& events() const { return events_; }
+
+  // Cycle of the last event (0 for an empty trace).
+  std::uint64_t last_cycle() const;
+
+  // Total bytes transferred, split by direction.
+  std::uint64_t bytes_read() const;
+  std::uint64_t bytes_written() const;
+
+  // CSV serialization: header "cycle,addr,bytes,op" then one row per event
+  // with op in {R, W}. ReadCsv validates ordering and burst sizes and throws
+  // sc::Error on malformed input.
+  void WriteCsv(std::ostream& os) const;
+  static Trace ReadCsv(std::istream& is);
+
+  void SaveCsvFile(const std::string& path) const;
+  static Trace LoadCsvFile(const std::string& path);
+
+ private:
+  std::vector<MemEvent> events_;
+};
+
+}  // namespace sc::trace
+
+#endif  // SC_TRACE_TRACE_H_

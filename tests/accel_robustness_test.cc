@@ -1,0 +1,164 @@
+// Property suite: the attacks must be robust to the victim accelerator's
+// microarchitectural knobs — buffer sizes (tiling changes), bandwidth and
+// PE throughput (timing changes), element width. The trace changes shape
+// under every configuration; the recovered facts must not.
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.h"
+#include "attack/structure/pipeline.h"
+#include "models/zoo.h"
+#include "support/rng.h"
+
+namespace sc::accel {
+namespace {
+
+struct ConfigCase {
+  const char* name;
+  AcceleratorConfig cfg;
+};
+
+std::vector<ConfigCase> Cases() {
+  std::vector<ConfigCase> cases;
+  {
+    ConfigCase c{"default", {}};
+    cases.push_back(c);
+  }
+  {
+    ConfigCase c{"tiny_buffers", {}};
+    c.cfg.ifm_buffer_bytes = 8 * 1024;
+    c.cfg.weight_buffer_bytes = 8 * 1024;
+    c.cfg.ofm_buffer_bytes = 4 * 1024;
+    cases.push_back(c);
+  }
+  {
+    ConfigCase c{"huge_buffers", {}};
+    c.cfg.ifm_buffer_bytes = 8 * 1024 * 1024;
+    c.cfg.weight_buffer_bytes = 8 * 1024 * 1024;
+    c.cfg.ofm_buffer_bytes = 8 * 1024 * 1024;
+    cases.push_back(c);
+  }
+  {
+    ConfigCase c{"narrow_bus", {}};
+    c.cfg.bytes_per_cycle = 2;
+    cases.push_back(c);
+  }
+  {
+    ConfigCase c{"wide_pe", {}};
+    c.cfg.macs_per_cycle = 1024;
+    cases.push_back(c);
+  }
+  {
+    ConfigCase c{"fp16_storage", {}};
+    c.cfg.element_bytes = 2;
+    cases.push_back(c);
+  }
+  {
+    ConfigCase c{"pruned", {}};
+    c.cfg.zero_pruning = true;
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+class AccelConfigTest : public ::testing::TestWithParam<ConfigCase> {};
+
+TEST_P(AccelConfigTest, InferenceMatchesReference) {
+  nn::Network net = models::MakeConvNet(3);
+  nn::Tensor x(net.input_shape());
+  sc::Rng rng(4);
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = rng.GaussianF(1.0f);
+  Accelerator accel{GetParam().cfg};
+  const RunResult run = accel.Run(net, x, nullptr);
+  EXPECT_EQ(nn::Tensor::MaxAbsDiff(net.ForwardFinal(x), run.output), 0.0f)
+      << GetParam().name;
+}
+
+TEST_P(AccelConfigTest, StructureSizesRecoveredExactly) {
+  if (GetParam().cfg.zero_pruning) {
+    // The structure attack targets un-pruned traffic (paper Table 1 keeps
+    // the two attacks' assumptions separate).
+    GTEST_SKIP();
+  }
+  nn::Network net = models::MakeLeNet(5);
+  nn::Tensor x(net.input_shape());
+  sc::Rng rng(6);
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = rng.GaussianF(1.0f);
+  Accelerator accel{GetParam().cfg};
+  trace::Trace tr;
+  accel.Run(net, x, &tr);
+
+  attack::AnalysisConfig cfg;
+  cfg.element_bytes = GetParam().cfg.element_bytes;
+  cfg.known_input_elems = 28 * 28;
+  const attack::TraceAnalysis a = attack::AnalyzeTrace(tr, cfg);
+  ASSERT_EQ(a.observations.size(), 4u) << GetParam().name;
+  EXPECT_EQ(a.observations[0].size_ofm, 20 * 12 * 12);
+  EXPECT_EQ(a.observations[0].size_fltr, 5 * 5 * 20);
+  EXPECT_EQ(a.observations[1].size_ofm, 50 * 4 * 4);
+  EXPECT_EQ(a.observations[2].size_fltr, 800 * 500);
+  EXPECT_EQ(a.observations[3].size_ofm, 10);
+}
+
+TEST_P(AccelConfigTest, TraceIsDeterministic) {
+  nn::Network net = models::MakeLeNet(7);
+  nn::Tensor x(net.input_shape());
+  sc::Rng rng(8);
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = rng.GaussianF(1.0f);
+  Accelerator accel{GetParam().cfg};
+  trace::Trace t1, t2;
+  accel.Run(net, x, &t1);
+  accel.Run(net, x, &t2);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) ASSERT_EQ(t1[i], t2[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Microarchitectures, AccelConfigTest, ::testing::ValuesIn(Cases()),
+    [](const ::testing::TestParamInfo<ConfigCase>& case_info) {
+      return std::string(case_info.param.name);
+    });
+
+TEST(AccelRobustness, BuffersTooSmallIsAHardError) {
+  AcceleratorConfig cfg;
+  cfg.ifm_buffer_bytes = 64;  // cannot stage one output row's halo
+  cfg.weight_buffer_bytes = 64;
+  cfg.ofm_buffer_bytes = 64;
+  nn::Network net = models::MakeConvNet(1);
+  nn::Tensor x(net.input_shape());
+  Accelerator accel{cfg};
+  EXPECT_THROW(accel.Run(net, x, nullptr), sc::Error);
+}
+
+TEST(AccelRobustness, ConstantShapeWritesAreInputInvariant) {
+  // With the §4 mitigation enabled, the write-burst sizes must not depend
+  // on the input values at all.
+  models::ConvStageVictimSpec spec;
+  spec.in_depth = 1;
+  spec.in_width = 8;
+  spec.out_depth = 2;
+  spec.filter = 3;
+  nn::Tensor w(nn::Shape{2, 1, 3, 3}, 0.5f);
+  nn::Tensor b(nn::Shape{2}, -0.1f);
+  nn::Network net = models::MakeConvStageVictim(spec, w, b);
+
+  AcceleratorConfig cfg;
+  cfg.zero_pruning = true;
+  cfg.prune_constant_shape = true;
+  Accelerator accel{cfg};
+
+  auto write_sizes = [&](float pixel) {
+    nn::Tensor x(net.input_shape());
+    x.at(0, 3, 3) = pixel;
+    trace::Trace tr;
+    accel.Run(net, x, &tr);
+    std::vector<std::uint32_t> sizes;
+    for (const auto& e : tr)
+      if (e.op == trace::MemOp::kWrite) sizes.push_back(e.bytes);
+    return sizes;
+  };
+  EXPECT_EQ(write_sizes(0.0f), write_sizes(5.0f));
+  EXPECT_EQ(write_sizes(-3.0f), write_sizes(100.0f));
+}
+
+}  // namespace
+}  // namespace sc::accel

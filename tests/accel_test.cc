@@ -1,0 +1,267 @@
+#include "accel/accelerator.h"
+
+#include <gtest/gtest.h>
+
+#include "accel/stage.h"
+#include "nn/activation.h"
+#include "nn/combine.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/init.h"
+#include "nn/pooling.h"
+#include "support/rng.h"
+#include "trace/interval.h"
+#include "trace/stats.h"
+
+namespace sc::accel {
+namespace {
+
+using nn::Shape;
+using nn::Tensor;
+
+nn::Network SmallCnn(std::uint64_t seed) {
+  nn::Network net(Shape{3, 16, 16});
+  net.Append(std::make_unique<nn::Conv2D>("c1", 3, 8, 3, 1, 1));
+  net.Append(std::make_unique<nn::Relu>("r1"));
+  net.Append(nn::MakeMaxPool("p1", 2, 2));
+  net.Append(std::make_unique<nn::Conv2D>("c2", 8, 12, 3, 1, 0));
+  net.Append(std::make_unique<nn::Relu>("r2"));
+  net.Append(std::make_unique<nn::FullyConnected>("fc", 12 * 6 * 6, 10));
+  sc::Rng rng(seed);
+  nn::InitNetwork(net, rng);
+  return net;
+}
+
+// Fire-module style branch/concat/bypass network.
+nn::Network BranchyCnn(std::uint64_t seed) {
+  nn::Network net(Shape{2, 12, 12});
+  int c0 = net.Add(std::make_unique<nn::Conv2D>("c0", 2, 8, 3, 1, 1),
+                   {nn::kInputNode});
+  int r0 = net.Add(std::make_unique<nn::Relu>("r0"), {c0});
+  int s = net.Add(std::make_unique<nn::Conv2D>("squeeze", 8, 4, 1, 1, 0),
+                  {r0});
+  int rs = net.Add(std::make_unique<nn::Relu>("rs"), {s});
+  int e1 = net.Add(std::make_unique<nn::Conv2D>("e1", 4, 4, 1, 1, 0), {rs});
+  int re1 = net.Add(std::make_unique<nn::Relu>("re1"), {e1});
+  int e3 = net.Add(std::make_unique<nn::Conv2D>("e3", 4, 4, 3, 1, 1), {rs});
+  int re3 = net.Add(std::make_unique<nn::Relu>("re3"), {e3});
+  int cat = net.Add(std::make_unique<nn::Concat>("cat", 2), {re1, re3});
+  int byp = net.Add(std::make_unique<nn::EltwiseAdd>("byp", 2), {cat, r0});
+  net.Add(nn::MakeMaxPool("pool", 3, 2), {byp});
+  sc::Rng rng(seed);
+  nn::InitNetwork(net, rng);
+  return net;
+}
+
+Tensor RandomInput(const Shape& s, std::uint64_t seed) {
+  Tensor t(s);
+  sc::Rng rng(seed);
+  for (std::size_t i = 0; i < t.numel(); ++i) t[i] = rng.GaussianF(1.0f);
+  return t;
+}
+
+TEST(Stages, FusesConvReluPool) {
+  nn::Network net = SmallCnn(1);
+  auto stages = BuildStages(net);
+  ASSERT_EQ(stages.size(), 3u);  // conv+relu+pool, conv+relu, fc
+  EXPECT_EQ(stages[0].kind, StageKind::kConv);
+  EXPECT_NE(stages[0].relu_node, -1);
+  EXPECT_NE(stages[0].pool_node, -1);
+  EXPECT_EQ(stages[1].pool_node, -1);
+  EXPECT_EQ(stages[2].kind, StageKind::kFc);
+}
+
+TEST(Stages, ConcatDissolvesAndEltwiseIsAStage) {
+  nn::Network net = BranchyCnn(1);
+  auto stages = BuildStages(net);
+  // c0, squeeze, e1, e3, eltwise, pool — concat is not a stage.
+  ASSERT_EQ(stages.size(), 6u);
+  EXPECT_EQ(stages[4].kind, StageKind::kEltwise);
+  EXPECT_EQ(stages[5].kind, StageKind::kPool);
+}
+
+TEST(Stages, RejectsStandaloneRelu) {
+  nn::Network net(Shape{1, 4, 4});
+  int a = net.Add(std::make_unique<nn::Conv2D>("c", 1, 2, 1, 1, 0),
+                  {nn::kInputNode});
+  int r = net.Add(std::make_unique<nn::Relu>("r"), {a});
+  // Two consumers of the conv: the relu cannot fuse.
+  net.Add(std::make_unique<nn::EltwiseAdd>("add", 2), {a, r});
+  EXPECT_THROW(BuildStages(net), sc::Error);
+}
+
+TEST(AddressMap, DisjointGuardedRegions) {
+  nn::Network net = SmallCnn(2);
+  AddressMap map(net, 4, 4096, 4096);
+  std::vector<Region> regions{map.input()};
+  for (int i = 0; i < net.num_nodes(); ++i) {
+    if (map.weights(i).valid()) regions.push_back(map.weights(i));
+    // Only non-aliased outputs must be disjoint; SmallCnn has no concat.
+    regions.push_back(map.ofm(i));
+  }
+  for (std::size_t a = 0; a < regions.size(); ++a) {
+    for (std::size_t b = a + 1; b < regions.size(); ++b) {
+      const bool disjoint = regions[a].end() + 4096 <= regions[b].base ||
+                            regions[b].end() + 4096 <= regions[a].base;
+      EXPECT_TRUE(disjoint) << "regions " << a << " and " << b << " overlap";
+    }
+  }
+}
+
+TEST(AddressMap, ConcatAliasing) {
+  nn::Network net = BranchyCnn(3);
+  AddressMap map(net, 4, 4096, 4096);
+  // Nodes: 0 c0, 1 r0, 2 squeeze, 3 rs, 4 e1, 5 re1, 6 e3, 7 re3, 8 cat...
+  const Region cat = map.ofm(8);
+  const Region left = map.ofm(5);
+  const Region right = map.ofm(7);
+  EXPECT_EQ(left.base, cat.base);
+  EXPECT_EQ(right.base, cat.base + left.bytes);
+  EXPECT_EQ(cat.bytes, left.bytes + right.bytes);
+}
+
+TEST(Accelerator, MatchesReferenceInference) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    nn::Network net = SmallCnn(seed);
+    const Tensor x = RandomInput(net.input_shape(), seed + 100);
+    const Tensor ref = net.ForwardFinal(x);
+    Accelerator accel{AcceleratorConfig{}};
+    trace::Trace tr;
+    RunResult run = accel.Run(net, x, &tr);
+    EXPECT_EQ(Tensor::MaxAbsDiff(ref, run.output), 0.0f);
+    EXPECT_FALSE(tr.empty());
+    EXPECT_GT(run.total_cycles, 0u);
+  }
+}
+
+TEST(Accelerator, MatchesReferenceOnBranchyNetwork) {
+  nn::Network net = BranchyCnn(4);
+  const Tensor x = RandomInput(net.input_shape(), 42);
+  const Tensor ref = net.ForwardFinal(x);
+  Accelerator accel{AcceleratorConfig{}};
+  RunResult run = accel.Run(net, x, nullptr);
+  EXPECT_EQ(Tensor::MaxAbsDiff(ref, run.output), 0.0f);
+  ASSERT_EQ(run.stages.size(), 6u);
+}
+
+TEST(Accelerator, PruningDoesNotChangeValues) {
+  nn::Network net = BranchyCnn(5);
+  const Tensor x = RandomInput(net.input_shape(), 7);
+  AcceleratorConfig cfg;
+  cfg.zero_pruning = true;
+  Accelerator accel{cfg};
+  RunResult run = accel.Run(net, x, nullptr);
+  EXPECT_EQ(Tensor::MaxAbsDiff(net.ForwardFinal(x), run.output), 0.0f);
+}
+
+TEST(Accelerator, TraceCoversAllTensors) {
+  nn::Network net = SmallCnn(6);
+  const Tensor x = RandomInput(net.input_shape(), 8);
+  Accelerator accel{AcceleratorConfig{}};
+  trace::Trace tr;
+  accel.Run(net, x, &tr);
+  const AddressMap map = accel.BuildMap(net);
+
+  trace::IntervalSet reads, writes;
+  for (const auto& e : tr) {
+    if (e.op == trace::MemOp::kRead)
+      reads.Insert(e.addr, e.end());
+    else
+      writes.Insert(e.addr, e.end());
+  }
+  // The whole input is read; every OFM is written in full; weights are
+  // fully read and never written.
+  auto covered = [&](const trace::IntervalSet& s, const Region& r) {
+    std::uint64_t bytes = 0;
+    for (const auto& part : s.parts()) {
+      const std::uint64_t lo = std::max(part.lo, r.base);
+      const std::uint64_t hi = std::min(part.hi, r.end());
+      if (lo < hi) bytes += hi - lo;
+    }
+    return bytes;
+  };
+  EXPECT_EQ(covered(reads, map.input()), map.input().bytes);
+  for (int i = 0; i < net.num_nodes(); ++i) {
+    if (map.weights(i).valid()) {
+      EXPECT_EQ(covered(reads, map.weights(i)), map.weights(i).bytes);
+      EXPECT_EQ(covered(writes, map.weights(i)), 0u);
+    }
+  }
+  const std::vector<Stage> stages = BuildStages(net);
+  for (const Stage& s : stages) {
+    const Region r = map.ofm(s.output_node);
+    EXPECT_EQ(covered(writes, r), r.bytes) << "stage " << s.main_node;
+  }
+}
+
+TEST(Accelerator, CompressedWriteVolumeLeaksNonZeroCount) {
+  nn::Network net = SmallCnn(9);
+  const Tensor x = RandomInput(net.input_shape(), 10);
+  AcceleratorConfig cfg;
+  cfg.zero_pruning = true;
+  Accelerator accel{cfg};
+  trace::Trace tr;
+  RunResult run = accel.Run(net, x, &tr);
+  const AddressMap map = accel.BuildMap(net);
+
+  const auto per_elem = static_cast<std::uint64_t>(cfg.element_bytes +
+                                                   cfg.prune_index_bytes);
+  const auto header = static_cast<std::uint64_t>(cfg.prune_header_bytes);
+  for (const StageStats& s : run.stages) {
+    const Region r = map.ofm(s.output_node);
+    std::uint64_t written = 0, bursts = 0;
+    for (const auto& e : tr) {
+      if (e.op != trace::MemOp::kWrite) continue;
+      if (e.addr < r.base || e.addr >= r.end()) continue;
+      written += e.bytes;
+      ++bursts;
+    }
+    // written = bursts*header + nnz*per_elem — exactly invertible.
+    EXPECT_EQ(written, bursts * header + s.ofm_nonzeros * per_elem)
+        << "stage " << s.stage_index;
+    EXPECT_LE(s.ofm_nonzeros, s.ofm_elems);
+  }
+}
+
+TEST(Accelerator, StatsChannelCountsSumToTotal) {
+  nn::Network net = BranchyCnn(11);
+  const Tensor x = RandomInput(net.input_shape(), 12);
+  Accelerator accel{AcceleratorConfig{}};
+  RunResult run = accel.Run(net, x, nullptr);
+  for (const StageStats& s : run.stages) {
+    std::size_t sum = 0;
+    for (std::size_t c : s.ofm_channel_nonzeros) sum += c;
+    EXPECT_EQ(sum, s.ofm_nonzeros);
+  }
+}
+
+TEST(Accelerator, ThresholdOverridePrunesMore) {
+  nn::Network net = SmallCnn(13);
+  const Tensor x = RandomInput(net.input_shape(), 14);
+  AcceleratorConfig cfg;
+  Accelerator plain{cfg};
+  const std::size_t base_nnz =
+      plain.Run(net, x, nullptr).stages[0].ofm_nonzeros;
+  cfg.relu_threshold_override = 1.0f;
+  Accelerator strict{cfg};
+  const std::size_t strict_nnz =
+      strict.Run(net, x, nullptr).stages[0].ofm_nonzeros;
+  EXPECT_LT(strict_nnz, base_nnz);
+}
+
+TEST(Accelerator, StageTimingMonotoneInMacs) {
+  nn::Network net = SmallCnn(15);
+  const Tensor x = RandomInput(net.input_shape(), 16);
+  Accelerator accel{AcceleratorConfig{}};
+  RunResult run = accel.Run(net, x, nullptr);
+  // Stage cycle spans are positive and orderd.
+  std::uint64_t prev_end = 0;
+  for (const StageStats& s : run.stages) {
+    EXPECT_GE(s.start_cycle, prev_end);
+    EXPECT_GT(s.end_cycle, s.start_cycle);
+    prev_end = s.end_cycle;
+  }
+}
+
+}  // namespace
+}  // namespace sc::accel

@@ -1,0 +1,106 @@
+#include "accel/address_map.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/activation.h"
+#include "nn/combine.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "support/check.h"
+
+namespace sc::accel {
+namespace {
+
+using nn::kInputNode;
+using nn::Network;
+using nn::Shape;
+
+TEST(AddressMap, BiasesAreNotStoredOffChip) {
+  Network net(Shape{3, 8, 8});
+  net.Append(std::make_unique<nn::Conv2D>("c", 3, 4, 3, 1, 0));
+  AddressMap map(net, 4, 4096, 4096);
+  // Region = weights only (paper Eq. 3), no bias words.
+  EXPECT_EQ(map.weights(0).bytes, 4ull * 3 * 4 * 3 * 3);
+}
+
+TEST(AddressMap, ParameterFreeLayersHaveNoWeightRegion) {
+  Network net(Shape{3, 8, 8});
+  net.Append(std::make_unique<nn::Relu>("r"));
+  AddressMap map(net, 4, 4096, 4096);
+  EXPECT_FALSE(map.weights(0).valid());
+  EXPECT_TRUE(map.ofm(0).valid());
+}
+
+TEST(AddressMap, GuardGapsSeparateEveryRegion) {
+  Network net(Shape{1, 8, 8});
+  net.Append(std::make_unique<nn::Conv2D>("c1", 1, 2, 3, 1, 1));
+  net.Append(std::make_unique<nn::Relu>("r1"));
+  net.Append(std::make_unique<nn::FullyConnected>("fc", 2 * 8 * 8, 4));
+  const std::uint64_t guard = 512;
+  AddressMap map(net, 4, 64, guard);
+  std::vector<Region> regions{map.input()};
+  for (int i = 0; i < net.num_nodes(); ++i) {
+    if (map.weights(i).valid()) regions.push_back(map.weights(i));
+    regions.push_back(map.ofm(i));
+  }
+  std::sort(regions.begin(), regions.end(),
+            [](const Region& a, const Region& b) { return a.base < b.base; });
+  for (std::size_t i = 1; i < regions.size(); ++i)
+    EXPECT_GE(regions[i].base, regions[i - 1].end() + guard);
+}
+
+TEST(AddressMap, NestedConcatAliasing) {
+  // concat(concat(a, b), c): all three leaves alias into the outer region.
+  Network net(Shape{1, 4, 4});
+  int a = net.Add(std::make_unique<nn::Conv2D>("a", 1, 2, 1, 1, 0),
+                  {kInputNode});
+  int b = net.Add(std::make_unique<nn::Conv2D>("b", 1, 3, 1, 1, 0),
+                  {kInputNode});
+  int inner = net.Add(std::make_unique<nn::Concat>("inner", 2), {a, b});
+  int c = net.Add(std::make_unique<nn::Conv2D>("c", 1, 4, 1, 1, 0),
+                  {kInputNode});
+  int outer = net.Add(std::make_unique<nn::Concat>("outer", 2), {inner, c});
+  net.Add(std::make_unique<nn::Relu>("sink"), {outer});
+
+  AddressMap map(net, 4, 4096, 4096);
+  const Region out = map.ofm(outer);
+  EXPECT_EQ(map.ofm(inner).base, out.base);
+  EXPECT_EQ(map.ofm(a).base, out.base);
+  EXPECT_EQ(map.ofm(b).base, out.base + map.ofm(a).bytes);
+  EXPECT_EQ(map.ofm(c).base, out.base + map.ofm(inner).bytes);
+  EXPECT_EQ(out.bytes,
+            map.ofm(a).bytes + map.ofm(b).bytes + map.ofm(c).bytes);
+}
+
+TEST(AddressMap, PruningSlackEnlargesFmapRegions) {
+  Network net(Shape{1, 8, 8});
+  net.Append(std::make_unique<nn::Conv2D>("c", 1, 2, 3, 1, 1));
+  AddressMap dense(net, 4, 4096, 4096, 0, 0);
+  AddressMap pruned(net, 4, 4096, 4096, /*extra_per_elem=*/6, 0);
+  EXPECT_EQ(dense.ofm(0).bytes, 2ull * 8 * 8 * 4);
+  EXPECT_EQ(pruned.ofm(0).bytes, 2ull * 8 * 8 * (4 + 6));
+}
+
+TEST(AddressMap, FeedingTwoConcatsIsRejected) {
+  Network net(Shape{1, 4, 4});
+  int a = net.Add(std::make_unique<nn::Conv2D>("a", 1, 2, 1, 1, 0),
+                  {kInputNode});
+  int b = net.Add(std::make_unique<nn::Conv2D>("b", 1, 2, 1, 1, 0),
+                  {kInputNode});
+  net.Add(std::make_unique<nn::Concat>("c1", 2), {a, b});
+  net.Add(std::make_unique<nn::Concat>("c2", 2), {a, b});
+  EXPECT_THROW(AddressMap(net, 4, 4096, 4096), sc::Error);
+}
+
+TEST(AddressMap, ElementBytesScaleEveryRegion) {
+  Network net(Shape{2, 6, 6});
+  net.Append(std::make_unique<nn::Conv2D>("c", 2, 3, 3, 1, 0));
+  AddressMap two(net, 2, 64, 64);
+  AddressMap four(net, 4, 64, 64);
+  EXPECT_EQ(two.input().bytes * 2, four.input().bytes);
+  EXPECT_EQ(two.weights(0).bytes * 2, four.weights(0).bytes);
+  EXPECT_EQ(two.ofm(0).bytes * 2, four.ofm(0).bytes);
+}
+
+}  // namespace
+}  // namespace sc::accel

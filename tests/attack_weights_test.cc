@@ -1,0 +1,264 @@
+// Weight-recovery attack (Algorithm 2 + pooling variants + bias recovery).
+#include "attack/weights/attack.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/zoo.h"
+#include "support/rng.h"
+
+namespace sc::attack {
+namespace {
+
+struct Victim {
+  SparseConvOracle::StageSpec spec;
+  nn::Tensor weights;
+  nn::Tensor bias;
+};
+
+Victim MakeVictim(std::uint64_t seed, int in_depth, int in_width, int oc,
+                  int f, int s, nn::PoolKind pool, int pool_window,
+                  int pool_stride, bool relu_before_pool, float bias_sign,
+                  float zero_fraction = 0.0f) {
+  Victim v;
+  v.spec.in_depth = in_depth;
+  v.spec.in_width = in_width;
+  v.spec.filter = f;
+  v.spec.stride = s;
+  v.spec.pad = 0;
+  v.spec.pool = pool;
+  v.spec.pool_window = pool_window;
+  v.spec.pool_stride = pool_stride;
+  v.spec.relu_before_pool = relu_before_pool;
+  v.weights = nn::Tensor(nn::Shape{oc, in_depth, f, f});
+  v.bias = nn::Tensor(nn::Shape{oc});
+  sc::Rng rng(seed);
+  for (std::size_t i = 0; i < v.weights.numel(); ++i) {
+    v.weights[i] = rng.GaussianF(0.6f);
+    if (zero_fraction > 0 && rng.Chance(zero_fraction)) v.weights[i] = 0.0f;
+  }
+  for (int k = 0; k < oc; ++k)
+    v.bias.at(k) = bias_sign * rng.UniformF(0.1f, 0.5f);
+  return v;
+}
+
+// Max |recovered w/b - true w/b| over non-failed positions; returns the
+// count of positions checked through *checked.
+float MaxRatioError(const Victim& v, const RecoveredFilter& rec,
+                    int channel, int* checked) {
+  float max_err = 0.0f;
+  *checked = 0;
+  const int f = v.spec.filter;
+  for (int c = 0; c < v.spec.in_depth; ++c) {
+    for (int i = 0; i < f; ++i) {
+      for (int j = 0; j < f; ++j) {
+        const auto id = static_cast<std::size_t>((c * f + i) * f + j);
+        if (rec.failed[id]) continue;
+        const float truth =
+            v.weights.at(channel, c, i, j) / v.bias.at(channel);
+        max_err = std::max(max_err,
+                           std::fabs(rec.ratio.at(c, i, j) - truth));
+        ++(*checked);
+      }
+    }
+  }
+  return max_err;
+}
+
+constexpr float kPaperBound = 1.0f / 1024.0f;  // paper: error < 2^-10
+
+TEST(WeightAttack, NoPoolPositiveBias) {
+  const Victim v = MakeVictim(1, 2, 10, 3, 3, 1, nn::PoolKind::kNone, 0, 0,
+                              true, +1.0f);
+  SparseConvOracle oracle(v.spec, v.weights, v.bias);
+  WeightAttack attack(oracle, v.spec, WeightAttackConfig{});
+  for (int k = 0; k < 3; ++k) {
+    const RecoveredFilter rec = attack.RecoverFilter(k);
+    EXPECT_TRUE(rec.bias_positive);
+    int checked = 0;
+    EXPECT_LT(MaxRatioError(v, rec, k, &checked), kPaperBound);
+    EXPECT_EQ(checked, 2 * 3 * 3);  // every weight recovered
+  }
+}
+
+TEST(WeightAttack, NoPoolNegativeBias) {
+  const Victim v = MakeVictim(2, 1, 9, 2, 3, 1, nn::PoolKind::kNone, 0, 0,
+                              true, -1.0f);
+  SparseConvOracle oracle(v.spec, v.weights, v.bias);
+  WeightAttack attack(oracle, v.spec, WeightAttackConfig{});
+  const RecoveredFilter rec = attack.RecoverFilter(0);
+  EXPECT_FALSE(rec.bias_positive);
+  int checked = 0;
+  EXPECT_LT(MaxRatioError(v, rec, 0, &checked), kPaperBound);
+  EXPECT_EQ(checked, 9);
+}
+
+TEST(WeightAttack, StridedConv) {
+  const Victim v = MakeVictim(3, 1, 13, 2, 4, 2, nn::PoolKind::kNone, 0, 0,
+                              true, +1.0f);
+  SparseConvOracle oracle(v.spec, v.weights, v.bias);
+  WeightAttack attack(oracle, v.spec, WeightAttackConfig{});
+  const RecoveredFilter rec = attack.RecoverFilter(1);
+  int checked = 0;
+  EXPECT_LT(MaxRatioError(v, rec, 1, &checked), kPaperBound);
+  EXPECT_EQ(checked, 16);
+}
+
+TEST(WeightAttack, DetectsZeroWeights) {
+  Victim v = MakeVictim(4, 1, 10, 1, 3, 1, nn::PoolKind::kNone, 0, 0, true,
+                        +1.0f);
+  v.weights.at(0, 0, 1, 1) = 0.0f;
+  v.weights.at(0, 0, 2, 0) = 0.0f;
+  SparseConvOracle oracle(v.spec, v.weights, v.bias);
+  WeightAttack attack(oracle, v.spec, WeightAttackConfig{});
+  const RecoveredFilter rec = attack.RecoverFilter(0);
+  EXPECT_TRUE(rec.zero_at(0, 1, 1, 3));
+  EXPECT_TRUE(rec.zero_at(0, 2, 0, 3));
+  EXPECT_FALSE(rec.zero_at(0, 0, 0, 3));
+  int checked = 0;
+  EXPECT_LT(MaxRatioError(v, rec, 0, &checked), kPaperBound);
+}
+
+TEST(WeightAttack, MaxPoolNegativeBias) {
+  // 2x2/2 max pool fused after a 3x3 conv (paper Eq. 10 regime).
+  const Victim v = MakeVictim(5, 1, 12, 2, 3, 1, nn::PoolKind::kMax, 2, 2,
+                              true, -1.0f);
+  SparseConvOracle oracle(v.spec, v.weights, v.bias);
+  WeightAttack attack(oracle, v.spec, WeightAttackConfig{});
+  const RecoveredFilter rec = attack.RecoverFilter(0);
+  int checked = 0;
+  const float err = MaxRatioError(v, rec, 0, &checked);
+  EXPECT_LT(err, kPaperBound);
+  EXPECT_GE(checked, 7);  // pinning may fail on isolated degenerate spots
+}
+
+TEST(WeightAttack, MaxPool3x3Stride2) {
+  const Victim v = MakeVictim(6, 1, 15, 1, 3, 1, nn::PoolKind::kMax, 3, 2,
+                              true, -1.0f);
+  SparseConvOracle oracle(v.spec, v.weights, v.bias);
+  WeightAttack attack(oracle, v.spec, WeightAttackConfig{});
+  const RecoveredFilter rec = attack.RecoverFilter(0);
+  int checked = 0;
+  EXPECT_LT(MaxRatioError(v, rec, 0, &checked), kPaperBound);
+  EXPECT_GE(checked, 7);
+}
+
+TEST(WeightAttack, MaxPoolPositiveBiasIsBlindWithoutKnob) {
+  const Victim v = MakeVictim(7, 1, 12, 1, 3, 1, nn::PoolKind::kMax, 2, 2,
+                              true, +1.0f);
+  SparseConvOracle oracle(v.spec, v.weights, v.bias);
+  WeightAttack attack(oracle, v.spec, WeightAttackConfig{});
+  const RecoveredFilter rec = attack.RecoverFilter(0);
+  // Every position must be reported failed, not silently wrong.
+  for (bool f : rec.failed) EXPECT_TRUE(f);
+}
+
+TEST(WeightAttack, AvgPoolBeforeActivation) {
+  // Pre-activation 2x2/2 average pooling (paper Eq. 11 regime).
+  const Victim v = MakeVictim(8, 1, 12, 2, 3, 1, nn::PoolKind::kAvg, 2, 2,
+                              false, +1.0f);
+  SparseConvOracle oracle(v.spec, v.weights, v.bias);
+  WeightAttack attack(oracle, v.spec, WeightAttackConfig{});
+  const RecoveredFilter rec = attack.RecoverFilter(0);
+  int checked = 0;
+  EXPECT_LT(MaxRatioError(v, rec, 0, &checked), 4 * kPaperBound);
+  EXPECT_GE(checked, 8);
+}
+
+TEST(WeightAttack, ThresholdKnobRecoversAbsoluteWeights) {
+  Victim v = MakeVictim(9, 1, 10, 2, 3, 1, nn::PoolKind::kNone, 0, 0, true,
+                        +1.0f);
+  v.spec.has_threshold_knob = true;
+  SparseConvOracle oracle(v.spec, v.weights, v.bias);
+  WeightAttack attack(oracle, v.spec, WeightAttackConfig{});
+  const RecoveredFilter rec = attack.RecoverFilter(0);
+  const auto abs = attack.RecoverAbsolute(0, rec);
+  ASSERT_TRUE(abs.has_value());
+  EXPECT_NEAR(abs->bias, v.bias.at(0), 2e-3f);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      EXPECT_NEAR(abs->weights.at(0, i, j), v.weights.at(0, 0, i, j), 5e-3f)
+          << i << "," << j;
+}
+
+TEST(WeightAttack, AbsoluteRecoveryNeedsKnob) {
+  const Victim v = MakeVictim(10, 1, 10, 1, 3, 1, nn::PoolKind::kNone, 0, 0,
+                              true, +1.0f);
+  SparseConvOracle oracle(v.spec, v.weights, v.bias);  // no knob
+  WeightAttack attack(oracle, v.spec, WeightAttackConfig{});
+  const RecoveredFilter rec = attack.RecoverFilter(0);
+  EXPECT_FALSE(attack.RecoverAbsolute(0, rec).has_value());
+}
+
+TEST(WeightAttack, AggregateModeRecoversRatioSets) {
+  const Victim v = MakeVictim(11, 1, 8, 3, 2, 1, nn::PoolKind::kNone, 0, 0,
+                              true, +1.0f);
+  SparseConvOracle oracle(v.spec, v.weights, v.bias);
+  WeightAttack attack(oracle, v.spec, WeightAttackConfig{});
+  const auto sets = attack.RecoverRatioSetsAggregate();
+  ASSERT_EQ(sets.size(), 4u);  // 2x2 filter positions
+  // The pixel isolating position (i,j) also reaches the already-covered
+  // weights (ky <= i, kx <= j), so each crossing's -1/x* must match some
+  // filter's w/b at one of those positions (the paper's "new crossing"
+  // bookkeeping). Position (0,0) has exactly one candidate weight per
+  // filter.
+  EXPECT_GE(sets[0].size(), 2u);
+  for (std::size_t pos = 0; pos < sets.size(); ++pos) {
+    const int i = static_cast<int>(pos) / 2;
+    const int j = static_cast<int>(pos) % 2;
+    for (float x : sets[pos]) {
+      const float recovered = -1.0f / x;
+      float best = 1e9f;
+      for (int k = 0; k < 3; ++k)
+        for (int ky = 0; ky <= i; ++ky)
+          for (int kx = 0; kx <= j; ++kx)
+            best = std::min(best,
+                            std::fabs(recovered -
+                                      v.weights.at(k, 0, ky, kx) /
+                                          v.bias.at(k)));
+      EXPECT_LT(best, 1e-2f) << "pos " << pos;
+    }
+  }
+}
+
+TEST(WeightAttack, EndToEndAgainstAcceleratorOracle) {
+  // The full side channel: accelerator simulator + zero pruning + trace
+  // decode, no shortcuts.
+  models::ConvStageVictimSpec spec;
+  spec.in_depth = 1;
+  spec.in_width = 8;
+  spec.out_depth = 2;
+  spec.filter = 3;
+  spec.stride = 1;
+  spec.pad = 0;
+  nn::Tensor w(nn::Shape{2, 1, 3, 3});
+  nn::Tensor b(nn::Shape{2});
+  sc::Rng rng(12);
+  for (std::size_t i = 0; i < w.numel(); ++i) w[i] = rng.GaussianF(0.5f);
+  b.at(0) = 0.3f;
+  b.at(1) = -0.2f;
+  nn::Network net = models::MakeConvStageVictim(spec, w, b);
+  AcceleratorOracle oracle(net, net.num_nodes() - 1,
+                           accel::AcceleratorConfig{});
+
+  SparseConvOracle::StageSpec geo;
+  geo.in_depth = 1;
+  geo.in_width = 8;
+  geo.filter = 3;
+  geo.stride = 1;
+  WeightAttackConfig cfg;
+  cfg.max_bisect_iters = 60;
+  WeightAttack attack(oracle, geo, cfg);
+  for (int k = 0; k < 2; ++k) {
+    const RecoveredFilter rec = attack.RecoverFilter(k);
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j)
+        EXPECT_NEAR(rec.ratio.at(0, i, j), w.at(k, 0, i, j) / b.at(k),
+                    kPaperBound)
+            << "filter " << k;
+  }
+}
+
+}  // namespace
+}  // namespace sc::attack

@@ -1,0 +1,111 @@
+// Full-scale integration: the structure attack against the real AlexNet
+// victim on the simulated accelerator (the paper's primary case study).
+// Slower than a unit test (~3 s) but the single most load-bearing check in
+// the suite.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.h"
+#include "attack/structure/pipeline.h"
+#include "attack/structure/report.h"
+#include "models/zoo.h"
+#include "support/rng.h"
+
+namespace sc::attack {
+namespace {
+
+const StructureAttackResult& AlexNetAttack() {
+  static const StructureAttackResult result = [] {
+    nn::Network net = models::MakeAlexNet(1);
+    accel::Accelerator accel{accel::AcceleratorConfig{}};
+    trace::Trace tr;
+    nn::Tensor x(net.input_shape());
+    sc::Rng rng(42);
+    for (std::size_t i = 0; i < x.numel(); ++i) x[i] = rng.GaussianF(1.0f);
+    accel.Run(net, x, &tr);
+
+    StructureAttackConfig cfg;
+    cfg.analysis.known_input_elems = 3LL * 227 * 227;
+    cfg.search.known_input_width = 227;
+    cfg.search.known_input_depth = 3;
+    cfg.search.known_output_classes = 1000;
+    cfg.search.macs_per_cycle = accel::AcceleratorConfig{}.macs_per_cycle;
+    cfg.search.bytes_per_cycle = accel::AcceleratorConfig{}.bytes_per_cycle;
+    return RunStructureAttack(tr, cfg);
+  }();
+  return result;
+}
+
+TEST(AlexNetE2E, EightLayersSegmented) {
+  const auto& r = AlexNetAttack();
+  ASSERT_EQ(r.analysis.observations.size(), 8u);
+  for (const auto& o : r.analysis.observations)
+    EXPECT_EQ(o.role, SegmentRole::kConvOrFc);
+}
+
+TEST(AlexNetE2E, SizesMatchPaperEquations) {
+  const auto& o = AlexNetAttack().analysis.observations;
+  EXPECT_EQ(o[0].size_ifm, 227LL * 227 * 3);
+  EXPECT_EQ(o[0].size_ofm, 27LL * 27 * 96);
+  EXPECT_EQ(o[0].size_fltr, 11LL * 11 * 3 * 96);
+  EXPECT_EQ(o[4].size_ofm, 6LL * 6 * 256);
+  EXPECT_EQ(o[5].size_fltr, 9216LL * 4096);
+  EXPECT_EQ(o[7].size_ofm, 1000);
+}
+
+TEST(AlexNetE2E, CandidateSetIsSmallAndContainsTruth) {
+  const auto& r = AlexNetAttack();
+  EXPECT_GE(r.num_structures(), 8u);
+  EXPECT_LE(r.num_structures(), 200u);
+
+  const std::vector<nn::LayerGeometry> truth = {
+      {227, 3, 27, 96, 11, 4, 0, nn::PoolKind::kMax, 3, 2, 0},
+      {27, 96, 13, 256, 5, 1, 2, nn::PoolKind::kMax, 3, 2, 0},
+      {13, 256, 13, 384, 3, 1, 1, nn::PoolKind::kNone, 0, 0, 0},
+      {13, 384, 13, 384, 3, 1, 1, nn::PoolKind::kNone, 0, 0, 0},
+      {13, 384, 6, 256, 3, 1, 1, nn::PoolKind::kMax, 3, 2, 0},
+      {6, 256, 1, 4096, 6, 1, 0, nn::PoolKind::kNone, 0, 0, 0},
+      {1, 4096, 1, 4096, 1, 1, 0, nn::PoolKind::kNone, 0, 0, 0},
+      {1, 4096, 1, 1000, 1, 1, 0, nn::PoolKind::kNone, 0, 0, 0},
+  };
+  bool found = false;
+  for (const auto& cs : r.search.structures) {
+    bool all = true;
+    for (std::size_t k = 0; k < truth.size() && all; ++k)
+      all = cs.layers[k].geom == truth[k];
+    found = found || all;
+  }
+  EXPECT_TRUE(found) << "the real AlexNet must be among the candidates";
+}
+
+TEST(AlexNetE2E, PaperTableFourSignatureRowsRecovered) {
+  // The self-consistent signature alternates from the paper's Table 4.
+  const auto& r = AlexNetAttack();
+  const auto conv2 = UsedConfigsAt(r.search, 1);
+  const bool conv2_alt = std::any_of(
+      conv2.begin(), conv2.end(), [](const nn::LayerGeometry& g) {
+        return g.f_conv == 10 && g.w_ofm == 26 && g.d_ofm == 64;
+      });
+  EXPECT_TRUE(conv2_alt) << "CONV2_2 (10x10 filter -> 26x26x64) missing";
+
+  const auto conv3 = UsedConfigsAt(r.search, 2);
+  const bool conv3_alt = std::any_of(
+      conv3.begin(), conv3.end(), [](const nn::LayerGeometry& g) {
+        return g.f_conv == 6 && g.s_conv == 2 && g.w_ifm == 26;
+      });
+  EXPECT_TRUE(conv3_alt) << "CONV3_2 (6x6/2 on the 26x64 path) missing";
+}
+
+TEST(AlexNetE2E, FcLayersAlwaysUnique) {
+  // Paper: "FC layers ... always have a unique configuration".
+  const auto& r = AlexNetAttack();
+  for (std::size_t seg : {5u, 6u, 7u}) {
+    const auto configs = UsedConfigsAt(r.search, seg);
+    ASSERT_EQ(configs.size(), 1u) << "segment " << seg;
+    EXPECT_TRUE(configs[0].IsFullyConnected());
+  }
+}
+
+}  // namespace
+}  // namespace sc::attack

@@ -1,0 +1,111 @@
+#include "trace/filter.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "attack/structure/report.h"
+#include "support/check.h"
+
+namespace sc::trace {
+namespace {
+
+Trace SampleTrace() {
+  Trace t;
+  t.Append(0, 0x1000, 64, MemOp::kRead);
+  t.Append(5, 0x2000, 128, MemOp::kWrite);
+  t.Append(9, 0x2040, 64, MemOp::kRead);
+  t.Append(12, 0x3000, 32, MemOp::kWrite);
+  return t;
+}
+
+TEST(Filter, ByOp) {
+  const Trace t = SampleTrace();
+  EXPECT_EQ(FilterByOp(t, MemOp::kRead).size(), 2u);
+  EXPECT_EQ(FilterByOp(t, MemOp::kWrite).size(), 2u);
+}
+
+TEST(Filter, ByAddressRangeOverlapsSemantics) {
+  const Trace t = SampleTrace();
+  // Range covering only the tail of the 0x2000 write.
+  const Trace hit = FilterByAddressRange(t, 0x2070, 0x2080);
+  ASSERT_EQ(hit.size(), 2u);  // the 128B write and the 0x2040 read overlap
+  EXPECT_TRUE(FilterByAddressRange(t, 0x5000, 0x6000).empty());
+  EXPECT_THROW(FilterByAddressRange(t, 10, 5), sc::Error);
+}
+
+TEST(Filter, ByCycleWindow) {
+  const Trace t = SampleTrace();
+  const Trace mid = FilterByCycleWindow(t, 5, 9);
+  ASSERT_EQ(mid.size(), 2u);
+  EXPECT_EQ(mid[0].cycle, 5u);
+  EXPECT_THROW(FilterByCycleWindow(t, 9, 5), sc::Error);
+}
+
+TEST(Filter, Concatenate) {
+  Trace head;
+  head.Append(0, 0, 64, MemOp::kRead);
+  Trace tail;
+  tail.Append(10, 64, 64, MemOp::kWrite);
+  EXPECT_EQ(Concatenate(head, tail).size(), 2u);
+  // Time-travel rejected.
+  Trace early;
+  early.Append(0, 0, 8, MemOp::kRead);
+  Trace late;
+  late.Append(5, 0, 8, MemOp::kRead);
+  EXPECT_THROW(Concatenate(late, early), sc::Error);
+}
+
+TEST(Filter, BytesWithinClipsBursts) {
+  const Trace t = SampleTrace();
+  // The 128B write spans [0x2000, 0x2080); clip to [0x2040, 0x2060):
+  // 32 bytes of the write + 32 bytes of the 0x2040 read.
+  EXPECT_EQ(BytesWithin(t, 0x2040, 0x2060), 64u);
+  EXPECT_EQ(BytesWithin(t, 0, UINT64_MAX), 64u + 128 + 64 + 32);
+}
+
+}  // namespace
+}  // namespace sc::trace
+
+namespace sc::attack {
+namespace {
+
+SearchResult TwoStructureResult() {
+  SearchResult r;
+  nn::LayerGeometry a{8, 1, 4, 4, 2, 2, 0, nn::PoolKind::kNone, 0, 0, 0};
+  nn::LayerGeometry b{8, 1, 4, 4, 4, 2, 1, nn::PoolKind::kMax, 2, 1, 0};
+  CandidateStructure s1;
+  s1.layers.push_back({SegmentRole::kConvOrFc, a});
+  CandidateStructure s2;
+  s2.layers.push_back({SegmentRole::kConvOrFc, b});
+  r.structures = {s1, s2};
+  r.per_layer_candidates = {{a, b}};
+  return r;
+}
+
+TEST(Report, UsedConfigsDedupes) {
+  SearchResult r = TwoStructureResult();
+  r.structures.push_back(r.structures.front());  // duplicate structure
+  EXPECT_EQ(UsedConfigsAt(r, 0).size(), 2u);
+}
+
+TEST(Report, PrintConfigTableCountsRows) {
+  const SearchResult r = TwoStructureResult();
+  std::ostringstream os;
+  EXPECT_EQ(PrintConfigTable(os, r), 2u);
+  EXPECT_NE(os.str().find("CONV1"), std::string::npos);
+  EXPECT_NE(os.str().find("N/A"), std::string::npos);
+}
+
+TEST(Report, CsvHasOneRowPerStructureLayer) {
+  const SearchResult r = TwoStructureResult();
+  std::ostringstream os;
+  WriteStructuresCsv(os, r);
+  std::size_t lines = 0;
+  for (char c : os.str())
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 1u + 2u);  // header + 2 structures x 1 layer
+}
+
+}  // namespace
+}  // namespace sc::attack

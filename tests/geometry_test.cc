@@ -1,0 +1,122 @@
+#include "nn/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+
+namespace sc::nn {
+namespace {
+
+TEST(ConvOutWidth, MatchesCaffeFloor) {
+  EXPECT_EQ(ConvOutWidth(227, 11, 4, 0), 55);  // AlexNet conv1
+  EXPECT_EQ(ConvOutWidth(27, 5, 1, 2), 27);    // AlexNet conv2
+  EXPECT_EQ(ConvOutWidth(13, 3, 1, 1), 13);    // AlexNet conv3-5
+  EXPECT_EQ(ConvOutWidth(224, 7, 2, 0), 109);  // SqueezeNet conv1
+  EXPECT_EQ(ConvOutWidth(28, 5, 1, 0), 24);    // LeNet conv1
+  EXPECT_EQ(ConvOutWidth(5, 5, 1, 0), 1);      // degenerate full-width
+}
+
+TEST(PoolOutWidth, MatchesCaffeCeil) {
+  EXPECT_EQ(PoolOutWidth(55, 3, 2, 0), 27);
+  EXPECT_EQ(PoolOutWidth(27, 3, 2, 0), 13);
+  EXPECT_EQ(PoolOutWidth(13, 3, 2, 0), 6);
+  EXPECT_EQ(PoolOutWidth(109, 3, 2, 0), 54);   // SqueezeNet pool1
+  EXPECT_EQ(PoolOutWidth(8, 3, 2, 0), 4);      // ceil(2.5)+1
+  EXPECT_EQ(PoolOutWidth(32, 3, 2, 0), 16);
+}
+
+TEST(Geometry, RejectsBadArguments) {
+  EXPECT_THROW(ConvOutWidth(0, 1, 1, 0), sc::Error);
+  EXPECT_THROW(ConvOutWidth(5, 7, 1, 0), sc::Error);  // window > input
+  EXPECT_THROW(PoolOutWidth(5, 3, 0, 0), sc::Error);
+  EXPECT_THROW(ConvOutWidth(5, 3, 1, -1), sc::Error);
+}
+
+TEST(Geometry, ExactDivision) {
+  EXPECT_TRUE(ConvDividesExactly(227, 11, 4, 0));   // 216 % 4 == 0
+  EXPECT_FALSE(ConvDividesExactly(227, 11, 4, 1));  // 218 % 4 != 0
+  EXPECT_TRUE(PoolDividesExactly(55, 3, 2, 0));
+  EXPECT_FALSE(PoolDividesExactly(8, 3, 2, 0));
+}
+
+// Every row of the paper's Table 4 must be a consistent geometry under our
+// conventions (per-side padding, floor conv, ceil pool). This pins down the
+// interpretation of the paper's equations. CONV1_1 is listed in the paper
+// with P_conv = 1; under floor division P=0 and P=1 give the same widths
+// and both are consistent.
+struct Table4Row {
+  const char* name;
+  LayerGeometry g;
+};
+
+class TableFourTest : public ::testing::TestWithParam<Table4Row> {};
+
+TEST_P(TableFourTest, RowIsConsistent) {
+  const LayerGeometry& g = GetParam().g;
+  EXPECT_TRUE(g.IsConsistent()) << GetParam().name << ": " << g;
+}
+
+const Table4Row kRows[] = {
+    {"CONV1_1", {227, 3, 27, 96, 11, 4, 1, PoolKind::kMax, 3, 2, 0}},
+    {"CONV1_1_p0", {227, 3, 27, 96, 11, 4, 0, PoolKind::kMax, 3, 2, 0}},
+    {"CONV1_2", {227, 3, 27, 96, 11, 4, 2, PoolKind::kMax, 4, 2, 0}},
+    {"CONV2_1", {27, 96, 13, 256, 5, 1, 2, PoolKind::kMax, 3, 2, 0}},
+    {"CONV2_2", {27, 96, 26, 64, 10, 1, 4, PoolKind::kNone, 0, 0, 0}},
+    {"CONV3_1", {13, 256, 13, 384, 3, 1, 1, PoolKind::kNone, 0, 0, 0}},
+    {"CONV3_2", {26, 64, 13, 384, 6, 2, 2, PoolKind::kNone, 0, 0, 0}},
+    {"CONV4", {13, 384, 13, 384, 3, 1, 1, PoolKind::kNone, 0, 0, 0}},
+    {"CONV5_1", {13, 384, 6, 256, 3, 1, 1, PoolKind::kMax, 3, 2, 0}},
+    {"CONV5_2", {13, 384, 12, 64, 6, 1, 2, PoolKind::kNone, 0, 0, 0}},
+    {"CONV5_3", {13, 384, 3, 1024, 3, 2, 0, PoolKind::kMax, 2, 2, 0}},
+    {"CONV5_4", {13, 384, 3, 1024, 3, 2, 0, PoolKind::kMax, 4, 1, 0}},
+    {"CONV5_5", {13, 384, 3, 1024, 3, 2, 1, PoolKind::kMax, 3, 2, 0}},
+    {"CONV5_6", {13, 384, 4, 576, 2, 1, 0, PoolKind::kMax, 3, 3, 0}},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTableFour, TableFourTest, ::testing::ValuesIn(kRows),
+    [](const ::testing::TestParamInfo<Table4Row>& row_info) {
+      return std::string(row_info.param.name);
+    });
+
+TEST(LayerGeometry, SizesMatchPaperEquations) {
+  LayerGeometry g{227, 3, 27, 96, 11, 4, 0, PoolKind::kMax, 3, 2, 0};
+  EXPECT_EQ(g.SizeIfm(), 227LL * 227 * 3);          // Eq. (1)
+  EXPECT_EQ(g.SizeOfm(), 27LL * 27 * 96);           // Eq. (2)
+  EXPECT_EQ(g.SizeFilter(), 11LL * 11 * 3 * 96);    // Eq. (3)
+  EXPECT_EQ(g.MacCount(), 27LL * 27 * 96 * 11 * 11 * 3);
+  EXPECT_EQ(g.ConvStageWidth(), 55);
+  EXPECT_EQ(g.ConvMacCount(), 55LL * 55 * 96 * 11 * 11 * 3);
+}
+
+TEST(LayerGeometry, FullyConnectedDetection) {
+  LayerGeometry fc{6, 256, 1, 4096, 6, 1, 0, PoolKind::kNone, 0, 0, 0};
+  EXPECT_TRUE(fc.IsFullyConnected());
+  EXPECT_TRUE(fc.IsConsistent());  // exempt from F <= W/2
+  LayerGeometry conv{13, 384, 13, 384, 3, 1, 1, PoolKind::kNone, 0, 0, 0};
+  EXPECT_FALSE(conv.IsFullyConnected());
+}
+
+TEST(LayerGeometry, InconsistentGeometriesRejected) {
+  // Wrong output width.
+  LayerGeometry g{227, 3, 28, 96, 11, 4, 0, PoolKind::kMax, 3, 2, 0};
+  EXPECT_FALSE(g.IsConsistent());
+  // Filter larger than half the input (Eq. 5) and not FC.
+  LayerGeometry big{20, 3, 7, 8, 14, 1, 0, PoolKind::kNone, 0, 0, 0};
+  EXPECT_FALSE(big.IsConsistent());
+  // Stride above filter (Eq. 5).
+  LayerGeometry stride{32, 3, 10, 8, 3, 4, 0, PoolKind::kNone, 0, 0, 0};
+  EXPECT_FALSE(stride.IsConsistent());
+  // Padding >= filter (Eq. 7).
+  LayerGeometry padded{32, 3, 34, 8, 3, 1, 3, PoolKind::kNone, 0, 0, 0};
+  EXPECT_FALSE(padded.IsConsistent());
+  // Pool stride above pool window (Eq. 6).
+  LayerGeometry pool{32, 3, 10, 8, 3, 1, 0, PoolKind::kMax, 2, 3, 0};
+  EXPECT_FALSE(pool.IsConsistent());
+  // Pool padding >= pool window (Eq. 8).
+  LayerGeometry ppad{32, 3, 16, 8, 3, 1, 0, PoolKind::kMax, 2, 2, 2};
+  EXPECT_FALSE(ppad.IsConsistent());
+}
+
+}  // namespace
+}  // namespace sc::nn

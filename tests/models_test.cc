@@ -1,0 +1,135 @@
+#include "models/zoo.h"
+
+#include <gtest/gtest.h>
+
+#include "accel/stage.h"
+#include "nn/conv2d.h"
+#include "support/rng.h"
+
+namespace sc::models {
+namespace {
+
+TEST(Zoo, LeNetShapes) {
+  nn::Network net = MakeLeNet();
+  EXPECT_EQ(net.input_shape(), nn::Shape({1, 28, 28}));
+  EXPECT_EQ(net.final_shape(), nn::Shape({10, 1, 1}));
+  EXPECT_EQ(accel::BuildStages(net).size(), 4u);
+}
+
+TEST(Zoo, ConvNetShapes) {
+  nn::Network net = MakeConvNet();
+  EXPECT_EQ(net.input_shape(), nn::Shape({3, 32, 32}));
+  EXPECT_EQ(net.final_shape(), nn::Shape({10, 1, 1}));
+  EXPECT_EQ(accel::BuildStages(net).size(), 4u);
+}
+
+TEST(Zoo, AlexNetShapes) {
+  nn::Network net = MakeAlexNet();
+  EXPECT_EQ(net.input_shape(), nn::Shape({3, 227, 227}));
+  EXPECT_EQ(net.final_shape(), nn::Shape({1000, 1, 1}));
+  // 5 conv + 3 fc stages.
+  const auto stages = accel::BuildStages(net);
+  EXPECT_EQ(stages.size(), 8u);
+  // conv1 feature map chain: 55 -> 27 -> 13 -> 13 -> 13 -> 6.
+  EXPECT_EQ(net.output_shape(stages[0].output_node),
+            nn::Shape({96, 27, 27}));
+  EXPECT_EQ(net.output_shape(stages[4].output_node),
+            nn::Shape({256, 6, 6}));
+}
+
+TEST(Zoo, SqueezeNetShapes) {
+  nn::Network net = MakeSqueezeNet();
+  EXPECT_EQ(net.input_shape(), nn::Shape({3, 224, 224}));
+  EXPECT_EQ(net.final_shape(), nn::Shape({1000, 1, 1}));
+  // 2 conv + 8 fire modules x 3 convs = 26 weighted stages. conv1's pool
+  // fuses into its stage; the pools after fire4 and fire8 follow a concat
+  // and stay standalone; 4 bypass eltwise stages.
+  const auto stages = accel::BuildStages(net);
+  std::size_t convs = 0, pools = 0, elts = 0, fcs = 0;
+  for (const auto& s : stages) {
+    switch (s.kind) {
+      case accel::StageKind::kConv:
+        ++convs;
+        break;
+      case accel::StageKind::kPool:
+        ++pools;
+        break;
+      case accel::StageKind::kEltwise:
+        ++elts;
+        break;
+      case accel::StageKind::kFc:
+        ++fcs;
+        break;
+    }
+  }
+  EXPECT_EQ(convs, 26u);
+  EXPECT_EQ(pools, 2u);
+  EXPECT_EQ(elts, 4u);
+  EXPECT_EQ(fcs, 0u);
+}
+
+TEST(Zoo, SqueezeNetWithoutBypass) {
+  SqueezeNetOptions opts;
+  opts.bypass_fires.clear();
+  nn::Network net = MakeSqueezeNet(opts);
+  const auto stages = accel::BuildStages(net);
+  for (const auto& s : stages)
+    EXPECT_NE(s.kind, accel::StageKind::kEltwise);
+}
+
+TEST(Zoo, DeterministicSeeding) {
+  nn::Network a = MakeLeNet(42);
+  nn::Network b = MakeLeNet(42);
+  nn::Network c = MakeLeNet(43);
+  auto& wa = dynamic_cast<nn::Conv2D&>(a.layer(0)).weights();
+  auto& wb = dynamic_cast<nn::Conv2D&>(b.layer(0)).weights();
+  auto& wc = dynamic_cast<nn::Conv2D&>(c.layer(0)).weights();
+  EXPECT_EQ(nn::Tensor::MaxAbsDiff(wa, wb), 0.0f);
+  EXPECT_GT(nn::Tensor::MaxAbsDiff(wa, wc), 0.0f);
+}
+
+TEST(CompressedConv1, ShapeAndZeroFraction) {
+  const CompressedConv1 c = MakeCompressedConv1Weights(0.16f, 7);
+  EXPECT_EQ(c.weights.shape(), nn::Shape({96, 3, 11, 11}));
+  const auto zeros = c.weights.CountZeros();
+  const auto total = c.weights.numel();
+  const double frac = static_cast<double>(zeros) /
+                      static_cast<double>(total);
+  EXPECT_NEAR(frac, 0.16, 0.02);
+  for (int k = 0; k < 96; ++k) {
+    EXPECT_GE(std::abs(c.bias.at(k)), 0.05f);
+    EXPECT_LE(std::abs(c.bias.at(k)), 0.5f);
+  }
+}
+
+TEST(ConvStageVictim, BuildsAllVariants) {
+  ConvStageVictimSpec spec;
+  spec.in_depth = 1;
+  spec.in_width = 8;
+  spec.out_depth = 2;
+  spec.filter = 3;
+  nn::Tensor w(nn::Shape{2, 1, 3, 3}, 0.1f);
+  nn::Tensor b(nn::Shape{2}, 0.1f);
+
+  nn::Network plain = MakeConvStageVictim(spec, w, b);
+  EXPECT_EQ(plain.final_shape(), nn::Shape({2, 6, 6}));
+
+  spec.pool = nn::PoolKind::kMax;
+  spec.pool_window = 2;
+  spec.pool_stride = 2;
+  nn::Network pooled = MakeConvStageVictim(spec, w, b);
+  EXPECT_EQ(pooled.final_shape(), nn::Shape({2, 3, 3}));
+
+  spec.pool = nn::PoolKind::kAvg;
+  spec.relu_before_pool = false;
+  nn::Network avg = MakeConvStageVictim(spec, w, b);
+  EXPECT_EQ(avg.final_shape(), nn::Shape({2, 3, 3}));
+
+  // Wrong weight shape must be rejected.
+  EXPECT_THROW(MakeConvStageVictim(spec, nn::Tensor(nn::Shape{2, 1, 2, 2}),
+                                   b),
+               sc::Error);
+}
+
+}  // namespace
+}  // namespace sc::models

@@ -1,0 +1,197 @@
+#include "nn/network.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/activation.h"
+#include "nn/combine.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pooling.h"
+#include "support/check.h"
+
+namespace sc::nn {
+namespace {
+
+TEST(Conv2D, KnownValues) {
+  // 1 input channel 3x3, one 2x2 filter of ones, bias 0.5.
+  Conv2D conv("c", 1, 1, 2, 1, 0);
+  conv.weights().Fill(1.0f);
+  conv.bias().Fill(0.5f);
+  Tensor x(Shape{1, 3, 3});
+  float v = 1.0f;
+  for (std::size_t i = 0; i < 9; ++i) x[i] = v++;
+  Tensor y = conv.Forward({&x});
+  ASSERT_EQ(y.shape(), Shape({1, 2, 2}));
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0), 1 + 2 + 4 + 5 + 0.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1, 1), 5 + 6 + 8 + 9 + 0.5f);
+}
+
+TEST(Conv2D, PaddingAndStride) {
+  Conv2D conv("c", 1, 1, 3, 2, 1);
+  conv.weights().Fill(1.0f);
+  conv.bias().Zero();
+  Tensor x(Shape{1, 4, 4}, 1.0f);
+  Tensor y = conv.Forward({&x});
+  // (4 + 2 - 3) / 2 + 1 = 2
+  ASSERT_EQ(y.shape(), Shape({1, 2, 2}));
+  // Top-left window covers rows/cols {-1,0,1}: 4 valid ones.
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0), 4.0f);
+  // Window at (1,1): rows/cols {1,2,3}: fully valid -> 9.
+  EXPECT_FLOAT_EQ(y.at(0, 1, 1), 9.0f);
+}
+
+TEST(Conv2D, MultiChannelAccumulation) {
+  Conv2D conv("c", 2, 1, 1, 1, 0);
+  conv.weights().at(0, 0, 0, 0) = 2.0f;
+  conv.weights().at(0, 1, 0, 0) = 3.0f;
+  conv.bias().Zero();
+  Tensor x(Shape{2, 1, 1});
+  x.at(0, 0, 0) = 5.0f;
+  x.at(1, 0, 0) = 7.0f;
+  Tensor y = conv.Forward({&x});
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0), 2 * 5 + 3 * 7);
+}
+
+TEST(Pooling, MaxAndAvg) {
+  Tensor x(Shape{1, 4, 4});
+  float v = 1.0f;
+  for (std::size_t i = 0; i < 16; ++i) x[i] = v++;
+  auto maxp = MakeMaxPool("m", 2, 2);
+  Tensor ym = maxp->Forward({&x});
+  ASSERT_EQ(ym.shape(), Shape({1, 2, 2}));
+  EXPECT_FLOAT_EQ(ym.at(0, 0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(ym.at(0, 1, 1), 16.0f);
+
+  auto avgp = MakeAvgPool("a", 2, 2);
+  Tensor ya = avgp->Forward({&x});
+  EXPECT_FLOAT_EQ(ya.at(0, 0, 0), (1 + 2 + 5 + 6) / 4.0f);
+}
+
+TEST(Pooling, CeilModePartialWindows) {
+  // Width 5, window 2, stride 2 -> ceil((5-2)/2)+1 = 3 outputs; the last
+  // window is clipped to one column.
+  Tensor x(Shape{1, 5, 5}, 1.0f);
+  auto maxp = MakeMaxPool("m", 2, 2);
+  Tensor y = maxp->Forward({&x});
+  ASSERT_EQ(y.shape(), Shape({1, 3, 3}));
+  EXPECT_FLOAT_EQ(y.at(0, 2, 2), 1.0f);
+  // Average divides by the full window area even when clipped (Caffe).
+  auto avgp = MakeAvgPool("a", 2, 2);
+  Tensor ya = avgp->Forward({&x});
+  EXPECT_FLOAT_EQ(ya.at(0, 2, 2), 0.25f);
+  EXPECT_FLOAT_EQ(ya.at(0, 0, 0), 1.0f);
+}
+
+TEST(Relu, ThresholdSemantics) {
+  Relu relu("r", 1.0f);
+  Tensor x(Shape{4});
+  x.at(0) = -1.0f;
+  x.at(1) = 0.5f;
+  x.at(2) = 1.0f;  // exactly the threshold: pruned
+  x.at(3) = 1.5f;
+  Tensor y = relu.Forward({&x});
+  EXPECT_EQ(y.at(0), 0.0f);
+  EXPECT_EQ(y.at(1), 0.0f);
+  EXPECT_EQ(y.at(2), 0.0f);
+  EXPECT_EQ(y.at(3), 1.5f);
+  EXPECT_THROW(Relu("bad", -0.5f), sc::Error);
+}
+
+TEST(FullyConnected, FlattensRank3Input) {
+  FullyConnected fc("f", 4, 2);
+  fc.weights().Fill(1.0f);
+  fc.bias().at(1) = 10.0f;
+  Tensor x(Shape{1, 2, 2});
+  x[0] = 1;
+  x[1] = 2;
+  x[2] = 3;
+  x[3] = 4;
+  Tensor y = fc.Forward({&x});
+  ASSERT_EQ(y.shape(), Shape({2, 1, 1}));
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0), 10.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 0, 0), 20.0f);
+}
+
+TEST(Concat, DepthConcatenation) {
+  Concat cat("cat", 2);
+  Tensor a(Shape{1, 2, 2}, 1.0f);
+  Tensor b(Shape{2, 2, 2}, 2.0f);
+  Tensor y = cat.Forward({&a, &b});
+  ASSERT_EQ(y.shape(), Shape({3, 2, 2}));
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 1, 1), 2.0f);
+  EXPECT_FLOAT_EQ(y.at(2, 0, 1), 2.0f);
+}
+
+TEST(Concat, RejectsSpatialMismatch) {
+  Concat cat("cat", 2);
+  EXPECT_THROW(cat.OutputShape({Shape{1, 2, 2}, Shape{1, 3, 3}}), sc::Error);
+}
+
+TEST(EltwiseAdd, AddsInputs) {
+  EltwiseAdd add("add", 2);
+  Tensor a(Shape{2, 1, 1}, 1.5f);
+  Tensor b(Shape{2, 1, 1}, 2.0f);
+  Tensor y = add.Forward({&a, &b});
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0), 3.5f);
+  Tensor c(Shape{1, 1, 1});
+  EXPECT_THROW(add.OutputShape({a.shape(), c.shape()}), sc::Error);
+}
+
+TEST(Network, SequentialBuildAndShapes) {
+  Network net(Shape{1, 8, 8});
+  net.Append(std::make_unique<Conv2D>("c1", 1, 4, 3, 1, 1));
+  net.Append(std::make_unique<Relu>("r1"));
+  net.Append(MakeMaxPool("p1", 2, 2));
+  net.Append(std::make_unique<FullyConnected>("fc", 4 * 4 * 4, 10));
+  EXPECT_EQ(net.num_nodes(), 4);
+  EXPECT_EQ(net.final_shape(), Shape({10, 1, 1}));
+  EXPECT_EQ(net.OutputNodes(), std::vector<int>{3});
+}
+
+TEST(Network, RejectsIncompatibleLayers) {
+  Network net(Shape{3, 8, 8});
+  EXPECT_THROW(net.Append(std::make_unique<Conv2D>("c", 4, 8, 3, 1, 0)),
+               sc::Error);  // depth mismatch
+  net.Append(std::make_unique<Conv2D>("c", 3, 8, 3, 1, 0));
+  EXPECT_THROW(net.Add(std::make_unique<Relu>("r"), {5}), sc::Error);
+  EXPECT_THROW(net.Add(std::make_unique<Concat>("cat", 2), {0}), sc::Error);
+}
+
+TEST(Network, BranchAndMergeForward) {
+  // input -> conv a, conv b; concat(a, b); eltwise(concat, concat).
+  Network net(Shape{1, 4, 4});
+  int a = net.Add(std::make_unique<Conv2D>("a", 1, 2, 1, 1, 0),
+                  {kInputNode});
+  int b = net.Add(std::make_unique<Conv2D>("b", 1, 3, 1, 1, 0),
+                  {kInputNode});
+  int cat = net.Add(std::make_unique<Concat>("cat", 2), {a, b});
+  net.Add(std::make_unique<EltwiseAdd>("add", 2), {cat, cat});
+  EXPECT_EQ(net.output_shape(cat), Shape({5, 4, 4}));
+  EXPECT_EQ(net.ConsumersOf(cat).size(), 1u);
+
+  dynamic_cast<Conv2D&>(net.layer(a)).weights().Fill(1.0f);
+  dynamic_cast<Conv2D&>(net.layer(b)).weights().Fill(2.0f);
+  Tensor x(Shape{1, 4, 4}, 1.0f);
+  Tensor y = net.ForwardFinal(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0), 2.0f);  // 1*1 doubled by eltwise
+  EXPECT_FLOAT_EQ(y.at(4, 3, 3), 4.0f);  // conv b doubled
+}
+
+TEST(Network, ForwardValidatesInputShape) {
+  Network net(Shape{1, 4, 4});
+  net.Append(std::make_unique<Relu>("r"));
+  EXPECT_THROW(net.ForwardFinal(Tensor(Shape{1, 5, 5})), sc::Error);
+}
+
+TEST(Network, ParamsEnumeration) {
+  Network net(Shape{1, 6, 6});
+  net.Append(std::make_unique<Conv2D>("c", 1, 2, 3, 1, 0));
+  net.Append(std::make_unique<Relu>("r"));
+  net.Append(std::make_unique<FullyConnected>("f", 2 * 4 * 4, 5));
+  EXPECT_EQ(net.Params().size(), 4u);  // 2 weights + 2 biases
+  EXPECT_EQ(net.NumParams(), 2u * 9 + 2 + (2 * 16 * 5) + 5);
+}
+
+}  // namespace
+}  // namespace sc::nn

@@ -1,0 +1,158 @@
+// Zero-count oracles: the side-channel decode must match ground truth, and
+// the fast sparse oracle must agree query-for-query with the trace-decoded
+// accelerator oracle.
+#include "attack/weights/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+#include "support/rng.h"
+
+namespace sc::attack {
+namespace {
+
+using models::ConvStageVictimSpec;
+
+struct VictimBundle {
+  ConvStageVictimSpec spec;
+  nn::Tensor weights;
+  nn::Tensor bias;
+};
+
+VictimBundle MakeVictim(std::uint64_t seed, nn::PoolKind pool,
+                        bool relu_before_pool, float bias_sign) {
+  VictimBundle v;
+  v.spec.in_depth = 2;
+  v.spec.in_width = 12;
+  v.spec.out_depth = 4;
+  v.spec.filter = 3;
+  v.spec.stride = 1;
+  v.spec.pad = 0;
+  v.spec.pool = pool;
+  v.spec.pool_window = pool == nn::PoolKind::kNone ? 0 : 2;
+  v.spec.pool_stride = pool == nn::PoolKind::kNone ? 0 : 2;
+  v.spec.relu_before_pool = relu_before_pool;
+  v.weights = nn::Tensor(nn::Shape{4, 2, 3, 3});
+  v.bias = nn::Tensor(nn::Shape{4});
+  sc::Rng rng(seed);
+  for (std::size_t i = 0; i < v.weights.numel(); ++i)
+    v.weights[i] = rng.GaussianF(0.8f);
+  for (int k = 0; k < 4; ++k)
+    v.bias.at(k) = bias_sign * rng.UniformF(0.1f, 0.4f);
+  return v;
+}
+
+SparseConvOracle::StageSpec ToStageSpec(const VictimBundle& v) {
+  SparseConvOracle::StageSpec s;
+  s.in_depth = v.spec.in_depth;
+  s.in_width = v.spec.in_width;
+  s.filter = v.spec.filter;
+  s.stride = v.spec.stride;
+  s.pad = v.spec.pad;
+  s.pool = v.spec.pool;
+  s.pool_window = v.spec.pool_window;
+  s.pool_stride = v.spec.pool_stride;
+  s.relu_before_pool = v.spec.relu_before_pool;
+  return s;
+}
+
+class OracleAgreementTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(OracleAgreementTest, SparseMatchesAcceleratorTraceDecode) {
+  const auto [seed, mode] = GetParam();
+  nn::PoolKind pool = nn::PoolKind::kNone;
+  bool relu_first = true;
+  if (mode == 1) pool = nn::PoolKind::kMax;
+  if (mode == 2) {
+    pool = nn::PoolKind::kAvg;
+    relu_first = false;
+  }
+  // Negative bias for pooled modes (threshold-0 leak regime).
+  const float bias_sign = (mode == 0) ? 1.0f : -1.0f;
+  const VictimBundle v = MakeVictim(static_cast<std::uint64_t>(seed), pool,
+                                    relu_first, bias_sign);
+
+  nn::Network net = models::MakeConvStageVictim(v.spec, v.weights, v.bias);
+  AcceleratorOracle hw(net, net.num_nodes() - 1, accel::AcceleratorConfig{});
+  SparseConvOracle fast(ToStageSpec(v), v.weights, v.bias);
+  ASSERT_EQ(hw.num_channels(), fast.num_channels());
+
+  sc::Rng rng(static_cast<std::uint64_t>(seed) + 99);
+  for (int q = 0; q < 12; ++q) {
+    std::vector<SparsePixel> pixels;
+    const int n = rng.UniformInt(0, 2);
+    for (int k = 0; k < n; ++k) {
+      pixels.push_back({rng.UniformInt(0, 1), rng.UniformInt(0, 11),
+                        rng.UniformInt(0, 11), rng.GaussianF(2.0f)});
+    }
+    ASSERT_EQ(hw.TotalNonZeros(pixels), fast.TotalNonZeros(pixels))
+        << "query " << q;
+    for (int c = 0; c < hw.num_channels(); ++c) {
+      ASSERT_EQ(hw.ChannelNonZeros(pixels, c),
+                fast.ChannelNonZeros(pixels, c))
+          << "query " << q << " channel " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, OracleAgreementTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(0, 1, 2)));
+
+TEST(AcceleratorOracle, CountsMatchStageGroundTruth) {
+  const VictimBundle v =
+      MakeVictim(5, nn::PoolKind::kNone, true, 1.0f);
+  nn::Network net = models::MakeConvStageVictim(v.spec, v.weights, v.bias);
+  AcceleratorOracle oracle(net, net.num_nodes() - 1,
+                           accel::AcceleratorConfig{});
+
+  // Densified ground truth via the reference engine.
+  nn::Tensor x(net.input_shape());
+  x.at(1, 3, 4) = 0.7f;
+  const nn::Tensor y = net.ForwardFinal(x);
+  EXPECT_EQ(oracle.TotalNonZeros({{1, 3, 4, 0.7f}}), y.CountNonZeros());
+  EXPECT_EQ(oracle.queries(), 1u);
+}
+
+TEST(AcceleratorOracle, ThresholdKnob) {
+  const VictimBundle v = MakeVictim(6, nn::PoolKind::kNone, true, 1.0f);
+  nn::Network net = models::MakeConvStageVictim(v.spec, v.weights, v.bias);
+  AcceleratorOracle oracle(net, net.num_nodes() - 1,
+                           accel::AcceleratorConfig{});
+  const std::size_t base = oracle.TotalNonZeros({});
+  EXPECT_GT(base, 0u);  // positive biases
+  EXPECT_TRUE(oracle.SetActivationThreshold(10.0f));
+  EXPECT_EQ(oracle.TotalNonZeros({}), 0u);
+}
+
+TEST(AcceleratorOracle, RejectsFusedInteriorNode) {
+  const VictimBundle v = MakeVictim(7, nn::PoolKind::kMax, true, -1.0f);
+  nn::Network net = models::MakeConvStageVictim(v.spec, v.weights, v.bias);
+  // Node 0 is the conv, fused into a stage whose output is the pool node.
+  EXPECT_THROW(
+      AcceleratorOracle(net, 0, accel::AcceleratorConfig{}), sc::Error);
+}
+
+TEST(SparseConvOracle, ValidatesConfiguration) {
+  SparseConvOracle::StageSpec s;
+  s.in_depth = 1;
+  s.in_width = 8;
+  s.filter = 3;
+  // Wrong weight shape.
+  EXPECT_THROW(SparseConvOracle(s, nn::Tensor(nn::Shape{1, 1, 2, 2}),
+                                nn::Tensor(nn::Shape{1})),
+               sc::Error);
+  // Max pooling before activation is not modelled.
+  s.pool = nn::PoolKind::kMax;
+  s.pool_window = 2;
+  s.pool_stride = 2;
+  s.relu_before_pool = false;
+  EXPECT_THROW(SparseConvOracle(s, nn::Tensor(nn::Shape{1, 1, 3, 3}),
+                                nn::Tensor(nn::Shape{1})),
+               sc::Error);
+}
+
+}  // namespace
+}  // namespace sc::attack

@@ -1,0 +1,154 @@
+#include "attack/structure/region_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.h"
+#include "nn/activation.h"
+#include "nn/combine.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/init.h"
+#include "nn/pooling.h"
+#include "support/rng.h"
+
+namespace sc::attack {
+namespace {
+
+nn::Tensor RandomInput(const nn::Shape& s, std::uint64_t seed) {
+  nn::Tensor t(s);
+  sc::Rng rng(seed);
+  for (std::size_t i = 0; i < t.numel(); ++i) t[i] = rng.GaussianF(1.0f);
+  return t;
+}
+
+// Simple two-conv + fc network with exactly known sizes.
+nn::Network TinyNet() {
+  nn::Network net(nn::Shape{3, 16, 16});
+  net.Append(std::make_unique<nn::Conv2D>("c1", 3, 8, 3, 1, 1));  // 16x16x8
+  net.Append(std::make_unique<nn::Relu>("r1"));
+  net.Append(nn::MakeMaxPool("p1", 2, 2));                        // 8x8x8
+  net.Append(std::make_unique<nn::Conv2D>("c2", 8, 4, 3, 1, 0));  // 6x6x4
+  net.Append(std::make_unique<nn::Relu>("r2"));
+  net.Append(std::make_unique<nn::FullyConnected>("fc", 144, 10));
+  sc::Rng rng(5);
+  nn::InitNetwork(net, rng);
+  return net;
+}
+
+trace::Trace TraceOf(const nn::Network& net, std::uint64_t seed) {
+  accel::Accelerator accel{accel::AcceleratorConfig{}};
+  trace::Trace tr;
+  accel.Run(net, RandomInput(net.input_shape(), seed), &tr);
+  return tr;
+}
+
+TEST(AnalyzeTrace, RecoversExactLayerSizes) {
+  nn::Network net = TinyNet();
+  AnalysisConfig cfg;
+  cfg.known_input_elems = 3 * 16 * 16;
+  const TraceAnalysis a = AnalyzeTrace(TraceOf(net, 1), cfg);
+
+  ASSERT_EQ(a.observations.size(), 3u);
+  const LayerObservation& l0 = a.observations[0];
+  EXPECT_EQ(l0.role, SegmentRole::kConvOrFc);
+  EXPECT_TRUE(l0.reads_network_input);
+  EXPECT_EQ(l0.size_ifm, 3 * 16 * 16);
+  EXPECT_EQ(l0.size_ofm, 8 * 8 * 8);                 // post-pool
+  EXPECT_EQ(l0.size_fltr, 3 * 3 * 3 * 8);  // biases stay on chip
+
+  const LayerObservation& l1 = a.observations[1];
+  EXPECT_EQ(l1.size_ifm, 8 * 8 * 8);
+  EXPECT_EQ(l1.size_ofm, 6 * 6 * 4);
+  EXPECT_EQ(l1.size_fltr, 3 * 3 * 8 * 4);
+  ASSERT_EQ(l1.inputs.size(), 1u);
+  EXPECT_EQ(l1.inputs[0].writer_segments, std::vector<int>{0});
+
+  const LayerObservation& l2 = a.observations[2];
+  EXPECT_EQ(l2.size_ifm, 144);
+  EXPECT_EQ(l2.size_ofm, 10);
+  EXPECT_EQ(l2.size_fltr, 144 * 10);
+  EXPECT_GT(l2.cycles, 0u);
+}
+
+TEST(AnalyzeTrace, InputHeuristicWithoutPriorKnowledge) {
+  nn::Network net = TinyNet();
+  AnalysisConfig cfg;  // no known input size: falls back to largest region
+  const TraceAnalysis a = AnalyzeTrace(TraceOf(net, 2), cfg);
+  // Input (768 elems) is larger than conv1 weights (224): heuristic works.
+  EXPECT_TRUE(a.observations[0].reads_network_input);
+  EXPECT_EQ(a.observations[0].size_ifm, 768);
+}
+
+TEST(AnalyzeTrace, BranchTopologyRecovered) {
+  // squeeze -> (e1, e3) -> concat -> eltwise bypass -> pool.
+  nn::Network net(nn::Shape{2, 12, 12});
+  int c0 = net.Add(std::make_unique<nn::Conv2D>("c0", 2, 8, 3, 1, 1),
+                   {nn::kInputNode});
+  int r0 = net.Add(std::make_unique<nn::Relu>("r0"), {c0});
+  int s = net.Add(std::make_unique<nn::Conv2D>("squeeze", 8, 4, 1, 1, 0),
+                  {r0});
+  int rs = net.Add(std::make_unique<nn::Relu>("rs"), {s});
+  int e1 = net.Add(std::make_unique<nn::Conv2D>("e1", 4, 4, 1, 1, 0), {rs});
+  int re1 = net.Add(std::make_unique<nn::Relu>("re1"), {e1});
+  int e3 = net.Add(std::make_unique<nn::Conv2D>("e3", 4, 4, 3, 1, 1), {rs});
+  int re3 = net.Add(std::make_unique<nn::Relu>("re3"), {e3});
+  int cat = net.Add(std::make_unique<nn::Concat>("cat", 2), {re1, re3});
+  int byp = net.Add(std::make_unique<nn::EltwiseAdd>("byp", 2), {cat, r0});
+  net.Add(nn::MakeMaxPool("pool", 3, 2), {byp});
+  sc::Rng rng(9);
+  nn::InitNetwork(net, rng);
+
+  AnalysisConfig cfg;
+  cfg.known_input_elems = 2 * 12 * 12;
+  const TraceAnalysis a = AnalyzeTrace(TraceOf(net, 3), cfg);
+
+  // Segments: c0, squeeze, e1, e3, eltwise, pool.
+  ASSERT_EQ(a.observations.size(), 6u);
+  EXPECT_EQ(a.observations[1].inputs[0].writer_segments,
+            std::vector<int>{0});
+  // Both expands read the squeeze output.
+  EXPECT_EQ(a.observations[2].inputs[0].writer_segments,
+            std::vector<int>{1});
+  EXPECT_EQ(a.observations[3].inputs[0].writer_segments,
+            std::vector<int>{1});
+  // The eltwise reads the concat (written by segments 2 and 3) and the
+  // bypass operand (segment 0) as two separate inputs.
+  const LayerObservation& elt = a.observations[4];
+  EXPECT_EQ(elt.role, SegmentRole::kEltwise);
+  ASSERT_EQ(elt.inputs.size(), 2u);
+  const std::vector<int> concat_writers{2, 3};
+  const bool first_is_concat =
+      elt.inputs[0].writer_segments == concat_writers;
+  const ObservedInput& cat_in = first_is_concat ? elt.inputs[0]
+                                                : elt.inputs[1];
+  const ObservedInput& byp_in = first_is_concat ? elt.inputs[1]
+                                                : elt.inputs[0];
+  EXPECT_EQ(cat_in.writer_segments, concat_writers);
+  EXPECT_EQ(byp_in.writer_segments, std::vector<int>{0});
+  EXPECT_EQ(cat_in.elems, 8 * 12 * 12);
+
+  // Final pool: single input written by the eltwise, smaller output.
+  const LayerObservation& pool = a.observations[5];
+  EXPECT_EQ(pool.role, SegmentRole::kPool);
+  EXPECT_EQ(pool.inputs[0].writer_segments, std::vector<int>{4});
+  EXPECT_EQ(pool.size_ofm, 8 * 6 * 6);
+  (void)byp;
+  (void)cat;
+}
+
+TEST(AnalyzeTrace, EmptyTrace) {
+  const TraceAnalysis a = AnalyzeTrace(trace::Trace{}, AnalysisConfig{});
+  EXPECT_TRUE(a.observations.empty());
+  EXPECT_TRUE(a.segments.empty());
+}
+
+TEST(AnalyzeTrace, RejectsBadElementSize) {
+  AnalysisConfig cfg;
+  cfg.element_bytes = 0;
+  trace::Trace t;
+  t.Append(0, 0, 64, trace::MemOp::kRead);
+  EXPECT_THROW(AnalyzeTrace(t, cfg), sc::Error);
+}
+
+}  // namespace
+}  // namespace sc::attack

@@ -1,0 +1,180 @@
+#include "attack/structure/search.h"
+
+#include <gtest/gtest.h>
+
+namespace sc::attack {
+namespace {
+
+using nn::LayerGeometry;
+using nn::PoolKind;
+
+// Builds the observation a given true layer chain would produce, including
+// paper-style MAC-proportional timing.
+std::vector<LayerObservation> ObserveChain(
+    const std::vector<LayerGeometry>& chain) {
+  std::vector<LayerObservation> obs(chain.size());
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const LayerGeometry& g = chain[i];
+    LayerObservation& o = obs[i];
+    o.segment = static_cast<int>(i);
+    o.role = SegmentRole::kConvOrFc;
+    o.size_ifm = g.SizeIfm();
+    o.size_ofm = g.SizeOfm();
+    o.size_fltr = g.SizeFilter();
+    o.cycles = static_cast<std::uint64_t>(g.ConvMacCount() / 16 + 1);
+    ObservedInput in;
+    in.elems = o.size_ifm;
+    in.writer_segments = i == 0 ? std::vector<int>{-1}
+                                : std::vector<int>{static_cast<int>(i - 1)};
+    o.inputs.push_back(in);
+    o.reads_network_input = (i == 0);
+  }
+  return obs;
+}
+
+std::vector<LayerGeometry> LeNetChain() {
+  return {
+      {28, 1, 12, 20, 5, 1, 0, PoolKind::kMax, 2, 2, 0},
+      {12, 20, 4, 50, 5, 1, 0, PoolKind::kMax, 2, 2, 0},
+      {4, 50, 1, 500, 4, 1, 0, PoolKind::kNone, 0, 0, 0},   // fc
+      {1, 500, 1, 10, 1, 1, 0, PoolKind::kNone, 0, 0, 0},   // fc
+  };
+}
+
+bool StructureMatches(const CandidateStructure& cs,
+                      const std::vector<LayerGeometry>& chain) {
+  if (cs.layers.size() != chain.size()) return false;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    LayerGeometry t = chain[i];
+    if (t.has_pool()) t.pool = PoolKind::kMax;
+    if (!(cs.layers[i].geom == t)) return false;
+  }
+  return true;
+}
+
+TEST(SearchStructures, LeNetChainContainsTruth) {
+  const auto chain = LeNetChain();
+  SearchConfig cfg;
+  cfg.known_input_width = 28;
+  cfg.known_input_depth = 1;
+  cfg.known_output_classes = 10;
+  const SearchResult r = SearchStructures(ObserveChain(chain), cfg);
+  ASSERT_FALSE(r.structures.empty());
+  EXPECT_LT(r.structures.size(), 64u);  // a *small* candidate set
+  const bool found = std::any_of(
+      r.structures.begin(), r.structures.end(),
+      [&](const CandidateStructure& cs) {
+        return StructureMatches(cs, chain);
+      });
+  EXPECT_TRUE(found);
+}
+
+TEST(SearchStructures, TimingFilterShrinksCandidateSet) {
+  const auto chain = LeNetChain();
+  SearchConfig tight;
+  tight.known_input_width = 28;
+  tight.known_input_depth = 1;
+  tight.known_output_classes = 10;
+  tight.timing_tolerance = 1.5;
+  SearchConfig off = tight;
+  off.timing_tolerance = 0.0;  // disabled
+  const auto obs = ObserveChain(chain);
+  const auto with_filter = SearchStructures(obs, tight);
+  const auto without = SearchStructures(obs, off);
+  EXPECT_LE(with_filter.structures.size(), without.structures.size());
+  EXPECT_FALSE(with_filter.structures.empty());
+}
+
+TEST(SearchStructures, ChainingRejectsDimensionMismatch) {
+  // Construct observations whose only factorizations cannot chain: layer 0
+  // outputs 4x4x4, layer 1 claims an input of 8x8x1 worth of elements (the
+  // sizes agree: 64 elements) — chaining must use layer 0's (4,4) output,
+  // and candidates for layer 1 must be consistent with that.
+  std::vector<LayerGeometry> chain = {
+      {8, 1, 4, 4, 2, 2, 0, PoolKind::kNone, 0, 0, 0},
+      {4, 4, 2, 8, 2, 2, 0, PoolKind::kNone, 0, 0, 0},
+  };
+  SearchConfig cfg;
+  cfg.known_input_width = 8;
+  cfg.known_input_depth = 1;
+  cfg.timing_tolerance = 0.0;
+  const SearchResult r = SearchStructures(ObserveChain(chain), cfg);
+  for (const CandidateStructure& cs : r.structures) {
+    EXPECT_EQ(cs.layers[1].geom.w_ifm, cs.layers[0].geom.w_ofm);
+    EXPECT_EQ(cs.layers[1].geom.d_ifm, cs.layers[0].geom.d_ofm);
+  }
+}
+
+TEST(SearchStructures, IdenticalGroupsFilter) {
+  // Two structurally-identical conv layers; force the assumption and check
+  // that mixed-parameter structures are gone.
+  std::vector<LayerGeometry> chain = {
+      {16, 2, 8, 4, 2, 2, 0, PoolKind::kNone, 0, 0, 0},
+      {8, 4, 4, 8, 2, 2, 0, PoolKind::kNone, 0, 0, 0},
+  };
+  SearchConfig cfg;
+  cfg.known_input_width = 16;
+  cfg.known_input_depth = 2;
+  cfg.timing_tolerance = 0.0;
+  const auto obs = ObserveChain(chain);
+  const auto unconstrained = SearchStructures(obs, cfg);
+  cfg.identical_groups = {{0, 1}};
+  const auto constrained = SearchStructures(obs, cfg);
+  EXPECT_LE(constrained.structures.size(), unconstrained.structures.size());
+  for (const CandidateStructure& cs : constrained.structures) {
+    EXPECT_EQ(cs.layers[0].geom.f_conv, cs.layers[1].geom.f_conv);
+    EXPECT_EQ(cs.layers[0].geom.s_conv, cs.layers[1].geom.s_conv);
+  }
+}
+
+TEST(SearchStructures, EmptyObservations) {
+  const SearchResult r = SearchStructures({}, SearchConfig{});
+  EXPECT_TRUE(r.structures.empty());
+}
+
+TEST(SearchStructures, UnknownRoleYieldsNoStructures) {
+  LayerObservation o;
+  o.segment = 0;
+  o.role = SegmentRole::kUnknown;
+  o.size_ifm = 4;
+  o.size_ofm = 4;
+  ObservedInput in;
+  in.elems = 4;
+  in.writer_segments = {-1};
+  o.inputs.push_back(in);
+  o.reads_network_input = true;
+  const SearchResult r = SearchStructures({o}, SearchConfig{});
+  EXPECT_TRUE(r.structures.empty());
+}
+
+TEST(DetectFireModuleGroups, FindsRepeatedMotifs) {
+  // Two fire-like motifs: squeeze feeding two conv consumers each.
+  std::vector<LayerObservation> obs(6);
+  auto conv = [&](int seg, std::vector<int> writers) {
+    obs[static_cast<std::size_t>(seg)].segment = seg;
+    obs[static_cast<std::size_t>(seg)].role = SegmentRole::kConvOrFc;
+    ObservedInput in;
+    in.writer_segments = std::move(writers);
+    in.elems = 1;
+    obs[static_cast<std::size_t>(seg)].inputs.push_back(in);
+  };
+  conv(0, {-1});
+  conv(1, {0});
+  conv(2, {0});
+  conv(3, {1, 2});
+  conv(4, {3});
+  conv(5, {3});
+  const auto groups = DetectFireModuleGroups(obs);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0], (std::vector<int>{0, 3}));  // squeezes
+  EXPECT_EQ(groups[1], (std::vector<int>{1, 4}));  // first expands
+  EXPECT_EQ(groups[2], (std::vector<int>{2, 5}));  // second expands
+}
+
+TEST(DetectFireModuleGroups, NoMotifsInSequentialNet) {
+  const auto obs = ObserveChain(LeNetChain());
+  EXPECT_TRUE(DetectFireModuleGroups(obs).empty());
+}
+
+}  // namespace
+}  // namespace sc::attack

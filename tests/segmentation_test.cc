@@ -1,0 +1,145 @@
+#include "attack/structure/segmentation.h"
+
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.h"
+#include "nn/activation.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/init.h"
+#include "nn/pooling.h"
+#include "support/rng.h"
+
+namespace sc::attack {
+namespace {
+
+using trace::MemOp;
+using trace::Trace;
+
+TEST(SegmentTrace, EmptyTraceNoSegments) {
+  EXPECT_TRUE(SegmentTrace(Trace{}).empty());
+}
+
+TEST(SegmentTrace, SingleLayerIsOneSegment) {
+  Trace t;
+  t.Append(0, 0x0, 64, MemOp::kRead);    // input
+  t.Append(1, 0x1000, 64, MemOp::kRead); // weights
+  t.Append(2, 0x2000, 64, MemOp::kWrite);
+  auto segs = SegmentTrace(t);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].num_events(), 3u);
+}
+
+TEST(SegmentTrace, RawDependencySplitsLayers) {
+  Trace t;
+  // Layer 0: read input, write OFM A.
+  t.Append(0, 0x0, 64, MemOp::kRead);
+  t.Append(1, 0x2000, 64, MemOp::kWrite);
+  // Layer 1: read A (RAW!), write B.
+  t.Append(2, 0x2000, 64, MemOp::kRead);
+  t.Append(3, 0x4000, 64, MemOp::kWrite);
+  // Layer 2: read B, write C.
+  t.Append(4, 0x4000, 64, MemOp::kRead);
+  t.Append(5, 0x6000, 64, MemOp::kWrite);
+  auto segs = SegmentTrace(t);
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0].end_event, 2u);
+  EXPECT_EQ(segs[1].end_event, 4u);
+  EXPECT_EQ(segs[1].start_cycle, 2u);
+  EXPECT_EQ(segs[1].end_cycle, 4u);
+}
+
+TEST(SegmentTrace, RereadsWithinALayerDoNotSplit) {
+  Trace t;
+  t.Append(0, 0x0, 64, MemOp::kRead);
+  t.Append(1, 0x2000, 64, MemOp::kWrite);
+  // Layer 1 reads A twice (tiling halo) and its weights repeatedly.
+  t.Append(2, 0x2000, 64, MemOp::kRead);
+  t.Append(3, 0x1000, 64, MemOp::kRead);
+  t.Append(4, 0x2000, 64, MemOp::kRead);
+  t.Append(5, 0x1000, 64, MemOp::kRead);
+  t.Append(6, 0x4000, 64, MemOp::kWrite);
+  auto segs = SegmentTrace(t);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[1].num_events(), 5u);
+}
+
+TEST(SegmentTrace, OperandPrefetchPulledIntoNewSegment) {
+  Trace t;
+  // Layer 0: input -> A.
+  t.Append(0, 0x0, 64, MemOp::kRead);
+  t.Append(1, 0x2000, 64, MemOp::kWrite);
+  // Layer 1: A -> B.
+  t.Append(2, 0x2000, 64, MemOp::kRead);
+  t.Append(3, 0x4000, 64, MemOp::kWrite);
+  // Layer 2 (eltwise): prefetches old operand A *before* touching B.
+  t.Append(4, 0x2000, 64, MemOp::kRead);  // old data: no boundary yet
+  t.Append(5, 0x4000, 64, MemOp::kRead);  // triggers the boundary
+  t.Append(6, 0x6000, 64, MemOp::kWrite);
+  auto segs = SegmentTrace(t);
+  ASSERT_EQ(segs.size(), 3u);
+  // The prefetch at index 4 must belong to layer 2.
+  EXPECT_EQ(segs[2].first_event, 4u);
+}
+
+TEST(SegmentTrace, BypassReadOfOldLayerDoesNotSplit) {
+  Trace t;
+  t.Append(0, 0x0, 64, MemOp::kRead);
+  t.Append(1, 0x2000, 64, MemOp::kWrite);  // A
+  t.Append(2, 0x2000, 64, MemOp::kRead);
+  t.Append(3, 0x4000, 64, MemOp::kWrite);  // B
+  // Layer 2 reads B (boundary) and then ALSO old A (bypass) mid-segment.
+  t.Append(4, 0x4000, 64, MemOp::kRead);
+  t.Append(5, 0x2000, 64, MemOp::kRead);
+  t.Append(6, 0x6000, 64, MemOp::kWrite);
+  auto segs = SegmentTrace(t);
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[2].num_events(), 3u);
+}
+
+// Property over the real simulator: the number of detected segments equals
+// the number of accelerator stages for random sequential CNNs.
+class SegmentationPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SegmentationPropertyTest, SegmentsMatchStages) {
+  sc::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int depth = rng.UniformInt(1, 3);
+  const int width = 8 + 4 * rng.UniformInt(0, 3);
+  nn::Network net(nn::Shape{depth, width, width});
+  int layers = rng.UniformInt(2, 4);
+  int d = depth;
+  int w = width;
+  for (int l = 0; l < layers; ++l) {
+    const int f = std::min(3, w / 2);
+    if (f < 1 || w < 4) break;
+    const int od = rng.UniformInt(2, 6);
+    net.Append(std::make_unique<nn::Conv2D>("c" + std::to_string(l), d, od,
+                                            f, 1, f / 2));
+    net.Append(std::make_unique<nn::Relu>("r" + std::to_string(l)));
+    w = nn::ConvOutWidth(w, f, 1, f / 2);
+    if (rng.Chance(0.5) && w >= 4) {
+      net.Append(nn::MakeMaxPool("p" + std::to_string(l), 2, 2));
+      w = nn::PoolOutWidth(w, 2, 2, 0);
+    }
+    d = od;
+  }
+  net.Append(std::make_unique<nn::FullyConnected>(
+      "fc", static_cast<int>(net.final_shape().numel()), 5));
+  nn::InitNetwork(net, rng);
+
+  accel::Accelerator accel{accel::AcceleratorConfig{}};
+  trace::Trace tr;
+  nn::Tensor x(net.input_shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = rng.GaussianF(1.0f);
+  accel.Run(net, x, &tr);
+
+  const auto stages = accel::BuildStages(net);
+  const auto segs = SegmentTrace(tr);
+  EXPECT_EQ(segs.size(), stages.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCnns, SegmentationPropertyTest,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace sc::attack

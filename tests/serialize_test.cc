@@ -1,0 +1,96 @@
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "models/zoo.h"
+#include "nn/activation.h"
+#include "nn/conv2d.h"
+#include "nn/init.h"
+#include "support/rng.h"
+
+namespace sc::nn {
+namespace {
+
+Tensor RandomInput(const Shape& s, std::uint64_t seed) {
+  Tensor t(s);
+  sc::Rng rng(seed);
+  for (std::size_t i = 0; i < t.numel(); ++i) t[i] = rng.GaussianF(1.0f);
+  return t;
+}
+
+TEST(Serialize, RoundTripsSequentialNet) {
+  Network net = models::MakeLeNet(5);
+  std::stringstream ss;
+  SaveNetwork(net, ss);
+  Network back = LoadNetwork(ss);
+
+  EXPECT_EQ(back.num_nodes(), net.num_nodes());
+  EXPECT_EQ(back.input_shape(), net.input_shape());
+  const Tensor x = RandomInput(net.input_shape(), 3);
+  EXPECT_EQ(Tensor::MaxAbsDiff(net.ForwardFinal(x), back.ForwardFinal(x)),
+            0.0f);
+}
+
+TEST(Serialize, RoundTripsBranchyNet) {
+  Network net = models::MakeSqueezeNet({.bypass_fires = {3, 5},
+                                        .seed = 9});
+  std::stringstream ss;
+  SaveNetwork(net, ss);
+  Network back = LoadNetwork(ss);
+  EXPECT_EQ(back.num_nodes(), net.num_nodes());
+  for (int i = 0; i < net.num_nodes(); ++i) {
+    EXPECT_EQ(back.inputs_of(i), net.inputs_of(i));
+    EXPECT_EQ(back.layer(i).name(), net.layer(i).name());
+    EXPECT_EQ(back.layer(i).kind(), net.layer(i).kind());
+  }
+}
+
+TEST(Serialize, PreservesReluThreshold) {
+  Network net(Shape{1, 4, 4});
+  net.Append(std::make_unique<Conv2D>("c", 1, 2, 3, 1, 1));
+  net.Append(std::make_unique<Relu>("r", 0.75f));
+  std::stringstream ss;
+  SaveNetwork(net, ss);
+  Network back = LoadNetwork(ss);
+  EXPECT_FLOAT_EQ(dynamic_cast<const Relu&>(back.layer(1)).threshold(),
+                  0.75f);
+}
+
+TEST(Serialize, RejectsGarbage) {
+  {
+    std::stringstream ss("not a network at all");
+    EXPECT_THROW(LoadNetwork(ss), sc::Error);
+  }
+  {
+    std::stringstream ss;
+    ss.write("SCNN", 4);  // magic only, then truncation
+    EXPECT_THROW(LoadNetwork(ss), sc::Error);
+  }
+}
+
+TEST(Serialize, RejectsTruncatedStream) {
+  Network net = models::MakeLeNet(1);
+  std::stringstream ss;
+  SaveNetwork(net, ss);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(LoadNetwork(cut), sc::Error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  Network net = models::MakeConvNet(2);
+  const std::string path = "serialize_test_tmp.scnn";
+  SaveNetworkFile(net, path);
+  Network back = LoadNetworkFile(path);
+  const Tensor x = RandomInput(net.input_shape(), 4);
+  EXPECT_EQ(Tensor::MaxAbsDiff(net.ForwardFinal(x), back.ForwardFinal(x)),
+            0.0f);
+  std::remove(path.c_str());
+  EXPECT_THROW(LoadNetworkFile("does_not_exist.scnn"), sc::Error);
+}
+
+}  // namespace
+}  // namespace sc::nn

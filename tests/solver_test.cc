@@ -1,0 +1,202 @@
+#include "attack/structure/solver.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace sc::attack {
+namespace {
+
+using nn::LayerGeometry;
+using nn::PoolKind;
+
+LayerObservation ObservationFor(const LayerGeometry& g, bool with_bias) {
+  LayerObservation o;
+  o.role = SegmentRole::kConvOrFc;
+  // Observed IFM reads cover (W - u) * W * D (row-granular DMA) where u is
+  // the conv walk's unread row tail (0 for exact division and FC layers).
+  const int rem =
+      (g.w_ifm + 2 * g.p_conv - g.f_conv) % g.s_conv;
+  const int u = g.IsFullyConnected() ? 0 : std::max(0, rem - g.p_conv);
+  o.size_ifm =
+      static_cast<long long>(g.w_ifm - u) * g.w_ifm * g.d_ifm;
+  o.size_ofm = g.SizeOfm();
+  o.size_fltr = g.SizeFilter() + (with_bias ? g.d_ofm : 0);
+  return o;
+}
+
+bool ContainsSameShape(const std::vector<LayerGeometry>& cands,
+                       const LayerGeometry& truth) {
+  // The trace cannot distinguish max from average pooling (compare with
+  // the pool kind normalized), and paddings whose extra ring is discarded
+  // by floor division are trace-equivalent (the solver returns the
+  // canonical minimal padding), so p_conv matches only up to equal conv
+  // widths.
+  return std::any_of(cands.begin(), cands.end(), [&](LayerGeometry c) {
+    LayerGeometry t = truth;
+    if (t.has_pool()) t.pool = PoolKind::kMax;
+    if (c == t) return true;
+    LayerGeometry cp = c;
+    cp.p_conv = t.p_conv;
+    return cp == t && c.p_conv <= t.p_conv &&
+           c.ConvStageWidth() == t.ConvStageWidth();
+  });
+}
+
+TEST(FactorizeFmapSize, AllSquareFactorizations) {
+  const IfmDims dims = FactorizeFmapSize(27 * 27 * 96);
+  // Must contain (27, 96) and (54, 24); all entries must multiply back.
+  EXPECT_TRUE(std::count(dims.begin(), dims.end(),
+                         std::make_pair(27, 96)) == 1);
+  EXPECT_TRUE(std::count(dims.begin(), dims.end(),
+                         std::make_pair(54, 24)) == 1);
+  for (auto [w, d] : dims)
+    EXPECT_EQ(static_cast<long long>(w) * w * d, 27LL * 27 * 96);
+}
+
+TEST(EnumerateConvConfigs, FindsAlexNetConv1) {
+  LayerGeometry truth{227, 3, 27, 96, 11, 4, 0, PoolKind::kMax, 3, 2, 0};
+  ASSERT_TRUE(truth.IsConsistent());
+  SolverConfig cfg;
+  auto cands = EnumerateConvConfigs(ObservationFor(truth, false),
+                                    {{227, 3}}, cfg);
+  EXPECT_TRUE(ContainsSameShape(cands, truth));
+  // The paper's CONV1_2 sibling must also appear.
+  LayerGeometry sibling{227, 3, 27, 96, 11, 4, 2, PoolKind::kMax, 4, 2, 0};
+  EXPECT_TRUE(ContainsSameShape(cands, sibling));
+  // Everything returned is internally consistent and size-matching.
+  for (const LayerGeometry& g : cands) {
+    EXPECT_TRUE(g.IsConsistent()) << g;
+    EXPECT_EQ(g.SizeIfm(), truth.SizeIfm());
+    EXPECT_EQ(g.SizeOfm(), truth.SizeOfm());
+    EXPECT_EQ(g.SizeFilter(), truth.SizeFilter());
+  }
+}
+
+TEST(EnumerateConvConfigs, FcAlwaysUniqueForGivenInput) {
+  // AlexNet fc6: 6x6x256 -> 4096.
+  LayerGeometry fc{6, 256, 1, 4096, 6, 1, 0, PoolKind::kNone, 0, 0, 0};
+  SolverConfig cfg;
+  auto cands = EnumerateConvConfigs(ObservationFor(fc, false), {{6, 256}},
+                                    cfg);
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_TRUE(cands[0].IsFullyConnected());
+  EXPECT_EQ(cands[0].d_ofm, 4096);
+}
+
+TEST(EnumerateConvConfigs, BiasInRegionConventionAlsoSolves) {
+  LayerGeometry truth{28, 1, 12, 20, 5, 1, 0, PoolKind::kMax, 2, 2, 0};
+  SolverConfig cfg;
+  cfg.bias_in_filter_region = true;
+  auto cands = EnumerateConvConfigs(ObservationFor(truth, true),
+                                    {{28, 1}}, cfg);
+  EXPECT_TRUE(ContainsSameShape(cands, truth));
+}
+
+TEST(EnumerateConvConfigs, GlobalPoolingOnUnitOutput) {
+  // SqueezeNet conv10 fused with its global average pool: 13x13x512 ->
+  // 1x1x1000 through a 1x1 conv and a 13-wide pool window.
+  LayerGeometry truth{13, 512, 1, 1000, 1, 1, 0, PoolKind::kAvg, 13, 1, 0};
+  ASSERT_TRUE(truth.IsConsistent());
+  SolverConfig cfg;
+  auto cands = EnumerateConvConfigs(ObservationFor(truth, false),
+                                    {{13, 512}}, cfg);
+  EXPECT_TRUE(ContainsSameShape(cands, truth));
+}
+
+TEST(EnumerateConvConfigs, DegenerateObservationsThrow) {
+  LayerObservation o;
+  o.size_ifm = 100;
+  o.size_ofm = 10;
+  o.size_fltr = 0;
+  EXPECT_THROW(EnumerateConvConfigs(o, {{10, 1}}, SolverConfig{}),
+               sc::Error);
+}
+
+TEST(EnumerateStandalonePoolConfigs, FindsSqueezeNetPool) {
+  // maxpool 3/2 on 109x109x96 -> 54x54x96.
+  LayerObservation o;
+  o.role = SegmentRole::kPool;
+  o.size_ifm = 109LL * 109 * 96;
+  o.size_ofm = 54LL * 54 * 96;
+  o.size_fltr = 0;
+  SolverConfig cfg;
+  auto cands = EnumerateStandalonePoolConfigs(o, {{109, 96}}, cfg);
+  const bool found = std::any_of(
+      cands.begin(), cands.end(), [](const LayerGeometry& g) {
+        return g.f_pool == 3 && g.s_pool == 2 && g.p_pool == 0;
+      });
+  EXPECT_TRUE(found);
+  for (const LayerGeometry& g : cands) {
+    EXPECT_EQ(g.d_ofm, 96);
+    EXPECT_EQ(g.w_ofm, 54);
+  }
+}
+
+TEST(EnumerateEltwiseConfigs, PassThrough) {
+  LayerObservation o;
+  o.role = SegmentRole::kEltwise;
+  o.size_ifm = 2 * (12LL * 12 * 8);
+  o.size_ofm = 12LL * 12 * 8;
+  ObservedInput in;
+  in.elems = 12LL * 12 * 8;
+  o.inputs = {in, in};
+  auto cands = EnumerateEltwiseConfigs(o, {{12, 8}});
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(cands[0].w_ofm, 12);
+  EXPECT_EQ(cands[0].d_ofm, 8);
+}
+
+// Property: for random consistent layer geometries built under the solver's
+// priors, the enumeration over the true (W, D) input always contains the
+// ground truth.
+class SolverPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverPropertyTest, GroundTruthAlwaysEnumerated) {
+  sc::Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 13);
+  SolverConfig cfg;
+
+  for (int trial = 0; trial < 30; ++trial) {
+    LayerGeometry g;
+    g.w_ifm = rng.UniformInt(8, 64);
+    g.d_ifm = rng.UniformInt(1, 32);
+    g.f_conv = rng.UniformInt(1, std::max(1, g.w_ifm / 2));
+    g.s_conv = rng.UniformInt(1, g.f_conv);
+    // Stay inside the solver's half-filter padding prior.
+    g.p_conv = rng.UniformInt(0, (g.f_conv - 1) / 2);
+    if (g.w_ifm + 2 * g.p_conv < g.f_conv) continue;
+    g.d_ofm = rng.UniformInt(1, 64);
+    const int w_conv = g.ConvStageWidth();
+    if (rng.Chance(0.5) && w_conv >= 2) {
+      for (int fp = 2; fp <= std::min(cfg.max_pool_window, w_conv); ++fp) {
+        for (int sp = 1; sp <= fp; ++sp) {
+          if (nn::PoolDividesExactly(w_conv, fp, sp, 0)) {
+            g.pool = PoolKind::kMax;
+            g.f_pool = fp;
+            g.s_pool = sp;
+            g.p_pool = 0;
+            break;
+          }
+        }
+        if (g.has_pool()) break;
+      }
+    }
+    g.w_ofm = g.has_pool()
+                  ? nn::PoolOutWidth(w_conv, g.f_pool, g.s_pool, 0)
+                  : w_conv;
+    if (!g.IsConsistent()) continue;
+
+    auto cands = EnumerateConvConfigs(ObservationFor(g, false),
+                                      {{g.w_ifm, g.d_ifm}}, cfg);
+    EXPECT_TRUE(ContainsSameShape(cands, g)) << "missing truth: " << g;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGeometries, SolverPropertyTest,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace sc::attack

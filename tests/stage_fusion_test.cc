@@ -1,0 +1,168 @@
+// Exhaustive coverage of the accelerator's stage-fusion rules (paper §3.1:
+// conv + activation + pooling merge into one layer on the accelerator).
+#include "accel/stage.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/activation.h"
+#include <algorithm>
+
+#include "nn/combine.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pooling.h"
+
+namespace sc::accel {
+namespace {
+
+using nn::kInputNode;
+using nn::Network;
+using nn::Shape;
+
+TEST(StageFusion, ConvAlone) {
+  Network net(Shape{1, 8, 8});
+  net.Append(std::make_unique<nn::Conv2D>("c", 1, 2, 3, 1, 0));
+  const auto stages = BuildStages(net);
+  ASSERT_EQ(stages.size(), 1u);
+  EXPECT_EQ(stages[0].kind, StageKind::kConv);
+  EXPECT_EQ(stages[0].relu_node, -1);
+  EXPECT_EQ(stages[0].pool_node, -1);
+  EXPECT_EQ(stages[0].output_node, 0);
+}
+
+TEST(StageFusion, ConvPoolWithoutRelu) {
+  Network net(Shape{1, 8, 8});
+  net.Append(std::make_unique<nn::Conv2D>("c", 1, 2, 3, 1, 0));
+  net.Append(nn::MakeMaxPool("p", 2, 2));
+  const auto stages = BuildStages(net);
+  ASSERT_EQ(stages.size(), 1u);
+  EXPECT_EQ(stages[0].relu_node, -1);
+  EXPECT_EQ(stages[0].pool_node, 1);
+  EXPECT_EQ(stages[0].output_node, 1);
+}
+
+TEST(StageFusion, ConvAvgPoolThenRelu) {
+  // Pre-activation average pooling: conv -> pool -> relu in one stage.
+  Network net(Shape{1, 8, 8});
+  net.Append(std::make_unique<nn::Conv2D>("c", 1, 2, 3, 1, 0));
+  net.Append(nn::MakeAvgPool("p", 2, 2));
+  net.Append(std::make_unique<nn::Relu>("r"));
+  const auto stages = BuildStages(net);
+  ASSERT_EQ(stages.size(), 1u);
+  EXPECT_EQ(stages[0].pool_node, 1);
+  EXPECT_EQ(stages[0].post_relu_node, 2);
+  EXPECT_EQ(stages[0].output_node, 2);
+}
+
+TEST(StageFusion, ConvReluPoolRelu) {
+  Network net(Shape{1, 8, 8});
+  net.Append(std::make_unique<nn::Conv2D>("c", 1, 2, 3, 1, 0));
+  net.Append(std::make_unique<nn::Relu>("r1"));
+  net.Append(nn::MakeMaxPool("p", 2, 2));
+  net.Append(std::make_unique<nn::Relu>("r2"));
+  const auto stages = BuildStages(net);
+  ASSERT_EQ(stages.size(), 1u);
+  EXPECT_EQ(stages[0].relu_node, 1);
+  EXPECT_EQ(stages[0].pool_node, 2);
+  EXPECT_EQ(stages[0].post_relu_node, 3);
+}
+
+TEST(StageFusion, FcFusesOnlyRelu) {
+  Network net(Shape{1, 4, 4});
+  net.Append(std::make_unique<nn::FullyConnected>("fc", 16, 8));
+  net.Append(std::make_unique<nn::Relu>("r"));
+  const auto stages = BuildStages(net);
+  ASSERT_EQ(stages.size(), 1u);
+  EXPECT_EQ(stages[0].kind, StageKind::kFc);
+  EXPECT_EQ(stages[0].relu_node, 1);
+}
+
+TEST(StageFusion, PoolThenReluFuses) {
+  Network net(Shape{2, 8, 8});
+  net.Append(nn::MakeMaxPool("p", 2, 2));
+  net.Append(std::make_unique<nn::Relu>("r"));
+  const auto stages = BuildStages(net);
+  ASSERT_EQ(stages.size(), 1u);
+  EXPECT_EQ(stages[0].kind, StageKind::kPool);
+  EXPECT_EQ(stages[0].relu_node, 1);
+}
+
+TEST(StageFusion, EltwiseFusesRelu) {
+  Network net(Shape{2, 4, 4});
+  int a = net.Add(std::make_unique<nn::Conv2D>("a", 2, 2, 1, 1, 0),
+                  {kInputNode});
+  int b = net.Add(std::make_unique<nn::Conv2D>("b", 2, 2, 1, 1, 0),
+                  {kInputNode});
+  int add = net.Add(std::make_unique<nn::EltwiseAdd>("add", 2), {a, b});
+  net.Add(std::make_unique<nn::Relu>("r"), {add});
+  const auto stages = BuildStages(net);
+  ASSERT_EQ(stages.size(), 3u);
+  EXPECT_EQ(stages[2].kind, StageKind::kEltwise);
+  EXPECT_EQ(stages[2].relu_node, 3);
+  EXPECT_EQ(stages[2].output_node, 3);
+}
+
+TEST(StageFusion, ReluSharedByTwoConsumersDoesNotFuse) {
+  // conv's relu feeds two convs: the relu itself is the sole consumer of
+  // conv so it fuses; the two downstream convs are separate stages.
+  Network net(Shape{1, 8, 8});
+  int c = net.Add(std::make_unique<nn::Conv2D>("c", 1, 2, 3, 1, 1),
+                  {kInputNode});
+  int r = net.Add(std::make_unique<nn::Relu>("r"), {c});
+  net.Add(std::make_unique<nn::Conv2D>("d1", 2, 2, 1, 1, 0), {r});
+  net.Add(std::make_unique<nn::Conv2D>("d2", 2, 2, 1, 1, 0), {r});
+  const auto stages = BuildStages(net);
+  ASSERT_EQ(stages.size(), 3u);
+  EXPECT_EQ(stages[0].relu_node, r);
+  EXPECT_EQ(stages[0].pool_node, -1);  // pool cannot fuse past a branch
+}
+
+TEST(StageFusion, PoolAfterMultiConsumerReluStaysStandalone) {
+  Network net(Shape{1, 8, 8});
+  int c = net.Add(std::make_unique<nn::Conv2D>("c", 1, 2, 3, 1, 1),
+                  {kInputNode});
+  int r = net.Add(std::make_unique<nn::Relu>("r"), {c});
+  int p = net.Add(nn::MakeMaxPool("p", 2, 2), {r});
+  net.Add(std::make_unique<nn::Conv2D>("d", 2, 2, 1, 1, 0), {r});
+  net.Add(std::make_unique<nn::Conv2D>("e", 2, 2, 1, 1, 0), {p});
+  const auto stages = BuildStages(net);
+  // conv+relu | pool | d | e.
+  ASSERT_EQ(stages.size(), 4u);
+  EXPECT_EQ(stages[1].kind, StageKind::kPool);
+}
+
+TEST(StageFusion, EveryNodeBelongsToExactlyOneStage) {
+  nn::Network net(Shape{2, 12, 12});
+  int c0 = net.Add(std::make_unique<nn::Conv2D>("c0", 2, 4, 3, 1, 1),
+                   {kInputNode});
+  int r0 = net.Add(std::make_unique<nn::Relu>("r0"), {c0});
+  int a = net.Add(std::make_unique<nn::Conv2D>("a", 4, 2, 1, 1, 0), {r0});
+  int ra = net.Add(std::make_unique<nn::Relu>("ra"), {a});
+  int b = net.Add(std::make_unique<nn::Conv2D>("b", 4, 2, 3, 1, 1), {r0});
+  int rb = net.Add(std::make_unique<nn::Relu>("rb"), {b});
+  int cat = net.Add(std::make_unique<nn::Concat>("cat", 2), {ra, rb});
+  net.Add(nn::MakeMaxPool("p", 2, 2), {cat});
+
+  const auto stages = BuildStages(net);
+  std::vector<int> owner(static_cast<std::size_t>(net.num_nodes()), -1);
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    // A standalone pool stage lists the same node as main and pool.
+    std::vector<int> nodes{stages[s].main_node, stages[s].relu_node,
+                           stages[s].pool_node, stages[s].post_relu_node};
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+    for (int node : nodes) {
+      if (node == -1) continue;
+      EXPECT_EQ(owner[static_cast<std::size_t>(node)], -1)
+          << "node " << node << " in two stages";
+      owner[static_cast<std::size_t>(node)] = static_cast<int>(s);
+    }
+  }
+  for (int i = 0; i < net.num_nodes(); ++i) {
+    if (net.layer(i).kind() == nn::LayerKind::kConcat) continue;
+    EXPECT_NE(owner[static_cast<std::size_t>(i)], -1) << "orphan node " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sc::accel

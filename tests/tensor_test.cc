@@ -1,0 +1,95 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+
+namespace sc::nn {
+namespace {
+
+TEST(Shape, BasicProperties) {
+  Shape s{3, 4, 5};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s[0], 3);
+  EXPECT_EQ(s[1], 4);
+  EXPECT_EQ(s[2], 5);
+  EXPECT_EQ(s.numel(), 60u);
+  EXPECT_EQ(s.ToString(), "{3x4x5}");
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+}
+
+TEST(Shape, RejectsBadExtents) {
+  EXPECT_THROW(Shape({0}), sc::Error);
+  EXPECT_THROW(Shape({2, -1}), sc::Error);
+  EXPECT_THROW(Shape(std::vector<int>{}), sc::Error);
+  EXPECT_THROW(Shape({1, 1, 1, 1, 1}), sc::Error);
+}
+
+TEST(Tensor, FillAndIndexing) {
+  Tensor t(Shape{2, 3, 4}, 1.5f);
+  EXPECT_EQ(t.numel(), 24u);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 1.5f);
+  t.at(1, 2, 3) = 7.0f;
+  EXPECT_EQ(t[23], 7.0f);  // last element in row-major layout
+  t.Zero();
+  EXPECT_EQ(t.at(1, 2, 3), 0.0f);
+}
+
+TEST(Tensor, RankCheckedAccess) {
+  Tensor t3(Shape{2, 2, 2});
+  EXPECT_THROW(t3.at(0, 0), sc::Error);       // rank mismatch
+  EXPECT_THROW(t3.at(0, 0, 2), sc::Error);    // out of range
+  EXPECT_THROW(t3.at(-1, 0, 0), sc::Error);   // negative
+  Tensor t4(Shape{1, 1, 1, 1});
+  EXPECT_NO_THROW(t4.at(0, 0, 0, 0));
+  Tensor t1(Shape{5});
+  EXPECT_NO_THROW(t1.at(4));
+  EXPECT_THROW(t1.at(5), sc::Error);
+}
+
+TEST(Tensor, RowMajorLayout4D) {
+  Tensor t(Shape{2, 2, 2, 2});
+  float v = 0.0f;
+  for (int a = 0; a < 2; ++a)
+    for (int b = 0; b < 2; ++b)
+      for (int c = 0; c < 2; ++c)
+        for (int d = 0; d < 2; ++d) t.at(a, b, c, d) = v++;
+  for (std::size_t i = 0; i < 16; ++i)
+    EXPECT_EQ(t[i], static_cast<float>(i));
+}
+
+TEST(Tensor, CountZeros) {
+  Tensor t(Shape{4});
+  t.at(1) = 2.0f;
+  t.at(3) = -1.0f;
+  EXPECT_EQ(t.CountZeros(), 2u);
+  EXPECT_EQ(t.CountNonZeros(), 2u);
+}
+
+TEST(Tensor, AddAndScale) {
+  Tensor a(Shape{3}, 1.0f);
+  Tensor b(Shape{3}, 2.0f);
+  a.Add(b, 0.5f);
+  EXPECT_EQ(a.at(0), 2.0f);
+  a.Scale(2.0f);
+  EXPECT_EQ(a.at(2), 4.0f);
+  Tensor c(Shape{4});
+  EXPECT_THROW(a.Add(c), sc::Error);
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  Tensor a(Shape{2}, 1.0f);
+  Tensor b(Shape{2}, 1.0f);
+  b.at(1) = 3.5f;
+  EXPECT_FLOAT_EQ(Tensor::MaxAbsDiff(a, b), 2.5f);
+  Tensor c(Shape{3});
+  EXPECT_THROW(Tensor::MaxAbsDiff(a, c), sc::Error);
+}
+
+}  // namespace
+}  // namespace sc::nn

@@ -1,0 +1,166 @@
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/check.h"
+#include "trace/interval.h"
+#include "trace/stats.h"
+
+namespace sc::trace {
+namespace {
+
+TEST(Trace, AppendAndAccessors) {
+  Trace t;
+  EXPECT_TRUE(t.empty());
+  t.Append(10, 0x1000, 64, MemOp::kRead);
+  t.Append(12, 0x2000, 128, MemOp::kWrite);
+  t.Append(12, 0x3000, 64, MemOp::kRead);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.last_cycle(), 12u);
+  EXPECT_EQ(t.bytes_read(), 128u);
+  EXPECT_EQ(t.bytes_written(), 128u);
+  EXPECT_EQ(t[1].end(), 0x2000u + 128u);
+}
+
+TEST(Trace, RejectsNonMonotonicCycles) {
+  Trace t;
+  t.Append(10, 0x1000, 64, MemOp::kRead);
+  EXPECT_THROW(t.Append(9, 0x1000, 64, MemOp::kRead), sc::Error);
+}
+
+TEST(Trace, RejectsEmptyBurst) {
+  Trace t;
+  EXPECT_THROW(t.Append(0, 0x1000, 0, MemOp::kRead), sc::Error);
+}
+
+TEST(Trace, CsvRoundTrip) {
+  Trace t;
+  t.Append(1, 4096, 64, MemOp::kRead);
+  t.Append(5, 8192, 256, MemOp::kWrite);
+  std::stringstream ss;
+  t.WriteCsv(ss);
+  Trace back = Trace::ReadCsv(ss);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0], t[0]);
+  EXPECT_EQ(back[1], t[1]);
+}
+
+TEST(Trace, CsvRejectsMalformedInput) {
+  {
+    std::stringstream ss("not,a,header\n");
+    EXPECT_THROW(Trace::ReadCsv(ss), sc::Error);
+  }
+  {
+    std::stringstream ss("cycle,addr,bytes,op\n1,2,3,X\n");
+    EXPECT_THROW(Trace::ReadCsv(ss), sc::Error);
+  }
+  {
+    std::stringstream ss("cycle,addr,bytes,op\n1,2,0,R\n");
+    EXPECT_THROW(Trace::ReadCsv(ss), sc::Error);
+  }
+  {
+    std::stringstream ss("cycle,addr,bytes,op\ngarbage\n");
+    EXPECT_THROW(Trace::ReadCsv(ss), sc::Error);
+  }
+  {
+    std::stringstream ss("");
+    EXPECT_THROW(Trace::ReadCsv(ss), sc::Error);
+  }
+}
+
+TEST(IntervalSet, InsertAndMerge) {
+  IntervalSet s;
+  s.Insert(10, 20);
+  s.Insert(30, 40);
+  EXPECT_EQ(s.parts().size(), 2u);
+  EXPECT_EQ(s.CoveredBytes(), 20u);
+  s.Insert(20, 30);  // adjacency merges
+  EXPECT_EQ(s.parts().size(), 1u);
+  EXPECT_EQ(s.CoveredBytes(), 30u);
+  s.Insert(5, 50);  // engulfing
+  EXPECT_EQ(s.parts().size(), 1u);
+  EXPECT_EQ(s.CoveredBytes(), 45u);
+}
+
+TEST(IntervalSet, ContainsAndOverlaps) {
+  IntervalSet s;
+  s.Insert(100, 200);
+  s.Insert(300, 400);
+  EXPECT_TRUE(s.Contains(100));
+  EXPECT_FALSE(s.Contains(200));
+  EXPECT_TRUE(s.Contains(399));
+  EXPECT_FALSE(s.Contains(250));
+  EXPECT_TRUE(s.OverlapsInterval({150, 250}));
+  EXPECT_TRUE(s.OverlapsInterval({250, 301}));
+  EXPECT_FALSE(s.OverlapsInterval({200, 300}));
+  EXPECT_FALSE(s.OverlapsInterval({0, 0}));
+}
+
+TEST(IntervalSet, EmptyInsertIsNoop) {
+  IntervalSet s;
+  s.Insert(5, 5);
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.Insert(10, 5), sc::Error);
+}
+
+TEST(IntervalSet, Hull) {
+  IntervalSet s;
+  EXPECT_THROW(s.Hull(), sc::Error);
+  s.Insert(10, 20);
+  s.Insert(100, 110);
+  EXPECT_EQ(s.Hull(), (AddrInterval{10, 110}));
+}
+
+TEST(IntervalSet, SplitRegions) {
+  IntervalSet s;
+  s.Insert(0, 100);
+  s.Insert(150, 200);    // gap 50
+  s.Insert(5000, 6000);  // gap 4800
+  auto regions = s.SplitRegions(100);
+  ASSERT_EQ(regions.size(), 2u);
+  EXPECT_EQ(regions[0], (AddrInterval{0, 200}));
+  EXPECT_EQ(regions[1], (AddrInterval{5000, 6000}));
+  auto fine = s.SplitRegions(10);
+  EXPECT_EQ(fine.size(), 3u);
+}
+
+TEST(IntervalSet, RandomizedInsertMatchesNaive) {
+  // Property: covered bytes equal a bitmap-based reference.
+  std::vector<bool> bitmap(512, false);
+  IntervalSet s;
+  unsigned state = 12345;
+  for (int iter = 0; iter < 200; ++iter) {
+    state = state * 1664525u + 1013904223u;
+    const auto lo = state % 500;
+    state = state * 1664525u + 1013904223u;
+    const auto len = state % 12;
+    s.Insert(lo, lo + len);
+    for (std::uint64_t b = lo; b < lo + len; ++b) bitmap[b] = true;
+    std::uint64_t expect = 0;
+    for (bool v : bitmap) expect += v ? 1 : 0;
+    ASSERT_EQ(s.CoveredBytes(), expect);
+    // Canonical form: sorted and disjoint with gaps.
+    for (std::size_t i = 1; i < s.parts().size(); ++i)
+      ASSERT_LT(s.parts()[i - 1].hi, s.parts()[i].lo);
+  }
+}
+
+TEST(TraceStats, ComputesFootprintAndBytes) {
+  Trace t;
+  t.Append(0, 0, 64, MemOp::kRead);
+  t.Append(1, 0, 64, MemOp::kRead);  // re-read: bytes count, footprint not
+  t.Append(2, 4096, 64, MemOp::kWrite);
+  const TraceStats s = ComputeStats(t);
+  EXPECT_EQ(s.read_events, 2u);
+  EXPECT_EQ(s.write_events, 1u);
+  EXPECT_EQ(s.bytes_read, 128u);
+  EXPECT_EQ(s.unique_bytes_read, 64u);
+  EXPECT_EQ(s.bytes_written, 64u);
+  EXPECT_EQ(s.unique_bytes_written, 64u);
+  EXPECT_EQ(s.duration_cycles(), 2u);
+}
+
+}  // namespace
+}  // namespace sc::trace

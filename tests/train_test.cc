@@ -1,0 +1,162 @@
+#include "nn/train/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activation.h"
+#include "nn/combine.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/init.h"
+#include "nn/pooling.h"
+#include "nn/train/loss.h"
+
+namespace sc::nn::train {
+namespace {
+
+TEST(Softmax, NormalizesAndIsStable) {
+  Tensor logits(Shape{3, 1, 1});
+  logits[0] = 1000.0f;  // stability: would overflow a naive exp
+  logits[1] = 1000.0f;
+  logits[2] = 0.0f;
+  auto p = Softmax(logits);
+  EXPECT_NEAR(p[0], 0.5f, 1e-5f);
+  EXPECT_NEAR(p[1], 0.5f, 1e-5f);
+  EXPECT_NEAR(p[0] + p[1] + p[2], 1.0f, 1e-5f);
+}
+
+TEST(SoftmaxCrossEntropy, LossAndGradient) {
+  Tensor logits(Shape{2, 1, 1});
+  logits[0] = 0.0f;
+  logits[1] = 0.0f;
+  auto r = SoftmaxCrossEntropy(logits, 1);
+  EXPECT_NEAR(r.loss, std::log(2.0f), 1e-5f);
+  EXPECT_NEAR(r.grad_logits[0], 0.5f, 1e-5f);
+  EXPECT_NEAR(r.grad_logits[1], -0.5f, 1e-5f);
+  EXPECT_THROW(SoftmaxCrossEntropy(logits, 2), sc::Error);
+}
+
+TEST(TopK, Membership) {
+  Tensor logits(Shape{6, 1, 1});
+  for (int i = 0; i < 6; ++i) logits[static_cast<std::size_t>(i)] =
+      static_cast<float>(i);
+  EXPECT_EQ(ArgMax(logits), 5);
+  EXPECT_TRUE(InTopK(logits, 5, 1));
+  EXPECT_FALSE(InTopK(logits, 0, 5));
+  EXPECT_TRUE(InTopK(logits, 1, 5));
+}
+
+// Numerical gradient check through a small but complete network with every
+// layer kind (conv, relu, pools, concat, eltwise, fc).
+TEST(Backprop, MatchesNumericalGradient) {
+  Network net(Shape{2, 6, 6});
+  int c1 = net.Add(std::make_unique<Conv2D>("c1", 2, 3, 3, 1, 1),
+                   {kInputNode});
+  int r1 = net.Add(std::make_unique<Relu>("r1"), {c1});
+  int c2 = net.Add(std::make_unique<Conv2D>("c2", 2, 3, 3, 1, 1),
+                   {kInputNode});
+  int cat = net.Add(std::make_unique<Concat>("cat", 2), {r1, c2});
+  int add = net.Add(std::make_unique<EltwiseAdd>("add", 2), {cat, cat});
+  int p1 = net.Add(MakeMaxPool("p1", 2, 2), {add});
+  int p2 = net.Add(MakeAvgPool("p2", 3, 3), {p1});
+  net.Add(std::make_unique<FullyConnected>("fc", 6, 4), {p2});
+
+  Rng rng(3);
+  InitNetwork(net, rng);
+  // Non-zero biases so ReLU boundaries are generic.
+  for (ParamRef p : net.Params())
+    if (p.value->shape().rank() == 1)
+      for (std::size_t i = 0; i < p.value->numel(); ++i)
+        (*p.value)[i] = rng.GaussianF(0.1f);
+
+  Tensor x(Shape{2, 6, 6});
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = rng.GaussianF(1.0f);
+  const int label = 2;
+
+  // Analytic gradients.
+  for (ParamRef p : net.Params()) p.grad->Zero();
+  ForwardBackward(net, x, label);
+
+  // Compare against central differences on a sample of parameters.
+  const float eps = 1e-3f;
+  int checked = 0;
+  for (ParamRef p : net.Params()) {
+    for (std::size_t i = 0; i < p.value->numel();
+         i += std::max<std::size_t>(1, p.value->numel() / 7)) {
+      const float orig = (*p.value)[i];
+      (*p.value)[i] = orig + eps;
+      const float lp = SoftmaxCrossEntropy(net.ForwardFinal(x), label).loss;
+      (*p.value)[i] = orig - eps;
+      const float lm = SoftmaxCrossEntropy(net.ForwardFinal(x), label).loss;
+      (*p.value)[i] = orig;
+      const float numeric = (lp - lm) / (2 * eps);
+      EXPECT_NEAR((*p.grad)[i], numeric, 2e-2f)
+          << "param element " << i;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 20);
+}
+
+TEST(Sgd, MomentumUpdate) {
+  Tensor w(Shape{1}, 1.0f);
+  Tensor g(Shape{1}, 1.0f);
+  Sgd opt({.learning_rate = 0.1f, .momentum = 0.5f, .weight_decay = 0.0f});
+  opt.Step({{&w, &g}});
+  EXPECT_FLOAT_EQ(w.at(0), 0.9f);   // v = -0.1
+  EXPECT_FLOAT_EQ(g.at(0), 0.0f);   // gradients cleared
+  g.at(0) = 1.0f;
+  opt.Step({{&w, &g}});
+  EXPECT_FLOAT_EQ(w.at(0), 0.9f - 0.15f);  // v = 0.5*(-0.1) - 0.1
+}
+
+TEST(SyntheticDataset, DeterministicAndBalanced) {
+  DatasetConfig cfg;
+  cfg.width = 16;
+  cfg.num_classes = 4;
+  SyntheticDataset ds(cfg);
+  const Sample a = ds.MakeSample(5, false);
+  const Sample b = ds.MakeSample(5, false);
+  EXPECT_EQ(a.label, 5 % 4);
+  EXPECT_EQ(Tensor::MaxAbsDiff(a.image, b.image), 0.0f);
+  const Sample c = ds.MakeSample(5, true);
+  EXPECT_GT(Tensor::MaxAbsDiff(a.image, c.image), 0.0f);
+  auto train = ds.MakeTrainSet(8);
+  int counts[4] = {0, 0, 0, 0};
+  for (const Sample& s : train) counts[s.label]++;
+  for (int k : counts) EXPECT_EQ(k, 2);
+}
+
+TEST(Trainer, LearnsSyntheticTask) {
+  DatasetConfig dcfg;
+  dcfg.width = 12;
+  dcfg.num_classes = 3;
+  dcfg.noise = 0.05f;
+  SyntheticDataset ds(dcfg);
+  auto train_set = ds.MakeTrainSet(60);
+  auto test_set = ds.MakeTestSet(30);
+
+  Network net(Shape{3, 12, 12});
+  net.Append(std::make_unique<Conv2D>("c1", 3, 8, 3, 1, 1));
+  net.Append(std::make_unique<Relu>("r1"));
+  net.Append(MakeMaxPool("p1", 2, 2));
+  net.Append(std::make_unique<FullyConnected>("fc", 8 * 6 * 6, 3));
+  Rng rng(11);
+  InitNetwork(net, rng);
+
+  const EvalResult before = Evaluate(net, test_set);
+  TrainConfig tcfg;
+  tcfg.epochs = 6;
+  tcfg.batch_size = 10;
+  tcfg.sgd.learning_rate = 0.02f;
+  const float final_loss = Train(net, train_set, tcfg);
+  const EvalResult after = Evaluate(net, test_set);
+
+  EXPECT_LT(final_loss, before.mean_loss);
+  EXPECT_GT(after.top1, 0.5f);  // way above the 1/3 chance level
+  EXPECT_GT(after.top1, before.top1);
+}
+
+}  // namespace
+}  // namespace sc::nn::train

@@ -1,0 +1,207 @@
+// Parameterized property sweep for the weight attack: random victims over
+// a grid of geometries, strides, pooling variants and bias signs. Every
+// recoverable position must land inside the paper's error bound; failures
+// must be *flagged*, never silently wrong.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "attack/weights/attack.h"
+#include "support/rng.h"
+
+namespace sc::attack {
+namespace {
+
+struct SweepCase {
+  int filter;
+  int stride;
+  int in_depth;
+  nn::PoolKind pool;
+  int pool_window;
+  int pool_stride;
+  bool relu_before_pool;
+  float bias_sign;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<SweepCase>& info) {
+  const SweepCase& c = info.param;
+  std::string s = "f" + std::to_string(c.filter) + "s" +
+                  std::to_string(c.stride) + "d" +
+                  std::to_string(c.in_depth);
+  if (c.pool == nn::PoolKind::kMax)
+    s += "_max" + std::to_string(c.pool_window) + std::to_string(c.pool_stride);
+  if (c.pool == nn::PoolKind::kAvg)
+    s += "_avg" + std::to_string(c.pool_window) + std::to_string(c.pool_stride);
+  s += c.bias_sign > 0 ? "_bpos" : "_bneg";
+  if (!c.relu_before_pool) s += "_preact";
+  return s;
+}
+
+class WeightAttackSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(WeightAttackSweep, RecoversWithinPaperBound) {
+  const SweepCase& c = GetParam();
+  SparseConvOracle::StageSpec spec;
+  spec.in_depth = c.in_depth;
+  spec.in_width = 4 * c.filter + 3;  // comfortably > 2F (Eq. 5)
+  spec.filter = c.filter;
+  spec.stride = c.stride;
+  spec.pool = c.pool;
+  spec.pool_window = c.pool_window;
+  spec.pool_stride = c.pool_stride;
+  spec.relu_before_pool = c.relu_before_pool;
+
+  const int oc = 2;
+  nn::Tensor w(nn::Shape{oc, c.in_depth, c.filter, c.filter});
+  nn::Tensor b(nn::Shape{oc});
+  sc::Rng rng(static_cast<std::uint64_t>(c.filter * 131 + c.stride * 17 +
+                                         c.pool_window * 7 +
+                                         (c.bias_sign > 0)));
+  for (std::size_t i = 0; i < w.numel(); ++i) w[i] = rng.GaussianF(0.6f);
+  for (int k = 0; k < oc; ++k)
+    b.at(k) = c.bias_sign * rng.UniformF(0.1f, 0.4f);
+
+  SparseConvOracle oracle(spec, w, b);
+  WeightAttack attack(oracle, spec, WeightAttackConfig{});
+
+  for (int k = 0; k < oc; ++k) {
+    const RecoveredFilter rec = attack.RecoverFilter(k);
+    int recovered = 0;
+    float max_err = 0.0f;
+    for (int cc = 0; cc < c.in_depth; ++cc) {
+      for (int i = 0; i < c.filter; ++i) {
+        for (int j = 0; j < c.filter; ++j) {
+          const auto id = static_cast<std::size_t>(
+              (cc * c.filter + i) * c.filter + j);
+          if (rec.failed[id]) continue;
+          ++recovered;
+          const float truth = w.at(k, cc, i, j) / b.at(k);
+          max_err = std::max(max_err,
+                             std::fabs(rec.ratio.at(cc, i, j) - truth));
+        }
+      }
+    }
+    const bool blind_regime =
+        c.pool != nn::PoolKind::kNone &&
+        (c.pool == nn::PoolKind::kMax || c.relu_before_pool) &&
+        c.bias_sign > 0;
+    if (blind_regime) {
+      // Every position must be flagged failed at threshold 0.
+      EXPECT_EQ(recovered, 0) << "filter " << k;
+    } else {
+      EXPECT_LT(max_err, 1.0f / 1024.0f) << "filter " << k;
+      // The attack must recover the overwhelming majority of positions.
+      EXPECT_GE(recovered, c.in_depth * c.filter * c.filter * 3 / 4)
+          << "filter " << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NoPool, WeightAttackSweep,
+    ::testing::Values(
+        SweepCase{1, 1, 1, nn::PoolKind::kNone, 0, 0, true, +1.0f},
+        SweepCase{1, 1, 3, nn::PoolKind::kNone, 0, 0, true, -1.0f},
+        SweepCase{2, 1, 1, nn::PoolKind::kNone, 0, 0, true, +1.0f},
+        SweepCase{3, 1, 2, nn::PoolKind::kNone, 0, 0, true, +1.0f},
+        SweepCase{3, 2, 1, nn::PoolKind::kNone, 0, 0, true, -1.0f},
+        SweepCase{3, 3, 1, nn::PoolKind::kNone, 0, 0, true, +1.0f},
+        SweepCase{5, 2, 1, nn::PoolKind::kNone, 0, 0, true, +1.0f},
+        SweepCase{5, 4, 2, nn::PoolKind::kNone, 0, 0, true, -1.0f}),
+    CaseName);
+
+INSTANTIATE_TEST_SUITE_P(
+    MaxPool, WeightAttackSweep,
+    ::testing::Values(
+        SweepCase{3, 1, 1, nn::PoolKind::kMax, 2, 2, true, -1.0f},
+        SweepCase{3, 1, 2, nn::PoolKind::kMax, 3, 2, true, -1.0f},
+        SweepCase{3, 2, 1, nn::PoolKind::kMax, 2, 2, true, -1.0f},
+        SweepCase{4, 2, 1, nn::PoolKind::kMax, 3, 3, true, -1.0f},
+        SweepCase{5, 1, 1, nn::PoolKind::kMax, 2, 2, true, -1.0f},
+        // Positive bias under max pooling: the blind regime.
+        SweepCase{3, 1, 1, nn::PoolKind::kMax, 2, 2, true, +1.0f},
+        SweepCase{4, 2, 1, nn::PoolKind::kMax, 3, 2, true, +1.0f}),
+    CaseName);
+
+INSTANTIATE_TEST_SUITE_P(
+    AvgPool, WeightAttackSweep,
+    ::testing::Values(
+        // Pre-activation accumulation (Eq. 11 regime): works for either
+        // bias sign, non-overlapping windows.
+        SweepCase{3, 1, 1, nn::PoolKind::kAvg, 2, 2, false, +1.0f},
+        SweepCase{3, 1, 2, nn::PoolKind::kAvg, 2, 2, false, -1.0f},
+        SweepCase{4, 2, 1, nn::PoolKind::kAvg, 3, 3, false, +1.0f},
+        // Post-activation average pooling counts like max pooling.
+        SweepCase{3, 1, 1, nn::PoolKind::kAvg, 2, 2, true, -1.0f},
+        SweepCase{3, 1, 1, nn::PoolKind::kAvg, 2, 2, true, +1.0f}),
+    CaseName);
+
+TEST(WeightAttackEdge, SinglePixelInput) {
+  // 1x1 conv on a wider map with stride > 1.
+  SparseConvOracle::StageSpec spec;
+  spec.in_depth = 1;
+  spec.in_width = 7;
+  spec.filter = 1;
+  spec.stride = 2;
+  nn::Tensor w(nn::Shape{1, 1, 1, 1});
+  w.at(0, 0, 0, 0) = -0.8f;
+  nn::Tensor b(nn::Shape{1});
+  b.at(0) = 0.25f;
+  SparseConvOracle oracle(spec, w, b);
+  WeightAttack attack(oracle, spec, WeightAttackConfig{});
+  const RecoveredFilter rec = attack.RecoverFilter(0);
+  EXPECT_NEAR(rec.ratio.at(0, 0, 0), -0.8f / 0.25f, 1e-3f);
+}
+
+TEST(WeightAttackEdge, AllZeroFilter) {
+  SparseConvOracle::StageSpec spec;
+  spec.in_depth = 1;
+  spec.in_width = 9;
+  spec.filter = 3;
+  nn::Tensor w(nn::Shape{1, 1, 3, 3});  // all zero
+  nn::Tensor b(nn::Shape{1});
+  b.at(0) = 0.2f;
+  SparseConvOracle oracle(spec, w, b);
+  WeightAttack attack(oracle, spec, WeightAttackConfig{});
+  const RecoveredFilter rec = attack.RecoverFilter(0);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      EXPECT_TRUE(rec.zero_at(0, i, j, 3)) << i << ',' << j;
+}
+
+TEST(WeightAttackEdge, OverlappingPreActivationAvgPoolRejected) {
+  SparseConvOracle::StageSpec spec;
+  spec.in_depth = 1;
+  spec.in_width = 12;
+  spec.filter = 3;
+  spec.pool = nn::PoolKind::kAvg;
+  spec.pool_window = 3;
+  spec.pool_stride = 2;  // overlapping
+  spec.relu_before_pool = false;
+  nn::Tensor w(nn::Shape{1, 1, 3, 3}, 0.1f);
+  nn::Tensor b(nn::Shape{1}, 0.1f);
+  SparseConvOracle oracle(spec, w, b);
+  EXPECT_THROW(WeightAttack(oracle, spec, WeightAttackConfig{}), sc::Error);
+}
+
+TEST(WeightAttackEdge, QueryCountsAreReasonable) {
+  // ~dozens of bisection queries per weight, not thousands.
+  SparseConvOracle::StageSpec spec;
+  spec.in_depth = 1;
+  spec.in_width = 11;
+  spec.filter = 3;
+  nn::Tensor w(nn::Shape{1, 1, 3, 3});
+  sc::Rng rng(5);
+  for (std::size_t i = 0; i < w.numel(); ++i) w[i] = rng.GaussianF(0.5f);
+  nn::Tensor b(nn::Shape{1});
+  b.at(0) = 0.3f;
+  SparseConvOracle oracle(spec, w, b);
+  WeightAttack attack(oracle, spec, WeightAttackConfig{});
+  const RecoveredFilter rec = attack.RecoverFilter(0);
+  EXPECT_LT(rec.queries, 9u * 120u);
+  EXPECT_GT(rec.queries, 9u * 10u);
+}
+
+}  // namespace
+}  // namespace sc::attack
