@@ -11,10 +11,13 @@
 #include <cmath>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "attack/weights/attack.h"
 #include "bench_util.h"
 #include "models/zoo.h"
+#include "support/thread_pool.h"
 
 int main() {
   using namespace sc;
@@ -47,35 +50,62 @@ int main() {
   std::ofstream csv("fig7_ratios.csv");
   csv << "filter,channel,i,j,true_ratio,recovered_ratio\n";
 
-  for (int k = 0; k < 96; ++k) {
-    const float b = secret.bias.at(k);
-    attack::WeightAttack base_attack(oracle, spec, cfg);
-
+  // Per-filter recovery runs are independent given a cloned oracle per
+  // worker, so the 96 sweeps spread across the thread pool; aggregation
+  // below stays in filter order, keeping the CSV byte-identical to the
+  // serial run.
+  struct FilterOutcome {
     attack::RecoveredFilter rec;
     double eff_bias_scale = 1.0;  // recovered ratios are w / (b*scale-ish)
-    float t_used = 0.0f;
+    bool recovered = false;       // false: bias search failed, filter skipped
+    bool knob_used = false;
+  };
+  std::vector<FilterOutcome> outcomes(96);
+
+  auto recover_one = [&](attack::ZeroCountOracle& orc, int k) {
+    FilterOutcome out;
+    const float b = secret.bias.at(k);
+    attack::WeightAttack base_attack(orc, spec, cfg);
     if (b > 0.0f) {
       // Blind at threshold 0: find the bias via the knob, then re-run the
       // ratio attack just above it (effective bias b - T < 0).
       const auto b_hat = base_attack.FindBiasViaThreshold(k);
-      if (!b_hat) {
-        failed_positions += 3 * 11 * 11;
-        continue;
-      }
-      ++knob_filters;
-      t_used = *b_hat * 1.5f + 0.05f;
-      oracle.SetActivationThreshold(t_used);
+      if (!b_hat) return out;
+      out.knob_used = true;
+      const float t_used = *b_hat * 1.5f + 0.05f;
+      orc.SetActivationThreshold(t_used);
       attack::SparseConvOracle::StageSpec elevated = spec;
       elevated.relu_threshold = t_used;
-      attack::WeightAttack attack(oracle, elevated, cfg);
-      rec = attack.RecoverFilter(k);
-      oracle.SetActivationThreshold(0.0f);
+      attack::WeightAttack attack(orc, elevated, cfg);
+      out.rec = attack.RecoverFilter(k);
+      orc.SetActivationThreshold(0.0f);
       // ratios are w / (b - T): convert to w / b with the recovered b.
-      eff_bias_scale = (static_cast<double>(*b_hat) - t_used) /
-                       static_cast<double>(*b_hat);
+      out.eff_bias_scale = (static_cast<double>(*b_hat) - t_used) /
+                           static_cast<double>(*b_hat);
     } else {
-      rec = base_attack.RecoverFilter(k);
+      out.rec = base_attack.RecoverFilter(k);
     }
+    out.recovered = true;
+    return out;
+  };
+
+  support::ParallelFor(0, 96, 1, [&](std::int64_t lo, std::int64_t hi) {
+    const std::unique_ptr<attack::ZeroCountOracle> clone = oracle.Clone();
+    for (std::int64_t k = lo; k < hi; ++k)
+      outcomes[static_cast<std::size_t>(k)] =
+          recover_one(*clone, static_cast<int>(k));
+  });
+
+  for (int k = 0; k < 96; ++k) {
+    const float b = secret.bias.at(k);
+    const FilterOutcome& out = outcomes[static_cast<std::size_t>(k)];
+    if (!out.recovered) {
+      failed_positions += 3 * 11 * 11;
+      continue;
+    }
+    if (out.knob_used) ++knob_filters;
+    const attack::RecoveredFilter& rec = out.rec;
+    const double eff_bias_scale = out.eff_bias_scale;
     total_queries += rec.queries;
 
     for (int c = 0; c < 3; ++c) {

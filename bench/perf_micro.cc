@@ -1,12 +1,18 @@
 // Microbenchmarks (google-benchmark) for the attack-side costs: trace
 // analysis throughput, per-layer constraint solving, structure search and
 // oracle queries. These quantify the adversary's offline effort.
+//
+// Benchmarks taking a `threads` argument run the same workload serially
+// (threads:1) and on the thread pool (threads:4 and the machine default);
+// the ratio of their reported times is the parallel speedup.
 #include <benchmark/benchmark.h>
 
 #include "attack/structure/pipeline.h"
 #include "attack/weights/attack.h"
 #include "bench_util.h"
 #include "models/zoo.h"
+#include "nn/conv2d.h"
+#include "support/thread_pool.h"
 
 namespace {
 
@@ -119,6 +125,95 @@ void BM_WeightRecoveryOneFilter(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WeightRecoveryOneFilter);
+
+// --- serial vs parallel (the `threads` argument sets the pool size) ---------
+
+void SetPoolThreads(benchmark::State& state) {
+  support::ThreadPool::SetGlobalThreads(static_cast<int>(state.range(0)));
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+
+void RestoreDefaultThreads() {
+  support::ThreadPool::SetGlobalThreads(support::ThreadPool::DefaultThreads());
+}
+
+// AlexNet CONV1 forward pass (3x227x227 -> 96x55x55, 11x11/4): the hot
+// inference loop parallelized over output channels.
+void BM_AlexNetConv1Forward(benchmark::State& state) {
+  SetPoolThreads(state);
+  nn::Conv2D conv("conv1", 3, 96, 11, 4, 0);
+  {
+    Rng rng(7);
+    nn::Tensor& w = conv.weights();
+    for (std::size_t i = 0; i < w.numel(); ++i) w[i] = rng.GaussianF(0.1f);
+  }
+  const nn::Tensor x = bench::RandomInput(nn::Shape{3, 227, 227}, 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward({&x}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          96LL * 55 * 55 * 3 * 11 * 11);  // MACs
+  RestoreDefaultThreads();
+}
+BENCHMARK(BM_AlexNetConv1Forward)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(support::ThreadPool::DefaultThreads())
+    ->UseRealTime();
+
+// Weight-attack sweep over every filter of a small conv stage, one cloned
+// oracle per worker (Algorithm 2 fan-out).
+void BM_WeightAttackSweep(benchmark::State& state) {
+  SetPoolThreads(state);
+  attack::SparseConvOracle::StageSpec spec;
+  spec.in_depth = 2;
+  spec.in_width = 24;
+  spec.filter = 5;
+  spec.stride = 1;
+  const int oc = 16;
+  nn::Tensor w(nn::Shape{oc, spec.in_depth, spec.filter, spec.filter});
+  nn::Tensor b(nn::Shape{oc});
+  Rng rng(11);
+  for (std::size_t i = 0; i < w.numel(); ++i) w[i] = rng.GaussianF(0.5f);
+  for (int k = 0; k < oc; ++k) b.at(k) = -rng.UniformF(0.1f, 0.4f);
+  attack::SparseConvOracle oracle(spec, w, b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        attack::RecoverAllFilters(oracle, spec, attack::WeightAttackConfig{}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * oc);
+  RestoreDefaultThreads();
+}
+BENCHMARK(BM_WeightAttackSweep)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(support::ThreadPool::DefaultThreads())
+    ->UseRealTime();
+
+// Structure search with the root fan-out parallelized (LeNet trace, input
+// dimensions unknown so the root factorization spawns many branches).
+void BM_StructureSearchParallel(benchmark::State& state) {
+  SetPoolThreads(state);
+  attack::AnalysisConfig acfg;
+  acfg.known_input_elems = 28 * 28;
+  const attack::TraceAnalysis a = attack::AnalyzeTrace(LeNetTrace(), acfg);
+  attack::SearchConfig cfg;
+  cfg.known_input_width = 28;
+  cfg.known_input_depth = 1;
+  cfg.known_output_classes = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attack::SearchStructures(a.observations, cfg));
+  }
+  RestoreDefaultThreads();
+}
+BENCHMARK(BM_StructureSearchParallel)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(support::ThreadPool::DefaultThreads())
+    ->UseRealTime();
 
 }  // namespace
 

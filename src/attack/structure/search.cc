@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
 
 #include "support/check.h"
+#include "support/thread_pool.h"
 
 namespace sc::attack {
 
@@ -96,20 +98,19 @@ bool GroupsConsistent(const std::vector<LayerConfig>& layers,
   return true;
 }
 
-void Recurse(SearchState& st, std::size_t si, double min_ratio,
-             double max_ratio) {
-  if (si == st.obs.size()) {
-    if (!GroupsConsistent(st.chosen, st.cfg.identical_groups)) return;
-    SC_CHECK_MSG(st.out->size() < st.cfg.max_structures,
-                 "structure explosion: > " << st.cfg.max_structures
-                                           << " candidates");
-    CandidateStructure cs;
-    cs.layers = st.chosen;
-    cs.timing_spread = (min_ratio > 0) ? max_ratio / min_ratio : 1.0;
-    st.out->push_back(std::move(cs));
-    return;
-  }
+// One surviving choice for a segment: a geometry plus the timing-ratio
+// bracket accumulated so far.
+struct Branch {
+  SegmentRole role = SegmentRole::kUnknown;
+  nn::LayerGeometry geom;
+  double lo = 0.0;
+  double hi = 0.0;
+};
 
+// Enumerates segment si's surviving (dims x candidate) choices in the order
+// the serial depth-first search visits them.
+std::vector<Branch> BranchesAt(SearchState& st, std::size_t si,
+                               double min_ratio, double max_ratio) {
   const LayerObservation& o = st.obs[si];
 
   // Determine the input dimensions allowed by earlier choices.
@@ -141,6 +142,7 @@ void Recurse(SearchState& st, std::size_t si, double min_ratio,
   }
 
   const bool last = (si + 1 == st.obs.size());
+  std::vector<Branch> branches;
   for (const auto& [w_ifm, d_ifm] : dims) {
     // Size consistency between the chosen dims and the observed reads is
     // enforced inside the per-role enumerators (the conv solver's coverage
@@ -166,9 +168,29 @@ void Recurse(SearchState& st, std::size_t si, double min_ratio,
         hi = std::max(hi, r);
         if (lo > 0 && hi / lo > st.cfg.timing_tolerance) continue;
       }
-      st.chosen[si] = LayerConfig{o.role, g};
-      Recurse(st, si + 1, lo, hi);
+      branches.push_back(Branch{o.role, g, lo, hi});
     }
+  }
+  return branches;
+}
+
+void Recurse(SearchState& st, std::size_t si, double min_ratio,
+             double max_ratio) {
+  if (si == st.obs.size()) {
+    if (!GroupsConsistent(st.chosen, st.cfg.identical_groups)) return;
+    SC_CHECK_MSG(st.out->size() < st.cfg.max_structures,
+                 "structure explosion: > " << st.cfg.max_structures
+                                           << " candidates");
+    CandidateStructure cs;
+    cs.layers = st.chosen;
+    cs.timing_spread = (min_ratio > 0) ? max_ratio / min_ratio : 1.0;
+    st.out->push_back(std::move(cs));
+    return;
+  }
+
+  for (const Branch& b : BranchesAt(st, si, min_ratio, max_ratio)) {
+    st.chosen[si] = LayerConfig{b.role, b.geom};
+    Recurse(st, si + 1, b.lo, b.hi);
   }
   st.chosen[si] = LayerConfig{};
 }
@@ -181,9 +203,59 @@ SearchResult SearchStructures(const std::vector<LayerObservation>& obs,
   result.per_layer_candidates.resize(obs.size());
   if (obs.empty()) return result;
 
-  SearchState st{obs, cfg, std::vector<LayerConfig>(obs.size()),
-                 &result.structures, {}, &result.per_layer_candidates};
-  Recurse(st, 0, 0.0, 0.0);
+  SearchState root{obs, cfg, std::vector<LayerConfig>(obs.size()),
+                   &result.structures, {}, &result.per_layer_candidates};
+  // The root segment's choices are enumerated once, up front (this also
+  // records its per-layer candidates); each choice spans an independent
+  // sub-search.
+  const std::vector<Branch> branches = BranchesAt(root, 0, 0.0, 0.0);
+
+  if (support::ThreadPool::GlobalThreads() <= 1 || branches.size() < 2) {
+    for (const Branch& b : branches) {
+      root.chosen[0] = LayerConfig{b.role, b.geom};
+      Recurse(root, 1, b.lo, b.hi);
+    }
+    return result;
+  }
+
+  // Parallel fan-out over the root branches. Each worker explores its
+  // sub-tree with private state (memo, chosen vector, outputs); partial
+  // results are merged in branch order afterwards, so both the structure
+  // list and the per-layer candidate lists come out in exactly the order
+  // the serial depth-first search produces.
+  struct BranchResult {
+    std::vector<CandidateStructure> structures;
+    std::vector<std::vector<nn::LayerGeometry>> per_layer;
+  };
+  std::vector<BranchResult> partial(branches.size());
+  support::ParallelFor(
+      0, static_cast<std::int64_t>(branches.size()), 1,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t bi = lo; bi < hi; ++bi) {
+          const Branch& b = branches[static_cast<std::size_t>(bi)];
+          BranchResult& pr = partial[static_cast<std::size_t>(bi)];
+          pr.per_layer.resize(obs.size());
+          SearchState st{obs, cfg, std::vector<LayerConfig>(obs.size()),
+                         &pr.structures, {}, &pr.per_layer};
+          st.chosen[0] = LayerConfig{b.role, b.geom};
+          Recurse(st, 1, b.lo, b.hi);
+        }
+      });
+
+  for (BranchResult& pr : partial) {
+    for (CandidateStructure& cs : pr.structures) {
+      SC_CHECK_MSG(result.structures.size() < cfg.max_structures,
+                   "structure explosion: > " << cfg.max_structures
+                                             << " candidates");
+      result.structures.push_back(std::move(cs));
+    }
+    for (std::size_t si = 0; si < obs.size(); ++si) {
+      auto& seen = result.per_layer_candidates[si];
+      for (const nn::LayerGeometry& g : pr.per_layer[si])
+        if (std::find(seen.begin(), seen.end(), g) == seen.end())
+          seen.push_back(g);
+    }
+  }
   return result;
 }
 

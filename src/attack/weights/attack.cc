@@ -6,6 +6,7 @@
 
 #include "nn/geometry.h"
 #include "support/check.h"
+#include "support/thread_pool.h"
 
 namespace sc::attack {
 
@@ -599,6 +600,32 @@ std::vector<std::vector<float>> WeightAttack::RecoverRatioSetsAggregate() {
     }
   }
   return sets;
+}
+
+std::vector<RecoveredFilter> RecoverAllFilters(
+    ZeroCountOracle& oracle, const SparseConvOracle::StageSpec& geometry,
+    const WeightAttackConfig& cfg) {
+  const int n = oracle.num_channels();
+  std::vector<RecoveredFilter> out(static_cast<std::size_t>(n));
+  auto sweep = [&](ZeroCountOracle& orc, std::int64_t lo, std::int64_t hi) {
+    WeightAttack attack(orc, geometry, cfg);
+    for (std::int64_t k = lo; k < hi; ++k)
+      out[static_cast<std::size_t>(k)] =
+          attack.RecoverFilter(static_cast<int>(k));
+  };
+
+  const bool cloneable = oracle.Clone() != nullptr;
+  if (!cloneable || n < 2 || support::ThreadPool::GlobalThreads() <= 1 ||
+      support::InParallelRegion()) {
+    sweep(oracle, 0, n);
+    return out;
+  }
+
+  support::ParallelFor(0, n, 1, [&](std::int64_t lo, std::int64_t hi) {
+    const std::unique_ptr<ZeroCountOracle> clone = oracle.Clone();
+    sweep(*clone, lo, hi);
+  });
+  return out;
 }
 
 }  // namespace sc::attack

@@ -110,6 +110,17 @@ class WeightAttack {
   WeightAttackConfig cfg_;
 };
 
+// Runs RecoverFilter for every output channel of the oracle, spreading the
+// per-filter binary-search sweeps over the global thread pool. Each worker
+// chunk queries its own oracle clone (ZeroCountOracle::Clone), so the
+// query sequences — and therefore the recovered ratios and per-filter query
+// counts — are identical to a serial RecoverFilter loop. Falls back to the
+// serial loop on `oracle` itself when the oracle is not cloneable or only
+// one thread is configured.
+std::vector<RecoveredFilter> RecoverAllFilters(
+    ZeroCountOracle& oracle, const SparseConvOracle::StageSpec& geometry,
+    const WeightAttackConfig& cfg);
+
 }  // namespace sc::attack
 
 #endif  // SC_ATTACK_WEIGHTS_ATTACK_H_

@@ -46,6 +46,13 @@ bool AcceleratorOracle::SetActivationThreshold(float threshold) {
   return true;
 }
 
+std::unique_ptr<ZeroCountOracle> AcceleratorOracle::Clone() const {
+  // Rebuilds against the same victim network with the current accelerator
+  // configuration (including any threshold override already applied).
+  return std::make_unique<AcceleratorOracle>(net_, target_node_,
+                                             accel_.config());
+}
+
 AcceleratorOracle::Counts AcceleratorOracle::Query(
     const std::vector<SparsePixel>& pixels) {
   ++queries_;
@@ -135,6 +142,10 @@ bool SparseConvOracle::SetActivationThreshold(float threshold) {
   SC_CHECK(threshold >= 0.0f);
   spec_.relu_threshold = threshold;
   return true;
+}
+
+std::unique_ptr<ZeroCountOracle> SparseConvOracle::Clone() const {
+  return std::make_unique<SparseConvOracle>(spec_, weights_, bias_);
 }
 
 std::size_t SparseConvOracle::ChannelCount(

@@ -14,6 +14,7 @@
 #define SC_ATTACK_WEIGHTS_ORACLE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "accel/accelerator.h"
@@ -53,6 +54,13 @@ class ZeroCountOracle {
     return false;
   }
 
+  // Independent copy of this oracle (same victim, same current threshold,
+  // own query counter) for concurrent per-filter sweeps — the side-channel
+  // analogue of pointing a second probe at an identical device. Returns
+  // nullptr when the oracle cannot be duplicated; parallel drivers then
+  // fall back to the serial path.
+  virtual std::unique_ptr<ZeroCountOracle> Clone() const { return nullptr; }
+
   std::uint64_t queries() const { return queries_; }
 
  protected:
@@ -74,6 +82,7 @@ class AcceleratorOracle : public ZeroCountOracle {
   std::size_t TotalNonZeros(const std::vector<SparsePixel>& pixels) override;
   int num_channels() const override { return num_channels_; }
   bool SetActivationThreshold(float threshold) override;
+  std::unique_ptr<ZeroCountOracle> Clone() const override;
 
  private:
   struct Counts {
@@ -122,6 +131,7 @@ class SparseConvOracle : public ZeroCountOracle {
   std::size_t TotalNonZeros(const std::vector<SparsePixel>& pixels) override;
   int num_channels() const override;
   bool SetActivationThreshold(float threshold) override;
+  std::unique_ptr<ZeroCountOracle> Clone() const override;
 
   const StageSpec& spec() const { return spec_; }
   int out_width() const;        // pre-pool convolution output width

@@ -1,8 +1,19 @@
 #include "nn/conv2d.h"
 
 #include <algorithm>
+#include <cstdint>
+
+#include "support/thread_pool.h"
 
 namespace sc::nn {
+
+namespace {
+
+// Below this many MACs the pool's wake-up latency dominates any win, so
+// small test tensors stay on the serial path.
+constexpr std::int64_t kMinParallelMacs = 1 << 16;
+
+}  // namespace
 
 const char* ToString(LayerKind k) {
   switch (k) {
@@ -64,42 +75,59 @@ Tensor Conv2D::Forward(const std::vector<const Tensor*>& in) const {
   float* yd = y.data();
 
   // Pointer-arithmetic hot loop: per output row, clamp the filter window to
-  // the valid input range once, then run contiguous inner loops.
-  for (int oc = 0; oc < out_depth_; ++oc) {
-    const float b = bias_.at(oc);
-    for (int oy = 0; oy < out_w; ++oy) {
-      const int iy0 = oy * stride_ - pad_;
-      const int ky_lo = iy0 < 0 ? -iy0 : 0;
-      const int ky_hi = std::min(filter_, h - iy0);
-      for (int ox = 0; ox < out_w; ++ox) {
-        const int ix0 = ox * stride_ - pad_;
-        const int kx_lo = ix0 < 0 ? -ix0 : 0;
-        const int kx_hi = std::min(filter_, w - ix0);
-        float acc = b;
-        for (int ic = 0; ic < in_depth_; ++ic) {
-          const float* x_chan =
-              xd + static_cast<std::size_t>(ic) * static_cast<std::size_t>(h) *
-                       static_cast<std::size_t>(w);
-          const float* w_chan =
-              wd + (static_cast<std::size_t>(oc) *
-                        static_cast<std::size_t>(in_depth_) +
-                    static_cast<std::size_t>(ic)) *
-                       static_cast<std::size_t>(filter_) *
-                       static_cast<std::size_t>(filter_);
-          for (int ky = ky_lo; ky < ky_hi; ++ky) {
-            const float* x_row =
-                x_chan + static_cast<std::size_t>(iy0 + ky) *
-                             static_cast<std::size_t>(w) +
-                static_cast<std::size_t>(ix0);
-            const float* w_row = w_chan + static_cast<std::size_t>(ky) *
-                                              static_cast<std::size_t>(filter_);
-            for (int kx = kx_lo; kx < kx_hi; ++kx)
-              acc += x_row[kx] * w_row[kx];
+  // the valid input range once, then run contiguous inner loops. Output
+  // channels write disjoint planes, so they parallelize without changing a
+  // single arithmetic operation or its order.
+  auto channels = [&](std::int64_t oc_lo, std::int64_t oc_hi) {
+    for (std::int64_t oc = oc_lo; oc < oc_hi; ++oc) {
+      const float b = bias_.at(static_cast<int>(oc));
+      float* y_plane = yd + static_cast<std::size_t>(oc) *
+                                static_cast<std::size_t>(out_w) *
+                                static_cast<std::size_t>(out_w);
+      for (int oy = 0; oy < out_w; ++oy) {
+        const int iy0 = oy * stride_ - pad_;
+        const int ky_lo = iy0 < 0 ? -iy0 : 0;
+        const int ky_hi = std::min(filter_, h - iy0);
+        for (int ox = 0; ox < out_w; ++ox) {
+          const int ix0 = ox * stride_ - pad_;
+          const int kx_lo = ix0 < 0 ? -ix0 : 0;
+          const int kx_hi = std::min(filter_, w - ix0);
+          float acc = b;
+          for (int ic = 0; ic < in_depth_; ++ic) {
+            const float* x_chan =
+                xd + static_cast<std::size_t>(ic) *
+                         static_cast<std::size_t>(h) *
+                         static_cast<std::size_t>(w);
+            const float* w_chan =
+                wd + (static_cast<std::size_t>(oc) *
+                          static_cast<std::size_t>(in_depth_) +
+                      static_cast<std::size_t>(ic)) *
+                         static_cast<std::size_t>(filter_) *
+                         static_cast<std::size_t>(filter_);
+            for (int ky = ky_lo; ky < ky_hi; ++ky) {
+              const float* x_row =
+                  x_chan + static_cast<std::size_t>(iy0 + ky) *
+                               static_cast<std::size_t>(w) +
+                  static_cast<std::size_t>(ix0);
+              const float* w_row =
+                  w_chan + static_cast<std::size_t>(ky) *
+                               static_cast<std::size_t>(filter_);
+              for (int kx = kx_lo; kx < kx_hi; ++kx)
+                acc += x_row[kx] * w_row[kx];
+            }
           }
+          *y_plane++ = acc;
         }
-        *yd++ = acc;
       }
     }
+  };
+
+  const std::int64_t macs = static_cast<std::int64_t>(out_depth_) * out_w *
+                            out_w * in_depth_ * filter_ * filter_;
+  if (macs < kMinParallelMacs) {
+    channels(0, out_depth_);
+  } else {
+    support::ParallelFor(0, out_depth_, 1, channels);
   }
   return y;
 }

@@ -1,6 +1,19 @@
 #include "nn/dense.h"
 
+#include <algorithm>
+#include <cstdint>
+
+#include "support/thread_pool.h"
+
 namespace sc::nn {
+
+namespace {
+
+// Same serial-fallback threshold as Conv2D: below this many multiply-adds
+// the pool wake-up costs more than it saves.
+constexpr std::int64_t kMinParallelMacs = 1 << 16;
+
+}  // namespace
 
 FullyConnected::FullyConnected(std::string name, int in_features,
                                int out_features)
@@ -29,14 +42,26 @@ Tensor FullyConnected::Forward(const std::vector<const Tensor*>& in) const {
   SC_CHECK(in.size() == 1 && in[0] != nullptr);
   const Tensor& x = *in[0];
   Tensor y(OutputShape({x.shape()}));
-  for (int o = 0; o < out_features_; ++o) {
-    float acc = bias_.at(o);
-    const float* w_row =
-        weights_.data() + static_cast<std::size_t>(o) *
-                              static_cast<std::size_t>(in_features_);
-    for (int i = 0; i < in_features_; ++i)
-      acc += w_row[i] * x[static_cast<std::size_t>(i)];
-    y.at(o, 0, 0) = acc;
+  auto rows = [&](std::int64_t o_lo, std::int64_t o_hi) {
+    for (std::int64_t o = o_lo; o < o_hi; ++o) {
+      float acc = bias_.at(static_cast<int>(o));
+      const float* w_row =
+          weights_.data() + static_cast<std::size_t>(o) *
+                                static_cast<std::size_t>(in_features_);
+      for (int i = 0; i < in_features_; ++i)
+        acc += w_row[i] * x[static_cast<std::size_t>(i)];
+      y.at(static_cast<int>(o), 0, 0) = acc;
+    }
+  };
+  const std::int64_t macs =
+      static_cast<std::int64_t>(out_features_) * in_features_;
+  if (macs < kMinParallelMacs) {
+    rows(0, out_features_);
+  } else {
+    // Chunk so each task covers ~kMinParallelMacs multiply-adds.
+    const std::int64_t grain = std::max<std::int64_t>(
+        1, kMinParallelMacs / std::max(1, in_features_));
+    support::ParallelFor(0, out_features_, grain, rows);
   }
   return y;
 }

@@ -1,0 +1,190 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "support/check.h"
+
+namespace sc::support {
+
+namespace {
+
+thread_local bool tl_in_parallel_region = false;
+
+struct RegionGuard {
+  // Saves and restores the previous value: a nested inline region must not
+  // clear the enclosing worker's flag on exit.
+  bool prev;
+  RegionGuard() : prev(tl_in_parallel_region) { tl_in_parallel_region = true; }
+  ~RegionGuard() { tl_in_parallel_region = prev; }
+};
+
+std::mutex& GlobalPoolMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  const int workers = std::max(0, threads - 1);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { WorkerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SC_CHECK_MSG(!stop_, "submit on a stopped ThreadPool");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  auto& slot = GlobalPoolSlot();
+  if (!slot) slot = std::make_unique<ThreadPool>(DefaultThreads());
+  return *slot;
+}
+
+int ThreadPool::GlobalThreads() { return Global().threads(); }
+
+void ThreadPool::SetGlobalThreads(int threads) {
+  SC_CHECK_MSG(threads >= 1, "thread count must be >= 1");
+  SC_CHECK_MSG(!tl_in_parallel_region,
+               "cannot resize the global pool inside a parallel region");
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  auto& slot = GlobalPoolSlot();
+  if (slot && slot->threads() == threads) return;
+  slot.reset();  // join the old workers before spawning the new pool
+  slot = std::make_unique<ThreadPool>(threads);
+}
+
+int ThreadPool::DefaultThreads() {
+  if (const char* env = std::getenv("SC_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 1024)
+      return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+bool InParallelRegion() { return tl_in_parallel_region; }
+
+void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                 const std::function<void(std::int64_t, std::int64_t)>& fn,
+                 ThreadPool* pool) {
+  if (end <= begin) return;
+  grain = std::max<std::int64_t>(1, grain);
+  const std::int64_t range = end - begin;
+  const std::int64_t nchunks = (range + grain - 1) / grain;
+
+  if (!pool) pool = &ThreadPool::Global();
+  const int lanes = static_cast<int>(
+      std::min<std::int64_t>(pool->threads(), nchunks));
+
+  if (lanes <= 1 || tl_in_parallel_region) {
+    RegionGuard region;
+    fn(begin, end);
+    return;
+  }
+
+  struct SharedState {
+    std::atomic<std::int64_t> next{0};
+    std::atomic<bool> failed{false};
+    std::int64_t begin = 0, end = 0, grain = 1, nchunks = 0;
+    const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+    int active_helpers = 0;
+    std::exception_ptr eptr;
+  };
+  // Helpers hold a shared_ptr so an abandoned queue entry (never possible
+  // today, but cheap insurance) cannot dangle.
+  auto state = std::make_shared<SharedState>();
+  state->begin = begin;
+  state->end = end;
+  state->grain = grain;
+  state->nchunks = nchunks;
+  state->fn = &fn;
+
+  auto run_chunks = [](SharedState& st) {
+    RegionGuard region;
+    for (;;) {
+      if (st.failed.load(std::memory_order_relaxed)) return;
+      const std::int64_t c = st.next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= st.nchunks) return;
+      const std::int64_t lo = st.begin + c * st.grain;
+      const std::int64_t hi = std::min(st.end, lo + st.grain);
+      try {
+        (*st.fn)(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(st.mu);
+        if (!st.eptr) st.eptr = std::current_exception();
+        st.failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  const int helpers = lanes - 1;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->active_helpers = helpers;
+  }
+  for (int i = 0; i < helpers; ++i) {
+    pool->Submit([state, run_chunks] {
+      run_chunks(*state);
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        --state->active_helpers;
+      }
+      state->cv.notify_one();
+    });
+  }
+
+  run_chunks(*state);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->active_helpers == 0; });
+  if (state->eptr) std::rethrow_exception(state->eptr);
+}
+
+}  // namespace sc::support

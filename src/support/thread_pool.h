@@ -1,0 +1,92 @@
+// Shared parallel-execution subsystem.
+//
+// One process-wide pool of worker threads serves every parallel loop in the
+// repository (layer forward passes, structure-search fan-out, weight-attack
+// sweeps). Parallelism here is purely a simulator-speed concern: every
+// call site partitions its work into disjoint output ranges, so results are
+// bit-identical to the serial execution regardless of thread count.
+//
+// Thread count is runtime-configurable: the SC_THREADS environment variable
+// (read once, at first use) seeds the pool size, defaulting to
+// std::thread::hardware_concurrency(). Tests and benchmarks may switch the
+// pool size at runtime with ThreadPool::SetGlobalThreads().
+#ifndef SC_SUPPORT_THREAD_POOL_H_
+#define SC_SUPPORT_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sc::support {
+
+class ThreadPool {
+ public:
+  // A pool of `threads` execution lanes. The calling thread of a parallel
+  // loop always participates, so only threads - 1 workers are spawned;
+  // threads <= 1 spawns none and every loop runs inline.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total execution lanes (spawned workers + the calling thread).
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Enqueues a task for execution on a worker thread.
+  void Submit(std::function<void()> task);
+
+  // The process-wide pool, created on first use with DefaultThreads() lanes.
+  static ThreadPool& Global();
+
+  // Lane count of the global pool (creates it on first call).
+  static int GlobalThreads();
+
+  // Replaces the global pool with one of `threads` lanes. Must not be
+  // called while a parallel loop is in flight; intended for tests,
+  // benchmarks and command-line overrides.
+  static void SetGlobalThreads(int threads);
+
+  // SC_THREADS when set to a positive integer, else hardware concurrency
+  // (at least 1).
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// True while the current thread is executing inside a ParallelFor chunk.
+// Nested ParallelFor calls detect this and run inline (serially) instead of
+// deadlocking on pool capacity.
+bool InParallelRegion();
+
+// Splits [begin, end) into contiguous chunks of at least max(grain, 1)
+// iterations and invokes fn(chunk_begin, chunk_end) for every chunk, using
+// the pool's workers plus the calling thread. Chunks are claimed from a
+// shared counter, so load balances across uneven iterations; each index is
+// visited exactly once. Blocks until every chunk has finished.
+//
+// Guarantees:
+//   - empty range (end <= begin): fn is never invoked;
+//   - grain >= range, a 1-lane pool, or a nested call: fn(begin, end) runs
+//     inline on the calling thread;
+//   - an exception thrown by fn is captured and rethrown on the calling
+//     thread after all in-flight chunks drain (the first exception wins;
+//     unclaimed chunks are abandoned).
+void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                 const std::function<void(std::int64_t, std::int64_t)>& fn,
+                 ThreadPool* pool = nullptr);
+
+}  // namespace sc::support
+
+#endif  // SC_SUPPORT_THREAD_POOL_H_

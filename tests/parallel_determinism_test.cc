@@ -1,0 +1,132 @@
+// Determinism regression: the parallel execution layer must be a pure
+// simulator-speed concern. Running the structure attack, the weight attack
+// and the layer forward passes with 1 thread and with 4 threads must
+// produce identical reports, recovered ratios and output tensors
+// (SC_THREADS controls the same knob at process start; tests switch the
+// pool at runtime via ThreadPool::SetGlobalThreads).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "attack/structure/pipeline.h"
+#include "attack/structure/report.h"
+#include "attack/weights/attack.h"
+#include "models/zoo.h"
+#include "nn/conv2d.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
+
+namespace sc {
+namespace {
+
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    support::ThreadPool::SetGlobalThreads(
+        support::ThreadPool::DefaultThreads());
+  }
+};
+
+nn::Tensor RandomInput(const nn::Shape& s, std::uint64_t seed) {
+  nn::Tensor t(s);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < t.numel(); ++i) t[i] = rng.GaussianF(1.0f);
+  return t;
+}
+
+TEST_F(ParallelDeterminismTest, StructureAttackReportIsThreadCountInvariant) {
+  nn::Network net = models::MakeLeNet(3);
+  accel::Accelerator accel{accel::AcceleratorConfig{}};
+  trace::Trace tr;
+  accel.Run(net, RandomInput(net.input_shape(), 1), &tr);
+
+  attack::StructureAttackConfig cfg;
+  cfg.analysis.known_input_elems = 28 * 28;
+  cfg.search.known_input_width = 28;
+  cfg.search.known_input_depth = 1;
+  cfg.search.known_output_classes = 10;
+
+  auto report_with_threads = [&](int threads) {
+    support::ThreadPool::SetGlobalThreads(threads);
+    const attack::StructureAttackResult r =
+        attack::RunStructureAttack(tr, cfg);
+    std::ostringstream os;
+    attack::WriteStructuresCsv(os, r.search);
+    os << "\n";
+    attack::PrintConfigTable(os, r.search);
+    os << "structures: " << r.num_structures() << "\n";
+    return os.str();
+  };
+
+  const std::string serial = report_with_threads(1);
+  const std::string parallel = report_with_threads(4);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("structures:"), std::string::npos);
+}
+
+TEST_F(ParallelDeterminismTest, WeightAttackRatiosAreThreadCountInvariant) {
+  attack::SparseConvOracle::StageSpec spec;
+  spec.in_depth = 2;
+  spec.in_width = 15;
+  spec.filter = 3;
+  spec.stride = 1;
+  const int oc = 6;
+  nn::Tensor w(nn::Shape{oc, spec.in_depth, spec.filter, spec.filter});
+  nn::Tensor b(nn::Shape{oc});
+  Rng rng(23);
+  for (std::size_t i = 0; i < w.numel(); ++i) w[i] = rng.GaussianF(0.5f);
+  for (int k = 0; k < oc; ++k) b.at(k) = -rng.UniformF(0.1f, 0.4f);
+  attack::SparseConvOracle oracle(spec, w, b);
+
+  auto recover_with_threads = [&](int threads) {
+    support::ThreadPool::SetGlobalThreads(threads);
+    return attack::RecoverAllFilters(oracle, spec,
+                                     attack::WeightAttackConfig{});
+  };
+
+  const std::vector<attack::RecoveredFilter> serial = recover_with_threads(1);
+  const std::vector<attack::RecoveredFilter> parallel =
+      recover_with_threads(4);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t k = 0; k < serial.size(); ++k) {
+    const attack::RecoveredFilter& s = serial[k];
+    const attack::RecoveredFilter& p = parallel[k];
+    EXPECT_EQ(s.channel, p.channel);
+    EXPECT_EQ(s.bias_positive, p.bias_positive);
+    EXPECT_EQ(s.is_zero, p.is_zero) << "filter " << k;
+    EXPECT_EQ(s.failed, p.failed) << "filter " << k;
+    EXPECT_EQ(s.queries, p.queries) << "filter " << k;
+    ASSERT_EQ(s.ratio.numel(), p.ratio.numel());
+    // Bit-identical, not merely close: the parallel sweep must issue the
+    // exact same oracle query sequence per filter.
+    EXPECT_EQ(std::memcmp(s.ratio.data(), p.ratio.data(),
+                          s.ratio.numel() * sizeof(float)),
+              0)
+        << "filter " << k;
+  }
+}
+
+TEST_F(ParallelDeterminismTest, ConvForwardIsThreadCountInvariant) {
+  // Big enough to clear the serial-fallback threshold.
+  nn::Conv2D conv("c", 4, 32, 5, 1, 2);
+  Rng rng(9);
+  nn::Tensor& w = conv.weights();
+  for (std::size_t i = 0; i < w.numel(); ++i) w[i] = rng.GaussianF(0.3f);
+  const nn::Tensor x = RandomInput(nn::Shape{4, 31, 31}, 17);
+
+  support::ThreadPool::SetGlobalThreads(1);
+  const nn::Tensor y1 = conv.Forward({&x});
+  support::ThreadPool::SetGlobalThreads(4);
+  const nn::Tensor y4 = conv.Forward({&x});
+
+  ASSERT_EQ(y1.numel(), y4.numel());
+  EXPECT_EQ(
+      std::memcmp(y1.data(), y4.data(), y1.numel() * sizeof(float)), 0);
+}
+
+}  // namespace
+}  // namespace sc

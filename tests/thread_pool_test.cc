@@ -1,0 +1,157 @@
+// Unit tests for the shared parallel-execution subsystem: chunk coverage,
+// edge-case ranges, exception propagation out of workers, nested-call
+// safety and runtime thread-count control.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "support/check.h"
+#include "support/thread_pool.h"
+
+namespace sc::support {
+namespace {
+
+class ThreadPoolTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ThreadPool::SetGlobalThreads(ThreadPool::DefaultThreads());
+  }
+};
+
+TEST_F(ThreadPoolTest, EmptyRangeNeverInvokes) {
+  ThreadPool::SetGlobalThreads(4);
+  std::atomic<int> calls{0};
+  ParallelFor(0, 0, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  ParallelFor(5, 5, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  ParallelFor(7, 3, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST_F(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool::SetGlobalThreads(4);
+  constexpr int kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(0, kN, 7, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i)
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)], 1);
+}
+
+TEST_F(ThreadPoolTest, GrainLargerThanRangeRunsOneInlineChunk) {
+  ThreadPool::SetGlobalThreads(4);
+  std::atomic<int> calls{0};
+  std::int64_t seen_lo = -1, seen_hi = -1;
+  ParallelFor(3, 10, 100, [&](std::int64_t lo, std::int64_t hi) {
+    ++calls;
+    seen_lo = lo;
+    seen_hi = hi;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen_lo, 3);
+  EXPECT_EQ(seen_hi, 10);
+}
+
+TEST_F(ThreadPoolTest, NonUnitGrainChunksAreContiguousAndClamped) {
+  ThreadPool::SetGlobalThreads(2);
+  std::atomic<std::int64_t> total{0};
+  ParallelFor(0, 10, 4, [&](std::int64_t lo, std::int64_t hi) {
+    EXPECT_LE(hi - lo, 4);  // last chunk clamps to the range end
+    std::int64_t s = 0;
+    for (std::int64_t i = lo; i < hi; ++i) s += i;
+    total += s;
+  });
+  EXPECT_EQ(total.load(), 45);
+}
+
+TEST_F(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool::SetGlobalThreads(4);
+  EXPECT_THROW(
+      ParallelFor(0, 100, 1,
+                  [&](std::int64_t lo, std::int64_t) {
+                    if (lo == 42) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+  // SC_CHECK failures inside chunks surface as sc::Error, like serial code.
+  EXPECT_THROW(ParallelFor(0, 100, 1,
+                           [&](std::int64_t lo, std::int64_t) {
+                             SC_CHECK_MSG(lo != 17, "invariant");
+                           }),
+               sc::Error);
+}
+
+TEST_F(ThreadPoolTest, PoolStaysUsableAfterException) {
+  ThreadPool::SetGlobalThreads(4);
+  EXPECT_THROW(ParallelFor(0, 8, 1,
+                           [](std::int64_t, std::int64_t) {
+                             throw std::runtime_error("first");
+                           }),
+               std::runtime_error);
+  std::atomic<int> sum{0};
+  ParallelFor(0, 8, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) sum += static_cast<int>(i);
+  });
+  EXPECT_EQ(sum.load(), 28);
+}
+
+TEST_F(ThreadPoolTest, NestedCallsRunInlineAndComplete) {
+  ThreadPool::SetGlobalThreads(4);
+  constexpr int kOuter = 8;
+  constexpr int kInner = 50;
+  std::vector<std::atomic<int>> rows(kOuter);
+  EXPECT_FALSE(InParallelRegion());
+  ParallelFor(0, kOuter, 1, [&](std::int64_t lo, std::int64_t hi) {
+    EXPECT_TRUE(InParallelRegion());
+    for (std::int64_t r = lo; r < hi; ++r) {
+      // The nested loop must not deadlock on pool capacity: it detects the
+      // enclosing region and runs inline.
+      ParallelFor(0, kInner, 1, [&](std::int64_t ilo, std::int64_t ihi) {
+        rows[static_cast<std::size_t>(r)].fetch_add(
+            static_cast<int>(ihi - ilo));
+      });
+    }
+  });
+  EXPECT_FALSE(InParallelRegion());
+  for (int r = 0; r < kOuter; ++r)
+    EXPECT_EQ(rows[static_cast<std::size_t>(r)], kInner);
+}
+
+TEST_F(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool::SetGlobalThreads(1);
+  EXPECT_EQ(ThreadPool::GlobalThreads(), 1);
+  std::vector<int> order;  // no synchronization: must be single-threaded
+  ParallelFor(0, 20, 3, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) order.push_back(static_cast<int>(i));
+  });
+  std::vector<int> expected(20);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST_F(ThreadPoolTest, SetGlobalThreadsResizes) {
+  ThreadPool::SetGlobalThreads(3);
+  EXPECT_EQ(ThreadPool::GlobalThreads(), 3);
+  ThreadPool::SetGlobalThreads(1);
+  EXPECT_EQ(ThreadPool::GlobalThreads(), 1);
+  EXPECT_THROW(ThreadPool::SetGlobalThreads(0), sc::Error);
+}
+
+TEST_F(ThreadPoolTest, ExplicitPoolOverridesGlobal) {
+  ThreadPool::SetGlobalThreads(1);
+  ThreadPool local(4);
+  EXPECT_EQ(local.threads(), 4);
+  std::atomic<std::int64_t> sum{0};
+  ParallelFor(
+      0, 100, 1,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) sum += i;
+      },
+      &local);
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+}  // namespace
+}  // namespace sc::support
