@@ -1,0 +1,146 @@
+// Noise ablation: how much measurement fault injection the self-healing
+// attacks absorb (DESIGN.md §8). Sweeps a multiplier over the documented
+// reference noise levels (sim::ReferenceTraceNoise / ReferenceOracleNoise)
+// and reports, per level,
+//   - structure: whether the K-acquisition consensus still reproduces the
+//     clean candidate set, the slack rung used and the mean per-layer
+//     confidence;
+//   - weights: failed positions, max |w/b| ratio error and the acquisition
+//     overhead (samples per logical query) of the voting attack.
+// Results land in ablation_noise.csv; the nightly CI job runs this as a
+// smoke check.
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <vector>
+
+#include "attack/structure/robust.h"
+#include "attack/weights/robust.h"
+#include "bench_util.h"
+#include "models/zoo.h"
+#include "sim/noise.h"
+#include "sim/noisy_oracle.h"
+
+int main() {
+  using namespace sc;
+  bench::Banner("Noise ablation: recovery vs fault-injection level");
+  bench::Timer timer;
+
+  constexpr std::uint64_t kSeed = 1;
+  constexpr int kAcquisitions = 5;
+  const std::vector<double> levels = {0.0, 0.5, 1.0, 2.0, 4.0};
+
+  // Structure victim: LeNet (small enough for a smoke sweep).
+  nn::Network net = models::MakeLeNet(3);
+  const trace::Trace clean = bench::CaptureTrace(net, 7);
+  attack::RobustStructureConfig scfg;
+  scfg.attack.analysis.known_input_elems = 28 * 28;
+  scfg.attack.search.known_input_width = 28;
+  scfg.attack.search.known_input_depth = 1;
+  scfg.attack.search.known_output_classes = 10;
+  const attack::StructureAttackResult exact =
+      attack::RunStructureAttack(clean, scfg.attack);
+
+  // Weight victim: small dense conv stage with positive biases.
+  attack::SparseConvOracle::StageSpec spec;
+  spec.in_depth = 2;
+  spec.in_width = 12;
+  spec.filter = 3;
+  spec.stride = 1;
+  spec.pad = 0;
+  nn::Tensor weights(nn::Shape{4, 2, 3, 3});
+  nn::Tensor bias(nn::Shape{4});
+  {
+    Rng rng(11);
+    for (std::size_t i = 0; i < weights.numel(); ++i)
+      weights[i] = rng.GaussianF(0.6f);
+    for (int k = 0; k < 4; ++k) bias.at(k) = rng.UniformF(0.1f, 0.5f);
+  }
+
+  std::ofstream csv("ablation_noise.csv");
+  csv << "noise_multiplier,structures_match_clean,slack_used,"
+         "mean_layer_confidence,failed_positions,max_ratio_error,"
+         "samples_per_query\n";
+
+  for (const double mul : levels) {
+    // --- structure attack over K noisy acquisitions ---
+    sim::TraceNoiseConfig tn = sim::ReferenceTraceNoise(kSeed);
+    tn.drop_prob *= mul;
+    tn.jitter_prob = std::min(1.0, tn.jitter_prob * mul);
+    tn.split_prob = std::min(1.0, tn.split_prob * mul);
+    tn.merge_prob = std::min(1.0, tn.merge_prob * mul);
+    tn.spurious_prob = std::min(1.0, tn.spurious_prob * mul);
+    const sim::TraceNoiseModel noise(tn);
+    std::vector<trace::Trace> acq;
+    for (int k = 0; k < kAcquisitions; ++k)
+      acq.push_back(noise.ApplyNth(clean, static_cast<std::uint64_t>(k)));
+    const attack::RobustStructureResult rs =
+        attack::RunRobustStructureAttack(acq, scfg);
+
+    bool match = rs.search.structures.size() == exact.search.structures.size();
+    for (std::size_t s = 0; match && s < rs.search.structures.size(); ++s) {
+      const auto& la = rs.search.structures[s].layers;
+      const auto& lb = exact.search.structures[s].layers;
+      match = la.size() == lb.size();
+      for (std::size_t i = 0; match && i < la.size(); ++i)
+        match = la[i].geom == lb[i].geom;
+    }
+    double mean_conf = 0.0;
+    for (const attack::LayerConsensus& lc : rs.consensus)
+      mean_conf += lc.confidence();
+    if (!rs.consensus.empty())
+      mean_conf /= static_cast<double>(rs.consensus.size());
+
+    // --- weight attack through a noisy oracle ---
+    sim::OracleNoiseConfig on = sim::ReferenceOracleNoise(kSeed);
+    on.count_noise_prob = std::min(1.0, on.count_noise_prob * mul);
+    on.failure_prob = std::min(1.0, on.failure_prob * mul);
+    attack::SparseConvOracle oracle(spec, weights, bias);
+    sim::NoisyOracle noisy(oracle, on);
+    attack::RobustWeightConfig wcfg = attack::ReferenceRobustWeightConfig();
+    if (mul > 1.0) wcfg.voting.votes = 5;  // wider vote for the loud rungs
+
+    std::size_t failed = 0;
+    float max_err = 0.0f;
+    double samples_per_query = 1.0;
+    try {
+      const attack::RobustWeightResult rw =
+          attack::RecoverAllFiltersRobust(noisy, spec, wcfg);
+      for (int k = 0; k < 4; ++k) {
+        const auto& rec = rw.filters[static_cast<std::size_t>(k)];
+        for (int c = 0; c < 2; ++c)
+          for (int i = 0; i < 3; ++i)
+            for (int j = 0; j < 3; ++j) {
+              const auto id = static_cast<std::size_t>((c * 3 + i) * 3 + j);
+              if (rec.failed[id]) {
+                ++failed;
+                continue;
+              }
+              const float truth = weights.at(k, c, i, j) / bias.at(k);
+              max_err = std::max(
+                  max_err, std::fabs(rec.ratio.at(c, i, j) - truth));
+            }
+      }
+      if (rw.total_queries > 0)
+        samples_per_query = static_cast<double>(rw.total_samples) /
+                            static_cast<double>(rw.total_queries);
+    } catch (const Error&) {
+      failed = 4 * 2 * 3 * 3;  // retry budget exhausted: total loss
+      max_err = std::numeric_limits<float>::infinity();
+    }
+
+    csv << mul << ',' << (match ? 1 : 0) << ',' << rs.slack_used << ','
+        << mean_conf << ',' << failed << ',' << max_err << ','
+        << samples_per_query << '\n';
+    std::cout << "x" << mul << ": structures " << (match ? "match" : "DIVERGE")
+              << " (slack " << rs.slack_used << ", conf " << mean_conf
+              << "), weights failed=" << failed << " max_err=" << max_err
+              << " samples/query=" << samples_per_query << "\n";
+  }
+
+  std::cout << "written to ablation_noise.csv\n";
+  std::cout << "elapsed: " << timer.Seconds() << " s\n";
+  return 0;
+}

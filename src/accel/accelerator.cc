@@ -580,6 +580,7 @@ AddressMap Accelerator::BuildMap(const nn::Network& net) const {
 RunResult Accelerator::Run(const nn::Network& net, const nn::Tensor& input,
                            trace::Trace* out_trace) const {
   SC_CHECK_MSG(net.num_nodes() > 0, "cannot run an empty network");
+  const std::size_t trace_prefix = out_trace ? out_trace->size() : 0;
   const AddressMap map = BuildMap(net);
   const std::vector<Stage> stages = BuildStages(net);
   const std::vector<Tensor> node_outputs =
@@ -635,6 +636,20 @@ RunResult Accelerator::Run(const nn::Network& net, const nn::Tensor& input,
 
   result.total_cycles = emit.cycle();
   result.output = node_outputs.back();
+
+  // Fault hook: corrupt only the events this run appended, leaving any
+  // earlier capture the caller accumulated untouched.
+  if (out_trace != nullptr && cfg_.trace_fault_hook != nullptr) {
+    trace::Trace run_part;
+    for (std::size_t i = trace_prefix; i < out_trace->size(); ++i)
+      run_part.Append((*out_trace)[i]);
+    const trace::Trace faulty = cfg_.trace_fault_hook->Apply(run_part);
+    trace::Trace rebuilt;
+    for (std::size_t i = 0; i < trace_prefix; ++i)
+      rebuilt.Append((*out_trace)[i]);
+    for (const trace::MemEvent& e : faulty) rebuilt.Append(e);
+    *out_trace = std::move(rebuilt);
+  }
   return result;
 }
 

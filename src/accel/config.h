@@ -5,6 +5,10 @@
 
 #include <cstdint>
 
+namespace sc::trace {
+class TraceTransform;
+}
+
 namespace sc::accel {
 
 struct AcceleratorConfig {
@@ -37,6 +41,14 @@ struct AcceleratorConfig {
   // side leak closes at the cost of the write-side saving only. Effective
   // only with zero_pruning enabled.
   bool prune_constant_shape = false;
+
+  // --- measurement fault injection ---
+  // When non-null, Run() passes the events it captured through this
+  // transform before handing the trace to the caller, modelling an
+  // imperfect probe between the bus and the adversary (sim/noise.h). The
+  // accelerator's arithmetic, stage stats and cycle counts are unaffected;
+  // only the adversary's view is corrupted. Not owned; must outlive runs.
+  const trace::TraceTransform* trace_fault_hook = nullptr;
 
   // --- activation ---
   // Tunable ReLU threshold applied by fused activation stages *in place of*

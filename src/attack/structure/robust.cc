@@ -1,0 +1,202 @@
+#include "attack/structure/robust.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "support/check.h"
+#include "support/thread_pool.h"
+
+namespace sc::attack {
+
+namespace {
+
+// Lower median (deterministic for even vote counts). Consumes v.
+template <typename T>
+T MedianInPlace(std::vector<T>& v) {
+  SC_CHECK(!v.empty());
+  const std::size_t mid = (v.size() - 1) / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  return v[mid];
+}
+
+// The discrete part of an observation — everything voted on as a unit.
+// Sizes/cycles are healed per quantity instead; mixing them into the key
+// would fragment the vote under even light noise.
+struct ShapeKey {
+  SegmentRole role = SegmentRole::kUnknown;
+  bool reads_network_input = false;
+  std::vector<std::vector<int>> writers;
+
+  bool operator==(const ShapeKey&) const = default;
+};
+
+ShapeKey KeyOf(const LayerObservation& o) {
+  ShapeKey k;
+  k.role = o.role;
+  k.reads_network_input = o.reads_network_input;
+  for (const ObservedInput& in : o.inputs) k.writers.push_back(in.writer_segments);
+  return k;
+}
+
+// Majority vote one segment's observation across the usable acquisitions.
+LayerConsensus VoteSegment(
+    const std::vector<const LayerObservation*>& votes, int segment) {
+  // Modal shape key, first-seen tie-break.
+  std::vector<std::pair<ShapeKey, int>> tally;
+  for (const LayerObservation* o : votes) {
+    const ShapeKey k = KeyOf(*o);
+    auto it = std::find_if(tally.begin(), tally.end(),
+                           [&](const auto& e) { return e.first == k; });
+    if (it == tally.end())
+      tally.emplace_back(k, 1);
+    else
+      ++it->second;
+  }
+  const auto modal = std::max_element(
+      tally.begin(), tally.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+
+  std::vector<const LayerObservation*> matching;
+  for (const LayerObservation* o : votes)
+    if (KeyOf(*o) == modal->first) matching.push_back(o);
+
+  LayerConsensus lc;
+  lc.usable_votes = static_cast<int>(votes.size());
+  LayerObservation& c = lc.observation;
+  c.segment = segment;
+  c.role = modal->first.role;
+  c.reads_network_input = modal->first.reads_network_input;
+
+  auto median_of = [&](auto select) {
+    std::vector<decltype(select(*matching.front()))> vals;
+    for (const LayerObservation* o : matching) vals.push_back(select(*o));
+    return MedianInPlace(vals);
+  };
+  // Region sizes are unique-byte coverage: split/merge/spurious faults
+  // provably preserve coverage and jitter cannot push an event across a
+  // segment gap, so the only fault that moves a size is an event drop —
+  // and drops strictly shrink it. The union-best estimator across
+  // acquisitions is therefore the maximum, which recovers the exact size
+  // unless some byte was dropped in *every* acquisition.
+  auto max_of = [&](auto select) {
+    auto best = select(*matching.front());
+    for (const LayerObservation* o : matching)
+      best = std::max(best, select(*o));
+    return best;
+  };
+  c.size_ifm = max_of([](const LayerObservation& o) { return o.size_ifm; });
+  c.size_ofm = max_of([](const LayerObservation& o) { return o.size_ofm; });
+  c.size_fltr = max_of([](const LayerObservation& o) { return o.size_fltr; });
+  c.cycles = median_of([](const LayerObservation& o) { return o.cycles; });
+  c.bytes_accessed =
+      median_of([](const LayerObservation& o) { return o.bytes_accessed; });
+  for (std::size_t k = 0; k < modal->first.writers.size(); ++k) {
+    ObservedInput in;
+    in.writer_segments = modal->first.writers[k];
+    in.elems = max_of(
+        [&](const LayerObservation& o) { return o.inputs[k].elems; });
+    c.inputs.push_back(std::move(in));
+  }
+
+  for (const LayerObservation* o : matching) {
+    const bool exact = o->size_ifm == c.size_ifm &&
+                       o->size_ofm == c.size_ofm &&
+                       o->size_fltr == c.size_fltr;
+    if (exact) ++lc.agreeing_votes;
+  }
+  return lc;
+}
+
+}  // namespace
+
+std::vector<LayerObservation> RobustStructureResult::observations() const {
+  std::vector<LayerObservation> obs;
+  obs.reserve(consensus.size());
+  for (const LayerConsensus& lc : consensus) obs.push_back(lc.observation);
+  return obs;
+}
+
+RobustStructureResult RunRobustStructureAttack(
+    const std::vector<trace::Trace>& traces,
+    const RobustStructureConfig& cfg) {
+  SC_CHECK_MSG(!traces.empty(), "robust structure attack needs >= 1 trace");
+  SC_CHECK_MSG(!cfg.slack_ladder.empty(), "empty slack ladder");
+
+  RobustStructureResult result;
+  result.acquisitions = static_cast<int>(traces.size());
+
+  // Analyze every acquisition independently. A corrupted trace can make
+  // AnalyzeTrace reject its own segmentation (ambiguous input region, no
+  // identifiable writer); such acquisitions are discarded, not fatal.
+  std::vector<std::optional<TraceAnalysis>> analyses(traces.size());
+  support::ParallelFor(
+      0, static_cast<std::int64_t>(traces.size()), 1,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          try {
+            analyses[static_cast<std::size_t>(i)] =
+                AnalyzeTrace(traces[static_cast<std::size_t>(i)],
+                             cfg.attack.analysis);
+          } catch (const Error&) {
+            // unusable acquisition
+          }
+        }
+      });
+
+  // Majority segment count (tie: fewer segments, the conservative read).
+  std::vector<std::pair<std::size_t, int>> count_votes;
+  for (const auto& a : analyses) {
+    if (!a) continue;
+    ++result.analyzable;
+    const std::size_t n = a->observations.size();
+    auto it = std::find_if(count_votes.begin(), count_votes.end(),
+                           [&](const auto& e) { return e.first == n; });
+    if (it == count_votes.end())
+      count_votes.emplace_back(n, 1);
+    else
+      ++it->second;
+  }
+  SC_CHECK_MSG(result.analyzable > 0, "no acquisition was analyzable");
+  std::sort(count_votes.begin(), count_votes.end());
+  std::size_t modal_count = 0;
+  int best_votes = 0;
+  for (const auto& [n, v] : count_votes) {
+    if (v > best_votes) {
+      best_votes = v;
+      modal_count = n;
+    }
+  }
+
+  std::vector<const TraceAnalysis*> usable;
+  for (const auto& a : analyses)
+    if (a && a->observations.size() == modal_count) usable.push_back(&*a);
+  result.usable = static_cast<int>(usable.size());
+
+  for (std::size_t si = 0; si < modal_count; ++si) {
+    std::vector<const LayerObservation*> votes;
+    for (const TraceAnalysis* a : usable)
+      votes.push_back(&a->observations[si]);
+    result.consensus.push_back(VoteSegment(votes, static_cast<int>(si)));
+  }
+
+  const std::vector<LayerObservation> obs = result.observations();
+  SearchConfig search_cfg = cfg.attack.search;
+  if (cfg.attack.assume_identical_modules) {
+    for (auto& g : DetectFireModuleGroups(obs))
+      search_cfg.identical_groups.push_back(std::move(g));
+  }
+
+  // Slack ladder: exact matching first; widen only while the consensus
+  // observations admit no structure at all. The result of the last rung is
+  // kept even when empty so callers can inspect the failure.
+  for (std::size_t r = 0; r < cfg.slack_ladder.size(); ++r) {
+    search_cfg.solver.size_slack = cfg.slack_ladder[r];
+    result.search = SearchStructures(obs, search_cfg);
+    result.slack_used = cfg.slack_ladder[r];
+    if (!result.search.structures.empty()) break;
+  }
+  return result;
+}
+
+}  // namespace sc::attack

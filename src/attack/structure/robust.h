@@ -1,0 +1,73 @@
+// Self-healing structure extraction from noisy acquisitions (robustness
+// layer, DESIGN.md §8).
+//
+// A single faulty trace can desynchronize segmentation or shift a region
+// size by a few elements, and the exact Eq. (1)-(8) matching then rejects
+// the true geometry. The robust driver instead analyzes K independent
+// acquisitions of the same execution, majority-votes the segmentation
+// (segment count, per-segment role, dependency edges), heals per-segment
+// sizes (coverage-maximum: drops only shrink unique-byte footprints) and
+// cycles (median), then runs the candidate search on the consensus
+// observations — escalating SolverConfig::size_slack through a ladder only
+// when the consensus is still inconsistent with every exact geometry.
+#ifndef SC_ATTACK_STRUCTURE_ROBUST_H_
+#define SC_ATTACK_STRUCTURE_ROBUST_H_
+
+#include <vector>
+
+#include "attack/structure/pipeline.h"
+
+namespace sc::attack {
+
+struct RobustStructureConfig {
+  // Base attack configuration; search.solver.size_slack is overridden by
+  // the ladder below.
+  StructureAttackConfig attack;
+  // Slack values (elements) tried in order until the search yields at least
+  // one full structure. The first entry should be 0 so noise-free (or
+  // fully healed) consensus reproduces the exact attack bit-for-bit.
+  std::vector<long long> slack_ladder = {0, 1, 2, 4, 8, 16};
+};
+
+// Consensus over the K acquisitions for one trace segment.
+struct LayerConsensus {
+  LayerObservation observation;  // voted role/edges, healed sizes
+  // Acquisitions agreeing with the consensus on role, dependency edges and
+  // all three sizes, out of the usable ones. 1.0 means the noise never
+  // touched anything this layer's solve depends on.
+  int agreeing_votes = 0;
+  int usable_votes = 0;
+  double confidence() const {
+    return usable_votes > 0
+               ? static_cast<double>(agreeing_votes) / usable_votes
+               : 0.0;
+  }
+};
+
+struct RobustStructureResult {
+  // Consensus observations (aligned with consensus entries) and the search
+  // over them at the accepted slack.
+  std::vector<LayerConsensus> consensus;
+  SearchResult search;
+
+  int acquisitions = 0;      // traces handed in
+  int analyzable = 0;        // acquisitions AnalyzeTrace accepted
+  int usable = 0;            // analyzable ones with the modal segment count
+  long long slack_used = 0;  // ladder entry the search succeeded at
+
+  std::size_t num_structures() const { return search.structures.size(); }
+  std::vector<LayerObservation> observations() const;
+};
+
+// Runs the voting analysis over K >= 1 independently corrupted acquisitions
+// of one execution and searches structures over the consensus. With a
+// single clean trace and slack ladder {0, ...} this is exactly
+// RunStructureAttack. Throws sc::Error when no acquisition is analyzable;
+// when every ladder rung leaves the search empty, the last rung's (empty)
+// result is returned for inspection.
+RobustStructureResult RunRobustStructureAttack(
+    const std::vector<trace::Trace>& traces, const RobustStructureConfig& cfg);
+
+}  // namespace sc::attack
+
+#endif  // SC_ATTACK_STRUCTURE_ROBUST_H_

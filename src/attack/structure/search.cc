@@ -63,7 +63,7 @@ const std::vector<nn::LayerGeometry>& CandidatesFor(SearchState& st, int si,
       cands = EnumerateStandalonePoolConfigs(o, dims, st.cfg.solver);
       break;
     case SegmentRole::kEltwise:
-      cands = EnumerateEltwiseConfigs(o, dims);
+      cands = EnumerateEltwiseConfigs(o, dims, st.cfg.solver);
       break;
     case SegmentRole::kUnknown:
       break;  // unclassifiable segment: dead end
@@ -137,7 +137,7 @@ std::vector<Branch> BranchesAt(SearchState& st, std::size_t si,
     if (st.cfg.known_input_width > 0 && st.cfg.known_input_depth > 0) {
       dims.emplace_back(st.cfg.known_input_width, st.cfg.known_input_depth);
     } else {
-      dims = FactorizeFmapSize(o.size_ifm);
+      dims = FactorizeFmapSizeSlack(o.size_ifm, st.cfg.solver.size_slack);
     }
   }
 

@@ -10,14 +10,35 @@ namespace sc::attack {
 
 namespace {
 
-// Integer square root; returns -1 when v is not a perfect square.
-int PerfectSqrt(long long v) {
-  if (v < 1) return -1;
-  long long r = static_cast<long long>(std::sqrt(static_cast<double>(v)));
-  // Guard against floating-point rounding on large values.
-  while (r * r > v) --r;
-  while ((r + 1) * (r + 1) <= v) ++r;
-  return r * r == v ? static_cast<int>(r) : -1;
+// Nearest quotient q >= 1 with |q * divisor - value| <= slack; -1 when no
+// multiple of divisor lies within slack of value. slack = 0 is exact
+// divisibility. Only the *nearest* multiple is admitted even when slack
+// exceeds divisor/2, keeping noisy candidate sets from fanning out.
+long long NearestQuotient(long long value, long long divisor,
+                          long long slack) {
+  SC_CHECK(divisor >= 1);
+  const long long q = (value + divisor / 2) / divisor;
+  if (q < 1) return -1;
+  return std::llabs(q * divisor - value) <= slack ? q : -1;
+}
+
+// Side length w >= 1 minimizing |w^2 * depth - elems| within slack; -1 when
+// none qualifies. slack = 0 requires elems == w^2 * depth exactly (the
+// perfect-square condition of Eq. (2)).
+int NearestSquareSide(long long elems, long long depth, long long slack) {
+  if (elems < 1 || depth < 1) return -1;
+  const auto w0 = static_cast<long long>(
+      std::sqrt(static_cast<double>(elems) / static_cast<double>(depth)));
+  long long best = -1;
+  long long best_dev = slack + 1;
+  for (long long w = std::max(1LL, w0 - 1); w <= w0 + 2; ++w) {
+    const long long dev = std::llabs(w * w * depth - elems);
+    if (dev < best_dev) {
+      best_dev = dev;
+      best = w;
+    }
+  }
+  return best > INT32_MAX ? -1 : static_cast<int>(best);
 }
 
 void PushUnique(std::vector<nn::LayerGeometry>& out,
@@ -26,15 +47,6 @@ void PushUnique(std::vector<nn::LayerGeometry>& out,
                "candidate explosion: more than " << cfg.max_candidates
                                                  << " layer configurations");
   if (std::find(out.begin(), out.end(), g) == out.end()) out.push_back(g);
-}
-
-// Observed filter-region size for a candidate (D_OFM biases ride along with
-// the weights when bias_in_filter_region).
-long long ExpectedFilterElems(int f, int d_ifm, int d_ofm,
-                              const SolverConfig& cfg) {
-  const long long weights =
-      static_cast<long long>(f) * f * d_ifm * d_ofm;
-  return cfg.bias_in_filter_region ? weights + d_ofm : weights;
 }
 
 // Enumerates (f_pool, s_pool, p_pool) taking w_conv to w_ofm and appends
@@ -81,6 +93,22 @@ IfmDims FactorizeFmapSize(long long elems) {
   return dims;
 }
 
+IfmDims FactorizeFmapSizeSlack(long long elems, long long slack) {
+  if (slack <= 0) return FactorizeFmapSize(elems);
+  IfmDims dims;
+  const long long hi = elems + slack;
+  const long long lo = std::max(1LL, elems - slack);
+  for (long long w = 1; w * w <= hi; ++w) {
+    const long long sq = w * w;
+    // All depths d with lo <= w^2 * d <= hi.
+    const long long d_lo = std::max(1LL, (lo + sq - 1) / sq);
+    const long long d_hi = hi / sq;
+    for (long long d = d_lo; d <= d_hi; ++d)
+      dims.emplace_back(static_cast<int>(w), static_cast<int>(d));
+  }
+  return dims;
+}
+
 std::vector<nn::LayerGeometry> EnumerateConvConfigs(
     const LayerObservation& obs, const IfmDims& ifm_dims,
     const SolverConfig& cfg) {
@@ -98,8 +126,8 @@ std::vector<nn::LayerGeometry> EnumerateConvConfigs(
     if (cfg.enforce_coverage) {
       const long long row_elems =
           static_cast<long long>(w_ifm) * d_ifm;
-      if (obs.size_ifm % row_elems != 0) continue;
-      const long long covered_rows = obs.size_ifm / row_elems;
+      const long long covered_rows =
+          NearestQuotient(obs.size_ifm, row_elems, cfg.size_slack);
       if (covered_rows < 1 || covered_rows > w_ifm) continue;
       u_obs = static_cast<int>(w_ifm - covered_rows);
     }
@@ -107,15 +135,18 @@ std::vector<nn::LayerGeometry> EnumerateConvConfigs(
     // --- fully-connected interpretation (F == W_IFM, one output pixel per
     // class score). Always unique for a given input factorization. An FC
     // filter covers the whole input (no unread tail).
-    if (u_obs == 0 &&
-        ExpectedFilterElems(w_ifm, d_ifm, static_cast<int>(obs.size_ofm),
-                            cfg) == obs.size_fltr &&
-        obs.size_ofm <= INT32_MAX) {
+    const long long fc_per_out =
+        static_cast<long long>(w_ifm) * w_ifm * d_ifm +
+        (cfg.bias_in_filter_region ? 1 : 0);
+    const long long fc_d_ofm =
+        NearestQuotient(obs.size_fltr, fc_per_out, cfg.size_slack);
+    if (u_obs == 0 && fc_d_ofm >= 1 && fc_d_ofm <= INT32_MAX &&
+        std::llabs(fc_d_ofm - obs.size_ofm) <= cfg.size_slack) {
       nn::LayerGeometry fc;
       fc.w_ifm = w_ifm;
       fc.d_ifm = d_ifm;
       fc.w_ofm = 1;
-      fc.d_ofm = static_cast<int>(obs.size_ofm);
+      fc.d_ofm = static_cast<int>(fc_d_ofm);
       fc.f_conv = w_ifm;
       fc.s_conv = 1;
       fc.p_conv = 0;
@@ -128,13 +159,12 @@ std::vector<nn::LayerGeometry> EnumerateConvConfigs(
       const long long per_out =
           static_cast<long long>(f) * f * d_ifm +
           (cfg.bias_in_filter_region ? 1 : 0);
-      if (obs.size_fltr % per_out != 0) continue;
-      const long long d_ofm_ll = obs.size_fltr / per_out;
+      const long long d_ofm_ll =
+          NearestQuotient(obs.size_fltr, per_out, cfg.size_slack);
       if (d_ofm_ll < 1 || d_ofm_ll > INT32_MAX) continue;
       const int d_ofm = static_cast<int>(d_ofm_ll);
       // W_OFM from Eq. (2).
-      if (obs.size_ofm % d_ofm != 0) continue;
-      const int w_ofm = PerfectSqrt(obs.size_ofm / d_ofm);
+      const int w_ofm = NearestSquareSide(obs.size_ofm, d_ofm, cfg.size_slack);
       if (w_ofm < 1) continue;
 
       nn::LayerGeometry base;
@@ -210,8 +240,7 @@ std::vector<nn::LayerGeometry> EnumerateStandalonePoolConfigs(
   std::vector<nn::LayerGeometry> out;
   for (const auto& [w_ifm, d_ifm] : ifm_dims) {
     // Pooling preserves depth: D_OFM == D_IFM.
-    if (obs.size_ofm % d_ifm != 0) continue;
-    const int w_ofm = PerfectSqrt(obs.size_ofm / d_ifm);
+    const int w_ofm = NearestSquareSide(obs.size_ofm, d_ifm, cfg.size_slack);
     if (w_ofm < 1) continue;
     nn::LayerGeometry base;
     base.w_ifm = w_ifm;
@@ -231,15 +260,18 @@ std::vector<nn::LayerGeometry> EnumerateStandalonePoolConfigs(
 }
 
 std::vector<nn::LayerGeometry> EnumerateEltwiseConfigs(
-    const LayerObservation& obs, const IfmDims& ifm_dims) {
+    const LayerObservation& obs, const IfmDims& ifm_dims,
+    const SolverConfig& cfg) {
   std::vector<nn::LayerGeometry> out;
   for (const auto& [w_ifm, d_ifm] : ifm_dims) {
     // Element-wise addition is shape-preserving; the observation's per-
-    // operand size must equal the output size.
+    // operand size must equal the output size (within slack under noise).
+    const long long elems = static_cast<long long>(w_ifm) * w_ifm * d_ifm;
     if (obs.inputs.empty() ||
-        obs.inputs[0].elems != static_cast<long long>(w_ifm) * w_ifm * d_ifm)
+        std::llabs(obs.inputs[0].elems - elems) > cfg.size_slack)
       continue;
-    if (obs.size_ofm != obs.inputs[0].elems) continue;
+    if (std::llabs(obs.size_ofm - obs.inputs[0].elems) > cfg.size_slack)
+      continue;
     nn::LayerGeometry g;
     g.w_ifm = w_ifm;
     g.d_ifm = d_ifm;

@@ -58,6 +58,13 @@ struct SolverConfig {
   int max_standalone_pool_window = 4;
   // Safety valve against degenerate observations.
   std::size_t max_candidates = 200000;
+  // Noisy-measurement slack (elements): a candidate geometry is accepted
+  // when its predicted SIZE_IFM / SIZE_OFM / SIZE_FLTR each lie within this
+  // many elements of the observed sizes. 0 (default) keeps the exact
+  // Eq. (1)-(8) matching; the robust structure attack (robust.h) escalates
+  // this ladder-wise when consensus observations from noisy acquisitions
+  // stay inconsistent.
+  long long size_slack = 0;
 };
 
 // (width, depth) pairs a layer's input may have.
@@ -65,6 +72,10 @@ using IfmDims = std::vector<std::pair<int, int>>;
 
 // All (W, D) with W^2 * D == elems.
 IfmDims FactorizeFmapSize(long long elems);
+
+// Slack-tolerant variant: all (W, D) with |W^2 * D - elems| <= slack,
+// deduplicated, in (W, D) order. slack = 0 reduces to FactorizeFmapSize.
+IfmDims FactorizeFmapSizeSlack(long long elems, long long slack);
 
 // Enumerates conv and FC geometries for one conv/fc observation. Each
 // returned geometry is IsConsistent(). When a geometry admits pooling, the
@@ -82,9 +93,11 @@ std::vector<nn::LayerGeometry> EnumerateStandalonePoolConfigs(
     const SolverConfig& cfg);
 
 // The element-wise (bypass-merge) layer has no free parameters; this checks
-// dimensional consistency and returns the pass-through geometry.
+// dimensional consistency (within cfg.size_slack) and returns the
+// pass-through geometry.
 std::vector<nn::LayerGeometry> EnumerateEltwiseConfigs(
-    const LayerObservation& obs, const IfmDims& ifm_dims);
+    const LayerObservation& obs, const IfmDims& ifm_dims,
+    const SolverConfig& cfg = {});
 
 }  // namespace sc::attack
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <optional>
 
 #include "nn/geometry.h"
@@ -258,29 +259,51 @@ RecoveredFilter WeightAttack::RecoverFilter(int channel) {
   };
   const double R = cfg_.search_radius;
 
+  enum class BisectStatus { kCrossing, kFlat, kInconsistent };
+  struct BisectResult {
+    BisectStatus status;
+    double x;
+  };
+
   // Generic single-flip bisection of the residual over pixel value theta;
-  // (uc, ui, uj) is the weight being recovered.
+  // (uc, ui, uj) is the weight being recovered. With max_rebrackets > 0
+  // every verdict is re-verified against fresh endpoint queries (a noisy
+  // count can fake a flat bracket or send the search into the wrong
+  // sub-interval); contradicted searches restart from the full radius.
   auto bisect = [&](auto&& make_pixels, int uc, int ui,
-                    int uj) -> std::optional<double> {
+                    int uj) -> BisectResult {
     auto res = [&](double theta) {
       return Residual(channel, make_pixels(theta), rec.ratio, known,
                       rec.bias_positive, uc, ui, uj);
     };
-    double lo = -R, hi = R;
-    const long long r_lo = res(lo);
-    if (res(hi) == r_lo) return std::nullopt;
-    for (int it = 0; it < cfg_.max_bisect_iters; ++it) {
-      const double mid = 0.5 * (lo + hi);
-      if (res(mid) == r_lo) {
-        lo = mid;
-      } else {
-        hi = mid;
+    const int verify = cfg_.max_rebrackets;
+    for (int attempt = 0; attempt <= std::max(0, verify); ++attempt) {
+      if (attempt > 0) ++rec.rebrackets;
+      double lo = -R, hi = R;
+      const long long r_lo = res(lo);
+      if (res(hi) == r_lo) {
+        // Flat bracket: no crossing inside the radius — unless an endpoint
+        // count was perturbed. Confirm both endpoints before concluding.
+        if (verify > 0 && (res(lo) != r_lo || res(hi) != r_lo)) continue;
+        return {BisectStatus::kFlat, 0.0};
       }
-      if (hi - lo <
-          cfg_.rel_tolerance * std::max(1.0, std::fabs(0.5 * (lo + hi))))
-        break;
+      for (int it = 0; it < cfg_.max_bisect_iters; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        if (res(mid) == r_lo) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+        if (hi - lo <
+            cfg_.rel_tolerance * std::max(1.0, std::fabs(0.5 * (lo + hi))))
+          break;
+      }
+      // Bracket consistency: the converged bracket must still straddle the
+      // flip (res(lo) at the baseline residual, res(hi) off it).
+      if (verify > 0 && (res(lo) != r_lo || res(hi) == r_lo)) continue;
+      return {BisectStatus::kCrossing, 0.5 * (lo + hi)};
     }
-    return 0.5 * (lo + hi);
+    return {BisectStatus::kInconsistent, 0.0};
   };
 
   for (int c = 0; c < ic; ++c) {
@@ -324,10 +347,11 @@ RecoveredFilter WeightAttack::RecoverFilter(int channel) {
             return std::vector<SparsePixel>{
                 {c, py, px, static_cast<float>(x)}};
           };
-          if (auto x = bisect(pixels, c, i, j)) {
-            recovered = -static_cast<double>(n_valid) / *x - known_sum;
+          const BisectResult br = bisect(pixels, c, i, j);
+          if (br.status == BisectStatus::kCrossing) {
+            recovered = -static_cast<double>(n_valid) / br.x - known_sum;
             got = true;
-          } else if (known_sum == 0.0) {
+          } else if (br.status == BisectStatus::kFlat && known_sum == 0.0) {
             got = true;  // flat window: zero weight
             recovered = 0.0;
           } else {
@@ -339,12 +363,15 @@ RecoveredFilter WeightAttack::RecoverFilter(int channel) {
             return std::vector<SparsePixel>{
                 {c, py, px, static_cast<float>(x)}};
           };
-          if (auto x = bisect(pixels, c, i, j)) {
-            recovered = -1.0 / *x;
+          const BisectResult br = bisect(pixels, c, i, j);
+          if (br.status == BisectStatus::kCrossing) {
+            recovered = -1.0 / br.x;
             got = true;
-          } else {
+          } else if (br.status == BisectStatus::kFlat) {
             got = true;  // no crossing in radius: zero weight (paper §4.1)
             recovered = 0.0;
+          } else {
+            rec.failed[id] = true;  // contradictory counts even after retry
           }
         } else {
           // Pinned two-pixel search (paper Eq. (10) generalized): fix the
@@ -396,9 +423,10 @@ RecoveredFilter WeightAttack::RecoverFilter(int channel) {
                       {c, py, px, static_cast<float>(v)},
                       {c, hk - p, hl - p, static_cast<float>(h)}};
                 };
-                if (auto h = bisect(pixels, c, i, j)) {
+                const BisectResult br = bisect(pixels, c, i, j);
+                if (br.status == BisectStatus::kCrossing) {
                   // Crossing: rho*v + rho_h*h + 1 == 0.
-                  recovered = (-1.0 - rho_h * *h) / v;
+                  recovered = (-1.0 - rho_h * br.x) / v;
                   got = true;
                   done = true;
                   break;
@@ -621,9 +649,19 @@ std::vector<RecoveredFilter> RecoverAllFilters(
     return out;
   }
 
+  std::mutex shared_mu;
   support::ParallelFor(0, n, 1, [&](std::int64_t lo, std::int64_t hi) {
     const std::unique_ptr<ZeroCountOracle> clone = oracle.Clone();
-    sweep(*clone, lo, hi);
+    if (clone) {
+      sweep(*clone, lo, hi);
+      return;
+    }
+    // An oracle may stop cloning mid-run (e.g. a probe-count budget even
+    // though the initial probe succeeded). Serialize such chunks on the
+    // shared oracle: each filter's query sequence is then still contiguous,
+    // so the recovered ratios match the serial loop.
+    const std::lock_guard<std::mutex> lock(shared_mu);
+    sweep(oracle, lo, hi);
   });
   return out;
 }

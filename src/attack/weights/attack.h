@@ -34,6 +34,13 @@ struct WeightAttackConfig {
   // rel_tolerance * max(1, |x|).
   float rel_tolerance = 1.0e-7f;
   int max_bisect_iters = 100;
+  // Noisy-oracle self-healing (DESIGN.md §8): after each bisection the
+  // converged bracket is re-verified against fresh endpoint queries; a
+  // count perturbation that misdirected the search leaves endpoints that
+  // no longer straddle the flip, and the search restarts from the full
+  // radius — up to this many times. 0 (default) disables the checks and
+  // keeps query sequences exactly those of the noise-free attack.
+  int max_rebrackets = 0;
 };
 
 // Ratios recovered for one output channel (filter).
@@ -44,6 +51,9 @@ struct RecoveredFilter {
   std::vector<bool> is_zero;  // row-major (c, i, j): no crossing found
   std::vector<bool> failed;   // positions the attack could not isolate
   std::uint64_t queries = 0;
+  // Bisections restarted after a bracket-consistency contradiction (only
+  // with WeightAttackConfig::max_rebrackets > 0).
+  std::uint64_t rebrackets = 0;
 
   bool zero_at(int c, int i, int j, int f) const {
     return is_zero[static_cast<std::size_t>((c * f + i) * f + j)];

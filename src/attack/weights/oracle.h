@@ -21,8 +21,19 @@
 #include "nn/geometry.h"
 #include "nn/network.h"
 #include "nn/tensor.h"
+#include "support/check.h"
 
 namespace sc::attack {
+
+// A single acquisition failed (probe desync, bus contention): the query
+// produced no usable count but may be retried. Noisy oracle decorators
+// (sim/noisy_oracle.h) raise this; robust drivers (attack/weights/robust.h)
+// retry within a budget. Distinct from sc::Error so hard contract
+// violations still abort.
+class TransientOracleError : public Error {
+ public:
+  explicit TransientOracleError(const std::string& what) : Error(what) {}
+};
 
 // One non-zero pixel of a crafted input; everything else is zero.
 struct SparsePixel {
@@ -60,6 +71,15 @@ class ZeroCountOracle {
   // nullptr when the oracle cannot be duplicated; parallel drivers then
   // fall back to the serial path.
   virtual std::unique_ptr<ZeroCountOracle> Clone() const { return nullptr; }
+
+  // Clone() variant for deterministic parallel fan-out: `stream` names the
+  // independent probe (e.g. the filter index a worker will sweep). Exact
+  // oracles ignore it; stochastic decorators derive the copy's noise stream
+  // from it, so results do not depend on which worker forked first.
+  virtual std::unique_ptr<ZeroCountOracle> Fork(std::uint64_t stream) const {
+    (void)stream;
+    return Clone();
+  }
 
   std::uint64_t queries() const { return queries_; }
 

@@ -1,0 +1,164 @@
+#include "attack/weights/robust.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "support/check.h"
+#include "support/thread_pool.h"
+
+namespace sc::attack {
+
+namespace {
+
+void Validate(const VotingOracleConfig& cfg) {
+  SC_CHECK_MSG(cfg.votes >= 1, "votes must be >= 1");
+  SC_CHECK_MSG(cfg.votes % 2 == 1, "votes must be odd for a majority median");
+  SC_CHECK_MSG(cfg.max_retries >= 0, "negative retry budget");
+}
+
+}  // namespace
+
+VotingOracle::VotingOracle(ZeroCountOracle& inner, VotingOracleConfig cfg)
+    : inner_(inner), cfg_(cfg) {
+  Validate(cfg_);
+}
+
+VotingOracle::VotingOracle(std::unique_ptr<ZeroCountOracle> owned,
+                           VotingOracleConfig cfg)
+    : owned_(std::move(owned)), inner_(*owned_), cfg_(cfg) {
+  Validate(cfg_);
+}
+
+template <typename Query>
+std::size_t VotingOracle::Vote(Query&& query) {
+  ++queries_;
+  std::vector<std::size_t> votes;
+  votes.reserve(static_cast<std::size_t>(cfg_.votes));
+  for (int v = 0; v < cfg_.votes; ++v) {
+    int failures = 0;
+    for (;;) {
+      ++samples_;
+      try {
+        votes.push_back(query());
+        break;
+      } catch (const TransientOracleError&) {
+        ++retries_;
+        ++failures;
+        SC_CHECK_MSG(failures <= cfg_.max_retries,
+                     "oracle failed " << failures
+                                      << " consecutive acquisitions");
+      }
+    }
+  }
+  // Median of an odd sample count: equals the majority value whenever a
+  // strict majority agrees, and is a bounded-error compromise otherwise.
+  const std::size_t mid = votes.size() / 2;
+  std::nth_element(votes.begin(),
+                   votes.begin() + static_cast<std::ptrdiff_t>(mid),
+                   votes.end());
+  return votes[mid];
+}
+
+std::size_t VotingOracle::ChannelNonZeros(
+    const std::vector<SparsePixel>& pixels, int channel) {
+  return Vote([&] { return inner_.ChannelNonZeros(pixels, channel); });
+}
+
+std::size_t VotingOracle::TotalNonZeros(
+    const std::vector<SparsePixel>& pixels) {
+  return Vote([&] { return inner_.TotalNonZeros(pixels); });
+}
+
+int VotingOracle::num_channels() const { return inner_.num_channels(); }
+
+bool VotingOracle::SetActivationThreshold(float threshold) {
+  return inner_.SetActivationThreshold(threshold);
+}
+
+std::unique_ptr<ZeroCountOracle> VotingOracle::Clone() const {
+  std::unique_ptr<ZeroCountOracle> inner_copy = inner_.Clone();
+  if (!inner_copy) return nullptr;
+  return std::unique_ptr<ZeroCountOracle>(
+      new VotingOracle(std::move(inner_copy), cfg_));
+}
+
+std::unique_ptr<ZeroCountOracle> VotingOracle::Fork(
+    std::uint64_t stream) const {
+  std::unique_ptr<ZeroCountOracle> inner_copy = inner_.Fork(stream);
+  if (!inner_copy) return nullptr;
+  return std::unique_ptr<ZeroCountOracle>(
+      new VotingOracle(std::move(inner_copy), cfg_));
+}
+
+RobustWeightConfig ReferenceRobustWeightConfig() {
+  RobustWeightConfig cfg;
+  cfg.voting.votes = 3;
+  cfg.voting.max_retries = 8;
+  cfg.attack.max_rebrackets = 2;
+  return cfg;
+}
+
+RobustWeightResult RecoverAllFiltersRobust(
+    ZeroCountOracle& oracle, const SparseConvOracle::StageSpec& geometry,
+    const RobustWeightConfig& cfg) {
+  Validate(cfg.voting);
+  const int n = oracle.num_channels();
+
+  RobustWeightResult result;
+  result.filters.resize(static_cast<std::size_t>(n));
+  result.confidence.assign(static_cast<std::size_t>(n), 0.0);
+  std::vector<std::uint64_t> samples(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint64_t> retries(static_cast<std::size_t>(n), 0);
+
+  std::mutex shared_mu;
+  auto recover_one = [&](int k, ZeroCountOracle& probe) {
+    VotingOracle voter(probe, cfg.voting);
+    WeightAttack attack(voter, geometry, cfg.attack);
+    result.filters[static_cast<std::size_t>(k)] = attack.RecoverFilter(k);
+    samples[static_cast<std::size_t>(k)] = voter.samples();
+    retries[static_cast<std::size_t>(k)] = voter.retries();
+  };
+
+  auto body = [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t k = lo; k < hi; ++k) {
+      // Fork keyed by the filter index: the k-th probe's noise stream is a
+      // function of k alone, so any worker assignment yields identical
+      // recoveries.
+      const std::unique_ptr<ZeroCountOracle> probe =
+          oracle.Fork(static_cast<std::uint64_t>(k));
+      if (probe) {
+        recover_one(static_cast<int>(k), *probe);
+      } else {
+        const std::lock_guard<std::mutex> lock(shared_mu);
+        recover_one(static_cast<int>(k), oracle);
+      }
+    }
+  };
+
+  if (n < 2 || support::ThreadPool::GlobalThreads() <= 1 ||
+      support::InParallelRegion()) {
+    body(0, n);
+  } else {
+    support::ParallelFor(0, n, 1, body);
+  }
+
+  for (int k = 0; k < n; ++k) {
+    const RecoveredFilter& rf = result.filters[static_cast<std::size_t>(k)];
+    const std::size_t positions = rf.failed.size();
+    std::size_t ok = 0;
+    for (const bool f : rf.failed)
+      if (!f) ++ok;
+    result.confidence[static_cast<std::size_t>(k)] =
+        positions > 0 ? static_cast<double>(ok) /
+                            static_cast<double>(positions)
+                      : 0.0;
+    result.total_queries += rf.queries;
+    result.total_samples += samples[static_cast<std::size_t>(k)];
+    result.total_retries += retries[static_cast<std::size_t>(k)];
+    result.total_rebrackets += rf.rebrackets;
+  }
+  return result;
+}
+
+}  // namespace sc::attack

@@ -1,0 +1,105 @@
+// Self-healing weight extraction over a noisy zero-count oracle
+// (robustness layer, DESIGN.md §8).
+//
+// Two healing mechanisms compose with the base Algorithm-2 attack:
+//   - VotingOracle repeats every count query and returns the median of an
+//     odd number of samples, retrying samples that fail transiently
+//     (TransientOracleError) within a bounded budget — isolated count
+//     perturbations and dropped acquisitions disappear here;
+//   - WeightAttackConfig::max_rebrackets re-verifies each converged
+//     bisection bracket and restarts contradicted searches — the backstop
+//     for perturbations that slip through the vote.
+// RecoverAllFiltersRobust wires both up per filter, forking the oracle by
+// filter index (ZeroCountOracle::Fork) so results are independent of the
+// thread count, and reports per-filter confidence plus the query budget
+// actually spent.
+#ifndef SC_ATTACK_WEIGHTS_ROBUST_H_
+#define SC_ATTACK_WEIGHTS_ROBUST_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "attack/weights/attack.h"
+#include "attack/weights/oracle.h"
+
+namespace sc::attack {
+
+struct VotingOracleConfig {
+  // Samples per logical query; the median is returned. Must be odd so the
+  // median is a majority value whenever one exists. 1 = no voting.
+  int votes = 3;
+  // Transient failures tolerated per sample before giving up on the whole
+  // attack (a real probe that fails this often is broken, not noisy).
+  int max_retries = 8;
+};
+
+// Decorator turning a flaky/noisy oracle into a steadier one by repeated
+// sampling. queries() counts logical queries; samples()/retries() account
+// for the real acquisition budget.
+class VotingOracle : public ZeroCountOracle {
+ public:
+  // Non-owning wrap: `inner` must outlive this oracle.
+  VotingOracle(ZeroCountOracle& inner, VotingOracleConfig cfg);
+
+  std::size_t ChannelNonZeros(const std::vector<SparsePixel>& pixels,
+                              int channel) override;
+  std::size_t TotalNonZeros(const std::vector<SparsePixel>& pixels) override;
+  int num_channels() const override;
+  bool SetActivationThreshold(float threshold) override;
+  std::unique_ptr<ZeroCountOracle> Clone() const override;
+  std::unique_ptr<ZeroCountOracle> Fork(std::uint64_t stream) const override;
+
+  // Underlying acquisitions issued (successful samples + failed attempts).
+  std::uint64_t samples() const { return samples_; }
+  // Acquisitions that failed transiently and were retried.
+  std::uint64_t retries() const { return retries_; }
+
+ private:
+  VotingOracle(std::unique_ptr<ZeroCountOracle> owned,
+               VotingOracleConfig cfg);
+
+  template <typename Query>
+  std::size_t Vote(Query&& query);
+
+  std::unique_ptr<ZeroCountOracle> owned_;
+  ZeroCountOracle& inner_;
+  VotingOracleConfig cfg_;
+  std::uint64_t samples_ = 0;
+  std::uint64_t retries_ = 0;
+};
+
+struct RobustWeightConfig {
+  WeightAttackConfig attack;  // set max_rebrackets > 0 to arm re-bracketing
+  VotingOracleConfig voting;
+};
+
+// The documented reference robustness setting (README "Robustness"):
+// 3-sample voting, 8 retries, 2 re-brackets — heals the reference oracle
+// noise level (sim::ReferenceOracleNoise) in the regression suite.
+RobustWeightConfig ReferenceRobustWeightConfig();
+
+struct RobustWeightResult {
+  std::vector<RecoveredFilter> filters;
+  // Per-filter fraction of weight positions recovered without failure
+  // (aligned with `filters`); 1.0 = every position isolated cleanly.
+  std::vector<double> confidence;
+  // Acquisition budget actually spent, summed over filters.
+  std::uint64_t total_queries = 0;   // logical oracle queries
+  std::uint64_t total_samples = 0;   // underlying acquisitions
+  std::uint64_t total_retries = 0;   // transiently failed acquisitions
+  std::uint64_t total_rebrackets = 0;
+};
+
+// Robust analogue of RecoverAllFilters: recovers every filter through a
+// per-filter VotingOracle over oracle.Fork(filter index). Deterministic
+// for any SC_THREADS because the noise stream is keyed by the filter
+// index, not by worker scheduling. Filters whose Fork returns nullptr are
+// processed serially on `oracle` itself.
+RobustWeightResult RecoverAllFiltersRobust(
+    ZeroCountOracle& oracle, const SparseConvOracle::StageSpec& geometry,
+    const RobustWeightConfig& cfg);
+
+}  // namespace sc::attack
+
+#endif  // SC_ATTACK_WEIGHTS_ROBUST_H_

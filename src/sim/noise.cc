@@ -1,0 +1,134 @@
+#include "sim/noise.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace sc::sim {
+
+namespace {
+
+void CheckProb(double p, const char* name) {
+  SC_CHECK_MSG(p >= 0.0 && p <= 1.0, name << " must be in [0, 1]: " << p);
+}
+
+// splitmix64 finalizer: decorrelates the per-acquisition seeds derived from
+// (seed, k) so ApplyNth streams are independent.
+std::uint64_t MixSeed(std::uint64_t seed, std::uint64_t k) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (k + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+TraceNoiseConfig ReferenceTraceNoise(std::uint64_t seed) {
+  TraceNoiseConfig cfg;
+  cfg.seed = seed;
+  cfg.drop_prob = 1e-4;
+  cfg.jitter_prob = 0.02;
+  cfg.max_jitter_cycles = 3;
+  cfg.split_prob = 0.02;
+  cfg.merge_prob = 0.02;
+  cfg.spurious_prob = 0.005;
+  return cfg;
+}
+
+TraceNoiseModel::TraceNoiseModel(TraceNoiseConfig cfg) : cfg_(cfg) {
+  CheckProb(cfg_.drop_prob, "drop_prob");
+  CheckProb(cfg_.jitter_prob, "jitter_prob");
+  CheckProb(cfg_.split_prob, "split_prob");
+  CheckProb(cfg_.merge_prob, "merge_prob");
+  CheckProb(cfg_.spurious_prob, "spurious_prob");
+  SC_CHECK_MSG(cfg_.jitter_prob == 0.0 || cfg_.max_jitter_cycles > 0,
+               "jitter_prob > 0 requires max_jitter_cycles > 0");
+}
+
+trace::Trace TraceNoiseModel::Apply(const trace::Trace& in) const {
+  return ApplySeeded(in, cfg_.seed);
+}
+
+trace::Trace TraceNoiseModel::ApplyNth(const trace::Trace& in,
+                                       std::uint64_t k) const {
+  return ApplySeeded(in, MixSeed(cfg_.seed, k));
+}
+
+trace::Trace TraceNoiseModel::ApplySeeded(const trace::Trace& in,
+                                          std::uint64_t seed) const {
+  if (!cfg_.enabled() || in.empty()) return in;
+  Rng rng(seed);
+
+  std::vector<trace::MemEvent> out;
+  out.reserve(in.size());
+  for (const trace::MemEvent& e : in) {
+    if (cfg_.drop_prob > 0.0 && rng.Chance(cfg_.drop_prob)) continue;
+
+    // Fragmentation at the probe's sampling boundary.
+    std::vector<trace::MemEvent> parts{e};
+    if (e.bytes > 1 && cfg_.split_prob > 0.0 && rng.Chance(cfg_.split_prob)) {
+      const auto cut = static_cast<std::uint32_t>(
+          rng.UniformInt(1, static_cast<int>(
+                                std::min<std::uint32_t>(e.bytes - 1, 1u << 30))));
+      trace::MemEvent head = e;
+      head.bytes = cut;
+      trace::MemEvent tail = e;
+      tail.addr = e.addr + cut;
+      tail.bytes = e.bytes - cut;
+      parts = {head, tail};
+    }
+
+    for (const trace::MemEvent& part : parts) {
+      out.push_back(part);
+      // Double-sampled transaction: same address range reported again.
+      if (cfg_.spurious_prob > 0.0 && rng.Chance(cfg_.spurious_prob))
+        out.push_back(part);
+    }
+  }
+
+  // Coalescing: a burst absorbs a directly following contiguous burst of
+  // the same direction (one merge per pair, single left-to-right pass).
+  if (cfg_.merge_prob > 0.0) {
+    std::vector<trace::MemEvent> merged;
+    merged.reserve(out.size());
+    for (const trace::MemEvent& e : out) {
+      if (!merged.empty() && merged.back().op == e.op &&
+          merged.back().end() == e.addr && rng.Chance(cfg_.merge_prob)) {
+        merged.back().bytes += e.bytes;
+        continue;
+      }
+      merged.push_back(e);
+    }
+    out = std::move(merged);
+  }
+
+  // Timestamp jitter. The probe observes the serial bus, so transaction
+  // ORDER is ground truth — only the timestamp counter wobbles. Jittered
+  // timestamps that would run backwards are clamped to the preceding
+  // event's cycle, exactly what a monotonizing capture pass does.
+  if (cfg_.jitter_prob > 0.0) {
+    const auto span = static_cast<int>(cfg_.max_jitter_cycles);
+    std::uint64_t prev = 0;
+    for (trace::MemEvent& e : out) {
+      if (rng.Chance(cfg_.jitter_prob)) {
+        const int delta = rng.UniformInt(-span, span);
+        if (delta < 0) {
+          const auto back = static_cast<std::uint64_t>(-delta);
+          e.cycle = e.cycle < back ? 0 : e.cycle - back;
+        } else {
+          e.cycle += static_cast<std::uint64_t>(delta);
+        }
+      }
+      e.cycle = std::max(e.cycle, prev);
+      prev = e.cycle;
+    }
+  }
+
+  trace::Trace result;
+  for (const trace::MemEvent& e : out) result.Append(e);
+  return result;
+}
+
+}  // namespace sc::sim

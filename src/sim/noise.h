@@ -1,0 +1,74 @@
+// Measurement fault injection for side-channel acquisitions (robustness
+// layer, DESIGN.md §8).
+//
+// A real probe between the DRAM bus and the adversary is not perfect: it
+// drops transactions, timestamps them with jitter, fragments or coalesces
+// bursts at its sampling boundary, and occasionally reports the same
+// transaction twice. TraceNoiseModel applies exactly those corruptions to a
+// clean simulator trace, deterministically from a single seed, so CI can
+// replay any fault pattern bit-for-bit.
+#ifndef SC_SIM_NOISE_H_
+#define SC_SIM_NOISE_H_
+
+#include <cstdint>
+
+#include "trace/trace.h"
+
+namespace sc::sim {
+
+struct TraceNoiseConfig {
+  std::uint64_t seed = 1;
+
+  // Probability that an observed transaction is lost entirely.
+  double drop_prob = 0.0;
+  // Probability that an event's timestamp is perturbed by up to
+  // +/- max_jitter_cycles. The probe observes the serial bus, so event
+  // order is preserved; backwards-running timestamps are clamped to the
+  // previous event's cycle (a monotonizing capture pass).
+  double jitter_prob = 0.0;
+  std::uint64_t max_jitter_cycles = 0;
+  // Probability that a multi-byte burst is reported as two back-to-back
+  // fragments (split point uniform inside the burst).
+  double split_prob = 0.0;
+  // Probability that a burst is coalesced with a directly following
+  // contiguous same-direction burst.
+  double merge_prob = 0.0;
+  // Probability that a transaction is reported twice (probe double-sample);
+  // the duplicate carries the same address range, so unique byte coverage
+  // is unaffected but event counts and volumes are.
+  double spurious_prob = 0.0;
+
+  // True when every rate is zero: Apply() is then the identity.
+  bool enabled() const {
+    return drop_prob > 0.0 || jitter_prob > 0.0 || split_prob > 0.0 ||
+           merge_prob > 0.0 || spurious_prob > 0.0;
+  }
+};
+
+// The documented reference noise level (README "Robustness"): the level at
+// which the tier-1/nightly regressions assert full recovery still succeeds.
+TraceNoiseConfig ReferenceTraceNoise(std::uint64_t seed);
+
+class TraceNoiseModel : public trace::TraceTransform {
+ public:
+  explicit TraceNoiseModel(TraceNoiseConfig cfg);
+
+  const TraceNoiseConfig& config() const { return cfg_; }
+
+  // One corrupted acquisition of `in`. Deterministic in (cfg.seed, in).
+  trace::Trace Apply(const trace::Trace& in) const override;
+
+  // The k-th of K independent acquisitions of the same execution: same
+  // noise statistics, independent fault pattern. ApplyNth(t, 0) != Apply(t)
+  // in general; determinism holds per (cfg.seed, k, in).
+  trace::Trace ApplyNth(const trace::Trace& in, std::uint64_t k) const;
+
+ private:
+  trace::Trace ApplySeeded(const trace::Trace& in, std::uint64_t seed) const;
+
+  TraceNoiseConfig cfg_;
+};
+
+}  // namespace sc::sim
+
+#endif  // SC_SIM_NOISE_H_

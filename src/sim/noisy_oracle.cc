@@ -1,0 +1,95 @@
+#include "sim/noisy_oracle.h"
+
+#include <utility>
+
+#include "support/check.h"
+
+namespace sc::sim {
+
+namespace {
+
+std::uint64_t MixSeed(std::uint64_t seed, std::uint64_t k) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (k + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+void Validate(const OracleNoiseConfig& cfg) {
+  SC_CHECK_MSG(cfg.count_noise_prob >= 0.0 && cfg.count_noise_prob <= 1.0,
+               "count_noise_prob out of range");
+  SC_CHECK_MSG(cfg.failure_prob >= 0.0 && cfg.failure_prob <= 1.0,
+               "failure_prob out of range");
+  SC_CHECK_MSG(cfg.max_count_delta >= 1, "max_count_delta must be >= 1");
+}
+
+}  // namespace
+
+OracleNoiseConfig ReferenceOracleNoise(std::uint64_t seed) {
+  OracleNoiseConfig cfg;
+  cfg.seed = seed;
+  cfg.count_noise_prob = 0.02;
+  cfg.max_count_delta = 2;
+  cfg.failure_prob = 0.01;
+  return cfg;
+}
+
+NoisyOracle::NoisyOracle(attack::ZeroCountOracle& inner, OracleNoiseConfig cfg)
+    : inner_(inner), cfg_(cfg), rng_(cfg.seed) {
+  Validate(cfg_);
+}
+
+NoisyOracle::NoisyOracle(std::unique_ptr<attack::ZeroCountOracle> owned,
+                         OracleNoiseConfig cfg)
+    : owned_(std::move(owned)), inner_(*owned_), cfg_(cfg), rng_(cfg.seed) {
+  Validate(cfg_);
+}
+
+std::size_t NoisyOracle::Corrupt(std::size_t count) {
+  if (cfg_.failure_prob > 0.0 && rng_.Chance(cfg_.failure_prob)) {
+    ++injected_failures_;
+    throw attack::TransientOracleError("injected acquisition failure");
+  }
+  if (cfg_.count_noise_prob > 0.0 && rng_.Chance(cfg_.count_noise_prob)) {
+    ++perturbed_counts_;
+    const int delta = rng_.UniformInt(1, cfg_.max_count_delta) *
+                      (rng_.Chance(0.5) ? 1 : -1);
+    if (delta < 0 && count < static_cast<std::size_t>(-delta)) return 0;
+    return count + static_cast<std::size_t>(delta);
+  }
+  return count;
+}
+
+std::size_t NoisyOracle::ChannelNonZeros(
+    const std::vector<attack::SparsePixel>& pixels, int channel) {
+  ++queries_;
+  return Corrupt(inner_.ChannelNonZeros(pixels, channel));
+}
+
+std::size_t NoisyOracle::TotalNonZeros(
+    const std::vector<attack::SparsePixel>& pixels) {
+  ++queries_;
+  return Corrupt(inner_.TotalNonZeros(pixels));
+}
+
+int NoisyOracle::num_channels() const { return inner_.num_channels(); }
+
+bool NoisyOracle::SetActivationThreshold(float threshold) {
+  return inner_.SetActivationThreshold(threshold);
+}
+
+std::unique_ptr<attack::ZeroCountOracle> NoisyOracle::Clone() const {
+  return Fork(clones_++);
+}
+
+std::unique_ptr<attack::ZeroCountOracle> NoisyOracle::Fork(
+    std::uint64_t stream) const {
+  std::unique_ptr<attack::ZeroCountOracle> inner_copy = inner_.Clone();
+  if (!inner_copy) return nullptr;
+  OracleNoiseConfig child = cfg_;
+  child.seed = MixSeed(cfg_.seed, stream);
+  return std::unique_ptr<attack::ZeroCountOracle>(
+      new NoisyOracle(std::move(inner_copy), child));
+}
+
+}  // namespace sc::sim

@@ -1,0 +1,75 @@
+// Noisy decorator over the §4 zero-count side channel (DESIGN.md §8).
+//
+// A power/EM estimate of a write-burst length is not exact: the decoded
+// non-zero count can be off by a few elements, and whole acquisitions fail
+// outright. NoisyOracle injects both fault classes over any ZeroCountOracle,
+// deterministically from a seed, raising TransientOracleError for failed
+// acquisitions so robust drivers can retry.
+#ifndef SC_SIM_NOISY_ORACLE_H_
+#define SC_SIM_NOISY_ORACLE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "attack/weights/oracle.h"
+#include "support/rng.h"
+
+namespace sc::sim {
+
+struct OracleNoiseConfig {
+  std::uint64_t seed = 1;
+  // Probability that a returned count is perturbed by +/-U{1..max_count_delta}
+  // (clamped at zero from below).
+  double count_noise_prob = 0.0;
+  int max_count_delta = 1;
+  // Probability that a query fails entirely (TransientOracleError).
+  double failure_prob = 0.0;
+
+  bool enabled() const {
+    return count_noise_prob > 0.0 || failure_prob > 0.0;
+  }
+};
+
+// The documented reference oracle-noise level (README "Robustness").
+OracleNoiseConfig ReferenceOracleNoise(std::uint64_t seed);
+
+class NoisyOracle : public attack::ZeroCountOracle {
+ public:
+  // Non-owning wrap: `inner` must outlive this oracle.
+  NoisyOracle(attack::ZeroCountOracle& inner, OracleNoiseConfig cfg);
+
+  std::size_t ChannelNonZeros(const std::vector<attack::SparsePixel>& pixels,
+                              int channel) override;
+  std::size_t TotalNonZeros(
+      const std::vector<attack::SparsePixel>& pixels) override;
+  int num_channels() const override;
+  bool SetActivationThreshold(float threshold) override;
+
+  // Clones the inner oracle and forks the noise stream by an internal
+  // counter; for order-independent parallel sweeps use Fork(stream).
+  std::unique_ptr<attack::ZeroCountOracle> Clone() const override;
+  std::unique_ptr<attack::ZeroCountOracle> Fork(
+      std::uint64_t stream) const override;
+
+  std::uint64_t injected_failures() const { return injected_failures_; }
+  std::uint64_t perturbed_counts() const { return perturbed_counts_; }
+
+ private:
+  // Owning variant used by Clone()/Fork().
+  NoisyOracle(std::unique_ptr<attack::ZeroCountOracle> owned,
+              OracleNoiseConfig cfg);
+
+  std::size_t Corrupt(std::size_t count);
+
+  std::unique_ptr<attack::ZeroCountOracle> owned_;
+  attack::ZeroCountOracle& inner_;
+  OracleNoiseConfig cfg_;
+  Rng rng_;
+  std::uint64_t injected_failures_ = 0;
+  std::uint64_t perturbed_counts_ = 0;
+  mutable std::uint64_t clones_ = 0;
+};
+
+}  // namespace sc::sim
+
+#endif  // SC_SIM_NOISY_ORACLE_H_

@@ -80,8 +80,9 @@ Trace Trace::ReadCsv(std::istream& is) {
                           c3 >> op) &&
             c1 == ',' && c2 == ',' && c3 == ',',
         "malformed CSV row " << lineno << ": '" << line << "'");
-    SC_CHECK_MSG(bytes64 > 0 && bytes64 <= UINT32_MAX,
-                 "bad burst size on row " << lineno);
+    SC_CHECK_MSG(bytes64 > 0,
+                 "zero-byte burst on row " << lineno << ": '" << line << "'");
+    SC_CHECK_MSG(bytes64 <= UINT32_MAX, "bad burst size on row " << lineno);
     e.bytes = static_cast<std::uint32_t>(bytes64);
     if (op == "R") {
       e.op = MemOp::kRead;
@@ -90,6 +91,12 @@ Trace Trace::ReadCsv(std::istream& is) {
     } else {
       SC_CHECK_MSG(false, "bad op '" << op << "' on row " << lineno);
     }
+    std::string rest;
+    SC_CHECK_MSG(!static_cast<bool>(row >> rest),
+                 "trailing data '" << rest << "' on row " << lineno);
+    SC_CHECK_MSG(t.empty() || t.last_cycle() <= e.cycle,
+                 "non-monotone cycle on row " << lineno << ": " << e.cycle
+                                              << " after " << t.last_cycle());
     t.Append(e);
   }
   return t;

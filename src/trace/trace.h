@@ -53,6 +53,16 @@ class Trace {
   std::vector<MemEvent> events_;
 };
 
+// A trace-to-trace transform standing between the bus and the adversary:
+// defenses reshape traffic, fault models (sim/noise.h) corrupt the
+// measurement. Implementations must return a valid Trace (non-decreasing
+// cycles, non-empty bursts) but are otherwise unconstrained.
+class TraceTransform {
+ public:
+  virtual ~TraceTransform() = default;
+  virtual Trace Apply(const Trace& in) const = 0;
+};
+
 }  // namespace sc::trace
 
 #endif  // SC_TRACE_TRACE_H_

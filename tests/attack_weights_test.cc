@@ -260,5 +260,81 @@ TEST(WeightAttack, EndToEndAgainstAcceleratorOracle) {
   }
 }
 
+// Oracle whose Clone() succeeds only `budget` times, then returns nullptr —
+// models a probe with a bounded duplication budget. RecoverAllFilters'
+// parallel path probes Clone() once up front; a mid-run nullptr must fall
+// back to serialized chunks on the shared oracle, not crash.
+class FlakyCloneOracle : public ZeroCountOracle {
+ public:
+  FlakyCloneOracle(const Victim& v, int budget)
+      : inner_(v.spec, v.weights, v.bias), budget_(budget) {}
+
+  std::size_t ChannelNonZeros(const std::vector<SparsePixel>& pixels,
+                              int channel) override {
+    ++queries_;
+    return inner_.ChannelNonZeros(pixels, channel);
+  }
+  std::size_t TotalNonZeros(const std::vector<SparsePixel>& pixels) override {
+    ++queries_;
+    return inner_.TotalNonZeros(pixels);
+  }
+  int num_channels() const override { return inner_.num_channels(); }
+  std::unique_ptr<ZeroCountOracle> Clone() const override {
+    if (clones_made_ >= budget_) return nullptr;
+    ++clones_made_;
+    return inner_.Clone();
+  }
+
+ private:
+  SparseConvOracle inner_;
+  int budget_;
+  mutable int clones_made_ = 0;
+};
+
+TEST(RecoverAllFilters, FallsBackWhenCloneBudgetExhaustsMidRun) {
+  const Victim v = MakeVictim(31, 2, 10, 6, 3, 1, nn::PoolKind::kNone, 0, 0,
+                              true, +1.0f);
+  SparseConvOracle serial_oracle(v.spec, v.weights, v.bias);
+  std::vector<RecoveredFilter> serial;
+  {
+    WeightAttack attack(serial_oracle, v.spec, WeightAttackConfig{});
+    for (int k = 0; k < 6; ++k) serial.push_back(attack.RecoverFilter(k));
+  }
+
+  // Budget 1: the up-front probe succeeds, every worker chunk's Clone()
+  // returns nullptr, so all six filters run through the mutex fallback.
+  for (const int budget : {1, 3}) {
+    FlakyCloneOracle flaky(v, budget);
+    const std::vector<RecoveredFilter> got =
+        RecoverAllFilters(flaky, v.spec, WeightAttackConfig{});
+    ASSERT_EQ(got.size(), serial.size()) << "budget " << budget;
+    for (std::size_t k = 0; k < serial.size(); ++k) {
+      EXPECT_EQ(got[k].queries, serial[k].queries)
+          << "budget " << budget << " filter " << k;
+      for (std::size_t i = 0; i < serial[k].ratio.numel(); ++i)
+        EXPECT_EQ(got[k].ratio[i], serial[k].ratio[i])
+            << "budget " << budget << " filter " << k;
+    }
+  }
+}
+
+TEST(RecoverAllFilters, NonCloneableOracleStaysSerial) {
+  const Victim v = MakeVictim(32, 1, 9, 3, 3, 1, nn::PoolKind::kNone, 0, 0,
+                              true, +1.0f);
+  FlakyCloneOracle sealed(v, 0);  // never cloneable, not even the probe
+  const std::vector<RecoveredFilter> got =
+      RecoverAllFilters(sealed, v.spec, WeightAttackConfig{});
+
+  SparseConvOracle oracle(v.spec, v.weights, v.bias);
+  WeightAttack attack(oracle, v.spec, WeightAttackConfig{});
+  for (int k = 0; k < 3; ++k) {
+    const RecoveredFilter want = attack.RecoverFilter(k);
+    const auto ku = static_cast<std::size_t>(k);
+    EXPECT_EQ(got[ku].queries, want.queries);
+    for (std::size_t i = 0; i < want.ratio.numel(); ++i)
+      EXPECT_EQ(got[ku].ratio[i], want.ratio[i]);
+  }
+}
+
 }  // namespace
 }  // namespace sc::attack

@@ -1,0 +1,292 @@
+// Fault-injection layer: trace noise model, noisy oracle decorator, and the
+// voting oracle that heals it (DESIGN.md §8).
+#include "sim/noise.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "attack/weights/robust.h"
+#include "sim/noisy_oracle.h"
+#include "support/check.h"
+#include "support/rng.h"
+#include "trace/stats.h"
+
+namespace sc {
+namespace {
+
+using attack::SparsePixel;
+using attack::TransientOracleError;
+using attack::VotingOracle;
+using attack::VotingOracleConfig;
+using attack::ZeroCountOracle;
+
+// Seed under CI control: the fault-injection job runs the suite at two
+// fixed seeds (SC_NOISE_SEED) to cover distinct fault patterns.
+std::uint64_t NoiseSeed() {
+  const char* env = std::getenv("SC_NOISE_SEED");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 1;
+}
+
+trace::Trace SyntheticTrace(int events, std::uint64_t seed) {
+  Rng rng(seed);
+  trace::Trace t;
+  std::uint64_t cycle = 0;
+  for (int i = 0; i < events; ++i) {
+    cycle += static_cast<std::uint64_t>(rng.UniformInt(1, 8));
+    const auto addr = static_cast<std::uint64_t>(rng.UniformInt(0, 1 << 20));
+    const auto bytes = static_cast<std::uint32_t>(64 * rng.UniformInt(1, 4));
+    t.Append(cycle, addr, bytes, rng.Chance(0.7) ? trace::MemOp::kRead
+                                                 : trace::MemOp::kWrite);
+  }
+  return t;
+}
+
+bool SameTrace(const trace::Trace& a, const trace::Trace& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!(a[i] == b[i])) return false;
+  return true;
+}
+
+TEST(TraceNoise, DisabledConfigIsIdentity) {
+  const trace::Trace t = SyntheticTrace(200, 7);
+  const sim::TraceNoiseModel model{sim::TraceNoiseConfig{}};
+  EXPECT_FALSE(model.config().enabled());
+  EXPECT_TRUE(SameTrace(model.Apply(t), t));
+}
+
+TEST(TraceNoise, DeterministicPerSeedAndAcquisition) {
+  const trace::Trace t = SyntheticTrace(500, 11);
+  const sim::TraceNoiseModel model(sim::ReferenceTraceNoise(NoiseSeed()));
+
+  EXPECT_TRUE(SameTrace(model.Apply(t), model.Apply(t)));
+  EXPECT_TRUE(SameTrace(model.ApplyNth(t, 3), model.ApplyNth(t, 3)));
+  // Distinct acquisitions of the same execution see distinct fault patterns.
+  EXPECT_FALSE(SameTrace(model.ApplyNth(t, 0), model.ApplyNth(t, 1)));
+  // Distinct base seeds decorrelate whole replays.
+  const sim::TraceNoiseModel other(
+      sim::ReferenceTraceNoise(NoiseSeed() + 1000));
+  EXPECT_FALSE(SameTrace(model.Apply(t), other.Apply(t)));
+}
+
+TEST(TraceNoise, SplitMergeSpuriousPreserveByteCoverage) {
+  // Without drops, fragmentation / coalescing / double-sampling change the
+  // event stream but never the unique byte footprint the region analysis
+  // measures.
+  const trace::Trace t = SyntheticTrace(800, 13);
+  sim::TraceNoiseConfig cfg;
+  cfg.seed = NoiseSeed();
+  cfg.split_prob = 0.3;
+  cfg.merge_prob = 0.3;
+  cfg.spurious_prob = 0.1;
+  const trace::Trace noisy = sim::TraceNoiseModel(cfg).Apply(t);
+
+  const trace::TraceStats clean_stats = trace::ComputeStats(t);
+  const trace::TraceStats noisy_stats = trace::ComputeStats(noisy);
+  EXPECT_EQ(noisy_stats.unique_bytes_read, clean_stats.unique_bytes_read);
+  EXPECT_EQ(noisy_stats.unique_bytes_written,
+            clean_stats.unique_bytes_written);
+  EXPECT_NE(noisy.size(), t.size());
+}
+
+TEST(TraceNoise, DropsLoseEventsJitterKeepsBusOrder) {
+  const trace::Trace t = SyntheticTrace(2000, 17);
+  sim::TraceNoiseConfig cfg;
+  cfg.seed = NoiseSeed();
+  cfg.drop_prob = 0.05;
+  const trace::Trace dropped = sim::TraceNoiseModel(cfg).Apply(t);
+  EXPECT_LT(dropped.size(), t.size());
+
+  sim::TraceNoiseConfig jcfg;
+  jcfg.seed = NoiseSeed();
+  jcfg.jitter_prob = 0.5;
+  jcfg.max_jitter_cycles = 3;
+  const trace::Trace jittered = sim::TraceNoiseModel(jcfg).Apply(t);
+  // Jitter never loses, invents or re-orders transactions (the probe sees
+  // the serial bus); it only wobbles timestamps, within the clamp keeping
+  // cycles non-decreasing.
+  ASSERT_EQ(jittered.size(), t.size());
+  bool any_moved = false;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(jittered[i].addr, t[i].addr);
+    EXPECT_EQ(jittered[i].bytes, t[i].bytes);
+    EXPECT_EQ(jittered[i].op, t[i].op);
+    EXPECT_LE(jittered[i].cycle > t[i].cycle ? jittered[i].cycle - t[i].cycle
+                                             : t[i].cycle - jittered[i].cycle,
+              3u + 3u);  // own jitter plus clamp carry-over
+    any_moved = any_moved || jittered[i].cycle != t[i].cycle;
+  }
+  EXPECT_TRUE(any_moved);
+}
+
+TEST(TraceNoise, RejectsInvalidConfig) {
+  sim::TraceNoiseConfig bad;
+  bad.drop_prob = 1.5;
+  EXPECT_THROW(sim::TraceNoiseModel{bad}, Error);
+  sim::TraceNoiseConfig jbad;
+  jbad.jitter_prob = 0.1;
+  jbad.max_jitter_cycles = 0;
+  EXPECT_THROW(sim::TraceNoiseModel{jbad}, Error);
+}
+
+// Scripted oracle for decorator tests: returns a fixed sequence of counts.
+class ScriptedOracle : public ZeroCountOracle {
+ public:
+  ScriptedOracle(std::vector<std::size_t> script, int throw_first = 0,
+                 bool cloneable = false)
+      : script_(std::move(script)),
+        throw_first_(throw_first),
+        cloneable_(cloneable) {}
+
+  std::size_t ChannelNonZeros(const std::vector<SparsePixel>&, int) override {
+    return Next();
+  }
+  std::size_t TotalNonZeros(const std::vector<SparsePixel>&) override {
+    return Next();
+  }
+  int num_channels() const override { return 1; }
+  std::unique_ptr<ZeroCountOracle> Clone() const override {
+    if (!cloneable_) return nullptr;
+    return std::make_unique<ScriptedOracle>(script_, throw_first_, true);
+  }
+
+  int calls = 0;
+
+ private:
+  std::size_t Next() {
+    ++queries_;
+    const int call = calls++;
+    if (call < throw_first_)
+      throw TransientOracleError("scripted transient failure");
+    return script_[static_cast<std::size_t>(call - throw_first_) %
+                   script_.size()];
+  }
+
+  std::vector<std::size_t> script_;
+  int throw_first_;
+  bool cloneable_;
+};
+
+TEST(NoisyOracle, DeterministicPerSeed) {
+  sim::OracleNoiseConfig cfg;
+  cfg.seed = NoiseSeed();
+  cfg.count_noise_prob = 0.5;
+  cfg.max_count_delta = 2;
+
+  auto run = [&] {
+    ScriptedOracle inner({10});
+    sim::NoisyOracle noisy(inner, cfg);
+    std::vector<std::size_t> seq;
+    for (int i = 0; i < 64; ++i) seq.push_back(noisy.TotalNonZeros({}));
+    return seq;
+  };
+  const auto a = run();
+  EXPECT_EQ(a, run());
+  // Roughly half the counts perturbed, never by more than max_count_delta.
+  int perturbed = 0;
+  for (const std::size_t c : a) {
+    EXPECT_GE(c, 10u - 2u);
+    EXPECT_LE(c, 10u + 2u);
+    if (c != 10u) ++perturbed;
+  }
+  EXPECT_GT(perturbed, 0);
+}
+
+TEST(NoisyOracle, ClampsPerturbedCountsAtZero) {
+  sim::OracleNoiseConfig cfg;
+  cfg.seed = NoiseSeed();
+  cfg.count_noise_prob = 1.0;
+  cfg.max_count_delta = 3;
+  ScriptedOracle inner({0});
+  sim::NoisyOracle noisy(inner, cfg);
+  for (int i = 0; i < 32; ++i) EXPECT_LE(noisy.TotalNonZeros({}), 3u);
+  EXPECT_EQ(noisy.perturbed_counts(), 32u);
+}
+
+TEST(NoisyOracle, InjectsTransientFailures) {
+  sim::OracleNoiseConfig cfg;
+  cfg.seed = NoiseSeed();
+  cfg.failure_prob = 1.0;
+  ScriptedOracle inner({10});
+  sim::NoisyOracle noisy(inner, cfg);
+  EXPECT_THROW(noisy.TotalNonZeros({}), TransientOracleError);
+  EXPECT_EQ(noisy.injected_failures(), 1u);
+  // The victim still executed; only the measurement was lost, so a retry
+  // costs a full extra acquisition.
+  EXPECT_EQ(inner.calls, 1);
+}
+
+TEST(NoisyOracle, ForkIsKeyedByStreamNotCallOrder) {
+  const sim::OracleNoiseConfig cfg = sim::ReferenceOracleNoise(NoiseSeed());
+  ScriptedOracle inner({10}, 0, /*cloneable=*/true);
+  sim::NoisyOracle noisy(inner, cfg);
+
+  auto sequence = [](ZeroCountOracle& o) {
+    std::vector<std::size_t> seq;
+    for (int i = 0; i < 64; ++i) {
+      try {
+        seq.push_back(o.TotalNonZeros({}));
+      } catch (const TransientOracleError&) {
+        seq.push_back(static_cast<std::size_t>(-1));
+      }
+    }
+    return seq;
+  };
+
+  // Same stream id -> same noise, regardless of fork order.
+  const auto a = sequence(*noisy.Fork(7));
+  const auto b = sequence(*noisy.Fork(3));
+  const auto c = sequence(*noisy.Fork(7));
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+
+  // A non-cloneable victim cannot be forked; callers must fall back.
+  ScriptedOracle sealed({10});
+  sim::NoisyOracle sealed_noisy(sealed, cfg);
+  EXPECT_EQ(sealed_noisy.Fork(0), nullptr);
+  EXPECT_EQ(sealed_noisy.Clone(), nullptr);
+}
+
+TEST(VotingOracle, MedianHealsMinorityPerturbations) {
+  // One in three samples is perturbed; a 3-vote median never is.
+  ScriptedOracle inner({7, 7, 9});
+  VotingOracleConfig cfg;
+  cfg.votes = 3;
+  VotingOracle voter(inner, cfg);
+  for (int q = 0; q < 10; ++q) EXPECT_EQ(voter.TotalNonZeros({}), 7u);
+  EXPECT_EQ(voter.queries(), 10u);
+  EXPECT_EQ(voter.samples(), 30u);
+  EXPECT_EQ(voter.retries(), 0u);
+}
+
+TEST(VotingOracle, RetriesTransientFailuresWithinBudget) {
+  ScriptedOracle inner({5}, /*throw_first=*/2);
+  VotingOracleConfig cfg;
+  cfg.votes = 1;
+  cfg.max_retries = 8;
+  VotingOracle voter(inner, cfg);
+  EXPECT_EQ(voter.TotalNonZeros({}), 5u);
+  EXPECT_EQ(voter.retries(), 2u);
+  EXPECT_EQ(voter.samples(), 3u);
+}
+
+TEST(VotingOracle, AbortsWhenRetryBudgetExhausted) {
+  ScriptedOracle inner({5}, /*throw_first=*/1000);
+  VotingOracleConfig cfg;
+  cfg.votes = 1;
+  cfg.max_retries = 4;
+  VotingOracle voter(inner, cfg);
+  EXPECT_THROW(voter.TotalNonZeros({}), Error);
+}
+
+TEST(VotingOracle, RejectsEvenVoteCounts) {
+  ScriptedOracle inner({5});
+  VotingOracleConfig cfg;
+  cfg.votes = 2;
+  EXPECT_THROW((VotingOracle{inner, cfg}), Error);
+}
+
+}  // namespace
+}  // namespace sc

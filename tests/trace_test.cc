@@ -70,6 +70,58 @@ TEST(Trace, CsvRejectsMalformedInput) {
   }
 }
 
+TEST(Trace, CsvEdgeCasesNameOffendingLine) {
+  struct Case {
+    const char* name;
+    const char* csv;
+    const char* want;  // substring the error message must contain
+  };
+  const Case kCases[] = {
+      {"truncated row", "cycle,addr,bytes,op\n1,2,64,R\n5,6\n",
+       "malformed CSV row 3"},
+      {"missing op", "cycle,addr,bytes,op\n1,2,64\n", "malformed CSV row 2"},
+      {"zero-byte burst", "cycle,addr,bytes,op\n1,2,64,R\n2,4,0,W\n",
+       "zero-byte burst on row 3"},
+      {"non-monotone cycles", "cycle,addr,bytes,op\n9,0,64,R\n3,0,64,R\n",
+       "non-monotone cycle on row 3"},
+      {"bad op letter", "cycle,addr,bytes,op\n1,2,64,Q\n", "op 'Q' on row 2"},
+      {"glued trailing field", "cycle,addr,bytes,op\n1,2,64,R,x\n",
+       "on row 2"},
+      {"trailing data", "cycle,addr,bytes,op\n1,2,64,R x\n",
+       "trailing data 'x' on row 2"},
+      {"oversized burst", "cycle,addr,bytes,op\n1,2,4294967296,R\n",
+       "bad burst size on row 2"},
+  };
+  for (const Case& tc : kCases) {
+    SCOPED_TRACE(tc.name);
+    std::stringstream ss(tc.csv);
+    try {
+      Trace::ReadCsv(ss);
+      FAIL() << "expected rejection";
+    } catch (const sc::Error& e) {
+      EXPECT_NE(std::string(e.what()).find(tc.want), std::string::npos)
+          << "got: " << e.what();
+    }
+  }
+}
+
+TEST(Trace, CsvBlankLinesSkippedButCounted) {
+  // Blank lines are tolerated; line numbers in errors still refer to the
+  // physical file line.
+  std::stringstream ok("cycle,addr,bytes,op\n1,2,64,R\n\n2,3,64,W\n");
+  const Trace t = Trace::ReadCsv(ok);
+  EXPECT_EQ(t.size(), 2u);
+
+  std::stringstream bad("cycle,addr,bytes,op\n1,2,64,R\n\n0,3,64,W\n");
+  try {
+    Trace::ReadCsv(bad);
+    FAIL() << "expected rejection";
+  } catch (const sc::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("row 4"), std::string::npos)
+        << "got: " << e.what();
+  }
+}
+
 TEST(IntervalSet, InsertAndMerge) {
   IntervalSet s;
   s.Insert(10, 20);
