@@ -112,5 +112,6 @@ int main() {
     if (constant_shape && max_err < 1e-3f) defense_works = false;
   }
 
+  sc::bench::ExportMetrics();
   return (clear.num_structures() > 0 && defense_works) ? 0 : 1;
 }

@@ -142,5 +142,6 @@ int main() {
 
   std::cout << "written to ablation_noise.csv\n";
   std::cout << "elapsed: " << timer.Seconds() << " s\n";
+  sc::bench::ExportMetrics();
   return 0;
 }

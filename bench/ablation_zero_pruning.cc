@@ -71,5 +71,6 @@ int main() {
                "break-even of ~1/3 zeros; raising the Minerva-style "
                "threshold emulates trained-net sparsity, where pruning "
                "pays — and the count leak exists in every row.)\n";
+  sc::bench::ExportMetrics();
   return any_reduction ? 0 : 1;
 }

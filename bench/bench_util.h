@@ -9,6 +9,7 @@
 #include "accel/accelerator.h"
 #include "nn/network.h"
 #include "nn/tensor.h"
+#include "obs/metrics.h"
 #include "support/rng.h"
 #include "trace/trace.h"
 
@@ -47,6 +48,15 @@ class Timer {
 
 inline void Banner(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n";
+}
+
+// Dumps the process-wide metrics registry next to the bench's CSV output.
+// No-op unless SC_METRICS collection is on, so default runs produce
+// byte-identical artifacts and no extra files.
+inline void ExportMetrics(const std::string& path = "metrics.json") {
+  if (!obs::Enabled()) return;
+  obs::Registry::Get().SaveJsonFile(path);
+  std::cout << "metrics written to " << path << "\n";
 }
 
 }  // namespace sc::bench

@@ -52,5 +52,6 @@ int main() {
   std::cout << "\ndetected " << a.observations.size()
             << " layers (paper's AlexNet: 8)\n";
   std::cout << "elapsed: " << timer.Seconds() << " s\n";
+  sc::bench::ExportMetrics();
   return a.observations.size() == 8 ? 0 : 1;
 }

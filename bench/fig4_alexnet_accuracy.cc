@@ -81,5 +81,6 @@ int main() {
   std::cout << "true structure rank: " << truth_rank << "/" << ranked.size()
             << " (paper: 4/24)\n";
   std::cout << "elapsed: " << timer.Seconds() << " s\n";
+  sc::bench::ExportMetrics();
   return (best > worst && truth_rank <= ranked.size()) ? 0 : 1;
 }

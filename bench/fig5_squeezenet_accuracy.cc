@@ -66,5 +66,6 @@ int main() {
   std::cout << "\naccuracy spread after 3 epochs: " << spread
             << " (paper: clearly separated candidates; shape check: > 0)\n";
   std::cout << "elapsed: " << timer.Seconds() << " s\n";
+  sc::bench::ExportMetrics();
   return spread >= 0.0f ? 0 : 1;
 }

@@ -148,5 +148,6 @@ int main() {
   std::cout << "oracle queries: " << total_queries << "\n";
   std::cout << "ratio table written to fig7_ratios.csv\n";
   std::cout << "elapsed: " << timer.Seconds() << " s\n";
+  sc::bench::ExportMetrics();
   return max_err < 1.0f / 1024.0f ? 0 : 1;
 }

@@ -215,6 +215,34 @@ BENCHMARK(BM_StructureSearchParallel)
     ->Arg(support::ThreadPool::DefaultThreads())
     ->UseRealTime();
 
+// Metrics-toggle overhead probe: the same accelerator inference with the
+// obs registry force-disabled vs force-enabled. The acceptance bar for the
+// observability layer is < 2% delta between the two (disabled recording is
+// one relaxed atomic load per site).
+void BM_MetricsToggle(benchmark::State& state) {
+  const bool enable = state.range(0) != 0;
+  const bool prev = obs::Enabled();
+  obs::SetEnabled(enable);
+  nn::Network net = models::MakeLeNet(7);
+  const nn::Tensor input = bench::RandomInput(net.input_shape(), 7);
+  accel::Accelerator accel{accel::AcceleratorConfig{}};
+  for (auto _ : state) {
+    trace::Trace tr;
+    benchmark::DoNotOptimize(accel.Run(net, input, &tr));
+  }
+  obs::SetEnabled(prev);
+}
+BENCHMARK(BM_MetricsToggle)->ArgName("metrics")->Arg(0)->Arg(1);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus a metrics.json dump when SC_METRICS is on (the
+// benchmark loops themselves feed the accel.*/attack.* counters).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  sc::bench::ExportMetrics();
+  return 0;
+}

@@ -88,5 +88,6 @@ int main() {
                "'principled' = all structures consistent with the trace; "
                "'paper-prior' additionally assumes exact conv division "
                "(zero for SqueezeNet because its conv1 violates it).\n";
+  sc::bench::ExportMetrics();
   return all_found ? 0 : 1;
 }

@@ -40,5 +40,6 @@ int main() {
   std::cout << "full structures: " << r.num_structures()
             << " (paper: 24)\n";
   std::cout << "elapsed: " << timer.Seconds() << " s\n";
+  sc::bench::ExportMetrics();
   return r.num_structures() > 0 ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 #include "nn/conv2d.h"
 #include "nn/dense.h"
 #include "nn/pooling.h"
+#include "obs/metrics.h"
 #include "support/check.h"
 
 namespace sc::accel {
@@ -14,6 +15,30 @@ namespace sc::accel {
 namespace {
 
 using nn::Tensor;
+
+// Metrics (DESIGN.md §9). All recording is additionally gated on
+// AcceleratorConfig::collect_metrics so probe-heavy callers (the weight
+// attack's oracle) can opt out of the accel.* counters per instance.
+struct AccelMetrics {
+  obs::Counter& runs = obs::Registry::Get().GetCounter("accel.runs");
+  obs::Counter& read_events =
+      obs::Registry::Get().GetCounter("accel.dram.read_events");
+  obs::Counter& read_bytes =
+      obs::Registry::Get().GetCounter("accel.dram.read_bytes");
+  obs::Counter& write_events =
+      obs::Registry::Get().GetCounter("accel.dram.write_events");
+  obs::Counter& write_bytes =
+      obs::Registry::Get().GetCounter("accel.dram.write_bytes");
+  obs::Counter& raw_reads =
+      obs::Registry::Get().GetCounter("accel.raw_reads");
+  obs::Histogram& stage_cycles =
+      obs::Registry::Get().GetHistogram("accel.stage.cycles");
+};
+
+AccelMetrics& Metrics() {
+  static AccelMetrics m;
+  return m;
+}
 
 // Integer ceiling division for cycle math.
 std::uint64_t CeilDiv(std::uint64_t a, std::uint64_t b) {
@@ -30,6 +55,10 @@ class Emitter {
     if (bytes == 0) return;
     stage_read_ += bytes;
     tile_bytes_ += bytes;
+    if (cfg_.collect_metrics) {
+      Metrics().read_events.Add();
+      Metrics().read_bytes.Add(bytes);
+    }
     if (trace_)
       trace_->Append(cycle_, addr, Narrow(bytes), trace::MemOp::kRead);
   }
@@ -38,6 +67,10 @@ class Emitter {
     if (bytes == 0) return;
     stage_written_ += bytes;
     tile_bytes_ += bytes;
+    if (cfg_.collect_metrics) {
+      Metrics().write_events.Add();
+      Metrics().write_bytes.Add(bytes);
+    }
     if (trace_)
       trace_->Append(cycle_, addr, Narrow(bytes), trace::MemOp::kWrite);
   }
@@ -178,6 +211,8 @@ void EmitCompressedStreamReads(const StageContext& ctx, int node) {
     ctx.emit.Read(region.base + static_cast<std::uint64_t>(c) *
                                     info.slot_bytes,
                   info.stream_bytes[c]);
+    if (ctx.cfg.collect_metrics && info.stream_bytes[c] > 0)
+      Metrics().raw_reads.Add();
   }
 }
 
@@ -202,6 +237,10 @@ bool EmitFmapRowReads(const StageContext& ctx, int node, int y0, int y1) {
             w * eb;
     ctx.emit.Read(addr, static_cast<std::uint64_t>(y1 - y0) * w * eb);
   }
+  // Reads of an earlier stage's OFM are the RAW-dependency events the
+  // structure attack segments on (paper §3); input reads are not RAW.
+  if (ctx.cfg.collect_metrics && node != nn::kInputNode)
+    Metrics().raw_reads.Add(static_cast<std::uint64_t>(shape[0]));
   return false;
 }
 
@@ -591,6 +630,8 @@ RunResult Accelerator::Run(const nn::Network& net, const nn::Tensor& input,
       static_cast<std::size_t>(net.num_nodes()));
   StageContext ctx{net, map, cfg_, node_outputs, input, emit, region_info};
 
+  if (cfg_.collect_metrics) Metrics().runs.Add();
+
   RunResult result;
   result.stages.reserve(stages.size());
 
@@ -620,6 +661,8 @@ RunResult Accelerator::Run(const nn::Network& net, const nn::Tensor& input,
     stats.end_cycle = emit.cycle();
     stats.bytes_read = emit.stage_read();
     stats.bytes_written = emit.stage_written();
+    if (cfg_.collect_metrics)
+      Metrics().stage_cycles.Record(stats.end_cycle - stats.start_cycle);
 
     const Tensor& out = TensorOf(ctx, stage.output_node);
     stats.ofm_elems = out.numel();

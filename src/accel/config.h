@@ -50,6 +50,13 @@ struct AcceleratorConfig {
   // only the adversary's view is corrupted. Not owned; must outlive runs.
   const trace::TraceTransform* trace_fault_hook = nullptr;
 
+  // --- observability ---
+  // Per-run opt-out for the obs registry (DESIGN.md §9). Recording happens
+  // only when this is true AND the global SC_METRICS switch is on, so
+  // oracle-driven sweeps that would drown the accel.* counters (millions of
+  // probe runs in the weight attack) can exclude themselves.
+  bool collect_metrics = true;
+
   // --- activation ---
   // Tunable ReLU threshold applied by fused activation stages *in place of*
   // each Relu layer's own threshold when >= 0 (Minerva-style knob). A

@@ -8,14 +8,25 @@
 #include "nn/conv2d.h"
 #include "nn/dense.h"
 #include "nn/pooling.h"
+#include "obs/metrics.h"
 #include "support/check.h"
 
 namespace sc::attack {
 
 StructureAttackResult RunStructureAttack(const trace::Trace& trace,
                                          const StructureAttackConfig& cfg) {
+  static obs::Counter& attacks =
+      obs::Registry::Get().GetCounter("attack.structure.runs");
+  static obs::Counter& segments =
+      obs::Registry::Get().GetCounter("attack.structure.segments_found");
+  static obs::Histogram& attack_ns =
+      obs::Registry::Get().GetHistogram("attack.structure.run_ns");
+  obs::ScopedTimer timer(attack_ns);
+
   StructureAttackResult result;
   result.analysis = AnalyzeTrace(trace, cfg.analysis);
+  attacks.Add();
+  segments.Add(result.analysis.observations.size());
 
   SearchConfig search_cfg = cfg.search;
   if (cfg.assume_identical_modules) {

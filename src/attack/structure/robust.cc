@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "support/check.h"
 #include "support/thread_pool.h"
 
@@ -11,12 +12,32 @@ namespace sc::attack {
 
 namespace {
 
+// Consensus metrics (DESIGN.md §9).
+struct RobustMetrics {
+  obs::Counter& acquisitions = obs::Registry::Get().GetCounter(
+      "attack.structure.robust.acquisitions");
+  obs::Counter& analyzable = obs::Registry::Get().GetCounter(
+      "attack.structure.robust.analyzable");
+  obs::Counter& usable = obs::Registry::Get().GetCounter(
+      "attack.structure.robust.usable");
+  obs::Counter& agreeing = obs::Registry::Get().GetCounter(
+      "attack.structure.robust.agreeing_votes");
+  obs::Counter& escalations = obs::Registry::Get().GetCounter(
+      "attack.structure.robust.slack_escalations");
+};
+
+RobustMetrics& Metrics() {
+  static RobustMetrics m;
+  return m;
+}
+
 // Lower median (deterministic for even vote counts). Consumes v.
 template <typename T>
 T MedianInPlace(std::vector<T>& v) {
   SC_CHECK(!v.empty());
   const std::size_t mid = (v.size() - 1) / 2;
-  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  std::nth_element(v.begin(),
+                   v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
   return v[mid];
 }
 
@@ -178,7 +199,13 @@ RobustStructureResult RunRobustStructureAttack(
     for (const TraceAnalysis* a : usable)
       votes.push_back(&a->observations[si]);
     result.consensus.push_back(VoteSegment(votes, static_cast<int>(si)));
+    Metrics().agreeing.Add(
+        static_cast<std::uint64_t>(result.consensus.back().agreeing_votes));
   }
+
+  Metrics().acquisitions.Add(static_cast<std::uint64_t>(result.acquisitions));
+  Metrics().analyzable.Add(static_cast<std::uint64_t>(result.analyzable));
+  Metrics().usable.Add(static_cast<std::uint64_t>(result.usable));
 
   const std::vector<LayerObservation> obs = result.observations();
   SearchConfig search_cfg = cfg.attack.search;
@@ -192,6 +219,7 @@ RobustStructureResult RunRobustStructureAttack(
   // kept even when empty so callers can inspect the failure.
   for (std::size_t r = 0; r < cfg.slack_ladder.size(); ++r) {
     search_cfg.solver.size_slack = cfg.slack_ladder[r];
+    if (r > 0) Metrics().escalations.Add();
     result.search = SearchStructures(obs, search_cfg);
     result.slack_used = cfg.slack_ladder[r];
     if (!result.search.structures.empty()) break;

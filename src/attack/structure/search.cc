@@ -4,12 +4,28 @@
 #include <map>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "support/check.h"
 #include "support/thread_pool.h"
 
 namespace sc::attack {
 
 namespace {
+
+// Search metrics (DESIGN.md §9).
+struct SearchMetrics {
+  obs::Counter& timing_rejections = obs::Registry::Get().GetCounter(
+      "attack.structure.search.timing_rejections");
+  obs::Counter& group_rejections = obs::Registry::Get().GetCounter(
+      "attack.structure.search.group_rejections");
+  obs::Counter& structures = obs::Registry::Get().GetCounter(
+      "attack.structure.search.structures_found");
+};
+
+SearchMetrics& Metrics() {
+  static SearchMetrics m;
+  return m;
+}
 
 // Dimensions of one ObservedInput given the geometries already chosen for
 // its writers. Returns false when the writers' shapes are incompatible
@@ -166,7 +182,10 @@ std::vector<Branch> BranchesAt(SearchState& st, std::size_t si,
         const double r = work / static_cast<double>(o.cycles);
         lo = (lo == 0) ? r : std::min(lo, r);
         hi = std::max(hi, r);
-        if (lo > 0 && hi / lo > st.cfg.timing_tolerance) continue;
+        if (lo > 0 && hi / lo > st.cfg.timing_tolerance) {
+          Metrics().timing_rejections.Add();
+          continue;
+        }
       }
       branches.push_back(Branch{o.role, g, lo, hi});
     }
@@ -177,7 +196,10 @@ std::vector<Branch> BranchesAt(SearchState& st, std::size_t si,
 void Recurse(SearchState& st, std::size_t si, double min_ratio,
              double max_ratio) {
   if (si == st.obs.size()) {
-    if (!GroupsConsistent(st.chosen, st.cfg.identical_groups)) return;
+    if (!GroupsConsistent(st.chosen, st.cfg.identical_groups)) {
+      Metrics().group_rejections.Add();
+      return;
+    }
     SC_CHECK_MSG(st.out->size() < st.cfg.max_structures,
                  "structure explosion: > " << st.cfg.max_structures
                                            << " candidates");
@@ -185,6 +207,7 @@ void Recurse(SearchState& st, std::size_t si, double min_ratio,
     cs.layers = st.chosen;
     cs.timing_spread = (min_ratio > 0) ? max_ratio / min_ratio : 1.0;
     st.out->push_back(std::move(cs));
+    Metrics().structures.Add();
     return;
   }
 

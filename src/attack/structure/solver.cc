@@ -4,11 +4,39 @@
 #include <cmath>
 #include <cstdint>
 
+#include "obs/metrics.h"
 #include "support/check.h"
 
 namespace sc::attack {
 
 namespace {
+
+// Solver metrics (DESIGN.md §9): how many geometries each Eq. (1)–(8)
+// constraint kills is the attack's search-space story, so each prune site
+// gets its own counter.
+struct SolverMetrics {
+  obs::Counter& emitted = obs::Registry::Get().GetCounter(
+      "attack.structure.solver.candidates_emitted");
+  obs::Counter& dedup = obs::Registry::Get().GetCounter(
+      "attack.structure.solver.dedup_hits");
+  obs::Counter& pruned_coverage = obs::Registry::Get().GetCounter(
+      "attack.structure.solver.pruned.coverage");
+  obs::Counter& pruned_eq3 = obs::Registry::Get().GetCounter(
+      "attack.structure.solver.pruned.eq3_filter_quotient");
+  obs::Counter& pruned_eq2 = obs::Registry::Get().GetCounter(
+      "attack.structure.solver.pruned.eq2_ofm_square");
+  obs::Counter& pruned_division = obs::Registry::Get().GetCounter(
+      "attack.structure.solver.pruned.conv_division");
+  obs::Counter& pruned_tail = obs::Registry::Get().GetCounter(
+      "attack.structure.solver.pruned.coverage_tail");
+  obs::Counter& pruned_canonical = obs::Registry::Get().GetCounter(
+      "attack.structure.solver.pruned.canonical_padding");
+};
+
+SolverMetrics& Metrics() {
+  static SolverMetrics m;
+  return m;
+}
 
 // Nearest quotient q >= 1 with |q * divisor - value| <= slack; -1 when no
 // multiple of divisor lies within slack of value. slack = 0 is exact
@@ -46,7 +74,12 @@ void PushUnique(std::vector<nn::LayerGeometry>& out,
   SC_CHECK_MSG(out.size() < cfg.max_candidates,
                "candidate explosion: more than " << cfg.max_candidates
                                                  << " layer configurations");
-  if (std::find(out.begin(), out.end(), g) == out.end()) out.push_back(g);
+  if (std::find(out.begin(), out.end(), g) == out.end()) {
+    out.push_back(g);
+    Metrics().emitted.Add();
+  } else {
+    Metrics().dedup.Add();
+  }
 }
 
 // Enumerates (f_pool, s_pool, p_pool) taking w_conv to w_ofm and appends
@@ -128,7 +161,10 @@ std::vector<nn::LayerGeometry> EnumerateConvConfigs(
           static_cast<long long>(w_ifm) * d_ifm;
       const long long covered_rows =
           NearestQuotient(obs.size_ifm, row_elems, cfg.size_slack);
-      if (covered_rows < 1 || covered_rows > w_ifm) continue;
+      if (covered_rows < 1 || covered_rows > w_ifm) {
+        Metrics().pruned_coverage.Add();
+        continue;
+      }
       u_obs = static_cast<int>(w_ifm - covered_rows);
     }
 
@@ -161,11 +197,17 @@ std::vector<nn::LayerGeometry> EnumerateConvConfigs(
           (cfg.bias_in_filter_region ? 1 : 0);
       const long long d_ofm_ll =
           NearestQuotient(obs.size_fltr, per_out, cfg.size_slack);
-      if (d_ofm_ll < 1 || d_ofm_ll > INT32_MAX) continue;
+      if (d_ofm_ll < 1 || d_ofm_ll > INT32_MAX) {
+        Metrics().pruned_eq3.Add();
+        continue;
+      }
       const int d_ofm = static_cast<int>(d_ofm_ll);
       // W_OFM from Eq. (2).
       const int w_ofm = NearestSquareSide(obs.size_ofm, d_ofm, cfg.size_slack);
-      if (w_ofm < 1) continue;
+      if (w_ofm < 1) {
+        Metrics().pruned_eq2.Add();
+        continue;
+      }
 
       nn::LayerGeometry base;
       base.w_ifm = w_ifm;
@@ -179,9 +221,14 @@ std::vector<nn::LayerGeometry> EnumerateConvConfigs(
         for (int p = 0; p <= max_pad; ++p) {  // Eq. (7) / half-filter prior
           if (w_ifm + 2 * p < f) continue;
           const int rem = (w_ifm + 2 * p - f) % s;
-          if (cfg.exact_conv_division && rem != 0) continue;
-          if (cfg.enforce_coverage && std::max(0, rem - p) != u_obs)
+          if (cfg.exact_conv_division && rem != 0) {
+            Metrics().pruned_division.Add();
             continue;
+          }
+          if (cfg.enforce_coverage && std::max(0, rem - p) != u_obs) {
+            Metrics().pruned_tail.Add();
+            continue;
+          }
           const int w_conv = nn::ConvOutWidth(w_ifm, f, s, p);
           base.s_conv = s;
           base.p_conv = p;
@@ -219,6 +266,7 @@ std::vector<nn::LayerGeometry> EnumerateConvConfigs(
         if (same) {
           if (g.p_conv < kept.p_conv) kept = g;
           superseded = true;
+          Metrics().pruned_canonical.Add();
           break;
         }
       }

@@ -6,12 +6,33 @@
 #include <optional>
 
 #include "nn/geometry.h"
+#include "obs/metrics.h"
 #include "support/check.h"
 #include "support/thread_pool.h"
 
 namespace sc::attack {
 
 namespace {
+
+// Weight-attack metrics (DESIGN.md §9). Updated from pool workers during
+// parallel sweeps; counters are atomics, so no extra locking.
+struct WeightMetrics {
+  obs::Counter& queries =
+      obs::Registry::Get().GetCounter("attack.weights.oracle_queries");
+  obs::Counter& bisect_iters =
+      obs::Registry::Get().GetCounter("attack.weights.bisect_iters");
+  obs::Counter& rebrackets =
+      obs::Registry::Get().GetCounter("attack.weights.rebrackets");
+  obs::Counter& filters =
+      obs::Registry::Get().GetCounter("attack.weights.filters_recovered");
+  obs::Histogram& queries_per_filter = obs::Registry::Get().GetHistogram(
+      "attack.weights.queries_per_filter");
+};
+
+WeightMetrics& Metrics() {
+  static WeightMetrics m;
+  return m;
+}
 
 // Affected convolution output: conv output (oy, ox) whose value changed
 // because of the crafted pixels; sigma = sum of (w/b) * pixel over known
@@ -223,6 +244,9 @@ long long WeightAttack::Residual(int channel,
 }
 
 RecoveredFilter WeightAttack::RecoverFilter(int channel) {
+  // Cached once: the bisection loop below records per iteration, and the
+  // function-local-static guard inside Metrics() must not be paid there.
+  WeightMetrics& metrics = Metrics();
   const int f = geo_.filter;
   const int ic = geo_.in_depth;
   const int s = geo_.stride;
@@ -251,6 +275,8 @@ RecoveredFilter WeightAttack::RecoverFilter(int channel) {
     // (RecoverAbsolute with a threshold knob still works — paper §4.1.)
     rec.failed.assign(rec.failed.size(), true);
     rec.queries = oracle_.queries() - q0;
+    metrics.queries.Add(rec.queries);
+    metrics.queries_per_filter.Record(rec.queries);
     return rec;
   }
 
@@ -278,7 +304,10 @@ RecoveredFilter WeightAttack::RecoverFilter(int channel) {
     };
     const int verify = cfg_.max_rebrackets;
     for (int attempt = 0; attempt <= std::max(0, verify); ++attempt) {
-      if (attempt > 0) ++rec.rebrackets;
+      if (attempt > 0) {
+        ++rec.rebrackets;
+        metrics.rebrackets.Add();
+      }
       double lo = -R, hi = R;
       const long long r_lo = res(lo);
       if (res(hi) == r_lo) {
@@ -288,6 +317,7 @@ RecoveredFilter WeightAttack::RecoverFilter(int channel) {
         return {BisectStatus::kFlat, 0.0};
       }
       for (int it = 0; it < cfg_.max_bisect_iters; ++it) {
+        metrics.bisect_iters.Add();
         const double mid = 0.5 * (lo + hi);
         if (res(mid) == r_lo) {
           lo = mid;
@@ -451,6 +481,9 @@ RecoveredFilter WeightAttack::RecoverFilter(int channel) {
     }
   }
   rec.queries = oracle_.queries() - q0;
+  metrics.queries.Add(rec.queries);
+  metrics.queries_per_filter.Record(rec.queries);
+  metrics.filters.Add();
   return rec;
 }
 

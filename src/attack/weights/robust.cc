@@ -4,12 +4,29 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "support/check.h"
 #include "support/thread_pool.h"
 
 namespace sc::attack {
 
 namespace {
+
+// Robust-attack acquisition budget (DESIGN.md §9): what the healing layer
+// spends on top of attack.weights.oracle_queries.
+struct RobustWeightMetrics {
+  obs::Counter& samples =
+      obs::Registry::Get().GetCounter("attack.weights.robust.samples");
+  obs::Counter& retries =
+      obs::Registry::Get().GetCounter("attack.weights.robust.retries");
+  obs::Counter& sweeps =
+      obs::Registry::Get().GetCounter("attack.weights.robust.sweeps");
+};
+
+RobustWeightMetrics& Metrics() {
+  static RobustWeightMetrics m;
+  return m;
+}
 
 void Validate(const VotingOracleConfig& cfg) {
   SC_CHECK_MSG(cfg.votes >= 1, "votes must be >= 1");
@@ -158,6 +175,9 @@ RobustWeightResult RecoverAllFiltersRobust(
     result.total_retries += retries[static_cast<std::size_t>(k)];
     result.total_rebrackets += rf.rebrackets;
   }
+  Metrics().sweeps.Add();
+  Metrics().samples.Add(result.total_samples);
+  Metrics().retries.Add(result.total_retries);
   return result;
 }
 

@@ -41,6 +41,24 @@ struct ObfuscationResult {
 ObfuscationResult ObfuscateTrace(const trace::Trace& input,
                                  const ObfuscationConfig& cfg);
 
+// TraceTransform adapter so the obfuscating controller can sit directly in
+// AcceleratorConfig::trace_fault_hook: the victim's arithmetic and outputs
+// are untouched (the hook only rewrites the adversary's captured trace),
+// while the probe sees the obfuscated bus. Deployment model of §5: the
+// controller lives between the accelerator and the probe, not inside the
+// datapath.
+class ObfuscationTransform : public trace::TraceTransform {
+ public:
+  explicit ObfuscationTransform(ObfuscationConfig cfg) : cfg_(cfg) {}
+
+  trace::Trace Apply(const trace::Trace& in) const override {
+    return ObfuscateTrace(in, cfg_).trace;
+  }
+
+ private:
+  ObfuscationConfig cfg_;
+};
+
 }  // namespace sc::defense
 
 #endif  // SC_DEFENSE_OBFUSCATION_H_

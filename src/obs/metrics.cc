@@ -1,0 +1,266 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace sc::obs {
+namespace {
+
+bool EnvEnabled() {
+  const char* v = std::getenv("SC_METRICS");
+  if (v == nullptr) return false;
+  const std::string s(v);
+  return s == "1" || s == "true" || s == "on" || s == "ON" || s == "TRUE";
+}
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Minimal JSON string escaping for metric names (which are ASCII dotted
+// identifiers in practice, but exporters must not assume that).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+// Dynamic initializer applying the SC_METRICS env seed before main(). Any
+// recording that races this from another TU's static init just sees the
+// constant-initialized false — a safe no-op.
+namespace {
+[[maybe_unused]] const bool g_env_seed_applied = [] {
+  internal::g_enabled.store(EnvEnabled(), std::memory_order_relaxed);
+  return true;
+}();
+}  // namespace
+
+void SetEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Histogram::Record(std::uint64_t v) {
+  if (!Enabled()) return;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  const int b = v == 0 ? 0 : 64 - std::countl_zero(v);
+  buckets_[static_cast<std::size_t>(b)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+ScopedTimer::ScopedTimer(Histogram& h) : h_(&h) {
+  if (Enabled()) start_ns_ = NowNs();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (start_ns_ == 0 || !Enabled()) return;
+  const std::uint64_t end = NowNs();
+  h_->Record(end > start_ns_ ? end - start_ns_ : 0);
+}
+
+// std::map keeps Snapshot()/exports in name order without a sort; values
+// are unique_ptr so metric addresses survive rehash-free forever.
+struct Registry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry& Registry::Get() {
+  static Registry* r = new Registry();  // never destroyed, see header
+  return *r;
+}
+
+Registry::Impl& Registry::impl() const {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  SC_CHECK_MSG(!im.gauges.count(name) && !im.histograms.count(name),
+               "metric '" + name + "' already registered with another kind");
+  auto& slot = im.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  SC_CHECK_MSG(!im.counters.count(name) && !im.histograms.count(name),
+               "metric '" + name + "' already registered with another kind");
+  auto& slot = im.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  SC_CHECK_MSG(!im.counters.count(name) && !im.gauges.count(name),
+               "metric '" + name + "' already registered with another kind");
+  auto& slot = im.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+Scope Registry::scope(std::string prefix) {
+  return Scope(*this, std::move(prefix));
+}
+
+std::vector<MetricSample> Registry::Snapshot() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::vector<MetricSample> out;
+  out.reserve(im.counters.size() + im.gauges.size() + im.histograms.size());
+  for (const auto& [name, c] : im.counters) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::kCounter;
+    s.name = name;
+    s.value = c->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : im.gauges) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::kGauge;
+    s.name = name;
+    s.gauge_value = g->value();
+    s.gauge_peak = g->peak();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : im.histograms) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::kHistogram;
+    s.name = name;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.min = h->count() == 0 ? 0 : h->min();
+    s.max = h->max();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void Registry::ResetAll() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (auto& [name, c] : im.counters) c->Reset();
+  for (auto& [name, g] : im.gauges) g->Reset();
+  for (auto& [name, h] : im.histograms) h->Reset();
+}
+
+void Registry::WriteJson(std::ostream& os) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : im.counters) {
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+       << "\": " << c->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : im.gauges) {
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+       << "\": {\"value\": " << g->value() << ", \"peak\": " << g->peak()
+       << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : im.histograms) {
+    const std::uint64_t n = h->count();
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+       << "\": {\"count\": " << n << ", \"sum\": " << h->sum()
+       << ", \"min\": " << (n == 0 ? 0 : h->min())
+       << ", \"max\": " << h->max() << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+void Registry::WriteCsv(std::ostream& os) const {
+  os << "kind,name,field,value\n";
+  for (const MetricSample& s : Snapshot()) {
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        os << "counter," << s.name << ",value," << s.value << "\n";
+        break;
+      case MetricSample::Kind::kGauge:
+        os << "gauge," << s.name << ",value," << s.gauge_value << "\n";
+        os << "gauge," << s.name << ",peak," << s.gauge_peak << "\n";
+        break;
+      case MetricSample::Kind::kHistogram:
+        os << "histogram," << s.name << ",count," << s.count << "\n";
+        os << "histogram," << s.name << ",sum," << s.sum << "\n";
+        os << "histogram," << s.name << ",min," << s.min << "\n";
+        os << "histogram," << s.name << ",max," << s.max << "\n";
+        break;
+    }
+  }
+}
+
+void Registry::SaveJsonFile(const std::string& path) const {
+  std::ofstream f(path);
+  SC_CHECK_MSG(f.good(), "cannot open metrics JSON file: " + path);
+  WriteJson(f);
+  SC_CHECK_MSG(f.good(), "failed writing metrics JSON file: " + path);
+}
+
+void Registry::SaveCsvFile(const std::string& path) const {
+  std::ofstream f(path);
+  SC_CHECK_MSG(f.good(), "cannot open metrics CSV file: " + path);
+  WriteCsv(f);
+  SC_CHECK_MSG(f.good(), "failed writing metrics CSV file: " + path);
+}
+
+}  // namespace sc::obs

@@ -2,11 +2,26 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
 #include "support/check.h"
 
 namespace sc::sim {
 
 namespace {
+
+// Fault-injection metrics (DESIGN.md §9): what the simulated probe actually
+// did to the adversary's measurements, aggregated across forked oracles.
+struct NoiseMetrics {
+  obs::Counter& faults =
+      obs::Registry::Get().GetCounter("sim.noise.transient_faults");
+  obs::Counter& perturbations =
+      obs::Registry::Get().GetCounter("sim.noise.count_perturbations");
+};
+
+NoiseMetrics& Metrics() {
+  static NoiseMetrics m;
+  return m;
+}
 
 std::uint64_t MixSeed(std::uint64_t seed, std::uint64_t k) {
   std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (k + 1);
@@ -48,10 +63,12 @@ NoisyOracle::NoisyOracle(std::unique_ptr<attack::ZeroCountOracle> owned,
 std::size_t NoisyOracle::Corrupt(std::size_t count) {
   if (cfg_.failure_prob > 0.0 && rng_.Chance(cfg_.failure_prob)) {
     ++injected_failures_;
+    Metrics().faults.Add();
     throw attack::TransientOracleError("injected acquisition failure");
   }
   if (cfg_.count_noise_prob > 0.0 && rng_.Chance(cfg_.count_noise_prob)) {
     ++perturbed_counts_;
+    Metrics().perturbations.Add();
     const int delta = rng_.UniformInt(1, cfg_.max_count_delta) *
                       (rng_.Chance(0.5) ? 1 : -1);
     if (delta < 0 && count < static_cast<std::size_t>(-delta)) return 0;

@@ -8,6 +8,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "support/check.h"
 
 namespace sc::support {
@@ -15,6 +16,25 @@ namespace sc::support {
 namespace {
 
 thread_local bool tl_in_parallel_region = false;
+
+// Metrics (DESIGN.md §9). Handles are cached once; recording is a relaxed
+// no-op while SC_METRICS is off.
+struct PoolMetrics {
+  obs::Counter& tasks = obs::Registry::Get().GetCounter("pool.tasks_submitted");
+  obs::Counter& parallel_for =
+      obs::Registry::Get().GetCounter("pool.parallel_for_calls");
+  obs::Counter& chunks = obs::Registry::Get().GetCounter("pool.chunks_run");
+  obs::Counter& inline_runs =
+      obs::Registry::Get().GetCounter("pool.inline_runs");
+  obs::Gauge& queue_depth = obs::Registry::Get().GetGauge("pool.queue_depth");
+  obs::Histogram& wait_ns =
+      obs::Registry::Get().GetHistogram("pool.worker_wait_ns");
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics m;
+  return m;
+}
 
 struct RegionGuard {
   // Saves and restores the previous value: a nested inline region must not
@@ -57,6 +77,8 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mu_);
     SC_CHECK_MSG(!stop_, "submit on a stopped ThreadPool");
     queue_.push_back(std::move(task));
+    Metrics().tasks.Add();
+    Metrics().queue_depth.Set(static_cast<std::int64_t>(queue_.size()));
   }
   cv_.notify_one();
 }
@@ -66,10 +88,14 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      {
+        obs::ScopedTimer wait_timer(Metrics().wait_ns);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      }
       if (queue_.empty()) return;  // stop_ set and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      Metrics().queue_depth.Set(static_cast<std::int64_t>(queue_.size()));
     }
     task();
   }
@@ -120,7 +146,10 @@ void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
   const int lanes = static_cast<int>(
       std::min<std::int64_t>(pool->threads(), nchunks));
 
+  Metrics().parallel_for.Add();
+
   if (lanes <= 1 || tl_in_parallel_region) {
+    Metrics().inline_runs.Add();
     RegionGuard region;
     fn(begin, end);
     return;
@@ -151,6 +180,7 @@ void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
       if (st.failed.load(std::memory_order_relaxed)) return;
       const std::int64_t c = st.next.fetch_add(1, std::memory_order_relaxed);
       if (c >= st.nchunks) return;
+      Metrics().chunks.Add();
       const std::int64_t lo = st.begin + c * st.grain;
       const std::int64_t hi = std::min(st.end, lo + st.grain);
       try {

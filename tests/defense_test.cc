@@ -89,6 +89,59 @@ TEST(ObfuscateTrace, NoPermutationStillAddsNoise) {
   EXPECT_GT(r.trace.size(), victim.size());
 }
 
+// Deployment model (§5): the obfuscating controller sits between the bus
+// and the probe via AcceleratorConfig::trace_fault_hook. It must change
+// only the adversary's observation — the victim's outputs, stage stats and
+// cycle counts are bit-identical with and without the hook.
+TEST(ObfuscationTransform, HookChangesTraceButNotVictimOutputs) {
+  nn::Network net = models::MakeLeNet(5);
+  nn::Tensor x(net.input_shape());
+  sc::Rng rng(5);
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = rng.GaussianF(1.0f);
+
+  accel::Accelerator plain{accel::AcceleratorConfig{}};
+  trace::Trace plain_trace;
+  const accel::RunResult plain_run = plain.Run(net, x, &plain_trace);
+
+  const ObfuscationTransform hook{ObfuscationConfig{}};
+  accel::AcceleratorConfig cfg;
+  cfg.trace_fault_hook = &hook;
+  accel::Accelerator defended{cfg};
+  trace::Trace defended_trace;
+  const accel::RunResult defended_run = defended.Run(net, x, &defended_trace);
+
+  // Victim side: arithmetic and timing untouched.
+  ASSERT_EQ(defended_run.output.numel(), plain_run.output.numel());
+  for (std::size_t i = 0; i < plain_run.output.numel(); ++i)
+    ASSERT_EQ(defended_run.output[i], plain_run.output[i]) << "element " << i;
+  EXPECT_EQ(defended_run.total_cycles, plain_run.total_cycles);
+  ASSERT_EQ(defended_run.stages.size(), plain_run.stages.size());
+  for (std::size_t s = 0; s < plain_run.stages.size(); ++s) {
+    EXPECT_EQ(defended_run.stages[s].ofm_nonzeros,
+              plain_run.stages[s].ofm_nonzeros);
+  }
+
+  // Adversary side: the observation is genuinely different (more traffic,
+  // and not an event-for-event copy of the bus).
+  EXPECT_GT(defended_trace.size(), plain_trace.size());
+  EXPECT_GT(defended_trace.bytes_read() + defended_trace.bytes_written(),
+            plain_trace.bytes_read() + plain_trace.bytes_written());
+}
+
+// The adapter is a faithful wrapper: Apply() must produce exactly the
+// trace ObfuscateTrace() produces for the same config.
+TEST(ObfuscationTransform, ApplyMatchesObfuscateTrace) {
+  const trace::Trace victim = VictimTrace(6);
+  ObfuscationConfig cfg;
+  cfg.seed = 11;
+  const ObfuscationTransform hook{cfg};
+  const trace::Trace via_hook = hook.Apply(victim);
+  const trace::Trace direct = ObfuscateTrace(victim, cfg).trace;
+  ASSERT_EQ(via_hook.size(), direct.size());
+  for (std::size_t i = 0; i < via_hook.size(); ++i)
+    EXPECT_EQ(via_hook[i], direct[i]);
+}
+
 TEST(ObfuscateTrace, ValidatesConfig) {
   trace::Trace t;
   t.Append(0, 0, 64, trace::MemOp::kRead);

@@ -1,0 +1,281 @@
+// Differential tests: with noise disabled, the robust ("self-healing")
+// attack drivers must be indistinguishable from the plain attacks at the
+// finest granularity we can observe —
+//   - weight side: the exact byte-level oracle query sequence (every
+//     crafted input and channel, in order), captured by a recording
+//     decorator, plus the recovered ratios;
+//   - structure side: the solver/search work counters introduced by the
+//     observability layer, plus the surviving structures.
+// This pins the PR-2 robustness layer's "free when noise-free" contract:
+// voting with 1 vote, 0 retries, 0 re-brackets, and a slack ladder
+// starting at 0 may not change what the adversary does, only package it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <ios>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "attack/structure/pipeline.h"
+#include "attack/structure/robust.h"
+#include "attack/weights/attack.h"
+#include "attack/weights/oracle.h"
+#include "attack/weights/robust.h"
+#include "models/zoo.h"
+#include "nn/tensor.h"
+#include "obs/metrics.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
+#include "trace/trace.h"
+
+namespace sc::attack {
+namespace {
+
+// --- query-sequence recorder ------------------------------------------------
+
+// Wraps an oracle and serializes every query — kind, channel, and each
+// pixel with its exact float bits — into an append-only log. Clone/Fork
+// return nullptr on purpose: both the plain and the robust driver then
+// take their serial fallback on this very instance, so the two logs are
+// directly comparable (no interleaving across workers).
+class RecordingOracle : public ZeroCountOracle {
+ public:
+  explicit RecordingOracle(ZeroCountOracle& inner) : inner_(inner) {}
+
+  std::size_t ChannelNonZeros(const std::vector<SparsePixel>& pixels,
+                              int channel) override {
+    ++queries_;
+    Log('C', pixels, channel);
+    return inner_.ChannelNonZeros(pixels, channel);
+  }
+
+  std::size_t TotalNonZeros(const std::vector<SparsePixel>& pixels) override {
+    ++queries_;
+    Log('T', pixels, -1);
+    return inner_.TotalNonZeros(pixels);
+  }
+
+  int num_channels() const override { return inner_.num_channels(); }
+
+  bool SetActivationThreshold(float threshold) override {
+    return inner_.SetActivationThreshold(threshold);
+  }
+
+  const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  void Log(char kind, const std::vector<SparsePixel>& pixels, int channel) {
+    std::ostringstream os;
+    os << kind << ' ' << channel;
+    for (const SparsePixel& p : pixels) {
+      // hexfloat is bit-exact for finite floats, so two logs match iff the
+      // crafted inputs are byte-identical.
+      os << " (" << p.c << ',' << p.y << ',' << p.x << ','
+         << std::hexfloat << p.value << std::defaultfloat << ')';
+    }
+    log_.push_back(os.str());
+  }
+
+  ZeroCountOracle& inner_;
+  std::vector<std::string> log_;
+};
+
+struct Victim {
+  SparseConvOracle::StageSpec spec;
+  nn::Tensor weights;
+  nn::Tensor bias;
+};
+
+Victim MakeVictim(std::uint64_t seed, int in_depth, int in_width, int oc,
+                  int f, nn::PoolKind pool, int pool_window,
+                  int pool_stride) {
+  Victim v;
+  v.spec.in_depth = in_depth;
+  v.spec.in_width = in_width;
+  v.spec.filter = f;
+  v.spec.stride = 1;
+  v.spec.pool = pool;
+  v.spec.pool_window = pool_window;
+  v.spec.pool_stride = pool_stride;
+  v.weights = nn::Tensor(nn::Shape{oc, in_depth, f, f});
+  v.bias = nn::Tensor(nn::Shape{oc});
+  Rng rng(seed);
+  for (std::size_t i = 0; i < v.weights.numel(); ++i)
+    v.weights[i] = rng.GaussianF(0.6f);
+  for (int k = 0; k < oc; ++k) v.bias.at(k) = rng.UniformF(0.1f, 0.5f);
+  return v;
+}
+
+// Neutralized robustness: every healing mechanism configured to do nothing.
+RobustWeightConfig NeutralRobustConfig() {
+  RobustWeightConfig cfg;
+  cfg.voting.votes = 1;
+  cfg.voting.max_retries = 0;
+  cfg.attack.max_rebrackets = 0;
+  return cfg;
+}
+
+void ExpectIdenticalFilters(const std::vector<RecoveredFilter>& a,
+                            const std::vector<RecoveredFilter>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].channel, b[k].channel);
+    EXPECT_EQ(a[k].bias_positive, b[k].bias_positive);
+    EXPECT_EQ(a[k].is_zero, b[k].is_zero);
+    EXPECT_EQ(a[k].failed, b[k].failed);
+    EXPECT_EQ(a[k].queries, b[k].queries);
+    ASSERT_EQ(a[k].ratio.numel(), b[k].ratio.numel());
+    for (std::size_t i = 0; i < a[k].ratio.numel(); ++i)
+      EXPECT_EQ(a[k].ratio[i], b[k].ratio[i]) << "filter " << k << " pos "
+                                              << i;
+  }
+}
+
+void RunWeightDifferential(const Victim& v) {
+  SparseConvOracle plain_inner(v.spec, v.weights, v.bias);
+  RecordingOracle plain_rec(plain_inner);
+  const std::vector<RecoveredFilter> plain =
+      RecoverAllFilters(plain_rec, v.spec, WeightAttackConfig{});
+
+  SparseConvOracle robust_inner(v.spec, v.weights, v.bias);
+  RecordingOracle robust_rec(robust_inner);
+  const RobustWeightResult robust =
+      RecoverAllFiltersRobust(robust_rec, v.spec, NeutralRobustConfig());
+
+  // Byte-identical query sequences: same count, same content, same order.
+  ASSERT_EQ(robust_rec.log().size(), plain_rec.log().size());
+  for (std::size_t i = 0; i < plain_rec.log().size(); ++i)
+    ASSERT_EQ(robust_rec.log()[i], plain_rec.log()[i]) << "query " << i;
+
+  ExpectIdenticalFilters(robust.filters, plain);
+  EXPECT_EQ(robust.total_retries, 0u);
+  EXPECT_EQ(robust.total_rebrackets, 0u);
+  EXPECT_EQ(robust.total_samples, robust.total_queries);
+  // Confidence is the non-failed fraction; with identical `failed` vectors
+  // it must equal the value computed from the plain attack's result.
+  ASSERT_EQ(robust.confidence.size(), plain.size());
+  for (std::size_t k = 0; k < plain.size(); ++k) {
+    std::size_t ok = 0;
+    for (const bool f : plain[k].failed)
+      if (!f) ++ok;
+    EXPECT_EQ(robust.confidence[k],
+              static_cast<double>(ok) /
+                  static_cast<double>(plain[k].failed.size()));
+  }
+}
+
+TEST(DifferentialWeights, RobustEqualsPlainNoPool) {
+  RunWeightDifferential(
+      MakeVictim(7, 2, 10, 3, 3, nn::PoolKind::kNone, 0, 0));
+}
+
+TEST(DifferentialWeights, RobustEqualsPlainMaxPool) {
+  RunWeightDifferential(
+      MakeVictim(8, 1, 12, 2, 3, nn::PoolKind::kMax, 2, 2));
+}
+
+// The thread pool must not change the comparison either: with Clone/Fork
+// unavailable both drivers serialize, so the logs are thread-count
+// independent by construction — verified at SC_THREADS=4.
+TEST(DifferentialWeights, RobustEqualsPlainWithThreadPool) {
+  const int prev = support::ThreadPool::GlobalThreads();
+  support::ThreadPool::SetGlobalThreads(4);
+  RunWeightDifferential(
+      MakeVictim(9, 1, 10, 2, 3, nn::PoolKind::kNone, 0, 0));
+  support::ThreadPool::SetGlobalThreads(prev);
+}
+
+// --- structure side ---------------------------------------------------------
+
+// Names of the work counters that measure what the solver/search actually
+// did. The robust driver adds its own attack.structure.robust.* counters,
+// but on a single clean trace with slack 0 it must do exactly the plain
+// attack's solver/search work — these counters must match one-for-one.
+const char* kStructureWorkCounters[] = {
+    "attack.structure.solver.candidates_emitted",
+    "attack.structure.solver.dedup_hits",
+    "attack.structure.solver.pruned.coverage",
+    "attack.structure.solver.pruned.eq3_filter_quotient",
+    "attack.structure.solver.pruned.eq2_ofm_square",
+    "attack.structure.solver.pruned.conv_division",
+    "attack.structure.solver.pruned.coverage_tail",
+    "attack.structure.solver.pruned.canonical_padding",
+    "attack.structure.search.timing_rejections",
+    "attack.structure.search.group_rejections",
+    "attack.structure.search.structures_found",
+};
+
+std::vector<std::uint64_t> StructureWorkSnapshot() {
+  std::vector<std::uint64_t> out;
+  for (const char* name : kStructureWorkCounters)
+    out.push_back(obs::Registry::Get().GetCounter(name).value());
+  return out;
+}
+
+void ExpectIdenticalStructures(const SearchResult& a, const SearchResult& b) {
+  ASSERT_EQ(a.structures.size(), b.structures.size());
+  for (std::size_t s = 0; s < a.structures.size(); ++s) {
+    const CandidateStructure& ca = a.structures[s];
+    const CandidateStructure& cb = b.structures[s];
+    ASSERT_EQ(ca.layers.size(), cb.layers.size());
+    EXPECT_EQ(ca.timing_spread, cb.timing_spread);
+    for (std::size_t l = 0; l < ca.layers.size(); ++l) {
+      EXPECT_EQ(ca.layers[l].role, cb.layers[l].role);
+      EXPECT_EQ(ca.layers[l].geom, cb.layers[l].geom);
+    }
+  }
+}
+
+TEST(DifferentialStructure, RobustOnCleanTraceEqualsPlain) {
+  obs::SetEnabled(true);
+  obs::Registry::Get().ResetAll();
+
+  nn::Network net = models::MakeLeNet(3);
+  nn::Tensor input(net.input_shape());
+  Rng rng(5);
+  for (std::size_t i = 0; i < input.numel(); ++i)
+    input[i] = rng.GaussianF(1.0f);
+  accel::Accelerator accelerator{accel::AcceleratorConfig{}};
+  trace::Trace tr;
+  accelerator.Run(net, input, &tr);
+
+  StructureAttackConfig cfg;
+  cfg.analysis.known_input_elems = 28 * 28;
+  cfg.search.known_input_width = 28;
+  cfg.search.known_input_depth = 1;
+  cfg.search.known_output_classes = 10;
+
+  const StructureAttackResult plain = RunStructureAttack(tr, cfg);
+  const std::vector<std::uint64_t> plain_work = StructureWorkSnapshot();
+
+  obs::Registry::Get().ResetAll();
+  RobustStructureConfig rcfg;
+  rcfg.attack = cfg;
+  const RobustStructureResult robust = RunRobustStructureAttack({tr}, rcfg);
+  const std::vector<std::uint64_t> robust_work = StructureWorkSnapshot();
+
+  EXPECT_GT(plain.search.structures.size(), 0u);
+  EXPECT_EQ(robust.slack_used, 0);
+  EXPECT_EQ(robust.acquisitions, 1);
+  EXPECT_EQ(robust.usable, 1);
+  for (const LayerConsensus& lc : robust.consensus)
+    EXPECT_EQ(lc.confidence(), 1.0);
+
+  ExpectIdenticalStructures(robust.search, plain.search);
+
+  // The work-counter fingerprint: every candidate enumerated, pruned,
+  // deduplicated, or timing-rejected matches the plain attack exactly.
+  ASSERT_GT(plain_work[0], 0u);  // candidates_emitted actually moved
+  for (std::size_t i = 0; i < plain_work.size(); ++i)
+    EXPECT_EQ(robust_work[i], plain_work[i])
+        << "counter " << kStructureWorkCounters[i];
+
+  obs::Registry::Get().ResetAll();
+  obs::SetEnabled(false);
+}
+
+}  // namespace
+}  // namespace sc::attack

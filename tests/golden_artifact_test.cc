@@ -1,0 +1,137 @@
+// Golden-artifact regression tests for the bench CSV formats.
+//
+// Regenerates miniature (LeNet-sized) versions of the fig3 trace series
+// and the table4 structures export and diffs them byte-for-byte against
+// CSVs committed under tests/golden/. Any change to the accelerator's
+// traffic model, the structure search, or the CSV writers shows up as a
+// full-text diff here instead of silently shifting the paper-figure
+// artifacts.
+//
+// To regenerate after an intentional change:
+//   SC_REGEN_GOLDENS=1 ./build/tests/golden_artifact_test
+// then commit the rewritten files in tests/golden/ with the change.
+//
+// Default-config traces are data-independent (zero pruning off), so these
+// bytes depend only on model geometry and the accelerator timing model —
+// not on float arithmetic — and are stable across compilers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "accel/accelerator.h"
+#include "attack/structure/pipeline.h"
+#include "attack/structure/report.h"
+#include "models/zoo.h"
+#include "nn/tensor.h"
+#include "trace/trace.h"
+
+#ifndef SC_GOLDEN_DIR
+#error "SC_GOLDEN_DIR must be defined by the build (tests/CMakeLists.txt)"
+#endif
+
+namespace sc {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(SC_GOLDEN_DIR) + "/" + name;
+}
+
+bool RegenRequested() {
+  const char* env = std::getenv("SC_REGEN_GOLDENS");
+  return env && std::string(env) == "1";
+}
+
+// Compares `actual` against the committed golden, or rewrites the golden
+// when SC_REGEN_GOLDENS=1. On mismatch the first differing line is named,
+// so the failure is actionable without running a diff tool.
+void CheckGolden(const std::string& name, const std::string& actual) {
+  const std::string path = GoldenPath(name);
+  if (RegenRequested()) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.is_open()) << "cannot rewrite " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open())
+      << path << " missing; regenerate with SC_REGEN_GOLDENS=1";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string expected = buf.str();
+  if (actual == expected) return;
+
+  std::istringstream a(actual), e(expected);
+  std::string al, el;
+  std::size_t lineno = 0;
+  while (true) {
+    ++lineno;
+    const bool more_a = static_cast<bool>(std::getline(a, al));
+    const bool more_e = static_cast<bool>(std::getline(e, el));
+    if (!more_a && !more_e) break;
+    ASSERT_EQ(more_a, more_e) << name << ": length differs at line "
+                              << lineno;
+    ASSERT_EQ(al, el) << name << ": first difference at line " << lineno;
+  }
+  FAIL() << name << " differs from golden";  // unreachable in practice
+}
+
+// The shared LeNet capture both artifacts derive from. The input is a
+// constant tensor: with zero pruning off the trace is data-independent,
+// and a constant keeps that visibly true in the test itself.
+trace::Trace CaptureLeNetTrace() {
+  nn::Network net = models::MakeLeNet(3);
+  nn::Tensor input(net.input_shape(), 0.5f);
+  accel::Accelerator accelerator{accel::AcceleratorConfig{}};
+  trace::Trace tr;
+  accelerator.Run(net, input, &tr);
+  return tr;
+}
+
+TEST(GoldenArtifact, Fig3StyleLeNetTraceSeries) {
+  const trace::Trace tr = CaptureLeNetTrace();
+  // Same downsampled address-vs-time series fig3_memory_trace.cc emits,
+  // shrunk to ~2000 points so the golden stays reviewable.
+  const std::size_t stride = std::max<std::size_t>(1, tr.size() / 2000);
+  std::ostringstream csv;
+  csv << "cycle,addr,op\n";
+  for (std::size_t i = 0; i < tr.size(); i += stride)
+    csv << tr[i].cycle << ',' << tr[i].addr << ','
+        << trace::ToString(tr[i].op) << '\n';
+  CheckGolden("fig3_lenet_trace.csv", csv.str());
+}
+
+TEST(GoldenArtifact, Table4StyleLeNetStructures) {
+  const trace::Trace tr = CaptureLeNetTrace();
+  attack::StructureAttackConfig cfg;
+  cfg.analysis.known_input_elems = 28 * 28;
+  cfg.search.known_input_width = 28;
+  cfg.search.known_input_depth = 1;
+  cfg.search.known_output_classes = 10;
+  const attack::StructureAttackResult r = attack::RunStructureAttack(tr, cfg);
+  ASSERT_GT(r.search.structures.size(), 0u);
+
+  std::ostringstream csv;
+  attack::WriteStructuresCsv(csv, r.search);
+  CheckGolden("table4_lenet_structures.csv", csv.str());
+}
+
+// The round-trip golden: the captured trace serialized through the Trace
+// CSV writer itself (full fidelity, not downsampled) must both match the
+// golden and parse back to an identical trace. Guards the on-disk trace
+// format end to end.
+TEST(GoldenArtifact, LeNetTraceCsvRoundTrip) {
+  const trace::Trace tr = CaptureLeNetTrace();
+  std::ostringstream csv;
+  tr.WriteCsv(csv);
+  std::istringstream in(csv.str());
+  const trace::Trace back = trace::Trace::ReadCsv(in);
+  ASSERT_EQ(back.size(), tr.size());
+  for (std::size_t i = 0; i < tr.size(); ++i) EXPECT_EQ(back[i], tr[i]);
+}
+
+}  // namespace
+}  // namespace sc

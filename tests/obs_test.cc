@@ -1,0 +1,224 @@
+// Unit tests for the observability layer (src/obs): metric semantics, the
+// enable gate, registry identity/export, and thread safety of concurrent
+// recording.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "support/check.h"
+
+namespace sc::obs {
+namespace {
+
+// Every test runs with collection on and a clean slate; the registry is
+// process-wide, so state must not leak between tests.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(true);
+    Registry::Get().ResetAll();
+  }
+  void TearDown() override {
+    Registry::Get().ResetAll();
+    SetEnabled(false);
+  }
+};
+
+TEST_F(ObsTest, CounterAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, CounterIsNoOpWhenDisabled) {
+  Counter c;
+  SetEnabled(false);
+  c.Add(100);
+  EXPECT_EQ(c.value(), 0u);
+  SetEnabled(true);
+  c.Add(1);
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST_F(ObsTest, GaugeTracksValueAndPeak) {
+  Gauge g;
+  g.Set(5);
+  g.Set(12);
+  g.Set(3);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.peak(), 12);
+  g.Add(-10);
+  EXPECT_EQ(g.value(), -7);
+  EXPECT_EQ(g.peak(), 12);
+}
+
+TEST_F(ObsTest, HistogramStatsAndBuckets) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  h.Record(0);
+  h.Record(1);
+  h.Record(7);
+  h.Record(1024);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 1032u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1024u);
+  EXPECT_DOUBLE_EQ(h.mean(), 258.0);
+  // log2 buckets: 0 -> bucket 0, 1 -> bucket 1, 7 -> bucket 3 (4..7),
+  // 1024 -> bucket 11 (1024..2047).
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.bucket(11), 1u);
+  EXPECT_EQ(h.bucket(2), 0u);
+}
+
+TEST_F(ObsTest, ScopedTimerRecordsWhenEnabled) {
+  Histogram h;
+  { ScopedTimer t(h); }
+  EXPECT_EQ(h.count(), 1u);
+  SetEnabled(false);
+  { ScopedTimer t(h); }
+  EXPECT_EQ(h.count(), 1u);  // disarmed
+}
+
+TEST_F(ObsTest, RegistryReturnsStableIdentity) {
+  Counter& a = Registry::Get().GetCounter("obs_test.stable");
+  Counter& b = Registry::Get().GetCounter("obs_test.stable");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.value(), 3u);
+  // ResetAll zeroes but preserves the address.
+  Registry::Get().ResetAll();
+  EXPECT_EQ(a.value(), 0u);
+  EXPECT_EQ(&Registry::Get().GetCounter("obs_test.stable"), &a);
+}
+
+TEST_F(ObsTest, RegistryRejectsKindConflicts) {
+  Registry::Get().GetCounter("obs_test.kind_conflict");
+  EXPECT_THROW(Registry::Get().GetGauge("obs_test.kind_conflict"), Error);
+  EXPECT_THROW(Registry::Get().GetHistogram("obs_test.kind_conflict"), Error);
+}
+
+TEST_F(ObsTest, ScopePrefixesNames) {
+  Scope s = Registry::Get().scope("obs_test.scoped");
+  s.GetCounter("inner").Add(2);
+  EXPECT_EQ(Registry::Get().GetCounter("obs_test.scoped.inner").value(), 2u);
+}
+
+TEST_F(ObsTest, SnapshotListsAllKindsInNameOrder) {
+  Registry::Get().GetCounter("obs_test.snap.a").Add(1);
+  Registry::Get().GetGauge("obs_test.snap.b").Set(-4);
+  Registry::Get().GetHistogram("obs_test.snap.c").Record(9);
+  const std::vector<MetricSample> snap = Registry::Get().Snapshot();
+  bool saw_a = false, saw_b = false, saw_c = false;
+  for (const MetricSample& s : snap) {
+    if (s.name == "obs_test.snap.a") {
+      saw_a = true;
+      EXPECT_EQ(s.kind, MetricSample::Kind::kCounter);
+      EXPECT_EQ(s.value, 1u);
+    } else if (s.name == "obs_test.snap.b") {
+      saw_b = true;
+      EXPECT_EQ(s.kind, MetricSample::Kind::kGauge);
+      EXPECT_EQ(s.gauge_value, -4);
+    } else if (s.name == "obs_test.snap.c") {
+      saw_c = true;
+      EXPECT_EQ(s.kind, MetricSample::Kind::kHistogram);
+      EXPECT_EQ(s.count, 1u);
+      EXPECT_EQ(s.sum, 9u);
+    }
+  }
+  EXPECT_TRUE(saw_a && saw_b && saw_c);
+  // Counters come sorted by name.
+  std::vector<std::string> counter_names;
+  for (const MetricSample& s : snap)
+    if (s.kind == MetricSample::Kind::kCounter)
+      counter_names.push_back(s.name);
+  EXPECT_TRUE(
+      std::is_sorted(counter_names.begin(), counter_names.end()));
+}
+
+TEST_F(ObsTest, JsonExportIsWellFormed) {
+  Registry::Get().GetCounter("obs_test.json.count").Add(7);
+  Registry::Get().GetGauge("obs_test.json.depth").Set(2);
+  Registry::Get().GetHistogram("obs_test.json.lat").Record(100);
+  std::ostringstream os;
+  Registry::Get().WriteJson(os);
+  const std::string j = os.str();
+  EXPECT_NE(j.find("\"counters\""), std::string::npos);
+  EXPECT_NE(j.find("\"obs_test.json.count\": 7"), std::string::npos);
+  EXPECT_NE(j.find("\"obs_test.json.depth\": {\"value\": 2, \"peak\": 2}"),
+            std::string::npos);
+  EXPECT_NE(j.find("\"obs_test.json.lat\": {\"count\": 1, \"sum\": 100"),
+            std::string::npos);
+  // Balanced braces (cheap well-formedness proxy; the e2e test runs a real
+  // parser over the accel/attack export).
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+            std::count(j.begin(), j.end(), '}'));
+}
+
+TEST_F(ObsTest, CsvExportOneRowPerField) {
+  Registry::Get().GetCounter("obs_test.csv.count").Add(3);
+  Registry::Get().GetHistogram("obs_test.csv.lat").Record(5);
+  std::ostringstream os;
+  Registry::Get().WriteCsv(os);
+  const std::string csv = os.str();
+  EXPECT_EQ(csv.rfind("kind,name,field,value\n", 0), 0u);
+  EXPECT_NE(csv.find("counter,obs_test.csv.count,value,3\n"),
+            std::string::npos);
+  EXPECT_NE(csv.find("histogram,obs_test.csv.lat,count,1\n"),
+            std::string::npos);
+  EXPECT_NE(csv.find("histogram,obs_test.csv.lat,sum,5\n"),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, ConcurrentRecordingLosesNothing) {
+  Counter& c = Registry::Get().GetCounter("obs_test.mt.counter");
+  Histogram& h = Registry::Get().GetHistogram("obs_test.mt.hist");
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        c.Add();
+        h.Record(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(h.max(), static_cast<std::uint64_t>(kIters - 1));
+}
+
+// Concurrent registration of the same name must return one metric.
+TEST_F(ObsTest, ConcurrentRegistrationIsSafe) {
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      seen[static_cast<std::size_t>(t)] =
+          &Registry::Get().GetCounter("obs_test.mt.registration");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t)
+    EXPECT_EQ(seen[0], seen[static_cast<std::size_t>(t)]);
+}
+
+}  // namespace
+}  // namespace sc::obs

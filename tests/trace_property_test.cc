@@ -1,0 +1,184 @@
+// Property-based tests for Trace CSV serialization.
+//
+// Round-trip invariant: for any valid trace — including adversarial shapes
+// like repeated cycles, huge addresses, and maximum burst sizes —
+// WriteCsv followed by ReadCsv reproduces the trace exactly (MemEvent has
+// operator==, so equality is field-exact). Complemented by directed tests
+// of every ReadCsv rejection path, checking that diagnostics carry the
+// 1-based line number of the offending row.
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "support/check.h"
+#include "support/rng.h"
+#include "trace/mem_event.h"
+
+namespace sc::trace {
+namespace {
+
+constexpr int kCases = 100;
+
+// One randomized valid trace. Sizes, address ranges, and cycle gaps are all
+// drawn adversarially: empty traces, single events, bursts of 1 byte and of
+// UINT32_MAX bytes, addresses near 2^64, and long runs of equal cycles.
+Trace RandomTrace(std::uint64_t seed) {
+  Rng rng(seed);
+  Trace t;
+  const int n = rng.UniformInt(0, 200);
+  std::uint64_t cycle = static_cast<std::uint64_t>(rng.UniformInt(0, 1000));
+  for (int i = 0; i < n; ++i) {
+    MemEvent e;
+    // ~25% of events share the previous cycle (bursts issued back-to-back).
+    if (!rng.Chance(0.25))
+      cycle += static_cast<std::uint64_t>(rng.UniformInt(0, 1 << 16));
+    e.cycle = cycle;
+    e.addr = static_cast<std::uint64_t>(rng.UniformInt(0, 1 << 30));
+    if (rng.Chance(0.05))  // near the top of the address space
+      e.addr = std::numeric_limits<std::uint64_t>::max() - e.addr;
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+        e.bytes = 1;
+        break;
+      case 1:
+        e.bytes = std::numeric_limits<std::uint32_t>::max();
+        break;
+      default:
+        e.bytes = static_cast<std::uint32_t>(rng.UniformInt(1, 1 << 20));
+    }
+    e.op = rng.Chance(0.5) ? MemOp::kRead : MemOp::kWrite;
+    t.Append(e);
+  }
+  return t;
+}
+
+TEST(TraceProperty, CsvRoundTripIsExact) {
+  for (int c = 0; c < kCases; ++c) {
+    const Trace original = RandomTrace(static_cast<std::uint64_t>(c) + 1);
+    std::stringstream buf;
+    original.WriteCsv(buf);
+    const Trace restored = Trace::ReadCsv(buf);
+    ASSERT_EQ(restored.size(), original.size()) << "seed " << c + 1;
+    for (std::size_t i = 0; i < original.size(); ++i)
+      ASSERT_EQ(restored[i], original[i])
+          << "seed " << c + 1 << " event " << i;
+    ASSERT_EQ(restored.bytes_read(), original.bytes_read());
+    ASSERT_EQ(restored.bytes_written(), original.bytes_written());
+  }
+}
+
+// Serializing twice yields the same bytes (WriteCsv is a pure function of
+// the events), and re-serializing the round-tripped trace matches too.
+TEST(TraceProperty, CsvSerializationIsStable) {
+  for (int c = 0; c < kCases; ++c) {
+    const Trace original = RandomTrace(static_cast<std::uint64_t>(c) + 1);
+    std::stringstream a, b;
+    original.WriteCsv(a);
+    original.WriteCsv(b);
+    EXPECT_EQ(a.str(), b.str());
+    std::stringstream again;
+    Trace::ReadCsv(a).WriteCsv(again);
+    EXPECT_EQ(again.str(), b.str());
+  }
+}
+
+// Blank lines between rows are tolerated but do not shift line numbering.
+TEST(TraceProperty, BlankLinesAreSkipped) {
+  std::stringstream buf("cycle,addr,bytes,op\n1,0,4,R\n\n\n2,8,4,W\n");
+  const Trace t = Trace::ReadCsv(buf);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[1].cycle, 2u);
+  EXPECT_EQ(t[1].op, MemOp::kWrite);
+}
+
+// --- rejection paths --------------------------------------------------------
+
+// Runs ReadCsv on `text`, asserting it throws and that the diagnostic
+// contains `fragment` (typically "row N" to pin the reported line number).
+void ExpectRejects(const std::string& text, const std::string& fragment) {
+  std::stringstream buf(text);
+  try {
+    Trace::ReadCsv(buf);
+    FAIL() << "expected rejection of: " << text;
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << "diagnostic was: " << e.what();
+  }
+}
+
+TEST(TraceProperty, RejectsEmptyStream) {
+  ExpectRejects("", "empty CSV stream");
+}
+
+TEST(TraceProperty, RejectsBadHeader) {
+  ExpectRejects("cycle,addr,bytes\n", "bad CSV header");
+  ExpectRejects("1,0,4,R\n", "bad CSV header");
+}
+
+TEST(TraceProperty, RejectsMalformedRowWithLineNumber) {
+  // Header is line 1, so the first data row is line 2.
+  ExpectRejects("cycle,addr,bytes,op\nnot-a-number,0,4,R\n",
+                "malformed CSV row 2");
+  ExpectRejects("cycle,addr,bytes,op\n1,0,4,R\n5;6;7;W\n",
+                "malformed CSV row 3");
+  ExpectRejects("cycle,addr,bytes,op\n1,0,4\n", "malformed CSV row 2");
+}
+
+TEST(TraceProperty, RejectsZeroByteBurstWithLineNumber) {
+  ExpectRejects("cycle,addr,bytes,op\n1,0,4,R\n2,0,0,W\n",
+                "zero-byte burst on row 3");
+}
+
+TEST(TraceProperty, RejectsOversizedBurstWithLineNumber) {
+  ExpectRejects("cycle,addr,bytes,op\n1,0,4294967296,R\n",
+                "bad burst size on row 2");
+}
+
+TEST(TraceProperty, RejectsBadOpWithLineNumber) {
+  ExpectRejects("cycle,addr,bytes,op\n1,0,4,X\n", "bad op 'X' on row 2");
+  ExpectRejects("cycle,addr,bytes,op\n1,0,4,R\n2,0,4,read\n",
+                "bad op 'read' on row 3");
+}
+
+TEST(TraceProperty, RejectsTrailingDataWithLineNumber) {
+  ExpectRejects("cycle,addr,bytes,op\n1,0,4,R extra\n",
+                "trailing data 'extra' on row 2");
+}
+
+TEST(TraceProperty, RejectsNonMonotoneCycleWithLineNumber) {
+  ExpectRejects("cycle,addr,bytes,op\n5,0,4,R\n4,0,4,W\n",
+                "non-monotone cycle on row 3");
+}
+
+// Truncation property: cutting a serialized trace mid-row must either
+// reject with the right row number or (when the cut lands exactly on a row
+// boundary) yield a strict prefix of the original events.
+TEST(TraceProperty, TruncationRejectsOrYieldsPrefix) {
+  for (int c = 0; c < kCases; ++c) {
+    Trace original = RandomTrace(static_cast<std::uint64_t>(c) + 500);
+    if (original.empty()) continue;
+    std::stringstream buf;
+    original.WriteCsv(buf);
+    const std::string text = buf.str();
+    Rng rng(static_cast<std::uint64_t>(c) + 9000);
+    const std::size_t cut = static_cast<std::size_t>(
+        rng.UniformInt(22, static_cast<int>(text.size() - 1)));
+    std::stringstream cut_buf(text.substr(0, cut));
+    try {
+      const Trace t = Trace::ReadCsv(cut_buf);
+      ASSERT_LE(t.size(), original.size());
+      for (std::size_t i = 0; i < t.size(); ++i) ASSERT_EQ(t[i], original[i]);
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("row"), std::string::npos)
+          << "truncation diagnostic lacks a row number: " << e.what();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sc::trace
