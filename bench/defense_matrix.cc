@@ -1,0 +1,114 @@
+// Attack-vs-defense evaluation matrix (DESIGN.md §10).
+//
+// Runs every shipped defense at every strength against the structure
+// attack, the robust (consensus) structure attack and the weight attack,
+// writes the scorecard to defense_matrix.csv (+ metrics.json with
+// SC_METRICS=1), prints a summary table, and verifies the headline
+// defense claims in its exit code:
+//
+//   - undefended: the structure attack finds the true LeNet architecture
+//     uniquely top-ranked, and the weight attack recovers every filter;
+//   - fixed-size RLE padding: the weight attack recovers 0 filters;
+//   - constant-rate shaping: the true structure is no longer uniquely
+//     top-ranked on LeNet;
+//   - every cell reports its traffic / event / latency overhead.
+//
+// Flags: --lenet-only (skip ConvNet; the nightly CI smoke), --alexnet
+// (add the Table-3-scale victim; minutes).
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.h"
+#include "defense/eval.h"
+
+int main(int argc, char** argv) {
+  using namespace sc;
+  bench::Banner("Defense matrix: attacks vs defenses");
+
+  defense::EvalConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--lenet-only") == 0) cfg.convnet = false;
+    if (std::strcmp(argv[i], "--alexnet") == 0) cfg.alexnet = true;
+  }
+
+  bench::Timer timer;
+  const defense::EvalMatrix matrix = defense::RunDefenseMatrix(cfg);
+
+  std::ofstream csv("defense_matrix.csv");
+  defense::WriteMatrixCsv(csv, matrix);
+
+  std::cout << std::left << std::setw(11) << "victim" << std::setw(18)
+            << "attack" << std::setw(13) << "defense" << std::setw(8)
+            << "strength" << std::setw(14) << "outcome" << std::setw(11)
+            << "candidates" << std::setw(6) << "rank" << std::setw(5)
+            << "top" << std::setw(10) << "filters" << std::setw(9)
+            << "traffic" << "latency\n";
+  for (const defense::EvalCell& c : matrix.cells) {
+    std::ostringstream filters;
+    if (c.attack == "weight")
+      filters << c.filters_recovered << "/" << c.filters_total;
+    else
+      filters << "-";
+    std::cout << std::left << std::setw(11) << c.victim << std::setw(18)
+              << c.attack << std::setw(13) << ToString(c.kind)
+              << std::setw(8) << c.strength << std::setw(14) << c.outcome
+              << std::setw(11) << c.candidates << std::setw(6)
+              << c.truth_rank << std::setw(5)
+              << (c.truth_unique_top ? "yes" : "no") << std::setw(10)
+              << filters.str() << std::setw(9) << std::fixed
+              << std::setprecision(2) << c.traffic_overhead
+              << c.latency_overhead << "\n";
+    std::cout.unsetf(std::ios::fixed);
+  }
+  std::cout << "\nmatrix written to defense_matrix.csv ("
+            << matrix.cells.size() << " cells, " << std::fixed
+            << std::setprecision(1) << timer.Seconds() << " s)\n";
+
+  // Headline claims — the acceptance criteria of the defense suite.
+  bool ok = true;
+  auto claim = [&](bool cond, const std::string& what) {
+    std::cout << (cond ? "  [ok] " : "  [FAIL] ") << what << "\n";
+    ok = ok && cond;
+  };
+  bool none_unique_top = false, shaping_unique_top = false;
+  bool shaping_seen = false;
+  int none_filters = -1, none_total = 0, rle_filters = -1, rle_total = 0;
+  bool overheads_present = true;
+  for (const defense::EvalCell& c : matrix.cells) {
+    if (c.victim == "lenet" && c.attack == "structure") {
+      if (c.kind == defense::DefenseKind::kNone)
+        none_unique_top = c.truth_unique_top;
+      if (c.kind == defense::DefenseKind::kShaping) {
+        shaping_seen = true;
+        shaping_unique_top = shaping_unique_top || c.truth_unique_top;
+      }
+    }
+    if (c.attack == "weight") {
+      if (c.kind == defense::DefenseKind::kNone) {
+        none_filters = c.filters_recovered;
+        none_total = c.filters_total;
+      }
+      if (c.kind == defense::DefenseKind::kRlePadding) {
+        rle_filters = c.filters_recovered;
+        rle_total = c.filters_total;
+      }
+    }
+    overheads_present = overheads_present && c.traffic_overhead > 0.0 &&
+                        c.event_overhead > 0.0 && c.latency_overhead > 0.0;
+  }
+  std::cout << "\n";
+  claim(none_unique_top,
+        "undefended: true LeNet structure uniquely top-ranked");
+  claim(none_total > 0 && none_filters == none_total,
+        "undefended: weight attack recovers every filter");
+  claim(shaping_seen && !shaping_unique_top,
+        "shaping: true structure no longer uniquely top-ranked");
+  claim(rle_filters == 0 && rle_total > 0,
+        "rle_padding: weight attack recovers 0 filters");
+  claim(overheads_present, "every cell reports overheads");
+
+  bench::ExportMetrics();
+  return ok ? 0 : 1;
+}

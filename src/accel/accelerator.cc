@@ -680,17 +680,22 @@ RunResult Accelerator::Run(const nn::Network& net, const nn::Tensor& input,
   result.total_cycles = emit.cycle();
   result.output = node_outputs.back();
 
-  // Fault hook: corrupt only the events this run appended, leaving any
-  // earlier capture the caller accumulated untouched.
-  if (out_trace != nullptr && cfg_.trace_fault_hook != nullptr) {
+  // Observation hooks: transform only the events this run appended, leaving
+  // any earlier capture the caller accumulated untouched. The defense
+  // controller sits on the bus, so it runs first; the probe's fault model
+  // corrupts the defended traffic it observes.
+  const trace::TraceTransform* hooks[] = {cfg_.defense_hook,
+                                          cfg_.trace_fault_hook};
+  for (const trace::TraceTransform* hook : hooks) {
+    if (out_trace == nullptr || hook == nullptr) continue;
     trace::Trace run_part;
     for (std::size_t i = trace_prefix; i < out_trace->size(); ++i)
       run_part.Append((*out_trace)[i]);
-    const trace::Trace faulty = cfg_.trace_fault_hook->Apply(run_part);
+    const trace::Trace transformed = hook->Apply(run_part);
     trace::Trace rebuilt;
     for (std::size_t i = 0; i < trace_prefix; ++i)
       rebuilt.Append((*out_trace)[i]);
-    for (const trace::MemEvent& e : faulty) rebuilt.Append(e);
+    for (const trace::MemEvent& e : transformed) rebuilt.Append(e);
     *out_trace = std::move(rebuilt);
   }
   return result;

@@ -42,12 +42,21 @@ struct AcceleratorConfig {
   // only with zero_pruning enabled.
   bool prune_constant_shape = false;
 
-  // --- measurement fault injection ---
+  // --- bus defense ---
   // When non-null, Run() passes the events it captured through this
-  // transform before handing the trace to the caller, modelling an
-  // imperfect probe between the bus and the adversary (sim/noise.h). The
-  // accelerator's arithmetic, stage stats and cycle counts are unaffected;
-  // only the adversary's view is corrupted. Not owned; must outlive runs.
+  // transform before any fault injection, modelling a defense controller
+  // sitting between the accelerator and the bus (defense/defense.h): the
+  // probe observes the defended traffic. The victim's arithmetic, stage
+  // stats and cycle counts are unaffected. Not owned; must outlive runs.
+  const trace::TraceTransform* defense_hook = nullptr;
+
+  // --- measurement fault injection ---
+  // When non-null, Run() passes the events it captured (post-defense_hook)
+  // through this transform before handing the trace to the caller,
+  // modelling an imperfect probe between the bus and the adversary
+  // (sim/noise.h). The accelerator's arithmetic, stage stats and cycle
+  // counts are unaffected; only the adversary's view is corrupted. Not
+  // owned; must outlive runs.
   const trace::TraceTransform* trace_fault_hook = nullptr;
 
   // --- observability ---

@@ -123,7 +123,7 @@ TraceAnalysis AnalyzeTrace(const trace::Trace& trace,
     if (cfg.known_input_elems > 0) {
       // A strided first convolution may leave a small unread tail of the
       // input (floor mode), so match with a tolerance.
-      if (elems <= cfg.known_input_elems &&
+      if (elems <= cfg.known_input_elems + cfg.input_elems_slack &&
           10 * elems >= 9 * cfg.known_input_elems) {
         SC_CHECK_MSG(input_region == nreg,
                      "two candidate input regions of the declared size");

@@ -32,6 +32,12 @@ struct AnalysisConfig {
   // adversary feeds the input). Used to tell the input region apart from
   // first-layer weights. 0 = unknown (falls back to a size heuristic).
   long long known_input_elems = 0;
+  // Inflation (elements) the input-region match tolerates above
+  // known_input_elems. A padding defense that rounds bursts up to a fixed
+  // transaction size grows every observed region by up to one transaction,
+  // so the adaptive attacker raises this alongside SolverConfig::size_slack
+  // (defense/eval.h). 0 = exact-size matching (default attack).
+  long long input_elems_slack = 0;
 };
 
 // One discovered DRAM region with its global access summary.

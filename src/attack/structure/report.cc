@@ -69,4 +69,52 @@ void WriteStructuresCsv(std::ostream& os, const SearchResult& result) {
   }
 }
 
+bool MatchesFingerprints(const CandidateStructure& cs,
+                         const std::vector<LayerFingerprint>& truth) {
+  std::size_t next = 0;
+  for (const LayerConfig& lc : cs.layers) {
+    if (lc.role != SegmentRole::kConvOrFc) continue;
+    if (next >= truth.size()) return false;
+    if (lc.geom.f_conv != truth[next].f_conv ||
+        lc.geom.d_ofm != truth[next].d_ofm)
+      return false;
+    ++next;
+  }
+  return next == truth.size();
+}
+
+TruthRanking RankTruth(const SearchResult& result,
+                       const std::vector<LayerFingerprint>& truth) {
+  TruthRanking out;
+  if (result.structures.empty()) return out;
+
+  // Attack preference order: best (smallest) timing spread first; ties
+  // keep search order, so the ranking is deterministic.
+  std::vector<std::size_t> order(result.structures.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return result.structures[a].timing_spread <
+                            result.structures[b].timing_spread;
+                   });
+
+  double best_other = 0.0;
+  bool have_other = false;
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const CandidateStructure& cs = result.structures[order[pos]];
+    if (MatchesFingerprints(cs, truth)) {
+      if (out.rank == 0) {
+        out.rank = pos + 1;
+        out.truth_spread = cs.timing_spread;
+      }
+    } else if (!have_other) {
+      best_other = cs.timing_spread;
+      have_other = true;
+    }
+  }
+  out.unique_top =
+      out.rank == 1 && (!have_other || out.truth_spread < best_other);
+  return out;
+}
+
 }  // namespace sc::attack

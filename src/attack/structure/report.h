@@ -25,6 +25,35 @@ std::size_t PrintConfigTable(std::ostream& os, const SearchResult& result);
 // pool,f_pool,s_pool,p_pool,timing_spread.
 void WriteStructuresCsv(std::ostream& os, const SearchResult& result);
 
+// Ground-truth scoring (defense evaluation, DESIGN.md §10). The evaluator
+// knows the victim it attacked; a candidate "is" the truth when its
+// weighted layers, in order, reproduce the parameters that define the
+// architecture: filter width and output depth. (Feature-map sizes follow
+// from those plus the observed chain, so comparing them adds nothing.)
+struct LayerFingerprint {
+  int f_conv = 0;
+  int d_ofm = 0;
+};
+
+// True when the candidate's kConvOrFc layers match `truth` pairwise.
+bool MatchesFingerprints(const CandidateStructure& cs,
+                         const std::vector<LayerFingerprint>& truth);
+
+struct TruthRanking {
+  // 1-based rank of the first matching candidate when all candidates are
+  // stably sorted by timing_spread ascending (the attack's preference
+  // order); 0 = the truth survived nowhere.
+  std::size_t rank = 0;
+  // True iff a truth candidate ranks first AND strictly beats every
+  // non-matching candidate's spread — the attacker can name the
+  // architecture without ambiguity.
+  bool unique_top = false;
+  double truth_spread = 0.0;  // spread of the best matching candidate
+};
+
+TruthRanking RankTruth(const SearchResult& result,
+                       const std::vector<LayerFingerprint>& truth);
+
 }  // namespace sc::attack
 
 #endif  // SC_ATTACK_STRUCTURE_REPORT_H_

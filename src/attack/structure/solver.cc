@@ -159,8 +159,15 @@ std::vector<nn::LayerGeometry> EnumerateConvConfigs(
     if (cfg.enforce_coverage) {
       const long long row_elems =
           static_cast<long long>(w_ifm) * d_ifm;
-      const long long covered_rows =
+      long long covered_rows =
           NearestQuotient(obs.size_ifm, row_elems, cfg.size_slack);
+      // Padding defenses only ever inflate the observed footprint, so a
+      // quotient above W_IFM can still mean "every row read" when full
+      // coverage lies within slack of the observation.
+      if (covered_rows > w_ifm &&
+          obs.size_ifm - static_cast<long long>(w_ifm) * row_elems <=
+              cfg.size_slack)
+        covered_rows = w_ifm;
       if (covered_rows < 1 || covered_rows > w_ifm) {
         Metrics().pruned_coverage.Add();
         continue;

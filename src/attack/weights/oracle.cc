@@ -41,6 +41,12 @@ AcceleratorOracle::AcceleratorOracle(const nn::Network& net, int target_node,
   num_channels_ = net.output_shape(target_node_)[0];
 }
 
+std::size_t AcceleratorOracle::channel_elems() const {
+  const nn::Shape shape = net_.output_shape(target_node_);
+  return static_cast<std::size_t>(shape[1]) *
+         static_cast<std::size_t>(shape[2]);
+}
+
 bool AcceleratorOracle::SetActivationThreshold(float threshold) {
   accel_.config().relu_threshold_override = threshold;
   return true;
@@ -124,6 +130,11 @@ SparseConvOracle::SparseConvOracle(StageSpec spec, nn::Tensor weights,
 }
 
 int SparseConvOracle::num_channels() const { return weights_.shape()[0]; }
+
+std::size_t SparseConvOracle::channel_elems() const {
+  const int pw = pooled_width();
+  return static_cast<std::size_t>(pw) * static_cast<std::size_t>(pw);
+}
 
 int SparseConvOracle::out_width() const {
   return nn::ConvOutWidth(spec_.in_width, spec_.filter, spec_.stride,

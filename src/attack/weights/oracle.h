@@ -58,6 +58,12 @@ class ZeroCountOracle {
 
   virtual int num_channels() const = 0;
 
+  // Elements of one output channel of the target OFM — the unit
+  // ChannelNonZeros counts over, and the worst case a padding defense
+  // inflates every count to. 0 when the oracle cannot tell. Defense-aware
+  // decorators (defense/defended_oracle.h) require a non-zero value.
+  virtual std::size_t channel_elems() const { return 0; }
+
   // Sets the accelerator's tunable activation threshold (Minerva-style
   // knob); returns false when the victim exposes no such knob.
   virtual bool SetActivationThreshold(float threshold) {
@@ -101,6 +107,7 @@ class AcceleratorOracle : public ZeroCountOracle {
                               int channel) override;
   std::size_t TotalNonZeros(const std::vector<SparsePixel>& pixels) override;
   int num_channels() const override { return num_channels_; }
+  std::size_t channel_elems() const override;
   bool SetActivationThreshold(float threshold) override;
   std::unique_ptr<ZeroCountOracle> Clone() const override;
 
@@ -150,6 +157,7 @@ class SparseConvOracle : public ZeroCountOracle {
                               int channel) override;
   std::size_t TotalNonZeros(const std::vector<SparsePixel>& pixels) override;
   int num_channels() const override;
+  std::size_t channel_elems() const override;
   bool SetActivationThreshold(float threshold) override;
   std::unique_ptr<ZeroCountOracle> Clone() const override;
 

@@ -46,6 +46,9 @@ class VotingOracle : public ZeroCountOracle {
                               int channel) override;
   std::size_t TotalNonZeros(const std::vector<SparsePixel>& pixels) override;
   int num_channels() const override;
+  std::size_t channel_elems() const override {
+    return inner_.channel_elems();
+  }
   bool SetActivationThreshold(float threshold) override;
   std::unique_ptr<ZeroCountOracle> Clone() const override;
   std::unique_ptr<ZeroCountOracle> Fork(std::uint64_t stream) const override;

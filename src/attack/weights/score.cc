@@ -1,0 +1,58 @@
+#include "attack/weights/score.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace sc::attack {
+
+WeightScore ScoreRecoveredFilters(const std::vector<RecoveredFilter>& filters,
+                                  const nn::Tensor& weights,
+                                  const nn::Tensor& bias,
+                                  float rel_tol) {
+  SC_CHECK(weights.shape().rank() == 4);
+  SC_CHECK(bias.shape().rank() == 1);
+  const int oc = weights.shape()[0];
+  const int ic = weights.shape()[1];
+  const int f = weights.shape()[2];
+  SC_CHECK(weights.shape()[3] == f);
+  SC_CHECK(bias.shape()[0] == oc);
+  SC_CHECK_MSG(filters.size() == static_cast<std::size_t>(oc),
+               "one RecoveredFilter per output channel expected");
+
+  WeightScore score;
+  score.filters_total = oc;
+  for (int k = 0; k < oc; ++k) {
+    const RecoveredFilter& rec = filters[static_cast<std::size_t>(k)];
+    bool filter_ok = true;
+    for (int c = 0; c < ic; ++c) {
+      for (int i = 0; i < f; ++i) {
+        for (int j = 0; j < f; ++j) {
+          const double truth = static_cast<double>(weights.at(k, c, i, j)) /
+                               static_cast<double>(bias.at(k));
+          const std::size_t flat =
+              static_cast<std::size_t>((c * f + i) * f + j);
+          const bool claims_zero = rec.is_zero[flat];
+          const double got = claims_zero ? 0.0 : rec.ratio.at(c, i, j);
+          const double err = std::fabs(got - truth);
+          score.max_ratio_error = std::max(score.max_ratio_error, err);
+          ++score.positions_total;
+          const double tol =
+              rel_tol * std::max(1.0, std::fabs(truth));
+          const bool correct = !rec.failed[flat] &&
+                               (truth == 0.0 ? claims_zero : !claims_zero) &&
+                               err <= tol;
+          if (correct)
+            ++score.positions_correct;
+          else
+            filter_ok = false;
+        }
+      }
+    }
+    if (filter_ok) ++score.filters_recovered;
+  }
+  return score;
+}
+
+}  // namespace sc::attack

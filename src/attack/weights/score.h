@@ -1,0 +1,47 @@
+// Ground-truth scoring of recovered weight ratios (defense evaluation,
+// DESIGN.md §10). The evaluator holds the victim's secrets and asks: how
+// much of the model did the attack actually get, and how wrong is what it
+// claims?
+#ifndef SC_ATTACK_WEIGHTS_SCORE_H_
+#define SC_ATTACK_WEIGHTS_SCORE_H_
+
+#include <vector>
+
+#include "attack/weights/attack.h"
+#include "nn/tensor.h"
+
+namespace sc::attack {
+
+struct WeightScore {
+  // Filters whose every position is correct: non-zero weights within
+  // rel_tol of the true w/b ratio, zero weights identified as zero,
+  // nothing flagged failed.
+  int filters_recovered = 0;
+  int filters_total = 0;
+  // Positions correct over all filters (a defense may degrade filters
+  // partially without losing any whole filter).
+  long long positions_correct = 0;
+  long long positions_total = 0;
+  // max |recovered - true| of the w/b ratio over every position, counting
+  // a claimed zero as a recovered 0.0. The paper's Figure-7 headline is
+  // this number staying below 2^-10 undefended.
+  double max_ratio_error = 0.0;
+
+  double fraction_recovered() const {
+    return filters_total > 0
+               ? static_cast<double>(filters_recovered) / filters_total
+               : 0.0;
+  }
+};
+
+// Scores `filters` (one RecoveredFilter per output channel, in channel
+// order) against the true weights {oc, ic, f, f} and bias {oc}. A
+// position is correct within rel_tol * max(1, |true ratio|).
+WeightScore ScoreRecoveredFilters(const std::vector<RecoveredFilter>& filters,
+                                  const nn::Tensor& weights,
+                                  const nn::Tensor& bias,
+                                  float rel_tol = 1e-3f);
+
+}  // namespace sc::attack
+
+#endif  // SC_ATTACK_WEIGHTS_SCORE_H_

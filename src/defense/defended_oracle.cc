@@ -1,0 +1,70 @@
+#include "defense/defended_oracle.h"
+
+#include "support/check.h"
+
+namespace sc::defense {
+
+DefendedOracle::DefendedOracle(attack::ZeroCountOracle& inner,
+                               const OracleTransform& transform)
+    : inner_(inner), transform_(transform) {
+  SC_CHECK_MSG(inner_.channel_elems() > 0,
+               "defended oracle needs the inner oracle's unit size");
+}
+
+DefendedOracle::DefendedOracle(
+    std::unique_ptr<attack::ZeroCountOracle> owned,
+    const OracleTransform& transform)
+    : owned_(std::move(owned)), inner_(*owned_), transform_(transform) {}
+
+std::size_t DefendedOracle::ChannelNonZeros(
+    const std::vector<attack::SparsePixel>& pixels, int channel) {
+  ++queries_;
+  return transform_.Apply(inner_.ChannelNonZeros(pixels, channel),
+                          inner_.channel_elems());
+}
+
+std::size_t DefendedOracle::TotalNonZeros(
+    const std::vector<attack::SparsePixel>& pixels) {
+  // The aggregate view is the concatenation of the per-channel bursts, so
+  // the defense applies per unit, num_channels times.
+  ++queries_;
+  const std::size_t elems = inner_.channel_elems();
+  const std::size_t total = inner_.TotalNonZeros(pixels);
+  const auto channels = static_cast<std::size_t>(inner_.num_channels());
+  // Padding-style transforms are per-unit maps; model the aggregate as the
+  // transform of the mean count scaled back up, which is exact for the
+  // constant transforms shipped here (PadToWorstCase, quantization of a
+  // uniform count) and monotone in general.
+  if (channels == 0) return transform_.Apply(total, elems);
+  const std::size_t per_unit = total / channels;
+  const std::size_t rem = total % channels;
+  return transform_.Apply(per_unit + 1, elems) * rem +
+         transform_.Apply(per_unit, elems) * (channels - rem);
+}
+
+int DefendedOracle::num_channels() const { return inner_.num_channels(); }
+
+std::size_t DefendedOracle::channel_elems() const {
+  return inner_.channel_elems();
+}
+
+bool DefendedOracle::SetActivationThreshold(float threshold) {
+  return inner_.SetActivationThreshold(threshold);
+}
+
+std::unique_ptr<attack::ZeroCountOracle> DefendedOracle::Clone() const {
+  std::unique_ptr<attack::ZeroCountOracle> inner = inner_.Clone();
+  if (inner == nullptr) return nullptr;
+  return std::unique_ptr<attack::ZeroCountOracle>(
+      new DefendedOracle(std::move(inner), transform_));
+}
+
+std::unique_ptr<attack::ZeroCountOracle> DefendedOracle::Fork(
+    std::uint64_t stream) const {
+  std::unique_ptr<attack::ZeroCountOracle> inner = inner_.Fork(stream);
+  if (inner == nullptr) return nullptr;
+  return std::unique_ptr<attack::ZeroCountOracle>(
+      new DefendedOracle(std::move(inner), transform_));
+}
+
+}  // namespace sc::defense

@@ -1,0 +1,52 @@
+// Zero-count oracle as seen through a deployed defense.
+//
+// The weight attack (attack/weights) consumes a ZeroCountOracle; a defense
+// with an OracleTransform changes what that oracle's probe decodes. This
+// decorator applies the transform to every count the inner oracle returns,
+// so any attack driver — plain, voting, robust — can be evaluated against
+// any defense without knowing defenses exist. For the one datapath defense
+// (RLE padding) the same numbers can also be produced the long way, by
+// running AcceleratorOracle over a prune_constant_shape victim; the test
+// suite pins the two paths to each other.
+#ifndef SC_DEFENSE_DEFENDED_ORACLE_H_
+#define SC_DEFENSE_DEFENDED_ORACLE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "attack/weights/oracle.h"
+#include "defense/defense.h"
+
+namespace sc::defense {
+
+class DefendedOracle : public attack::ZeroCountOracle {
+ public:
+  // Non-owning: `inner` and `transform` must outlive this oracle. The
+  // inner oracle must know its unit size (channel_elems() > 0) — a padding
+  // transform is meaningless without the worst case to pad to.
+  DefendedOracle(attack::ZeroCountOracle& inner,
+                 const OracleTransform& transform);
+
+  std::size_t ChannelNonZeros(const std::vector<attack::SparsePixel>& pixels,
+                              int channel) override;
+  std::size_t TotalNonZeros(
+      const std::vector<attack::SparsePixel>& pixels) override;
+  int num_channels() const override;
+  std::size_t channel_elems() const override;
+  bool SetActivationThreshold(float threshold) override;
+  std::unique_ptr<attack::ZeroCountOracle> Clone() const override;
+  std::unique_ptr<attack::ZeroCountOracle> Fork(
+      std::uint64_t stream) const override;
+
+ private:
+  DefendedOracle(std::unique_ptr<attack::ZeroCountOracle> owned,
+                 const OracleTransform& transform);
+
+  std::unique_ptr<attack::ZeroCountOracle> owned_;
+  attack::ZeroCountOracle& inner_;
+  const OracleTransform& transform_;
+};
+
+}  // namespace sc::defense
+
+#endif  // SC_DEFENSE_DEFENDED_ORACLE_H_

@@ -1,0 +1,78 @@
+#include "defense/defense.h"
+
+#include "defense/dummy_tensor.h"
+#include "defense/obfuscation.h"
+#include "defense/rle_padding.h"
+#include "defense/stack.h"
+#include "defense/traffic_shaping.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace sc::defense {
+
+const char* ToString(Strength s) {
+  switch (s) {
+    case Strength::kLow:
+      return "low";
+    case Strength::kMedium:
+      return "medium";
+    case Strength::kHigh:
+      return "high";
+  }
+  return "?";
+}
+
+const char* ToString(DefenseKind k) {
+  switch (k) {
+    case DefenseKind::kNone:
+      return "none";
+    case DefenseKind::kObfuscation:
+      return "obfuscation";
+    case DefenseKind::kShaping:
+      return "shaping";
+    case DefenseKind::kDummyTensor:
+      return "dummy_tensor";
+    case DefenseKind::kRlePadding:
+      return "rle_padding";
+    case DefenseKind::kStack:
+      return "stack";
+  }
+  return "?";
+}
+
+std::unique_ptr<Defense> MakeDefense(DefenseKind kind, Strength strength,
+                                     std::uint64_t seed) {
+  switch (kind) {
+    case DefenseKind::kNone:
+      return std::make_unique<NullDefense>();
+    case DefenseKind::kObfuscation:
+      return std::make_unique<ObfuscationDefense>(strength, seed);
+    case DefenseKind::kShaping:
+      return std::make_unique<TrafficShapingDefense>(strength);
+    case DefenseKind::kDummyTensor:
+      return std::make_unique<DummyTensorDefense>(strength, seed);
+    case DefenseKind::kRlePadding:
+      return std::make_unique<RlePaddingDefense>();
+    case DefenseKind::kStack: {
+      // The deployed combination: hide addresses, flatten timing, close
+      // the count channel. Members draw decorrelated seed streams so the
+      // stack's dummies never move in lockstep with standalone runs.
+      std::vector<std::unique_ptr<Defense>> members;
+      members.push_back(std::make_unique<ObfuscationDefense>(
+          strength, MixSeed(seed, 101)));
+      members.push_back(std::make_unique<TrafficShapingDefense>(strength));
+      members.push_back(std::make_unique<RlePaddingDefense>());
+      return std::make_unique<DefenseStack>(std::move(members));
+    }
+  }
+  SC_CHECK_MSG(false, "unknown defense kind");
+  return nullptr;
+}
+
+std::vector<DefenseKind> StandardDefenseKinds() {
+  return {DefenseKind::kNone,        DefenseKind::kObfuscation,
+          DefenseKind::kShaping,     DefenseKind::kDummyTensor,
+          DefenseKind::kRlePadding,  DefenseKind::kStack};
+}
+
+}  // namespace sc::defense

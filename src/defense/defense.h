@@ -1,0 +1,117 @@
+// The common countermeasure interface (paper §5; DESIGN.md §10).
+//
+// The paper sketches two countermeasure families — hiding *which* addresses
+// are touched (ORAM-style obfuscation) and hiding *how much* is written
+// (masking the zero-value compression) — and related work adds the timing /
+// traffic-volume channel. A Defense bundles a strategy's view of every
+// leak surface:
+//
+//   - trace_transform(): what the probe observes on the bus instead of the
+//     raw traffic (address, size and timing channels; §3 structure attack);
+//   - oracle_transform(): what the adversary decodes from compressed OFM
+//     write bursts instead of the true non-zero counts (§4 weight attack);
+//   - ConfigureAccelerator(): datapath knobs the defense flips on the
+//     victim itself (e.g. constant-shape RLE write-back).
+//
+// Any subset may be active; the eval harness (defense/eval.h) scores every
+// strategy against both attacks regardless, so a defense that closes one
+// channel is visibly transparent on the other.
+#ifndef SC_DEFENSE_DEFENSE_H_
+#define SC_DEFENSE_DEFENSE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/config.h"
+#include "trace/trace.h"
+
+namespace sc::defense {
+
+// Probe-side transform with per-acquisition streams. A real defended bus
+// re-randomizes its dummy traffic on every inference, so an adversary
+// averaging K acquisitions must see K independent placements — ApplyNth
+// mirrors sim::TraceNoiseModel::ApplyNth (determinism per (config, k, in)).
+// Deterministic defenses (no randomness) keep the default ApplyNth ==
+// Apply: every acquisition looks the same.
+class DefenseTransform : public trace::TraceTransform {
+ public:
+  virtual trace::Trace ApplyNth(const trace::Trace& in,
+                                std::uint64_t /*k*/) const {
+    return Apply(in);
+  }
+};
+
+// The defense's effect on the §4 zero-count channel: maps the true decoded
+// non-zero count of one observed unit (an output channel, or the whole OFM
+// for aggregate queries) to what the probe decodes behind the defense.
+// `unit_elems` is the unit's element count — the worst case a padding
+// defense inflates every burst to. Implementations must be pure (the same
+// (count, unit_elems) always maps to the same value) so bisection-style
+// attacks face a consistent, if uninformative, channel.
+class OracleTransform {
+ public:
+  virtual ~OracleTransform() = default;
+  virtual std::size_t Apply(std::size_t true_count,
+                            std::size_t unit_elems) const = 0;
+};
+
+// Protection/overhead operating point of a strategy. Each concrete defense
+// documents what its levels scale (dummy rate, shaping cadence, ...).
+enum class Strength { kLow, kMedium, kHigh };
+
+const char* ToString(Strength s);
+
+// One countermeasure strategy. Implementations own their transforms; the
+// returned pointers stay valid for the Defense's lifetime.
+class Defense {
+ public:
+  virtual ~Defense() = default;
+
+  // Stable identifier used in scorecards/CSVs ("obfuscation", "shaping").
+  virtual std::string name() const = 0;
+  // One-line config summary for reports.
+  virtual std::string description() const = 0;
+
+  // Bus-level view; nullptr = the address/size/timing trace is unchanged.
+  virtual const DefenseTransform* trace_transform() const { return nullptr; }
+  // Zero-count-channel view; nullptr = decoded counts are unchanged.
+  virtual const OracleTransform* oracle_transform() const { return nullptr; }
+  // Datapath knobs applied to the victim's accelerator (the only hook that
+  // may change emitted traffic at the source rather than rewriting it).
+  virtual void ConfigureAccelerator(accel::AcceleratorConfig& cfg) const {
+    (void)cfg;
+  }
+};
+
+// The undefended baseline: every matrix needs its control column.
+class NullDefense : public Defense {
+ public:
+  std::string name() const override { return "none"; }
+  std::string description() const override { return "undefended baseline"; }
+};
+
+// The strategies shipped with the suite, in scorecard order.
+enum class DefenseKind {
+  kNone,
+  kObfuscation,    // ORAM-ish block permutation + dummy blocks (§5)
+  kShaping,        // constant-rate traffic shaping (timing channel)
+  kDummyTensor,    // fake IFM/OFM regions (RAW-segmentation channel)
+  kRlePadding,     // constant-shape compressed write-back (§4 count channel)
+  kStack,          // obfuscation + shaping + RLE padding chained
+};
+
+const char* ToString(DefenseKind k);
+
+// Factory for a strategy at a given operating point. `seed` feeds the
+// randomized defenses (ignored by deterministic ones).
+std::unique_ptr<Defense> MakeDefense(DefenseKind kind, Strength strength,
+                                     std::uint64_t seed = 1);
+
+// All kinds evaluated by the defense matrix, kNone first.
+std::vector<DefenseKind> StandardDefenseKinds();
+
+}  // namespace sc::defense
+
+#endif  // SC_DEFENSE_DEFENSE_H_

@@ -1,0 +1,120 @@
+#include "defense/dummy_tensor.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace sc::defense {
+
+DummyTensorTransform::DummyTensorTransform(DummyTensorConfig cfg)
+    : cfg_(cfg) {
+  SC_CHECK(cfg_.num_regions >= 1);
+  SC_CHECK(cfg_.period >= 1);
+  SC_CHECK(cfg_.read_delay >= 1);
+  SC_CHECK(cfg_.chunk_bytes > 0);
+  SC_CHECK(cfg_.region_bytes >= cfg_.chunk_bytes);
+}
+
+trace::Trace DummyTensorTransform::Apply(const trace::Trace& in) const {
+  return ApplySeeded(in, cfg_.seed);
+}
+
+trace::Trace DummyTensorTransform::ApplyNth(const trace::Trace& in,
+                                            std::uint64_t k) const {
+  return ApplySeeded(in, MixSeed(cfg_.seed, k));
+}
+
+trace::Trace DummyTensorTransform::ApplySeeded(const trace::Trace& in,
+                                               std::uint64_t seed) const {
+  trace::Trace out;
+  if (in.empty()) return out;
+  static obs::Counter& injected =
+      obs::Registry::Get().GetCounter("defense.dummy_tensor.pairs");
+
+  // Place the fake tensors above everything the victim touches, each
+  // separated by a guard gap so region clustering sees distinct tensors.
+  std::uint64_t hi = 0;
+  for (const trace::MemEvent& e : in) hi = std::max(hi, e.end());
+  const std::uint64_t stride = cfg_.region_bytes + cfg_.region_guard;
+  const std::uint64_t base =
+      (hi + cfg_.region_guard + stride - 1) / stride * stride;
+
+  sc::Rng rng(seed);
+  std::vector<std::uint64_t> offset(static_cast<std::size_t>(cfg_.num_regions),
+                                    0);
+  struct PendingRead {
+    std::size_t due;  // real-event index at which the paired read fires
+    std::uint64_t addr;
+    std::uint32_t bytes;
+  };
+  std::deque<PendingRead> pending;
+  const double p = 1.0 / cfg_.period;
+
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const trace::MemEvent& e = in[i];
+    // Fire paired reads that came due: each one reads back bytes a dummy
+    // write stored `read_delay` transactions ago — a fabricated RAW edge
+    // bracketing real traffic.
+    while (!pending.empty() && pending.front().due <= i) {
+      out.Append(e.cycle, pending.front().addr, pending.front().bytes,
+                 trace::MemOp::kRead);
+      pending.pop_front();
+    }
+    out.Append(e);
+    if (rng.Chance(p)) {
+      const auto r = static_cast<std::size_t>(
+          rng.UniformInt(0, cfg_.num_regions - 1));
+      const std::uint64_t chunk = std::min<std::uint64_t>(
+          cfg_.chunk_bytes, cfg_.region_bytes - offset[r]);
+      const std::uint64_t addr = base + r * stride + offset[r];
+      offset[r] = (offset[r] + chunk) % cfg_.region_bytes;
+      out.Append(e.cycle, addr, static_cast<std::uint32_t>(chunk),
+                 trace::MemOp::kWrite);
+      pending.push_back(
+          {i + static_cast<std::size_t>(cfg_.read_delay), addr,
+           static_cast<std::uint32_t>(chunk)});
+      injected.Add();
+    }
+  }
+  // Drain pairs whose read slot lies past the end of the trace.
+  const std::uint64_t last = in[in.size() - 1].cycle;
+  for (const PendingRead& pr : pending)
+    out.Append(last, pr.addr, pr.bytes, trace::MemOp::kRead);
+  return out;
+}
+
+DummyTensorDefense::DummyTensorDefense(Strength strength, std::uint64_t seed)
+    : DummyTensorDefense([&] {
+        DummyTensorConfig cfg;
+        cfg.seed = seed;
+        switch (strength) {
+          case Strength::kLow:
+            cfg.num_regions = 2;
+            cfg.period = 64;
+            break;
+          case Strength::kMedium:
+            cfg.num_regions = 4;
+            cfg.period = 32;
+            break;
+          case Strength::kHigh:
+            cfg.num_regions = 8;
+            cfg.period = 16;
+            break;
+        }
+        return cfg;
+      }()) {}
+
+std::string DummyTensorDefense::description() const {
+  const DummyTensorConfig& cfg = transform_.config();
+  std::ostringstream os;
+  os << cfg.num_regions << " fake tensor regions, one write/read pair per "
+     << cfg.period << " transactions";
+  return os.str();
+}
+
+}  // namespace sc::defense

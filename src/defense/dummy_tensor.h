@@ -1,0 +1,88 @@
+// Dummy-tensor interleaving (the RAW-segmentation channel).
+//
+// Algorithm 1 of the paper rests on one structural invariant: a read of an
+// address written since the last layer boundary means a new layer began.
+// This defense attacks the invariant directly. A bus-side controller
+// maintains a handful of fake tensor regions above the victim's footprint
+// (each separated by more than the attack's region-gap threshold, so the
+// adversary discovers them as real tensors) and sporadically emits a dummy
+// write into one of them followed, a few transactions later, by a read of
+// the same bytes. Every such pair is a fabricated OFM -> IFM dependency:
+// segmentation shatters each true layer into several fake ones, the
+// write-region rule fires on every first touch of a fake region, and the
+// candidate search solves the wrong layer sequence. Unlike obfuscation it
+// leaves the victim's own addresses, sizes and timing untouched — it adds
+// lies instead of hiding truths.
+//
+// Randomized: placement and pacing are drawn per acquisition (ApplyNth)
+// so consensus voting across K captures cannot subtract a fixed pattern.
+#ifndef SC_DEFENSE_DUMMY_TENSOR_H_
+#define SC_DEFENSE_DUMMY_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "defense/defense.h"
+
+namespace sc::defense {
+
+struct DummyTensorConfig {
+  // Fake tensor regions kept live above the victim's footprint.
+  int num_regions = 4;
+  // One dummy write is injected per `period` real transactions on average.
+  int period = 32;
+  // Size of each fake region; offsets advance within it and wrap, so a
+  // region looks like a tensor that is rewritten layer after layer.
+  std::uint64_t region_bytes = 32 * 1024;
+  // Burst size of dummy accesses (one OFM tile write / IFM tile read).
+  std::uint32_t chunk_bytes = 4096;
+  // Real transactions between a dummy write and its paired read. Must be
+  // >= 1 so the pair brackets real traffic and forces a boundary between
+  // genuine events.
+  int read_delay = 8;
+  // Guard gap between fake regions and above the victim footprint. Must
+  // exceed the attack's region-clustering gap (AnalysisConfig::region_gap)
+  // or the fake tensors merge into real ones.
+  std::uint64_t region_guard = 4096;
+  std::uint64_t seed = 1;
+};
+
+class DummyTensorTransform : public DefenseTransform {
+ public:
+  explicit DummyTensorTransform(DummyTensorConfig cfg);
+
+  trace::Trace Apply(const trace::Trace& in) const override;
+  trace::Trace ApplyNth(const trace::Trace& in,
+                        std::uint64_t k) const override;
+
+  const DummyTensorConfig& config() const { return cfg_; }
+
+ private:
+  trace::Trace ApplySeeded(const trace::Trace& in, std::uint64_t seed) const;
+
+  DummyTensorConfig cfg_;
+};
+
+// Strength scales how densely the lies are planted: 2/4/8 fake regions at
+// one dummy pair per 64/32/16 real transactions.
+class DummyTensorDefense : public Defense {
+ public:
+  explicit DummyTensorDefense(DummyTensorConfig cfg)
+      : transform_(cfg) {}
+  DummyTensorDefense(Strength strength, std::uint64_t seed);
+
+  std::string name() const override { return "dummy_tensor"; }
+  std::string description() const override;
+  const DefenseTransform* trace_transform() const override {
+    return &transform_;
+  }
+
+  const DummyTensorConfig& config() const { return transform_.config(); }
+
+ private:
+  DummyTensorTransform transform_;
+};
+
+}  // namespace sc::defense
+
+#endif  // SC_DEFENSE_DUMMY_TENSOR_H_

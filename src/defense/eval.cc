@@ -1,0 +1,363 @@
+#include "defense/eval.h"
+
+#include <algorithm>
+#include <cstring>
+#include <ostream>
+#include <sstream>
+
+#include "accel/accelerator.h"
+#include "attack/structure/report.h"
+#include "attack/structure/robust.h"
+#include "attack/weights/attack.h"
+#include "attack/weights/score.h"
+#include "defense/defended_oracle.h"
+#include "models/zoo.h"
+#include "obs/metrics.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace sc::defense {
+
+namespace {
+
+std::string Sanitize(std::string s) {
+  std::replace(s.begin(), s.end(), ',', ';');
+  return s;
+}
+
+// One structure-attack victim with everything the evaluator knows about it.
+struct VictimSpec {
+  std::string name;
+  nn::Network net;
+  attack::AnalysisConfig analysis;
+  attack::SearchConfig search;  // timing-filtered standard configuration
+  std::vector<attack::LayerFingerprint> truth;
+};
+
+VictimSpec MakeVictim(const std::string& name, nn::Network net, int in_w,
+                      int in_d, long long classes,
+                      std::vector<attack::LayerFingerprint> truth,
+                      std::size_t max_structures) {
+  VictimSpec v{name, std::move(net), {}, {}, std::move(truth)};
+  v.analysis.known_input_elems =
+      static_cast<long long>(in_w) * in_w * in_d;
+  v.search.known_input_width = in_w;
+  v.search.known_input_depth = in_d;
+  v.search.known_output_classes = classes;
+  // Accelerator datasheet values (public microarchitecture).
+  v.search.macs_per_cycle = accel::AcceleratorConfig{}.macs_per_cycle;
+  v.search.bytes_per_cycle = accel::AcceleratorConfig{}.bytes_per_cycle;
+  v.search.max_structures = max_structures;
+  return v;
+}
+
+nn::Tensor RandomInput(const nn::Shape& s, std::uint64_t seed) {
+  nn::Tensor t(s);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < t.numel(); ++i) t[i] = rng.GaussianF(1.0f);
+  return t;
+}
+
+trace::Trace CaptureTrace(const nn::Network& net, const nn::Tensor& input,
+                          const Defense* defense, bool zero_pruning) {
+  accel::AcceleratorConfig cfg;
+  cfg.zero_pruning = zero_pruning;
+  cfg.collect_metrics = false;  // probe runs would drown the accel.* scope
+  if (defense != nullptr) {
+    defense->ConfigureAccelerator(cfg);
+    cfg.defense_hook = defense->trace_transform();
+  }
+  accel::Accelerator accel{cfg};
+  trace::Trace tr;
+  accel.Run(net, input, &tr);
+  return tr;
+}
+
+void FillOverheads(const trace::Trace& base, const trace::Trace& defended,
+                   EvalCell& cell) {
+  const auto bytes = [](const trace::Trace& t) {
+    return t.bytes_read() + t.bytes_written();
+  };
+  if (base.empty()) return;
+  cell.traffic_overhead =
+      static_cast<double>(bytes(defended)) / static_cast<double>(bytes(base));
+  cell.event_overhead = static_cast<double>(defended.size()) /
+                        static_cast<double>(base.size());
+  cell.latency_overhead =
+      base.last_cycle() > 0
+          ? static_cast<double>(defended.last_cycle()) /
+                static_cast<double>(base.last_cycle())
+          : 1.0;
+}
+
+bool IsExplosion(const sc::Error& err) {
+  return std::strstr(err.what(), "structure explosion") != nullptr;
+}
+
+// The adaptive attacker: standard timing-filtered search, then timing off,
+// then timing off with growing size slack. Fills the structure fields of
+// `cell` from the first stage that yields candidates.
+void RunAdaptiveStructureAttack(const std::vector<trace::Trace>& acquisitions,
+                                const VictimSpec& victim,
+                                const EvalConfig& cfg, EvalCell& cell) {
+  struct Stage {
+    bool timing = false;
+    long long slack = 0;
+  };
+  std::vector<Stage> stages{{true, 0}, {false, 0}};
+  for (long long s : cfg.adaptive_slack) stages.push_back({false, s});
+
+  for (const Stage& stage : stages) {
+    attack::RobustStructureConfig rcfg;
+    rcfg.attack.analysis = victim.analysis;
+    rcfg.attack.search = victim.search;
+    if (!stage.timing) {
+      rcfg.attack.search.timing_tolerance = 0.0;
+      rcfg.attack.search.macs_per_cycle = 0;
+      rcfg.attack.search.bytes_per_cycle = 0;
+    }
+    rcfg.attack.analysis.input_elems_slack = stage.slack;
+    rcfg.slack_ladder = {stage.slack};
+    try {
+      const attack::RobustStructureResult res =
+          attack::RunRobustStructureAttack(acquisitions, rcfg);
+      if (res.num_structures() == 0) {
+        cell.outcome = "no_structures";
+        continue;
+      }
+      cell.outcome = "ok";
+      cell.candidates = res.num_structures();
+      cell.timing_filter_ok = stage.timing;
+      cell.slack_used = stage.slack;
+      const attack::TruthRanking ranking =
+          attack::RankTruth(res.search, victim.truth);
+      cell.truth_rank = ranking.rank;
+      cell.truth_unique_top = ranking.unique_top;
+      return;
+    } catch (const sc::Error& err) {
+      if (IsExplosion(err)) {
+        // Too many candidates to enumerate: that IS the defense's win.
+        cell.outcome = "overflow";
+        cell.candidates = cfg.max_structures;
+        return;
+      }
+      cell.outcome = "rejected";
+    }
+  }
+}
+
+// Secrets of the weight-attack victim: a first-conv-like stage with
+// all-negative biases (counts leak at the natural threshold 0, no knob
+// needed) and one exact-zero weight per even filter so zero detection is
+// exercised.
+struct WeightVictim {
+  attack::SparseConvOracle::StageSpec spec;
+  nn::Tensor weights;
+  nn::Tensor bias;
+};
+
+WeightVictim MakeWeightVictim(std::uint64_t seed) {
+  WeightVictim v;
+  v.spec.in_depth = 1;
+  v.spec.in_width = 10;
+  v.spec.filter = 3;
+  const int oc = 4;
+  v.weights = nn::Tensor(nn::Shape{oc, 1, 3, 3});
+  v.bias = nn::Tensor(nn::Shape{oc});
+  Rng rng(seed);
+  for (std::size_t i = 0; i < v.weights.numel(); ++i) {
+    float w = rng.GaussianF(0.5f);
+    if (std::abs(w) < 0.05f) w = w < 0 ? -0.05f : 0.05f;
+    v.weights[i] = w;
+  }
+  for (int k = 0; k < oc; ++k) {
+    v.bias.at(k) = -rng.UniformF(0.1f, 0.5f);
+    if (k % 2 == 0) v.weights.at(k, 0, 1, 1) = 0.0f;
+  }
+  return v;
+}
+
+void RunWeightCell(const WeightVictim& victim, const Defense& defense,
+                   EvalCell& cell) {
+  attack::SparseConvOracle base(victim.spec, victim.weights, victim.bias);
+  std::vector<attack::RecoveredFilter> filters;
+  if (const OracleTransform* ot = defense.oracle_transform()) {
+    DefendedOracle defended(base, *ot);
+    filters = attack::RecoverAllFilters(defended, victim.spec,
+                                        attack::WeightAttackConfig{});
+  } else {
+    filters = attack::RecoverAllFilters(base, victim.spec,
+                                        attack::WeightAttackConfig{});
+  }
+  const attack::WeightScore score = attack::ScoreRecoveredFilters(
+      filters, victim.weights, victim.bias);
+  cell.outcome = "ok";
+  cell.filters_recovered = score.filters_recovered;
+  cell.filters_total = score.filters_total;
+  cell.fraction_recovered = score.fraction_recovered();
+  cell.max_ratio_error = score.max_ratio_error;
+}
+
+// Bus cost of the defense on the weight-attack victim: one accelerator
+// probe run (zero pruning on — the channel under attack) defended vs not.
+void WeightCellOverheads(const WeightVictim& victim, const Defense& defense,
+                         std::uint64_t input_seed, EvalCell& cell) {
+  models::ConvStageVictimSpec spec;
+  spec.in_depth = victim.spec.in_depth;
+  spec.in_width = victim.spec.in_width;
+  spec.out_depth = victim.bias.shape()[0];
+  spec.filter = victim.spec.filter;
+  const nn::Network net =
+      models::MakeConvStageVictim(spec, victim.weights, victim.bias);
+  const nn::Tensor input = RandomInput(net.input_shape(), input_seed);
+  const trace::Trace base =
+      CaptureTrace(net, input, nullptr, /*zero_pruning=*/true);
+  const trace::Trace defended =
+      CaptureTrace(net, input, &defense, /*zero_pruning=*/true);
+  FillOverheads(base, defended, cell);
+}
+
+bool HasStrengthAxis(DefenseKind kind) {
+  return kind != DefenseKind::kNone && kind != DefenseKind::kRlePadding;
+}
+
+}  // namespace
+
+EvalMatrix RunDefenseMatrix(const EvalConfig& cfg) {
+  static obs::Counter& cells_run =
+      obs::Registry::Get().GetCounter("defense.eval.cells");
+  static obs::Counter& attacks_run =
+      obs::Registry::Get().GetCounter("defense.eval.attacks");
+
+  std::vector<VictimSpec> victims;
+  if (cfg.lenet)
+    victims.push_back(MakeVictim(
+        "lenet", models::MakeLeNet(1), 28, 1, 10,
+        {{5, 20}, {5, 50}, {4, 500}, {1, 10}}, cfg.max_structures));
+  if (cfg.convnet)
+    victims.push_back(MakeVictim(
+        "convnet", models::MakeConvNet(1), 32, 3, 10,
+        {{5, 32}, {5, 32}, {3, 64}, {4, 10}}, cfg.max_structures));
+  if (cfg.alexnet)
+    victims.push_back(MakeVictim(
+        "alexnet", models::MakeAlexNet(1), 227, 3, 1000,
+        {{11, 96}, {5, 256}, {3, 384}, {3, 384}, {3, 256}, {6, 4096},
+         {1, 4096}, {1, 1000}},
+        cfg.max_structures));
+
+  // Undefended traces, captured once per victim.
+  std::vector<trace::Trace> base_traces;
+  std::vector<nn::Tensor> inputs;
+  for (const VictimSpec& v : victims) {
+    inputs.push_back(RandomInput(v.net.input_shape(), cfg.input_seed));
+    base_traces.push_back(CaptureTrace(v.net, inputs.back(), nullptr,
+                                       /*zero_pruning=*/false));
+  }
+  const WeightVictim weight_victim = MakeWeightVictim(cfg.secret_seed);
+
+  EvalMatrix matrix;
+  for (DefenseKind kind : cfg.kinds) {
+    std::vector<Strength> strengths =
+        HasStrengthAxis(kind) ? cfg.strengths
+                              : std::vector<Strength>{Strength::kMedium};
+    for (Strength strength : strengths) {
+      const std::unique_ptr<Defense> defense =
+          MakeDefense(kind, strength, cfg.defense_seed);
+      const std::string strength_label =
+          HasStrengthAxis(kind) ? ToString(strength) : "-";
+
+      auto new_cell = [&](const std::string& victim,
+                          const std::string& attack) {
+        EvalCell cell;
+        cell.victim = victim;
+        cell.attack = attack;
+        cell.kind = kind;
+        cell.strength = strength_label;
+        cell.defense_desc = Sanitize(defense->description());
+        cells_run.Add();
+        return cell;
+      };
+
+      for (std::size_t vi = 0; vi < victims.size(); ++vi) {
+        const VictimSpec& victim = victims[vi];
+        // Single-acquisition attack through the accelerator's defense
+        // hook: the deployment path.
+        const trace::Trace defended = CaptureTrace(
+            victim.net, inputs[vi], defense.get(), /*zero_pruning=*/false);
+
+        EvalCell plain = new_cell(victim.name, "structure");
+        FillOverheads(base_traces[vi], defended, plain);
+        RunAdaptiveStructureAttack({defended}, victim, cfg, plain);
+        attacks_run.Add();
+        matrix.cells.push_back(plain);
+
+        // Consensus attack over K re-randomized acquisitions.
+        std::vector<trace::Trace> acquisitions;
+        const DefenseTransform* transform = defense->trace_transform();
+        for (int k = 0; k < cfg.robust_acquisitions; ++k)
+          acquisitions.push_back(
+              transform != nullptr
+                  ? transform->ApplyNth(base_traces[vi],
+                                        static_cast<std::uint64_t>(k))
+                  : base_traces[vi]);
+        EvalCell robust = new_cell(victim.name, "structure_robust");
+        FillOverheads(base_traces[vi], acquisitions.front(), robust);
+        RunAdaptiveStructureAttack(acquisitions, victim, cfg, robust);
+        attacks_run.Add();
+        matrix.cells.push_back(robust);
+      }
+
+      EvalCell weight = new_cell("conv_stage", "weight");
+      WeightCellOverheads(weight_victim, *defense, cfg.input_seed, weight);
+      RunWeightCell(weight_victim, *defense, weight);
+      attacks_run.Add();
+      matrix.cells.push_back(weight);
+    }
+  }
+  return matrix;
+}
+
+void WriteMatrixCsv(std::ostream& os, const EvalMatrix& m) {
+  os << "victim,attack,defense,strength,outcome,candidates,truth_rank,"
+        "truth_unique_top,timing_filter_ok,slack_used,filters_recovered,"
+        "filters_total,fraction_recovered,max_ratio_error,"
+        "traffic_overhead,event_overhead,latency_overhead,defense_desc\n";
+  for (const EvalCell& c : m.cells) {
+    os << c.victim << ',' << c.attack << ',' << ToString(c.kind) << ','
+       << c.strength << ',' << c.outcome << ',' << c.candidates << ','
+       << c.truth_rank << ',' << (c.truth_unique_top ? 1 : 0) << ','
+       << (c.timing_filter_ok ? 1 : 0) << ',' << c.slack_used << ','
+       << c.filters_recovered << ',' << c.filters_total << ','
+       << c.fraction_recovered << ',' << c.max_ratio_error << ','
+       << c.traffic_overhead << ',' << c.event_overhead << ','
+       << c.latency_overhead << ',' << c.defense_desc << '\n';
+  }
+}
+
+void WriteScorecardJson(std::ostream& os, const EvalMatrix& m) {
+  os << "{\n  \"defense_matrix\": [\n";
+  for (std::size_t i = 0; i < m.cells.size(); ++i) {
+    const EvalCell& c = m.cells[i];
+    os << "    {\"victim\": \"" << c.victim << "\", \"attack\": \""
+       << c.attack << "\", \"defense\": \"" << ToString(c.kind)
+       << "\", \"strength\": \"" << c.strength << "\", \"outcome\": \""
+       << c.outcome << "\", \"candidates\": " << c.candidates
+       << ", \"truth_rank\": " << c.truth_rank << ", \"truth_unique_top\": "
+       << (c.truth_unique_top ? "true" : "false")
+       << ", \"timing_filter_ok\": "
+       << (c.timing_filter_ok ? "true" : "false")
+       << ", \"slack_used\": " << c.slack_used
+       << ", \"filters_recovered\": " << c.filters_recovered
+       << ", \"filters_total\": " << c.filters_total
+       << ", \"fraction_recovered\": " << c.fraction_recovered
+       << ", \"max_ratio_error\": " << c.max_ratio_error
+       << ", \"traffic_overhead\": " << c.traffic_overhead
+       << ", \"event_overhead\": " << c.event_overhead
+       << ", \"latency_overhead\": " << c.latency_overhead
+       << ", \"defense_desc\": \"" << c.defense_desc << "\"}"
+       << (i + 1 < m.cells.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace sc::defense

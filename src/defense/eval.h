@@ -1,0 +1,100 @@
+// Attack-vs-defense evaluation harness (DESIGN.md §10).
+//
+// Runs the full cross product {structure attack, robust structure attack,
+// weight attack} x {defense strategy, strength} x {victim} and scores
+// every cell against ground truth the evaluator holds:
+//
+//   - structure cells: how many full structures survive, where the true
+//     architecture ranks in the attack's preference order (timing spread
+//     ascending), and whether it is uniquely top-ranked;
+//   - weight cells: filters fully recovered and the max w/b ratio error —
+//     undefended, the paper's Figure-7 headline (error < 2^-10);
+//   - every cell: the defense's traffic / event / latency overhead on the
+//     victim it defended, because a countermeasure is only as good as what
+//     it costs.
+//
+// The structure attacker ADAPTS: if the standard (timing-filtered, exact
+// size) attack yields nothing, it retries with the timing filter disabled,
+// then with increasing solver size slack — an attacker facing a shaped or
+// padded bus would do exactly that. A defense therefore only scores by
+// making the surviving candidate set large or truth-free, not by tripping
+// a brittle filter. Cells record which stage succeeded.
+#ifndef SC_DEFENSE_EVAL_H_
+#define SC_DEFENSE_EVAL_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "defense/defense.h"
+
+namespace sc::defense {
+
+struct EvalConfig {
+  std::vector<DefenseKind> kinds = StandardDefenseKinds();
+  std::vector<Strength> strengths = {Strength::kLow, Strength::kMedium,
+                                     Strength::kHigh};
+  bool lenet = true;
+  bool convnet = true;
+  bool alexnet = false;  // Table-3 scale; minutes, not seconds
+  // Acquisitions handed to the robust (consensus) structure attack; the
+  // defended bus re-randomizes each one (DefenseTransform::ApplyNth).
+  int robust_acquisitions = 5;
+  // Size-slack ladder of the adaptive structure attacker (elements), tried
+  // after the exact stages come up empty.
+  std::vector<long long> adaptive_slack = {16, 64, 256};
+  std::size_t max_structures = 50000;
+  std::uint64_t input_seed = 17;    // victim input driving the traces
+  std::uint64_t defense_seed = 1;   // randomized defenses
+  std::uint64_t secret_seed = 91;   // weight-attack victim secrets
+};
+
+struct EvalCell {
+  std::string victim;   // lenet / convnet / alexnet / conv_stage
+  std::string attack;   // structure / structure_robust / weight
+  DefenseKind kind = DefenseKind::kNone;
+  // "-" when the strategy has no strength axis (none, rle_padding).
+  std::string strength;
+  // ok / no_structures (attack came up empty at every adaptive stage) /
+  // overflow (candidate set exploded past max_structures) / rejected
+  // (analysis refused the trace).
+  std::string outcome;
+
+  // Structure cells.
+  std::size_t candidates = 0;
+  std::size_t truth_rank = 0;        // 1-based; 0 = truth absent
+  bool truth_unique_top = false;
+  bool timing_filter_ok = false;     // standard timing-filtered stage found it
+  long long slack_used = 0;          // adaptive stage's size slack (elements)
+
+  // Weight cells.
+  int filters_recovered = 0;
+  int filters_total = 0;
+  double fraction_recovered = 0.0;
+  double max_ratio_error = 0.0;
+
+  // Defended victim run vs undefended run.
+  double traffic_overhead = 1.0;   // bytes moved
+  double event_overhead = 1.0;     // bus transactions
+  double latency_overhead = 1.0;   // last bus cycle
+
+  std::string defense_desc;
+};
+
+struct EvalMatrix {
+  std::vector<EvalCell> cells;
+};
+
+EvalMatrix RunDefenseMatrix(const EvalConfig& cfg);
+
+// One row per cell; commas inside free-text fields become ';'. Stable
+// schema — ablation_defense and the nightly CI smoke parse it.
+void WriteMatrixCsv(std::ostream& os, const EvalMatrix& m);
+
+// metrics.json-style scorecard: {"defense_matrix": [ {cell}, ... ]}.
+void WriteScorecardJson(std::ostream& os, const EvalMatrix& m);
+
+}  // namespace sc::defense
+
+#endif  // SC_DEFENSE_EVAL_H_

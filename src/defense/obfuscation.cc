@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <sstream>
 #include <vector>
 
 #include "support/check.h"
@@ -71,6 +72,40 @@ ObfuscationResult ObfuscateTrace(const trace::Trace& input,
   out.event_overhead = static_cast<double>(after.total_events()) /
                        static_cast<double>(before.total_events());
   return out;
+}
+
+trace::Trace ObfuscationTransform::ApplyNth(const trace::Trace& in,
+                                            std::uint64_t k) const {
+  // Acquisition k: same statistics, independent permutation + dummy stream.
+  ObfuscationConfig nth = cfg_;
+  nth.seed = MixSeed(cfg_.seed, k);
+  return ObfuscateTrace(in, nth).trace;
+}
+
+ObfuscationDefense::ObfuscationDefense(Strength strength, std::uint64_t seed)
+    : ObfuscationDefense([&] {
+        ObfuscationConfig cfg;
+        cfg.seed = seed;
+        cfg.permute_blocks = true;
+        switch (strength) {
+          case Strength::kLow:
+            cfg.dummy_per_access = 1.0;
+            break;
+          case Strength::kMedium:
+            cfg.dummy_per_access = 2.0;
+            break;
+          case Strength::kHigh:
+            cfg.dummy_per_access = 4.0;
+            break;
+        }
+        return cfg;
+      }()) {}
+
+std::string ObfuscationDefense::description() const {
+  std::ostringstream os;
+  os << "block permutation (" << cfg_.block_bytes << " B blocks), "
+     << cfg_.dummy_per_access << " dummies/access";
+  return os.str();
 }
 
 }  // namespace sc::defense

@@ -11,7 +11,9 @@
 #define SC_DEFENSE_OBFUSCATION_H_
 
 #include <cstdint>
+#include <string>
 
+#include "defense/defense.h"
 #include "trace/trace.h"
 
 namespace sc::defense {
@@ -41,13 +43,19 @@ struct ObfuscationResult {
 ObfuscationResult ObfuscateTrace(const trace::Trace& input,
                                  const ObfuscationConfig& cfg);
 
-// TraceTransform adapter so the obfuscating controller can sit directly in
-// AcceleratorConfig::trace_fault_hook: the victim's arithmetic and outputs
+// DefenseTransform adapter so the obfuscating controller can sit directly
+// in AcceleratorConfig::defense_hook: the victim's arithmetic and outputs
 // are untouched (the hook only rewrites the adversary's captured trace),
 // while the probe sees the obfuscated bus. Deployment model of §5: the
 // controller lives between the accelerator and the probe, not inside the
 // datapath.
-class ObfuscationTransform : public trace::TraceTransform {
+//
+// ApplyNth models a controller that redraws its permutation and dummy
+// placement every inference: acquisition k runs the same statistics from
+// the independent stream MixSeed(cfg.seed, k), so K-acquisition consensus
+// attacks cannot vote the dummies away as a fixed pattern. Apply() (the
+// k-independent view) is unchanged from the original single-seed behavior.
+class ObfuscationTransform : public DefenseTransform {
  public:
   explicit ObfuscationTransform(ObfuscationConfig cfg) : cfg_(cfg) {}
 
@@ -55,8 +63,33 @@ class ObfuscationTransform : public trace::TraceTransform {
     return ObfuscateTrace(in, cfg_).trace;
   }
 
+  trace::Trace ApplyNth(const trace::Trace& in,
+                        std::uint64_t k) const override;
+
  private:
   ObfuscationConfig cfg_;
+};
+
+// ObfuscateTrace on the Defense interface. Strength scales the dummy rate
+// (1x / 2x / 4x dummies per real access); the block permutation is always
+// on — it is the part the paper's ORAM pointer actually requires.
+class ObfuscationDefense : public Defense {
+ public:
+  explicit ObfuscationDefense(ObfuscationConfig cfg)
+      : cfg_(cfg), transform_(cfg) {}
+  ObfuscationDefense(Strength strength, std::uint64_t seed);
+
+  std::string name() const override { return "obfuscation"; }
+  std::string description() const override;
+  const DefenseTransform* trace_transform() const override {
+    return &transform_;
+  }
+
+  const ObfuscationConfig& config() const { return cfg_; }
+
+ private:
+  ObfuscationConfig cfg_;
+  ObfuscationTransform transform_;
 };
 
 }  // namespace sc::defense

@@ -1,0 +1,24 @@
+#include "defense/rle_padding.h"
+
+namespace sc::defense {
+
+// Every observed unit decodes as completely dense: the padded burst for a
+// tile of N elements is always sized for N stored elements.
+class RlePaddingDefense::PadToWorstCase : public OracleTransform {
+ public:
+  std::size_t Apply(std::size_t true_count,
+                    std::size_t unit_elems) const override {
+    (void)true_count;
+    return unit_elems;
+  }
+};
+
+RlePaddingDefense::RlePaddingDefense()
+    : oracle_(std::make_unique<PadToWorstCase>()) {}
+
+void RlePaddingDefense::ConfigureAccelerator(
+    accel::AcceleratorConfig& cfg) const {
+  cfg.prune_constant_shape = true;
+}
+
+}  // namespace sc::defense

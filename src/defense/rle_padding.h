@@ -1,0 +1,51 @@
+// Fixed-size RLE padding (the §4 zero-count channel).
+//
+// Algorithm 2 recovers weights by watching the *size* of compressed OFM
+// write bursts: with dynamic zero pruning, one extra non-zero output grows
+// the burst by element_bytes + prune_index_bytes, so a bisection over
+// crafted inputs reads off each weight's magnitude. The countermeasure the
+// paper hints at is to make the compression shape-static: keep storing the
+// data compressed, but pad every write burst to the worst-case size of its
+// tile. The write-side bandwidth saving is forfeited (reads keep theirs),
+// and the observed burst size becomes a constant — the oracle decodes the
+// same count for every input, so bisection never sees a flip and recovers
+// nothing.
+//
+// This is the one strategy implemented in the victim's datapath rather
+// than on the bus: ConfigureAccelerator flips the accelerator's
+// prune_constant_shape knob, and the OracleTransform mirrors exactly what
+// the padded datapath emits (every unit decodes as its full element
+// count), keeping the two evaluation paths consistent by construction.
+#ifndef SC_DEFENSE_RLE_PADDING_H_
+#define SC_DEFENSE_RLE_PADDING_H_
+
+#include <string>
+
+#include "defense/defense.h"
+
+namespace sc::defense {
+
+// Strength-invariant: padding to the worst case is all or nothing (a
+// partial pad would still leak a truncated count).
+class RlePaddingDefense : public Defense {
+ public:
+  RlePaddingDefense();
+
+  std::string name() const override { return "rle_padding"; }
+  std::string description() const override {
+    return "compressed OFM writes padded to worst-case tile size";
+  }
+  const OracleTransform* oracle_transform() const override {
+    return oracle_.get();
+  }
+  void ConfigureAccelerator(accel::AcceleratorConfig& cfg) const override;
+
+ private:
+  class PadToWorstCase;
+
+  std::unique_ptr<OracleTransform> oracle_;
+};
+
+}  // namespace sc::defense
+
+#endif  // SC_DEFENSE_RLE_PADDING_H_

@@ -1,0 +1,91 @@
+#include "defense/stack.h"
+
+#include <sstream>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace sc::defense {
+
+class DefenseStack::ChainTransform : public DefenseTransform {
+ public:
+  explicit ChainTransform(const DefenseStack& stack) : stack_(stack) {}
+
+  trace::Trace Apply(const trace::Trace& in) const override {
+    trace::Trace cur = in;
+    for (const auto& m : stack_.members_)
+      if (const DefenseTransform* t = m->trace_transform())
+        cur = t->Apply(cur);
+    return cur;
+  }
+
+  trace::Trace ApplyNth(const trace::Trace& in,
+                        std::uint64_t k) const override {
+    // Decorrelate the members of one acquisition from each other as well
+    // as across acquisitions: member j of acquisition k draws stream
+    // MixSeed(k, j) — randomized members must not reuse one k and move in
+    // lockstep.
+    trace::Trace cur = in;
+    std::uint64_t j = 0;
+    for (const auto& m : stack_.members_) {
+      if (const DefenseTransform* t = m->trace_transform())
+        cur = t->ApplyNth(cur, MixSeed(k, j));
+      ++j;
+    }
+    return cur;
+  }
+
+ private:
+  const DefenseStack& stack_;
+};
+
+class DefenseStack::ChainOracle : public OracleTransform {
+ public:
+  explicit ChainOracle(const DefenseStack& stack) : stack_(stack) {}
+
+  std::size_t Apply(std::size_t true_count,
+                    std::size_t unit_elems) const override {
+    std::size_t cur = true_count;
+    for (const auto& m : stack_.members_)
+      if (const OracleTransform* t = m->oracle_transform())
+        cur = t->Apply(cur, unit_elems);
+    return cur;
+  }
+
+ private:
+  const DefenseStack& stack_;
+};
+
+DefenseStack::DefenseStack(std::vector<std::unique_ptr<Defense>> members)
+    : members_(std::move(members)) {
+  SC_CHECK(!members_.empty());
+  for (const auto& m : members_) SC_CHECK(m != nullptr);
+  bool any_trace = false, any_oracle = false;
+  for (const auto& m : members_) {
+    any_trace = any_trace || m->trace_transform() != nullptr;
+    any_oracle = any_oracle || m->oracle_transform() != nullptr;
+  }
+  if (any_trace) trace_chain_ = std::make_unique<ChainTransform>(*this);
+  if (any_oracle) oracle_chain_ = std::make_unique<ChainOracle>(*this);
+}
+
+std::string DefenseStack::description() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < members_.size(); ++i)
+    os << (i > 0 ? " + " : "") << members_[i]->name();
+  return os.str();
+}
+
+const DefenseTransform* DefenseStack::trace_transform() const {
+  return trace_chain_.get();
+}
+
+const OracleTransform* DefenseStack::oracle_transform() const {
+  return oracle_chain_.get();
+}
+
+void DefenseStack::ConfigureAccelerator(accel::AcceleratorConfig& cfg) const {
+  for (const auto& m : members_) m->ConfigureAccelerator(cfg);
+}
+
+}  // namespace sc::defense

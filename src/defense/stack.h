@@ -1,0 +1,51 @@
+// Composition of defenses into one deployed stack.
+//
+// No single strategy closes every channel: RLE padding is transparent on
+// the address/timing trace, shaping leaves addresses readable, obfuscation
+// leaves the zero-count channel open. A DefenseStack chains member
+// defenses in order — trace transforms compose left to right (member 0
+// sits closest to the victim, the last member is what the probe sees),
+// oracle transforms likewise, and every member gets to configure the
+// accelerator. The eval harness treats a stack like any other strategy,
+// so the scorecard shows directly what the combination buys over its
+// parts.
+#ifndef SC_DEFENSE_STACK_H_
+#define SC_DEFENSE_STACK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "defense/defense.h"
+
+namespace sc::defense {
+
+class DefenseStack : public Defense {
+ public:
+  // Takes ownership; member order is victim -> probe.
+  explicit DefenseStack(std::vector<std::unique_ptr<Defense>> members);
+
+  std::string name() const override { return "stack"; }
+  std::string description() const override;
+
+  // Non-null iff any member transforms the trace / the counts.
+  const DefenseTransform* trace_transform() const override;
+  const OracleTransform* oracle_transform() const override;
+  void ConfigureAccelerator(accel::AcceleratorConfig& cfg) const override;
+
+  const std::vector<std::unique_ptr<Defense>>& members() const {
+    return members_;
+  }
+
+ private:
+  class ChainTransform;
+  class ChainOracle;
+
+  std::vector<std::unique_ptr<Defense>> members_;
+  std::unique_ptr<DefenseTransform> trace_chain_;  // null if no member has one
+  std::unique_ptr<OracleTransform> oracle_chain_;  // likewise
+};
+
+}  // namespace sc::defense
+
+#endif  // SC_DEFENSE_STACK_H_

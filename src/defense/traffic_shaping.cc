@@ -1,0 +1,140 @@
+#include "defense/traffic_shaping.h"
+
+#include <sstream>
+#include <vector>
+
+#include "support/check.h"
+
+namespace sc::defense {
+
+std::uint64_t TrafficShapingConfig::resolved_beat() const {
+  if (beat_cycles != 0) return beat_cycles;
+  // Rate-match the DRAM interface so shaping adds padding, not stalls.
+  const accel::AcceleratorConfig dram;
+  return burst_bytes / static_cast<std::uint64_t>(dram.bytes_per_cycle);
+}
+
+std::size_t TrafficShapingConfig::resolved_quantum() const {
+  if (count_quantum != 0) return count_quantum;
+  const accel::AcceleratorConfig dram;
+  const std::size_t per_elem = static_cast<std::size_t>(dram.element_bytes) +
+                               static_cast<std::size_t>(dram.prune_index_bytes);
+  const std::size_t q = burst_bytes / per_elem;
+  return q == 0 ? 1 : q;
+}
+
+ConstantRateShaper::ConstantRateShaper(TrafficShapingConfig cfg) : cfg_(cfg) {
+  SC_CHECK(cfg_.burst_bytes >= 64);
+  SC_CHECK(cfg_.resolved_beat() > 0);
+}
+
+trace::Trace ConstantRateShaper::Apply(const trace::Trace& in) const {
+  trace::Trace out;
+  if (in.empty()) return out;
+  const std::uint64_t beat = cfg_.resolved_beat();
+  const std::uint32_t burst = cfg_.burst_bytes;
+
+  // Chop every burst into fixed-size transactions keyed by the cycle the
+  // victim made the data available.
+  struct Chunk {
+    std::uint64_t cycle;
+    std::uint64_t addr;
+    trace::MemOp op;
+  };
+  std::vector<Chunk> chunks;
+  for (const trace::MemEvent& e : in) {
+    const std::uint64_t n = (static_cast<std::uint64_t>(e.bytes) + burst - 1) /
+                            burst;
+    for (std::uint64_t c = 0; c < n; ++c)
+      chunks.push_back({e.cycle, e.addr + c * burst, e.op});
+  }
+
+  // Drain one transaction per beat. Real chunks leave in order once their
+  // original cycle has passed; idle beats carry a keep-alive re-read of the
+  // last real read, so the cadence never pauses. Re-reading an address the
+  // current segment already read is invisible to RAW segmentation; if a
+  // later real write ever covers that address (disjoint tensor regions make
+  // this all but impossible), the template is dropped rather than risking a
+  // fake RAW edge, and the next pending chunk leaves early instead.
+  std::size_t next = 0;
+  bool have_read = false;
+  std::uint64_t last_read_addr = 0;
+  std::uint64_t t = chunks.front().cycle / beat;
+  while (next < chunks.size()) {
+    const std::uint64_t now = t * beat;
+    if (chunks[next].cycle <= now || (!out.empty() && !have_read)) {
+      const Chunk& c = chunks[next++];
+      out.Append(now, c.addr, burst, c.op);
+      if (c.op == trace::MemOp::kRead) {
+        have_read = true;
+        last_read_addr = c.addr;
+      } else if (c.addr <= last_read_addr && last_read_addr < c.addr + burst) {
+        have_read = false;
+      }
+      ++t;
+    } else if (have_read) {
+      out.Append(now, last_read_addr, burst, trace::MemOp::kRead);
+      ++t;
+    } else {
+      // Nothing has left yet: the shaper clock starts with the traffic.
+      t = (chunks[next].cycle + beat - 1) / beat;
+    }
+  }
+  return out;
+}
+
+// Behind burst padding, a compressed OFM write is observable only as a
+// whole number of `burst_bytes` transactions, so the decoded non-zero
+// count collapses to the next multiple of the per-burst element capacity.
+// In particular 0 and 1 non-zeros produce the same single padded burst —
+// the Algorithm-2 single-element flip is invisible unless the true count
+// sits exactly at a quantum boundary.
+class TrafficShapingDefense::QuantizeCounts : public OracleTransform {
+ public:
+  explicit QuantizeCounts(std::size_t quantum) : quantum_(quantum) {}
+
+  std::size_t Apply(std::size_t true_count,
+                    std::size_t unit_elems) const override {
+    (void)unit_elems;
+    return (true_count / quantum_ + 1) * quantum_;
+  }
+
+ private:
+  std::size_t quantum_;
+};
+
+TrafficShapingDefense::TrafficShapingDefense(TrafficShapingConfig cfg)
+    : shaper_(cfg),
+      oracle_(std::make_unique<QuantizeCounts>(cfg.resolved_quantum())) {}
+
+TrafficShapingDefense::TrafficShapingDefense(Strength strength)
+    : TrafficShapingDefense([&] {
+        TrafficShapingConfig cfg;
+        switch (strength) {
+          case Strength::kLow:
+            cfg.burst_bytes = 256;
+            break;
+          case Strength::kMedium:
+            cfg.burst_bytes = 512;
+            break;
+          case Strength::kHigh:
+            cfg.burst_bytes = 1024;
+            break;
+        }
+        return cfg;
+      }()) {}
+
+const OracleTransform* TrafficShapingDefense::oracle_transform() const {
+  return oracle_.get();
+}
+
+std::string TrafficShapingDefense::description() const {
+  const TrafficShapingConfig& cfg = shaper_.config();
+  std::ostringstream os;
+  os << "constant-rate shaper (" << cfg.burst_bytes << " B every "
+     << cfg.resolved_beat() << " cycles, counts quantized to "
+     << cfg.resolved_quantum() << ")";
+  return os.str();
+}
+
+}  // namespace sc::defense

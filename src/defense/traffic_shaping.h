@@ -1,0 +1,91 @@
+// Constant-rate traffic shaping (the timing/traffic-volume channel).
+//
+// Related work (I Know What You See, arXiv:1803.05847; the dataflow-
+// accelerator attacks of arXiv:2311.00579) extracts structure from *when*
+// and *how much* the accelerator moves, even when addresses are hidden.
+// This defense models a bus shaper that drains one fixed-size transaction
+// every `beat_cycles`, from the first transfer until the queue is empty:
+//
+//   - every burst is chopped into fixed `burst_bytes` transactions (the
+//     tail padded up to the full size), so burst lengths carry no
+//     information beyond a coarse quantized volume;
+//   - transactions leave on a rigid cadence; while the victim's queue is
+//     empty the shaper emits keep-alive re-reads of the last read address,
+//     so inter-event gaps carry no information at all.
+//
+// Per-layer execution time — the attack's Eq. (9) MAC-proportionality
+// filter — then degenerates to "number of beats", i.e. quantized traffic
+// volume, which the address stream already leaked. Addresses are NOT
+// hidden (that is obfuscation's job): the keep-alive dummy repeats an
+// address the current segment already read, so RAW segmentation still
+// works and the structure attack keeps producing candidates — it just can
+// no longer use timing to single out the true one.
+//
+// The same padding closes part of the §4 channel: a compressed OFM burst
+// is observable only at `burst_bytes` granularity, so decoded non-zero
+// counts are quantized to `count_quantum` elements (OracleTransform view).
+#ifndef SC_DEFENSE_TRAFFIC_SHAPING_H_
+#define SC_DEFENSE_TRAFFIC_SHAPING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "defense/defense.h"
+
+namespace sc::defense {
+
+struct TrafficShapingConfig {
+  // Fixed transaction size every burst is chopped/padded to.
+  std::uint32_t burst_bytes = 512;
+  // Inter-transaction cadence. 0 = rate-match the DRAM interface
+  // (burst_bytes / AcceleratorConfig{}.bytes_per_cycle).
+  std::uint64_t beat_cycles = 0;
+  // Zero-count quantization step in elements: one compressed element costs
+  // element_bytes + prune_index_bytes on the bus, so a `burst_bytes`
+  // transaction holds about burst_bytes / 6 of them. 0 = derive that way.
+  std::size_t count_quantum = 0;
+
+  std::uint64_t resolved_beat() const;
+  std::size_t resolved_quantum() const;
+};
+
+// The bus-side shaper. Deterministic (no RNG): every acquisition of the
+// same execution looks identical, so ApplyNth keeps the default Apply.
+class ConstantRateShaper : public DefenseTransform {
+ public:
+  explicit ConstantRateShaper(TrafficShapingConfig cfg);
+
+  trace::Trace Apply(const trace::Trace& in) const override;
+
+  const TrafficShapingConfig& config() const { return cfg_; }
+
+ private:
+  TrafficShapingConfig cfg_;
+};
+
+class TrafficShapingDefense : public Defense {
+ public:
+  explicit TrafficShapingDefense(TrafficShapingConfig cfg);
+  // Strength scales the padding granularity: 256 / 512 / 1024-byte
+  // transactions (coarser = more padding, coarser count quantization).
+  explicit TrafficShapingDefense(Strength strength);
+
+  std::string name() const override { return "shaping"; }
+  std::string description() const override;
+  const DefenseTransform* trace_transform() const override {
+    return &shaper_;
+  }
+  const OracleTransform* oracle_transform() const override;
+
+  const TrafficShapingConfig& config() const { return shaper_.config(); }
+
+ private:
+  class QuantizeCounts;
+
+  ConstantRateShaper shaper_;
+  std::unique_ptr<OracleTransform> oracle_;
+};
+
+}  // namespace sc::defense
+
+#endif  // SC_DEFENSE_TRAFFIC_SHAPING_H_

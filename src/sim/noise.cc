@@ -14,15 +14,6 @@ void CheckProb(double p, const char* name) {
   SC_CHECK_MSG(p >= 0.0 && p <= 1.0, name << " must be in [0, 1]: " << p);
 }
 
-// splitmix64 finalizer: decorrelates the per-acquisition seeds derived from
-// (seed, k) so ApplyNth streams are independent.
-std::uint64_t MixSeed(std::uint64_t seed, std::uint64_t k) {
-  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (k + 1);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
-}
-
 }  // namespace
 
 TraceNoiseConfig ReferenceTraceNoise(std::uint64_t seed) {

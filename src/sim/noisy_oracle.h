@@ -43,6 +43,9 @@ class NoisyOracle : public attack::ZeroCountOracle {
   std::size_t TotalNonZeros(
       const std::vector<attack::SparsePixel>& pixels) override;
   int num_channels() const override;
+  std::size_t channel_elems() const override {
+    return inner_.channel_elems();
+  }
   bool SetActivationThreshold(float threshold) override;
 
   // Clones the inner oracle and forks the noise stream by an internal

@@ -60,6 +60,17 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+// splitmix64 finalizer over (seed, k): derives a decorrelated stream seed
+// for the k-th of K independent acquisitions (or forks) of one base seed.
+// Shared by every per-acquisition stream in the repo (sim::TraceNoiseModel,
+// defense transforms) so "stream k" means the same derivation everywhere.
+inline std::uint64_t MixSeed(std::uint64_t seed, std::uint64_t k) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (k + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace sc
 
 #endif  // SC_SUPPORT_RNG_H_

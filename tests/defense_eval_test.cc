@@ -1,0 +1,124 @@
+// Tier-1 smoke over the attack-vs-defense harness (defense/eval.h): the
+// undefended column must reproduce the paper's headline results and the
+// RLE-padding column must zero out the weight attack. The full matrix
+// (every strategy x strength x victim) runs in bench/defense_matrix.
+#include "defense/eval.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace sc::defense {
+namespace {
+
+const EvalCell* FindCell(const EvalMatrix& m, const std::string& victim,
+                         const std::string& attack, DefenseKind kind) {
+  for (const EvalCell& c : m.cells)
+    if (c.victim == victim && c.attack == attack && c.kind == kind) return &c;
+  return nullptr;
+}
+
+class DefenseEvalSmoke : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    EvalConfig cfg;
+    cfg.kinds = {DefenseKind::kNone, DefenseKind::kRlePadding};
+    cfg.strengths = {Strength::kMedium};
+    cfg.convnet = false;  // LeNet column only: keeps this in tier 1
+    matrix_ = new EvalMatrix(RunDefenseMatrix(cfg));
+  }
+  static void TearDownTestSuite() {
+    delete matrix_;
+    matrix_ = nullptr;
+  }
+  static EvalMatrix* matrix_;
+};
+
+EvalMatrix* DefenseEvalSmoke::matrix_ = nullptr;
+
+TEST_F(DefenseEvalSmoke, UndefendedStructureAttackIsUniquelyTopRanked) {
+  const EvalCell* c =
+      FindCell(*matrix_, "lenet", "structure", DefenseKind::kNone);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->outcome, "ok");
+  EXPECT_EQ(c->truth_rank, 1u);
+  EXPECT_TRUE(c->truth_unique_top);
+  EXPECT_TRUE(c->timing_filter_ok);
+  EXPECT_EQ(c->slack_used, 0);
+  // The control column is free by construction.
+  EXPECT_DOUBLE_EQ(c->traffic_overhead, 1.0);
+  EXPECT_DOUBLE_EQ(c->latency_overhead, 1.0);
+}
+
+TEST_F(DefenseEvalSmoke, UndefendedWeightAttackRecoversEveryFilter) {
+  const EvalCell* c =
+      FindCell(*matrix_, "conv_stage", "weight", DefenseKind::kNone);
+  ASSERT_NE(c, nullptr);
+  EXPECT_GT(c->filters_total, 0);
+  EXPECT_EQ(c->filters_recovered, c->filters_total);
+  EXPECT_DOUBLE_EQ(c->fraction_recovered, 1.0);
+  // Figure-7 headline: ratio error below 2^-10.
+  EXPECT_LT(c->max_ratio_error, 1.0 / 1024.0);
+}
+
+TEST_F(DefenseEvalSmoke, RlePaddingZeroesTheWeightAttack) {
+  const EvalCell* c =
+      FindCell(*matrix_, "conv_stage", "weight", DefenseKind::kRlePadding);
+  ASSERT_NE(c, nullptr);
+  EXPECT_GT(c->filters_total, 0);
+  EXPECT_EQ(c->filters_recovered, 0);
+  EXPECT_DOUBLE_EQ(c->fraction_recovered, 0.0);
+  // Constant-shape write-back costs bus traffic on the defended victim.
+  EXPECT_GT(c->traffic_overhead, 1.0);
+}
+
+TEST_F(DefenseEvalSmoke, RlePaddingLeavesTheStructureChannelOpen) {
+  // Honest scorecard: closing the count channel does nothing for the
+  // address-trace channel, and the matrix must say so.
+  const EvalCell* c =
+      FindCell(*matrix_, "lenet", "structure", DefenseKind::kRlePadding);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->outcome, "ok");
+  EXPECT_TRUE(c->truth_unique_top);
+}
+
+TEST_F(DefenseEvalSmoke, RobustAttackMatchesSingleTraceOnDeterministicCells) {
+  // Neither kNone nor kRlePadding randomizes the bus, so the consensus
+  // attacker sees five identical acquisitions and must agree with the
+  // single-trace cell.
+  for (DefenseKind k : {DefenseKind::kNone, DefenseKind::kRlePadding}) {
+    const EvalCell* one = FindCell(*matrix_, "lenet", "structure", k);
+    const EvalCell* rob = FindCell(*matrix_, "lenet", "structure_robust", k);
+    ASSERT_NE(one, nullptr);
+    ASSERT_NE(rob, nullptr);
+    EXPECT_EQ(one->outcome, rob->outcome);
+    EXPECT_EQ(one->candidates, rob->candidates);
+    EXPECT_EQ(one->truth_rank, rob->truth_rank);
+  }
+}
+
+TEST_F(DefenseEvalSmoke, CsvAndScorecardCoverEveryCell) {
+  std::ostringstream csv;
+  WriteMatrixCsv(csv, *matrix_);
+  const std::string text = csv.str();
+  std::size_t rows = 0;
+  for (char ch : text)
+    if (ch == '\n') ++rows;
+  EXPECT_EQ(rows, matrix_->cells.size() + 1);  // header + one per cell
+  EXPECT_NE(text.find("victim,attack,defense"), std::string::npos);
+
+  std::ostringstream json;
+  WriteScorecardJson(json, *matrix_);
+  const std::string doc = json.str();
+  EXPECT_EQ(doc.front(), '{');
+  EXPECT_NE(doc.find("\"defense_matrix\""), std::string::npos);
+  std::size_t objects = 0;
+  for (std::size_t pos = doc.find("\"victim\""); pos != std::string::npos;
+       pos = doc.find("\"victim\"", pos + 1))
+    ++objects;
+  EXPECT_EQ(objects, matrix_->cells.size());
+}
+
+}  // namespace
+}  // namespace sc::defense

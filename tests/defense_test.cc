@@ -4,6 +4,7 @@
 
 #include "accel/accelerator.h"
 #include "attack/structure/pipeline.h"
+#include "defense/defense.h"
 #include "models/zoo.h"
 #include "support/rng.h"
 #include "trace/stats.h"
@@ -148,6 +149,129 @@ TEST(ObfuscateTrace, ValidatesConfig) {
   ObfuscationConfig cfg;
   cfg.block_bytes = 16;  // below the supported minimum
   EXPECT_THROW(ObfuscateTrace(t, cfg), sc::Error);
+}
+
+// ---------------------------------------------------------------------------
+// Common Defense interface (defense/defense.h): every shipped strategy must
+// be reproducible per acquisition, re-randomize across acquisitions when it
+// is randomized at all, and be invisible to the victim's arithmetic.
+
+bool TracesEqual(const trace::Trace& a, const trace::Trace& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!(a[i] == b[i])) return false;
+  return true;
+}
+
+TEST(DefenseSuite, EveryStrategyIsDeterministicPerAcquisition) {
+  const trace::Trace victim = VictimTrace(21);
+  for (DefenseKind kind : StandardDefenseKinds()) {
+    if (kind == DefenseKind::kNone) continue;
+    const auto a = MakeDefense(kind, Strength::kMedium, 7);
+    const auto b = MakeDefense(kind, Strength::kMedium, 7);
+    ASSERT_EQ(a->name(), b->name());
+    const DefenseTransform* ta = a->trace_transform();
+    const DefenseTransform* tb = b->trace_transform();
+    ASSERT_EQ(ta == nullptr, tb == nullptr) << a->name();
+    if (ta == nullptr) continue;  // rle_padding: no bus-level transform
+    EXPECT_TRUE(TracesEqual(ta->Apply(victim), tb->Apply(victim)))
+        << a->name() << ": Apply() not a pure function of (config, trace)";
+    EXPECT_TRUE(TracesEqual(ta->ApplyNth(victim, 3), tb->ApplyNth(victim, 3)))
+        << a->name() << ": acquisition stream 3 not reproducible";
+  }
+}
+
+TEST(DefenseSuite, RandomizedStrategiesRerandomizePerAcquisition) {
+  const trace::Trace victim = VictimTrace(22);
+  // Randomized defenses must give acquisition k its own dummy placement —
+  // a consensus attacker averaging K traces may not see the same noise K
+  // times (the single-RNG reseeding bug this guards against made every
+  // ApplyNth identical).
+  for (DefenseKind kind : {DefenseKind::kObfuscation,
+                           DefenseKind::kDummyTensor, DefenseKind::kStack}) {
+    const auto d = MakeDefense(kind, Strength::kMedium, 7);
+    const DefenseTransform* t = d->trace_transform();
+    ASSERT_NE(t, nullptr);
+    EXPECT_FALSE(TracesEqual(t->ApplyNth(victim, 0), t->ApplyNth(victim, 1)))
+        << d->name() << ": acquisitions 0 and 1 saw identical noise";
+  }
+  // The shaper is deterministic by design: every acquisition is the same
+  // constant-rate stream.
+  const auto shaping = MakeDefense(DefenseKind::kShaping, Strength::kMedium);
+  const DefenseTransform* t = shaping->trace_transform();
+  ASSERT_NE(t, nullptr);
+  EXPECT_TRUE(TracesEqual(t->ApplyNth(victim, 0), t->ApplyNth(victim, 1)));
+}
+
+TEST(DefenseSuite, NoStrategyChangesVictimOutputs) {
+  nn::Network net = models::MakeLeNet(23);
+  nn::Tensor x(net.input_shape());
+  sc::Rng rng(23);
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = rng.GaussianF(1.0f);
+
+  accel::Accelerator plain{accel::AcceleratorConfig{}};
+  const accel::RunResult base = plain.Run(net, x, nullptr);
+
+  for (DefenseKind kind : StandardDefenseKinds()) {
+    for (Strength s : {Strength::kLow, Strength::kHigh}) {
+      const auto d = MakeDefense(kind, s, 7);
+      accel::AcceleratorConfig cfg;
+      d->ConfigureAccelerator(cfg);
+      cfg.defense_hook = d->trace_transform();
+      accel::Accelerator defended{cfg};
+      trace::Trace tr;
+      const accel::RunResult run = defended.Run(net, x, &tr);
+      ASSERT_EQ(run.output.numel(), base.output.numel()) << d->name();
+      for (std::size_t i = 0; i < base.output.numel(); ++i)
+        ASSERT_EQ(run.output[i], base.output[i])
+            << d->name() << "/" << ToString(s) << " element " << i;
+      ASSERT_EQ(run.stages.size(), base.stages.size()) << d->name();
+      for (std::size_t st = 0; st < base.stages.size(); ++st)
+        EXPECT_EQ(run.stages[st].ofm_nonzeros, base.stages[st].ofm_nonzeros)
+            << d->name() << " stage " << st;
+    }
+  }
+}
+
+TEST(DefenseSuite, OracleTransformsArePureAndMaskSingleElementFlips) {
+  // Algorithm 2 distinguishes a weight's sign by flipping one output element
+  // between zero and non-zero; a count-channel defense must map those two
+  // worlds to the same observation.
+  for (DefenseKind kind : {DefenseKind::kRlePadding, DefenseKind::kShaping,
+                           DefenseKind::kStack}) {
+    const auto d = MakeDefense(kind, Strength::kMedium, 7);
+    const OracleTransform* o = d->oracle_transform();
+    ASSERT_NE(o, nullptr) << d->name();
+    const std::size_t elems = 144;
+    for (std::size_t c : {std::size_t{0}, std::size_t{1}, std::size_t{77}})
+      EXPECT_EQ(o->Apply(c, elems), o->Apply(c, elems)) << d->name();
+    EXPECT_EQ(o->Apply(0, elems), o->Apply(1, elems))
+        << d->name() << ": a single-element flip is still observable";
+    EXPECT_GE(o->Apply(0, elems), std::size_t{1})
+        << d->name() << ": padding may only inflate counts";
+  }
+  // Defenses that leave the count channel open advertise it as nullptr.
+  EXPECT_EQ(MakeDefense(DefenseKind::kObfuscation, Strength::kMedium)
+                ->oracle_transform(),
+            nullptr);
+  EXPECT_EQ(MakeDefense(DefenseKind::kDummyTensor, Strength::kMedium)
+                ->oracle_transform(),
+            nullptr);
+}
+
+TEST(DefenseSuite, FactoryNamesAreStableScorecardKeys) {
+  // ablation_defense and the nightly CI smoke grep these out of the CSV.
+  EXPECT_EQ(MakeDefense(DefenseKind::kObfuscation, Strength::kLow)->name(),
+            "obfuscation");
+  EXPECT_EQ(MakeDefense(DefenseKind::kShaping, Strength::kLow)->name(),
+            "shaping");
+  EXPECT_EQ(MakeDefense(DefenseKind::kDummyTensor, Strength::kLow)->name(),
+            "dummy_tensor");
+  EXPECT_EQ(MakeDefense(DefenseKind::kRlePadding, Strength::kLow)->name(),
+            "rle_padding");
+  EXPECT_EQ(MakeDefense(DefenseKind::kStack, Strength::kLow)->name(),
+            "stack");
+  EXPECT_EQ(StandardDefenseKinds().front(), DefenseKind::kNone);
 }
 
 }  // namespace
