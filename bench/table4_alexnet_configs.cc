@@ -12,9 +12,11 @@ int main() {
   using namespace sc;
   bench::Banner("Table 4: possible AlexNet layer configurations");
 
-  bench::Timer timer;
   nn::Network net = models::MakeAlexNet(1);
   trace::Trace tr = bench::CaptureTrace(net, 11);
+
+  // Time the attack itself, not victim construction / trace capture.
+  bench::Timer timer;
 
   attack::StructureAttackConfig cfg;
   cfg.analysis.known_input_elems = 3LL * 227 * 227;

@@ -1,6 +1,7 @@
 #include "accel/accelerator.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "nn/activation.h"
 #include "nn/combine.h"
@@ -156,11 +157,14 @@ std::vector<Tensor> ForwardWithOverride(const nn::Network& net,
 
 // Counts non-zero elements of out[channel, rows y0..y1).
 std::size_t CountNonZerosRows(const Tensor& t, int c, int y0, int y1) {
-  const int w = t.shape()[2];
+  const auto w = static_cast<std::size_t>(t.shape()[2]);
+  const auto h = static_cast<std::size_t>(t.shape()[1]);
+  const float* p =
+      t.data() + (static_cast<std::size_t>(c) * h +
+                  static_cast<std::size_t>(y0)) * w;
+  const std::size_t n = static_cast<std::size_t>(y1 - y0) * w;
   std::size_t nnz = 0;
-  for (int y = y0; y < y1; ++y)
-    for (int x = 0; x < w; ++x)
-      if (t.at(c, y, x) != 0.0f) ++nnz;
+  for (std::size_t i = 0; i < n; ++i) nnz += (p[i] != 0.0f) ? 1u : 0u;
   return nnz;
 }
 
@@ -617,10 +621,13 @@ AddressMap Accelerator::BuildMap(const nn::Network& net) const {
 }
 
 RunResult Accelerator::Run(const nn::Network& net, const nn::Tensor& input,
-                           trace::Trace* out_trace) const {
+                           trace::Trace* out_trace,
+                           const AddressMap* prebuilt_map) const {
   SC_CHECK_MSG(net.num_nodes() > 0, "cannot run an empty network");
   const std::size_t trace_prefix = out_trace ? out_trace->size() : 0;
-  const AddressMap map = BuildMap(net);
+  std::optional<AddressMap> owned_map;
+  if (prebuilt_map == nullptr) owned_map.emplace(BuildMap(net));
+  const AddressMap& map = prebuilt_map ? *prebuilt_map : *owned_map;
   const std::vector<Stage> stages = BuildStages(net);
   const std::vector<Tensor> node_outputs =
       ForwardWithOverride(net, input, cfg_);
@@ -692,11 +699,8 @@ RunResult Accelerator::Run(const nn::Network& net, const nn::Tensor& input,
     for (std::size_t i = trace_prefix; i < out_trace->size(); ++i)
       run_part.Append((*out_trace)[i]);
     const trace::Trace transformed = hook->Apply(run_part);
-    trace::Trace rebuilt;
-    for (std::size_t i = 0; i < trace_prefix; ++i)
-      rebuilt.Append((*out_trace)[i]);
-    for (const trace::MemEvent& e : transformed) rebuilt.Append(e);
-    *out_trace = std::move(rebuilt);
+    out_trace->Truncate(trace_prefix);
+    out_trace->AppendAll(transformed);
   }
   return result;
 }

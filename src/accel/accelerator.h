@@ -59,10 +59,13 @@ class Accelerator {
   AcceleratorConfig& config() { return cfg_; }
 
   // Runs inference. If `out_trace` is non-null, appends the full memory
-  // trace. The address map is rebuilt per call (deterministic for a given
-  // network), so traces from repeated runs are directly comparable.
+  // trace. The address map is deterministic for a given network and config;
+  // by default it is rebuilt per call, but a caller replaying the same
+  // network many times (e.g. the zero-count oracle) can pass a map it built
+  // once with BuildMap(). The map must match the current config.
   RunResult Run(const nn::Network& net, const nn::Tensor& input,
-                trace::Trace* out_trace) const;
+                trace::Trace* out_trace,
+                const AddressMap* prebuilt_map = nullptr) const;
 
   // The DRAM layout the accelerator uses for this network.
   AddressMap BuildMap(const nn::Network& net) const;

@@ -1,10 +1,10 @@
 #include "attack/structure/region_analysis.h"
 
 #include <algorithm>
-#include <map>
 #include <ostream>
 
 #include "support/check.h"
+#include "trace/trace_buffer.h"
 
 namespace sc::attack {
 
@@ -63,9 +63,16 @@ TraceAnalysis AnalyzeTrace(const trace::Trace& trace,
   TraceAnalysis out;
   if (trace.empty()) return out;
 
+  const trace::TraceBuffer& buf = trace.buffer();
+  constexpr auto kRead = static_cast<std::uint8_t>(trace::MemOp::kRead);
+
   // --- region discovery (first: segmentation uses region identities) ---
   trace::IntervalSet all;
-  for (const trace::MemEvent& e : trace) all.Insert(e.addr, e.end());
+  for (std::size_t ci = 0; ci < buf.num_chunks(); ++ci) {
+    const trace::TraceBuffer::ChunkView v = buf.chunk(ci);
+    for (std::size_t i = 0; i < v.count; ++i)
+      all.Insert(v.addrs[i], v.addrs[i] + v.bytes[i]);
+  }
   const std::vector<trace::AddrInterval> spans =
       all.SplitRegions(cfg.region_gap);
 
@@ -73,30 +80,42 @@ TraceAnalysis AnalyzeTrace(const trace::Trace& trace,
   if (out.segments.empty()) return out;
 
   // --- per-(segment, region) coverage ---
+  // Dense nseg x nreg grid: segment and region counts are layer-scale (tens),
+  // so the grid is small, and indexing it beats a tree lookup per event.
   const std::size_t nseg = out.segments.size();
   const std::size_t nreg = spans.size();
-  // Sparse: most segments touch a handful of regions.
-  std::map<std::pair<std::size_t, std::size_t>, Use> use;
+  std::vector<Use> use(nseg * nreg);
   std::vector<bool> written(nreg, false);
+  std::vector<std::uint64_t> seg_bytes(nseg, 0);
 
-  for (std::size_t si = 0; si < nseg; ++si) {
-    const Segment& seg = out.segments[si];
-    for (std::size_t i = seg.first_event; i < seg.end_event; ++i) {
-      const trace::MemEvent& e = trace[i];
-      const std::size_t r = RegionIndex(spans, e.addr);
-      Use& u = use[{si, r}];
-      if (e.op == trace::MemOp::kRead) {
-        u.reads.Insert(e.addr, e.end());
-      } else {
-        u.writes.Insert(e.addr, e.end());
-        written[r] = true;
+  {
+    // One streaming pass: segments partition the event index space in
+    // order, and consecutive bursts usually share a region (hinted lookup).
+    std::size_t si = 0;
+    std::size_t rhint = nreg;  // invalid until first lookup
+    std::size_t idx = 0;
+    for (std::size_t ci = 0; ci < buf.num_chunks(); ++ci) {
+      const trace::TraceBuffer::ChunkView v = buf.chunk(ci);
+      for (std::size_t i = 0; i < v.count; ++i, ++idx) {
+        while (idx >= out.segments[si].end_event) ++si;
+        const std::uint64_t lo = v.addrs[i];
+        const std::uint64_t hi = lo + v.bytes[i];
+        if (rhint >= nreg || !spans[rhint].Contains(lo))
+          rhint = RegionIndex(spans, lo);
+        Use& u = use[si * nreg + rhint];
+        if (v.ops[i] == kRead) {
+          u.reads.Insert(lo, hi);
+        } else {
+          u.writes.Insert(lo, hi);
+          written[rhint] = true;
+        }
+        seg_bytes[si] += v.bytes[i];
       }
     }
   }
 
   // --- region summaries & input identification ---
   const auto eb = static_cast<std::uint64_t>(cfg.element_bytes);
-  trace::IntervalSet touched_per_region;
   out.regions.resize(nreg);
   for (std::size_t r = 0; r < nreg; ++r) {
     RegionSummary& summary = out.regions[r];
@@ -104,10 +123,9 @@ TraceAnalysis AnalyzeTrace(const trace::Trace& trace,
     summary.ever_written = written[r];
     trace::IntervalSet cover;
     for (std::size_t si = 0; si < nseg; ++si) {
-      auto it = use.find({si, r});
-      if (it == use.end()) continue;
-      for (const auto& p : it->second.reads.parts()) cover.Insert(p);
-      for (const auto& p : it->second.writes.parts()) cover.Insert(p);
+      const Use& u = use[si * nreg + r];
+      for (const auto& p : u.reads.parts()) cover.Insert(p);
+      for (const auto& p : u.writes.parts()) cover.Insert(p);
     }
     summary.elems = static_cast<long long>(cover.CoveredBytes() / eb);
   }
@@ -117,8 +135,7 @@ TraceAnalysis AnalyzeTrace(const trace::Trace& trace,
   long long best = -1;
   for (std::size_t r = 0; r < nreg; ++r) {
     if (out.regions[r].ever_written) continue;
-    auto it = use.find({0, r});
-    if (it == use.end() || it->second.reads.empty()) continue;
+    if (use[r].reads.empty()) continue;  // segment 0's row of the grid
     const long long elems = out.regions[r].elems;
     if (cfg.known_input_elems > 0) {
       // A strided first convolution may leave a small unread tail of the
@@ -143,14 +160,11 @@ TraceAnalysis AnalyzeTrace(const trace::Trace& trace,
     LayerObservation& o = out.observations[si];
     o.segment = static_cast<int>(si);
     o.cycles = out.segments[si].cycles();
-    for (std::size_t i = out.segments[si].first_event;
-         i < out.segments[si].end_event; ++i)
-      o.bytes_accessed += trace[i].bytes;
+    o.bytes_accessed = seg_bytes[si];
 
     for (std::size_t r = 0; r < nreg; ++r) {
-      auto it = use.find({si, r});
-      if (it == use.end()) continue;
-      const Use& u = it->second;
+      const Use& u = use[si * nreg + r];
+      if (u.reads.empty() && u.writes.empty()) continue;
 
       const std::uint64_t read_bytes = u.reads.CoveredBytes();
       const std::uint64_t write_bytes = u.writes.CoveredBytes();
@@ -171,10 +185,10 @@ TraceAnalysis AnalyzeTrace(const trace::Trace& trace,
         ObservedInput in;
         in.elems = static_cast<long long>(read_bytes / eb);
         for (std::size_t t = 0; t < si; ++t) {
-          auto wt = use.find({t, r});
-          if (wt == use.end() || wt->second.writes.empty()) continue;
+          const Use& w = use[t * nreg + r];
+          if (w.writes.empty()) continue;
           bool overlaps = false;
-          for (const auto& part : wt->second.writes.parts())
+          for (const auto& part : w.writes.parts())
             if (u.reads.OverlapsInterval(part)) {
               overlaps = true;
               break;

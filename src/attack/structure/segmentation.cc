@@ -4,43 +4,70 @@
 
 #include "support/check.h"
 #include "trace/interval.h"
+#include "trace/trace_buffer.h"
 
 namespace sc::attack {
 
 namespace {
 
 // Shared implementation: RAW-boundary rule, optionally augmented with the
-// weight-region-switch rule when `regions` is non-null.
+// weight-region-switch rule when `regions` is non-null (kHasRegions lifts
+// that choice to compile time so the hot loop carries no dead branches).
+//
+// The scan streams the trace's columns chunk by chunk and exploits the
+// locality of DMA traffic: consecutive bursts almost always stay inside one
+// region and one interval-set part, so region lookups and overlap queries
+// are answered by a memoized hint first and fall back to binary search only
+// on a miss. Semantics are identical to the straightforward per-event
+// formulation (asserted by the differential tests in trace_buffer_test).
+template <bool kHasRegions>
 std::vector<Segment> SegmentImpl(
     const trace::Trace& trace,
     const std::vector<trace::AddrInterval>* regions) {
   std::vector<Segment> segments;
   if (trace.empty()) return segments;
 
-  // Precompute per-region "ever written" when region info is available.
+  const trace::TraceBuffer& buf = trace.buffer();
+  const std::size_t n = buf.size();
+  constexpr auto kWrite = static_cast<std::uint8_t>(trace::MemOp::kWrite);
+
+  // Pass 1 (region-aware mode only): resolve each event's region once and
+  // record which regions are ever written.
+  std::vector<std::uint32_t> event_region;
   std::vector<bool> region_written;
-  auto region_of = [&](std::uint64_t addr) -> std::size_t {
-    auto it = std::upper_bound(
-        regions->begin(), regions->end(), addr,
-        [](std::uint64_t v, const trace::AddrInterval& r) {
-          return v < r.hi;
-        });
-    SC_CHECK_MSG(it != regions->end() && it->Contains(addr),
-                 "event outside every region");
-    return static_cast<std::size_t>(it - regions->begin());
-  };
-  if (regions != nullptr) {
+  if constexpr (kHasRegions) {
+    event_region.resize(n);
     region_written.assign(regions->size(), false);
-    for (const trace::MemEvent& e : trace)
-      if (e.op == trace::MemOp::kWrite) region_written[region_of(e.addr)] = true;
+    std::size_t hint = regions->size();  // invalid until first lookup
+    std::size_t idx = 0;
+    for (std::size_t ci = 0; ci < buf.num_chunks(); ++ci) {
+      const trace::TraceBuffer::ChunkView v = buf.chunk(ci);
+      for (std::size_t i = 0; i < v.count; ++i, ++idx) {
+        const std::uint64_t addr = v.addrs[i];
+        if (hint >= regions->size() || !(*regions)[hint].Contains(addr)) {
+          auto it = std::upper_bound(
+              regions->begin(), regions->end(), addr,
+              [](std::uint64_t a, const trace::AddrInterval& r) {
+                return a < r.hi;
+              });
+          SC_CHECK_MSG(it != regions->end() && it->Contains(addr),
+                       "event outside every region");
+          hint = static_cast<std::size_t>(it - regions->begin());
+        }
+        event_region[idx] = static_cast<std::uint32_t>(hint);
+        if (v.ops[i] == kWrite) region_written[hint] = true;
+      }
+    }
   }
 
   trace::IntervalSet written_ever;
   trace::IntervalSet written_since_boundary;
+  std::size_t ever_hint = 0;
+  std::size_t since_hint = 0;
   bool wrote_since_boundary = false;
   std::vector<bool> weight_region_read;   // per region, this segment
   std::vector<bool> region_written_here;  // per region, this segment
-  if (regions != nullptr) {
+  if constexpr (kHasRegions) {
     weight_region_read.assign(regions->size(), false);
     region_written_here.assign(regions->size(), false);
   }
@@ -48,7 +75,24 @@ std::vector<Segment> SegmentImpl(
   // raw_read[i]: event i is a read of data written in an *earlier* segment.
   // (A read of data written in the current segment triggers a boundary
   // instead, so it never carries this flag.)
-  std::vector<bool> raw_read(trace.size(), false);
+  std::vector<std::uint8_t> raw_read(n, 0);
+
+  // Does `s` overlap [lo, hi)? A hint hit is definitive (that part overlaps
+  // by construction); a miss falls back to the canonical binary search.
+  auto overlaps = [](const trace::IntervalSet& s, std::size_t& hint,
+                     std::uint64_t lo, std::uint64_t hi) {
+    const std::vector<trace::AddrInterval>& p = s.parts();
+    if (hint < p.size() && p[hint].lo < hi && lo < p[hint].hi) return true;
+    // Hull prefilter: reads of tensors the schedule has not written yet
+    // (weights, the network input) sit entirely outside the written span.
+    if (p.empty() || hi <= p.front().lo || lo >= p.back().hi) return false;
+    auto it = std::upper_bound(
+        p.begin(), p.end(), lo,
+        [](std::uint64_t a, const trace::AddrInterval& x) { return a < x.hi; });
+    if (it == p.end() || it->lo >= hi) return false;
+    hint = static_cast<std::size_t>(it - p.begin());
+    return true;
+  };
 
   auto start_segment = [&](std::size_t i) {
     // Pull the run of operand prefetches (reads of older layers' outputs)
@@ -58,60 +102,64 @@ std::vector<Segment> SegmentImpl(
     while (j > boundaries.back() + 1 && raw_read[j - 1]) --j;
     boundaries.push_back(j);
     written_since_boundary = trace::IntervalSet();
+    since_hint = 0;
     wrote_since_boundary = false;
-    if (regions != nullptr) {
+    if constexpr (kHasRegions) {
       std::fill(weight_region_read.begin(), weight_region_read.end(), false);
       std::fill(region_written_here.begin(), region_written_here.end(),
                 false);
     }
   };
 
-  for (std::size_t i = 0; i < trace.size(); ++i) {
-    const trace::MemEvent& e = trace[i];
-    const trace::AddrInterval iv{e.addr, e.end()};
-    if (e.op == trace::MemOp::kWrite) {
-      // Write-region rule: one layer writes one output tensor, so a write
-      // landing in a second region means a new layer began (needed for
-      // weight-free layers — a pooling branch inside an inception module
-      // triggers neither the RAW nor the weight-region rule).
-      if (regions != nullptr) {
-        const std::size_t r = region_of(e.addr);
-        if (wrote_since_boundary && !region_written_here[r])
-          start_segment(i);
-        region_written_here[r] = true;
+  std::size_t idx = 0;
+  for (std::size_t ci = 0; ci < buf.num_chunks(); ++ci) {
+    const trace::TraceBuffer::ChunkView v = buf.chunk(ci);
+    for (std::size_t i = 0; i < v.count; ++i, ++idx) {
+      const std::uint64_t lo = v.addrs[i];
+      const std::uint64_t hi = lo + v.bytes[i];
+      if (v.ops[i] == kWrite) {
+        // Write-region rule: one layer writes one output tensor, so a write
+        // landing in a second region means a new layer began (needed for
+        // weight-free layers — a pooling branch inside an inception module
+        // triggers neither the RAW nor the weight-region rule).
+        if constexpr (kHasRegions) {
+          const std::size_t r = event_region[idx];
+          if (wrote_since_boundary && !region_written_here[r])
+            start_segment(idx);
+          region_written_here[r] = true;
+        }
+        written_ever.Insert(lo, hi);
+        written_since_boundary.Insert(lo, hi);
+        wrote_since_boundary = true;
+        continue;
       }
-      written_ever.Insert(iv);
-      written_since_boundary.Insert(iv);
-      wrote_since_boundary = true;
-      continue;
-    }
-    if (written_since_boundary.OverlapsInterval(iv)) {
-      start_segment(i);  // RAW rule (paper §3.1)
-    } else if (regions != nullptr &&
-               !region_written[region_of(e.addr)]) {
-      // Weight-region rule: a read-only region new to this segment after
-      // write-back began means a sibling layer started (fire modules).
-      const std::size_t r = region_of(e.addr);
-      if (!weight_region_read[r] && wrote_since_boundary) {
-        start_segment(i);
+      if (overlaps(written_since_boundary, since_hint, lo, hi)) {
+        start_segment(idx);  // RAW rule (paper §3.1)
+      } else if (kHasRegions && !region_written[event_region[idx]]) {
+        // Weight-region rule: a read-only region new to this segment after
+        // write-back began means a sibling layer started (fire modules).
+        const std::size_t r = event_region[idx];
+        if (!weight_region_read[r] && wrote_since_boundary) {
+          start_segment(idx);
+        }
+        weight_region_read[r] = true;
+      } else if (overlaps(written_ever, ever_hint, lo, hi)) {
+        raw_read[idx] = 1;
       }
-      weight_region_read[r] = true;
-    } else if (written_ever.OverlapsInterval(iv)) {
-      raw_read[i] = true;
     }
   }
 
-  boundaries.push_back(trace.size());
+  boundaries.push_back(n);
   for (std::size_t b = 0; b + 1 < boundaries.size(); ++b) {
     Segment s;
     s.first_event = boundaries[b];
     s.end_event = boundaries[b + 1];
     SC_CHECK(s.first_event < s.end_event);
-    s.start_cycle = trace[s.first_event].cycle;
+    s.start_cycle = buf.Get(s.first_event).cycle;
     // A layer's time extends to the start of the next layer (its write-back
     // tail belongs to it); the final layer ends at the last event.
-    s.end_cycle = s.end_event < trace.size() ? trace[s.end_event].cycle
-                                             : trace[trace.size() - 1].cycle;
+    s.end_cycle =
+        s.end_event < n ? buf.Get(s.end_event).cycle : buf.Get(n - 1).cycle;
     segments.push_back(s);
   }
   return segments;
@@ -120,13 +168,13 @@ std::vector<Segment> SegmentImpl(
 }  // namespace
 
 std::vector<Segment> SegmentTrace(const trace::Trace& trace) {
-  return SegmentImpl(trace, nullptr);
+  return SegmentImpl<false>(trace, nullptr);
 }
 
 std::vector<Segment> SegmentTraceWithRegions(
     const trace::Trace& trace,
     const std::vector<trace::AddrInterval>& regions) {
-  return SegmentImpl(trace, &regions);
+  return SegmentImpl<true>(trace, &regions);
 }
 
 }  // namespace sc::attack

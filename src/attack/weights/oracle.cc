@@ -20,14 +20,21 @@ nn::Tensor Densify(const nn::Shape& shape,
   return t;
 }
 
+accel::AcceleratorConfig WithPruning(accel::AcceleratorConfig cfg) {
+  cfg.zero_pruning = true;  // the §4 leak requires pruning
+  return cfg;
+}
+
 }  // namespace
 
 // --- AcceleratorOracle -------------------------------------------------------
 
 AcceleratorOracle::AcceleratorOracle(const nn::Network& net, int target_node,
                                      accel::AcceleratorConfig cfg)
-    : net_(net), target_node_(target_node), accel_(cfg) {
-  accel_.config().zero_pruning = true;  // the §4 leak requires pruning
+    : net_(net),
+      target_node_(target_node),
+      accel_(WithPruning(cfg)),
+      map_(accel_.BuildMap(net)) {
   const std::vector<accel::Stage> stages = accel::BuildStages(net);
   for (std::size_t i = 0; i < stages.size(); ++i) {
     if (stages[i].output_node == target_node_) {
@@ -63,14 +70,13 @@ AcceleratorOracle::Counts AcceleratorOracle::Query(
     const std::vector<SparsePixel>& pixels) {
   ++queries_;
   const nn::Tensor input = Densify(net_.input_shape(), pixels);
-  trace::Trace tr;
-  accel_.Run(net_, input, &tr);
+  scratch_.Clear();
+  accel_.Run(net_, input, &scratch_, &map_);
 
   // Side-channel decode: compressed write bursts inside the target OFM
   // region. Burst size = header + nnz*(element+index); the channel is the
   // slot the burst's address falls into.
-  const accel::AddressMap map = accel_.BuildMap(net_);
-  const accel::Region region = map.ofm(target_node_);
+  const accel::Region region = map_.ofm(target_node_);
   const auto& cfg = accel_.config();
   const auto eb = static_cast<std::uint64_t>(cfg.element_bytes);
   const auto per_elem = eb + static_cast<std::uint64_t>(cfg.prune_index_bytes);
@@ -84,7 +90,7 @@ AcceleratorOracle::Counts AcceleratorOracle::Query(
 
   Counts counts;
   counts.per_channel.assign(static_cast<std::size_t>(d), 0);
-  for (const trace::MemEvent& e : tr) {
+  for (const trace::MemEvent& e : scratch_) {
     if (e.op != trace::MemOp::kWrite) continue;
     if (e.addr < region.base || e.addr >= region.end()) continue;
     SC_CHECK_MSG(e.bytes >= header && (e.bytes - header) % per_elem == 0,

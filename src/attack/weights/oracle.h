@@ -123,6 +123,12 @@ class AcceleratorOracle : public ZeroCountOracle {
   int target_stage_ = -1;
   int num_channels_ = 0;
   accel::Accelerator accel_;
+  // Pooled per-oracle state: the DRAM layout is deterministic for the
+  // victim, so build it once; the scratch trace keeps its chunk storage
+  // across queries (Clear() does not free). Parallel sweeps use Clone(),
+  // so a query never runs concurrently on one instance.
+  accel::AddressMap map_;
+  trace::Trace scratch_;
 };
 
 // Fast functional oracle for a single fused conv stage (conv [+ReLU]

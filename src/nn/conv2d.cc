@@ -13,6 +13,167 @@ namespace {
 // small test tensors stay on the serial path.
 constexpr std::int64_t kMinParallelMacs = 1 << 16;
 
+// Adds the full KY x F tap block of one input channel to one stride-1
+// output row. `x0` is the input row aligned with the block's first kernel
+// row and `w0` the matching weight row. Taps apply in ascending (ky, kx)
+// order per lane, so the per-pixel operation sequence matches a scalar
+// triple loop bit-for-bit, while the compile-time extents fully unroll the
+// block: each accumulator element is loaded and stored once per input
+// channel. Edge lanes see the same ascending order over their clamped kx
+// subset. Fixed per-row bases keep every interior load affine in ox, which
+// the vectorizer needs (a single ky*w+kx indexed base defeats it).
+// always_inline so the body is recompiled with the ISA of each caller clone.
+template <int F, int KY>
+__attribute__((always_inline)) inline void AccumulateRowBlock(
+    float* __restrict acc, const float* __restrict x0,
+    const float* __restrict w0, int w, int out_w, int pad) {
+  const float* rows[static_cast<std::size_t>(KY)];
+  float taps[static_cast<std::size_t>(KY)][static_cast<std::size_t>(F)];
+  for (int ky = 0; ky < KY; ++ky) {
+    rows[ky] = x0 + static_cast<std::ptrdiff_t>(ky) * w;
+    for (int kx = 0; kx < F; ++kx)
+      taps[ky][kx] = w0[static_cast<std::ptrdiff_t>(ky) * F + kx];
+  }
+  const int int_lo = std::min(pad, out_w);
+  const int int_hi = std::max(int_lo, std::min(out_w, w + pad - F + 1));
+  auto edge_lanes = [&](int e_lo, int e_hi) {
+    for (int ox = e_lo; ox < e_hi; ++ox) {
+      const int kx_lo = std::max(0, pad - ox);
+      const int kx_hi = std::min(F, w + pad - ox);
+      float a = acc[ox];
+      for (int ky = 0; ky < KY; ++ky)
+        for (int kx = kx_lo; kx < kx_hi; ++kx)
+          a += rows[ky][ox - pad + kx] * taps[ky][kx];
+      acc[ox] = a;
+    }
+  };
+  edge_lanes(0, int_lo);
+  for (int ox = int_lo; ox < int_hi; ++ox) {
+    float a = acc[ox];
+    for (int ky = 0; ky < KY; ++ky)
+      for (int kx = 0; kx < F; ++kx)
+        a += rows[ky][ox - pad + kx] * taps[ky][kx];
+    acc[ox] = a;
+  }
+  edge_lanes(int_hi, out_w);
+}
+
+#define SC_KY_CASE(F, KY)                                     \
+  case KY:                                                    \
+    AccumulateRowBlock<F, KY>(acc, x0, w0, w, out_w, pad);    \
+    return true;
+
+// Dispatches one (input-channel, output-row) tap block to its unrolled
+// kernel for common filter widths; returns false when no specialization
+// exists (caller falls back to the generic per-tap loops).
+__attribute__((always_inline)) inline bool RowBlockDispatch(
+    int filter, int nky, float* __restrict acc, const float* __restrict x0,
+    const float* __restrict w0, int w, int out_w, int pad) {
+  switch (filter) {
+    case 1:
+      switch (nky) { SC_KY_CASE(1, 1) default: return false; }
+    case 3:
+      switch (nky) {
+        SC_KY_CASE(3, 1) SC_KY_CASE(3, 2) SC_KY_CASE(3, 3) default:
+          return false;
+      }
+    case 5:
+      switch (nky) {
+        SC_KY_CASE(5, 1) SC_KY_CASE(5, 2) SC_KY_CASE(5, 3) SC_KY_CASE(5, 4)
+        SC_KY_CASE(5, 5) default:
+          return false;
+      }
+    case 7:
+      switch (nky) {
+        SC_KY_CASE(7, 1) SC_KY_CASE(7, 2) SC_KY_CASE(7, 3) SC_KY_CASE(7, 4)
+        SC_KY_CASE(7, 5) SC_KY_CASE(7, 6) SC_KY_CASE(7, 7) default:
+          return false;
+      }
+    default:
+      return false;
+  }
+}
+
+#undef SC_KY_CASE
+
+// One output channel of the forward convolution; `wd` points at this
+// channel's {in_depth, filter, filter} weight block. Row-accumulator form:
+// each output row accumulates in place, with the innermost loops running
+// over contiguous output lanes so they vectorize. Every output pixel still
+// sees its contributions in bias-then-(ic,ky,kx) ascending order — the same
+// per-pixel operation sequence as a scalar triple loop — so results are
+// bit-identical regardless of lane width. target_clones dispatches to an
+// AVX2 build at runtime without baking -march into the whole tree (AVX2
+// alone has no FMA, so per-lane rounding matches the default clone).
+//
+// ThreadSanitizer builds must not multiversion: target_clones emits an
+// ifunc whose resolver runs during relocation, before the tsan runtime
+// initializes, and the instrumented resolver segfaults on its shadow
+// access. The default clone is bit-identical, so TSan coverage is intact.
+#if defined(__SANITIZE_THREAD__)
+#define SC_CONV_CLONES
+#else
+#define SC_CONV_CLONES __attribute__((target_clones("default", "avx2")))
+#endif
+SC_CONV_CLONES void ForwardOneChannel(
+    const float* __restrict xd, const float* __restrict wd, float b,
+    float* __restrict y_plane, int h, int w, int out_w, int in_depth,
+    int filter, int stride, int pad) {
+  for (int oy = 0; oy < out_w; ++oy) {
+    const int iy0 = oy * stride - pad;
+    const int ky_lo = iy0 < 0 ? -iy0 : 0;
+    const int ky_hi = std::min(filter, h - iy0);
+    float* __restrict acc =
+        y_plane +
+        static_cast<std::size_t>(oy) * static_cast<std::size_t>(out_w);
+    for (int ox = 0; ox < out_w; ++ox) acc[ox] = b;
+    if (ky_lo >= ky_hi) continue;
+    const int nky = ky_hi - ky_lo;
+    for (int ic = 0; ic < in_depth; ++ic) {
+      const float* x_chan = xd + static_cast<std::size_t>(ic) *
+                                     static_cast<std::size_t>(h) *
+                                     static_cast<std::size_t>(w);
+      const float* w_chan = wd + static_cast<std::size_t>(ic) *
+                                     static_cast<std::size_t>(filter) *
+                                     static_cast<std::size_t>(filter);
+      if (stride == 1) {
+        const float* x0 = x_chan + static_cast<std::size_t>(iy0 + ky_lo) *
+                                       static_cast<std::size_t>(w);
+        const float* w0 = w_chan + static_cast<std::size_t>(ky_lo) *
+                                       static_cast<std::size_t>(filter);
+        if (RowBlockDispatch(filter, nky, acc, x0, w0, w, out_w, pad))
+          continue;
+      }
+      // Generic fallback (uncommon filter widths and strided convolutions):
+      // one pass per tap over the lanes whose input column stays in [0, w).
+      for (int ky = ky_lo; ky < ky_hi; ++ky) {
+        const float* __restrict x_row =
+            x_chan + static_cast<std::size_t>(iy0 + ky) *
+                         static_cast<std::size_t>(w);
+        const float* w_row = w_chan + static_cast<std::size_t>(ky) *
+                                          static_cast<std::size_t>(filter);
+        for (int kx = 0; kx < filter; ++kx) {
+          const int shift = kx - pad;
+          int lo = 0;
+          if (shift < 0) lo = (-shift + stride - 1) / stride;
+          const int max_ix = w - 1 - shift;
+          const int hi =
+              max_ix < 0 ? 0 : std::min(out_w, max_ix / stride + 1);
+          if (lo >= hi) continue;
+          const float wv = w_row[kx];
+          if (stride == 1) {
+            const float* __restrict xp = x_row + (lo + shift);
+            for (int ox = lo; ox < hi; ++ox) acc[ox] += xp[ox - lo] * wv;
+          } else {
+            for (int ox = lo; ox < hi; ++ox)
+              acc[ox] += x_row[ox * stride + shift] * wv;
+          }
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 const char* ToString(LayerKind k) {
@@ -74,51 +235,21 @@ Tensor Conv2D::Forward(const std::vector<const Tensor*>& in) const {
   const float* wd = weights_.data();
   float* yd = y.data();
 
-  // Pointer-arithmetic hot loop: per output row, clamp the filter window to
-  // the valid input range once, then run contiguous inner loops. Output
-  // channels write disjoint planes, so they parallelize without changing a
-  // single arithmetic operation or its order.
+  // Output channels write disjoint planes, so they parallelize without
+  // changing a single arithmetic operation or its order.
   auto channels = [&](std::int64_t oc_lo, std::int64_t oc_hi) {
+    const std::size_t filt_area =
+        static_cast<std::size_t>(filter_) * static_cast<std::size_t>(filter_);
     for (std::int64_t oc = oc_lo; oc < oc_hi; ++oc) {
-      const float b = bias_.at(static_cast<int>(oc));
-      float* y_plane = yd + static_cast<std::size_t>(oc) *
-                                static_cast<std::size_t>(out_w) *
-                                static_cast<std::size_t>(out_w);
-      for (int oy = 0; oy < out_w; ++oy) {
-        const int iy0 = oy * stride_ - pad_;
-        const int ky_lo = iy0 < 0 ? -iy0 : 0;
-        const int ky_hi = std::min(filter_, h - iy0);
-        for (int ox = 0; ox < out_w; ++ox) {
-          const int ix0 = ox * stride_ - pad_;
-          const int kx_lo = ix0 < 0 ? -ix0 : 0;
-          const int kx_hi = std::min(filter_, w - ix0);
-          float acc = b;
-          for (int ic = 0; ic < in_depth_; ++ic) {
-            const float* x_chan =
-                xd + static_cast<std::size_t>(ic) *
-                         static_cast<std::size_t>(h) *
-                         static_cast<std::size_t>(w);
-            const float* w_chan =
-                wd + (static_cast<std::size_t>(oc) *
-                          static_cast<std::size_t>(in_depth_) +
-                      static_cast<std::size_t>(ic)) *
-                         static_cast<std::size_t>(filter_) *
-                         static_cast<std::size_t>(filter_);
-            for (int ky = ky_lo; ky < ky_hi; ++ky) {
-              const float* x_row =
-                  x_chan + static_cast<std::size_t>(iy0 + ky) *
-                               static_cast<std::size_t>(w) +
-                  static_cast<std::size_t>(ix0);
-              const float* w_row =
-                  w_chan + static_cast<std::size_t>(ky) *
-                               static_cast<std::size_t>(filter_);
-              for (int kx = kx_lo; kx < kx_hi; ++kx)
-                acc += x_row[kx] * w_row[kx];
-            }
-          }
-          *y_plane++ = acc;
-        }
-      }
+      ForwardOneChannel(xd,
+                        wd + static_cast<std::size_t>(oc) *
+                                 static_cast<std::size_t>(in_depth_) *
+                                 filt_area,
+                        bias_.at(static_cast<int>(oc)),
+                        yd + static_cast<std::size_t>(oc) *
+                                 static_cast<std::size_t>(out_w) *
+                                 static_cast<std::size_t>(out_w),
+                        h, w, out_w, in_depth_, filter_, stride_, pad_);
     }
   };
 

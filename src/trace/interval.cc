@@ -16,6 +16,19 @@ void IntervalSet::Insert(std::uint64_t lo, std::uint64_t hi) {
   SC_CHECK_MSG(lo <= hi, "inverted interval");
   if (lo == hi) return;
 
+  // Fast path for the dominant pattern (trace addresses mostly ascend):
+  // the new interval lands at or after the last part, so it either merges
+  // with it or appends — no search, no mid-vector shifting.
+  if (!parts_.empty() && lo >= parts_.back().lo) {
+    AddrInterval& b = parts_.back();
+    if (lo > b.hi) {
+      parts_.push_back(AddrInterval{lo, hi});
+    } else if (hi > b.hi) {
+      b.hi = hi;
+    }
+    return;
+  }
+
   // Find the first part that ends at or after lo (merge candidate, treating
   // adjacency as overlap), and the first part starting strictly after hi.
   auto first = std::lower_bound(

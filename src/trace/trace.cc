@@ -21,42 +21,25 @@ std::ostream& operator<<(std::ostream& os, const MemEvent& e) {
             << std::dec << " bytes=" << e.bytes << " op=" << e.op << "}";
 }
 
-void Trace::Append(const MemEvent& e) {
-  SC_CHECK_MSG(e.bytes > 0, "empty burst");
-  SC_CHECK_MSG(events_.empty() || events_.back().cycle <= e.cycle,
-               "trace cycles must be non-decreasing: last="
-                   << events_.back().cycle << " new=" << e.cycle);
-  events_.push_back(e);
-}
-
-void Trace::Append(std::uint64_t cycle, std::uint64_t addr,
-                   std::uint32_t bytes, MemOp op) {
-  Append(MemEvent{cycle, addr, bytes, op});
-}
-
-std::uint64_t Trace::last_cycle() const {
-  return events_.empty() ? 0 : events_.back().cycle;
-}
-
-std::uint64_t Trace::bytes_read() const {
-  std::uint64_t n = 0;
-  for (const MemEvent& e : events_)
-    if (e.op == MemOp::kRead) n += e.bytes;
-  return n;
-}
-
-std::uint64_t Trace::bytes_written() const {
-  std::uint64_t n = 0;
-  for (const MemEvent& e : events_)
-    if (e.op == MemOp::kWrite) n += e.bytes;
-  return n;
+void Trace::AppendAll(const Trace& other) {
+  const TraceBuffer& src = other.buf_;
+  for (std::size_t ci = 0; ci < src.num_chunks(); ++ci) {
+    const TraceBuffer::ChunkView v = src.chunk(ci);
+    for (std::size_t i = 0; i < v.count; ++i) {
+      buf_.Append(v.cycles[i], v.addrs[i], v.bytes[i],
+                  static_cast<MemOp>(v.ops[i]));
+    }
+  }
 }
 
 void Trace::WriteCsv(std::ostream& os) const {
   os << "cycle,addr,bytes,op\n";
-  for (const MemEvent& e : events_) {
-    os << e.cycle << ',' << e.addr << ',' << e.bytes << ',' << ToString(e.op)
-       << '\n';
+  for (std::size_t ci = 0; ci < buf_.num_chunks(); ++ci) {
+    const TraceBuffer::ChunkView v = buf_.chunk(ci);
+    for (std::size_t i = 0; i < v.count; ++i) {
+      os << v.cycles[i] << ',' << v.addrs[i] << ',' << v.bytes[i] << ','
+         << ToString(static_cast<MemOp>(v.ops[i])) << '\n';
+    }
   }
 }
 

@@ -3,42 +3,115 @@
 // A Trace is an append-only, cycle-ordered sequence of MemEvents captured
 // from the accelerator's memory bus. It is the sole input to the structure
 // reverse-engineering attack (paper §3) and is also what defenses transform.
+//
+// Storage is columnar (see trace/trace_buffer.h); this class is a thin
+// facade that keeps the event-oriented API (indexing, range-for, CSV) while
+// analysis passes that want column streaming use buffer() directly.
 #ifndef SC_TRACE_TRACE_H_
 #define SC_TRACE_TRACE_H_
 
 #include <cstddef>
 #include <iosfwd>
+#include <iterator>
 #include <string>
-#include <vector>
 
 #include "trace/mem_event.h"
+#include "trace/trace_buffer.h"
 
 namespace sc::trace {
 
 class Trace {
  public:
+  // Random-access iterator materializing MemEvents from the columns.
+  // Dereference returns by value; `const MemEvent& e : trace` still works
+  // (the reference binds to the returned temporary for each iteration).
+  class const_iterator {
+   public:
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type = MemEvent;
+    using difference_type = std::ptrdiff_t;
+    using pointer = void;
+    using reference = MemEvent;
+
+    const_iterator() = default;
+    const_iterator(const TraceBuffer* buf, std::size_t i) : buf_(buf), i_(i) {}
+
+    MemEvent operator*() const { return buf_->Get(i_); }
+    MemEvent operator[](difference_type n) const {
+      return buf_->Get(i_ + static_cast<std::size_t>(n));
+    }
+
+    const_iterator& operator++() { ++i_; return *this; }
+    const_iterator operator++(int) { const_iterator t = *this; ++i_; return t; }
+    const_iterator& operator--() { --i_; return *this; }
+    const_iterator operator--(int) { const_iterator t = *this; --i_; return t; }
+    const_iterator& operator+=(difference_type n) {
+      i_ = static_cast<std::size_t>(static_cast<difference_type>(i_) + n);
+      return *this;
+    }
+    const_iterator& operator-=(difference_type n) { return *this += -n; }
+    friend const_iterator operator+(const_iterator it, difference_type n) {
+      return it += n;
+    }
+    friend const_iterator operator+(difference_type n, const_iterator it) {
+      return it += n;
+    }
+    friend const_iterator operator-(const_iterator it, difference_type n) {
+      return it -= n;
+    }
+    friend difference_type operator-(const const_iterator& a,
+                                     const const_iterator& b) {
+      return static_cast<difference_type>(a.i_) -
+             static_cast<difference_type>(b.i_);
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.i_ == b.i_;
+    }
+    friend auto operator<=>(const const_iterator& a, const const_iterator& b) {
+      return a.i_ <=> b.i_;
+    }
+
+   private:
+    const TraceBuffer* buf_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
   Trace() = default;
 
   // Appends an event. Cycles must be non-decreasing (a bus observes
   // transactions in time order) and bursts must be non-empty.
-  void Append(const MemEvent& e);
+  void Append(const MemEvent& e) { buf_.Append(e); }
   void Append(std::uint64_t cycle, std::uint64_t addr, std::uint32_t bytes,
-              MemOp op);
+              MemOp op) {
+    buf_.Append(cycle, addr, bytes, op);
+  }
 
-  std::size_t size() const { return events_.size(); }
-  bool empty() const { return events_.empty(); }
-  const MemEvent& operator[](std::size_t i) const { return events_[i]; }
+  // Appends every event of `other` (cycles must continue non-decreasing).
+  void AppendAll(const Trace& other);
 
-  auto begin() const { return events_.begin(); }
-  auto end() const { return events_.end(); }
-  const std::vector<MemEvent>& events() const { return events_; }
+  // Drops all events; retains storage so the trace can be refilled without
+  // reallocating (pooled emission in the accelerator).
+  void Clear() { buf_.Clear(); }
+
+  // Keeps only the first n events (n <= size()).
+  void Truncate(std::size_t n) { buf_.Truncate(n); }
+
+  std::size_t size() const { return buf_.size(); }
+  bool empty() const { return buf_.empty(); }
+  MemEvent operator[](std::size_t i) const { return buf_.Get(i); }
+
+  const_iterator begin() const { return const_iterator(&buf_, 0); }
+  const_iterator end() const { return const_iterator(&buf_, buf_.size()); }
+
+  // Columnar storage, for streaming scans over chunk views.
+  const TraceBuffer& buffer() const { return buf_; }
 
   // Cycle of the last event (0 for an empty trace).
-  std::uint64_t last_cycle() const;
+  std::uint64_t last_cycle() const { return buf_.last_cycle(); }
 
-  // Total bytes transferred, split by direction.
-  std::uint64_t bytes_read() const;
-  std::uint64_t bytes_written() const;
+  // Total bytes transferred, split by direction (O(1), tracked on append).
+  std::uint64_t bytes_read() const { return buf_.bytes_read(); }
+  std::uint64_t bytes_written() const { return buf_.bytes_written(); }
 
   // CSV serialization: header "cycle,addr,bytes,op" then one row per event
   // with op in {R, W}. ReadCsv validates ordering and burst sizes and throws
@@ -50,7 +123,7 @@ class Trace {
   static Trace LoadCsvFile(const std::string& path);
 
  private:
-  std::vector<MemEvent> events_;
+  TraceBuffer buf_;
 };
 
 // A trace-to-trace transform standing between the bus and the adversary:

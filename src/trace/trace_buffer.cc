@@ -1,0 +1,54 @@
+#include "trace/trace_buffer.h"
+
+namespace sc::trace {
+
+void TraceBuffer::AddChunk() {
+  // Chunks past size_ may survive a Clear(); only allocate when the pool is
+  // exhausted.
+  if (size_ == chunks_.size() * kChunkEvents)
+    chunks_.push_back(std::make_unique<Chunk>());
+}
+
+void TraceBuffer::Clear() {
+  size_ = 0;
+  last_cycle_ = 0;
+  bytes_read_ = 0;
+  bytes_written_ = 0;
+}
+
+void TraceBuffer::Truncate(std::size_t n) {
+  SC_CHECK(n <= size_);
+  if (n == size_) return;
+  size_ = n;
+  if (n == 0) {
+    last_cycle_ = 0;
+    bytes_read_ = 0;
+    bytes_written_ = 0;
+    return;
+  }
+  // Recompute the running totals for the surviving prefix.
+  std::uint64_t r = 0, w = 0;
+  for (std::size_t ci = 0; ci < num_chunks(); ++ci) {
+    const ChunkView v = chunk(ci);
+    for (std::size_t i = 0; i < v.count; ++i) {
+      if (static_cast<MemOp>(v.ops[i]) == MemOp::kRead)
+        r += v.bytes[i];
+      else
+        w += v.bytes[i];
+    }
+  }
+  bytes_read_ = r;
+  bytes_written_ = w;
+  last_cycle_ = Get(n - 1).cycle;
+}
+
+void TraceBuffer::CopyFrom(const TraceBuffer& o) {
+  for (std::size_t ci = 0; ci < o.num_chunks(); ++ci) {
+    const ChunkView v = o.chunk(ci);
+    for (std::size_t i = 0; i < v.count; ++i)
+      Append(v.cycles[i], v.addrs[i], v.bytes[i],
+             static_cast<MemOp>(v.ops[i]));
+  }
+}
+
+}  // namespace sc::trace

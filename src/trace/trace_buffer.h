@@ -1,0 +1,136 @@
+// Columnar (structure-of-arrays) storage for memory-trace events.
+//
+// The attack's cost is dominated by generating and re-scanning DRAM traces:
+// every structure/weight/defense experiment replays the simulator and walks
+// the full access sequence again. A TraceBuffer keeps the four MemEvent
+// fields in separate columns inside fixed-capacity chunks, so
+//   - Append never moves existing data (no per-event allocation, no
+//     quadratic-ish growth copies),
+//   - Clear() retains chunk storage for reuse across runs (pooled writers),
+//   - analysis passes stream each column sequentially instead of striding
+//     over 24-byte AoS records.
+#ifndef SC_TRACE_TRACE_BUFFER_H_
+#define SC_TRACE_TRACE_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/check.h"
+#include "trace/mem_event.h"
+
+namespace sc::trace {
+
+class TraceBuffer {
+ public:
+  // 2^14 events per chunk: ~344 KiB of columns, comfortably L2-resident
+  // while streaming, and only a handful of allocations for CNN-scale
+  // traces (AlexNet is ~120k events).
+  static constexpr std::size_t kChunkShift = 14;
+  static constexpr std::size_t kChunkEvents = std::size_t{1} << kChunkShift;
+  static constexpr std::size_t kChunkMask = kChunkEvents - 1;
+
+  // Borrowed read-only view of one chunk's columns; `count` events valid.
+  struct ChunkView {
+    const std::uint64_t* cycles = nullptr;
+    const std::uint64_t* addrs = nullptr;
+    const std::uint32_t* bytes = nullptr;
+    const std::uint8_t* ops = nullptr;  // MemOp values
+    std::size_t count = 0;
+  };
+
+  TraceBuffer() = default;
+  TraceBuffer(const TraceBuffer& o) { CopyFrom(o); }
+  TraceBuffer& operator=(const TraceBuffer& o) {
+    if (this != &o) {
+      Clear();
+      CopyFrom(o);
+    }
+    return *this;
+  }
+  TraceBuffer(TraceBuffer&&) noexcept = default;
+  TraceBuffer& operator=(TraceBuffer&&) noexcept = default;
+
+  // Appends an event. Cycles must be non-decreasing (a bus observes
+  // transactions in time order) and bursts must be non-empty.
+  void Append(std::uint64_t cycle, std::uint64_t addr, std::uint32_t bytes,
+              MemOp op) {
+    SC_CHECK_MSG(bytes > 0, "empty burst");
+    SC_CHECK_MSG(size_ == 0 || last_cycle_ <= cycle,
+                 "trace cycles must be non-decreasing: last=" << last_cycle_
+                                                              << " new="
+                                                              << cycle);
+    if (size_ == chunks_.size() * kChunkEvents) AddChunk();
+    Chunk& c = *chunks_[size_ >> kChunkShift];
+    const std::size_t i = size_ & kChunkMask;
+    c.cycles[i] = cycle;
+    c.addrs[i] = addr;
+    c.bytes[i] = bytes;
+    c.ops[i] = static_cast<std::uint8_t>(op);
+    ++size_;
+    last_cycle_ = cycle;
+    if (op == MemOp::kRead)
+      bytes_read_ += bytes;
+    else
+      bytes_written_ += bytes;
+  }
+  void Append(const MemEvent& e) { Append(e.cycle, e.addr, e.bytes, e.op); }
+
+  MemEvent Get(std::size_t i) const {
+    SC_CHECK(i < size_);
+    const Chunk& c = *chunks_[i >> kChunkShift];
+    const std::size_t k = i & kChunkMask;
+    return MemEvent{c.cycles[k], c.addrs[k], c.bytes[k],
+                    static_cast<MemOp>(c.ops[k])};
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Cycle of the last event (0 for an empty buffer).
+  std::uint64_t last_cycle() const { return size_ == 0 ? 0 : last_cycle_; }
+
+  // Total bytes transferred, split by direction (maintained on append).
+  std::uint64_t bytes_read() const { return bytes_read_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+  // Drops all events but keeps chunk storage, so a pooled writer refills
+  // the same memory run after run.
+  void Clear();
+
+  // Keeps only the first n events (n <= size()).
+  void Truncate(std::size_t n);
+
+  std::size_t num_chunks() const {
+    return (size_ + kChunkEvents - 1) >> kChunkShift;
+  }
+  ChunkView chunk(std::size_t ci) const {
+    SC_CHECK(ci < num_chunks());
+    const Chunk& c = *chunks_[ci];
+    const std::size_t lo = ci << kChunkShift;
+    return ChunkView{c.cycles, c.addrs, c.bytes, c.ops,
+                     std::min(kChunkEvents, size_ - lo)};
+  }
+
+ private:
+  struct Chunk {
+    std::uint64_t cycles[kChunkEvents];
+    std::uint64_t addrs[kChunkEvents];
+    std::uint32_t bytes[kChunkEvents];
+    std::uint8_t ops[kChunkEvents];
+  };
+
+  void AddChunk();
+  void CopyFrom(const TraceBuffer& o);
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::size_t size_ = 0;
+  std::uint64_t last_cycle_ = 0;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace sc::trace
+
+#endif  // SC_TRACE_TRACE_BUFFER_H_

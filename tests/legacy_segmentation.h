@@ -1,0 +1,146 @@
+// Test-only reference copy of the pre-streaming trace segmentation.
+//
+// This is the event-at-a-time implementation that shipped before the
+// columnar TraceBuffer rewrite, kept verbatim (modulo naming) as the
+// differential-testing oracle: the streaming SegmentTrace /
+// SegmentTraceWithRegions in src/attack/structure/segmentation.cc must
+// produce identical segment lists on every trace. Do not "improve" this
+// file — its value is that it does not share code with the production
+// scan.
+#ifndef SC_TESTS_LEGACY_SEGMENTATION_H_
+#define SC_TESTS_LEGACY_SEGMENTATION_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "attack/structure/segmentation.h"
+#include "support/check.h"
+#include "trace/interval.h"
+#include "trace/trace.h"
+
+namespace sc::attack::legacy {
+
+// Shared implementation: RAW-boundary rule, optionally augmented with the
+// weight-region-switch rule when `regions` is non-null.
+inline std::vector<Segment> SegmentImpl(
+    const trace::Trace& trace,
+    const std::vector<trace::AddrInterval>* regions) {
+  std::vector<Segment> segments;
+  if (trace.empty()) return segments;
+
+  // Precompute per-region "ever written" when region info is available.
+  std::vector<bool> region_written;
+  auto region_of = [&](std::uint64_t addr) -> std::size_t {
+    auto it = std::upper_bound(
+        regions->begin(), regions->end(), addr,
+        [](std::uint64_t v, const trace::AddrInterval& r) {
+          return v < r.hi;
+        });
+    SC_CHECK_MSG(it != regions->end() && it->Contains(addr),
+                 "event outside every region");
+    return static_cast<std::size_t>(it - regions->begin());
+  };
+  if (regions != nullptr) {
+    region_written.assign(regions->size(), false);
+    for (const trace::MemEvent& e : trace)
+      if (e.op == trace::MemOp::kWrite)
+        region_written[region_of(e.addr)] = true;
+  }
+
+  trace::IntervalSet written_ever;
+  trace::IntervalSet written_since_boundary;
+  bool wrote_since_boundary = false;
+  std::vector<bool> weight_region_read;   // per region, this segment
+  std::vector<bool> region_written_here;  // per region, this segment
+  if (regions != nullptr) {
+    weight_region_read.assign(regions->size(), false);
+    region_written_here.assign(regions->size(), false);
+  }
+  std::vector<std::size_t> boundaries{0};
+  // raw_read[i]: event i is a read of data written in an *earlier* segment.
+  // (A read of data written in the current segment triggers a boundary
+  // instead, so it never carries this flag.)
+  std::vector<bool> raw_read(trace.size(), false);
+
+  auto start_segment = [&](std::size_t i) {
+    // Pull the run of operand prefetches (reads of older layers' outputs)
+    // issued just before the triggering event into the new segment; the
+    // previous segment must keep at least one event.
+    std::size_t j = i;
+    while (j > boundaries.back() + 1 && raw_read[j - 1]) --j;
+    boundaries.push_back(j);
+    written_since_boundary = trace::IntervalSet();
+    wrote_since_boundary = false;
+    if (regions != nullptr) {
+      std::fill(weight_region_read.begin(), weight_region_read.end(), false);
+      std::fill(region_written_here.begin(), region_written_here.end(),
+                false);
+    }
+  };
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const trace::MemEvent e = trace[i];
+    const trace::AddrInterval iv{e.addr, e.end()};
+    if (e.op == trace::MemOp::kWrite) {
+      // Write-region rule: one layer writes one output tensor, so a write
+      // landing in a second region means a new layer began (needed for
+      // weight-free layers — a pooling branch inside an inception module
+      // triggers neither the RAW nor the weight-region rule).
+      if (regions != nullptr) {
+        const std::size_t r = region_of(e.addr);
+        if (wrote_since_boundary && !region_written_here[r])
+          start_segment(i);
+        region_written_here[r] = true;
+      }
+      written_ever.Insert(iv);
+      written_since_boundary.Insert(iv);
+      wrote_since_boundary = true;
+      continue;
+    }
+    if (written_since_boundary.OverlapsInterval(iv)) {
+      start_segment(i);  // RAW rule (paper §3.1)
+    } else if (regions != nullptr &&
+               !region_written[region_of(e.addr)]) {
+      // Weight-region rule: a read-only region new to this segment after
+      // write-back began means a sibling layer started (fire modules).
+      const std::size_t r = region_of(e.addr);
+      if (!weight_region_read[r] && wrote_since_boundary) {
+        start_segment(i);
+      }
+      weight_region_read[r] = true;
+    } else if (written_ever.OverlapsInterval(iv)) {
+      raw_read[i] = true;
+    }
+  }
+
+  boundaries.push_back(trace.size());
+  for (std::size_t b = 0; b + 1 < boundaries.size(); ++b) {
+    Segment s;
+    s.first_event = boundaries[b];
+    s.end_event = boundaries[b + 1];
+    SC_CHECK(s.first_event < s.end_event);
+    s.start_cycle = trace[s.first_event].cycle;
+    // A layer's time extends to the start of the next layer (its write-back
+    // tail belongs to it); the final layer ends at the last event.
+    s.end_cycle = s.end_event < trace.size() ? trace[s.end_event].cycle
+                                             : trace[trace.size() - 1].cycle;
+    segments.push_back(s);
+  }
+  return segments;
+}
+
+inline std::vector<Segment> SegmentTrace(const trace::Trace& trace) {
+  return SegmentImpl(trace, nullptr);
+}
+
+inline std::vector<Segment> SegmentTraceWithRegions(
+    const trace::Trace& trace,
+    const std::vector<trace::AddrInterval>& regions) {
+  return SegmentImpl(trace, &regions);
+}
+
+}  // namespace sc::attack::legacy
+
+#endif  // SC_TESTS_LEGACY_SEGMENTATION_H_
