@@ -32,10 +32,13 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+
 #include "attack/structure/pipeline.h"
 #include "attack/structure/segmentation.h"
 #include "attack/weights/attack.h"
 #include "bench_util.h"
+#include "campaign/campaign.h"
 #include "defense/eval.h"
 #include "json_lite.h"
 #include "models/zoo.h"
@@ -192,6 +195,35 @@ std::vector<Scenario> AllScenarios() {
            const auto rec = attack::RecoverAllFilters(
                *oracle, *spec, attack::WeightAttackConfig{});
            if (rec.size() != 16) std::abort();
+         });
+       }},
+      {"campaign_resume",
+       "resume a fully-checkpointed LeNet campaign: checkpoint load, "
+       "per-unit payload decode, artifact re-assembly (no attack compute)",
+       10,
+       [] {
+         // Fresh run once (setup) so the timed region exercises only the
+         // resume path: every unit short-circuits through the checkpoint.
+         auto cfg = std::make_shared<campaign::CampaignConfig>();
+         cfg->victim = "lenet";
+         cfg->seed = 11;
+         cfg->acquisitions = 1;
+         cfg->structure.attack.analysis.known_input_elems = 28 * 28;
+         cfg->structure.attack.search.known_input_width = 28;
+         cfg->structure.attack.search.known_input_depth = 1;
+         cfg->structure.attack.search.known_output_classes = 10;
+         cfg->max_weight_filters = 1;
+         cfg->checkpoint_path =
+             (std::filesystem::temp_directory_path() /
+              "sc_bench_campaign_resume.json")
+                 .string();
+         std::filesystem::remove(cfg->checkpoint_path);
+         const auto fresh = campaign::RunCampaign(*cfg);
+         if (!fresh.complete) std::abort();
+         return std::function<void()>([=] {
+           const auto r = campaign::RunCampaign(*cfg);
+           if (!r.complete || r.from_checkpoint != static_cast<int>(r.units.size()))
+             std::abort();
          });
        }},
       {"defense_matrix_cell",

@@ -1,0 +1,162 @@
+// Campaign-resilience harness (DESIGN.md §12): proves the checkpoint/resume
+// contract end to end, in two modes.
+//
+// Self-test (no arguments, CI-friendly): runs a LeNet campaign three ways —
+// uninterrupted, killed after K completed units (cooperative cancel), and
+// resumed from the killed run's checkpoint — then byte-compares the final
+// artifacts. Exit 0 iff the resumed artifacts are identical to the
+// uninterrupted run's and no completed unit was re-executed.
+//
+// Driver mode (`--run`): runs one campaign with SIGTERM/SIGINT wired to
+// CancelSource::RequestCancel (a lock-free store, safe in a handler). The
+// nightly resume-equivalence job SIGTERMs this process mid-campaign, checks
+// for exit code 3 (graceful partial result), re-runs it to completion, and
+// diffs the artifacts against an uninterrupted reference.
+//
+//   campaign_resilience --run --victim lenet --checkpoint ck.json
+//       [--outdir DIR] [--seed N] [--filters N] [--deadline SECONDS]
+//
+// Exit codes: 0 complete, 1 self-test mismatch / usage error, 3 partial
+// (cancelled, deadline, or budget-exhausted — checkpoint holds all done
+// units).
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "campaign/campaign.h"
+#include "support/check.h"
+
+namespace fs = std::filesystem;
+using namespace sc;
+
+namespace {
+
+// The handler may only touch async-signal-safe state: one atomic store.
+support::CancelSource g_cancel;
+
+extern "C" void HandleStopSignal(int) { g_cancel.RequestCancel(); }
+
+void PrintSummary(const campaign::CampaignResult& r) {
+  std::cout << "units: " << r.units.size() << "  done: " << r.done
+            << " (from checkpoint: " << r.from_checkpoint << ")"
+            << "  transient: " << r.failed_transient
+            << "  fatal: " << r.failed_fatal << "  cancelled: " << r.cancelled
+            << "  skipped: " << r.skipped << "\n"
+            << "complete: " << (r.complete ? "yes" : "no")
+            << "  confidence: " << r.overall_confidence << "\n";
+  for (const campaign::UnitResult& u : r.units)
+    if (!u.error.empty())
+      std::cout << "  [" << campaign::ToString(u.status) << "] " << u.id
+                << ": " << u.error << "\n";
+}
+
+int RunDriver(int argc, char** argv) {
+  campaign::CampaignConfig cfg = campaign::MakeVictimCampaign("lenet", 1);
+  cfg.max_weight_filters = 2;
+  double deadline_s = 0.0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      SC_CHECK_MSG(i + 1 < argc, "missing value after " << a);
+      return argv[++i];
+    };
+    if (a == "--victim") {
+      cfg = campaign::MakeVictimCampaign(next(), cfg.seed);
+      cfg.max_weight_filters = 2;
+    } else if (a == "--checkpoint") {
+      cfg.checkpoint_path = next();
+    } else if (a == "--outdir") {
+      cfg.output_dir = next();
+    } else if (a == "--seed") {
+      cfg.seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (a == "--filters") {
+      cfg.max_weight_filters = std::atoi(next().c_str());
+    } else if (a == "--deadline") {
+      deadline_s = std::atof(next().c_str());
+    } else {
+      std::cerr << "unknown flag: " << a << "\n";
+      return 1;
+    }
+  }
+  SC_CHECK_MSG(!cfg.checkpoint_path.empty(),
+               "--run requires --checkpoint PATH");
+
+  cfg.cancel = g_cancel.token();
+  if (deadline_s > 0)
+    g_cancel.SetTimeout(std::chrono::milliseconds(
+        static_cast<long long>(deadline_s * 1000.0)));
+  std::signal(SIGTERM, HandleStopSignal);
+  std::signal(SIGINT, HandleStopSignal);
+
+  const campaign::CampaignResult r = campaign::RunCampaign(cfg);
+  PrintSummary(r);
+  return r.complete ? 0 : 3;
+}
+
+int SelfTest() {
+  const fs::path dir = fs::temp_directory_path() / "sc_campaign_resilience";
+  fs::create_directories(dir);
+  constexpr int kKillAfter = 2;
+
+  campaign::CampaignConfig base = campaign::MakeVictimCampaign("lenet", 1);
+  base.max_weight_filters = 2;
+
+  std::cout << "[1/3] uninterrupted reference run\n";
+  const campaign::CampaignResult ref = campaign::RunCampaign(base);
+  SC_CHECK_MSG(ref.complete, "reference campaign did not complete");
+
+  std::cout << "[2/3] killed run (cancel after " << kKillAfter
+            << " completed units)\n";
+  campaign::CampaignConfig killed = base;
+  killed.checkpoint_path = (dir / "kill.json").string();
+  fs::remove(killed.checkpoint_path);
+  support::CancelSource source;
+  killed.cancel = source.token();
+  std::atomic<int> finished{0};
+  killed.on_unit_finished = [&](const std::string&) {
+    if (finished.fetch_add(1) + 1 >= kKillAfter) source.RequestCancel();
+  };
+  const campaign::CampaignResult partial = campaign::RunCampaign(killed);
+  PrintSummary(partial);
+  SC_CHECK_MSG(!partial.complete, "kill did not interrupt the campaign");
+  SC_CHECK_MSG(partial.done >= kKillAfter, "lost completed units");
+
+  std::cout << "[3/3] resumed run\n";
+  campaign::CampaignConfig resume = base;
+  resume.checkpoint_path = killed.checkpoint_path;
+  const campaign::CampaignResult resumed = campaign::RunCampaign(resume);
+  PrintSummary(resumed);
+
+  int failures = 0;
+  auto expect = [&](bool ok, const char* what) {
+    std::cout << (ok ? "  ok: " : "  FAIL: ") << what << "\n";
+    if (!ok) ++failures;
+  };
+  expect(resumed.complete, "resumed campaign completes");
+  expect(resumed.from_checkpoint == partial.done,
+         "no completed unit was re-executed");
+  expect(resumed.structure_csv == ref.structure_csv,
+         "structure CSV byte-identical to uninterrupted run");
+  expect(resumed.filter_csv == ref.filter_csv,
+         "filter-ratio CSV byte-identical to uninterrupted run");
+  expect(!ref.filter_csv.empty(), "weight phase produced artifacts");
+
+  fs::remove(killed.checkpoint_path);
+  std::cout << (failures == 0 ? "PASS" : "FAIL") << "\n";
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc > 1 && std::string(argv[1]) == "--run") return RunDriver(argc, argv);
+    return SelfTest();
+  } catch (const std::exception& e) {
+    std::cerr << "campaign_resilience: " << e.what() << "\n";
+    return 1;
+  }
+}

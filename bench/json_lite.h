@@ -1,166 +1,13 @@
-// Minimal JSON reader for the bench tooling (no external deps).
-//
-// Supports exactly what BENCH_*.json files contain: objects, arrays,
-// strings without exotic escapes, numbers, booleans, null. Errors throw
-// sc::Error with a byte offset. Not a general-purpose parser — the CI
-// perf gate reads files this repo itself wrote.
+// Forwarding header: the bench JSON reader was promoted to
+// src/support/json.h (the campaign checkpoint subsystem needs it too).
+// Bench code keeps using sc::bench::json::{Value, Parser, Parse}.
 #ifndef SC_BENCH_JSON_LITE_H_
 #define SC_BENCH_JSON_LITE_H_
 
-#include <cctype>
-#include <cstdlib>
-#include <map>
-#include <string>
-#include <vector>
+#include "support/json.h"
 
-#include "support/check.h"
-
-namespace sc::bench::json {
-
-struct Value {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<Value> array;
-  std::map<std::string, Value> object;
-
-  bool Has(const std::string& key) const {
-    return kind == Kind::kObject && object.count(key) > 0;
-  }
-  const Value& At(const std::string& key) const {
-    SC_CHECK_MSG(Has(key), "missing JSON key '" << key << "'");
-    return object.at(key);
-  }
-  double Num(const std::string& key) const {
-    const Value& v = At(key);
-    SC_CHECK_MSG(v.kind == Kind::kNumber,
-                 "JSON key '" << key << "' is not a number");
-    return v.number;
-  }
-};
-
-class Parser {
- public:
-  explicit Parser(const std::string& text) : s_(text) {}
-
-  Value Parse() {
-    Value v = ParseValue();
-    SkipWs();
-    SC_CHECK_MSG(i_ == s_.size(), "trailing JSON at offset " << i_);
-    return v;
-  }
-
- private:
-  void SkipWs() {
-    while (i_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[i_])))
-      ++i_;
-  }
-  char Peek() {
-    SkipWs();
-    SC_CHECK_MSG(i_ < s_.size(), "unexpected end of JSON");
-    return s_[i_];
-  }
-  void Expect(char c) {
-    SC_CHECK_MSG(Peek() == c, "expected '" << c << "' at offset " << i_
-                                           << ", got '" << s_[i_] << "'");
-    ++i_;
-  }
-  bool Consume(char c) {
-    if (i_ < s_.size() && Peek() == c) {
-      ++i_;
-      return true;
-    }
-    return false;
-  }
-  bool ConsumeWord(const char* w) {
-    const std::size_t len = std::string(w).size();
-    if (s_.compare(i_, len, w) == 0) {
-      i_ += len;
-      return true;
-    }
-    return false;
-  }
-
-  std::string ParseString() {
-    Expect('"');
-    std::string out;
-    while (true) {
-      SC_CHECK_MSG(i_ < s_.size(), "unterminated JSON string");
-      const char c = s_[i_++];
-      if (c == '"') break;
-      if (c == '\\') {
-        SC_CHECK_MSG(i_ < s_.size(), "unterminated escape");
-        const char e = s_[i_++];
-        switch (e) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          default:
-            SC_CHECK_MSG(false, "unsupported escape '\\" << e << "'");
-        }
-      } else {
-        out += c;
-      }
-    }
-    return out;
-  }
-
-  Value ParseValue() {
-    const char c = Peek();
-    Value v;
-    if (c == '{') {
-      ++i_;
-      v.kind = Value::Kind::kObject;
-      if (!Consume('}')) {
-        do {
-          std::string key = ParseString();
-          Expect(':');
-          v.object.emplace(std::move(key), ParseValue());
-        } while (Consume(','));
-        Expect('}');
-      }
-    } else if (c == '[') {
-      ++i_;
-      v.kind = Value::Kind::kArray;
-      if (!Consume(']')) {
-        do {
-          v.array.push_back(ParseValue());
-        } while (Consume(','));
-        Expect(']');
-      }
-    } else if (c == '"') {
-      v.kind = Value::Kind::kString;
-      v.str = ParseString();
-    } else if (ConsumeWord("true")) {
-      v.kind = Value::Kind::kBool;
-      v.boolean = true;
-    } else if (ConsumeWord("false")) {
-      v.kind = Value::Kind::kBool;
-      v.boolean = false;
-    } else if (ConsumeWord("null")) {
-      v.kind = Value::Kind::kNull;
-    } else {
-      v.kind = Value::Kind::kNumber;
-      char* end = nullptr;
-      v.number = std::strtod(s_.c_str() + i_, &end);
-      SC_CHECK_MSG(end != s_.c_str() + i_,
-                   "bad JSON number at offset " << i_);
-      i_ = static_cast<std::size_t>(end - s_.c_str());
-    }
-    return v;
-  }
-
-  const std::string& s_;
-  std::size_t i_ = 0;
-};
-
-inline Value Parse(const std::string& text) { return Parser(text).Parse(); }
-
-}  // namespace sc::bench::json
+namespace sc::bench {
+namespace json = ::sc::support::json;
+}  // namespace sc::bench
 
 #endif  // SC_BENCH_JSON_LITE_H_

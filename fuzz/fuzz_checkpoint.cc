@@ -1,0 +1,31 @@
+// libFuzzer harness for campaign::Checkpoint::Parse (DESIGN.md §12).
+//
+// A resume loads this file from disk before any attack state exists, so
+// the parser is a trust boundary: arbitrary bytes must either yield a
+// valid checkpoint or raise sc::Error — no crash, no unbounded recursion
+// (the JSON parser caps depth), no other exception type. A successful
+// parse must re-serialize canonically: Parse(Serialize(cp)) == cp's bytes.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "campaign/checkpoint.h"
+#include "support/check.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    // Empty expected fingerprint: accept any, to fuzz past that gate.
+    const sc::campaign::Checkpoint cp =
+        sc::campaign::Checkpoint::Parse(text, "");
+    const std::string canon = cp.Serialize();
+    const sc::campaign::Checkpoint cp2 =
+        sc::campaign::Checkpoint::Parse(canon, cp.fingerprint());
+    if (cp2.Serialize() != canon) std::abort();  // canonical form unstable
+  } catch (const sc::Error&) {
+    // Structured rejection is the expected outcome for hostile input.
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// libFuzzer harness for Trace::ReadCsv (DESIGN.md §12).
+//
+// Contract under fuzzing: arbitrary bytes either parse into a valid trace
+// or raise sc::Error with a row diagnostic — never any other exception,
+// crash, overflow, or oversized allocation (ASan/UBSan run alongside).
+// When a parse succeeds, WriteCsv -> ReadCsv must be an exact fixpoint:
+// the serialized form re-parses to the same bytes.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "support/check.h"
+#include "trace/trace.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  std::istringstream is(text);
+  try {
+    const sc::trace::Trace t = sc::trace::Trace::ReadCsv(is);
+
+    std::ostringstream first;
+    t.WriteCsv(first);
+    std::istringstream again(first.str());
+    const sc::trace::Trace t2 = sc::trace::Trace::ReadCsv(again);
+    std::ostringstream second;
+    t2.WriteCsv(second);
+    if (first.str() != second.str()) std::abort();  // round trip not exact
+  } catch (const sc::Error&) {
+    // Structured rejection is the expected outcome for hostile input.
+  }
+  return 0;
+}

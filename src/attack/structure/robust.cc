@@ -1,7 +1,6 @@
 #include "attack/structure/robust.h"
 
 #include <algorithm>
-#include <optional>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -138,39 +137,41 @@ std::vector<LayerObservation> RobustStructureResult::observations() const {
   return obs;
 }
 
-RobustStructureResult RunRobustStructureAttack(
-    const std::vector<trace::Trace>& traces,
+AcquisitionAnalysis AnalyzeAcquisition(const trace::Trace& trace,
+                                       const RobustStructureConfig& cfg) {
+  cfg.attack.search.cancel.ThrowIfStopped("acquisition analysis");
+  AcquisitionAnalysis out;
+  // A corrupted trace can make AnalyzeTrace reject its own segmentation
+  // (ambiguous input region, no identifiable writer); such acquisitions
+  // are discarded, not fatal. Cancellation must escape the retry/discard
+  // logic, so it is rethrown before the generic Error handler.
+  try {
+    out.observations = AnalyzeTrace(trace, cfg.attack.analysis).observations;
+    out.analyzable = true;
+  } catch (const CancelledError&) {
+    throw;
+  } catch (const Error&) {
+    // unusable acquisition
+  }
+  return out;
+}
+
+RobustStructureResult ConsensusSearch(
+    const std::vector<AcquisitionAnalysis>& analyses,
     const RobustStructureConfig& cfg) {
-  SC_CHECK_MSG(!traces.empty(), "robust structure attack needs >= 1 trace");
+  SC_CHECK_MSG(!analyses.empty(), "robust structure attack needs >= 1 trace");
   SC_CHECK_MSG(!cfg.slack_ladder.empty(), "empty slack ladder");
+  const support::CancelToken& cancel = cfg.attack.search.cancel;
 
   RobustStructureResult result;
-  result.acquisitions = static_cast<int>(traces.size());
-
-  // Analyze every acquisition independently. A corrupted trace can make
-  // AnalyzeTrace reject its own segmentation (ambiguous input region, no
-  // identifiable writer); such acquisitions are discarded, not fatal.
-  std::vector<std::optional<TraceAnalysis>> analyses(traces.size());
-  support::ParallelFor(
-      0, static_cast<std::int64_t>(traces.size()), 1,
-      [&](std::int64_t lo, std::int64_t hi) {
-        for (std::int64_t i = lo; i < hi; ++i) {
-          try {
-            analyses[static_cast<std::size_t>(i)] =
-                AnalyzeTrace(traces[static_cast<std::size_t>(i)],
-                             cfg.attack.analysis);
-          } catch (const Error&) {
-            // unusable acquisition
-          }
-        }
-      });
+  result.acquisitions = static_cast<int>(analyses.size());
 
   // Majority segment count (tie: fewer segments, the conservative read).
   std::vector<std::pair<std::size_t, int>> count_votes;
   for (const auto& a : analyses) {
-    if (!a) continue;
+    if (!a.analyzable) continue;
     ++result.analyzable;
-    const std::size_t n = a->observations.size();
+    const std::size_t n = a.observations.size();
     auto it = std::find_if(count_votes.begin(), count_votes.end(),
                            [&](const auto& e) { return e.first == n; });
     if (it == count_votes.end())
@@ -189,14 +190,16 @@ RobustStructureResult RunRobustStructureAttack(
     }
   }
 
-  std::vector<const TraceAnalysis*> usable;
+  std::vector<const AcquisitionAnalysis*> usable;
   for (const auto& a : analyses)
-    if (a && a->observations.size() == modal_count) usable.push_back(&*a);
+    if (a.analyzable && a.observations.size() == modal_count)
+      usable.push_back(&a);
   result.usable = static_cast<int>(usable.size());
 
   for (std::size_t si = 0; si < modal_count; ++si) {
+    cancel.ThrowIfStopped("consensus vote");
     std::vector<const LayerObservation*> votes;
-    for (const TraceAnalysis* a : usable)
+    for (const AcquisitionAnalysis* a : usable)
       votes.push_back(&a->observations[si]);
     result.consensus.push_back(VoteSegment(votes, static_cast<int>(si)));
     Metrics().agreeing.Add(
@@ -218,6 +221,7 @@ RobustStructureResult RunRobustStructureAttack(
   // observations admit no structure at all. The result of the last rung is
   // kept even when empty so callers can inspect the failure.
   for (std::size_t r = 0; r < cfg.slack_ladder.size(); ++r) {
+    cancel.ThrowIfStopped("slack ladder");
     search_cfg.solver.size_slack = cfg.slack_ladder[r];
     if (r > 0) Metrics().escalations.Add();
     result.search = SearchStructures(obs, search_cfg);
@@ -225,6 +229,24 @@ RobustStructureResult RunRobustStructureAttack(
     if (!result.search.structures.empty()) break;
   }
   return result;
+}
+
+RobustStructureResult RunRobustStructureAttack(
+    const std::vector<trace::Trace>& traces,
+    const RobustStructureConfig& cfg) {
+  SC_CHECK_MSG(!traces.empty(), "robust structure attack needs >= 1 trace");
+
+  // Analyze every acquisition independently.
+  std::vector<AcquisitionAnalysis> analyses(traces.size());
+  support::ParallelFor(
+      0, static_cast<std::int64_t>(traces.size()), 1,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          analyses[static_cast<std::size_t>(i)] =
+              AnalyzeAcquisition(traces[static_cast<std::size_t>(i)], cfg);
+        }
+      });
+  return ConsensusSearch(analyses, cfg);
 }
 
 }  // namespace sc::attack

@@ -21,12 +21,25 @@ namespace sc::attack {
 
 struct RobustStructureConfig {
   // Base attack configuration; search.solver.size_slack is overridden by
-  // the ladder below.
+  // the ladder below. attack.search.cancel doubles as the cancellation
+  // token for the whole robust driver: it is polled before each
+  // acquisition analysis, each consensus vote and each ladder rung (and
+  // inside the search itself).
   StructureAttackConfig attack;
   // Slack values (elements) tried in order until the search yields at least
   // one full structure. The first entry should be 0 so noise-free (or
   // fully healed) consensus reproduces the exact attack bit-for-bit.
   std::vector<long long> slack_ladder = {0, 1, 2, 4, 8, 16};
+};
+
+// One acquisition's independent analysis — the per-unit intermediate the
+// campaign checkpoints (DESIGN.md §12). All observation fields are
+// integral, so the JSON round trip is exact.
+struct AcquisitionAnalysis {
+  // False when AnalyzeTrace rejected the (corrupted) acquisition; such
+  // acquisitions are discarded by the consensus, not fatal.
+  bool analyzable = false;
+  std::vector<LayerObservation> observations;
 };
 
 // Consensus over the K acquisitions for one trace segment.
@@ -59,12 +72,24 @@ struct RobustStructureResult {
   std::vector<LayerObservation> observations() const;
 };
 
+// Analyzes one acquisition in isolation. sc::CancelledError propagates;
+// any other sc::Error marks the acquisition unusable (analyzable=false).
+AcquisitionAnalysis AnalyzeAcquisition(const trace::Trace& trace,
+                                       const RobustStructureConfig& cfg);
+
+// Votes the consensus over pre-analyzed acquisitions and runs the
+// slack-ladder search. Throws sc::Error when no acquisition is analyzable;
+// when every ladder rung leaves the search empty, the last rung's (empty)
+// result is returned for inspection.
+RobustStructureResult ConsensusSearch(
+    const std::vector<AcquisitionAnalysis>& analyses,
+    const RobustStructureConfig& cfg);
+
 // Runs the voting analysis over K >= 1 independently corrupted acquisitions
 // of one execution and searches structures over the consensus. With a
 // single clean trace and slack ladder {0, ...} this is exactly
-// RunStructureAttack. Throws sc::Error when no acquisition is analyzable;
-// when every ladder rung leaves the search empty, the last rung's (empty)
-// result is returned for inspection.
+// RunStructureAttack. Equivalent to AnalyzeAcquisition over every trace
+// followed by ConsensusSearch.
 RobustStructureResult RunRobustStructureAttack(
     const std::vector<trace::Trace>& traces, const RobustStructureConfig& cfg);
 

@@ -195,6 +195,7 @@ std::vector<Branch> BranchesAt(SearchState& st, std::size_t si,
 
 void Recurse(SearchState& st, std::size_t si, double min_ratio,
              double max_ratio) {
+  st.cfg.cancel.ThrowIfStopped("structure search");
   if (si == st.obs.size()) {
     if (!GroupsConsistent(st.chosen, st.cfg.identical_groups)) {
       Metrics().group_rejections.Add();

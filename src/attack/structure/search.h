@@ -14,6 +14,7 @@
 #include "attack/structure/observation.h"
 #include "attack/structure/solver.h"
 #include "nn/geometry.h"
+#include "support/cancel.h"
 
 namespace sc::attack {
 
@@ -49,6 +50,11 @@ struct SearchConfig {
   // Abort if more than this many full structures survive (guards against a
   // mis-calibrated solver).
   std::size_t max_structures = 100000;
+
+  // Cooperative cancellation (DESIGN.md §12): polled at every node of the
+  // depth-first search. On stop the search throws sc::CancelledError /
+  // sc::DeadlineExceededError. Default token never stops.
+  support::CancelToken cancel;
 };
 
 // One fully-specified layer hypothesis.

@@ -304,6 +304,7 @@ RecoveredFilter WeightAttack::RecoverFilter(int channel) {
     };
     const int verify = cfg_.max_rebrackets;
     for (int attempt = 0; attempt <= std::max(0, verify); ++attempt) {
+      cfg_.cancel.ThrowIfStopped("weight bisection");
       if (attempt > 0) {
         ++rec.rebrackets;
         metrics.rebrackets.Add();
@@ -339,6 +340,7 @@ RecoveredFilter WeightAttack::RecoverFilter(int channel) {
   for (int c = 0; c < ic; ++c) {
     for (int i = 0; i < f; ++i) {
       for (int j = 0; j < f; ++j) {
+        cfg_.cancel.ThrowIfStopped("weight recovery");
         const std::size_t id = idx(c, i, j);
         // The pixel isolating weight (i, j) sits at (i - pad, j - pad):
         // it reaches (i, j) exactly at conv output (0,0).

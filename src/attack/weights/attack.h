@@ -24,6 +24,7 @@
 
 #include "attack/weights/oracle.h"
 #include "nn/tensor.h"
+#include "support/cancel.h"
 
 namespace sc::attack {
 
@@ -41,6 +42,11 @@ struct WeightAttackConfig {
   // radius — up to this many times. 0 (default) disables the checks and
   // keeps query sequences exactly those of the noise-free attack.
   int max_rebrackets = 0;
+
+  // Cooperative cancellation (DESIGN.md §12): polled before every weight
+  // position and every bisection attempt. On stop RecoverFilter throws
+  // sc::CancelledError / sc::DeadlineExceededError. Default never stops.
+  support::CancelToken cancel;
 };
 
 // Ratios recovered for one output channel (filter).

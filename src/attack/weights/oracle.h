@@ -28,11 +28,13 @@ namespace sc::attack {
 // A single acquisition failed (probe desync, bus contention): the query
 // produced no usable count but may be retried. Noisy oracle decorators
 // (sim/noisy_oracle.h) raise this; robust drivers (attack/weights/robust.h)
-// retry within a budget. Distinct from sc::Error so hard contract
-// violations still abort.
-class TransientOracleError : public Error {
+// retry within a budget. Derives from sc::TransientError (check.h) so
+// campaign supervisors classify it as retryable; hard contract violations
+// still surface as plain sc::Error and abort.
+class TransientOracleError : public TransientError {
  public:
-  explicit TransientOracleError(const std::string& what) : Error(what) {}
+  explicit TransientOracleError(const std::string& what)
+      : TransientError(what) {}
 };
 
 // One non-zero pixel of a crafted input; everything else is zero.

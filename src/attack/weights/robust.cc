@@ -62,9 +62,16 @@ std::size_t VotingOracle::Vote(Query&& query) {
       } catch (const TransientOracleError&) {
         ++retries_;
         ++failures;
-        SC_CHECK_MSG(failures <= cfg_.max_retries,
-                     "oracle failed " << failures
-                                      << " consecutive acquisitions");
+        // Exhausting the retry budget is itself transient at the campaign
+        // level (a fresh unit retry may land on a healthier probe), so it
+        // surfaces as sc::TransientError — not a plain Error — and counts
+        // against the campaign's transient-failure budget (DESIGN.md §12).
+        if (failures > cfg_.max_retries) {
+          std::ostringstream os;
+          os << "oracle failed " << failures << " consecutive acquisitions"
+             << " (retry budget " << cfg_.max_retries << " exhausted)";
+          throw TransientError(os.str());
+        }
       }
     }
   }

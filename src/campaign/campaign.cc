@@ -1,0 +1,783 @@
+#include "campaign/campaign.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "accel/accelerator.h"
+#include "attack/structure/report.h"
+#include "campaign/checkpoint.h"
+#include "campaign/watchdog.h"
+#include "models/zoo.h"
+#include "nn/conv2d.h"
+#include "obs/metrics.h"
+#include "support/check.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
+
+namespace sc::campaign {
+
+namespace json = support::json;
+
+namespace {
+
+// --- Metrics -------------------------------------------------------------
+
+struct CampaignMetrics {
+  obs::Counter& done = obs::Registry::Get().GetCounter("campaign.units.done");
+  obs::Counter& from_checkpoint =
+      obs::Registry::Get().GetCounter("campaign.units.from_checkpoint");
+  obs::Counter& failed_transient =
+      obs::Registry::Get().GetCounter("campaign.units.failed_transient");
+  obs::Counter& failed_fatal =
+      obs::Registry::Get().GetCounter("campaign.units.failed_fatal");
+  obs::Counter& cancelled =
+      obs::Registry::Get().GetCounter("campaign.units.cancelled");
+  obs::Counter& skipped =
+      obs::Registry::Get().GetCounter("campaign.units.skipped");
+  obs::Counter& saves =
+      obs::Registry::Get().GetCounter("campaign.checkpoint.saves");
+  obs::Counter& stuck =
+      obs::Registry::Get().GetCounter("campaign.watchdog.stuck");
+  obs::Histogram& unit_ns =
+      obs::Registry::Get().GetHistogram("campaign.unit_ns");
+};
+
+CampaignMetrics& Metrics() {
+  static CampaignMetrics m;
+  return m;
+}
+
+// --- JSON field helpers --------------------------------------------------
+//
+// Payload schema discipline: values a double can hold exactly (ints,
+// element counts < 2^53, bit patterns < 2^32) are JSON numbers; u64
+// counters (cycles, byte volumes, query counts) are decimal strings, so
+// the round trip is exact for the full range.
+
+json::Value U64(std::uint64_t v) { return json::Value::String(std::to_string(v)); }
+
+std::uint64_t ParseU64(const json::Value& obj, const std::string& key) {
+  const std::string& s = obj.Str(key);
+  SC_CHECK_MSG(!s.empty() && s.size() <= 20, "bad u64 field '" << key << "'");
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    SC_CHECK_MSG(c >= '0' && c <= '9', "bad u64 field '" << key << "'");
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    SC_CHECK_MSG(v <= (UINT64_MAX - digit) / 10,
+                 "u64 overflow in field '" << key << "'");
+    v = v * 10 + digit;
+  }
+  return v;
+}
+
+json::Value Num(long long v) {
+  return json::Value::Number(static_cast<double>(v));
+}
+
+long long NumLL(const json::Value& obj, const std::string& key) {
+  const double d = obj.Num(key);
+  SC_CHECK_MSG(std::nearbyint(d) == d && std::abs(d) < 9.007199254740992e15,
+               "non-integral JSON field '" << key << "'");
+  return static_cast<long long>(d);
+}
+
+int NumInt(const json::Value& obj, const std::string& key) {
+  const long long v = NumLL(obj, key);
+  SC_CHECK_MSG(v >= INT32_MIN && v <= INT32_MAX,
+               "out-of-range JSON field '" << key << "'");
+  return static_cast<int>(v);
+}
+
+bool BoolAt(const json::Value& obj, const std::string& key) {
+  const json::Value& v = obj.At(key);
+  SC_CHECK_MSG(v.kind == json::Value::Kind::kBool,
+               "JSON key '" << key << "' is not a bool");
+  return v.boolean;
+}
+
+const json::Value& ArrayAt(const json::Value& obj, const std::string& key) {
+  const json::Value& v = obj.At(key);
+  SC_CHECK_MSG(v.kind == json::Value::Kind::kArray,
+               "JSON key '" << key << "' is not an array");
+  return v;
+}
+
+std::uint32_t FloatBits(float f) {
+  std::uint32_t u = 0;
+  std::memcpy(&u, &f, sizeof u);
+  return u;
+}
+
+float BitsToFloat(std::uint32_t u) {
+  float f = 0;
+  std::memcpy(&f, &u, sizeof f);
+  return f;
+}
+
+// --- Victim construction -------------------------------------------------
+
+nn::Network MakeVictim(const std::string& name, std::uint64_t seed) {
+  SC_CHECK_MSG(name == "lenet" || name == "convnet" || name == "alexnet",
+               "unknown campaign victim '" << name << "'");
+  if (name == "lenet") return models::MakeLeNet(seed);
+  if (name == "convnet") return models::MakeConvNet(seed);
+  return models::MakeAlexNet(seed);
+}
+
+// The weight phase's target: the victim's first convolution as a fused
+// conv+ReLU stage. The zoo victims carry zero biases (the structure attack
+// never reads them), but Algorithm 2 recovers w/b ratios and needs biases
+// bounded away from zero — so the campaign equips the stage with
+// case-study biases (mixed signs, |b| in [0.05, 0.5], the §4.2 convention)
+// drawn deterministically from the campaign seed. These are the oracle's
+// secrets; the attack itself only sees the geometry.
+struct WeightStage {
+  attack::SparseConvOracle::StageSpec spec;
+  nn::Tensor weights;
+  nn::Tensor bias;
+  int num_filters = 0;
+};
+
+WeightStage MakeWeightStage(const nn::Network& net, const CampaignConfig& cfg) {
+  const nn::Conv2D* conv = nullptr;
+  for (int i = 0; i < net.num_nodes() && conv == nullptr; ++i)
+    conv = dynamic_cast<const nn::Conv2D*>(&net.layer(i));
+  SC_CHECK_MSG(conv != nullptr, "victim has no convolution layer");
+  SC_CHECK_MSG(conv->in_depth() == net.input_shape()[0],
+               "first convolution does not read the network input");
+
+  WeightStage stage;
+  stage.spec.in_depth = conv->in_depth();
+  stage.spec.in_width = net.input_shape()[1];
+  stage.spec.filter = conv->filter();
+  stage.spec.stride = conv->stride();
+  stage.spec.pad = conv->pad();
+  stage.weights = conv->weights();
+
+  stage.bias = nn::Tensor(nn::Shape{conv->out_depth()});
+  Rng rng(cfg.seed * 0x9E3779B97F4A7C15ULL + 0x5EC7E7);
+  for (int k = 0; k < conv->out_depth(); ++k) {
+    const float mag = rng.UniformF(0.05f, 0.5f);
+    stage.bias[static_cast<std::size_t>(k)] = rng.Chance(0.5) ? mag : -mag;
+  }
+
+  stage.num_filters = conv->out_depth();
+  if (cfg.max_weight_filters > 0 && cfg.max_weight_filters < stage.num_filters)
+    stage.num_filters = cfg.max_weight_filters;
+  return stage;
+}
+
+// --- Payload encode/decode -----------------------------------------------
+//
+// Fresh runs encode unit results to JSON and *every* consumer decodes them
+// back — the same path a resumed run takes through the checkpoint file.
+// Resume-equivalence is therefore structural, not incidental: both runs
+// feed downstream units byte-identical data.
+
+json::Value EncodeAcquisition(const attack::AcquisitionAnalysis& a) {
+  json::Value v = json::Value::Object();
+  v.object["analyzable"] = json::Value::Bool(a.analyzable);
+  json::Value obs = json::Value::Array();
+  for (const attack::LayerObservation& o : a.observations) {
+    json::Value e = json::Value::Object();
+    e.object["segment"] = Num(o.segment);
+    e.object["role"] = Num(static_cast<int>(o.role));
+    e.object["size_ifm"] = Num(o.size_ifm);
+    e.object["size_ofm"] = Num(o.size_ofm);
+    e.object["size_fltr"] = Num(o.size_fltr);
+    e.object["cycles"] = U64(o.cycles);
+    e.object["bytes"] = U64(o.bytes_accessed);
+    e.object["reads_input"] = json::Value::Bool(o.reads_network_input);
+    json::Value inputs = json::Value::Array();
+    for (const attack::ObservedInput& in : o.inputs) {
+      json::Value ie = json::Value::Object();
+      json::Value writers = json::Value::Array();
+      for (const int w : in.writer_segments) writers.array.push_back(Num(w));
+      ie.object["writers"] = std::move(writers);
+      ie.object["elems"] = Num(in.elems);
+      inputs.array.push_back(std::move(ie));
+    }
+    e.object["inputs"] = std::move(inputs);
+    obs.array.push_back(std::move(e));
+  }
+  v.object["obs"] = std::move(obs);
+  return v;
+}
+
+attack::AcquisitionAnalysis DecodeAcquisition(const json::Value& v) {
+  attack::AcquisitionAnalysis a;
+  a.analyzable = BoolAt(v, "analyzable");
+  for (const json::Value& e : ArrayAt(v, "obs").array) {
+    attack::LayerObservation o;
+    o.segment = NumInt(e, "segment");
+    const int role = NumInt(e, "role");
+    SC_CHECK_MSG(role >= 0 && role <= 3, "bad segment role " << role);
+    o.role = static_cast<attack::SegmentRole>(role);
+    o.size_ifm = NumLL(e, "size_ifm");
+    o.size_ofm = NumLL(e, "size_ofm");
+    o.size_fltr = NumLL(e, "size_fltr");
+    o.cycles = ParseU64(e, "cycles");
+    o.bytes_accessed = ParseU64(e, "bytes");
+    o.reads_network_input = BoolAt(e, "reads_input");
+    for (const json::Value& ie : ArrayAt(e, "inputs").array) {
+      attack::ObservedInput in;
+      for (const json::Value& w : ArrayAt(ie, "writers").array) {
+        SC_CHECK_MSG(w.kind == json::Value::Kind::kNumber, "bad writer entry");
+        const double d = w.number;
+        SC_CHECK_MSG(std::nearbyint(d) == d && std::abs(d) <= INT32_MAX,
+                     "bad writer segment");
+        in.writer_segments.push_back(static_cast<int>(d));
+      }
+      in.elems = NumLL(ie, "elems");
+      o.inputs.push_back(std::move(in));
+    }
+    a.observations.push_back(std::move(o));
+  }
+  return a;
+}
+
+json::Value EncodeStructure(const attack::RobustStructureResult& r) {
+  std::ostringstream csv;
+  attack::WriteStructuresCsv(csv, r.search);
+  double conf = 0.0;
+  for (const attack::LayerConsensus& c : r.consensus) conf += c.confidence();
+  if (!r.consensus.empty()) conf /= static_cast<double>(r.consensus.size());
+
+  json::Value v = json::Value::Object();
+  v.object["csv"] = json::Value::String(csv.str());
+  v.object["slack_used"] = Num(r.slack_used);
+  v.object["acquisitions"] = Num(r.acquisitions);
+  v.object["analyzable"] = Num(r.analyzable);
+  v.object["usable"] = Num(r.usable);
+  v.object["num_structures"] =
+      Num(static_cast<long long>(r.search.structures.size()));
+  v.object["consensus_confidence"] = json::Value::Number(conf);
+  return v;
+}
+
+json::Value EncodeFilter(const attack::RecoveredFilter& f,
+                         std::uint64_t samples, std::uint64_t retries) {
+  json::Value v = json::Value::Object();
+  v.object["channel"] = Num(f.channel);
+  v.object["bias_positive"] = json::Value::Bool(f.bias_positive);
+  json::Value bits = json::Value::Array();
+  for (std::size_t i = 0; i < f.ratio.numel(); ++i)
+    bits.array.push_back(
+        json::Value::Number(static_cast<double>(FloatBits(f.ratio[i]))));
+  v.object["ratio_bits"] = std::move(bits);
+  json::Value zero = json::Value::Array();
+  for (const bool z : f.is_zero) zero.array.push_back(Num(z ? 1 : 0));
+  v.object["is_zero"] = std::move(zero);
+  json::Value failed = json::Value::Array();
+  for (const bool x : f.failed) failed.array.push_back(Num(x ? 1 : 0));
+  v.object["failed"] = std::move(failed);
+  v.object["queries"] = U64(f.queries);
+  v.object["rebrackets"] = U64(f.rebrackets);
+  v.object["samples"] = U64(samples);
+  v.object["retries"] = U64(retries);
+  return v;
+}
+
+std::vector<bool> DecodeBitArray(const json::Value& obj,
+                                 const std::string& key, std::size_t want) {
+  std::vector<bool> out;
+  for (const json::Value& e : ArrayAt(obj, key).array) {
+    SC_CHECK_MSG(e.kind == json::Value::Kind::kNumber &&
+                     (e.number == 0.0 || e.number == 1.0),
+                 "bad bit entry in '" << key << "'");
+    out.push_back(e.number == 1.0);
+  }
+  SC_CHECK_MSG(out.size() == want, "wrong '" << key << "' length");
+  return out;
+}
+
+attack::RecoveredFilter DecodeFilter(const json::Value& v,
+                                     const WeightStage& stage) {
+  const std::size_t positions =
+      static_cast<std::size_t>(stage.spec.in_depth) *
+      static_cast<std::size_t>(stage.spec.filter) *
+      static_cast<std::size_t>(stage.spec.filter);
+
+  attack::RecoveredFilter f;
+  f.channel = NumInt(v, "channel");
+  f.bias_positive = BoolAt(v, "bias_positive");
+  f.ratio = nn::Tensor(
+      nn::Shape{stage.spec.in_depth, stage.spec.filter, stage.spec.filter});
+  const json::Value& bits = ArrayAt(v, "ratio_bits");
+  SC_CHECK_MSG(bits.array.size() == positions, "wrong ratio_bits length");
+  for (std::size_t i = 0; i < positions; ++i) {
+    const json::Value& e = bits.array[i];
+    SC_CHECK_MSG(e.kind == json::Value::Kind::kNumber &&
+                     std::nearbyint(e.number) == e.number &&
+                     e.number >= 0.0 && e.number <= 4294967295.0,
+                 "bad ratio bit pattern");
+    f.ratio[i] = BitsToFloat(static_cast<std::uint32_t>(e.number));
+  }
+  f.is_zero = DecodeBitArray(v, "is_zero", positions);
+  f.failed = DecodeBitArray(v, "failed", positions);
+  f.queries = ParseU64(v, "queries");
+  f.rebrackets = ParseU64(v, "rebrackets");
+  return f;
+}
+
+double FilterConfidence(const json::Value& payload) {
+  const json::Value& failed = ArrayAt(payload, "failed");
+  if (failed.array.empty()) return 0.0;
+  std::size_t ok = 0;
+  for (const json::Value& e : failed.array)
+    if (e.number == 0.0) ++ok;
+  return static_cast<double>(ok) / static_cast<double>(failed.array.size());
+}
+
+// --- Fingerprint ---------------------------------------------------------
+
+json::Value FingerprintSolver(const attack::SolverConfig& s) {
+  json::Value v = json::Value::Object();
+  v.object["bias_in_filter_region"] = json::Value::Bool(s.bias_in_filter_region);
+  v.object["enforce_coverage"] = json::Value::Bool(s.enforce_coverage);
+  v.object["exact_conv_division"] = json::Value::Bool(s.exact_conv_division);
+  v.object["exact_pool_division"] = json::Value::Bool(s.exact_pool_division);
+  v.object["canonical_padding"] = json::Value::Bool(s.canonical_padding);
+  v.object["max_pool_window"] = Num(s.max_pool_window);
+  v.object["allow_pool_padding"] = json::Value::Bool(s.allow_pool_padding);
+  v.object["half_filter_padding"] = json::Value::Bool(s.half_filter_padding);
+  v.object["forbid_pool_upsample"] = json::Value::Bool(s.forbid_pool_upsample);
+  v.object["max_standalone_pool_window"] = Num(s.max_standalone_pool_window);
+  v.object["max_candidates"] = Num(static_cast<long long>(s.max_candidates));
+  v.object["size_slack"] = Num(s.size_slack);
+  return v;
+}
+
+json::Value FingerprintStructure(const attack::RobustStructureConfig& s) {
+  json::Value v = json::Value::Object();
+  json::Value ladder = json::Value::Array();
+  for (const long long rung : s.slack_ladder) ladder.array.push_back(Num(rung));
+  v.object["slack_ladder"] = std::move(ladder);
+  v.object["identical_modules"] =
+      json::Value::Bool(s.attack.assume_identical_modules);
+
+  json::Value a = json::Value::Object();
+  a.object["element_bytes"] = Num(s.attack.analysis.element_bytes);
+  a.object["region_gap"] = U64(s.attack.analysis.region_gap);
+  a.object["known_input_elems"] = Num(s.attack.analysis.known_input_elems);
+  a.object["input_elems_slack"] = Num(s.attack.analysis.input_elems_slack);
+  v.object["analysis"] = std::move(a);
+
+  const attack::SearchConfig& sc = s.attack.search;
+  json::Value q = json::Value::Object();
+  q.object["timing_tolerance"] = json::Value::Number(sc.timing_tolerance);
+  q.object["macs_per_cycle"] = Num(sc.macs_per_cycle);
+  q.object["bytes_per_cycle"] = Num(sc.bytes_per_cycle);
+  q.object["known_input_width"] = Num(sc.known_input_width);
+  q.object["known_input_depth"] = Num(sc.known_input_depth);
+  q.object["known_output_classes"] = Num(sc.known_output_classes);
+  json::Value groups = json::Value::Array();
+  for (const std::vector<int>& g : sc.identical_groups) {
+    json::Value ge = json::Value::Array();
+    for (const int m : g) ge.array.push_back(Num(m));
+    groups.array.push_back(std::move(ge));
+  }
+  q.object["identical_groups"] = std::move(groups);
+  q.object["max_structures"] = Num(static_cast<long long>(sc.max_structures));
+  q.object["solver"] = FingerprintSolver(sc.solver);
+  v.object["search"] = std::move(q);
+  return v;
+}
+
+json::Value FingerprintTraceNoise(const sim::TraceNoiseConfig& n) {
+  json::Value v = json::Value::Object();
+  v.object["seed"] = U64(n.seed);
+  v.object["drop"] = json::Value::Number(n.drop_prob);
+  v.object["jitter"] = json::Value::Number(n.jitter_prob);
+  v.object["max_jitter"] = U64(n.max_jitter_cycles);
+  v.object["split"] = json::Value::Number(n.split_prob);
+  v.object["merge"] = json::Value::Number(n.merge_prob);
+  v.object["spurious"] = json::Value::Number(n.spurious_prob);
+  return v;
+}
+
+json::Value FingerprintWeights(const CampaignConfig& cfg) {
+  json::Value v = json::Value::Object();
+  v.object["votes"] = Num(cfg.weights.voting.votes);
+  v.object["max_retries"] = Num(cfg.weights.voting.max_retries);
+  v.object["search_radius_bits"] =
+      Num(static_cast<long long>(FloatBits(cfg.weights.attack.search_radius)));
+  v.object["rel_tolerance_bits"] =
+      Num(static_cast<long long>(FloatBits(cfg.weights.attack.rel_tolerance)));
+  v.object["max_bisect_iters"] = Num(cfg.weights.attack.max_bisect_iters);
+  v.object["max_rebrackets"] = Num(cfg.weights.attack.max_rebrackets);
+  json::Value o = json::Value::Object();
+  o.object["seed"] = U64(cfg.oracle_noise.seed);
+  o.object["count_noise_prob"] =
+      json::Value::Number(cfg.oracle_noise.count_noise_prob);
+  o.object["max_count_delta"] = Num(cfg.oracle_noise.max_count_delta);
+  o.object["failure_prob"] = json::Value::Number(cfg.oracle_noise.failure_prob);
+  v.object["oracle_noise"] = std::move(o);
+  return v;
+}
+
+// --- Unit ids ------------------------------------------------------------
+
+std::string AcquireId(int k) { return "acquire:" + std::to_string(k); }
+std::string WeightsId(int k) { return "weights:" + std::to_string(k); }
+
+double UnitConfidence(const std::string& id, const json::Value& payload) {
+  if (id.rfind("acquire:", 0) == 0)
+    return BoolAt(payload, "analyzable") ? 1.0 : 0.0;
+  if (id == "structure") return payload.Num("consensus_confidence");
+  return FilterConfidence(payload);
+}
+
+}  // namespace
+
+const char* ToString(UnitStatus s) {
+  switch (s) {
+    case UnitStatus::kDone: return "done";
+    case UnitStatus::kSkipped: return "skipped";
+    case UnitStatus::kFailedTransient: return "failed-transient";
+    case UnitStatus::kFailedFatal: return "failed-fatal";
+    case UnitStatus::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+std::string CampaignFingerprint(const CampaignConfig& cfg) {
+  json::Value v = json::Value::Object();
+  v.object["victim"] = json::Value::String(cfg.victim);
+  v.object["seed"] = U64(cfg.seed);
+  v.object["acquisitions"] = Num(cfg.acquisitions);
+  v.object["trace_noise"] = FingerprintTraceNoise(cfg.trace_noise);
+  v.object["structure"] = FingerprintStructure(cfg.structure);
+  v.object["recover_weights"] = json::Value::Bool(cfg.recover_weights);
+  v.object["max_weight_filters"] = Num(cfg.max_weight_filters);
+  v.object["weights"] = FingerprintWeights(cfg);
+  return json::Dump(v);
+}
+
+CampaignConfig MakeVictimCampaign(const std::string& victim,
+                                  std::uint64_t seed) {
+  CampaignConfig cfg;
+  cfg.victim = victim;
+  cfg.seed = seed;
+  cfg.acquisitions = 3;
+  cfg.trace_noise = sim::ReferenceTraceNoise(seed);
+  cfg.oracle_noise = sim::ReferenceOracleNoise(seed);
+  cfg.weights = attack::ReferenceRobustWeightConfig();
+
+  attack::StructureAttackConfig& atk = cfg.structure.attack;
+  if (victim == "lenet") {
+    atk.analysis.known_input_elems = 28 * 28;
+    atk.search.known_input_width = 28;
+    atk.search.known_input_depth = 1;
+    atk.search.known_output_classes = 10;
+  } else if (victim == "convnet") {
+    atk.analysis.known_input_elems = 3 * 32 * 32;
+    atk.search.known_input_width = 32;
+    atk.search.known_input_depth = 3;
+    atk.search.known_output_classes = 10;
+  } else if (victim == "alexnet") {
+    atk.analysis.known_input_elems = 3LL * 227 * 227;
+    atk.search.known_input_width = 227;
+    atk.search.known_input_depth = 3;
+    atk.search.known_output_classes = 1000;
+    cfg.recover_weights = false;  // 96x3x11x11: nightly-scale sweep
+  } else {
+    SC_CHECK_MSG(false, "unknown campaign victim '" << victim << "'");
+  }
+  return cfg;
+}
+
+CampaignResult RunCampaign(const CampaignConfig& cfg) {
+  SC_CHECK_MSG(cfg.acquisitions >= 1, "campaign needs >= 1 acquisition");
+  SC_CHECK_MSG(cfg.max_transient_failures >= 1, "transient budget must be >= 1");
+  const std::string fingerprint = CampaignFingerprint(cfg);
+
+  Checkpoint cp(fingerprint);
+  if (!cfg.checkpoint_path.empty() &&
+      std::filesystem::exists(cfg.checkpoint_path)) {
+    cp = Checkpoint::LoadFile(cfg.checkpoint_path, fingerprint);
+  }
+
+  const nn::Network net = MakeVictim(cfg.victim, cfg.seed);
+  const WeightStage stage = MakeWeightStage(net, cfg);
+  const int num_filters = cfg.recover_weights ? stage.num_filters : 0;
+  const std::size_t num_units =
+      static_cast<std::size_t>(cfg.acquisitions) + 1 +
+      static_cast<std::size_t>(num_filters);
+
+  // Threaded stop token: the campaign's token is also polled inside the
+  // structure search / consensus and the weight bisection loops.
+  attack::RobustStructureConfig scfg = cfg.structure;
+  scfg.attack.search.cancel = cfg.cancel;
+  attack::WeightAttackConfig wcfg = cfg.weights.attack;
+  wcfg.cancel = cfg.cancel;
+
+  CampaignResult result;
+  result.units.resize(num_units);
+  result.filter_done.assign(static_cast<std::size_t>(num_filters), false);
+  result.filters.resize(static_cast<std::size_t>(num_filters));
+  result.filter_confidence.assign(static_cast<std::size_t>(num_filters), 0.0);
+
+  std::mutex mu;  // checkpoint + stuck list
+  std::atomic<int> transients{0};
+
+  {
+    Watchdog dog(cfg.stuck_after_s, [&](const std::string& unit, double s) {
+      (void)s;
+      Metrics().stuck.Add();
+      const std::lock_guard<std::mutex> lock(mu);
+      result.stuck_units.push_back(unit);
+    });
+
+    // Runs one unit through the full lifecycle: checkpoint short-circuit,
+    // stop/budget pre-checks, execution, classification, persistence.
+    auto run_unit = [&](std::size_t slot, const std::string& id,
+                        const std::function<json::Value()>& work) {
+      UnitResult& ur = result.units[slot];
+      ur.id = id;
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (cp.Has(id)) {
+          try {
+            ur.confidence = UnitConfidence(id, cp.Payload(id));
+            ur.status = UnitStatus::kDone;
+            ur.from_checkpoint = true;
+            Metrics().from_checkpoint.Add();
+          } catch (const Error& e) {
+            ur.status = UnitStatus::kFailedFatal;
+            ur.error = std::string("corrupt checkpointed payload: ") + e.what();
+            Metrics().failed_fatal.Add();
+          }
+          return;
+        }
+      }
+      if (cfg.cancel.stop_requested()) {
+        ur.status = UnitStatus::kSkipped;
+        ur.error = cfg.cancel.reason() == support::StopReason::kDeadline
+                       ? "deadline expired before unit started"
+                       : "cancelled before unit started";
+        Metrics().skipped.Add();
+        return;
+      }
+      if (transients.load(std::memory_order_relaxed) >=
+          cfg.max_transient_failures) {
+        ur.status = UnitStatus::kSkipped;
+        ur.error = "transient failure budget exhausted";
+        Metrics().skipped.Add();
+        return;
+      }
+
+      json::Value payload;
+      try {
+        const Watchdog::Scope guard(dog, id);
+        const obs::ScopedTimer timer(Metrics().unit_ns);
+        payload = work();
+      } catch (const CancelledError& e) {
+        ur.status = UnitStatus::kCancelled;
+        ur.error = e.what();
+        Metrics().cancelled.Add();
+        return;
+      } catch (const TransientError& e) {
+        ur.status = UnitStatus::kFailedTransient;
+        ur.error = e.what();
+        transients.fetch_add(1, std::memory_order_relaxed);
+        Metrics().failed_transient.Add();
+        return;
+      } catch (const std::exception& e) {
+        ur.status = UnitStatus::kFailedFatal;
+        ur.error = e.what();
+        Metrics().failed_fatal.Add();
+        return;
+      }
+
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        cp.Record(id, payload);
+        if (!cfg.checkpoint_path.empty()) {
+          cp.SaveFile(cfg.checkpoint_path);
+          Metrics().saves.Add();
+        }
+      }
+      ur.status = UnitStatus::kDone;
+      ur.confidence = UnitConfidence(id, payload);
+      Metrics().done.Add();
+      if (cfg.on_unit_finished) cfg.on_unit_finished(id);
+    };
+
+    // --- Wave 1: acquisitions (parallel) ---------------------------------
+    bool need_trace = false;
+    for (int k = 0; k < cfg.acquisitions; ++k)
+      if (!cp.Has(AcquireId(k))) need_trace = true;
+
+    std::optional<trace::Trace> clean;
+    if (need_trace) {
+      const accel::Accelerator accel{accel::AcceleratorConfig{}};
+      nn::Tensor input(net.input_shape());
+      Rng rng(cfg.seed);
+      for (std::size_t i = 0; i < input.numel(); ++i)
+        input[i] = rng.GaussianF(1.0f);
+      clean.emplace();
+      accel.Run(net, input, &*clean);
+    }
+    const sim::TraceNoiseModel noise(cfg.trace_noise);
+
+    auto acquire_body = [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t k = lo; k < hi; ++k) {
+        const int idx = static_cast<int>(k);
+        run_unit(static_cast<std::size_t>(k), AcquireId(idx), [&]() {
+          if (cfg.trace_noise.enabled()) {
+            const trace::Trace acq =
+                noise.ApplyNth(*clean, static_cast<std::uint64_t>(idx));
+            return EncodeAcquisition(attack::AnalyzeAcquisition(acq, scfg));
+          }
+          return EncodeAcquisition(attack::AnalyzeAcquisition(*clean, scfg));
+        });
+      }
+    };
+    if (cfg.acquisitions < 2 || support::ThreadPool::GlobalThreads() <= 1 ||
+        support::InParallelRegion()) {
+      acquire_body(0, cfg.acquisitions);
+    } else {
+      support::ParallelFor(0, cfg.acquisitions, 1, acquire_body);
+    }
+
+    // --- Wave 2: structure consensus search ------------------------------
+    const std::size_t structure_slot =
+        static_cast<std::size_t>(cfg.acquisitions);
+    bool all_acquired = true;
+    for (int k = 0; k < cfg.acquisitions; ++k)
+      if (!cp.Has(AcquireId(k))) all_acquired = false;
+
+    if (!all_acquired && !cfg.cancel.stop_requested()) {
+      UnitResult& ur = result.units[structure_slot];
+      ur.id = "structure";
+      ur.status = UnitStatus::kSkipped;
+      ur.error = "missing acquisition units";
+      Metrics().skipped.Add();
+    } else {
+      run_unit(structure_slot, "structure", [&]() {
+        std::vector<attack::AcquisitionAnalysis> analyses;
+        for (int k = 0; k < cfg.acquisitions; ++k)
+          analyses.push_back(DecodeAcquisition(cp.Payload(AcquireId(k))));
+        return EncodeStructure(attack::ConsensusSearch(analyses, scfg));
+      });
+    }
+
+    // --- Wave 3: per-filter weight recovery (parallel) -------------------
+    auto weights_body = [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t k = lo; k < hi; ++k) {
+        const int filter = static_cast<int>(k);
+        const std::size_t slot = structure_slot + 1 + static_cast<std::size_t>(k);
+        run_unit(slot, WeightsId(filter), [&]() {
+          attack::SparseConvOracle base(stage.spec, stage.weights, stage.bias);
+          std::unique_ptr<attack::ZeroCountOracle> probe;
+          if (cfg.oracle_noise.enabled()) {
+            const sim::NoisyOracle noisy(base, cfg.oracle_noise);
+            probe = noisy.Fork(static_cast<std::uint64_t>(filter));
+          } else {
+            probe = base.Fork(static_cast<std::uint64_t>(filter));
+          }
+          SC_CHECK_MSG(probe != nullptr, "oracle fork failed");
+          attack::VotingOracle voter(*probe, cfg.weights.voting);
+          attack::WeightAttack attack(voter, stage.spec, wcfg);
+          const attack::RecoveredFilter f = attack.RecoverFilter(filter);
+          return EncodeFilter(f, voter.samples(), voter.retries());
+        });
+      }
+    };
+    if (num_filters > 0) {
+      if (num_filters < 2 || support::ThreadPool::GlobalThreads() <= 1 ||
+          support::InParallelRegion()) {
+        weights_body(0, num_filters);
+      } else {
+        support::ParallelFor(0, num_filters, 1, weights_body);
+      }
+    }
+  }  // watchdog joins here
+
+  // --- Result assembly (decode everything back from payloads) ------------
+  for (const UnitResult& ur : result.units) {
+    switch (ur.status) {
+      case UnitStatus::kDone:
+        ++result.done;
+        if (ur.from_checkpoint) ++result.from_checkpoint;
+        result.overall_confidence += ur.confidence;
+        break;
+      case UnitStatus::kSkipped: ++result.skipped; break;
+      case UnitStatus::kFailedTransient: ++result.failed_transient; break;
+      case UnitStatus::kFailedFatal: ++result.failed_fatal; break;
+      case UnitStatus::kCancelled: ++result.cancelled; break;
+    }
+  }
+  if (result.done > 0)
+    result.overall_confidence /= static_cast<double>(result.done);
+  result.complete = result.done == static_cast<int>(num_units);
+  result.stop_reason = cfg.cancel.reason();
+
+  const std::size_t structure_slot = static_cast<std::size_t>(cfg.acquisitions);
+  if (result.units[structure_slot].status == UnitStatus::kDone) {
+    const json::Value& p = cp.Payload("structure");
+    result.structure_done = true;
+    result.structure_csv = p.Str("csv");
+    result.analyzable = NumInt(p, "analyzable");
+    result.usable = NumInt(p, "usable");
+    result.slack_used = NumLL(p, "slack_used");
+    result.num_structures = static_cast<std::size_t>(NumLL(p, "num_structures"));
+  }
+
+  std::string filter_csv = "filter,c,i,j,ratio_bits,ratio,zero,failed\n";
+  for (int k = 0; k < num_filters; ++k) {
+    const std::size_t slot = structure_slot + 1 + static_cast<std::size_t>(k);
+    if (result.units[slot].status != UnitStatus::kDone) continue;
+    const json::Value& p = cp.Payload(WeightsId(k));
+    attack::RecoveredFilter f = DecodeFilter(p, stage);
+    result.filter_confidence[static_cast<std::size_t>(k)] =
+        FilterConfidence(p);
+    result.filter_done[static_cast<std::size_t>(k)] = true;
+    const int fw = stage.spec.filter;
+    for (int c = 0; c < stage.spec.in_depth; ++c) {
+      for (int i = 0; i < fw; ++i) {
+        for (int j = 0; j < fw; ++j) {
+          const std::size_t pos =
+              static_cast<std::size_t>((c * fw + i) * fw + j);
+          char row[128];
+          std::snprintf(row, sizeof row, "%d,%d,%d,%d,0x%08x,%.9g,%d,%d\n", k,
+                        c, i, j, FloatBits(f.ratio[pos]),
+                        static_cast<double>(f.ratio[pos]),
+                        f.is_zero[pos] ? 1 : 0, f.failed[pos] ? 1 : 0);
+          filter_csv += row;
+        }
+      }
+    }
+    result.filters[static_cast<std::size_t>(k)] = std::move(f);
+  }
+  result.filter_csv = std::move(filter_csv);
+
+  if (!cfg.output_dir.empty()) {
+    std::filesystem::create_directories(cfg.output_dir);
+    const std::filesystem::path dir(cfg.output_dir);
+    if (result.structure_done) {
+      std::ofstream f(dir / "structure_candidates.csv");
+      SC_CHECK_MSG(f.is_open(), "cannot write structure_candidates.csv");
+      f << result.structure_csv;
+    }
+    if (num_filters > 0) {
+      std::ofstream f(dir / "filter_ratios.csv");
+      SC_CHECK_MSG(f.is_open(), "cannot write filter_ratios.csv");
+      f << result.filter_csv;
+    }
+  }
+  return result;
+}
+
+}  // namespace sc::campaign

@@ -1,0 +1,159 @@
+// Campaign supervisor (DESIGN.md §12): checkpoint/resume, deadlines,
+// cancellation and graceful degradation for long-running attacks.
+//
+// A campaign decomposes a full reverse-engineering run against one victim
+// into independent, individually-checkpointable units:
+//
+//   acquire:k   analyze the k-th noisy acquisition of the victim's trace
+//               (sim::TraceNoiseModel::ApplyNth keys the fault pattern by k);
+//   structure   consensus vote + slack-ladder candidate search over the
+//               checkpointed acquisition analyses;
+//   weights:k   Algorithm-2 ratio recovery for output filter k of the
+//               victim's first convolution (oracle noise forked by k).
+//
+// Every completed unit's payload is persisted through an atomic
+// write-then-rename JSON checkpoint, so a killed campaign resumes by
+// re-running only the unfinished units — and, because each unit's RNG
+// stream is a function of the campaign seed and the unit index alone, the
+// resumed run's artifacts are byte-identical to an uninterrupted run's.
+//
+// Degradation: a unit that throws is recorded (transient / fatal /
+// cancelled, per the check.h taxonomy) and the campaign carries on until
+// the transient budget, a deadline, or a cancel request stops it; the
+// partial CampaignResult always reports a status for every unit and never
+// loses completed work.
+#ifndef SC_CAMPAIGN_CAMPAIGN_H_
+#define SC_CAMPAIGN_CAMPAIGN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "attack/structure/robust.h"
+#include "attack/weights/robust.h"
+#include "sim/noise.h"
+#include "sim/noisy_oracle.h"
+#include "support/cancel.h"
+
+namespace sc::campaign {
+
+enum class UnitStatus {
+  kDone,             // payload computed (this run) or restored (checkpoint)
+  kSkipped,          // never attempted: stop already requested, transient
+                     //   budget exhausted, or a dependency is missing
+  kFailedTransient,  // sc::TransientError — retryable on a later run
+  kFailedFatal,      // any other error — retrying cannot help
+  kCancelled,        // unwound mid-unit by cancel/deadline
+};
+
+const char* ToString(UnitStatus s);
+
+struct UnitResult {
+  std::string id;
+  UnitStatus status = UnitStatus::kSkipped;
+  std::string error;             // why, for every non-done status
+  bool from_checkpoint = false;  // done without re-running
+  // acquire: 1.0 iff the acquisition was analyzable; structure: mean
+  // consensus confidence; weights: fraction of positions recovered.
+  double confidence = 0.0;
+};
+
+struct CampaignConfig {
+  // Victim model: "lenet", "convnet" or "alexnet" (models/zoo.h), built
+  // with `seed` (weights + the campaign's input/bias streams).
+  std::string victim = "lenet";
+  std::uint64_t seed = 1;
+
+  // Structure phase: number of independent acquisitions and the probe
+  // fault model (all-zero rates = clean, identical acquisitions).
+  int acquisitions = 1;
+  sim::TraceNoiseConfig trace_noise;
+  // structure.attack.search.cancel is overridden with `cancel` below.
+  attack::RobustStructureConfig structure;
+
+  // Weight phase: per-filter ratio recovery against the victim's first
+  // convolution. 0 filters = max_weight_filters limits the sweep for quick
+  // runs (0 = every output channel). weights.attack.cancel is overridden
+  // with `cancel` below.
+  bool recover_weights = true;
+  int max_weight_filters = 0;
+  sim::OracleNoiseConfig oracle_noise;
+  attack::RobustWeightConfig weights;
+
+  // Empty = run without persistence. An existing file is validated against
+  // the config fingerprint and resumed from; sc::Error on corruption or a
+  // foreign fingerprint.
+  std::string checkpoint_path;
+  // Non-empty: structure_candidates.csv and filter_ratios.csv are written
+  // here (directories are created).
+  std::string output_dir;
+
+  // Cooperative stop switch for the whole campaign (cancel + deadline).
+  support::CancelToken cancel;
+  // The campaign stops launching new units once this many transient unit
+  // failures have accumulated (completed units are kept, the rest are
+  // skipped). Must be >= 1.
+  int max_transient_failures = 3;
+  // Watchdog: units in flight longer than this are flagged (never killed);
+  // <= 0 disables.
+  double stuck_after_s = 0.0;
+
+  // Test/instrumentation hook: invoked after a unit's payload has been
+  // checkpointed (possibly concurrently from worker threads). The resume
+  // tests use it to cancel mid-campaign at an exact unit count.
+  std::function<void(const std::string& unit)> on_unit_finished;
+};
+
+// Campaign preset for one of the zoo victims: threat-model priors (input
+// geometry, class count), reference noise levels at `seed`, 3 acquisitions
+// and the reference robust weight config. AlexNet disables the weight
+// phase by default (a 96x3x11x11 sweep is nightly material).
+CampaignConfig MakeVictimCampaign(const std::string& victim,
+                                  std::uint64_t seed = 1);
+
+// Canonical JSON of every result-affecting config field. Two configs with
+// equal fingerprints produce interchangeable checkpoints.
+std::string CampaignFingerprint(const CampaignConfig& cfg);
+
+struct CampaignResult {
+  bool complete = false;  // every unit done
+  support::StopReason stop_reason = support::StopReason::kNone;
+  std::vector<UnitResult> units;
+
+  int done = 0;
+  int from_checkpoint = 0;
+  int skipped = 0;
+  int failed_transient = 0;
+  int failed_fatal = 0;
+  int cancelled = 0;
+  // Mean unit confidence over done units (0 when nothing finished).
+  double overall_confidence = 0.0;
+  // Units the watchdog flagged as stuck (they still ran to completion or
+  // were cancelled; this is a diagnosis, not an action).
+  std::vector<std::string> stuck_units;
+
+  // Structure phase (valid iff structure_done).
+  bool structure_done = false;
+  std::string structure_csv;  // WriteStructuresCsv of the consensus search
+  int analyzable = 0;
+  int usable = 0;
+  long long slack_used = 0;
+  std::size_t num_structures = 0;
+
+  // Weight phase; entry k is valid iff filter_done[k].
+  std::vector<bool> filter_done;
+  std::vector<attack::RecoveredFilter> filters;
+  std::vector<double> filter_confidence;
+  std::string filter_csv;  // rows only for recovered filters
+};
+
+// Runs (or resumes) the campaign described by `cfg`. Throws sc::Error only
+// for setup problems (unknown victim, unusable checkpoint file); unit
+// failures — including deadline expiry and cancellation — degrade into
+// per-unit statuses on the returned partial result instead.
+CampaignResult RunCampaign(const CampaignConfig& cfg);
+
+}  // namespace sc::campaign
+
+#endif  // SC_CAMPAIGN_CAMPAIGN_H_

@@ -1,0 +1,91 @@
+#include "campaign/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "support/check.h"
+
+namespace sc::campaign {
+
+namespace json = support::json;
+
+const json::Value& Checkpoint::Payload(const std::string& unit) const {
+  const auto it = units_.find(unit);
+  SC_CHECK_MSG(it != units_.end(), "no checkpointed unit '" << unit << "'");
+  return it->second;
+}
+
+void Checkpoint::Record(const std::string& unit, json::Value payload) {
+  units_[unit] = std::move(payload);
+}
+
+std::string Checkpoint::Serialize() const {
+  json::Value root = json::Value::Object();
+  root.object["schema"] = json::Value::String(kSchema);
+  root.object["fingerprint"] = json::Value::String(fingerprint_);
+  json::Value units = json::Value::Object();
+  for (const auto& [id, payload] : units_) units.object[id] = payload;
+  root.object["units"] = std::move(units);
+  return json::Dump(root);
+}
+
+Checkpoint Checkpoint::Parse(const std::string& text,
+                             const std::string& expected_fingerprint) {
+  const json::Value root = json::Parse(text);  // throws sc::Error on garbage
+  SC_CHECK_MSG(root.kind == json::Value::Kind::kObject,
+               "checkpoint root is not an object");
+  SC_CHECK_MSG(root.Has("schema") && root.At("schema").kind ==
+                                         json::Value::Kind::kString,
+               "checkpoint missing schema tag");
+  SC_CHECK_MSG(root.At("schema").str == kSchema,
+               "foreign checkpoint schema '" << root.At("schema").str
+                                             << "' (want " << kSchema << ")");
+  SC_CHECK_MSG(root.Has("fingerprint") &&
+                   root.At("fingerprint").kind == json::Value::Kind::kString,
+               "checkpoint missing fingerprint");
+  const std::string& fp = root.At("fingerprint").str;
+  if (!expected_fingerprint.empty()) {
+    SC_CHECK_MSG(fp == expected_fingerprint,
+                 "checkpoint fingerprint mismatch: file was written by a "
+                 "differently configured campaign");
+  }
+  SC_CHECK_MSG(root.Has("units") &&
+                   root.At("units").kind == json::Value::Kind::kObject,
+               "checkpoint missing units object");
+
+  Checkpoint cp(fp);
+  for (const auto& [id, payload] : root.At("units").object) {
+    SC_CHECK_MSG(payload.kind == json::Value::Kind::kObject,
+                 "checkpoint unit '" << id << "' is not an object");
+    cp.units_[id] = payload;
+  }
+  return cp;
+}
+
+void Checkpoint::SaveFile(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    SC_CHECK_MSG(f.is_open(), "cannot open " << tmp << " for writing");
+    f << Serialize();
+    f.flush();
+    SC_CHECK_MSG(static_cast<bool>(f), "write failure on " << tmp);
+  }
+  // POSIX rename is atomic with respect to concurrent readers: `path` is
+  // always either the previous checkpoint or the complete new one.
+  SC_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+               "cannot rename " << tmp << " over " << path);
+}
+
+Checkpoint Checkpoint::LoadFile(const std::string& path,
+                                const std::string& expected_fingerprint) {
+  std::ifstream f(path, std::ios::binary);
+  SC_CHECK_MSG(f.is_open(), "cannot open checkpoint " << path);
+  std::ostringstream text;
+  text << f.rdbuf();
+  return Parse(text.str(), expected_fingerprint);
+}
+
+}  // namespace sc::campaign

@@ -1,0 +1,70 @@
+// Atomic campaign checkpoints (DESIGN.md §12).
+//
+// A checkpoint records the payload of every *completed* unit of a
+// campaign, keyed by unit id ("acquire:3", "structure", "weights:17").
+// Units that failed, were cancelled or never ran are not recorded — they
+// simply rerun on resume, which is safe because every unit is a pure
+// function of the campaign config (seeded RNG streams fork per unit).
+//
+// The file is JSON with a schema tag and a config fingerprint; loading
+// rejects corrupt files, foreign schemas and checkpoints written by a
+// different campaign configuration (the fingerprint covers every
+// result-affecting knob). Saving is crash-safe: the new content is
+// written to "<path>.tmp" and atomically renamed over the target, so a
+// kill at any instant leaves either the previous or the new checkpoint,
+// never a torn file.
+#ifndef SC_CAMPAIGN_CHECKPOINT_H_
+#define SC_CAMPAIGN_CHECKPOINT_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "support/json.h"
+
+namespace sc::campaign {
+
+class Checkpoint {
+ public:
+  Checkpoint() = default;
+  explicit Checkpoint(std::string fingerprint)
+      : fingerprint_(std::move(fingerprint)) {}
+
+  const std::string& fingerprint() const { return fingerprint_; }
+  std::size_t size() const { return units_.size(); }
+
+  bool Has(const std::string& unit) const { return units_.count(unit) > 0; }
+
+  // Payload of a completed unit; throws sc::Error when absent.
+  const support::json::Value& Payload(const std::string& unit) const;
+
+  // Records (or overwrites) a completed unit's payload.
+  void Record(const std::string& unit, support::json::Value payload);
+
+  // Canonical serialization: {"schema":...,"fingerprint":...,"units":{...}}.
+  std::string Serialize() const;
+
+  // Parses and validates a serialized checkpoint. Throws sc::Error on
+  // malformed JSON, a foreign schema tag, or — when expected_fingerprint
+  // is non-empty — a fingerprint mismatch.
+  static Checkpoint Parse(const std::string& text,
+                          const std::string& expected_fingerprint);
+
+  // Atomic write-then-rename to `path` (tmp file: path + ".tmp").
+  void SaveFile(const std::string& path) const;
+
+  // Loads and validates `path`. Throws sc::Error when the file cannot be
+  // read or Parse rejects it.
+  static Checkpoint LoadFile(const std::string& path,
+                             const std::string& expected_fingerprint);
+
+  static constexpr const char* kSchema = "sc-campaign-v1";
+
+ private:
+  std::string fingerprint_;
+  std::map<std::string, support::json::Value> units_;
+};
+
+}  // namespace sc::campaign
+
+#endif  // SC_CAMPAIGN_CHECKPOINT_H_

@@ -1,0 +1,74 @@
+#include "campaign/watchdog.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace sc::campaign {
+
+Watchdog::Watchdog(double stuck_after_s,
+                   std::function<void(const std::string&, double)> on_stuck)
+    : stuck_after_s_(stuck_after_s), on_stuck_(std::move(on_stuck)) {
+  if (stuck_after_s_ > 0) thread_ = std::thread([this] { Run(); });
+}
+
+Watchdog::~Watchdog() {
+  if (!thread_.joinable()) return;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+std::uint64_t Watchdog::stuck_reports() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return reports_;
+}
+
+void Watchdog::Register(const std::string& unit) {
+  if (!thread_.joinable()) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  inflight_[unit] = Entry{std::chrono::steady_clock::now(), false};
+}
+
+void Watchdog::Unregister(const std::string& unit) {
+  if (!thread_.joinable()) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  inflight_.erase(unit);
+}
+
+void Watchdog::Run() {
+  // Poll at a quarter of the threshold, clamped to [0.5 ms, 1 s]: a unit
+  // that exceeds stuck_after_s is then observed in flight regardless of how
+  // small the threshold is, while hour-scale thresholds poll once a second.
+  const auto interval = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::duration<double>(
+          std::clamp(stuck_after_s_ / 4.0, 0.0005, 1.0)));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutdown_) {
+    cv_.wait_for(lock, interval);
+    if (shutdown_) return;
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<std::pair<std::string, double>> stuck;
+    for (auto& [unit, entry] : inflight_) {
+      if (entry.reported) continue;
+      const double elapsed =
+          std::chrono::duration<double>(now - entry.start).count();
+      if (elapsed >= stuck_after_s_) {
+        entry.reported = true;
+        ++reports_;
+        stuck.emplace_back(unit, elapsed);
+      }
+    }
+    if (stuck.empty() || !on_stuck_) continue;
+    // Callback outside the lock: it may log or touch the registry, and the
+    // worker threads must stay free to Unregister meanwhile.
+    lock.unlock();
+    for (const auto& [unit, elapsed] : stuck) on_stuck_(unit, elapsed);
+    lock.lock();
+  }
+}
+
+}  // namespace sc::campaign

@@ -1,0 +1,76 @@
+// Stuck-unit watchdog (DESIGN.md §12).
+//
+// Campaign units are pure computations with no I/O waits, so a unit that
+// has made no progress for far longer than its peers is a symptom (a
+// livelocked solver search, a pathological bisection). The watchdog is a
+// single background thread that scans the registry of in-flight units once
+// a second; any unit older than the configured threshold is reported once
+// via a callback (for logging / metrics), never killed — cancellation stays
+// cooperative and is the CancelSource's job.
+#ifndef SC_CAMPAIGN_WATCHDOG_H_
+#define SC_CAMPAIGN_WATCHDOG_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace sc::campaign {
+
+class Watchdog {
+ public:
+  // `on_stuck(unit_id, elapsed_seconds)` fires at most once per unit
+  // registration, from the watchdog thread. `stuck_after_s <= 0` disables
+  // the watchdog entirely (no thread is started).
+  Watchdog(double stuck_after_s,
+           std::function<void(const std::string&, double)> on_stuck);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  // RAII registration for one in-flight unit.
+  class Scope {
+   public:
+    Scope(Watchdog& dog, std::string unit) : dog_(dog), unit_(std::move(unit)) {
+      dog_.Register(unit_);
+    }
+    ~Scope() { dog_.Unregister(unit_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Watchdog& dog_;
+    std::string unit_;
+  };
+
+  std::uint64_t stuck_reports() const;
+
+ private:
+  struct Entry {
+    std::chrono::steady_clock::time_point start;
+    bool reported = false;
+  };
+
+  void Register(const std::string& unit);
+  void Unregister(const std::string& unit);
+  void Run();
+
+  const double stuck_after_s_;
+  const std::function<void(const std::string&, double)> on_stuck_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+  std::uint64_t reports_ = 0;
+  std::map<std::string, Entry> inflight_;
+  std::thread thread_;  // last: joins in ~Watchdog after shutdown_
+};
+
+}  // namespace sc::campaign
+
+#endif  // SC_CAMPAIGN_WATCHDOG_H_

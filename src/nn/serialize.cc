@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <initializer_list>
 #include <istream>
 #include <ostream>
 
@@ -72,12 +73,59 @@ void WriteShape(std::ostream& os, const Shape& s) {
     WriteU32(os, static_cast<std::uint32_t>(s[i]));
 }
 
+// Hostile-size guards (DESIGN.md §12): every dimension field read from the
+// stream is validated against generous caps — far above AlexNet scale
+// (its largest tensor, FC6's 9216x4096 weights, is ~3.8e7 elements) but
+// far below anything that could overflow an int or provoke a huge
+// allocation — *before* any Tensor or Layer is constructed.
+constexpr std::int64_t kMaxDim = 1 << 24;
+constexpr std::int64_t kMaxElems = std::int64_t{1} << 28;  // 1 GiB of f32
+
+std::int32_t CheckedDim(std::int32_t v, const char* what,
+                        std::uint32_t node) {
+  SC_CHECK_MSG(v >= 1 && v <= kMaxDim, "implausible " << what << " " << v
+                                                      << " in node " << node);
+  return v;
+}
+
+std::int32_t CheckedPad(std::int32_t v, const char* what,
+                        std::uint32_t node) {
+  SC_CHECK_MSG(v >= 0 && v <= kMaxDim, "implausible " << what << " " << v
+                                                      << " in node " << node);
+  return v;
+}
+
+// Overflow-safe capped product: every factor is already <= kMaxDim and the
+// running product is checked after each multiply, so it stays below
+// kMaxElems * kMaxDim and cannot wrap.
+void CheckElems(std::initializer_list<std::int32_t> factors, const char* what,
+                std::uint32_t node) {
+  std::int64_t product = 1;
+  for (const std::int32_t f : factors) {
+    product *= static_cast<std::int64_t>(f);
+    SC_CHECK_MSG(product <= kMaxElems,
+                 "implausible " << what << " (>= " << product
+                                << " elements) in node " << node);
+  }
+}
+
 Shape ReadShape(std::istream& is) {
   const std::uint32_t rank = ReadU32(is);
   SC_CHECK_MSG(rank >= 1 && rank <= 4, "bad shape rank in network stream");
   std::vector<int> dims;
-  for (std::uint32_t i = 0; i < rank; ++i)
-    dims.push_back(static_cast<int>(ReadU32(is)));
+  std::int64_t numel = 1;
+  for (std::uint32_t i = 0; i < rank; ++i) {
+    const std::uint32_t d = ReadU32(is);
+    SC_CHECK_MSG(d >= 1 && d <= kMaxDim,
+                 "implausible shape dimension " << d << " in network stream");
+    // Checked after every multiply, so the running product stays below
+    // 2^28 * 2^24 and cannot overflow int64.
+    numel *= static_cast<std::int64_t>(d);
+    SC_CHECK_MSG(numel <= kMaxElems,
+                 "implausible tensor size (" << numel
+                                             << " elements) in network stream");
+    dims.push_back(static_cast<int>(d));
+  }
   return Shape(dims);
 }
 
@@ -180,14 +228,20 @@ Network LoadNetwork(std::istream& is) {
     std::unique_ptr<Layer> layer;
     switch (tag) {
       case kTagConv: {
-        const int in_d = ReadI32(is), out_d = ReadI32(is), f = ReadI32(is),
-                  s = ReadI32(is), p = ReadI32(is);
+        const int in_d = CheckedDim(ReadI32(is), "conv in_depth", i),
+                  out_d = CheckedDim(ReadI32(is), "conv out_depth", i),
+                  f = CheckedDim(ReadI32(is), "conv filter", i),
+                  s = CheckedDim(ReadI32(is), "conv stride", i),
+                  p = CheckedPad(ReadI32(is), "conv pad", i);
+        CheckElems({in_d, out_d, f, f}, "conv weight tensor", i);
         layer = std::make_unique<Conv2D>(name, in_d, out_d, f, s, p);
         break;
       }
       case kTagMaxPool:
       case kTagAvgPool: {
-        const int w = ReadI32(is), s = ReadI32(is), p = ReadI32(is);
+        const int w = CheckedDim(ReadI32(is), "pool window", i),
+                  s = CheckedDim(ReadI32(is), "pool stride", i),
+                  p = CheckedPad(ReadI32(is), "pool pad", i);
         layer = std::make_unique<Pooling>(
             name, tag == kTagMaxPool ? PoolKind::kMax : PoolKind::kAvg, w, s,
             p);
@@ -197,15 +251,19 @@ Network LoadNetwork(std::istream& is) {
         layer = std::make_unique<Relu>(name, ReadF32(is));
         break;
       case kTagFc: {
-        const int in_f = ReadI32(is), out_f = ReadI32(is);
+        const int in_f = CheckedDim(ReadI32(is), "fc in_features", i),
+                  out_f = CheckedDim(ReadI32(is), "fc out_features", i);
+        CheckElems({in_f, out_f}, "fc weight tensor", i);
         layer = std::make_unique<FullyConnected>(name, in_f, out_f);
         break;
       }
       case kTagConcat:
-        layer = std::make_unique<Concat>(name, ReadI32(is));
+        layer = std::make_unique<Concat>(
+            name, CheckedDim(ReadI32(is), "concat fan-in", i));
         break;
       case kTagEltwise:
-        layer = std::make_unique<EltwiseAdd>(name, ReadI32(is));
+        layer = std::make_unique<EltwiseAdd>(
+            name, CheckedDim(ReadI32(is), "eltwise fan-in", i));
         break;
       default:
         SC_CHECK_MSG(false, "unknown layer tag " << tag);

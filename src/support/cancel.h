@@ -1,0 +1,138 @@
+// Cooperative cancellation and wall-clock deadlines (DESIGN.md §12).
+//
+// A CancelSource owns the stop request; CancelToken is a cheap copyable
+// view handed to long-running loops. Tokens are *cooperative*: code polls
+// stop_requested() / ThrowIfStopped() at natural checkpoints (solver
+// recursion, consensus rounds, bisection iterations) and unwinds via the
+// sc::CancelledError / sc::DeadlineExceededError taxonomy in check.h.
+//
+// RequestCancel() is a single lock-free atomic store, so it is safe to
+// call from a POSIX signal handler (the nightly kill/resume job SIGTERMs
+// bench/campaign_resilience and expects a graceful partial checkpoint).
+//
+// A default-constructed CancelToken is the "null" token: it never stops,
+// costs one branch per poll, and lets APIs take a token unconditionally.
+#ifndef SC_SUPPORT_CANCEL_H_
+#define SC_SUPPORT_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace sc::support {
+
+enum class StopReason { kNone, kCancelled, kDeadline };
+
+namespace detail {
+
+struct CancelShared {
+  std::atomic<bool> cancelled{false};
+  std::atomic<bool> has_deadline{false};
+  // steady_clock time_since_epoch in nanoseconds; valid iff has_deadline.
+  std::atomic<std::int64_t> deadline_ns{0};
+
+  static std::int64_t NowNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  StopReason Reason() const {
+    if (cancelled.load(std::memory_order_acquire)) return StopReason::kCancelled;
+    if (has_deadline.load(std::memory_order_acquire) &&
+        NowNs() >= deadline_ns.load(std::memory_order_acquire))
+      return StopReason::kDeadline;
+    return StopReason::kNone;
+  }
+};
+
+}  // namespace detail
+
+class CancelToken {
+ public:
+  // Null token: stop_requested() is always false.
+  CancelToken() = default;
+
+  bool can_stop() const { return shared_ != nullptr; }
+
+  bool stop_requested() const {
+    return shared_ && shared_->Reason() != StopReason::kNone;
+  }
+
+  StopReason reason() const {
+    return shared_ ? shared_->Reason() : StopReason::kNone;
+  }
+
+  // Throws DeadlineExceededError / CancelledError when stopped; no-op
+  // otherwise. `where` names the cancellation point for the message.
+  void ThrowIfStopped(const char* where = "operation") const {
+    if (!shared_) return;
+    switch (shared_->Reason()) {
+      case StopReason::kNone:
+        return;
+      case StopReason::kDeadline: {
+        std::ostringstream os;
+        os << where << ": deadline exceeded";
+        throw ::sc::DeadlineExceededError(os.str());
+      }
+      case StopReason::kCancelled: {
+        std::ostringstream os;
+        os << where << ": cancelled";
+        throw ::sc::CancelledError(os.str());
+      }
+    }
+  }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<const detail::CancelShared> s)
+      : shared_(std::move(s)) {}
+
+  std::shared_ptr<const detail::CancelShared> shared_;
+};
+
+class CancelSource {
+ public:
+  CancelSource() : shared_(std::make_shared<detail::CancelShared>()) {}
+
+  CancelToken token() const { return CancelToken(shared_); }
+
+  // Lock-free; async-signal-safe (a relaxed-release atomic store).
+  void RequestCancel() {
+    shared_->cancelled.store(true, std::memory_order_release);
+  }
+
+  void SetDeadline(std::chrono::steady_clock::time_point tp) {
+    shared_->deadline_ns.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            tp.time_since_epoch())
+            .count(),
+        std::memory_order_release);
+    shared_->has_deadline.store(true, std::memory_order_release);
+  }
+
+  // Deadline `d` from now. Negative or zero durations expire immediately.
+  template <class Rep, class Period>
+  void SetTimeout(std::chrono::duration<Rep, Period> d) {
+    SetDeadline(std::chrono::steady_clock::now() + d);
+  }
+
+  void ClearDeadline() {
+    shared_->has_deadline.store(false, std::memory_order_release);
+  }
+
+  bool cancel_requested() const {
+    return shared_->cancelled.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::shared_ptr<detail::CancelShared> shared_;
+};
+
+}  // namespace sc::support
+
+#endif  // SC_SUPPORT_CANCEL_H_

@@ -19,6 +19,62 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+// --- Error taxonomy (DESIGN.md §12) ------------------------------------
+//
+// Long-running campaigns need to react differently to different failure
+// kinds: a transient probe failure is retryable and costs one unit of the
+// campaign's failure budget, a cancellation/deadline is an orderly stop
+// that must not be swallowed by retry loops, and anything else is a fatal
+// programming or data error. All three derive from sc::Error so existing
+// catch sites keep working.
+
+// A retryable failure: the operation may succeed if repeated (e.g. a probe
+// acquisition that returned garbage, a voting oracle that exhausted its
+// per-call retry budget). Campaign supervisors count these against a
+// transient-failure budget instead of aborting.
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& what) : Error(what) {}
+};
+
+// Cooperative-cancellation stop (operator request). Retry loops must
+// rethrow this immediately — retrying a cancelled operation is never
+// correct.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
+// Wall-clock deadline expiry. A kind of cancellation: catch sites that
+// handle CancelledError handle this too.
+class DeadlineExceededError : public CancelledError {
+ public:
+  explicit DeadlineExceededError(const std::string& what)
+      : CancelledError(what) {}
+};
+
+enum class ErrorClass { kTransient, kCancelled, kFatal };
+
+// Maps an in-flight exception to its campaign-level class. Unknown
+// exception types (including std::exception subclasses from outside the
+// taxonomy) are fatal.
+inline ErrorClass Classify(const std::exception& e) {
+  if (dynamic_cast<const CancelledError*>(&e) != nullptr)
+    return ErrorClass::kCancelled;
+  if (dynamic_cast<const TransientError*>(&e) != nullptr)
+    return ErrorClass::kTransient;
+  return ErrorClass::kFatal;
+}
+
+inline const char* ErrorClassName(ErrorClass c) {
+  switch (c) {
+    case ErrorClass::kTransient: return "transient";
+    case ErrorClass::kCancelled: return "cancelled";
+    case ErrorClass::kFatal: return "fatal";
+  }
+  return "fatal";
+}
+
 namespace detail {
 
 [[noreturn]] inline void ThrowCheckFailure(const char* expr, const char* file,

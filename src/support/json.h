@@ -1,0 +1,294 @@
+// Minimal JSON reader/writer shared by bench tooling and campaign
+// checkpoints (no external deps).
+//
+// Supports objects, arrays, strings without exotic escapes, numbers,
+// booleans, null. Parse errors throw sc::Error with a byte offset;
+// nesting depth is capped so hostile input cannot exhaust the stack.
+// Not a general-purpose parser — it reads files this repo itself wrote
+// (BENCH_*.json, campaign checkpoints), plus whatever the fuzzers throw
+// at it.
+//
+// Dump() writes a canonical form: object keys in std::map order, no
+// insignificant whitespace except a newline-free single space after ':'
+// is omitted — output is byte-stable for identical Values, which the
+// campaign checkpoint format relies on.
+#ifndef SC_SUPPORT_JSON_H_
+#define SC_SUPPORT_JSON_H_
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/check.h"
+
+namespace sc::support::json {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool Has(const std::string& key) const {
+    return kind == Kind::kObject && object.count(key) > 0;
+  }
+  const Value& At(const std::string& key) const {
+    SC_CHECK_MSG(Has(key), "missing JSON key '" << key << "'");
+    return object.at(key);
+  }
+  double Num(const std::string& key) const {
+    const Value& v = At(key);
+    SC_CHECK_MSG(v.kind == Kind::kNumber,
+                 "JSON key '" << key << "' is not a number");
+    return v.number;
+  }
+  const std::string& Str(const std::string& key) const {
+    const Value& v = At(key);
+    SC_CHECK_MSG(v.kind == Kind::kString,
+                 "JSON key '" << key << "' is not a string");
+    return v.str;
+  }
+
+  static Value Null() { return Value{}; }
+  static Value Bool(bool b) {
+    Value v;
+    v.kind = Kind::kBool;
+    v.boolean = b;
+    return v;
+  }
+  static Value Number(double d) {
+    Value v;
+    v.kind = Kind::kNumber;
+    v.number = d;
+    return v;
+  }
+  static Value String(std::string s) {
+    Value v;
+    v.kind = Kind::kString;
+    v.str = std::move(s);
+    return v;
+  }
+  static Value Array() {
+    Value v;
+    v.kind = Kind::kArray;
+    return v;
+  }
+  static Value Object() {
+    Value v;
+    v.kind = Kind::kObject;
+    return v;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Value Parse() {
+    Value v = ParseValue(0);
+    SkipWs();
+    SC_CHECK_MSG(i_ == s_.size(), "trailing JSON at offset " << i_);
+    return v;
+  }
+
+ private:
+  // Hostile inputs must not overflow the stack: the recursive-descent
+  // parser refuses nesting beyond this depth (checkpoints use ~4 levels).
+  static constexpr int kMaxDepth = 64;
+
+  void SkipWs() {
+    while (i_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[i_])))
+      ++i_;
+  }
+  char Peek() {
+    SkipWs();
+    SC_CHECK_MSG(i_ < s_.size(), "unexpected end of JSON");
+    return s_[i_];
+  }
+  void Expect(char c) {
+    SC_CHECK_MSG(Peek() == c, "expected '" << c << "' at offset " << i_
+                                           << ", got '" << s_[i_] << "'");
+    ++i_;
+  }
+  bool Consume(char c) {
+    if (i_ < s_.size() && Peek() == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeWord(const char* w) {
+    const std::size_t len = std::string(w).size();
+    if (s_.compare(i_, len, w) == 0) {
+      i_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      SC_CHECK_MSG(i_ < s_.size(), "unterminated JSON string");
+      const char c = s_[i_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        SC_CHECK_MSG(i_ < s_.size(), "unterminated escape");
+        const char e = s_[i_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          default:
+            SC_CHECK_MSG(false, "unsupported escape '\\" << e << "'");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  Value ParseValue(int depth) {
+    SC_CHECK_MSG(depth < kMaxDepth,
+                 "JSON nested deeper than " << kMaxDepth << " levels");
+    const char c = Peek();
+    Value v;
+    if (c == '{') {
+      ++i_;
+      v.kind = Value::Kind::kObject;
+      if (!Consume('}')) {
+        do {
+          std::string key = ParseString();
+          Expect(':');
+          v.object.emplace(std::move(key), ParseValue(depth + 1));
+        } while (Consume(','));
+        Expect('}');
+      }
+    } else if (c == '[') {
+      ++i_;
+      v.kind = Value::Kind::kArray;
+      if (!Consume(']')) {
+        do {
+          v.array.push_back(ParseValue(depth + 1));
+        } while (Consume(','));
+        Expect(']');
+      }
+    } else if (c == '"') {
+      v.kind = Value::Kind::kString;
+      v.str = ParseString();
+    } else if (ConsumeWord("true")) {
+      v.kind = Value::Kind::kBool;
+      v.boolean = true;
+    } else if (ConsumeWord("false")) {
+      v.kind = Value::Kind::kBool;
+      v.boolean = false;
+    } else if (ConsumeWord("null")) {
+      v.kind = Value::Kind::kNull;
+    } else {
+      v.kind = Value::Kind::kNumber;
+      char* end = nullptr;
+      v.number = std::strtod(s_.c_str() + i_, &end);
+      SC_CHECK_MSG(end != s_.c_str() + i_,
+                   "bad JSON number at offset " << i_);
+      i_ = static_cast<std::size_t>(end - s_.c_str());
+    }
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+inline Value Parse(const std::string& text) { return Parser(text).Parse(); }
+
+namespace detail {
+
+inline void DumpString(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        SC_CHECK_MSG(static_cast<unsigned char>(c) >= 0x20,
+                     "unsupported control character in JSON string");
+        out += c;
+    }
+  }
+  out += '"';
+}
+
+inline void DumpNumber(double d, std::string& out) {
+  char buf[40];
+  // Integral values in the exact-double range print as integers so that
+  // counters survive a Dump/Parse round trip byte-identically.
+  const double kExact = 9007199254740992.0;  // 2^53
+  if (d == static_cast<double>(static_cast<long long>(d)) && d < kExact &&
+      d > -kExact) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+  }
+  out += buf;
+}
+
+inline void DumpValue(const Value& v, std::string& out) {
+  switch (v.kind) {
+    case Value::Kind::kNull: out += "null"; break;
+    case Value::Kind::kBool: out += v.boolean ? "true" : "false"; break;
+    case Value::Kind::kNumber: DumpNumber(v.number, out); break;
+    case Value::Kind::kString: DumpString(v.str, out); break;
+    case Value::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Value& e : v.array) {
+        if (!first) out += ',';
+        first = false;
+        DumpValue(e, out);
+      }
+      out += ']';
+      break;
+    }
+    case Value::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, e] : v.object) {
+        if (!first) out += ',';
+        first = false;
+        DumpString(key, out);
+        out += ':';
+        DumpValue(e, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace detail
+
+// Canonical single-line serialization (std::map key order, no spaces).
+inline std::string Dump(const Value& v) {
+  std::string out;
+  detail::DumpValue(v, out);
+  return out;
+}
+
+}  // namespace sc::support::json
+
+#endif  // SC_SUPPORT_JSON_H_

@@ -157,12 +157,17 @@ void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
 
   struct SharedState {
     std::atomic<std::int64_t> next{0};
-    std::atomic<bool> failed{false};
+    // Lowest chunk index that has thrown so far (INT64_MAX = none). Chunks
+    // at or past this index are abandoned; chunks below it were already
+    // claimed (the claim counter is monotonic), so the lowest-index failing
+    // chunk always runs and its exception deterministically wins the race.
+    std::atomic<std::int64_t> first_failed{INT64_MAX};
     std::int64_t begin = 0, end = 0, grain = 1, nchunks = 0;
     const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
     std::mutex mu;
     std::condition_variable cv;
     int active_helpers = 0;
+    std::int64_t eptr_chunk = INT64_MAX;  // chunk index eptr came from
     std::exception_ptr eptr;
   };
   // Helpers hold a shared_ptr so an abandoned queue entry (never possible
@@ -177,9 +182,13 @@ void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
   auto run_chunks = [](SharedState& st) {
     RegionGuard region;
     for (;;) {
-      if (st.failed.load(std::memory_order_relaxed)) return;
       const std::int64_t c = st.next.fetch_add(1, std::memory_order_relaxed);
       if (c >= st.nchunks) return;
+      // Abandon chunks at or past the lowest failure seen so far. Any
+      // chunk below it was claimed earlier (monotonic counter) and runs to
+      // completion, so the surviving exception is from the lowest-index
+      // failing chunk on every run, regardless of the thread schedule.
+      if (c >= st.first_failed.load(std::memory_order_acquire)) return;
       Metrics().chunks.Add();
       const std::int64_t lo = st.begin + c * st.grain;
       const std::int64_t hi = std::min(st.end, lo + st.grain);
@@ -187,8 +196,11 @@ void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
         (*st.fn)(lo, hi);
       } catch (...) {
         std::lock_guard<std::mutex> lock(st.mu);
-        if (!st.eptr) st.eptr = std::current_exception();
-        st.failed.store(true, std::memory_order_relaxed);
+        if (c < st.eptr_chunk) {
+          st.eptr_chunk = c;
+          st.eptr = std::current_exception();
+          st.first_failed.store(c, std::memory_order_release);
+        }
         return;
       }
     }

@@ -81,8 +81,12 @@ bool InParallelRegion();
 //   - grain >= range, a 1-lane pool, or a nested call: fn(begin, end) runs
 //     inline on the calling thread;
 //   - an exception thrown by fn is captured and rethrown on the calling
-//     thread after all in-flight chunks drain (the first exception wins;
-//     unclaimed chunks are abandoned).
+//     thread after all in-flight chunks drain. The exception from the
+//     *lowest-index* failing chunk wins deterministically (not whichever
+//     worker loses the race): chunks are claimed in index order, so every
+//     chunk below the winning one ran to completion, and chunks past the
+//     first recorded failure are abandoned. A failing campaign therefore
+//     reports the same failing unit on every run and thread count.
 void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
                  const std::function<void(std::int64_t, std::int64_t)>& fn,
                  ThreadPool* pool = nullptr);

@@ -49,10 +49,21 @@ Trace Trace::ReadCsv(std::istream& is) {
   SC_CHECK_MSG(static_cast<bool>(std::getline(is, line)), "empty CSV stream");
   SC_CHECK_MSG(line == "cycle,addr,bytes,op",
                "bad CSV header: '" << line << "'");
+  // Hostile-input bounds (DESIGN.md §12): every field of a legitimate row
+  // is a short unsigned decimal plus a one-letter op, so the longest row
+  // WriteCsv can emit is ~70 bytes. Anything bigger is rejected before any
+  // parsing, and '-' is rejected outright — istream extraction into an
+  // unsigned field would otherwise accept "-1" as 2^64 - 1.
+  constexpr std::size_t kMaxRowChars = 256;
   std::size_t lineno = 1;
   while (std::getline(is, line)) {
     ++lineno;
     if (line.empty()) continue;
+    SC_CHECK_MSG(line.size() <= kMaxRowChars,
+                 "oversized CSV row " << lineno << " (" << line.size()
+                                      << " chars)");
+    SC_CHECK_MSG(line.find('-') == std::string::npos,
+                 "negative field on row " << lineno << ": '" << line << "'");
     std::istringstream row(line);
     MemEvent e;
     char c1 = 0, c2 = 0, c3 = 0;
@@ -66,6 +77,9 @@ Trace Trace::ReadCsv(std::istream& is) {
     SC_CHECK_MSG(bytes64 > 0,
                  "zero-byte burst on row " << lineno << ": '" << line << "'");
     SC_CHECK_MSG(bytes64 <= UINT32_MAX, "bad burst size on row " << lineno);
+    SC_CHECK_MSG(e.addr <= UINT64_MAX - bytes64,
+                 "address overflow on row " << lineno << ": addr " << e.addr
+                                            << " + " << bytes64 << " bytes");
     e.bytes = static_cast<std::uint32_t>(bytes64);
     if (op == "R") {
       e.op = MemOp::kRead;

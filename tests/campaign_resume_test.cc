@@ -1,0 +1,157 @@
+// Kill/resume determinism for the campaign supervisor (DESIGN.md §12).
+//
+// The acceptance property: a campaign killed after k completed units and
+// resumed from its checkpoint produces artifacts byte-identical to an
+// uninterrupted run — structure-candidate CSV and recovered-filter ratio
+// CSV — for LeNet and ConvNet, under reference trace/oracle noise, at
+// SC_THREADS in {1, 4}. Unit RNG streams are forked per acquisition /
+// per filter from the campaign seed, so resume determinism is by
+// construction; these tests pin it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "campaign/campaign.h"
+#include "support/thread_pool.h"
+
+namespace sc::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::uint64_t NoiseSeed() {
+  const char* env = std::getenv("SC_NOISE_SEED");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 1;
+}
+
+std::string TempPath(const std::string& name) {
+  return (fs::path(::testing::TempDir()) / name).string();
+}
+
+// Reference-noise campaign, lightened for tier-1 latency: 3 noisy
+// acquisitions, but only the first 2 filters of the weight sweep.
+CampaignConfig TestCampaign(const std::string& victim) {
+  CampaignConfig cfg = MakeVictimCampaign(victim, NoiseSeed());
+  cfg.max_weight_filters = 2;
+  return cfg;
+}
+
+struct Artifacts {
+  std::string structure_csv;
+  std::string filter_csv;
+};
+
+Artifacts ArtifactsOf(const CampaignResult& r) {
+  EXPECT_TRUE(r.complete);
+  EXPECT_TRUE(r.structure_done);
+  return Artifacts{r.structure_csv, r.filter_csv};
+}
+
+class CampaignResumeTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    support::ThreadPool::SetGlobalThreads(
+        support::ThreadPool::DefaultThreads());
+  }
+};
+
+// Runs the full kill-after-k / resume / compare cycle for one victim at
+// one thread count; returns the uninterrupted run's artifacts so callers
+// can also compare across thread counts.
+Artifacts KillResumeRoundTrip(const std::string& victim, int threads,
+                              int kill_after_units) {
+  support::ThreadPool::SetGlobalThreads(threads);
+  const std::string tag = victim + "_t" + std::to_string(threads);
+
+  // Uninterrupted reference run.
+  CampaignConfig uninterrupted = TestCampaign(victim);
+  uninterrupted.checkpoint_path = TempPath("resume_ref_" + tag + ".json");
+  fs::remove(uninterrupted.checkpoint_path);
+  const CampaignResult ref = RunCampaign(uninterrupted);
+  const Artifacts want = ArtifactsOf(ref);
+
+  // Killed run: cancel once `kill_after_units` units have been persisted.
+  CampaignConfig killed = TestCampaign(victim);
+  killed.checkpoint_path = TempPath("resume_kill_" + tag + ".json");
+  fs::remove(killed.checkpoint_path);
+  support::CancelSource source;
+  killed.cancel = source.token();
+  std::atomic<int> finished{0};
+  killed.on_unit_finished = [&](const std::string&) {
+    if (finished.fetch_add(1) + 1 >= kill_after_units) source.RequestCancel();
+  };
+  const CampaignResult partial = RunCampaign(killed);
+  EXPECT_FALSE(partial.complete);
+  EXPECT_GE(partial.done, kill_after_units);
+  // No lost work: every done unit survived into the checkpoint file.
+  EXPECT_TRUE(fs::exists(killed.checkpoint_path));
+
+  // Resume and compare byte-for-byte.
+  CampaignConfig resume = TestCampaign(victim);
+  resume.checkpoint_path = killed.checkpoint_path;
+  const CampaignResult resumed = RunCampaign(resume);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.from_checkpoint, partial.done)
+      << "resume re-ran already-completed units";
+  const Artifacts got = ArtifactsOf(resumed);
+  EXPECT_EQ(got.structure_csv, want.structure_csv)
+      << victim << " structure CSV diverged after kill/resume";
+  EXPECT_EQ(got.filter_csv, want.filter_csv)
+      << victim << " filter-ratio CSV diverged after kill/resume";
+
+  fs::remove(uninterrupted.checkpoint_path);
+  fs::remove(killed.checkpoint_path);
+  return want;
+}
+
+TEST_F(CampaignResumeTest, LeNetKillResumeIsByteIdenticalAcrossThreads) {
+  const Artifacts t1 = KillResumeRoundTrip("lenet", 1, 2);
+  const Artifacts t4 = KillResumeRoundTrip("lenet", 4, 2);
+  // The same campaign must also be thread-count invariant (the repo-wide
+  // determinism contract: CSVs never depend on SC_THREADS).
+  EXPECT_EQ(t1.structure_csv, t4.structure_csv);
+  EXPECT_EQ(t1.filter_csv, t4.filter_csv);
+  EXPECT_FALSE(t1.filter_csv.empty());
+}
+
+TEST_F(CampaignResumeTest, ConvNetKillResumeIsByteIdenticalAcrossThreads) {
+  const Artifacts t1 = KillResumeRoundTrip("convnet", 1, 2);
+  const Artifacts t4 = KillResumeRoundTrip("convnet", 4, 2);
+  EXPECT_EQ(t1.structure_csv, t4.structure_csv);
+  EXPECT_EQ(t1.filter_csv, t4.filter_csv);
+}
+
+TEST_F(CampaignResumeTest, ResumeAfterWeightPhaseKill) {
+  // Kill late (after the structure unit): only weight units remain.
+  support::ThreadPool::SetGlobalThreads(4);
+  CampaignConfig ref_cfg = TestCampaign("lenet");
+  const CampaignResult ref = RunCampaign(ref_cfg);
+  const Artifacts want = ArtifactsOf(ref);
+
+  CampaignConfig killed = TestCampaign("lenet");
+  killed.checkpoint_path = TempPath("resume_late_kill.json");
+  fs::remove(killed.checkpoint_path);
+  support::CancelSource source;
+  killed.cancel = source.token();
+  std::atomic<int> finished{0};
+  // 3 acquisitions + structure = 4 units; cancel during the weight wave.
+  killed.on_unit_finished = [&](const std::string&) {
+    if (finished.fetch_add(1) + 1 >= 5) source.RequestCancel();
+  };
+  const CampaignResult partial = RunCampaign(killed);
+  EXPECT_TRUE(partial.structure_done);
+
+  CampaignConfig resume = TestCampaign("lenet");
+  resume.checkpoint_path = killed.checkpoint_path;
+  const CampaignResult resumed = RunCampaign(resume);
+  const Artifacts got = ArtifactsOf(resumed);
+  EXPECT_EQ(got.structure_csv, want.structure_csv);
+  EXPECT_EQ(got.filter_csv, want.filter_csv);
+  fs::remove(killed.checkpoint_path);
+}
+
+}  // namespace
+}  // namespace sc::campaign

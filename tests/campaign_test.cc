@@ -1,0 +1,357 @@
+// Campaign supervisor unit tests (DESIGN.md §12): cancel/deadline token
+// semantics, the error taxonomy, atomic checkpoint persistence and
+// rejection of bad checkpoint files, graceful degradation of a campaign
+// under deadlines / cancellation / transient-failure budgets, and the
+// stuck-unit watchdog.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "campaign/campaign.h"
+#include "campaign/checkpoint.h"
+#include "campaign/watchdog.h"
+#include "support/cancel.h"
+#include "support/check.h"
+
+namespace sc::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+namespace json = support::json;
+
+std::string TempPath(const std::string& name) {
+  return (fs::path(::testing::TempDir()) / name).string();
+}
+
+// A quick single-acquisition LeNet campaign: clean trace, one recovered
+// filter, noise-free oracle. Finishes in well under a second per phase.
+CampaignConfig QuickCampaign() {
+  CampaignConfig cfg;
+  cfg.victim = "lenet";
+  cfg.seed = 1;
+  cfg.acquisitions = 1;
+  cfg.structure.attack.analysis.known_input_elems = 28 * 28;
+  cfg.structure.attack.search.known_input_width = 28;
+  cfg.structure.attack.search.known_input_depth = 1;
+  cfg.structure.attack.search.known_output_classes = 10;
+  cfg.max_weight_filters = 1;
+  return cfg;
+}
+
+// --- CancelToken / Deadline ---------------------------------------------
+
+TEST(CancelToken, NullTokenNeverStops) {
+  support::CancelToken token;
+  EXPECT_FALSE(token.can_stop());
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_EQ(token.reason(), support::StopReason::kNone);
+  EXPECT_NO_THROW(token.ThrowIfStopped("anything"));
+}
+
+TEST(CancelToken, RequestCancelStopsEveryTokenCopy) {
+  support::CancelSource source;
+  support::CancelToken a = source.token();
+  support::CancelToken b = a;  // copies share the stop state
+  EXPECT_TRUE(a.can_stop());
+  EXPECT_FALSE(a.stop_requested());
+
+  source.RequestCancel();
+  EXPECT_TRUE(a.stop_requested());
+  EXPECT_TRUE(b.stop_requested());
+  EXPECT_EQ(a.reason(), support::StopReason::kCancelled);
+  EXPECT_THROW(a.ThrowIfStopped("unit"), CancelledError);
+}
+
+TEST(CancelToken, ExpiredDeadlineThrowsDeadlineError) {
+  support::CancelSource source;
+  source.SetTimeout(std::chrono::milliseconds(-1));
+  support::CancelToken token = source.token();
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_EQ(token.reason(), support::StopReason::kDeadline);
+  EXPECT_THROW(token.ThrowIfStopped("unit"), DeadlineExceededError);
+  // DeadlineExceededError is a CancelledError: generic cancel handling
+  // catches both.
+  EXPECT_THROW(token.ThrowIfStopped("unit"), CancelledError);
+}
+
+TEST(CancelToken, FutureDeadlineDoesNotStopYet) {
+  support::CancelSource source;
+  source.SetTimeout(std::chrono::hours(1));
+  EXPECT_FALSE(source.token().stop_requested());
+  source.ClearDeadline();
+  EXPECT_FALSE(source.token().stop_requested());
+  // An explicit cancel still wins over a cleared deadline.
+  source.RequestCancel();
+  EXPECT_EQ(source.token().reason(), support::StopReason::kCancelled);
+}
+
+TEST(ErrorTaxonomy, ClassifiesTransientCancelledFatal) {
+  EXPECT_EQ(Classify(TransientError("t")), ErrorClass::kTransient);
+  EXPECT_EQ(Classify(CancelledError("c")), ErrorClass::kCancelled);
+  EXPECT_EQ(Classify(DeadlineExceededError("d")), ErrorClass::kCancelled);
+  EXPECT_EQ(Classify(Error("e")), ErrorClass::kFatal);
+  EXPECT_EQ(Classify(std::runtime_error("r")), ErrorClass::kFatal);
+}
+
+// --- Checkpoint ----------------------------------------------------------
+
+TEST(Checkpoint, RoundTripsUnitsThroughSerialize) {
+  Checkpoint cp("fp-1");
+  json::Value payload = json::Value::Object();
+  payload.object["analyzable"] = json::Value::Bool(true);
+  payload.object["count"] = json::Value::Number(42);
+  cp.Record("acquire:0", payload);
+  EXPECT_TRUE(cp.Has("acquire:0"));
+  EXPECT_FALSE(cp.Has("acquire:1"));
+
+  const Checkpoint back = Checkpoint::Parse(cp.Serialize(), "fp-1");
+  EXPECT_EQ(back.fingerprint(), "fp-1");
+  EXPECT_EQ(back.size(), 1u);
+  EXPECT_TRUE(back.Has("acquire:0"));
+  EXPECT_TRUE(back.Payload("acquire:0").At("analyzable").boolean);
+  EXPECT_EQ(back.Payload("acquire:0").Num("count"), 42.0);
+  // Canonical form: re-serializing the parsed checkpoint is byte-identical.
+  EXPECT_EQ(back.Serialize(), cp.Serialize());
+}
+
+TEST(Checkpoint, SaveFileIsAtomicAndLeavesNoTmp) {
+  const std::string path = TempPath("ckpt_atomic.json");
+  fs::remove(path);
+  Checkpoint cp("fp-atomic");
+  cp.Record("structure", json::Value::Object());
+  cp.SaveFile(path);
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+
+  const Checkpoint back = Checkpoint::LoadFile(path, "fp-atomic");
+  EXPECT_TRUE(back.Has("structure"));
+  fs::remove(path);
+}
+
+TEST(Checkpoint, RejectsCorruptForeignAndMismatchedFiles) {
+  EXPECT_THROW(Checkpoint::Parse("not json{", ""), Error);
+  EXPECT_THROW(Checkpoint::Parse("{\"schema\":\"other-v9\"}", ""), Error);
+  EXPECT_THROW(Checkpoint::Parse("[1,2,3]", ""), Error);
+  EXPECT_THROW(Checkpoint::Parse("{}", ""), Error);
+
+  Checkpoint cp("fp-a");
+  const std::string text = cp.Serialize();
+  EXPECT_NO_THROW(Checkpoint::Parse(text, "fp-a"));
+  EXPECT_NO_THROW(Checkpoint::Parse(text, ""));  // no expectation = accept
+  EXPECT_THROW(Checkpoint::Parse(text, "fp-b"), Error);
+
+  // Truncated file (torn write without the atomic rename) must be rejected.
+  EXPECT_THROW(Checkpoint::Parse(text.substr(0, text.size() / 2), "fp-a"),
+               Error);
+}
+
+TEST(Checkpoint, PayloadThrowsForUnknownUnit) {
+  Checkpoint cp("fp");
+  EXPECT_THROW(cp.Payload("weights:3"), Error);
+}
+
+// --- Watchdog ------------------------------------------------------------
+
+TEST(WatchdogTest, FlagsLongRunningUnitOnce) {
+  std::atomic<int> flags{0};
+  std::string flagged;
+  std::mutex mu;
+  Watchdog dog(0.05, [&](const std::string& unit, double elapsed) {
+    const std::lock_guard<std::mutex> lock(mu);
+    ++flags;
+    flagged = unit;
+    EXPECT_GE(elapsed, 0.05);
+  });
+  {
+    const Watchdog::Scope scope(dog, "weights:7");
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  }
+  EXPECT_EQ(flags.load(), 1);  // reported once, not per poll
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    EXPECT_EQ(flagged, "weights:7");
+  }
+  EXPECT_EQ(dog.stuck_reports(), 1u);
+}
+
+TEST(WatchdogTest, FastUnitsAreNeverFlagged) {
+  std::atomic<int> flags{0};
+  Watchdog dog(0.5, [&](const std::string&, double) { ++flags; });
+  for (int i = 0; i < 5; ++i) {
+    const Watchdog::Scope scope(dog, "acquire:" + std::to_string(i));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(flags.load(), 0);
+}
+
+TEST(WatchdogTest, DisabledWatchdogStartsNoThread) {
+  std::atomic<int> flags{0};
+  Watchdog dog(0.0, [&](const std::string&, double) { ++flags; });
+  const Watchdog::Scope scope(dog, "unit");
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(flags.load(), 0);
+}
+
+// --- Campaign degradation ------------------------------------------------
+
+TEST(Campaign, FingerprintCoversResultAffectingConfig) {
+  const CampaignConfig base = QuickCampaign();
+  const std::string fp = CampaignFingerprint(base);
+  EXPECT_EQ(fp, CampaignFingerprint(base));  // deterministic
+
+  CampaignConfig other = base;
+  other.seed = 2;
+  EXPECT_NE(CampaignFingerprint(other), fp);
+  other = base;
+  other.victim = "convnet";
+  EXPECT_NE(CampaignFingerprint(other), fp);
+  other = base;
+  other.acquisitions = 2;
+  EXPECT_NE(CampaignFingerprint(other), fp);
+  other = base;
+  other.trace_noise.drop_prob = 0.01;
+  EXPECT_NE(CampaignFingerprint(other), fp);
+  other = base;
+  other.structure.slack_ladder = {0, 8};
+  EXPECT_NE(CampaignFingerprint(other), fp);
+  other = base;
+  other.weights.voting.votes = 5;
+  EXPECT_NE(CampaignFingerprint(other), fp);
+  other = base;
+  other.weights.attack.search_radius *= 2.0f;
+  EXPECT_NE(CampaignFingerprint(other), fp);
+
+  // Operational knobs must NOT change the fingerprint: a resumed run may
+  // use different paths, parallelism or deadlines.
+  other = base;
+  other.checkpoint_path = "/elsewhere/ckpt.json";
+  other.output_dir = "/elsewhere/out";
+  other.max_transient_failures = 99;
+  other.stuck_after_s = 1.0;
+  EXPECT_EQ(CampaignFingerprint(other), fp);
+}
+
+TEST(Campaign, ExpiredDeadlineReturnsAllSkippedWithoutThrowing) {
+  CampaignConfig cfg = QuickCampaign();
+  support::CancelSource source;
+  source.SetTimeout(std::chrono::milliseconds(-1));
+  cfg.cancel = source.token();
+
+  const CampaignResult result = RunCampaign(cfg);
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.stop_reason, support::StopReason::kDeadline);
+  EXPECT_EQ(result.done, 0);
+  ASSERT_EQ(result.units.size(), 3u);  // acquire:0, structure, weights:0
+  for (const UnitResult& u : result.units) {
+    EXPECT_EQ(u.status, UnitStatus::kSkipped) << u.id;
+    EXPECT_FALSE(u.error.empty()) << u.id;
+  }
+  EXPECT_FALSE(result.structure_done);
+}
+
+TEST(Campaign, CancelMidCampaignKeepsCompletedUnits) {
+  CampaignConfig cfg = QuickCampaign();
+  const std::string ckpt = TempPath("ckpt_cancel_mid.json");
+  fs::remove(ckpt);
+  cfg.checkpoint_path = ckpt;
+
+  support::CancelSource source;
+  cfg.cancel = source.token();
+  // Simulated kill: request cancellation as soon as the first unit lands
+  // in the checkpoint.
+  cfg.on_unit_finished = [&](const std::string&) { source.RequestCancel(); };
+
+  const CampaignResult partial = RunCampaign(cfg);
+  EXPECT_FALSE(partial.complete);
+  EXPECT_EQ(partial.stop_reason, support::StopReason::kCancelled);
+  EXPECT_GE(partial.done, 1);
+  EXPECT_LT(partial.done, 3);
+  EXPECT_EQ(partial.done + partial.skipped + partial.cancelled +
+                partial.failed_transient + partial.failed_fatal,
+            3);
+
+  // Resume with a fresh token: completed units come from the checkpoint.
+  CampaignConfig resume = QuickCampaign();
+  resume.checkpoint_path = ckpt;
+  const CampaignResult full = RunCampaign(resume);
+  EXPECT_TRUE(full.complete);
+  EXPECT_EQ(full.from_checkpoint, partial.done);
+  EXPECT_TRUE(full.structure_done);
+  ASSERT_EQ(full.filter_done.size(), 1u);
+  EXPECT_TRUE(full.filter_done[0]);
+  fs::remove(ckpt);
+}
+
+TEST(Campaign, TransientBudgetSkipsRemainingUnits) {
+  CampaignConfig cfg = QuickCampaign();
+  cfg.max_weight_filters = 4;
+  // Every oracle query fails: each weight unit exhausts the voting retry
+  // budget and surfaces as a transient unit failure.
+  cfg.oracle_noise.failure_prob = 1.0;
+  cfg.weights.voting.max_retries = 1;
+  cfg.max_transient_failures = 2;
+
+  const CampaignResult result = RunCampaign(cfg);
+  EXPECT_FALSE(result.complete);
+  // acquire + structure succeed; then transient failures up to the budget,
+  // and at least one weight unit is skipped because the budget is gone.
+  EXPECT_GE(result.done, 2);
+  EXPECT_EQ(result.failed_transient, 2);
+  EXPECT_GE(result.skipped, 1);
+  EXPECT_EQ(result.failed_fatal, 0);
+  for (const UnitResult& u : result.units) {
+    if (u.status == UnitStatus::kSkipped) {
+      EXPECT_NE(u.error.find("transient"), std::string::npos) << u.id;
+    }
+  }
+}
+
+TEST(Campaign, CorruptCheckpointFileIsRejected) {
+  CampaignConfig cfg = QuickCampaign();
+  const std::string ckpt = TempPath("ckpt_corrupt.json");
+  {
+    std::ofstream f(ckpt);
+    f << "{\"schema\":\"sc-campaign-v1\",\"fingerprint\":\"someone-else\","
+         "\"units\":{}}";
+  }
+  cfg.checkpoint_path = ckpt;
+  EXPECT_THROW(RunCampaign(cfg), Error);  // fingerprint mismatch
+  {
+    std::ofstream f(ckpt);
+    f << "garbage not json";
+  }
+  EXPECT_THROW(RunCampaign(cfg), Error);  // unparseable
+  fs::remove(ckpt);
+}
+
+TEST(Campaign, WatchdogFlagsStuckUnitsInResult) {
+  CampaignConfig cfg = QuickCampaign();
+  // Inflate the voting factor so the weight unit performs tens of
+  // thousands of oracle queries — deterministically slower than the 5 ms
+  // stuck threshold (the watchdog polls at threshold/4).
+  cfg.weights.voting.votes = 101;
+  cfg.stuck_after_s = 0.005;
+  const CampaignResult result = RunCampaign(cfg);
+  EXPECT_TRUE(result.complete);
+  ASSERT_GE(result.stuck_units.size(), 1u);
+  EXPECT_EQ(result.stuck_units.front().rfind("weights:", 0), 0u);
+}
+
+TEST(Campaign, MakeVictimCampaignRejectsUnknownVictim) {
+  EXPECT_THROW(MakeVictimCampaign("resnet"), Error);
+  const CampaignConfig lenet = MakeVictimCampaign("lenet", 7);
+  EXPECT_EQ(lenet.structure.attack.search.known_input_width, 28);
+  EXPECT_TRUE(lenet.recover_weights);
+  const CampaignConfig alex = MakeVictimCampaign("alexnet");
+  EXPECT_FALSE(alex.recover_weights);  // nightly-scale sweep, opt-in only
+}
+
+}  // namespace
+}  // namespace sc::campaign

@@ -1,0 +1,171 @@
+// Hostile-input hardening for the two on-disk loaders (DESIGN.md §12):
+// Trace::ReadCsv and nn::LoadNetwork must reject overflow-sized fields and
+// element counts with a diagnostic sc::Error *before* any allocation is
+// attempted — a malicious trace file or network blob must not be able to
+// provoke a multi-gigabyte allocation or integer wraparound.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "nn/conv2d.h"
+#include "nn/network.h"
+#include "nn/serialize.h"
+#include "support/check.h"
+#include "trace/trace.h"
+
+namespace sc {
+namespace {
+
+// --- Trace CSV -----------------------------------------------------------
+
+trace::Trace ParseCsv(const std::string& text) {
+  std::istringstream is(text);
+  return trace::Trace::ReadCsv(is);
+}
+
+TEST(TraceCsvHardening, OversizedRowRejectedBeforeParsing) {
+  const std::string row(300, '1');
+  EXPECT_THROW(ParseCsv("cycle,addr,bytes,op\n" + row + ",0,4,R\n"), Error);
+}
+
+TEST(TraceCsvHardening, NegativeFieldsRejected) {
+  // istream extraction into an unsigned field would silently accept "-1"
+  // as 2^64 - 1; the loader must reject the sign outright.
+  EXPECT_THROW(ParseCsv("cycle,addr,bytes,op\n-1,0,4,R\n"), Error);
+  EXPECT_THROW(ParseCsv("cycle,addr,bytes,op\n0,-8,4,R\n"), Error);
+  EXPECT_THROW(ParseCsv("cycle,addr,bytes,op\n0,0,-4,R\n"), Error);
+}
+
+TEST(TraceCsvHardening, AddressRangeOverflowRejected) {
+  // addr + bytes wraps past 2^64: accepting it would corrupt every
+  // downstream interval computation.
+  EXPECT_THROW(
+      ParseCsv("cycle,addr,bytes,op\n0,18446744073709551615,4,R\n"), Error);
+  EXPECT_THROW(
+      ParseCsv("cycle,addr,bytes,op\n0,18446744073709551612,8,W\n"), Error);
+  // The exact boundary (addr + bytes == 2^64 - 1) still fits and must load.
+  const trace::Trace t =
+      ParseCsv("cycle,addr,bytes,op\n0,18446744073709551611,4,R\n");
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TraceCsvHardening, BurstSizeBoundsEnforced) {
+  EXPECT_THROW(ParseCsv("cycle,addr,bytes,op\n0,0,0,R\n"), Error);
+  EXPECT_THROW(ParseCsv("cycle,addr,bytes,op\n0,0,4294967296,R\n"), Error);
+}
+
+TEST(TraceCsvHardening, LegitimateRoundTripUnaffected) {
+  trace::Trace t;
+  trace::MemEvent e;
+  e.cycle = 10;
+  e.addr = 0x1000;
+  e.bytes = 64;
+  e.op = trace::MemOp::kRead;
+  t.Append(e);
+  e.cycle = 20;
+  e.op = trace::MemOp::kWrite;
+  t.Append(e);
+
+  std::ostringstream os;
+  t.WriteCsv(os);
+  const trace::Trace back = ParseCsv(os.str());
+  std::ostringstream os2;
+  back.WriteCsv(os2);
+  EXPECT_EQ(os.str(), os2.str());
+}
+
+// --- Network deserialization ---------------------------------------------
+
+void PutU32(std::string& s, std::uint32_t v) {
+  s.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void PutI32(std::string& s, std::int32_t v) {
+  s.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+// Serialized-stream prefix: magic, version, input shape, node count, then
+// one node ("c", conv tag) up to the five conv dimension fields the test
+// controls. Rejection must happen while reading those fields — nothing
+// after them is provided.
+std::string ConvHeader(std::int32_t in_d, std::int32_t out_d, std::int32_t f,
+                       std::int32_t s, std::int32_t p) {
+  std::string blob = "SCNN";
+  PutU32(blob, 1);  // version
+  PutU32(blob, 3);  // input shape rank
+  PutU32(blob, 1);
+  PutU32(blob, 8);
+  PutU32(blob, 8);
+  PutU32(blob, 1);  // num_nodes
+  PutU32(blob, 1);  // name length
+  blob += 'c';
+  blob += static_cast<char>(1);  // kTagConv
+  PutI32(blob, in_d);
+  PutI32(blob, out_d);
+  PutI32(blob, f);
+  PutI32(blob, s);
+  PutI32(blob, p);
+  return blob;
+}
+
+nn::Network LoadBlob(const std::string& blob) {
+  std::istringstream is(blob);
+  return nn::LoadNetwork(is);
+}
+
+TEST(NetworkLoadHardening, HugeLayerDimensionRejected) {
+  EXPECT_THROW(LoadBlob(ConvHeader(1, 1 << 30, 3, 1, 0)), Error);
+  EXPECT_THROW(LoadBlob(ConvHeader(1 << 30, 1, 3, 1, 0)), Error);
+  EXPECT_THROW(LoadBlob(ConvHeader(1, 1, 1 << 30, 1, 0)), Error);
+}
+
+TEST(NetworkLoadHardening, NonPositiveDimensionRejected) {
+  EXPECT_THROW(LoadBlob(ConvHeader(0, 4, 3, 1, 0)), Error);
+  EXPECT_THROW(LoadBlob(ConvHeader(-5, 4, 3, 1, 0)), Error);
+  EXPECT_THROW(LoadBlob(ConvHeader(1, 4, 3, 1, -1)), Error);
+}
+
+TEST(NetworkLoadHardening, WeightTensorElementOverflowRejected) {
+  // Each dimension passes the per-field cap, but the weight tensor's
+  // element product (2^24 * 2^24) must be rejected overflow-safely.
+  EXPECT_THROW(LoadBlob(ConvHeader(1 << 24, 1 << 24, 1, 1, 0)), Error);
+}
+
+TEST(NetworkLoadHardening, HostileInputShapeRejected) {
+  std::string blob = "SCNN";
+  PutU32(blob, 1);
+  PutU32(blob, 1);  // rank 1
+  PutU32(blob, 0);  // zero dimension
+  EXPECT_THROW(LoadBlob(blob), Error);
+
+  std::string big = "SCNN";
+  PutU32(big, 1);
+  PutU32(big, 4);  // rank 4, every dim at the cap: numel would be 2^96
+  for (int i = 0; i < 4; ++i) PutU32(big, 1u << 24);
+  EXPECT_THROW(LoadBlob(big), Error);
+}
+
+TEST(NetworkLoadHardening, LegitimateRoundTripUnaffected) {
+  nn::Network net(nn::Shape{1, 8, 8});
+  auto conv = std::make_unique<nn::Conv2D>("c", 1, 2, 3, 1, 0);
+  conv->weights()[0] = 0.5f;
+  conv->bias()[1] = -0.25f;
+  net.Add(std::move(conv), {nn::kInputNode});
+
+  std::stringstream ss;
+  nn::SaveNetwork(net, ss);
+  const nn::Network back = nn::LoadNetwork(ss);
+  ASSERT_EQ(back.num_nodes(), 1);
+  const auto* c = dynamic_cast<const nn::Conv2D*>(&back.layer(0));
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->out_depth(), 2);
+  EXPECT_EQ(c->filter(), 3);
+  EXPECT_EQ(c->weights()[0], 0.5f);
+  EXPECT_EQ(c->bias()[1], -0.25f);
+}
+
+}  // namespace
+}  // namespace sc

@@ -83,6 +83,28 @@ TEST_F(ThreadPoolTest, ExceptionPropagatesToCaller) {
                sc::Error);
 }
 
+TEST_F(ThreadPoolTest, FirstFailingChunkWinsDeterministically) {
+  // Several chunks throw; the reported exception must always be the one
+  // from the lowest index, independent of worker scheduling. Chunks are
+  // claimed from a monotonic counter, so the lowest-index failure always
+  // runs — later failures must not race it out.
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadPool::SetGlobalThreads(threads);
+    for (int round = 0; round < 25; ++round) {
+      try {
+        ParallelFor(0, 100, 1, [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i)
+            if (i == 11 || i == 37 || i == 73)
+              throw std::runtime_error("chunk " + std::to_string(i));
+        });
+        FAIL() << "ParallelFor did not throw";
+      } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "chunk 11");
+      }
+    }
+  }
+}
+
 TEST_F(ThreadPoolTest, PoolStaysUsableAfterException) {
   ThreadPool::SetGlobalThreads(4);
   EXPECT_THROW(ParallelFor(0, 8, 1,

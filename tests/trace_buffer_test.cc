@@ -49,9 +49,6 @@ std::vector<MemEvent> RandomEvents(std::uint64_t seed) {
     if (!rng.Chance(0.25))
       cycle += static_cast<std::uint64_t>(rng.UniformInt(0, 1 << 16));
     e.cycle = cycle;
-    e.addr = static_cast<std::uint64_t>(rng.UniformInt(0, 1 << 30));
-    if (rng.Chance(0.05))
-      e.addr = std::numeric_limits<std::uint64_t>::max() - e.addr;
     switch (rng.UniformInt(0, 3)) {
       case 0:
         e.bytes = 1;
@@ -62,6 +59,9 @@ std::vector<MemEvent> RandomEvents(std::uint64_t seed) {
       default:
         e.bytes = static_cast<std::uint32_t>(rng.UniformInt(1, 1 << 20));
     }
+    e.addr = static_cast<std::uint64_t>(rng.UniformInt(0, 1 << 30));
+    if (rng.Chance(0.05))  // highest event still inside the address space
+      e.addr = std::numeric_limits<std::uint64_t>::max() - e.bytes - e.addr;
     e.op = rng.Chance(0.5) ? MemOp::kRead : MemOp::kWrite;
     events.push_back(e);
   }

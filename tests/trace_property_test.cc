@@ -38,9 +38,6 @@ Trace RandomTrace(std::uint64_t seed) {
     if (!rng.Chance(0.25))
       cycle += static_cast<std::uint64_t>(rng.UniformInt(0, 1 << 16));
     e.cycle = cycle;
-    e.addr = static_cast<std::uint64_t>(rng.UniformInt(0, 1 << 30));
-    if (rng.Chance(0.05))  // near the top of the address space
-      e.addr = std::numeric_limits<std::uint64_t>::max() - e.addr;
     switch (rng.UniformInt(0, 3)) {
       case 0:
         e.bytes = 1;
@@ -51,6 +48,9 @@ Trace RandomTrace(std::uint64_t seed) {
       default:
         e.bytes = static_cast<std::uint32_t>(rng.UniformInt(1, 1 << 20));
     }
+    e.addr = static_cast<std::uint64_t>(rng.UniformInt(0, 1 << 30));
+    if (rng.Chance(0.05))  // highest event still inside the address space
+      e.addr = std::numeric_limits<std::uint64_t>::max() - e.bytes - e.addr;
     e.op = rng.Chance(0.5) ? MemOp::kRead : MemOp::kWrite;
     t.Append(e);
   }
@@ -122,11 +122,15 @@ TEST(TraceProperty, RejectsBadHeader) {
 
 TEST(TraceProperty, RejectsMalformedRowWithLineNumber) {
   // Header is line 1, so the first data row is line 2.
-  ExpectRejects("cycle,addr,bytes,op\nnot-a-number,0,4,R\n",
-                "malformed CSV row 2");
+  ExpectRejects("cycle,addr,bytes,op\nNaN,0,4,R\n", "malformed CSV row 2");
   ExpectRejects("cycle,addr,bytes,op\n1,0,4,R\n5;6;7;W\n",
                 "malformed CSV row 3");
   ExpectRejects("cycle,addr,bytes,op\n1,0,4\n", "malformed CSV row 2");
+  // '-' anywhere in a row is rejected before extraction: istream would
+  // otherwise accept "-1" into an unsigned field as 2^64 - 1.
+  ExpectRejects("cycle,addr,bytes,op\nnot-a-number,0,4,R\n",
+                "negative field on row 2");
+  ExpectRejects("cycle,addr,bytes,op\n1,-8,4,R\n", "negative field on row 2");
 }
 
 TEST(TraceProperty, RejectsZeroByteBurstWithLineNumber) {
