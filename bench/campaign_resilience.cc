@@ -21,6 +21,7 @@
 // units).
 #include <atomic>
 #include <csignal>
+#include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
@@ -54,8 +55,14 @@ void PrintSummary(const campaign::CampaignResult& r) {
 }
 
 int RunDriver(int argc, char** argv) {
-  campaign::CampaignConfig cfg = campaign::MakeVictimCampaign("lenet", 1);
-  cfg.max_weight_filters = 2;
+  // Parse every flag first, then build the config once: MakeVictimCampaign
+  // derives the noise seeds from the campaign seed, so --seed and --victim
+  // must both be known before it runs (in any flag order).
+  std::string victim = "lenet";
+  std::uint64_t seed = 1;
+  int filters = 2;
+  std::string checkpoint_path;
+  std::string output_dir;
   double deadline_s = 0.0;
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
@@ -64,16 +71,15 @@ int RunDriver(int argc, char** argv) {
       return argv[++i];
     };
     if (a == "--victim") {
-      cfg = campaign::MakeVictimCampaign(next(), cfg.seed);
-      cfg.max_weight_filters = 2;
+      victim = next();
     } else if (a == "--checkpoint") {
-      cfg.checkpoint_path = next();
+      checkpoint_path = next();
     } else if (a == "--outdir") {
-      cfg.output_dir = next();
+      output_dir = next();
     } else if (a == "--seed") {
-      cfg.seed = std::strtoull(next().c_str(), nullptr, 10);
+      seed = std::strtoull(next().c_str(), nullptr, 10);
     } else if (a == "--filters") {
-      cfg.max_weight_filters = std::atoi(next().c_str());
+      filters = std::atoi(next().c_str());
     } else if (a == "--deadline") {
       deadline_s = std::atof(next().c_str());
     } else {
@@ -81,8 +87,12 @@ int RunDriver(int argc, char** argv) {
       return 1;
     }
   }
-  SC_CHECK_MSG(!cfg.checkpoint_path.empty(),
-               "--run requires --checkpoint PATH");
+  SC_CHECK_MSG(!checkpoint_path.empty(), "--run requires --checkpoint PATH");
+
+  campaign::CampaignConfig cfg = campaign::MakeVictimCampaign(victim, seed);
+  cfg.max_weight_filters = filters;
+  cfg.checkpoint_path = checkpoint_path;
+  cfg.output_dir = output_dir;
 
   cfg.cancel = g_cancel.token();
   if (deadline_s > 0)

@@ -46,6 +46,8 @@ struct CampaignMetrics {
       obs::Registry::Get().GetCounter("campaign.units.skipped");
   obs::Counter& saves =
       obs::Registry::Get().GetCounter("campaign.checkpoint.saves");
+  obs::Counter& save_failures =
+      obs::Registry::Get().GetCounter("campaign.checkpoint.save_failures");
   obs::Counter& stuck =
       obs::Registry::Get().GetCounter("campaign.watchdog.stuck");
   obs::Histogram& unit_ns =
@@ -334,9 +336,35 @@ double FilterConfidence(const json::Value& payload) {
   const json::Value& failed = ArrayAt(payload, "failed");
   if (failed.array.empty()) return 0.0;
   std::size_t ok = 0;
-  for (const json::Value& e : failed.array)
+  for (const json::Value& e : failed.array) {
+    SC_CHECK_MSG(e.kind == json::Value::Kind::kNumber &&
+                     (e.number == 0.0 || e.number == 1.0),
+                 "bad bit entry in 'failed'");
     if (e.number == 0.0) ++ok;
+  }
   return static_cast<double>(ok) / static_cast<double>(failed.array.size());
+}
+
+// Fully decodes a checkpoint-restored payload, exercising every field the
+// result assembly reads later. A fingerprint-valid but malformed payload
+// must be caught here — where the restore branch demotes the unit to
+// kFailedFatal and reruns nothing — not throw out of RunCampaign after all
+// the remaining work has completed.
+void ValidateRestoredPayload(const std::string& id, const json::Value& payload,
+                             const WeightStage& stage) {
+  if (id.rfind("acquire:", 0) == 0) {
+    DecodeAcquisition(payload);
+  } else if (id == "structure") {
+    payload.Str("csv");
+    NumInt(payload, "analyzable");
+    NumInt(payload, "usable");
+    NumLL(payload, "slack_used");
+    SC_CHECK_MSG(NumLL(payload, "num_structures") >= 0,
+                 "negative num_structures");
+    payload.Num("consensus_confidence");
+  } else {
+    DecodeFilter(payload, stage);
+  }
 }
 
 // --- Fingerprint ---------------------------------------------------------
@@ -549,7 +577,9 @@ CampaignResult RunCampaign(const CampaignConfig& cfg) {
         const std::lock_guard<std::mutex> lock(mu);
         if (cp.Has(id)) {
           try {
-            ur.confidence = UnitConfidence(id, cp.Payload(id));
+            const json::Value& payload = cp.Payload(id);
+            ValidateRestoredPayload(id, payload, stage);
+            ur.confidence = UnitConfidence(id, payload);
             ur.status = UnitStatus::kDone;
             ur.from_checkpoint = true;
             Metrics().from_checkpoint.Add();
@@ -604,8 +634,19 @@ CampaignResult RunCampaign(const CampaignConfig& cfg) {
         const std::lock_guard<std::mutex> lock(mu);
         cp.Record(id, payload);
         if (!cfg.checkpoint_path.empty()) {
-          cp.SaveFile(cfg.checkpoint_path);
-          Metrics().saves.Add();
+          try {
+            cp.SaveFile(cfg.checkpoint_path);
+            Metrics().saves.Add();
+          } catch (const std::exception& e) {
+            // The unit's work is done and its payload lives in memory, so
+            // the campaign keeps it (kDone) and carries on; only resume
+            // coverage is lost. A persistent I/O problem (disk full) spends
+            // the transient budget and degrades the campaign gracefully
+            // instead of unwinding it with hours of work on board.
+            ur.error = std::string("checkpoint save failed: ") + e.what();
+            transients.fetch_add(1, std::memory_order_relaxed);
+            Metrics().save_failures.Add();
+          }
         }
       }
       ur.status = UnitStatus::kDone;

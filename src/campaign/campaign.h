@@ -52,7 +52,8 @@ const char* ToString(UnitStatus s);
 struct UnitResult {
   std::string id;
   UnitStatus status = UnitStatus::kSkipped;
-  std::string error;             // why, for every non-done status
+  std::string error;             // why, for every non-done status; a done
+                                 //   unit may carry a checkpoint-save warning
   bool from_checkpoint = false;  // done without re-running
   // acquire: 1.0 iff the acquisition was analyzable; structure: mean
   // consensus confidence; weights: fraction of positions recovered.

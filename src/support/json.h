@@ -17,6 +17,7 @@
 
 #include <cctype>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -199,10 +200,20 @@ class Parser {
       v.kind = Value::Kind::kNull;
     } else {
       v.kind = Value::Kind::kNumber;
+      // strtod is laxer than JSON: it accepts "inf"/"nan"/"+1" and hex
+      // floats, none of which Dump can re-serialize (and non-finite values
+      // poison downstream arithmetic), so gate them out here.
+      SC_CHECK_MSG(c == '-' || std::isdigit(static_cast<unsigned char>(c)),
+                   "bad JSON number at offset " << i_);
       char* end = nullptr;
       v.number = std::strtod(s_.c_str() + i_, &end);
       SC_CHECK_MSG(end != s_.c_str() + i_,
                    "bad JSON number at offset " << i_);
+      for (const char* p = s_.c_str() + i_; p != end; ++p)
+        SC_CHECK_MSG(*p != 'x' && *p != 'X',
+                     "hex is not a JSON number at offset " << i_);
+      SC_CHECK_MSG(std::isfinite(v.number),
+                   "non-finite JSON number at offset " << i_);
       i_ = static_cast<std::size_t>(end - s_.c_str());
     }
     return v;
@@ -234,12 +245,16 @@ inline void DumpString(const std::string& s, std::string& out) {
 }
 
 inline void DumpNumber(double d, std::string& out) {
+  // JSON has no inf/nan, and Parser rejects them; writing one here would
+  // produce a file no round trip can read back.
+  SC_CHECK_MSG(std::isfinite(d), "non-finite number cannot be JSON");
   char buf[40];
   // Integral values in the exact-double range print as integers so that
-  // counters survive a Dump/Parse round trip byte-identically.
+  // counters survive a Dump/Parse round trip byte-identically. The range
+  // check must precede any cast: double -> long long is undefined for
+  // values outside [-2^63, 2^63).
   const double kExact = 9007199254740992.0;  // 2^53
-  if (d == static_cast<double>(static_cast<long long>(d)) && d < kExact &&
-      d > -kExact) {
+  if (d > -kExact && d < kExact && d == std::floor(d)) {
     std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
   } else {
     std::snprintf(buf, sizeof buf, "%.17g", d);
