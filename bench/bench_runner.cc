@@ -28,6 +28,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -97,23 +98,33 @@ ScenarioStats Measure(const Scenario& sc, int reps) {
 }
 
 // The AlexNet victim trace shared by the analysis-side scenarios; captured
-// once (setup) no matter how many scenarios run.
-const trace::Trace& AlexNetTrace() {
-  static const trace::Trace tr = [] {
-    nn::Network net = models::MakeAlexNet(1);
-    return bench::CaptureTrace(net, 11);
-  }();
-  return tr;
+// once per backend (setup) no matter how many scenarios run.
+const trace::Trace& AlexNetTrace(
+    accel::Dataflow d = accel::Dataflow::kWeightStationary) {
+  static std::map<accel::Dataflow, trace::Trace> traces;
+  auto it = traces.find(d);
+  if (it != traces.end()) return it->second;
+  nn::Network net = models::MakeAlexNet(1);
+  accel::AcceleratorConfig cfg;
+  cfg.dataflow = d;
+  accel::Accelerator accel{cfg};
+  trace::Trace tr;
+  accel.Run(net, bench::RandomInput(net.input_shape(), 11), &tr);
+  return traces.emplace(d, std::move(tr)).first->second;
 }
 
-attack::StructureAttackConfig AlexNetAttackConfig() {
+attack::StructureAttackConfig AlexNetAttackConfig(
+    accel::Dataflow d = accel::Dataflow::kWeightStationary) {
   attack::StructureAttackConfig cfg;
   cfg.analysis.known_input_elems = 3LL * 227 * 227;
   cfg.search.known_input_width = 227;
   cfg.search.known_input_depth = 3;
   cfg.search.known_output_classes = 1000;
-  cfg.search.macs_per_cycle = accel::AcceleratorConfig{}.macs_per_cycle;
-  cfg.search.bytes_per_cycle = accel::AcceleratorConfig{}.bytes_per_cycle;
+  accel::AcceleratorConfig acfg;
+  acfg.dataflow = d;
+  cfg.search.macs_per_cycle = acfg.macs_per_cycle;
+  cfg.search.bytes_per_cycle = acfg.bytes_per_cycle;
+  cfg.search.schedule = accel::Accelerator{acfg}.schedule_model();
   return cfg;
 }
 
@@ -166,6 +177,39 @@ std::vector<Scenario> AllScenarios() {
        [] {
          const trace::Trace& tr = AlexNetTrace();
          const attack::StructureAttackConfig cfg = AlexNetAttackConfig();
+         return std::function<void()>([&tr, cfg] {
+           const auto r = attack::RunStructureAttack(tr, cfg);
+           if (r.num_structures() == 0) std::abort();
+         });
+       }},
+      {"fig3_trace_gen_os",
+       "AlexNet inference with the output-stationary backend, full bus "
+       "trace emitted (per-backend perf baseline)",
+       1,
+       [] {
+         auto net = std::make_shared<nn::Network>(models::MakeAlexNet(1));
+         auto input = std::make_shared<nn::Tensor>(
+             bench::RandomInput(net->input_shape(), 11));
+         accel::AcceleratorConfig acfg;
+         acfg.dataflow = accel::Dataflow::kOutputStationary;
+         auto accel = std::make_shared<accel::Accelerator>(acfg);
+         auto map =
+             std::make_shared<accel::AddressMap>(accel->BuildMap(*net));
+         auto tr = std::make_shared<trace::Trace>();
+         return std::function<void()>([=] {
+           tr->Clear();
+           accel->Run(*net, *input, tr.get(), map.get());
+         });
+       }},
+      {"structure_search_os",
+       "end-to-end structure attack on the output-stationary AlexNet "
+       "trace (schedule-model search path)",
+       1,
+       [] {
+         const trace::Trace& tr =
+             AlexNetTrace(accel::Dataflow::kOutputStationary);
+         const attack::StructureAttackConfig cfg =
+             AlexNetAttackConfig(accel::Dataflow::kOutputStationary);
          return std::function<void()>([&tr, cfg] {
            const auto r = attack::RunStructureAttack(tr, cfg);
            if (r.num_structures() == 0) std::abort();

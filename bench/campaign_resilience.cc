@@ -15,6 +15,7 @@
 //
 //   campaign_resilience --run --victim lenet --checkpoint ck.json
 //       [--outdir DIR] [--seed N] [--filters N] [--deadline SECONDS]
+//       [--dataflow weight_stationary|output_stationary]
 //
 // Exit codes: 0 complete, 1 self-test mismatch / usage error, 3 partial
 // (cancelled, deadline, or budget-exhausted — checkpoint holds all done
@@ -27,6 +28,7 @@
 #include <iostream>
 #include <string>
 
+#include "accel/dataflow.h"
 #include "campaign/campaign.h"
 #include "support/check.h"
 
@@ -64,6 +66,7 @@ int RunDriver(int argc, char** argv) {
   std::string checkpoint_path;
   std::string output_dir;
   double deadline_s = 0.0;
+  accel::Dataflow dataflow = accel::DefaultDataflow();
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> std::string {
@@ -82,6 +85,10 @@ int RunDriver(int argc, char** argv) {
       filters = std::atoi(next().c_str());
     } else if (a == "--deadline") {
       deadline_s = std::atof(next().c_str());
+    } else if (a == "--dataflow") {
+      const std::string v = next();
+      SC_CHECK_MSG(accel::ParseDataflow(v.c_str(), &dataflow),
+                   "bad --dataflow '" << v << "'");
     } else {
       std::cerr << "unknown flag: " << a << "\n";
       return 1;
@@ -90,6 +97,7 @@ int RunDriver(int argc, char** argv) {
   SC_CHECK_MSG(!checkpoint_path.empty(), "--run requires --checkpoint PATH");
 
   campaign::CampaignConfig cfg = campaign::MakeVictimCampaign(victim, seed);
+  cfg.dataflow = dataflow;
   cfg.max_weight_filters = filters;
   cfg.checkpoint_path = checkpoint_path;
   cfg.output_dir = output_dir;
@@ -106,12 +114,14 @@ int RunDriver(int argc, char** argv) {
   return r.complete ? 0 : 3;
 }
 
-int SelfTest() {
+int SelfTestOne(accel::Dataflow dataflow) {
   const fs::path dir = fs::temp_directory_path() / "sc_campaign_resilience";
   fs::create_directories(dir);
   constexpr int kKillAfter = 2;
+  std::cout << "=== dataflow: " << accel::ToString(dataflow) << " ===\n";
 
   campaign::CampaignConfig base = campaign::MakeVictimCampaign("lenet", 1);
+  base.dataflow = dataflow;
   base.max_weight_filters = 2;
 
   std::cout << "[1/3] uninterrupted reference run\n";
@@ -156,6 +166,14 @@ int SelfTest() {
 
   fs::remove(killed.checkpoint_path);
   std::cout << (failures == 0 ? "PASS" : "FAIL") << "\n";
+  return failures == 0 ? 0 : 1;
+}
+
+// The kill/resume byte-identity contract must hold per backend.
+int SelfTest() {
+  int failures = 0;
+  failures += SelfTestOne(accel::Dataflow::kWeightStationary);
+  failures += SelfTestOne(accel::Dataflow::kOutputStationary);
   return failures == 0 ? 0 : 1;
 }
 

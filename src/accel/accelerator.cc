@@ -1,611 +1,14 @@
 #include "accel/accelerator.h"
 
-#include <algorithm>
 #include <optional>
 
-#include "nn/activation.h"
-#include "nn/combine.h"
-#include "nn/conv2d.h"
-#include "nn/dense.h"
-#include "nn/pooling.h"
-#include "obs/metrics.h"
+#include "accel/backend.h"
+#include "accel/backend_common.h"
 #include "support/check.h"
 
 namespace sc::accel {
 
-namespace {
-
 using nn::Tensor;
-
-// Metrics (DESIGN.md §9). All recording is additionally gated on
-// AcceleratorConfig::collect_metrics so probe-heavy callers (the weight
-// attack's oracle) can opt out of the accel.* counters per instance.
-struct AccelMetrics {
-  obs::Counter& runs = obs::Registry::Get().GetCounter("accel.runs");
-  obs::Counter& read_events =
-      obs::Registry::Get().GetCounter("accel.dram.read_events");
-  obs::Counter& read_bytes =
-      obs::Registry::Get().GetCounter("accel.dram.read_bytes");
-  obs::Counter& write_events =
-      obs::Registry::Get().GetCounter("accel.dram.write_events");
-  obs::Counter& write_bytes =
-      obs::Registry::Get().GetCounter("accel.dram.write_bytes");
-  obs::Counter& raw_reads =
-      obs::Registry::Get().GetCounter("accel.raw_reads");
-  obs::Histogram& stage_cycles =
-      obs::Registry::Get().GetHistogram("accel.stage.cycles");
-};
-
-AccelMetrics& Metrics() {
-  static AccelMetrics m;
-  return m;
-}
-
-// Integer ceiling division for cycle math.
-std::uint64_t CeilDiv(std::uint64_t a, std::uint64_t b) {
-  return (a + b - 1) / b;
-}
-
-// Collects trace events and per-stage byte counters; owns the cycle clock.
-class Emitter {
- public:
-  Emitter(trace::Trace* t, const AcceleratorConfig& cfg)
-      : trace_(t), cfg_(cfg) {}
-
-  void Read(std::uint64_t addr, std::uint64_t bytes) {
-    if (bytes == 0) return;
-    stage_read_ += bytes;
-    tile_bytes_ += bytes;
-    if (cfg_.collect_metrics) {
-      Metrics().read_events.Add();
-      Metrics().read_bytes.Add(bytes);
-    }
-    if (trace_)
-      trace_->Append(cycle_, addr, Narrow(bytes), trace::MemOp::kRead);
-  }
-
-  void Write(std::uint64_t addr, std::uint64_t bytes) {
-    if (bytes == 0) return;
-    stage_written_ += bytes;
-    tile_bytes_ += bytes;
-    if (cfg_.collect_metrics) {
-      Metrics().write_events.Add();
-      Metrics().write_bytes.Add(bytes);
-    }
-    if (trace_)
-      trace_->Append(cycle_, addr, Narrow(bytes), trace::MemOp::kWrite);
-  }
-
-  // Ends the current tile: advances the clock by the larger of the tile's
-  // compute time and its memory time, then starts a fresh tile.
-  void FinishTile(long long tile_macs, long long tile_simd_ops) {
-    const std::uint64_t compute =
-        CeilDiv(static_cast<std::uint64_t>(tile_macs),
-                static_cast<std::uint64_t>(cfg_.macs_per_cycle)) +
-        CeilDiv(static_cast<std::uint64_t>(tile_simd_ops),
-                static_cast<std::uint64_t>(cfg_.simd_lanes));
-    const std::uint64_t mem =
-        CeilDiv(tile_bytes_, static_cast<std::uint64_t>(cfg_.bytes_per_cycle));
-    cycle_ += std::max<std::uint64_t>(1, std::max(compute, mem));
-    tile_bytes_ = 0;
-  }
-
-  void BeginStage() {
-    stage_read_ = 0;
-    stage_written_ = 0;
-    tile_bytes_ = 0;
-  }
-
-  std::uint64_t cycle() const { return cycle_; }
-  std::uint64_t stage_read() const { return stage_read_; }
-  std::uint64_t stage_written() const { return stage_written_; }
-
- private:
-  static std::uint32_t Narrow(std::uint64_t bytes) {
-    SC_CHECK_MSG(bytes <= UINT32_MAX, "burst too large");
-    return static_cast<std::uint32_t>(bytes);
-  }
-
-  trace::Trace* trace_;
-  const AcceleratorConfig& cfg_;
-  std::uint64_t cycle_ = 0;
-  std::uint64_t stage_read_ = 0;
-  std::uint64_t stage_written_ = 0;
-  std::uint64_t tile_bytes_ = 0;
-};
-
-// Per-region bookkeeping of zero-pruned (compressed) contents. Each output
-// channel owns a fixed-capacity slot inside the region (how RLE designs
-// keep channels addressable); stream_bytes[c] is the compressed size of
-// channel c's stream after write-back.
-struct PrunedInfo {
-  bool pruned = false;
-  std::uint64_t slot_bytes = 0;  // per-channel slot capacity (0: one slot)
-  std::vector<std::uint64_t> stream_bytes;
-};
-
-void ApplyRelu(Tensor& t, float threshold) {
-  for (std::size_t i = 0; i < t.numel(); ++i)
-    if (t[i] <= threshold) t[i] = 0.0f;
-}
-
-// Functional forward pass that honours the accelerator's ReLU-threshold
-// override knob. Produces one tensor per node, identical to
-// Network::Forward when no override is set.
-std::vector<Tensor> ForwardWithOverride(const nn::Network& net,
-                                        const Tensor& input,
-                                        const AcceleratorConfig& cfg) {
-  std::vector<Tensor> outs;
-  outs.reserve(static_cast<std::size_t>(net.num_nodes()));
-  for (int i = 0; i < net.num_nodes(); ++i) {
-    std::vector<const Tensor*> ins;
-    for (int src : net.inputs_of(i))
-      ins.push_back(src == nn::kInputNode
-                        ? &input
-                        : &outs[static_cast<std::size_t>(src)]);
-    if (net.layer(i).kind() == nn::LayerKind::kRelu &&
-        cfg.relu_threshold_override >= 0.0f) {
-      Tensor y = *ins[0];
-      ApplyRelu(y, cfg.relu_threshold_override);
-      outs.push_back(std::move(y));
-    } else {
-      outs.push_back(net.layer(i).Forward(ins));
-    }
-  }
-  return outs;
-}
-
-// Counts non-zero elements of out[channel, rows y0..y1).
-std::size_t CountNonZerosRows(const Tensor& t, int c, int y0, int y1) {
-  const auto w = static_cast<std::size_t>(t.shape()[2]);
-  const auto h = static_cast<std::size_t>(t.shape()[1]);
-  const float* p =
-      t.data() + (static_cast<std::size_t>(c) * h +
-                  static_cast<std::size_t>(y0)) * w;
-  const std::size_t n = static_cast<std::size_t>(y1 - y0) * w;
-  std::size_t nnz = 0;
-  for (std::size_t i = 0; i < n; ++i) nnz += (p[i] != 0.0f) ? 1u : 0u;
-  return nnz;
-}
-
-// Context shared by the per-stage simulation helpers.
-struct StageContext {
-  const nn::Network& net;
-  const AddressMap& map;
-  const AcceleratorConfig& cfg;
-  const std::vector<Tensor>& node_outputs;
-  const Tensor& input;
-  Emitter& emit;
-  std::vector<PrunedInfo>& region_info;  // indexed by node id; input is dense
-};
-
-const Tensor& TensorOf(const StageContext& ctx, int node) {
-  return node == nn::kInputNode
-             ? ctx.input
-             : ctx.node_outputs[static_cast<std::size_t>(node)];
-}
-
-Region RegionOf(const StageContext& ctx, int node) {
-  return node == nn::kInputNode ? ctx.map.input() : ctx.map.ofm(node);
-}
-
-bool IsPruned(const StageContext& ctx, int node) {
-  if (node == nn::kInputNode) return false;  // host writes the input densely
-  if (ctx.net.layer(node).kind() == nn::LayerKind::kConcat) {
-    // A concat region is pruned iff its components are (they are written by
-    // the producing stages, which share one pruning setting).
-    for (int src : ctx.net.inputs_of(node))
-      if (IsPruned(ctx, src)) return true;
-    return false;
-  }
-  return ctx.region_info[static_cast<std::size_t>(node)].pruned;
-}
-
-// Reads the compressed stream(s) of a pruned node; a concat fans out to its
-// component streams (each sits at its own aliased sub-region base).
-void EmitCompressedStreamReads(const StageContext& ctx, int node) {
-  if (ctx.net.layer(node).kind() == nn::LayerKind::kConcat) {
-    for (int src : ctx.net.inputs_of(node))
-      EmitCompressedStreamReads(ctx, src);
-    return;
-  }
-  const Region region = RegionOf(ctx, node);
-  const auto& info = ctx.region_info[static_cast<std::size_t>(node)];
-  for (std::size_t c = 0; c < info.stream_bytes.size(); ++c) {
-    ctx.emit.Read(region.base + static_cast<std::uint64_t>(c) *
-                                    info.slot_bytes,
-                  info.stream_bytes[c]);
-    if (ctx.cfg.collect_metrics && info.stream_bytes[c] > 0)
-      Metrics().raw_reads.Add();
-  }
-}
-
-// Emits IFM reads for rows [y0, y1) of every channel of `node`'s region.
-// For a pruned producer the whole compressed stream is fetched instead
-// (channel-stream model; row addressing is meaningless in a compressed
-// stream). Returns true if it emitted the compressed fallback.
-bool EmitFmapRowReads(const StageContext& ctx, int node, int y0, int y1) {
-  const Region region = RegionOf(ctx, node);
-  if (IsPruned(ctx, node)) {
-    EmitCompressedStreamReads(ctx, node);
-    return true;
-  }
-  const nn::Shape shape = TensorOf(ctx, node).shape();
-  const auto eb = static_cast<std::uint64_t>(ctx.cfg.element_bytes);
-  const auto h = static_cast<std::uint64_t>(shape[1]);
-  const auto w = static_cast<std::uint64_t>(shape[2]);
-  for (int c = 0; c < shape[0]; ++c) {
-    const std::uint64_t addr =
-        region.base +
-        (static_cast<std::uint64_t>(c) * h + static_cast<std::uint64_t>(y0)) *
-            w * eb;
-    ctx.emit.Read(addr, static_cast<std::uint64_t>(y1 - y0) * w * eb);
-  }
-  // Reads of an earlier stage's OFM are the RAW-dependency events the
-  // structure attack segments on (paper §3); input reads are not RAW.
-  if (ctx.cfg.collect_metrics && node != nn::kInputNode)
-    Metrics().raw_reads.Add(static_cast<std::uint64_t>(shape[0]));
-  return false;
-}
-
-// Write-back engine for one stage's OFM: dense in-place rows, or
-// zero-pruned compressed bursts appended to fixed per-channel stream slots.
-// A compressed burst's size is header + nnz * (element + index), so each
-// burst leaks its tile's non-zero count — the §4 side channel — and its
-// slot address identifies the output channel.
-class OfmWriter {
- public:
-  OfmWriter(const StageContext& ctx, const Tensor& out, const Region& region,
-            PrunedInfo* info)
-      : ctx_(ctx), out_(out), region_(region), info_(info) {
-    if (!ctx.cfg.zero_pruning) return;
-    const auto d = static_cast<std::uint64_t>(out.shape()[0]);
-    const auto h = static_cast<std::uint64_t>(out.shape()[1]);
-    const auto w = static_cast<std::uint64_t>(out.shape()[2]);
-    const auto eb = static_cast<std::uint64_t>(ctx.cfg.element_bytes);
-    // Worst-case slot: every element survives pruning and every row is its
-    // own tile (one header each).
-    slot_bytes_ =
-        h * w * (eb + static_cast<std::uint64_t>(ctx.cfg.prune_index_bytes)) +
-        h * static_cast<std::uint64_t>(ctx.cfg.prune_header_bytes);
-    SC_CHECK_MSG(d * slot_bytes_ <= region.bytes,
-                 "pruned region capacity too small");
-    cursors_.resize(static_cast<std::size_t>(d));
-    for (std::uint64_t c = 0; c < d; ++c)
-      cursors_[static_cast<std::size_t>(c)] = region.base + c * slot_bytes_;
-    info_->pruned = true;
-    info_->slot_bytes = slot_bytes_;
-    info_->stream_bytes.assign(static_cast<std::size_t>(d), 0);
-  }
-
-  void WriteRows(int c0, int c1, int y0, int y1) {
-    const auto eb = static_cast<std::uint64_t>(ctx_.cfg.element_bytes);
-    const auto h = static_cast<std::uint64_t>(out_.shape()[1]);
-    const auto w = static_cast<std::uint64_t>(out_.shape()[2]);
-    if (!ctx_.cfg.zero_pruning) {
-      for (int c = c0; c < c1; ++c) {
-        const std::uint64_t addr =
-            region_.base + (static_cast<std::uint64_t>(c) * h +
-                            static_cast<std::uint64_t>(y0)) *
-                               w * eb;
-        ctx_.emit.Write(addr, static_cast<std::uint64_t>(y1 - y0) * w * eb);
-      }
-      return;
-    }
-    for (int c = c0; c < c1; ++c) {
-      const std::size_t nnz = CountNonZerosRows(out_, c, y0, y1);
-      const std::uint64_t per_elem =
-          eb + static_cast<std::uint64_t>(ctx_.cfg.prune_index_bytes);
-      const std::uint64_t header =
-          static_cast<std::uint64_t>(ctx_.cfg.prune_header_bytes);
-      const std::uint64_t payload =
-          static_cast<std::uint64_t>(nnz) * per_elem;
-      // Constant-shape mitigation: the burst is always worst-case sized,
-      // so its length reveals nothing; the stream in DRAM stays compressed
-      // for the reader.
-      const std::uint64_t bytes =
-          header + (ctx_.cfg.prune_constant_shape
-                        ? static_cast<std::uint64_t>(y1 - y0) * w * per_elem
-                        : payload);
-      auto& cursor = cursors_[static_cast<std::size_t>(c)];
-      SC_CHECK_MSG(cursor + bytes <= region_.base +
-                                         static_cast<std::uint64_t>(c + 1) *
-                                             slot_bytes_,
-                   "compressed stream overflowed its slot");
-      ctx_.emit.Write(cursor, bytes);
-      cursor += bytes;
-      auto& stream = info_->stream_bytes[static_cast<std::size_t>(c)];
-      stream += header + payload;  // reads fetch the true compressed size
-    }
-  }
-
- private:
-  const StageContext& ctx_;
-  const Tensor& out_;
-  Region region_;
-  PrunedInfo* info_;
-  std::uint64_t slot_bytes_ = 0;
-  std::vector<std::uint64_t> cursors_;
-};
-
-// --- convolution stage -----------------------------------------------------
-
-void SimulateConvStage(const StageContext& ctx, const Stage& stage,
-                       StageStats* stats) {
-  const auto& conv =
-      dynamic_cast<const nn::Conv2D&>(ctx.net.layer(stage.main_node));
-  SC_CHECK(stage.input_nodes.size() == 1);
-  const int producer = stage.input_nodes[0];
-  const nn::Shape in_shape = TensorOf(ctx, producer).shape();
-  const Tensor& out = TensorOf(ctx, stage.output_node);
-
-  const int ic = in_shape[0];
-  const int ih = in_shape[1];
-  const int od = out.shape()[0];
-  const int oh = out.shape()[1];
-  const int ow = out.shape()[2];
-  const int cw = ctx.net.output_shape(stage.main_node)[1];  // pre-pool width
-
-  int f_pool = 1, s_pool = 1, p_pool = 0;
-  const bool pooled = stage.pool_node != -1;
-  if (pooled) {
-    const auto& pool =
-        dynamic_cast<const nn::Pooling&>(ctx.net.layer(stage.pool_node));
-    f_pool = pool.window();
-    s_pool = pool.stride();
-    p_pool = pool.pad();
-  }
-
-  const auto eb = static_cast<std::uint64_t>(ctx.cfg.element_bytes);
-  const Region wreg = ctx.map.weights(stage.main_node);
-  const Region ofm_reg = ctx.map.ofm(stage.output_node);
-  SC_CHECK(wreg.valid());
-
-  // --- tile selection ---
-  const std::uint64_t weights_per_oc = static_cast<std::uint64_t>(ic) *
-                                       static_cast<std::uint64_t>(conv.filter()) *
-                                       static_cast<std::uint64_t>(conv.filter()) *
-                                       eb;
-  const int oc_block = std::max<int>(
-      1, static_cast<int>(std::min<std::uint64_t>(
-             static_cast<std::uint64_t>(od),
-             ctx.cfg.weight_buffer_bytes / std::max<std::uint64_t>(
-                                               1, weights_per_oc))));
-
-  // Rows of the *final* (post-pool) output handled per tile.
-  auto conv_row_span = [&](int ry0, int ry1) {
-    int p0 = ry0, p1 = ry1;
-    if (pooled) {
-      p0 = std::max(0, ry0 * s_pool - p_pool);
-      p1 = std::min(cw, (ry1 - 1) * s_pool - p_pool + f_pool);
-    }
-    return std::pair<int, int>(p0, std::max(p1, p0 + 1));
-  };
-  auto ifm_row_span = [&](int ry0, int ry1) {
-    const auto [p0, p1] = conv_row_span(ry0, ry1);
-    const int i0 = std::max(0, p0 * conv.stride() - conv.pad());
-    const int i1 = std::min(
-        ih, (p1 - 1) * conv.stride() - conv.pad() + conv.filter());
-    return std::pair<int, int>(i0, std::max(i1, i0 + 1));
-  };
-  auto tile_fits = [&](int rows) {
-    const auto [i0, i1] = ifm_row_span(0, rows);
-    const std::uint64_t ifm_bytes = static_cast<std::uint64_t>(i1 - i0) *
-                                    static_cast<std::uint64_t>(in_shape[2]) *
-                                    static_cast<std::uint64_t>(ic) * eb;
-    const std::uint64_t ofm_bytes = static_cast<std::uint64_t>(rows) *
-                                    static_cast<std::uint64_t>(ow) *
-                                    static_cast<std::uint64_t>(oc_block) * eb;
-    return ifm_bytes <= ctx.cfg.ifm_buffer_bytes &&
-           ofm_bytes <= ctx.cfg.ofm_buffer_bytes;
-  };
-  SC_CHECK_MSG(weights_per_oc <= ctx.cfg.weight_buffer_bytes,
-               "conv stage '" << ctx.net.layer(stage.main_node).name()
-                              << "': one filter does not fit the weight "
-                                 "buffer");
-  // Feasibility: either one pooled output row's working set fits, or the
-  // stage can stream conv rows into an on-chip pooling accumulator (the
-  // fused-global-pool case, e.g. SqueezeNet's conv10 + 13x13 average
-  // pool), which only needs one conv row's input halo at a time.
-  const std::uint64_t streaming_ifm_bytes =
-      static_cast<std::uint64_t>(conv.filter()) *
-      static_cast<std::uint64_t>(in_shape[2]) *
-      static_cast<std::uint64_t>(ic) * eb;
-  const std::uint64_t streaming_ofm_bytes =
-      static_cast<std::uint64_t>(ow) * static_cast<std::uint64_t>(oc_block) *
-      eb;
-  const bool streaming_ok =
-      streaming_ifm_bytes <= ctx.cfg.ifm_buffer_bytes &&
-      streaming_ofm_bytes <= ctx.cfg.ofm_buffer_bytes;
-  SC_CHECK_MSG(tile_fits(1) || streaming_ok,
-               "conv stage '" << ctx.net.layer(stage.main_node).name()
-                              << "' cannot fit a single output row on chip");
-  int row_block = 1;
-  while (row_block < oh && tile_fits(row_block + 1)) ++row_block;
-
-  const std::uint64_t ifm_total = TensorOf(ctx, producer).numel() * eb;
-  const bool cache_whole_ifm =
-      !IsPruned(ctx, producer) && ifm_total <= ctx.cfg.ifm_buffer_bytes;
-
-  // Whole-IFM prefetch (also places the boundary-defining RAW read first).
-  if (cache_whole_ifm) {
-    EmitFmapRowReads(ctx, producer, 0, ih);
-    ctx.emit.FinishTile(0, 0);
-  }
-
-  OfmWriter writer(
-      ctx, out, ofm_reg,
-      &ctx.region_info[static_cast<std::size_t>(stage.output_node)]);
-  bool compressed_fetched = false;
-
-  for (int oc0 = 0; oc0 < od; oc0 += oc_block) {
-    const int noc = std::min(oc_block, od - oc0);
-    bool first_row_block = true;
-    for (int ry0 = 0; ry0 < oh; ry0 += row_block) {
-      const int ry1 = std::min(oh, ry0 + row_block);
-      // IFM fetch (unless cached). A pruned producer is fetched as one
-      // compressed stream per oc block.
-      if (!cache_whole_ifm) {
-        if (IsPruned(ctx, producer)) {
-          if (first_row_block || !compressed_fetched) {
-            EmitFmapRowReads(ctx, producer, 0, ih);
-            compressed_fetched = true;
-          }
-        } else {
-          const auto [i0, i1] = ifm_row_span(ry0, ry1);
-          EmitFmapRowReads(ctx, producer, i0, i1);
-        }
-      }
-      if (first_row_block) {
-        // Weights once per oc block (biases live on chip).
-        ctx.emit.Read(wreg.base + static_cast<std::uint64_t>(oc0) *
-                                      weights_per_oc,
-                      static_cast<std::uint64_t>(noc) * weights_per_oc);
-        first_row_block = false;
-      }
-
-      const auto [p0, p1] = conv_row_span(ry0, ry1);
-      const long long tile_macs = static_cast<long long>(p1 - p0) * cw * noc *
-                                  conv.filter() * conv.filter() * ic;
-      const long long tile_simd =
-          pooled ? static_cast<long long>(ry1 - ry0) * ow * noc * f_pool *
-                       f_pool
-                 : static_cast<long long>(p1 - p0) * cw * noc;
-      stats->macs += tile_macs;
-
-      writer.WriteRows(oc0, oc0 + noc, ry0, ry1);
-      ctx.emit.FinishTile(tile_macs, tile_simd);
-    }
-  }
-}
-
-// --- fully-connected stage ---------------------------------------------------
-
-void SimulateFcStage(const StageContext& ctx, const Stage& stage,
-                     StageStats* stats) {
-  const auto& fc = dynamic_cast<const nn::FullyConnected&>(
-      ctx.net.layer(stage.main_node));
-  SC_CHECK(stage.input_nodes.size() == 1);
-  const int producer = stage.input_nodes[0];
-  const Tensor& out = TensorOf(ctx, stage.output_node);
-
-  const auto eb = static_cast<std::uint64_t>(ctx.cfg.element_bytes);
-  const Region wreg = ctx.map.weights(stage.main_node);
-  const Region ofm_reg = ctx.map.ofm(stage.output_node);
-
-  // Whole input vector on chip (FC inputs are small relative to weights).
-  const nn::Shape in_shape = TensorOf(ctx, producer).shape();
-  EmitFmapRowReads(ctx, producer, 0, in_shape[1]);
-  ctx.emit.FinishTile(0, 0);
-
-  const std::uint64_t weights_per_oc =
-      static_cast<std::uint64_t>(fc.in_features()) * eb;
-  const int oc_block = std::max<int>(
-      1, static_cast<int>(std::min<std::uint64_t>(
-             static_cast<std::uint64_t>(fc.out_features()),
-             ctx.cfg.weight_buffer_bytes / weights_per_oc)));
-
-  for (int oc0 = 0; oc0 < fc.out_features(); oc0 += oc_block) {
-    const int noc = std::min(oc_block, fc.out_features() - oc0);
-    ctx.emit.Read(wreg.base + static_cast<std::uint64_t>(oc0) * weights_per_oc,
-                  static_cast<std::uint64_t>(noc) * weights_per_oc);
-    const long long tile_macs =
-        static_cast<long long>(noc) * fc.in_features();
-    stats->macs += tile_macs;
-    ctx.emit.FinishTile(tile_macs, 0);
-  }
-
-  // Single write-back of the whole output vector (the FC OFM is one tile;
-  // with pruning it is one compressed stream, so only the aggregate count
-  // leaks for FC layers).
-  PrunedInfo* info =
-      &ctx.region_info[static_cast<std::size_t>(stage.output_node)];
-  if (!ctx.cfg.zero_pruning) {
-    ctx.emit.Write(ofm_reg.base, out.numel() * eb);
-  } else {
-    const std::uint64_t per_elem =
-        eb + static_cast<std::uint64_t>(ctx.cfg.prune_index_bytes);
-    const std::uint64_t header =
-        static_cast<std::uint64_t>(ctx.cfg.prune_header_bytes);
-    const std::size_t nnz = out.CountNonZeros();
-    const std::uint64_t stream =
-        header + static_cast<std::uint64_t>(nnz) * per_elem;
-    const std::uint64_t burst =
-        ctx.cfg.prune_constant_shape ? header + out.numel() * per_elem
-                                     : stream;
-    ctx.emit.Write(ofm_reg.base, burst);
-    info->pruned = true;
-    info->slot_bytes = 0;
-    info->stream_bytes = {stream};
-  }
-  ctx.emit.FinishTile(0, static_cast<long long>(out.numel()));
-}
-
-// --- standalone pooling / element-wise stages --------------------------------
-
-void SimulateStreamStage(const StageContext& ctx, const Stage& stage,
-                         StageStats* stats) {
-  const Tensor& out = TensorOf(ctx, stage.output_node);
-  const Region ofm_reg = ctx.map.ofm(stage.output_node);
-  const int oh = out.shape()[1];
-  const int od = out.shape()[0];
-
-  int f = 1, s = 1, p = 0;
-  if (stage.kind == StageKind::kPool) {
-    const auto& pool =
-        dynamic_cast<const nn::Pooling&>(ctx.net.layer(stage.main_node));
-    f = pool.window();
-    s = pool.stride();
-    p = pool.pad();
-  }
-
-  // Row-streamed: read the input rows feeding each output row block (from
-  // every producer for eltwise), compute, write back.
-  const std::uint64_t ofm_row_bytes =
-      static_cast<std::uint64_t>(out.shape()[2]) *
-      static_cast<std::uint64_t>(od) *
-      static_cast<std::uint64_t>(ctx.cfg.element_bytes);
-  int row_block = std::max<int>(
-      1, static_cast<int>(ctx.cfg.ofm_buffer_bytes /
-                          std::max<std::uint64_t>(1, ofm_row_bytes)));
-  row_block = std::min(row_block, oh);
-
-  OfmWriter writer(
-      ctx, out, ofm_reg,
-      &ctx.region_info[static_cast<std::size_t>(stage.output_node)]);
-  std::vector<bool> compressed_fetched(stage.input_nodes.size(), false);
-
-  for (int ry0 = 0; ry0 < oh; ry0 += row_block) {
-    const int ry1 = std::min(oh, ry0 + row_block);
-    for (std::size_t k = 0; k < stage.input_nodes.size(); ++k) {
-      const int producer = stage.input_nodes[k];
-      const nn::Shape in_shape = TensorOf(ctx, producer).shape();
-      if (IsPruned(ctx, producer)) {
-        if (!compressed_fetched[k]) {
-          EmitFmapRowReads(ctx, producer, 0, in_shape[1]);
-          compressed_fetched[k] = true;
-        }
-        continue;
-      }
-      int i0 = ry0, i1 = ry1;
-      if (stage.kind == StageKind::kPool) {
-        i0 = std::max(0, ry0 * s - p);
-        i1 = std::min(in_shape[1], (ry1 - 1) * s - p + f);
-        i1 = std::max(i1, i0 + 1);
-      }
-      EmitFmapRowReads(ctx, producer, i0, i1);
-    }
-    const long long tile_simd =
-        static_cast<long long>(ry1 - ry0) * out.shape()[2] * od * f * f *
-        static_cast<long long>(std::max<std::size_t>(
-            1, stage.input_nodes.size()));
-    writer.WriteRows(0, od, ry0, ry1);
-    ctx.emit.FinishTile(0, tile_simd);
-  }
-  (void)stats;
-}
-
-}  // namespace
 
 AddressMap Accelerator::BuildMap(const nn::Network& net) const {
   // With zero pruning the compressed stream can exceed the dense size when
@@ -624,6 +27,7 @@ RunResult Accelerator::Run(const nn::Network& net, const nn::Tensor& input,
                            trace::Trace* out_trace,
                            const AddressMap* prebuilt_map) const {
   SC_CHECK_MSG(net.num_nodes() > 0, "cannot run an empty network");
+  const Backend& backend = GetBackend(cfg_.dataflow);
   const std::size_t trace_prefix = out_trace ? out_trace->size() : 0;
   std::optional<AddressMap> owned_map;
   if (prebuilt_map == nullptr) owned_map.emplace(BuildMap(net));
@@ -637,7 +41,10 @@ RunResult Accelerator::Run(const nn::Network& net, const nn::Tensor& input,
       static_cast<std::size_t>(net.num_nodes()));
   StageContext ctx{net, map, cfg_, node_outputs, input, emit, region_info};
 
-  if (cfg_.collect_metrics) Metrics().runs.Add();
+  if (cfg_.collect_metrics) {
+    Metrics().runs.Add();
+    MetricsFor(cfg_.dataflow).runs.Add();
+  }
 
   RunResult result;
   result.stages.reserve(stages.size());
@@ -654,22 +61,25 @@ RunResult Accelerator::Run(const nn::Network& net, const nn::Tensor& input,
 
     switch (stage.kind) {
       case StageKind::kConv:
-        SimulateConvStage(ctx, stage, &stats);
+        backend.SimulateConv(ctx, stage, &stats);
         break;
       case StageKind::kFc:
-        SimulateFcStage(ctx, stage, &stats);
+        backend.SimulateFc(ctx, stage, &stats);
         break;
       case StageKind::kPool:
       case StageKind::kEltwise:
-        SimulateStreamStage(ctx, stage, &stats);
+        backend.SimulateStream(ctx, stage, &stats);
         break;
     }
 
     stats.end_cycle = emit.cycle();
     stats.bytes_read = emit.stage_read();
     stats.bytes_written = emit.stage_written();
-    if (cfg_.collect_metrics)
+    if (cfg_.collect_metrics) {
       Metrics().stage_cycles.Record(stats.end_cycle - stats.start_cycle);
+      MetricsFor(cfg_.dataflow)
+          .stage_cycles.Record(stats.end_cycle - stats.start_cycle);
+    }
 
     const Tensor& out = TensorOf(ctx, stage.output_node);
     stats.ofm_elems = out.numel();
@@ -703,6 +113,10 @@ RunResult Accelerator::Run(const nn::Network& net, const nn::Tensor& input,
     out_trace->AppendAll(transformed);
   }
   return result;
+}
+
+ScheduleModel Accelerator::schedule_model() const {
+  return GetBackend(cfg_.dataflow).schedule_model(cfg_);
 }
 
 }  // namespace sc::accel

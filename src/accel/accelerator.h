@@ -3,12 +3,15 @@
 // Substitutes for the paper's FPGA prototype (DESIGN.md §2). The simulator
 //   - executes the *real* inference arithmetic for every stage (the output
 //     tensor is bit-identical to the reference nn::Network::Forward),
-//   - walks the same tiled schedule a weight-stationary accelerator would
-//     (output-channel blocks x output-row blocks constrained by the three
-//     on-chip buffers) and emits one burst-level MemEvent per DMA transfer,
+//   - walks a tiled schedule (output-channel blocks x output-row blocks
+//     constrained by the three on-chip buffers) whose loop order and
+//     re-fetch pattern are chosen by the selected dataflow backend
+//     (accel/backend.h; AcceleratorConfig::dataflow) and emits one
+//     burst-level MemEvent per DMA transfer,
 //   - advances a cycle counter per tile as max(compute, memory) time,
 //   - optionally compresses OFM write-back with dynamic zero pruning, in
-//     which case write volumes leak the per-tile non-zero counts (paper §4).
+//     which case write volumes leak the per-tile non-zero counts (paper §4)
+//     identically under every dataflow (shared write-back engine).
 //
 // The memory trace therefore has exactly the properties the paper's attacks
 // exploit: RAW dependencies between layers, contiguous per-tensor regions,
@@ -69,6 +72,10 @@ class Accelerator {
 
   // The DRAM layout the accelerator uses for this network.
   AddressMap BuildMap(const nn::Network& net) const;
+
+  // The tiling summary of the selected backend, in the form the structure
+  // attack's candidate filter consumes (SearchConfig::schedule).
+  ScheduleModel schedule_model() const;
 
  private:
   AcceleratorConfig cfg_;

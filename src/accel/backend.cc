@@ -1,0 +1,17 @@
+#include "accel/backend.h"
+
+namespace sc::accel {
+
+// Defined in backend_ws.cc / backend_os.cc.
+const Backend& GetWeightStationaryBackend();
+const Backend& GetOutputStationaryBackend();
+
+const Backend& GetBackend(Dataflow d) {
+  switch (d) {
+    case Dataflow::kWeightStationary: return GetWeightStationaryBackend();
+    case Dataflow::kOutputStationary: return GetOutputStationaryBackend();
+  }
+  return GetWeightStationaryBackend();
+}
+
+}  // namespace sc::accel

@@ -1,0 +1,45 @@
+// Dataflow backends (DESIGN.md §13). A Backend walks one tiled schedule
+// over the staged network: it decides the tile loop order, which operand
+// each tile re-fetches from DRAM, and the per-tile cycle model. Everything
+// else — the address map, the trace buffer, the zero-pruning write engine,
+// the defense/fault hooks — is shared machinery (backend_common.h), which
+// is what keeps the §4 zero-count channel identical across backends.
+//
+// Accelerator::Run selects the backend from AcceleratorConfig::dataflow;
+// adding a dataflow means adding one class here plus a GetBackend case.
+#ifndef SC_ACCEL_BACKEND_H_
+#define SC_ACCEL_BACKEND_H_
+
+#include "accel/backend_common.h"
+#include "accel/dataflow.h"
+
+namespace sc::accel {
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual Dataflow dataflow() const = 0;
+
+  // The tiling/multiplicity summary this backend exposes to the structure
+  // attack's candidate filter (attack/structure/schedule.h). Buffer sizes
+  // come from the config the accelerator was built with.
+  virtual ScheduleModel schedule_model(const AcceleratorConfig& cfg) const = 0;
+
+  // Per-stage simulation hooks. Each emits the stage's DRAM events through
+  // ctx.emit and accumulates MAC counts into stats; functional outputs are
+  // precomputed (ctx.node_outputs).
+  virtual void SimulateConv(const StageContext& ctx, const Stage& stage,
+                            StageStats* stats) const = 0;
+  virtual void SimulateFc(const StageContext& ctx, const Stage& stage,
+                          StageStats* stats) const = 0;
+  virtual void SimulateStream(const StageContext& ctx, const Stage& stage,
+                              StageStats* stats) const = 0;
+};
+
+// Stateless singleton per dataflow.
+const Backend& GetBackend(Dataflow d);
+
+}  // namespace sc::accel
+
+#endif  // SC_ACCEL_BACKEND_H_

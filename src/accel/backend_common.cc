@@ -1,0 +1,376 @@
+#include "accel/backend_common.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "accel/accelerator.h"
+#include "nn/activation.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pooling.h"
+
+namespace sc::accel {
+
+using nn::Tensor;
+
+AccelMetrics& Metrics() {
+  static AccelMetrics m;
+  return m;
+}
+
+BackendMetrics& MetricsFor(Dataflow d) {
+  static BackendMetrics ws{
+      obs::Registry::Get().GetCounter("accel.backend.weight_stationary.runs"),
+      obs::Registry::Get().GetHistogram(
+          "accel.backend.weight_stationary.stage.cycles")};
+  static BackendMetrics os{
+      obs::Registry::Get().GetCounter("accel.backend.output_stationary.runs"),
+      obs::Registry::Get().GetHistogram(
+          "accel.backend.output_stationary.stage.cycles")};
+  return d == Dataflow::kOutputStationary ? os : ws;
+}
+
+namespace {
+
+void ApplyRelu(Tensor& t, float threshold) {
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    if (t[i] <= threshold) t[i] = 0.0f;
+}
+
+}  // namespace
+
+std::vector<Tensor> ForwardWithOverride(const nn::Network& net,
+                                        const Tensor& input,
+                                        const AcceleratorConfig& cfg) {
+  std::vector<Tensor> outs;
+  outs.reserve(static_cast<std::size_t>(net.num_nodes()));
+  for (int i = 0; i < net.num_nodes(); ++i) {
+    std::vector<const Tensor*> ins;
+    for (int src : net.inputs_of(i))
+      ins.push_back(src == nn::kInputNode
+                        ? &input
+                        : &outs[static_cast<std::size_t>(src)]);
+    if (net.layer(i).kind() == nn::LayerKind::kRelu &&
+        cfg.relu_threshold_override >= 0.0f) {
+      Tensor y = *ins[0];
+      ApplyRelu(y, cfg.relu_threshold_override);
+      outs.push_back(std::move(y));
+    } else {
+      outs.push_back(net.layer(i).Forward(ins));
+    }
+  }
+  return outs;
+}
+
+std::size_t CountNonZerosRows(const Tensor& t, int c, int y0, int y1) {
+  const auto w = static_cast<std::size_t>(t.shape()[2]);
+  const auto h = static_cast<std::size_t>(t.shape()[1]);
+  const float* p =
+      t.data() + (static_cast<std::size_t>(c) * h +
+                  static_cast<std::size_t>(y0)) * w;
+  const std::size_t n = static_cast<std::size_t>(y1 - y0) * w;
+  std::size_t nnz = 0;
+  for (std::size_t i = 0; i < n; ++i) nnz += (p[i] != 0.0f) ? 1u : 0u;
+  return nnz;
+}
+
+const Tensor& TensorOf(const StageContext& ctx, int node) {
+  return node == nn::kInputNode
+             ? ctx.input
+             : ctx.node_outputs[static_cast<std::size_t>(node)];
+}
+
+Region RegionOf(const StageContext& ctx, int node) {
+  return node == nn::kInputNode ? ctx.map.input() : ctx.map.ofm(node);
+}
+
+bool IsPruned(const StageContext& ctx, int node) {
+  if (node == nn::kInputNode) return false;  // host writes the input densely
+  if (ctx.net.layer(node).kind() == nn::LayerKind::kConcat) {
+    // A concat region is pruned iff its components are (they are written by
+    // the producing stages, which share one pruning setting).
+    for (int src : ctx.net.inputs_of(node))
+      if (IsPruned(ctx, src)) return true;
+    return false;
+  }
+  return ctx.region_info[static_cast<std::size_t>(node)].pruned;
+}
+
+void EmitCompressedStreamReads(const StageContext& ctx, int node) {
+  if (ctx.net.layer(node).kind() == nn::LayerKind::kConcat) {
+    for (int src : ctx.net.inputs_of(node))
+      EmitCompressedStreamReads(ctx, src);
+    return;
+  }
+  const Region region = RegionOf(ctx, node);
+  const auto& info = ctx.region_info[static_cast<std::size_t>(node)];
+  for (std::size_t c = 0; c < info.stream_bytes.size(); ++c) {
+    ctx.emit.Read(region.base + static_cast<std::uint64_t>(c) *
+                                    info.slot_bytes,
+                  info.stream_bytes[c]);
+    if (ctx.cfg.collect_metrics && info.stream_bytes[c] > 0)
+      Metrics().raw_reads.Add();
+  }
+}
+
+bool EmitFmapRowReads(const StageContext& ctx, int node, int y0, int y1) {
+  const Region region = RegionOf(ctx, node);
+  if (IsPruned(ctx, node)) {
+    EmitCompressedStreamReads(ctx, node);
+    return true;
+  }
+  const nn::Shape shape = TensorOf(ctx, node).shape();
+  const auto eb = static_cast<std::uint64_t>(ctx.cfg.element_bytes);
+  const auto h = static_cast<std::uint64_t>(shape[1]);
+  const auto w = static_cast<std::uint64_t>(shape[2]);
+  for (int c = 0; c < shape[0]; ++c) {
+    const std::uint64_t addr =
+        region.base +
+        (static_cast<std::uint64_t>(c) * h + static_cast<std::uint64_t>(y0)) *
+            w * eb;
+    ctx.emit.Read(addr, static_cast<std::uint64_t>(y1 - y0) * w * eb);
+  }
+  // Reads of an earlier stage's OFM are the RAW-dependency events the
+  // structure attack segments on (paper §3); input reads are not RAW.
+  if (ctx.cfg.collect_metrics && node != nn::kInputNode)
+    Metrics().raw_reads.Add(static_cast<std::uint64_t>(shape[0]));
+  return false;
+}
+
+OfmWriter::OfmWriter(const StageContext& ctx, const Tensor& out,
+                     const Region& region, PrunedInfo* info)
+    : ctx_(ctx), out_(out), region_(region), info_(info) {
+  if (!ctx.cfg.zero_pruning) return;
+  const auto d = static_cast<std::uint64_t>(out.shape()[0]);
+  const auto h = static_cast<std::uint64_t>(out.shape()[1]);
+  const auto w = static_cast<std::uint64_t>(out.shape()[2]);
+  const auto eb = static_cast<std::uint64_t>(ctx.cfg.element_bytes);
+  // Worst-case slot: every element survives pruning and every row is its
+  // own tile (one header each).
+  slot_bytes_ =
+      h * w * (eb + static_cast<std::uint64_t>(ctx.cfg.prune_index_bytes)) +
+      h * static_cast<std::uint64_t>(ctx.cfg.prune_header_bytes);
+  SC_CHECK_MSG(d * slot_bytes_ <= region.bytes,
+               "pruned region capacity too small");
+  cursors_.resize(static_cast<std::size_t>(d));
+  for (std::uint64_t c = 0; c < d; ++c)
+    cursors_[static_cast<std::size_t>(c)] = region.base + c * slot_bytes_;
+  info_->pruned = true;
+  info_->slot_bytes = slot_bytes_;
+  info_->stream_bytes.assign(static_cast<std::size_t>(d), 0);
+}
+
+void OfmWriter::WriteRows(int c0, int c1, int y0, int y1) {
+  const auto eb = static_cast<std::uint64_t>(ctx_.cfg.element_bytes);
+  const auto h = static_cast<std::uint64_t>(out_.shape()[1]);
+  const auto w = static_cast<std::uint64_t>(out_.shape()[2]);
+  if (!ctx_.cfg.zero_pruning) {
+    for (int c = c0; c < c1; ++c) {
+      const std::uint64_t addr =
+          region_.base + (static_cast<std::uint64_t>(c) * h +
+                          static_cast<std::uint64_t>(y0)) *
+                             w * eb;
+      ctx_.emit.Write(addr, static_cast<std::uint64_t>(y1 - y0) * w * eb);
+    }
+    return;
+  }
+  for (int c = c0; c < c1; ++c) {
+    const std::size_t nnz = CountNonZerosRows(out_, c, y0, y1);
+    const std::uint64_t per_elem =
+        eb + static_cast<std::uint64_t>(ctx_.cfg.prune_index_bytes);
+    const std::uint64_t header =
+        static_cast<std::uint64_t>(ctx_.cfg.prune_header_bytes);
+    const std::uint64_t payload =
+        static_cast<std::uint64_t>(nnz) * per_elem;
+    // Constant-shape mitigation: the burst is always worst-case sized,
+    // so its length reveals nothing; the stream in DRAM stays compressed
+    // for the reader.
+    const std::uint64_t bytes =
+        header + (ctx_.cfg.prune_constant_shape
+                      ? static_cast<std::uint64_t>(y1 - y0) * w * per_elem
+                      : payload);
+    auto& cursor = cursors_[static_cast<std::size_t>(c)];
+    SC_CHECK_MSG(cursor + bytes <= region_.base +
+                                       static_cast<std::uint64_t>(c + 1) *
+                                           slot_bytes_,
+                 "compressed stream overflowed its slot");
+    ctx_.emit.Write(cursor, bytes);
+    cursor += bytes;
+    auto& stream = info_->stream_bytes[static_cast<std::size_t>(c)];
+    stream += header + payload;  // reads fetch the true compressed size
+  }
+}
+
+ConvTiler MakeConvTiler(const StageContext& ctx, const Stage& stage) {
+  const auto& conv =
+      dynamic_cast<const nn::Conv2D&>(ctx.net.layer(stage.main_node));
+  SC_CHECK(stage.input_nodes.size() == 1);
+  const int producer = stage.input_nodes[0];
+  const nn::Shape in_shape = TensorOf(ctx, producer).shape();
+  const Tensor& out = TensorOf(ctx, stage.output_node);
+
+  ConvTiler t;
+  t.ic = in_shape[0];
+  t.ih = in_shape[1];
+  t.in_w = in_shape[2];
+  t.od = out.shape()[0];
+  t.oh = out.shape()[1];
+  t.ow = out.shape()[2];
+  t.cw = ctx.net.output_shape(stage.main_node)[1];  // pre-pool width
+  t.f = conv.filter();
+  t.s = conv.stride();
+  t.p = conv.pad();
+  t.pooled = stage.pool_node != -1;
+  if (t.pooled) {
+    const auto& pool =
+        dynamic_cast<const nn::Pooling&>(ctx.net.layer(stage.pool_node));
+    t.f_pool = pool.window();
+    t.s_pool = pool.stride();
+    t.p_pool = pool.pad();
+  }
+  t.eb = static_cast<std::uint64_t>(ctx.cfg.element_bytes);
+  t.ifm_buffer_bytes = ctx.cfg.ifm_buffer_bytes;
+  t.weight_buffer_bytes = ctx.cfg.weight_buffer_bytes;
+  t.ofm_buffer_bytes = ctx.cfg.ofm_buffer_bytes;
+
+  SC_CHECK_MSG(t.WeightsPerOc() <= ctx.cfg.weight_buffer_bytes,
+               "conv stage '" << ctx.net.layer(stage.main_node).name()
+                              << "': one filter does not fit the weight "
+                                 "buffer");
+  // Feasibility: either one pooled output row's working set fits, or the
+  // stage can stream conv rows into an on-chip pooling accumulator (the
+  // fused-global-pool case, e.g. SqueezeNet's conv10 + 13x13 average
+  // pool), which only needs one conv row's input halo at a time.
+  SC_CHECK_MSG(t.TileFits(1) || t.StreamingOk(),
+               "conv stage '" << ctx.net.layer(stage.main_node).name()
+                              << "' cannot fit a single output row on chip");
+  return t;
+}
+
+// --- fully-connected stage ---------------------------------------------------
+
+void SimulateFcStageCommon(const StageContext& ctx, const Stage& stage,
+                           StageStats* stats) {
+  const auto& fc = dynamic_cast<const nn::FullyConnected&>(
+      ctx.net.layer(stage.main_node));
+  SC_CHECK(stage.input_nodes.size() == 1);
+  const int producer = stage.input_nodes[0];
+  const Tensor& out = TensorOf(ctx, stage.output_node);
+
+  const auto eb = static_cast<std::uint64_t>(ctx.cfg.element_bytes);
+  const Region wreg = ctx.map.weights(stage.main_node);
+  const Region ofm_reg = ctx.map.ofm(stage.output_node);
+
+  // Whole input vector on chip (FC inputs are small relative to weights).
+  const nn::Shape in_shape = TensorOf(ctx, producer).shape();
+  EmitFmapRowReads(ctx, producer, 0, in_shape[1]);
+  ctx.emit.FinishTile(0, 0);
+
+  const std::uint64_t weights_per_oc =
+      static_cast<std::uint64_t>(fc.in_features()) * eb;
+  const int oc_block = std::max<int>(
+      1, static_cast<int>(std::min<std::uint64_t>(
+             static_cast<std::uint64_t>(fc.out_features()),
+             ctx.cfg.weight_buffer_bytes / weights_per_oc)));
+
+  for (int oc0 = 0; oc0 < fc.out_features(); oc0 += oc_block) {
+    const int noc = std::min(oc_block, fc.out_features() - oc0);
+    ctx.emit.Read(wreg.base + static_cast<std::uint64_t>(oc0) * weights_per_oc,
+                  static_cast<std::uint64_t>(noc) * weights_per_oc);
+    const long long tile_macs =
+        static_cast<long long>(noc) * fc.in_features();
+    stats->macs += tile_macs;
+    ctx.emit.FinishTile(tile_macs, 0);
+  }
+
+  // Single write-back of the whole output vector (the FC OFM is one tile;
+  // with pruning it is one compressed stream, so only the aggregate count
+  // leaks for FC layers).
+  PrunedInfo* info =
+      &ctx.region_info[static_cast<std::size_t>(stage.output_node)];
+  if (!ctx.cfg.zero_pruning) {
+    ctx.emit.Write(ofm_reg.base, out.numel() * eb);
+  } else {
+    const std::uint64_t per_elem =
+        eb + static_cast<std::uint64_t>(ctx.cfg.prune_index_bytes);
+    const std::uint64_t header =
+        static_cast<std::uint64_t>(ctx.cfg.prune_header_bytes);
+    const std::size_t nnz = out.CountNonZeros();
+    const std::uint64_t stream =
+        header + static_cast<std::uint64_t>(nnz) * per_elem;
+    const std::uint64_t burst =
+        ctx.cfg.prune_constant_shape ? header + out.numel() * per_elem
+                                     : stream;
+    ctx.emit.Write(ofm_reg.base, burst);
+    info->pruned = true;
+    info->slot_bytes = 0;
+    info->stream_bytes = {stream};
+  }
+  ctx.emit.FinishTile(0, static_cast<long long>(out.numel()));
+}
+
+// --- standalone pooling / element-wise stages --------------------------------
+
+void SimulateStreamStageCommon(const StageContext& ctx, const Stage& stage,
+                               StageStats* stats) {
+  const Tensor& out = TensorOf(ctx, stage.output_node);
+  const Region ofm_reg = ctx.map.ofm(stage.output_node);
+  const int oh = out.shape()[1];
+  const int od = out.shape()[0];
+
+  int f = 1, s = 1, p = 0;
+  if (stage.kind == StageKind::kPool) {
+    const auto& pool =
+        dynamic_cast<const nn::Pooling&>(ctx.net.layer(stage.main_node));
+    f = pool.window();
+    s = pool.stride();
+    p = pool.pad();
+  }
+
+  // Row-streamed: read the input rows feeding each output row block (from
+  // every producer for eltwise), compute, write back.
+  const std::uint64_t ofm_row_bytes =
+      static_cast<std::uint64_t>(out.shape()[2]) *
+      static_cast<std::uint64_t>(od) *
+      static_cast<std::uint64_t>(ctx.cfg.element_bytes);
+  int row_block = std::max<int>(
+      1, static_cast<int>(ctx.cfg.ofm_buffer_bytes /
+                          std::max<std::uint64_t>(1, ofm_row_bytes)));
+  row_block = std::min(row_block, oh);
+
+  OfmWriter writer(
+      ctx, out, ofm_reg,
+      &ctx.region_info[static_cast<std::size_t>(stage.output_node)]);
+  std::vector<bool> compressed_fetched(stage.input_nodes.size(), false);
+
+  for (int ry0 = 0; ry0 < oh; ry0 += row_block) {
+    const int ry1 = std::min(oh, ry0 + row_block);
+    for (std::size_t k = 0; k < stage.input_nodes.size(); ++k) {
+      const int producer = stage.input_nodes[k];
+      const nn::Shape in_shape = TensorOf(ctx, producer).shape();
+      if (IsPruned(ctx, producer)) {
+        if (!compressed_fetched[k]) {
+          EmitFmapRowReads(ctx, producer, 0, in_shape[1]);
+          compressed_fetched[k] = true;
+        }
+        continue;
+      }
+      int i0 = ry0, i1 = ry1;
+      if (stage.kind == StageKind::kPool) {
+        i0 = std::max(0, ry0 * s - p);
+        i1 = std::min(in_shape[1], (ry1 - 1) * s - p + f);
+        i1 = std::max(i1, i0 + 1);
+      }
+      EmitFmapRowReads(ctx, producer, i0, i1);
+    }
+    const long long tile_simd =
+        static_cast<long long>(ry1 - ry0) * out.shape()[2] * od * f * f *
+        static_cast<long long>(std::max<std::size_t>(
+            1, stage.input_nodes.size()));
+    writer.WriteRows(0, od, ry0, ry1);
+    ctx.emit.FinishTile(0, tile_simd);
+  }
+  (void)stats;
+}
+
+}  // namespace sc::accel

@@ -1,0 +1,216 @@
+// Machinery shared by every dataflow backend (DESIGN.md §13): the trace
+// Emitter (cycle clock + DRAM burst events + DRAM metrics), the functional
+// forward pass, feature-map/weight read helpers, and the zero-pruning
+// OfmWriter. The §4 side channel lives entirely in OfmWriter — both
+// backends write compressed bursts through the same engine, which is what
+// makes the per-channel zero-count leak dataflow-invariant by construction
+// (asserted by tests/schedule_property_test.cc).
+//
+// Internal to src/accel; the public surface is accelerator.h + backend.h.
+#ifndef SC_ACCEL_BACKEND_COMMON_H_
+#define SC_ACCEL_BACKEND_COMMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/address_map.h"
+#include "accel/config.h"
+#include "accel/stage.h"
+#include "nn/network.h"
+#include "nn/tensor.h"
+#include "obs/metrics.h"
+#include "support/check.h"
+#include "trace/trace.h"
+
+namespace sc::accel {
+
+struct StageStats;
+
+// Metrics (DESIGN.md §9). All recording is additionally gated on
+// AcceleratorConfig::collect_metrics so probe-heavy callers (the weight
+// attack's oracle) can opt out of the accel.* counters per instance.
+struct AccelMetrics {
+  obs::Counter& runs = obs::Registry::Get().GetCounter("accel.runs");
+  obs::Counter& read_events =
+      obs::Registry::Get().GetCounter("accel.dram.read_events");
+  obs::Counter& read_bytes =
+      obs::Registry::Get().GetCounter("accel.dram.read_bytes");
+  obs::Counter& write_events =
+      obs::Registry::Get().GetCounter("accel.dram.write_events");
+  obs::Counter& write_bytes =
+      obs::Registry::Get().GetCounter("accel.dram.write_bytes");
+  obs::Counter& raw_reads =
+      obs::Registry::Get().GetCounter("accel.raw_reads");
+  obs::Histogram& stage_cycles =
+      obs::Registry::Get().GetHistogram("accel.stage.cycles");
+};
+
+AccelMetrics& Metrics();
+
+// Per-backend metric scope ("accel.backend.<dataflow>.*"): runs and stage
+// cycles attributed to one dataflow, additive to the aggregate accel.*
+// names above (which existing dashboards and tests depend on).
+struct BackendMetrics {
+  obs::Counter& runs;
+  obs::Histogram& stage_cycles;
+};
+
+BackendMetrics& MetricsFor(Dataflow d);
+
+// Integer ceiling division for cycle math.
+inline std::uint64_t CeilDiv(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+// Collects trace events and per-stage byte counters; owns the cycle clock.
+class Emitter {
+ public:
+  Emitter(trace::Trace* t, const AcceleratorConfig& cfg)
+      : trace_(t), cfg_(cfg) {}
+
+  void Read(std::uint64_t addr, std::uint64_t bytes) {
+    if (bytes == 0) return;
+    stage_read_ += bytes;
+    tile_bytes_ += bytes;
+    if (cfg_.collect_metrics) {
+      Metrics().read_events.Add();
+      Metrics().read_bytes.Add(bytes);
+    }
+    if (trace_)
+      trace_->Append(cycle_, addr, Narrow(bytes), trace::MemOp::kRead);
+  }
+
+  void Write(std::uint64_t addr, std::uint64_t bytes) {
+    if (bytes == 0) return;
+    stage_written_ += bytes;
+    tile_bytes_ += bytes;
+    if (cfg_.collect_metrics) {
+      Metrics().write_events.Add();
+      Metrics().write_bytes.Add(bytes);
+    }
+    if (trace_)
+      trace_->Append(cycle_, addr, Narrow(bytes), trace::MemOp::kWrite);
+  }
+
+  // Ends the current tile: advances the clock by the larger of the tile's
+  // compute time and its memory time, then starts a fresh tile.
+  void FinishTile(long long tile_macs, long long tile_simd_ops) {
+    const std::uint64_t compute =
+        CeilDiv(static_cast<std::uint64_t>(tile_macs),
+                static_cast<std::uint64_t>(cfg_.macs_per_cycle)) +
+        CeilDiv(static_cast<std::uint64_t>(tile_simd_ops),
+                static_cast<std::uint64_t>(cfg_.simd_lanes));
+    const std::uint64_t mem =
+        CeilDiv(tile_bytes_, static_cast<std::uint64_t>(cfg_.bytes_per_cycle));
+    cycle_ += std::max<std::uint64_t>(1, std::max(compute, mem));
+    tile_bytes_ = 0;
+  }
+
+  void BeginStage() {
+    stage_read_ = 0;
+    stage_written_ = 0;
+    tile_bytes_ = 0;
+  }
+
+  std::uint64_t cycle() const { return cycle_; }
+  std::uint64_t stage_read() const { return stage_read_; }
+  std::uint64_t stage_written() const { return stage_written_; }
+
+ private:
+  static std::uint32_t Narrow(std::uint64_t bytes) {
+    SC_CHECK_MSG(bytes <= UINT32_MAX, "burst too large");
+    return static_cast<std::uint32_t>(bytes);
+  }
+
+  trace::Trace* trace_;
+  const AcceleratorConfig& cfg_;
+  std::uint64_t cycle_ = 0;
+  std::uint64_t stage_read_ = 0;
+  std::uint64_t stage_written_ = 0;
+  std::uint64_t tile_bytes_ = 0;
+};
+
+// Per-region bookkeeping of zero-pruned (compressed) contents. Each output
+// channel owns a fixed-capacity slot inside the region (how RLE designs
+// keep channels addressable); stream_bytes[c] is the compressed size of
+// channel c's stream after write-back.
+struct PrunedInfo {
+  bool pruned = false;
+  std::uint64_t slot_bytes = 0;  // per-channel slot capacity (0: one slot)
+  std::vector<std::uint64_t> stream_bytes;
+};
+
+// Functional forward pass that honours the accelerator's ReLU-threshold
+// override knob. Produces one tensor per node, identical to
+// Network::Forward when no override is set.
+std::vector<nn::Tensor> ForwardWithOverride(const nn::Network& net,
+                                            const nn::Tensor& input,
+                                            const AcceleratorConfig& cfg);
+
+// Counts non-zero elements of out[channel, rows y0..y1).
+std::size_t CountNonZerosRows(const nn::Tensor& t, int c, int y0, int y1);
+
+// Context shared by the per-stage simulation hooks.
+struct StageContext {
+  const nn::Network& net;
+  const AddressMap& map;
+  const AcceleratorConfig& cfg;
+  const std::vector<nn::Tensor>& node_outputs;
+  const nn::Tensor& input;
+  Emitter& emit;
+  std::vector<PrunedInfo>& region_info;  // indexed by node id; input is dense
+};
+
+const nn::Tensor& TensorOf(const StageContext& ctx, int node);
+Region RegionOf(const StageContext& ctx, int node);
+bool IsPruned(const StageContext& ctx, int node);
+
+// Reads the compressed stream(s) of a pruned node; a concat fans out to its
+// component streams (each sits at its own aliased sub-region base).
+void EmitCompressedStreamReads(const StageContext& ctx, int node);
+
+// Emits IFM reads for rows [y0, y1) of every channel of `node`'s region.
+// For a pruned producer the whole compressed stream is fetched instead
+// (channel-stream model; row addressing is meaningless in a compressed
+// stream). Returns true if it emitted the compressed fallback.
+bool EmitFmapRowReads(const StageContext& ctx, int node, int y0, int y1);
+
+// Write-back engine for one stage's OFM: dense in-place rows, or
+// zero-pruned compressed bursts appended to fixed per-channel stream slots.
+// A compressed burst's size is header + nnz * (element + index), so each
+// burst leaks its tile's non-zero count — the §4 side channel — and its
+// slot address identifies the output channel. Shared by every backend:
+// per-channel cursors keep each channel's bursts row-ordered no matter
+// which loop order delivered them, so the leaked per-channel counts (and
+// the compressed stream sizes readers fetch) do not depend on the
+// dataflow.
+class OfmWriter {
+ public:
+  OfmWriter(const StageContext& ctx, const nn::Tensor& out,
+            const Region& region, PrunedInfo* info);
+
+  void WriteRows(int c0, int c1, int y0, int y1);
+
+ private:
+  const StageContext& ctx_;
+  const nn::Tensor& out_;
+  Region region_;
+  PrunedInfo* info_;
+  std::uint64_t slot_bytes_ = 0;
+  std::vector<std::uint64_t> cursors_;
+};
+
+// Builds the shared conv tile arithmetic for one conv stage.
+ConvTiler MakeConvTiler(const StageContext& ctx, const Stage& stage);
+
+// Dataflow-neutral stage engines. FC layers keep the whole output vector
+// resident whichever operand is "stationary", and pool/eltwise stages have
+// no weights to re-fetch, so both backends share these.
+void SimulateFcStageCommon(const StageContext& ctx, const Stage& stage,
+                           StageStats* stats);
+void SimulateStreamStageCommon(const StageContext& ctx, const Stage& stage,
+                               StageStats* stats);
+
+}  // namespace sc::accel
+
+#endif  // SC_ACCEL_BACKEND_COMMON_H_

@@ -1,0 +1,130 @@
+// Output-stationary backend. Output-row blocks are the outer tile loop:
+// each row block pins its output accumulators on chip, fetches its IFM
+// halo once, and streams every filter bank past it — so weights are
+// re-read once per row block (the mirror image of the weight-stationary
+// IFM re-reads). Finished accumulators drain through the SIMD datapath,
+// adding one op per output element to the per-tile cycle model.
+//
+// Block selection (ConvTiler) and OFM write-back (OfmWriter) are shared
+// with the weight-stationary backend, so per-tile write bursts — the §4
+// zero-count channel — are identical across dataflows by construction.
+#include "accel/accelerator.h"
+#include "accel/backend.h"
+
+#include <algorithm>
+
+namespace sc::accel {
+
+namespace {
+
+class OutputStationaryBackend final : public Backend {
+ public:
+  Dataflow dataflow() const override { return Dataflow::kOutputStationary; }
+
+  ScheduleModel schedule_model(const AcceleratorConfig& cfg) const override {
+    ScheduleModel m;
+    m.dataflow = Dataflow::kOutputStationary;
+    m.oc_blocks_outer = false;
+    m.drain_ops_per_elem = 1;
+    m.simd_lanes = cfg.simd_lanes;
+    m.ifm_buffer_bytes = cfg.ifm_buffer_bytes;
+    m.weight_buffer_bytes = cfg.weight_buffer_bytes;
+    m.ofm_buffer_bytes = cfg.ofm_buffer_bytes;
+    m.element_bytes = cfg.element_bytes;
+    return m;
+  }
+
+  void SimulateConv(const StageContext& ctx, const Stage& stage,
+                    StageStats* stats) const override {
+    const ConvTiler t = MakeConvTiler(ctx, stage);
+    const int producer = stage.input_nodes[0];
+    const nn::Tensor& out = TensorOf(ctx, stage.output_node);
+    const Region wreg = ctx.map.weights(stage.main_node);
+    const Region ofm_reg = ctx.map.ofm(stage.output_node);
+    SC_CHECK(wreg.valid());
+
+    const std::uint64_t weights_per_oc = t.WeightsPerOc();
+    const int oc_block = t.OcBlock();
+    const int row_block = t.RowBlock();
+
+    const std::uint64_t ifm_total = TensorOf(ctx, producer).numel() * t.eb;
+    const bool cache_whole_ifm =
+        !IsPruned(ctx, producer) && ifm_total <= ctx.cfg.ifm_buffer_bytes;
+
+    // Whole-IFM prefetch (also places the boundary-defining RAW read
+    // first) — same policy as weight-stationary; the dataflows only differ
+    // in what they re-fetch when the IFM does NOT fit.
+    if (cache_whole_ifm) {
+      EmitFmapRowReads(ctx, producer, 0, t.ih);
+      ctx.emit.FinishTile(0, 0);
+    }
+
+    OfmWriter writer(
+        ctx, out, ofm_reg,
+        &ctx.region_info[static_cast<std::size_t>(stage.output_node)]);
+
+    for (int ry0 = 0; ry0 < t.oh; ry0 += row_block) {
+      const int ry1 = std::min(t.oh, ry0 + row_block);
+      // IFM halo once per row block; it stays resident while every filter
+      // bank streams past it. A pruned producer has no row addressing, so
+      // its compressed stream is re-fetched once per row block.
+      if (!cache_whole_ifm) {
+        if (IsPruned(ctx, producer)) {
+          EmitFmapRowReads(ctx, producer, 0, t.ih);
+        } else {
+          const auto [i0, i1] = t.IfmRowSpan(ry0, ry1);
+          EmitFmapRowReads(ctx, producer, i0, i1);
+        }
+      }
+      for (int oc0 = 0; oc0 < t.od; oc0 += oc_block) {
+        const int noc = std::min(oc_block, t.od - oc0);
+        // Weights stream through once per (row block, oc block): the
+        // weight buffer holds only the bank in flight, so nothing persists
+        // across row blocks. This re-read is the output-stationary cost a
+        // bus probe sees (and the attack's traffic model predicts).
+        ctx.emit.Read(wreg.base + static_cast<std::uint64_t>(oc0) *
+                                      weights_per_oc,
+                      static_cast<std::uint64_t>(noc) * weights_per_oc);
+
+        const auto [p0, p1] = t.ConvRowSpan(ry0, ry1);
+        const long long tile_macs = static_cast<long long>(p1 - p0) * t.cw *
+                                    noc * t.f * t.f * t.ic;
+        // Pool/activation SIMD work as in weight-stationary, plus the
+        // accumulator drain: one SIMD op per finished output element.
+        const long long drain =
+            static_cast<long long>(ry1 - ry0) * t.ow * noc;
+        const long long tile_simd =
+            (t.pooled ? static_cast<long long>(ry1 - ry0) * t.ow * noc *
+                            t.f_pool * t.f_pool
+                      : static_cast<long long>(p1 - p0) * t.cw * noc) +
+            drain;
+        stats->macs += tile_macs;
+
+        writer.WriteRows(oc0, oc0 + noc, ry0, ry1);
+        ctx.emit.FinishTile(tile_macs, tile_simd);
+      }
+    }
+  }
+
+  void SimulateFc(const StageContext& ctx, const Stage& stage,
+                  StageStats* stats) const override {
+    // FC: the whole output vector is accumulator-resident under either
+    // dataflow, so the schedules coincide.
+    SimulateFcStageCommon(ctx, stage, stats);
+  }
+
+  void SimulateStream(const StageContext& ctx, const Stage& stage,
+                      StageStats* stats) const override {
+    // No weights to re-fetch; pool/eltwise streaming is dataflow-neutral.
+    SimulateStreamStageCommon(ctx, stage, stats);
+  }
+};
+
+}  // namespace
+
+const Backend& GetOutputStationaryBackend() {
+  static const OutputStationaryBackend b;
+  return b;
+}
+
+}  // namespace sc::accel

@@ -1,0 +1,122 @@
+// Weight-stationary backend: the paper's schedule. Output-channel blocks
+// are the outer tile loop; each oc block loads its filter bank once and the
+// IFM rows stream past it, so the IFM halo is re-read once per oc block.
+// Trace output is byte-identical to the pre-backend-split accelerator
+// (tests/golden_artifact_test.cc pins this).
+#include "accel/accelerator.h"
+#include "accel/backend.h"
+
+#include <algorithm>
+
+namespace sc::accel {
+
+namespace {
+
+class WeightStationaryBackend final : public Backend {
+ public:
+  Dataflow dataflow() const override { return Dataflow::kWeightStationary; }
+
+  ScheduleModel schedule_model(const AcceleratorConfig& cfg) const override {
+    ScheduleModel m;
+    m.dataflow = Dataflow::kWeightStationary;
+    m.oc_blocks_outer = true;
+    m.drain_ops_per_elem = 0;
+    m.simd_lanes = cfg.simd_lanes;
+    m.ifm_buffer_bytes = cfg.ifm_buffer_bytes;
+    m.weight_buffer_bytes = cfg.weight_buffer_bytes;
+    m.ofm_buffer_bytes = cfg.ofm_buffer_bytes;
+    m.element_bytes = cfg.element_bytes;
+    return m;
+  }
+
+  void SimulateConv(const StageContext& ctx, const Stage& stage,
+                    StageStats* stats) const override {
+    const ConvTiler t = MakeConvTiler(ctx, stage);
+    const int producer = stage.input_nodes[0];
+    const Tensor& out = TensorOf(ctx, stage.output_node);
+    const Region wreg = ctx.map.weights(stage.main_node);
+    const Region ofm_reg = ctx.map.ofm(stage.output_node);
+    SC_CHECK(wreg.valid());
+
+    const std::uint64_t weights_per_oc = t.WeightsPerOc();
+    const int oc_block = t.OcBlock();
+    const int row_block = t.RowBlock();
+
+    const std::uint64_t ifm_total = TensorOf(ctx, producer).numel() * t.eb;
+    const bool cache_whole_ifm =
+        !IsPruned(ctx, producer) && ifm_total <= ctx.cfg.ifm_buffer_bytes;
+
+    // Whole-IFM prefetch (also places the boundary-defining RAW read first).
+    if (cache_whole_ifm) {
+      EmitFmapRowReads(ctx, producer, 0, t.ih);
+      ctx.emit.FinishTile(0, 0);
+    }
+
+    OfmWriter writer(
+        ctx, out, ofm_reg,
+        &ctx.region_info[static_cast<std::size_t>(stage.output_node)]);
+    bool compressed_fetched = false;
+
+    for (int oc0 = 0; oc0 < t.od; oc0 += oc_block) {
+      const int noc = std::min(oc_block, t.od - oc0);
+      bool first_row_block = true;
+      for (int ry0 = 0; ry0 < t.oh; ry0 += row_block) {
+        const int ry1 = std::min(t.oh, ry0 + row_block);
+        // IFM fetch (unless cached). A pruned producer is fetched as one
+        // compressed stream per oc block.
+        if (!cache_whole_ifm) {
+          if (IsPruned(ctx, producer)) {
+            if (first_row_block || !compressed_fetched) {
+              EmitFmapRowReads(ctx, producer, 0, t.ih);
+              compressed_fetched = true;
+            }
+          } else {
+            const auto [i0, i1] = t.IfmRowSpan(ry0, ry1);
+            EmitFmapRowReads(ctx, producer, i0, i1);
+          }
+        }
+        if (first_row_block) {
+          // Weights once per oc block (biases live on chip).
+          ctx.emit.Read(wreg.base + static_cast<std::uint64_t>(oc0) *
+                                        weights_per_oc,
+                        static_cast<std::uint64_t>(noc) * weights_per_oc);
+          first_row_block = false;
+        }
+
+        const auto [p0, p1] = t.ConvRowSpan(ry0, ry1);
+        const long long tile_macs = static_cast<long long>(p1 - p0) * t.cw *
+                                    noc * t.f * t.f * t.ic;
+        const long long tile_simd =
+            t.pooled ? static_cast<long long>(ry1 - ry0) * t.ow * noc *
+                           t.f_pool * t.f_pool
+                     : static_cast<long long>(p1 - p0) * t.cw * noc;
+        stats->macs += tile_macs;
+
+        writer.WriteRows(oc0, oc0 + noc, ry0, ry1);
+        ctx.emit.FinishTile(tile_macs, tile_simd);
+      }
+    }
+  }
+
+  void SimulateFc(const StageContext& ctx, const Stage& stage,
+                  StageStats* stats) const override {
+    SimulateFcStageCommon(ctx, stage, stats);
+  }
+
+  void SimulateStream(const StageContext& ctx, const Stage& stage,
+                      StageStats* stats) const override {
+    SimulateStreamStageCommon(ctx, stage, stats);
+  }
+
+ private:
+  using Tensor = nn::Tensor;
+};
+
+}  // namespace
+
+const Backend& GetWeightStationaryBackend() {
+  static const WeightStationaryBackend b;
+  return b;
+}
+
+}  // namespace sc::accel

@@ -5,6 +5,8 @@
 
 #include <cstdint>
 
+#include "accel/dataflow.h"
+
 namespace sc::trace {
 class TraceTransform;
 }
@@ -12,6 +14,14 @@ class TraceTransform;
 namespace sc::accel {
 
 struct AcceleratorConfig {
+  // --- dataflow ---
+  // Which backend walks the tiled schedule (accel/backend.h):
+  // weight-stationary (the paper's schedule) or output-stationary. Seeded
+  // from the process-wide SC_DATAFLOW knob so whole suites re-run against
+  // the other backend unchanged; byte-exact golden tests pin this field
+  // explicitly instead.
+  Dataflow dataflow = DefaultDataflow();
+
   // --- datapath ---
   int macs_per_cycle = 64;        // PE-array throughput
   int simd_lanes = 16;            // pool/eltwise/activation throughput

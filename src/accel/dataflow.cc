@@ -1,0 +1,100 @@
+#include "accel/dataflow.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "support/check.h"
+
+namespace sc::accel {
+
+const char* ToString(Dataflow d) {
+  switch (d) {
+    case Dataflow::kWeightStationary: return "weight_stationary";
+    case Dataflow::kOutputStationary: return "output_stationary";
+  }
+  return "?";
+}
+
+bool ParseDataflow(const char* s, Dataflow* out) {
+  if (s == nullptr) return false;
+  const std::string v(s);
+  if (v == "weight_stationary" || v == "ws") {
+    *out = Dataflow::kWeightStationary;
+    return true;
+  }
+  if (v == "output_stationary" || v == "os") {
+    *out = Dataflow::kOutputStationary;
+    return true;
+  }
+  return false;
+}
+
+Dataflow DefaultDataflow() {
+  static const Dataflow d = [] {
+    const char* env = std::getenv("SC_DATAFLOW");
+    if (env == nullptr || *env == '\0') return Dataflow::kWeightStationary;
+    Dataflow parsed = Dataflow::kWeightStationary;
+    SC_CHECK_MSG(ParseDataflow(env, &parsed),
+                 "SC_DATAFLOW='" << env
+                                 << "' (expected weight_stationary|ws|"
+                                    "output_stationary|os)");
+    return parsed;
+  }();
+  return d;
+}
+
+int ConvTiler::OcBlock() const {
+  return std::max<int>(
+      1, static_cast<int>(std::min<std::uint64_t>(
+             static_cast<std::uint64_t>(od),
+             weight_buffer_bytes /
+                 std::max<std::uint64_t>(1, WeightsPerOc()))));
+}
+
+std::pair<int, int> ConvTiler::ConvRowSpan(int ry0, int ry1) const {
+  int p0 = ry0, p1 = ry1;
+  if (pooled) {
+    p0 = std::max(0, ry0 * s_pool - p_pool);
+    p1 = std::min(cw, (ry1 - 1) * s_pool - p_pool + f_pool);
+  }
+  return {p0, std::max(p1, p0 + 1)};
+}
+
+std::pair<int, int> ConvTiler::IfmRowSpan(int ry0, int ry1) const {
+  const auto [p0, p1] = ConvRowSpan(ry0, ry1);
+  const int i0 = std::max(0, p0 * s - p);
+  const int i1 = std::min(ih, (p1 - 1) * s - p + f);
+  return {i0, std::max(i1, i0 + 1)};
+}
+
+bool ConvTiler::TileFits(int rows) const {
+  const auto [i0, i1] = IfmRowSpan(0, rows);
+  const std::uint64_t ifm_bytes = static_cast<std::uint64_t>(i1 - i0) *
+                                  static_cast<std::uint64_t>(in_w) *
+                                  static_cast<std::uint64_t>(ic) * eb;
+  const std::uint64_t ofm_bytes = static_cast<std::uint64_t>(rows) *
+                                  static_cast<std::uint64_t>(ow) *
+                                  static_cast<std::uint64_t>(OcBlock()) * eb;
+  return ifm_bytes <= ifm_buffer_bytes && ofm_bytes <= ofm_buffer_bytes;
+}
+
+bool ConvTiler::StreamingOk() const {
+  const std::uint64_t streaming_ifm_bytes = static_cast<std::uint64_t>(f) *
+                                            static_cast<std::uint64_t>(in_w) *
+                                            static_cast<std::uint64_t>(ic) *
+                                            eb;
+  const std::uint64_t streaming_ofm_bytes =
+      static_cast<std::uint64_t>(ow) * static_cast<std::uint64_t>(OcBlock()) *
+      eb;
+  return streaming_ifm_bytes <= ifm_buffer_bytes &&
+         streaming_ofm_bytes <= ofm_buffer_bytes;
+}
+
+int ConvTiler::RowBlock() const {
+  int row_block = 1;
+  while (row_block < oh && TileFits(row_block + 1)) ++row_block;
+  return row_block;
+}
+
+}  // namespace sc::accel

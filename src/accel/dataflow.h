@@ -1,0 +1,118 @@
+// Dataflow taxonomy for the accelerator backends (DESIGN.md §13).
+//
+// A dataflow names which operand stays resident in the PE array while the
+// tiled schedule walks the layer: weight-stationary keeps one block of
+// filters on chip and streams the input feature map past it (the paper's
+// schedule, Figure 1); output-stationary keeps one block of output
+// accumulators on chip and streams the weights past it. Both block the
+// output tensor the same way (ConvTiler below); they differ in loop order
+// and in which operand is re-fetched per block — exactly the properties a
+// bus probe observes.
+#ifndef SC_ACCEL_DATAFLOW_H_
+#define SC_ACCEL_DATAFLOW_H_
+
+#include <cstdint>
+#include <utility>
+
+namespace sc::accel {
+
+enum class Dataflow {
+  kWeightStationary,   // oc blocks outer; IFM rows re-read per oc block
+  kOutputStationary,   // row blocks outer; weights re-read per row block
+};
+
+const char* ToString(Dataflow d);
+
+// Accepts "weight_stationary"/"ws" and "output_stationary"/"os". Returns
+// false (leaving *out untouched) for anything else.
+bool ParseDataflow(const char* s, Dataflow* out);
+
+// Process-wide default, seeded once from the SC_DATAFLOW environment
+// variable (same knob pattern as SC_THREADS / SC_METRICS). Unset or empty
+// means weight-stationary; an unparseable value throws sc::Error at first
+// use. Byte-exact golden tests pin the dataflow explicitly instead of
+// relying on this.
+Dataflow DefaultDataflow();
+
+// How a backend tiles one convolution stage, reported to the structure
+// attack so the Eq. (1)-(8) candidate filter can predict a hypothesis'
+// DRAM traffic under *this* schedule instead of assuming the
+// weight-stationary split (attack/structure/schedule.h).
+struct ScheduleModel {
+  Dataflow dataflow = Dataflow::kWeightStationary;
+
+  // Tile loop order: true = output-channel blocks outermost (each oc block
+  // re-fetches the IFM rows it convolves); false = output-row blocks
+  // outermost (each row block re-fetches every weight block).
+  bool oc_blocks_outer = true;
+
+  // Extra per-tile SIMD ops per output element (the output-stationary
+  // accumulator drain); part of the backend's per-tile cycle model. Summed
+  // over a layer's tiles each output element drains exactly once, so a
+  // layer's drain ops are SizeOfm() * drain_ops_per_elem, retired at
+  // simd_lanes ops per cycle.
+  int drain_ops_per_elem = 0;
+  int simd_lanes = 0;  // 0 = drain not modelled
+
+  // Datasheet buffer capacities the tile extents derive from — public
+  // microarchitecture, same provenance as SearchConfig::macs_per_cycle.
+  std::uint64_t ifm_buffer_bytes = 0;
+  std::uint64_t weight_buffer_bytes = 0;
+  std::uint64_t ofm_buffer_bytes = 0;
+  int element_bytes = 4;
+};
+
+// Shared conv tile arithmetic. Both backends size output-channel blocks by
+// the weight buffer and output-row blocks by the IFM/OFM buffers; the
+// attack-side traffic predictor mirrors the same selection, so it lives
+// here rather than inside either backend.
+struct ConvTiler {
+  // Layer geometry.
+  int ic = 0;       // input depth
+  int ih = 0;       // input height
+  int in_w = 0;     // input width
+  int od = 0;       // output depth
+  int oh = 0;       // final (post-pool) output height
+  int ow = 0;       // final output width
+  int cw = 0;       // pre-pool convolution output width
+  int f = 1;        // conv filter / stride / pad
+  int s = 1;
+  int p = 0;
+  bool pooled = false;
+  int f_pool = 1;
+  int s_pool = 1;
+  int p_pool = 0;
+
+  // Datasheet.
+  std::uint64_t eb = 4;  // element bytes
+  std::uint64_t ifm_buffer_bytes = 0;
+  std::uint64_t weight_buffer_bytes = 0;
+  std::uint64_t ofm_buffer_bytes = 0;
+
+  // Bytes of one output channel's filter bank.
+  std::uint64_t WeightsPerOc() const {
+    return static_cast<std::uint64_t>(ic) * static_cast<std::uint64_t>(f) *
+           static_cast<std::uint64_t>(f) * eb;
+  }
+
+  // Output channels handled per tile (>= 1, capped at od).
+  int OcBlock() const;
+
+  // Rows of the pre-pool conv output feeding final rows [ry0, ry1).
+  std::pair<int, int> ConvRowSpan(int ry0, int ry1) const;
+  // IFM rows feeding final rows [ry0, ry1).
+  std::pair<int, int> IfmRowSpan(int ry0, int ry1) const;
+
+  // True when a tile of `rows` final rows x OcBlock() channels fits the
+  // IFM and OFM buffers.
+  bool TileFits(int rows) const;
+  // Fused-global-pool fallback: one conv row's halo streams through an
+  // on-chip pooling accumulator.
+  bool StreamingOk() const;
+  // Largest feasible row block (>= 1 even when only streaming fits).
+  int RowBlock() const;
+};
+
+}  // namespace sc::accel
+
+#endif  // SC_ACCEL_DATAFLOW_H_

@@ -1,0 +1,90 @@
+#include "attack/structure/schedule.h"
+
+#include <algorithm>
+
+namespace sc::attack {
+
+namespace {
+
+accel::ConvTiler TilerFor(const nn::LayerGeometry& g,
+                          const accel::ScheduleModel& m) {
+  accel::ConvTiler t;
+  t.ic = g.d_ifm;
+  t.ih = g.w_ifm;
+  t.in_w = g.w_ifm;
+  t.od = g.d_ofm;
+  t.oh = g.w_ofm;
+  t.ow = g.w_ofm;
+  t.cw = g.ConvStageWidth();
+  t.f = g.f_conv;
+  t.s = g.s_conv;
+  t.p = g.p_conv;
+  t.pooled = g.has_pool();
+  if (t.pooled) {
+    t.f_pool = g.f_pool;
+    t.s_pool = g.s_pool;
+    t.p_pool = g.p_pool;
+  }
+  t.eb = static_cast<std::uint64_t>(m.element_bytes);
+  t.ifm_buffer_bytes = m.ifm_buffer_bytes;
+  t.weight_buffer_bytes = m.weight_buffer_bytes;
+  t.ofm_buffer_bytes = m.ofm_buffer_bytes;
+  return t;
+}
+
+}  // namespace
+
+std::uint64_t PredictLayerTraffic(const nn::LayerGeometry& g,
+                                  const accel::ScheduleModel& m) {
+  const auto eb = static_cast<std::uint64_t>(m.element_bytes);
+  const std::uint64_t ifm = static_cast<std::uint64_t>(g.SizeIfm()) * eb;
+  const std::uint64_t weights =
+      static_cast<std::uint64_t>(g.SizeFilter()) * eb;
+  const std::uint64_t ofm = static_cast<std::uint64_t>(g.SizeOfm()) * eb;
+
+  // FC: whole input vector on chip, each weight streamed once, one output
+  // write-back — identical under both dataflows.
+  if (g.IsFullyConnected()) return ifm + weights + ofm;
+
+  const accel::ConvTiler t = TilerFor(g, m);
+  const int oc_block = t.OcBlock();
+  const int row_block = t.RowBlock();
+  const std::uint64_t num_oc_blocks = static_cast<std::uint64_t>(
+      (t.od + oc_block - 1) / oc_block);
+  const std::uint64_t num_row_blocks = static_cast<std::uint64_t>(
+      (t.oh + row_block - 1) / row_block);
+
+  // Halo bytes summed over one full pass of row blocks.
+  std::uint64_t halo_pass = 0;
+  for (int ry0 = 0; ry0 < t.oh; ry0 += row_block) {
+    const int ry1 = std::min(t.oh, ry0 + row_block);
+    const auto [i0, i1] = t.IfmRowSpan(ry0, ry1);
+    halo_pass += static_cast<std::uint64_t>(i1 - i0) *
+                 static_cast<std::uint64_t>(t.in_w) *
+                 static_cast<std::uint64_t>(t.ic) * eb;
+  }
+  const bool cache_whole_ifm = ifm <= m.ifm_buffer_bytes;
+
+  std::uint64_t ifm_traffic = 0, weight_traffic = 0;
+  if (m.oc_blocks_outer) {
+    // Weight-stationary: weights once per oc block; the IFM streams past
+    // every oc block unless it fits on chip.
+    weight_traffic = weights;
+    ifm_traffic = cache_whole_ifm ? ifm : num_oc_blocks * halo_pass;
+  } else {
+    // Output-stationary: each row block's halo once; every filter bank
+    // streams past every row block.
+    weight_traffic = num_row_blocks * weights;
+    ifm_traffic = cache_whole_ifm ? ifm : halo_pass;
+  }
+  return ifm_traffic + weight_traffic + ofm;
+}
+
+std::uint64_t PredictLayerDrainOps(const nn::LayerGeometry& g,
+                                   const accel::ScheduleModel& m) {
+  if (m.drain_ops_per_elem <= 0 || g.IsFullyConnected()) return 0;
+  return static_cast<std::uint64_t>(g.SizeOfm()) *
+         static_cast<std::uint64_t>(m.drain_ops_per_elem);
+}
+
+}  // namespace sc::attack

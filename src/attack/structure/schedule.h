@@ -1,0 +1,45 @@
+// Schedule-aware DRAM traffic prediction for the timing filter.
+//
+// The search's bandwidth model (SearchConfig) needs each hypothesis'
+// traffic under the victim's tiled schedule. Historically it reused the
+// *observed* per-segment byte count, which silently assumes the candidate
+// would move exactly as many bytes as the true layer did under the
+// weight-stationary schedule. With multiple dataflow backends the
+// multiplicity of IFM/weight re-reads depends on the schedule, so the
+// filter instead predicts a candidate's traffic from the backend-reported
+// ScheduleModel (accel/dataflow.h) — datasheet knowledge, same provenance
+// as macs_per_cycle — by replaying the backend's own tile selection
+// (ConvTiler) over the hypothesised geometry.
+#ifndef SC_ATTACK_STRUCTURE_SCHEDULE_H_
+#define SC_ATTACK_STRUCTURE_SCHEDULE_H_
+
+#include <cstdint>
+
+#include "accel/dataflow.h"
+#include "nn/geometry.h"
+
+namespace sc::attack {
+
+// Total DRAM bytes (reads + writes) one CONV/FC layer of geometry `g`
+// moves under schedule `m`, assuming dense (unpruned) tensors:
+//   FC:      IFM + weights + OFM, each touched once.
+//   conv WS: weights once; IFM once if it fits the buffer, else one halo
+//            per (oc block, row block); OFM once.
+//   conv OS: IFM once if cached, else one halo per row block; weights once
+//            per (row block, oc block); OFM once.
+// Never throws: infeasible candidate geometries still get an estimate (the
+// geometry solver, not this filter, is responsible for rejecting them).
+std::uint64_t PredictLayerTraffic(const nn::LayerGeometry& g,
+                                  const accel::ScheduleModel& m);
+
+// Extra SIMD ops the schedule's per-tile cycle model charges for one layer
+// beyond the MAC count (the output-stationary accumulator drain: each
+// output element drains exactly once across a layer's tiles). Zero for FC
+// layers — their write-back path is shared across dataflows — and for
+// schedules with no drain.
+std::uint64_t PredictLayerDrainOps(const nn::LayerGeometry& g,
+                                   const accel::ScheduleModel& m);
+
+}  // namespace sc::attack
+
+#endif  // SC_ATTACK_STRUCTURE_SCHEDULE_H_

@@ -4,6 +4,7 @@
 #include <map>
 #include <utility>
 
+#include "attack/structure/schedule.h"
 #include "obs/metrics.h"
 #include "support/check.h"
 #include "support/thread_pool.h"
@@ -175,9 +176,22 @@ std::vector<Branch> BranchesAt(SearchState& st, std::size_t si,
           (bandwidth_model || !g.IsFullyConnected()) && o.cycles > 0) {
         double work = static_cast<double>(g.ConvMacCount());
         if (bandwidth_model) {
-          work = std::max(
-              work / st.cfg.macs_per_cycle,
-              static_cast<double>(o.bytes_accessed) / st.cfg.bytes_per_cycle);
+          // Candidate byte traffic: predicted from the backend's schedule
+          // when reported, else the observed count (legacy weight-
+          // stationary assumption). With a schedule the compute term also
+          // charges the schedule's drain ops; pool SIMD stays absorbed by
+          // the tolerance, as before.
+          double compute = work / st.cfg.macs_per_cycle;
+          double bytes = static_cast<double>(o.bytes_accessed);
+          if (st.cfg.schedule) {
+            bytes = static_cast<double>(
+                PredictLayerTraffic(g, *st.cfg.schedule));
+            if (st.cfg.schedule->simd_lanes > 0)
+              compute += static_cast<double>(
+                             PredictLayerDrainOps(g, *st.cfg.schedule)) /
+                         st.cfg.schedule->simd_lanes;
+          }
+          work = std::max(compute, bytes / st.cfg.bytes_per_cycle);
         }
         const double r = work / static_cast<double>(o.cycles);
         lo = (lo == 0) ? r : std::min(lo, r);

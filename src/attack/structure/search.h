@@ -9,8 +9,10 @@
 #ifndef SC_ATTACK_STRUCTURE_SEARCH_H_
 #define SC_ATTACK_STRUCTURE_SEARCH_H_
 
+#include <optional>
 #include <vector>
 
+#include "accel/dataflow.h"
 #include "attack/structure/observation.h"
 #include "attack/structure/solver.h"
 #include "nn/geometry.h"
@@ -34,6 +36,15 @@ struct SearchConfig {
   // paper's pure-MAC proportionality is used and FC layers are skipped.
   int macs_per_cycle = 0;
   int bytes_per_cycle = 0;
+
+  // The victim backend's tiling summary (Accelerator::schedule_model()),
+  // also datasheet knowledge. When set and the bandwidth model is active,
+  // the byte term is *predicted* for each candidate geometry under this
+  // schedule (attack/structure/schedule.h) instead of reusing the observed
+  // byte count — required for correctness on non-weight-stationary victims,
+  // whose re-read multiplicity differs per hypothesis. Unset preserves the
+  // observed-bytes behaviour.
+  std::optional<accel::ScheduleModel> schedule;
 
   // Prior knowledge from the threat model (paper §3.1): the adversary sees
   // the accelerator's input and output, so it knows the first layer's input

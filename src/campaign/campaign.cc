@@ -483,6 +483,9 @@ std::string CampaignFingerprint(const CampaignConfig& cfg) {
   json::Value v = json::Value::Object();
   v.object["victim"] = json::Value::String(cfg.victim);
   v.object["seed"] = U64(cfg.seed);
+  // Traces (and everything derived from them) are backend-specific, so a
+  // checkpoint written under one dataflow must not resume under another.
+  v.object["dataflow"] = json::Value::String(accel::ToString(cfg.dataflow));
   v.object["acquisitions"] = Num(cfg.acquisitions);
   v.object["trace_noise"] = FingerprintTraceNoise(cfg.trace_noise);
   v.object["structure"] = FingerprintStructure(cfg.structure);
@@ -547,6 +550,14 @@ CampaignResult RunCampaign(const CampaignConfig& cfg) {
   // structure search / consensus and the weight bisection loops.
   attack::RobustStructureConfig scfg = cfg.structure;
   scfg.attack.search.cancel = cfg.cancel;
+  // Attack sees the victim backend's schedule (datasheet knowledge, derived
+  // from cfg.dataflow — not separately fingerprinted). Only consulted when
+  // the bandwidth timing model is enabled.
+  if (!scfg.attack.search.schedule) {
+    accel::AcceleratorConfig acfg;
+    acfg.dataflow = cfg.dataflow;
+    scfg.attack.search.schedule = accel::Accelerator{acfg}.schedule_model();
+  }
   attack::WeightAttackConfig wcfg = cfg.weights.attack;
   wcfg.cancel = cfg.cancel;
 
@@ -662,7 +673,9 @@ CampaignResult RunCampaign(const CampaignConfig& cfg) {
 
     std::optional<trace::Trace> clean;
     if (need_trace) {
-      const accel::Accelerator accel{accel::AcceleratorConfig{}};
+      accel::AcceleratorConfig acfg;
+      acfg.dataflow = cfg.dataflow;
+      const accel::Accelerator accel{acfg};
       nn::Tensor input(net.input_shape());
       Rng rng(cfg.seed);
       for (std::size_t i = 0; i < input.numel(); ++i)

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "accel/dataflow.h"
 #include "attack/structure/robust.h"
 #include "attack/weights/robust.h"
 #include "sim/noise.h"
@@ -65,6 +66,12 @@ struct CampaignConfig {
   // with `seed` (weights + the campaign's input/bias streams).
   std::string victim = "lenet";
   std::uint64_t seed = 1;
+
+  // Victim accelerator's dataflow backend (accel/backend.h). Part of the
+  // checkpoint fingerprint: traces and attack results from different
+  // backends are not interchangeable, so resume rejects a checkpoint
+  // recorded under the other dataflow.
+  accel::Dataflow dataflow = accel::DefaultDataflow();
 
   // Structure phase: number of independent acquisitions and the probe
   // fault model (all-zero rates = clean, identical acquisitions).

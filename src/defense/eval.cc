@@ -44,9 +44,14 @@ VictimSpec MakeVictim(const std::string& name, nn::Network net, int in_w,
   v.search.known_input_width = in_w;
   v.search.known_input_depth = in_d;
   v.search.known_output_classes = classes;
-  // Accelerator datasheet values (public microarchitecture).
+  // Accelerator datasheet values (public microarchitecture), including the
+  // deployed backend's tiling schedule so the byte term of the timing
+  // filter is predicted per candidate rather than assumed weight-
+  // stationary.
   v.search.macs_per_cycle = accel::AcceleratorConfig{}.macs_per_cycle;
   v.search.bytes_per_cycle = accel::AcceleratorConfig{}.bytes_per_cycle;
+  v.search.schedule = accel::Accelerator{accel::AcceleratorConfig{}}
+                          .schedule_model();
   v.search.max_structures = max_structures;
   return v;
 }

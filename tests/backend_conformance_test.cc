@@ -1,0 +1,213 @@
+// Cross-backend differential conformance suite (DESIGN.md §13).
+//
+// The two dataflow backends are independent walks of the same tiled
+// schedule space, which makes them mutual oracles for the whole
+// trace→attack pipeline:
+//   - victim outputs must be bit-identical across backends (the functional
+//     forward pass is shared; a divergence means a backend corrupted it),
+//   - the weight-stationary trace must stay byte-identical to the pre-split
+//     goldens (the refactor is not allowed to move a single burst),
+//   - the structure attack must recover the same architecture from either
+//     backend's trace — same candidate set, ground truth ranked first —
+//     because the paper's Eq. (1)-(8) constraints are schedule-invariant
+//     once the search consumes the backend's ScheduleModel.
+// Everything runs at SC-thread counts 1 and 4: results must not depend on
+// attack-side parallelism either.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "accel/backend.h"
+#include "attack/structure/pipeline.h"
+#include "attack/structure/report.h"
+#include "models/zoo.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
+#include "trace/trace.h"
+
+#ifndef SC_GOLDEN_DIR
+#error "SC_GOLDEN_DIR must be defined by the build (tests/CMakeLists.txt)"
+#endif
+
+namespace sc {
+namespace {
+
+constexpr accel::Dataflow kDataflows[] = {
+    accel::Dataflow::kWeightStationary,
+    accel::Dataflow::kOutputStationary,
+};
+constexpr int kThreadCounts[] = {1, 4};
+
+struct Victim {
+  nn::Network net;
+  attack::StructureAttackConfig attack;  // priors + datasheet, no schedule
+  std::vector<attack::LayerFingerprint> truth;
+};
+
+Victim MakeVictim(const std::string& name) {
+  const bool lenet = name == "lenet";
+  Victim v{lenet ? models::MakeLeNet(3) : models::MakeConvNet(3), {}, {}};
+  const accel::AcceleratorConfig datasheet;
+  v.attack.search.macs_per_cycle = datasheet.macs_per_cycle;
+  v.attack.search.bytes_per_cycle = datasheet.bytes_per_cycle;
+  if (lenet) {
+    v.attack.analysis.known_input_elems = 28 * 28;
+    v.attack.search.known_input_width = 28;
+    v.attack.search.known_input_depth = 1;
+    v.attack.search.known_output_classes = 10;
+    v.truth = {{5, 20}, {5, 50}, {4, 500}, {1, 10}};
+  } else {
+    v.attack.analysis.known_input_elems = 3 * 32 * 32;
+    v.attack.search.known_input_width = 32;
+    v.attack.search.known_input_depth = 3;
+    v.attack.search.known_output_classes = 10;
+    v.truth = {{5, 32}, {5, 32}, {3, 64}, {4, 10}};
+  }
+  return v;
+}
+
+nn::Tensor RandomInput(const nn::Shape& s, std::uint64_t seed) {
+  nn::Tensor t(s);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < t.numel(); ++i) t[i] = rng.GaussianF(1.0f);
+  return t;
+}
+
+accel::Accelerator MakeAccel(accel::Dataflow d) {
+  accel::AcceleratorConfig cfg;
+  cfg.dataflow = d;
+  return accel::Accelerator{cfg};
+}
+
+// A candidate structure reduced to its comparable payload.
+using GeomChain = std::vector<nn::LayerGeometry>;
+
+std::vector<GeomChain> CandidateSet(const attack::SearchResult& r) {
+  std::vector<GeomChain> out;
+  out.reserve(r.structures.size());
+  for (const attack::CandidateStructure& cs : r.structures) {
+    GeomChain chain;
+    chain.reserve(cs.layers.size());
+    for (const attack::LayerConfig& l : cs.layers) chain.push_back(l.geom);
+    out.push_back(std::move(chain));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class BackendConformance
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {
+ protected:
+  void SetUp() override {
+    support::ThreadPool::SetGlobalThreads(std::get<1>(GetParam()));
+  }
+  void TearDown() override {
+    support::ThreadPool::SetGlobalThreads(
+        support::ThreadPool::DefaultThreads());
+  }
+};
+
+// Backends share the functional forward pass; their outputs must agree to
+// the last bit, under dense and zero-pruned configs alike.
+TEST_P(BackendConformance, OutputsBitIdenticalAcrossBackends) {
+  const Victim v = MakeVictim(std::get<0>(GetParam()));
+  const nn::Tensor input = RandomInput(v.net.input_shape(), 7);
+  for (const bool pruned : {false, true}) {
+    accel::AcceleratorConfig ws_cfg, os_cfg;
+    ws_cfg.dataflow = accel::Dataflow::kWeightStationary;
+    os_cfg.dataflow = accel::Dataflow::kOutputStationary;
+    ws_cfg.zero_pruning = os_cfg.zero_pruning = pruned;
+    const accel::RunResult ws =
+        accel::Accelerator{ws_cfg}.Run(v.net, input, nullptr);
+    const accel::RunResult os =
+        accel::Accelerator{os_cfg}.Run(v.net, input, nullptr);
+    ASSERT_EQ(ws.output.numel(), os.output.numel());
+    ASSERT_EQ(0, std::memcmp(ws.output.data(), os.output.data(),
+                             ws.output.numel() * sizeof(float)))
+        << "outputs diverged (pruned=" << pruned << ")";
+    // Per-stage §4 observables agree too (shared write-back engine).
+    ASSERT_EQ(ws.stages.size(), os.stages.size());
+    for (std::size_t i = 0; i < ws.stages.size(); ++i) {
+      EXPECT_EQ(ws.stages[i].ofm_nonzeros, os.stages[i].ofm_nonzeros);
+      EXPECT_EQ(ws.stages[i].ofm_channel_nonzeros,
+                os.stages[i].ofm_channel_nonzeros);
+      EXPECT_EQ(ws.stages[i].macs, os.stages[i].macs);
+    }
+  }
+}
+
+// The structure attack recovers the same architecture from either
+// backend's trace: identical candidate sets, truth ranked first.
+TEST_P(BackendConformance, StructureAttackAgreesAcrossBackends) {
+  const Victim v = MakeVictim(std::get<0>(GetParam()));
+  const nn::Tensor input = RandomInput(v.net.input_shape(), 11);
+
+  std::vector<std::vector<GeomChain>> sets;
+  for (const accel::Dataflow d : kDataflows) {
+    const accel::Accelerator accel = MakeAccel(d);
+    trace::Trace tr;
+    accel.Run(v.net, input, &tr);
+
+    attack::StructureAttackConfig cfg = v.attack;
+    cfg.search.schedule = accel.schedule_model();
+    const attack::StructureAttackResult r = attack::RunStructureAttack(tr, cfg);
+    ASSERT_GT(r.search.structures.size(), 0u)
+        << accel::ToString(d) << ": no structures survived";
+
+    const attack::TruthRanking ranking = attack::RankTruth(r.search, v.truth);
+    EXPECT_EQ(ranking.rank, 1u)
+        << accel::ToString(d) << ": truth not top-ranked";
+    sets.push_back(CandidateSet(r.search));
+  }
+  EXPECT_EQ(sets[0], sets[1])
+      << "candidate sets differ between dataflow backends";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Victims, BackendConformance,
+    ::testing::Combine(::testing::Values(std::string("lenet"),
+                                         std::string("convnet")),
+                       ::testing::ValuesIn(kThreadCounts)),
+    [](const ::testing::TestParamInfo<BackendConformance::ParamType>& p) {
+      return std::get<0>(p.param) + "_threads" +
+             std::to_string(std::get<1>(p.param));
+    });
+
+// The weight-stationary backend IS the pre-split accelerator: its LeNet
+// trace must still match the committed golden byte-for-byte (same capture
+// recipe as golden_artifact_test.cc; the golden file is owned there and
+// regenerated only via SC_REGEN_GOLDENS). Run at both thread counts to pin
+// thread-independence of the capture path as well.
+TEST(BackendConformanceGolden, WeightStationaryTraceMatchesPrePrGolden) {
+  for (const int threads : kThreadCounts) {
+    support::ThreadPool::SetGlobalThreads(threads);
+    nn::Network net = models::MakeLeNet(3);
+    nn::Tensor input(net.input_shape(), 0.5f);
+    trace::Trace tr;
+    MakeAccel(accel::Dataflow::kWeightStationary).Run(net, input, &tr);
+
+    const std::size_t stride = std::max<std::size_t>(1, tr.size() / 2000);
+    std::ostringstream csv;
+    csv << "cycle,addr,op\n";
+    for (std::size_t i = 0; i < tr.size(); i += stride)
+      csv << tr[i].cycle << ',' << tr[i].addr << ','
+          << trace::ToString(tr[i].op) << '\n';
+
+    std::ifstream in(std::string(SC_GOLDEN_DIR) + "/fig3_lenet_trace.csv");
+    ASSERT_TRUE(in.is_open());
+    std::ostringstream expected;
+    expected << in.rdbuf();
+    EXPECT_EQ(csv.str(), expected.str())
+        << "WS trace diverged from pre-PR golden at SC_THREADS=" << threads;
+  }
+  support::ThreadPool::SetGlobalThreads(support::ThreadPool::DefaultThreads());
+}
+
+}  // namespace
+}  // namespace sc

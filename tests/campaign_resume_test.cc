@@ -12,9 +12,12 @@
 #include <atomic>
 #include <cstdlib>
 #include <filesystem>
+#include <optional>
 #include <string>
 
+#include "accel/dataflow.h"
 #include "campaign/campaign.h"
+#include "support/check.h"
 #include "support/thread_pool.h"
 
 namespace sc::campaign {
@@ -32,9 +35,14 @@ std::string TempPath(const std::string& name) {
 }
 
 // Reference-noise campaign, lightened for tier-1 latency: 3 noisy
-// acquisitions, but only the first 2 filters of the weight sweep.
-CampaignConfig TestCampaign(const std::string& victim) {
+// acquisitions, but only the first 2 filters of the weight sweep. The
+// victim's dataflow backend defaults to the process-wide one (SC_DATAFLOW)
+// unless pinned by the caller.
+CampaignConfig TestCampaign(
+    const std::string& victim,
+    std::optional<accel::Dataflow> dataflow = std::nullopt) {
   CampaignConfig cfg = MakeVictimCampaign(victim, NoiseSeed());
+  if (dataflow) cfg.dataflow = *dataflow;
   cfg.max_weight_filters = 2;
   return cfg;
 }
@@ -61,20 +69,22 @@ class CampaignResumeTest : public ::testing::Test {
 // Runs the full kill-after-k / resume / compare cycle for one victim at
 // one thread count; returns the uninterrupted run's artifacts so callers
 // can also compare across thread counts.
-Artifacts KillResumeRoundTrip(const std::string& victim, int threads,
-                              int kill_after_units) {
+Artifacts KillResumeRoundTrip(
+    const std::string& victim, int threads, int kill_after_units,
+    std::optional<accel::Dataflow> dataflow = std::nullopt) {
   support::ThreadPool::SetGlobalThreads(threads);
-  const std::string tag = victim + "_t" + std::to_string(threads);
+  std::string tag = victim + "_t" + std::to_string(threads);
+  if (dataflow) tag += std::string("_") + accel::ToString(*dataflow);
 
   // Uninterrupted reference run.
-  CampaignConfig uninterrupted = TestCampaign(victim);
+  CampaignConfig uninterrupted = TestCampaign(victim, dataflow);
   uninterrupted.checkpoint_path = TempPath("resume_ref_" + tag + ".json");
   fs::remove(uninterrupted.checkpoint_path);
   const CampaignResult ref = RunCampaign(uninterrupted);
   const Artifacts want = ArtifactsOf(ref);
 
   // Killed run: cancel once `kill_after_units` units have been persisted.
-  CampaignConfig killed = TestCampaign(victim);
+  CampaignConfig killed = TestCampaign(victim, dataflow);
   killed.checkpoint_path = TempPath("resume_kill_" + tag + ".json");
   fs::remove(killed.checkpoint_path);
   support::CancelSource source;
@@ -90,7 +100,7 @@ Artifacts KillResumeRoundTrip(const std::string& victim, int threads,
   EXPECT_TRUE(fs::exists(killed.checkpoint_path));
 
   // Resume and compare byte-for-byte.
-  CampaignConfig resume = TestCampaign(victim);
+  CampaignConfig resume = TestCampaign(victim, dataflow);
   resume.checkpoint_path = killed.checkpoint_path;
   const CampaignResult resumed = RunCampaign(resume);
   EXPECT_TRUE(resumed.complete);
@@ -122,6 +132,41 @@ TEST_F(CampaignResumeTest, ConvNetKillResumeIsByteIdenticalAcrossThreads) {
   const Artifacts t4 = KillResumeRoundTrip("convnet", 4, 2);
   EXPECT_EQ(t1.structure_csv, t4.structure_csv);
   EXPECT_EQ(t1.filter_csv, t4.filter_csv);
+}
+
+TEST_F(CampaignResumeTest, KillResumeIsByteIdenticalPerBackend) {
+  // The checkpoint/resume contract holds whichever dataflow backend the
+  // victim's accelerator runs (the fingerprint pins it; the unit payloads
+  // must replay identically under either schedule).
+  KillResumeRoundTrip("lenet", 4, 2, accel::Dataflow::kWeightStationary);
+  KillResumeRoundTrip("lenet", 4, 2, accel::Dataflow::kOutputStationary);
+}
+
+TEST_F(CampaignResumeTest, ResumeRejectsCheckpointFromOtherBackend) {
+  // Traces from different dataflow backends are not interchangeable: the
+  // fingerprint carries the dataflow, so resuming a weight-stationary
+  // checkpoint under an output-stationary config must fail loudly instead
+  // of silently mixing schedules.
+  support::ThreadPool::SetGlobalThreads(4);
+  CampaignConfig killed =
+      TestCampaign("lenet", accel::Dataflow::kWeightStationary);
+  killed.checkpoint_path = TempPath("resume_cross_backend.json");
+  fs::remove(killed.checkpoint_path);
+  support::CancelSource source;
+  killed.cancel = source.token();
+  std::atomic<int> finished{0};
+  killed.on_unit_finished = [&](const std::string&) {
+    if (finished.fetch_add(1) + 1 >= 1) source.RequestCancel();
+  };
+  const CampaignResult partial = RunCampaign(killed);
+  EXPECT_FALSE(partial.complete);
+  ASSERT_TRUE(fs::exists(killed.checkpoint_path));
+
+  CampaignConfig resume =
+      TestCampaign("lenet", accel::Dataflow::kOutputStationary);
+  resume.checkpoint_path = killed.checkpoint_path;
+  EXPECT_THROW(RunCampaign(resume), sc::Error);
+  fs::remove(killed.checkpoint_path);
 }
 
 TEST_F(CampaignResumeTest, ResumeAfterWeightPhaseKill) {

@@ -85,7 +85,11 @@ void CheckGolden(const std::string& name, const std::string& actual) {
 trace::Trace CaptureLeNetTrace() {
   nn::Network net = models::MakeLeNet(3);
   nn::Tensor input(net.input_shape(), 0.5f);
-  accel::Accelerator accelerator{accel::AcceleratorConfig{}};
+  accel::AcceleratorConfig cfg;
+  // Golden CSVs are byte-exact captures of the weight-stationary schedule;
+  // pin the dataflow so SC_DATAFLOW sweeps cannot redefine them.
+  cfg.dataflow = accel::Dataflow::kWeightStationary;
+  accel::Accelerator accelerator{cfg};
   trace::Trace tr;
   accelerator.Run(net, input, &tr);
   return tr;

@@ -3,7 +3,9 @@
 //
 //   - Structure: K independently corrupted acquisitions of one AlexNet run
 //     are voted into a consensus whose candidate search reproduces the
-//     noise-free Table-3/Table-4 result exactly.
+//     noise-free Table-3/Table-4 result exactly — on both dataflow
+//     backends (the consensus machinery must not care which schedule
+//     produced the acquisitions).
 //   - Weights: all 96 CONV1 filters are recovered through a noisy count
 //     oracle (voting + re-bracketing) with every ratio inside the paper's
 //     2^-10 error bound — including the positive-bias filters that need
@@ -11,7 +13,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -34,14 +38,15 @@ std::uint64_t NoiseSeed() {
   return env != nullptr ? std::strtoull(env, nullptr, 10) : 1;
 }
 
-StructureAttackConfig AlexNetConfig() {
+StructureAttackConfig AlexNetConfig(const accel::Accelerator& accel) {
   StructureAttackConfig cfg;
   cfg.analysis.known_input_elems = 3LL * 227 * 227;
   cfg.search.known_input_width = 227;
   cfg.search.known_input_depth = 3;
   cfg.search.known_output_classes = 1000;
-  cfg.search.macs_per_cycle = accel::AcceleratorConfig{}.macs_per_cycle;
-  cfg.search.bytes_per_cycle = accel::AcceleratorConfig{}.bytes_per_cycle;
+  cfg.search.macs_per_cycle = accel.config().macs_per_cycle;
+  cfg.search.bytes_per_cycle = accel.config().bytes_per_cycle;
+  cfg.search.schedule = accel.schedule_model();
   return cfg;
 }
 
@@ -50,29 +55,42 @@ struct AlexNetRuns {
   RobustStructureResult robust;
 };
 
-const AlexNetRuns& AlexNetUnderNoise() {
-  static const AlexNetRuns runs = [] {
-    nn::Network net = models::MakeAlexNet(1);
-    accel::Accelerator accel{accel::AcceleratorConfig{}};
-    trace::Trace clean;
-    nn::Tensor x(net.input_shape());
-    sc::Rng rng(42);
-    for (std::size_t i = 0; i < x.numel(); ++i) x[i] = rng.GaussianF(1.0f);
-    accel.Run(net, x, &clean);
+const AlexNetRuns& AlexNetUnderNoise(accel::Dataflow dataflow) {
+  static std::map<accel::Dataflow, AlexNetRuns> cache;
+  auto it = cache.find(dataflow);
+  if (it != cache.end()) return it->second;
 
-    const sim::TraceNoiseModel noise(sim::ReferenceTraceNoise(NoiseSeed()));
-    std::vector<trace::Trace> acq;
-    for (std::uint64_t k = 0; k < 5; ++k) acq.push_back(noise.ApplyNth(clean, k));
+  nn::Network net = models::MakeAlexNet(1);
+  accel::AcceleratorConfig acfg;
+  acfg.dataflow = dataflow;
+  accel::Accelerator accel{acfg};
+  trace::Trace clean;
+  nn::Tensor x(net.input_shape());
+  sc::Rng rng(42);
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = rng.GaussianF(1.0f);
+  accel.Run(net, x, &clean);
 
-    AlexNetRuns r;
-    RobustStructureConfig rcfg;
-    rcfg.attack = AlexNetConfig();
-    r.exact = RunStructureAttack(clean, rcfg.attack);
-    r.robust = RunRobustStructureAttack(acq, rcfg);
-    return r;
-  }();
-  return runs;
+  const sim::TraceNoiseModel noise(sim::ReferenceTraceNoise(NoiseSeed()));
+  std::vector<trace::Trace> acq;
+  for (std::uint64_t k = 0; k < 5; ++k) acq.push_back(noise.ApplyNth(clean, k));
+
+  AlexNetRuns r;
+  RobustStructureConfig rcfg;
+  rcfg.attack = AlexNetConfig(accel);
+  r.exact = RunStructureAttack(clean, rcfg.attack);
+  r.robust = RunRobustStructureAttack(acq, rcfg);
+  return cache.emplace(dataflow, std::move(r)).first->second;
 }
+
+class RobustAlexNetE2E : public ::testing::TestWithParam<accel::Dataflow> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Dataflows, RobustAlexNetE2E,
+    ::testing::Values(accel::Dataflow::kWeightStationary,
+                      accel::Dataflow::kOutputStationary),
+    [](const ::testing::TestParamInfo<accel::Dataflow>& p) {
+      return std::string(accel::ToString(p.param));
+    });
 
 bool SameStructures(const SearchResult& a, const SearchResult& b) {
   if (a.structures.size() != b.structures.size()) return false;
@@ -86,8 +104,8 @@ bool SameStructures(const SearchResult& a, const SearchResult& b) {
   return true;
 }
 
-TEST(RobustAlexNetE2E, ConsensusSegmentsEightConvFcLayers) {
-  const RobustStructureResult& r = AlexNetUnderNoise().robust;
+TEST_P(RobustAlexNetE2E, ConsensusSegmentsEightConvFcLayers) {
+  const RobustStructureResult& r = AlexNetUnderNoise(GetParam()).robust;
   EXPECT_EQ(r.acquisitions, 5);
   EXPECT_GE(r.usable, 3);
   ASSERT_EQ(r.consensus.size(), 8u);
@@ -97,10 +115,10 @@ TEST(RobustAlexNetE2E, ConsensusSegmentsEightConvFcLayers) {
   }
 }
 
-TEST(RobustAlexNetE2E, ConsensusHealsSizesExactly) {
+TEST_P(RobustAlexNetE2E, ConsensusHealsSizesExactly) {
   // Coverage-maximum healing recovers the exact region sizes, so the exact
   // Eq. (1)-(8) matching needs no slack at the reference noise level.
-  const RobustStructureResult& r = AlexNetUnderNoise().robust;
+  const RobustStructureResult& r = AlexNetUnderNoise(GetParam()).robust;
   EXPECT_EQ(r.slack_used, 0);
   const auto& o = r.observations();
   EXPECT_EQ(o[0].size_ifm, 227LL * 227 * 3);
@@ -109,11 +127,11 @@ TEST(RobustAlexNetE2E, ConsensusHealsSizesExactly) {
   EXPECT_EQ(o[5].size_fltr, 9216LL * 4096);
 }
 
-TEST(RobustAlexNetE2E, CandidateSetMatchesNoiselessAttack) {
+TEST_P(RobustAlexNetE2E, CandidateSetMatchesNoiselessAttack) {
   // Paper Table 3: the candidate set the noisy consensus admits is the same
   // one the clean trace admits (whose counts/contents the noise-free e2e
   // suite pins down).
-  const AlexNetRuns& runs = AlexNetUnderNoise();
+  const AlexNetRuns& runs = AlexNetUnderNoise(GetParam());
   EXPECT_TRUE(SameStructures(runs.robust.search, runs.exact.search))
       << "consensus at slack " << runs.robust.slack_used << " produced "
       << runs.robust.num_structures() << " structures vs "

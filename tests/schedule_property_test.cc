@@ -1,0 +1,283 @@
+// Property tests over both dataflow backends' tile schedules.
+//
+// For ~100 seeded random victims (shapes, fusion patterns, buffer
+// datasheets), each backend's emitted trace must satisfy the invariants the
+// attack pipeline relies on:
+//   - dense write coverage: a stage's OFM region is written exactly once
+//     per byte — no gap, no overlap, nothing outside the region (the tile
+//     schedule partitions the output tensor);
+//   - weights are read-only on the bus;
+//   - RAW edges are well-formed: every read of an intermediate feature map
+//     touches only bytes some earlier event wrote (the paper's §3.1
+//     boundary signal exists by construction, never by accident);
+//   - RAW edges are ordered such that segmentation recovers exactly one
+//     segment per fused stage;
+//   - §4 invariance: under zero pruning, per-channel non-zero counts, the
+//     compressed OFM stream bytes, and the oracle's channel_elems() are
+//     identical across dataflows — the zero-count channel does not depend
+//     on the schedule.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "accel/stage.h"
+#include "attack/structure/segmentation.h"
+#include "attack/weights/oracle.h"
+#include "models/zoo.h"
+#include "nn/activation.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/init.h"
+#include "nn/network.h"
+#include "nn/pooling.h"
+#include "support/rng.h"
+#include "trace/trace.h"
+
+namespace sc {
+namespace {
+
+constexpr int kNumSeeds = 100;
+
+constexpr accel::Dataflow kDataflows[] = {
+    accel::Dataflow::kWeightStationary,
+    accel::Dataflow::kOutputStationary,
+};
+
+// A random linear victim: 1-3 conv stages (optional ReLU / 2x2 max pool),
+// optionally capped by a fully connected classifier. Width is preserved by
+// same-padding so feasibility only depends on the (randomised) buffers.
+nn::Network RandomNet(Rng& rng) {
+  int w = 2 * rng.UniformInt(4, 7);  // even widths so pooling halves cleanly
+  int depth = rng.UniformInt(1, 3);
+  nn::Network net(nn::Shape{depth, w, w});
+  int prev = nn::kInputNode;
+  const int convs = rng.UniformInt(1, 3);
+  for (int l = 0; l < convs; ++l) {
+    const int f = 1 + 2 * rng.UniformInt(0, 2);  // 1, 3 or 5
+    const int od = rng.UniformInt(2, 10);
+    prev = net.Add(std::make_unique<nn::Conv2D>("conv" + std::to_string(l),
+                                                depth, od, f, 1, (f - 1) / 2),
+                   {prev});
+    depth = od;
+    if (rng.Chance(0.7))
+      prev = net.Add(std::make_unique<nn::Relu>("relu" + std::to_string(l)),
+                     {prev});
+    if (w >= 8 && rng.Chance(0.5)) {
+      prev = net.Add(nn::MakeMaxPool("pool" + std::to_string(l), 2, 2, 0),
+                     {prev});
+      w /= 2;
+    }
+  }
+  if (rng.Chance(0.5)) {
+    prev = net.Add(std::make_unique<nn::FullyConnected>(
+                       "fc", depth * w * w, rng.UniformInt(4, 10)),
+                   {prev});
+  }
+  (void)prev;
+  Rng init(rng.Fork());
+  nn::InitNetwork(net, init);
+  return net;
+}
+
+// Random datasheet: buffer capacities span 4 KiB .. 128 KiB so the tilers
+// hit everything from whole-IFM residency down to single-row tiles.
+accel::AcceleratorConfig RandomConfig(Rng& rng, accel::Dataflow d) {
+  accel::AcceleratorConfig cfg;
+  cfg.dataflow = d;
+  const std::uint64_t sizes[] = {4 * 1024, 8 * 1024, 32 * 1024, 128 * 1024};
+  cfg.ifm_buffer_bytes = sizes[rng.UniformInt(0, 3)];
+  cfg.weight_buffer_bytes = sizes[rng.UniformInt(0, 3)];
+  cfg.ofm_buffer_bytes = sizes[rng.UniformInt(0, 3)];
+  return cfg;
+}
+
+nn::Tensor RandomInput(const nn::Shape& s, Rng& rng) {
+  nn::Tensor t(s);
+  for (std::size_t i = 0; i < t.numel(); ++i) t[i] = rng.GaussianF(1.0f);
+  return t;
+}
+
+// Merged interval set over the address space (write tracking for the RAW
+// check): key = interval start, value = exclusive end.
+class IntervalSet {
+ public:
+  void Add(std::uint64_t lo, std::uint64_t hi) {
+    auto it = set_.upper_bound(lo);
+    if (it != set_.begin() && std::prev(it)->second >= lo) --it;
+    while (it != set_.end() && it->first <= hi) {
+      lo = std::min(lo, it->first);
+      hi = std::max(hi, it->second);
+      it = set_.erase(it);
+    }
+    set_.emplace(lo, hi);
+  }
+  bool Covers(std::uint64_t lo, std::uint64_t hi) const {
+    auto it = set_.upper_bound(lo);
+    if (it == set_.begin()) return false;
+    --it;
+    return it->first <= lo && it->second >= hi;
+  }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> set_;
+};
+
+bool Within(const trace::MemEvent& e, const accel::Region& r) {
+  return e.addr >= r.base && e.end() <= r.end();
+}
+
+// Dense-mode invariants for one backend's trace of one victim.
+void CheckDenseSchedule(const nn::Network& net,
+                        const accel::AcceleratorConfig& cfg,
+                        const accel::Accelerator& accel,
+                        const accel::RunResult& run, const trace::Trace& tr) {
+  const accel::AddressMap map = accel.BuildMap(net);
+  const std::vector<accel::Stage> stages = accel::BuildStages(net);
+  ASSERT_EQ(run.stages.size(), stages.size());
+
+  // Weight regions are read-only; collect them once.
+  std::vector<accel::Region> weight_regions;
+  for (int n = 0; n < net.num_nodes(); ++n)
+    if (map.weights(n).valid()) weight_regions.push_back(map.weights(n));
+
+  IntervalSet written;
+  std::vector<std::vector<trace::MemEvent>> ofm_writes(stages.size());
+  for (std::size_t i = 0; i < tr.size(); ++i) {
+    const trace::MemEvent& e = tr[i];
+    ASSERT_GT(e.bytes, 0u);
+    if (e.op == trace::MemOp::kWrite) {
+      for (const accel::Region& w : weight_regions)
+        ASSERT_FALSE(Within(e, w)) << "write into read-only weight region";
+      written.Add(e.addr, e.end());
+      for (std::size_t s = 0; s < stages.size(); ++s)
+        if (Within(e, map.ofm(stages[s].output_node)))
+          ofm_writes[s].push_back(e);
+    } else if (!Within(e, map.input())) {
+      bool weights = false;
+      for (const accel::Region& w : weight_regions)
+        if (Within(e, w)) weights = true;
+      if (!weights) {
+        ASSERT_TRUE(written.Covers(e.addr, e.end()))
+            << "RAW violation: read of never-written feature-map bytes at "
+            << e.addr;
+      }
+    }
+  }
+
+  // Each stage's OFM is tiled exactly: sorted write bursts abut perfectly
+  // from region base to the dense extent.
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    const accel::Region& r = map.ofm(stages[s].output_node);
+    std::vector<trace::MemEvent>& ws = ofm_writes[s];
+    std::sort(ws.begin(), ws.end(),
+              [](const trace::MemEvent& a, const trace::MemEvent& b) {
+                return a.addr < b.addr;
+              });
+    ASSERT_FALSE(ws.empty());
+    const std::uint64_t dense_end =
+        r.base + run.stages[s].ofm_elems *
+                     static_cast<std::uint64_t>(cfg.element_bytes);
+    std::uint64_t next = r.base;
+    for (const trace::MemEvent& e : ws) {
+      ASSERT_EQ(e.addr, next) << "gap or overlap in stage " << s
+                              << " OFM coverage";
+      next = e.end();
+    }
+    ASSERT_EQ(next, dense_end) << "stage " << s << " OFM not fully written";
+  }
+
+  // RAW boundaries segment the trace back into exactly one segment per
+  // fused stage.
+  ASSERT_EQ(attack::SegmentTrace(tr).size(), stages.size());
+}
+
+TEST(ScheduleProperty, DenseTileScheduleInvariants) {
+  for (int seed = 0; seed < kNumSeeds; seed += 2) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(static_cast<std::uint64_t>(1000 + seed));
+    const nn::Network net = RandomNet(rng);
+    const nn::Tensor input = RandomInput(net.input_shape(), rng);
+    const std::uint64_t cfg_fork = rng.Fork();
+    for (const accel::Dataflow d : kDataflows) {
+      SCOPED_TRACE(accel::ToString(d));
+      Rng cfg_rng(cfg_fork);  // same datasheet for both backends
+      const accel::AcceleratorConfig cfg = RandomConfig(cfg_rng, d);
+      const accel::Accelerator accel{cfg};
+      trace::Trace tr;
+      const accel::RunResult run = accel.Run(net, input, &tr);
+      CheckDenseSchedule(net, cfg, accel, run, tr);
+    }
+  }
+}
+
+// §4 invariance: with zero pruning on, everything the write-back stream
+// reveals is identical across dataflows — per-channel counts, compressed
+// OFM bytes, and the oracle's channel_elems() denominator.
+TEST(ScheduleProperty, ZeroCountChannelIsDataflowInvariant) {
+  for (int seed = 1; seed < kNumSeeds; seed += 2) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(static_cast<std::uint64_t>(1000 + seed));
+    const nn::Network net = RandomNet(rng);
+    const nn::Tensor input = RandomInput(net.input_shape(), rng);
+    const std::uint64_t cfg_fork = rng.Fork();
+
+    struct PerBackend {
+      accel::RunResult run;
+      std::vector<std::uint64_t> ofm_write_bytes;
+      std::size_t channel_elems = 0;
+    };
+    std::vector<PerBackend> results;
+    for (const accel::Dataflow d : kDataflows) {
+      Rng cfg_rng(cfg_fork);
+      accel::AcceleratorConfig cfg = RandomConfig(cfg_rng, d);
+      cfg.zero_pruning = true;
+      const accel::Accelerator accel{cfg};
+      trace::Trace tr;
+      PerBackend pb;
+      pb.run = accel.Run(net, input, &tr);
+
+      const accel::AddressMap map = accel.BuildMap(net);
+      const std::vector<accel::Stage> stages = accel::BuildStages(net);
+      pb.ofm_write_bytes.assign(stages.size(), 0);
+      for (std::size_t i = 0; i < tr.size(); ++i) {
+        if (tr[i].op != trace::MemOp::kWrite) continue;
+        for (std::size_t s = 0; s < stages.size(); ++s)
+          if (Within(tr[i], map.ofm(stages[s].output_node)))
+            pb.ofm_write_bytes[s] += tr[i].bytes;
+      }
+
+      // Oracle over the first conv stage, when the victim has one.
+      for (const accel::Stage& st : stages)
+        if (st.kind == accel::StageKind::kConv) {
+          attack::AcceleratorOracle oracle(net, st.output_node, cfg);
+          pb.channel_elems = oracle.channel_elems();
+          break;
+        }
+      results.push_back(std::move(pb));
+    }
+
+    const PerBackend& ws = results[0];
+    const PerBackend& os = results[1];
+    ASSERT_EQ(ws.run.output.numel(), os.run.output.numel());
+    EXPECT_EQ(0, std::memcmp(ws.run.output.data(), os.run.output.data(),
+                             ws.run.output.numel() * sizeof(float)));
+    ASSERT_EQ(ws.run.stages.size(), os.run.stages.size());
+    for (std::size_t s = 0; s < ws.run.stages.size(); ++s) {
+      EXPECT_EQ(ws.run.stages[s].ofm_nonzeros, os.run.stages[s].ofm_nonzeros);
+      EXPECT_EQ(ws.run.stages[s].ofm_channel_nonzeros,
+                os.run.stages[s].ofm_channel_nonzeros);
+    }
+    EXPECT_EQ(ws.ofm_write_bytes, os.ofm_write_bytes)
+        << "compressed OFM stream bytes differ across dataflows";
+    EXPECT_EQ(ws.channel_elems, os.channel_elems);
+  }
+}
+
+}  // namespace
+}  // namespace sc
