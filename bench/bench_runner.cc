@@ -41,8 +41,10 @@
 #include "bench_util.h"
 #include "campaign/campaign.h"
 #include "defense/eval.h"
-#include "json_lite.h"
 #include "models/zoo.h"
+#include "store/reader.h"
+#include "store/writer.h"
+#include "support/json.h"
 #include "support/thread_pool.h"
 
 namespace {
@@ -270,6 +272,67 @@ std::vector<Scenario> AllScenarios() {
              std::abort();
          });
        }},
+      {"trace_store_write",
+       "encode + atomically write the AlexNet trace as an sct-v1 store "
+       "file",
+       5,
+       [] {
+         const trace::Trace& tr = AlexNetTrace();
+         auto path = std::make_shared<std::string>(
+             (std::filesystem::temp_directory_path() /
+              "sc_bench_trace_store_write.sct")
+                 .string());
+         return std::function<void()>([&tr, path] {
+           store::WriteTraceFile(*path, tr);
+         });
+       }},
+      {"trace_store_read",
+       "decode the AlexNet sct-v1 store file back into a Trace (column "
+       "bulk appends)",
+       5,
+       [] {
+         const trace::Trace& tr = AlexNetTrace();
+         auto path = std::make_shared<std::string>(
+             (std::filesystem::temp_directory_path() /
+              "sc_bench_trace_store_read.sct")
+                 .string());
+         store::WriteTraceFile(*path, tr);
+         const std::size_t want = tr.size();
+         return std::function<void()>([path, want] {
+           const trace::Trace t = store::ReadTraceFile(*path);
+           if (t.size() != want) std::abort();
+         });
+       }},
+      {"trace_csv_write",
+       "write the AlexNet trace as CSV (the store write's text baseline)",
+       1,
+       [] {
+         const trace::Trace& tr = AlexNetTrace();
+         auto path = std::make_shared<std::string>(
+             (std::filesystem::temp_directory_path() /
+              "sc_bench_trace_csv_write.csv")
+                 .string());
+         return std::function<void()>([&tr, path] {
+           tr.SaveCsvFile(*path);
+         });
+       }},
+      {"trace_csv_read",
+       "parse the AlexNet CSV trace back into a Trace (the store read's "
+       "text baseline)",
+       1,
+       [] {
+         const trace::Trace& tr = AlexNetTrace();
+         auto path = std::make_shared<std::string>(
+             (std::filesystem::temp_directory_path() /
+              "sc_bench_trace_csv_read.csv")
+                 .string());
+         tr.SaveCsvFile(*path);
+         const std::size_t want = tr.size();
+         return std::function<void()>([path, want] {
+           const trace::Trace t = trace::Trace::LoadCsvFile(*path);
+           if (t.size() != want) std::abort();
+         });
+       }},
       {"defense_matrix_cell",
        "one defense-matrix column: LeNet vs constant-rate shaping at "
        "medium strength, all three attacks",
@@ -324,9 +387,9 @@ int Compare(const std::vector<std::pair<std::string, ScenarioStats>>& results,
   SC_CHECK_MSG(f.is_open(), "cannot open baseline " << baseline_path);
   std::stringstream ss;
   ss << f.rdbuf();
-  const bench::json::Value base = bench::json::Parse(ss.str());
+  const support::json::Value base = support::json::Parse(ss.str());
   SC_CHECK_MSG(base.Has("scenarios"), "baseline has no scenarios object");
-  const bench::json::Value& scenarios = base.At("scenarios");
+  const support::json::Value& scenarios = base.At("scenarios");
 
   int regressions = 0;
   std::cout << "\n--- regression gate (threshold "

@@ -1,0 +1,36 @@
+// libFuzzer harness for the sct-v1 store decoder (DESIGN.md §14).
+//
+// Contract under fuzzing: arbitrary bytes either decode into a valid trace
+// or raise sc::Error — never any other exception, crash, overflow, or
+// oversized allocation (ASan/UBSan run alongside; decode scratch is
+// bounded by the fixed chunk grid). When a decode succeeds, re-encoding
+// the trace with the decoded metadata must reproduce the input exactly:
+// sct-v1 has one canonical encoding per (trace, metadata) pair, so any
+// accepted file IS that canonical encoding.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "store/reader.h"
+#include "store/writer.h"
+#include "support/check.h"
+#include "trace/trace.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+  try {
+    sc::store::StoreReader reader =
+        sc::store::StoreReader::FromString(bytes);
+    const sc::support::json::Value meta = reader.header().meta;
+    const sc::trace::Trace t = reader.ReadAll();
+
+    sc::store::StoreWriter writer;
+    writer.set_meta(meta);
+    if (writer.Encode(t) != bytes) std::abort();  // encoding not canonical
+  } catch (const sc::Error&) {
+    // Structured rejection is the expected outcome for hostile input.
+  }
+  return 0;
+}

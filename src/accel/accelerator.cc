@@ -4,7 +4,9 @@
 
 #include "accel/backend.h"
 #include "accel/backend_common.h"
+#include "store/writer.h"
 #include "support/check.h"
+#include "support/json.h"
 
 namespace sc::accel {
 
@@ -111,6 +113,19 @@ RunResult Accelerator::Run(const nn::Network& net, const nn::Tensor& input,
     const trace::Trace transformed = hook->Apply(run_part);
     out_trace->Truncate(trace_prefix);
     out_trace->AppendAll(transformed);
+  }
+
+  // Capture-to-store: persist exactly what the adversary sees (post-hook
+  // events of this run) as an sct-v1 file.
+  if (!cfg_.capture_store_path.empty() && out_trace != nullptr) {
+    trace::Trace run_part;
+    for (std::size_t i = trace_prefix; i < out_trace->size(); ++i)
+      run_part.Append((*out_trace)[i]);
+    support::json::Value meta = support::json::Value::Object();
+    meta.object["dataflow"] =
+        support::json::Value::String(ToString(cfg_.dataflow));
+    meta.object["source"] = support::json::Value::String("accel.run");
+    store::WriteTraceFile(cfg_.capture_store_path, run_part, std::move(meta));
   }
   return result;
 }

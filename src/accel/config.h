@@ -4,6 +4,7 @@
 #define SC_ACCEL_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 
 #include "accel/dataflow.h"
 
@@ -68,6 +69,14 @@ struct AcceleratorConfig {
   // counts are unaffected; only the adversary's view is corrupted. Not
   // owned; must outlive runs.
   const trace::TraceTransform* trace_fault_hook = nullptr;
+
+  // --- capture to store ---
+  // When non-empty, Run() also persists the trace it returns (after all
+  // hooks, i.e. exactly the adversary's view) to this path in the sct-v1
+  // binary format (store/writer.h), with the run's dataflow recorded in
+  // the header metadata. Write is atomic (write-then-rename); failures
+  // throw, so a capture run never silently drops its artifact.
+  std::string capture_store_path;
 
   // --- observability ---
   // Per-run opt-out for the obs registry (DESIGN.md §9). Recording happens

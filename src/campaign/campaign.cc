@@ -20,6 +20,9 @@
 #include "models/zoo.h"
 #include "nn/conv2d.h"
 #include "obs/metrics.h"
+#include "store/corpus.h"
+#include "store/reader.h"
+#include "store/writer.h"
 #include "support/check.h"
 #include "support/rng.h"
 #include "support/thread_pool.h"
@@ -50,6 +53,10 @@ struct CampaignMetrics {
       obs::Registry::Get().GetCounter("campaign.checkpoint.save_failures");
   obs::Counter& stuck =
       obs::Registry::Get().GetCounter("campaign.watchdog.stuck");
+  obs::Counter& traces_persisted =
+      obs::Registry::Get().GetCounter("campaign.traces.persisted");
+  obs::Counter& traces_rehydrated =
+      obs::Registry::Get().GetCounter("campaign.traces.rehydrated");
   obs::Histogram& unit_ns =
       obs::Registry::Get().GetHistogram("campaign.unit_ns");
 };
@@ -539,6 +546,27 @@ CampaignResult RunCampaign(const CampaignConfig& cfg) {
     cp = Checkpoint::LoadFile(cfg.checkpoint_path, fingerprint);
   }
 
+  // --- Trace store (DESIGN.md §14) ----------------------------------------
+  // Persisted acquisitions live next to the checkpoint; the corpus manifest
+  // is fingerprint-gated like the checkpoint, but it indexes a *cache* of
+  // recomputable artifacts — a corrupt or foreign manifest means "rebuild",
+  // not "refuse to run".
+  const bool store_enabled =
+      cfg.persist_traces && !cfg.checkpoint_path.empty();
+  const std::filesystem::path store_dir = cfg.checkpoint_path + ".traces";
+  const std::string corpus_path = (store_dir / "corpus.json").string();
+  store::Corpus corpus(fingerprint);
+  if (store_enabled) {
+    std::filesystem::create_directories(store_dir);
+    if (std::filesystem::exists(corpus_path)) {
+      try {
+        corpus = store::Corpus::LoadFile(corpus_path, fingerprint);
+      } catch (const std::exception&) {
+        corpus = store::Corpus(fingerprint);
+      }
+    }
+  }
+
   const nn::Network net = MakeVictim(cfg.victim, cfg.seed);
   const WeightStage stage = MakeWeightStage(net, cfg);
   const int num_filters = cfg.recover_weights ? stage.num_filters : 0;
@@ -667,34 +695,128 @@ CampaignResult RunCampaign(const CampaignConfig& cfg) {
     };
 
     // --- Wave 1: acquisitions (parallel) ---------------------------------
-    bool need_trace = false;
-    for (int k = 0; k < cfg.acquisitions; ++k)
-      if (!cp.Has(AcquireId(k))) need_trace = true;
-
-    std::optional<trace::Trace> clean;
-    if (need_trace) {
-      accel::AcceleratorConfig acfg;
-      acfg.dataflow = cfg.dataflow;
-      const accel::Accelerator accel{acfg};
-      nn::Tensor input(net.input_shape());
-      Rng rng(cfg.seed);
-      for (std::size_t i = 0; i < input.numel(); ++i)
-        input[i] = rng.GaussianF(1.0f);
-      clean.emplace();
-      accel.Run(net, input, &*clean);
-    }
     const sim::TraceNoiseModel noise(cfg.trace_noise);
+    const std::string noise_desc =
+        cfg.trace_noise.enabled()
+            ? json::Dump(FingerprintTraceNoise(cfg.trace_noise))
+            : "";
+
+    // Rehydrates `unit` from the store. A missing, corrupt or foreign
+    // persisted trace is a cache miss (empty optional), never an error —
+    // the caller falls back to regeneration.
+    auto load_persisted =
+        [&](const std::string& unit) -> std::optional<trace::Trace> {
+      if (!store_enabled) return std::nullopt;
+      std::string file;
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (corpus.Has(unit)) file = corpus.Get(unit).file;
+      }
+      if (file.empty()) return std::nullopt;
+      try {
+        json::Value meta;
+        trace::Trace t =
+            store::ReadTraceFile((store_dir / file).string(), &meta);
+        SC_CHECK_MSG(meta.Has("fingerprint") &&
+                         meta.At("fingerprint").kind ==
+                             json::Value::Kind::kString &&
+                         meta.At("fingerprint").str == fingerprint,
+                     "persisted trace fingerprint mismatch");
+        Metrics().traces_rehydrated.Add();
+        return t;
+      } catch (const std::exception&) {
+        return std::nullopt;
+      }
+    };
+
+    // Persists `t` as `file` then decodes it back, so a fresh run feeds the
+    // analysis the exact bytes a resumed run will rehydrate — the
+    // checkpoint's encode/decode discipline, extended to trace data. A
+    // store I/O failure returns `t` unchanged: persistence is best-effort,
+    // losing it degrades resume, never the campaign's results.
+    auto persist_and_reload = [&](const std::string& unit,
+                                  const std::string& file,
+                                  trace::Trace t) -> trace::Trace {
+      if (!store_enabled) return t;
+      try {
+        json::Value meta = json::Value::Object();
+        meta.object["unit"] = json::Value::String(unit);
+        meta.object["victim"] = json::Value::String(cfg.victim);
+        meta.object["seed"] = U64(cfg.seed);
+        meta.object["dataflow"] =
+            json::Value::String(accel::ToString(cfg.dataflow));
+        meta.object["noise"] =
+            json::Value::String(unit == "clean" ? "" : noise_desc);
+        meta.object["fingerprint"] = json::Value::String(fingerprint);
+        store::WriteTraceFile((store_dir / file).string(), t, std::move(meta));
+        store::Corpus::Entry e;
+        e.file = file;
+        e.victim = cfg.victim;
+        e.seed = cfg.seed;
+        e.dataflow = accel::ToString(cfg.dataflow);
+        e.noise = unit == "clean" ? "" : noise_desc;
+        e.events = t.size();
+        {
+          const std::lock_guard<std::mutex> lock(mu);
+          corpus.Record(unit, std::move(e));
+          corpus.SaveFile(corpus_path);
+        }
+        trace::Trace back = store::ReadTraceFile((store_dir / file).string());
+        Metrics().traces_persisted.Add();
+        return back;
+      } catch (const std::exception&) {
+        return t;
+      }
+    };
+
+    // The clean capture is materialized lazily: a resumed campaign whose
+    // acquisitions are all checkpointed or persisted never re-simulates
+    // the victim.
+    std::optional<trace::Trace> clean;
+    std::once_flag clean_once;
+    auto get_clean = [&]() -> const trace::Trace& {
+      std::call_once(clean_once, [&]() {
+        if (auto t = load_persisted("clean")) {
+          clean.emplace(std::move(*t));
+          return;
+        }
+        accel::AcceleratorConfig acfg;
+        acfg.dataflow = cfg.dataflow;
+        const accel::Accelerator accel{acfg};
+        nn::Tensor input(net.input_shape());
+        Rng rng(cfg.seed);
+        for (std::size_t i = 0; i < input.numel(); ++i)
+          input[i] = rng.GaussianF(1.0f);
+        trace::Trace t;
+        accel.Run(net, input, &t);
+        clean.emplace(persist_and_reload("clean", "clean.sct", std::move(t)));
+      });
+      return *clean;
+    };
 
     auto acquire_body = [&](std::int64_t lo, std::int64_t hi) {
       for (std::int64_t k = lo; k < hi; ++k) {
         const int idx = static_cast<int>(k);
-        run_unit(static_cast<std::size_t>(k), AcquireId(idx), [&]() {
-          if (cfg.trace_noise.enabled()) {
-            const trace::Trace acq =
-                noise.ApplyNth(*clean, static_cast<std::uint64_t>(idx));
-            return EncodeAcquisition(attack::AnalyzeAcquisition(acq, scfg));
+        const std::string id = AcquireId(idx);
+        run_unit(static_cast<std::size_t>(k), id, [&]() {
+          if (auto t = load_persisted(id))
+            return EncodeAcquisition(attack::AnalyzeAcquisition(*t, scfg));
+          if (!store_enabled) {
+            if (cfg.trace_noise.enabled()) {
+              const trace::Trace acq =
+                  noise.ApplyNth(get_clean(), static_cast<std::uint64_t>(idx));
+              return EncodeAcquisition(attack::AnalyzeAcquisition(acq, scfg));
+            }
+            return EncodeAcquisition(
+                attack::AnalyzeAcquisition(get_clean(), scfg));
           }
-          return EncodeAcquisition(attack::AnalyzeAcquisition(*clean, scfg));
+          trace::Trace acq =
+              cfg.trace_noise.enabled()
+                  ? noise.ApplyNth(get_clean(), static_cast<std::uint64_t>(idx))
+                  : get_clean();
+          acq = persist_and_reload(
+              id, "acquire_" + std::to_string(idx) + ".sct", std::move(acq));
+          return EncodeAcquisition(attack::AnalyzeAcquisition(acq, scfg));
         });
       }
     };

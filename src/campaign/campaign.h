@@ -93,6 +93,17 @@ struct CampaignConfig {
   // the config fingerprint and resumed from; sc::Error on corruption or a
   // foreign fingerprint.
   std::string checkpoint_path;
+  // When true and a checkpoint path is set, the clean capture and every
+  // acquisition's observed trace are persisted as sct-v1 files (store/)
+  // under "<checkpoint_path>.traces/", indexed by a corpus.json manifest
+  // carrying the campaign fingerprint. A resumed (or rerun) campaign
+  // rehydrates acquisition analyses from the persisted bytes instead of
+  // re-simulating the victim; fresh runs analyze the same decoded bytes
+  // they just wrote, so both paths are byte-identical by construction.
+  // Store I/O failures degrade to regeneration, never fail a unit. Not
+  // part of the fingerprint: persistence changes where trace bytes live,
+  // never what any unit computes.
+  bool persist_traces = true;
   // Non-empty: structure_candidates.csv and filter_ratios.csv are written
   // here (directories are created).
   std::string output_dir;

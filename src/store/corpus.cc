@@ -1,0 +1,144 @@
+#include "store/corpus.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "support/check.h"
+
+namespace sc::store {
+
+namespace json = support::json;
+
+namespace {
+
+// JSON numbers are doubles; a 64-bit seed would not survive one. Seeds
+// travel as decimal strings, event counts (always far below 2^53) as
+// integer-validated numbers.
+std::uint64_t ParseU64(const std::string& s, const char* what) {
+  SC_CHECK_MSG(!s.empty() && s.size() <= 20, "bad corpus " << what);
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    SC_CHECK_MSG(c >= '0' && c <= '9', "bad corpus " << what);
+    const std::uint64_t d = static_cast<std::uint64_t>(c - '0');
+    SC_CHECK_MSG(v <= (UINT64_MAX - d) / 10, "corpus " << what
+                                                       << " overflows u64");
+    v = v * 10 + d;
+  }
+  return v;
+}
+
+std::uint64_t CountFromNumber(double d, const char* what) {
+  SC_CHECK_MSG(d >= 0 && d <= 9007199254740992.0 && d == std::floor(d),
+               "bad corpus " << what);
+  return static_cast<std::uint64_t>(d);
+}
+
+}  // namespace
+
+const Corpus::Entry& Corpus::Get(const std::string& name) const {
+  const auto it = entries_.find(name);
+  SC_CHECK_MSG(it != entries_.end(), "no corpus entry '" << name << "'");
+  return it->second;
+}
+
+void Corpus::Record(const std::string& name, Entry e) {
+  entries_[name] = std::move(e);
+}
+
+std::vector<std::string> Corpus::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) names.push_back(name);
+  return names;
+}
+
+std::string Corpus::Serialize() const {
+  json::Value root = json::Value::Object();
+  root.object["schema"] = json::Value::String(kSchema);
+  root.object["fingerprint"] = json::Value::String(fingerprint_);
+  json::Value traces = json::Value::Object();
+  for (const auto& [name, e] : entries_) {
+    json::Value t = json::Value::Object();
+    t.object["file"] = json::Value::String(e.file);
+    t.object["victim"] = json::Value::String(e.victim);
+    t.object["seed"] = json::Value::String(std::to_string(e.seed));
+    t.object["dataflow"] = json::Value::String(e.dataflow);
+    t.object["noise"] = json::Value::String(e.noise);
+    t.object["events"] = json::Value::Number(static_cast<double>(e.events));
+    traces.object[name] = std::move(t);
+  }
+  root.object["traces"] = std::move(traces);
+  return json::Dump(root);
+}
+
+Corpus Corpus::Parse(const std::string& text,
+                     const std::string& expected_fingerprint) {
+  const json::Value root = json::Parse(text);  // throws sc::Error on garbage
+  SC_CHECK_MSG(root.kind == json::Value::Kind::kObject,
+               "corpus root is not an object");
+  SC_CHECK_MSG(root.Has("schema") &&
+                   root.At("schema").kind == json::Value::Kind::kString,
+               "corpus missing schema tag");
+  SC_CHECK_MSG(root.At("schema").str == kSchema,
+               "foreign corpus schema '" << root.At("schema").str << "' (want "
+                                         << kSchema << ")");
+  SC_CHECK_MSG(root.Has("fingerprint") &&
+                   root.At("fingerprint").kind == json::Value::Kind::kString,
+               "corpus missing fingerprint");
+  const std::string& fp = root.At("fingerprint").str;
+  if (!expected_fingerprint.empty()) {
+    SC_CHECK_MSG(fp == expected_fingerprint,
+                 "corpus fingerprint mismatch: manifest was written by a "
+                 "differently configured campaign");
+  }
+  SC_CHECK_MSG(root.Has("traces") &&
+                   root.At("traces").kind == json::Value::Kind::kObject,
+               "corpus missing traces object");
+
+  Corpus c(fp);
+  for (const auto& [name, t] : root.At("traces").object) {
+    SC_CHECK_MSG(t.kind == json::Value::Kind::kObject,
+                 "corpus entry '" << name << "' is not an object");
+    Entry e;
+    e.file = t.Str("file");
+    SC_CHECK_MSG(!e.file.empty() && e.file.find('/') == std::string::npos &&
+                     e.file.find('\\') == std::string::npos &&
+                     e.file != "." && e.file != "..",
+                 "corpus entry '" << name
+                                  << "' file must be a plain file name");
+    e.victim = t.Str("victim");
+    e.seed = ParseU64(t.Str("seed"), "seed");
+    e.dataflow = t.Str("dataflow");
+    e.noise = t.Str("noise");
+    e.events = CountFromNumber(t.Num("events"), "event count");
+    c.entries_[name] = std::move(e);
+  }
+  return c;
+}
+
+void Corpus::SaveFile(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    SC_CHECK_MSG(f.is_open(), "cannot open " << tmp << " for writing");
+    f << Serialize();
+    f.flush();
+    SC_CHECK_MSG(static_cast<bool>(f), "write failure on " << tmp);
+  }
+  SC_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+               "cannot rename " << tmp << " over " << path);
+}
+
+Corpus Corpus::LoadFile(const std::string& path,
+                        const std::string& expected_fingerprint) {
+  std::ifstream f(path, std::ios::binary);
+  SC_CHECK_MSG(f.is_open(), "cannot open corpus " << path);
+  std::ostringstream text;
+  text << f.rdbuf();
+  return Parse(text.str(), expected_fingerprint);
+}
+
+}  // namespace sc::store

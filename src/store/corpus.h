@@ -1,0 +1,86 @@
+// Corpus manifest for a directory of .sct acquisitions (DESIGN.md §14).
+//
+// A Corpus names every persisted trace in a campaign's store directory:
+// which victim network, which acquisition seed, which dataflow backend and
+// noise stream produced it, and where the bytes live. The manifest is JSON
+// ("sc-corpus-v1") with the same config fingerprint the campaign
+// checkpoint carries, so stores from a different configuration are never
+// silently mixed into a resume.
+//
+// Unlike checkpoints, a corpus is a *cache*: every trace is recomputable
+// from the campaign config, so a corrupt or foreign manifest is grounds to
+// rebuild, not to abort. Parse/LoadFile still reject malformed input with
+// typed errors (hostile-input standard); callers decide whether rejection
+// is fatal.
+#ifndef SC_STORE_CORPUS_H_
+#define SC_STORE_CORPUS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+namespace sc::store {
+
+class Corpus {
+ public:
+  // One persisted acquisition. `file` is relative to the manifest's
+  // directory; the remaining fields echo the acquisition's provenance so
+  // tooling can select traces without opening them.
+  struct Entry {
+    std::string file;
+    std::string victim;       // victim network name, e.g. "lenet"
+    std::uint64_t seed = 0;   // campaign base seed
+    std::string dataflow;     // accelerator dataflow backend
+    std::string noise;        // noise/fault model summary ("" = clean)
+    std::uint64_t events = 0; // event count, mirrors the sct header
+  };
+
+  Corpus() = default;
+  explicit Corpus(std::string fingerprint)
+      : fingerprint_(std::move(fingerprint)) {}
+
+  const std::string& fingerprint() const { return fingerprint_; }
+  std::size_t size() const { return entries_.size(); }
+
+  bool Has(const std::string& name) const { return entries_.count(name) > 0; }
+
+  // Entry for acquisition `name` (e.g. "acquire:3"); throws when absent.
+  const Entry& Get(const std::string& name) const;
+
+  // Records (or overwrites) acquisition `name`.
+  void Record(const std::string& name, Entry e);
+
+  // Acquisition names in manifest (sorted) order.
+  std::vector<std::string> Names() const;
+
+  // Canonical serialization:
+  // {"schema":"sc-corpus-v1","fingerprint":...,"traces":{...}}.
+  std::string Serialize() const;
+
+  // Parses and validates a manifest. Throws sc::Error on malformed JSON, a
+  // foreign schema, missing/mistyped fields, or — when expected_fingerprint
+  // is non-empty — a fingerprint mismatch.
+  static Corpus Parse(const std::string& text,
+                      const std::string& expected_fingerprint);
+
+  // Atomic write-then-rename to `path` (tmp file: path + ".tmp").
+  void SaveFile(const std::string& path) const;
+
+  // Loads and validates `path`; throws sc::Error on I/O or Parse failure.
+  static Corpus LoadFile(const std::string& path,
+                         const std::string& expected_fingerprint);
+
+  static constexpr const char* kSchema = "sc-corpus-v1";
+
+ private:
+  std::string fingerprint_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace sc::store
+
+#endif  // SC_STORE_CORPUS_H_

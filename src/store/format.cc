@@ -1,0 +1,58 @@
+#include "store/format.h"
+
+#include <array>
+
+namespace sc::store {
+
+namespace {
+
+// Slicing-by-8 CRC32C: eight derived tables let the hot loop fold eight
+// input bytes per iteration, keeping checksumming well below the varint
+// decode cost it guards.
+struct CrcTables {
+  std::uint32_t t[8][256];
+};
+
+constexpr CrcTables BuildTables() {
+  CrcTables tables{};
+  constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int k = 0; k < 8; ++k)
+      crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+    tables.t[0][i] = crc;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = tables.t[0][i];
+    for (int s = 1; s < 8; ++s) {
+      crc = tables.t[0][crc & 0xFFu] ^ (crc >> 8);
+      tables.t[s][i] = crc;
+    }
+  }
+  return tables;
+}
+
+constexpr CrcTables kTables = BuildTables();
+
+}  // namespace
+
+std::uint32_t Crc32c(const void* data, std::size_t len) {
+  const std::uint8_t* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t crc = ~0u;
+  while (len >= 8) {
+    const std::uint32_t lo = crc ^ (static_cast<std::uint32_t>(p[0]) |
+                                    static_cast<std::uint32_t>(p[1]) << 8 |
+                                    static_cast<std::uint32_t>(p[2]) << 16 |
+                                    static_cast<std::uint32_t>(p[3]) << 24);
+    crc = kTables.t[7][lo & 0xFFu] ^ kTables.t[6][(lo >> 8) & 0xFFu] ^
+          kTables.t[5][(lo >> 16) & 0xFFu] ^ kTables.t[4][lo >> 24] ^
+          kTables.t[3][p[4]] ^ kTables.t[2][p[5]] ^ kTables.t[1][p[6]] ^
+          kTables.t[0][p[7]];
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) crc = kTables.t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+  return ~crc;
+}
+
+}  // namespace sc::store

@@ -1,0 +1,138 @@
+// sct-v1 binary trace format primitives (DESIGN.md §14).
+//
+// The §3 memory trace is the system's core data artifact; sct-v1 is its
+// persisted form: a self-describing header followed by chunks whose layout
+// mirrors trace::TraceBuffer's structure-of-arrays columns, so encode and
+// decode are column streams, never per-event object churn.
+//
+// File layout (all fixed-width integers little-endian):
+//
+//   [ 0,  8)  magic "sctrace1"
+//   [ 8, 12)  u32 version (= 1)
+//   [12, 16)  u32 meta_len           canonical-JSON metadata byte length
+//   [16, 24)  u64 event_count
+//   [24, 32)  u64 chunk_count
+//   [32, 40)  u64 last_cycle         redundant; validated on full decode
+//   [40, 48)  u64 bytes_read         redundant; validated on full decode
+//   [48, 56)  u64 bytes_written      redundant; validated on full decode
+//   [56, 56+meta_len)  metadata: one canonical JSON object (support/json.h)
+//   next 4    u32 CRC32C over every header byte before it
+//   then chunk_count chunks, each:
+//     u32 count        events in this chunk — exactly TraceBuffer's
+//                      kChunkEvents for every chunk but the last (the chunk
+//                      grid mirrors the in-memory buffer), >= 1 for the last
+//     u32 payload_len  encoded column bytes that follow the chunk header
+//     u32 CRC32C       over the payload
+//     payload, four column streams back to back:
+//       cycles  per event, varint of (cycle - previous event's cycle);
+//               the stream-wide predecessor carries across chunks, 0 before
+//               the first event (cycles are non-decreasing, deltas fit u64)
+//       addrs   per event, varint of zigzag(addr - previous event's addr),
+//               predecessor carried across chunks, 0 before the first event
+//       bytes   per event, varint of the burst size
+//       ops     ceil(count / 8) bytes, LSB-first bitmap, 1 = write
+//
+// Invariants the decoder enforces (hostile input -> typed sc::Error, never
+// UB): bounded varints, per-chunk and header CRCs, exact payload
+// consumption, exact file consumption, the TraceBuffer validity rules
+// (non-empty bursts, non-decreasing cycles, addr + bytes inside the
+// address space), and header/chunk count agreement.
+#ifndef SC_STORE_FORMAT_H_
+#define SC_STORE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "support/check.h"
+
+namespace sc::store {
+
+inline constexpr char kMagic[8] = {'s', 'c', 't', 'r', 'a', 'c', 'e', '1'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::size_t kFixedHeaderBytes = 56;
+inline constexpr std::size_t kChunkHeaderBytes = 12;
+// Metadata is a small JSON object (acquisition keys + a config
+// fingerprint); anything larger is hostile.
+inline constexpr std::uint32_t kMaxMetaBytes = 1u << 20;
+
+// CRC32C (Castagnoli), the checksum used by the chunk and header guards.
+std::uint32_t Crc32c(const void* data, std::size_t len);
+
+// --- little-endian scalar I/O -------------------------------------------
+
+inline void PutU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+inline void PutU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+// Callers guarantee 4/8 readable bytes at p (the reader bounds-checks the
+// enclosing slice before touching it).
+inline std::uint32_t GetU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+inline std::uint64_t GetU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+// --- varints -------------------------------------------------------------
+
+// LEB128, at most 10 bytes for a u64.
+inline void PutVarint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+// Decodes a varint from [*p, end), advancing *p past it. Throws sc::Error
+// on truncation, a value that does not fit in 64 bits, or a non-minimal
+// encoding (a redundant trailing group). Rejecting redundant encodings
+// makes sct-v1 canonical: every valid file is byte-identical to what
+// StoreWriter emits for its contents, which the fuzzer asserts.
+inline std::uint64_t GetVarint(const std::uint8_t** p, const std::uint8_t* end) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (*p < end) {
+    const std::uint8_t byte = *(*p)++;
+    if (shift == 63)
+      SC_CHECK_MSG(byte <= 1, "varint overflows 64 bits");
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      SC_CHECK_MSG(byte != 0 || shift == 0, "non-minimal varint");
+      return v;
+    }
+    shift += 7;
+    SC_CHECK_MSG(shift <= 63, "varint overflows 64 bits");
+  }
+  SC_CHECK_MSG(false, "truncated varint");
+  return 0;  // unreachable
+}
+
+// Address deltas can be negative (regions are revisited); zigzag keeps
+// small magnitudes short in either direction. All arithmetic is modular
+// u64, so the full address space round-trips.
+inline std::uint64_t ZigZag(std::uint64_t delta) {
+  const std::int64_t s = static_cast<std::int64_t>(delta);
+  return (static_cast<std::uint64_t>(s) << 1) ^
+         static_cast<std::uint64_t>(s >> 63);
+}
+
+inline std::uint64_t UnZigZag(std::uint64_t z) {
+  return (z >> 1) ^ (~(z & 1) + 1);
+}
+
+}  // namespace sc::store
+
+#endif  // SC_STORE_FORMAT_H_

@@ -1,0 +1,225 @@
+#include "store/reader.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "store/format.h"
+
+namespace sc::store {
+
+namespace json = support::json;
+
+namespace {
+
+struct ReadMetrics {
+  obs::Counter& bytes = obs::Registry::Get().GetCounter("store.read.bytes");
+  obs::Counter& chunks = obs::Registry::Get().GetCounter("store.read.chunks");
+  obs::Counter& crc_failures =
+      obs::Registry::Get().GetCounter("store.crc_failures");
+  obs::Histogram& decode_ns =
+      obs::Registry::Get().GetHistogram("store.decode_ns");
+};
+
+ReadMetrics& Metrics() {
+  static ReadMetrics m;
+  return m;
+}
+
+}  // namespace
+
+// One decoded chunk's columns; sized by the fixed chunk grid, so a forged
+// count can never demand more than ~344 KiB.
+struct StoreReader::Scratch {
+  std::uint64_t cycles[trace::TraceBuffer::kChunkEvents];
+  std::uint64_t addrs[trace::TraceBuffer::kChunkEvents];
+  std::uint32_t bytes[trace::TraceBuffer::kChunkEvents];
+  std::uint8_t ops[trace::TraceBuffer::kChunkEvents];
+};
+
+StoreReader StoreReader::FromString(std::string bytes) {
+  StoreReader r;
+  r.bytes_ = std::move(bytes);
+  const std::uint8_t* base =
+      reinterpret_cast<const std::uint8_t*>(r.bytes_.data());
+  SC_CHECK_MSG(r.bytes_.size() >= kFixedHeaderBytes + 4,
+               "sct file truncated: " << r.bytes_.size()
+                                      << " bytes is smaller than the header");
+  SC_CHECK_MSG(std::memcmp(base, kMagic, sizeof kMagic) == 0,
+               "not an sct file (bad magic)");
+  const std::uint32_t version = GetU32(base + 8);
+  SC_CHECK_MSG(version == kFormatVersion,
+               "unsupported sct version " << version);
+  const std::uint32_t meta_len = GetU32(base + 12);
+  SC_CHECK_MSG(meta_len <= kMaxMetaBytes,
+               "sct metadata length " << meta_len << " exceeds cap");
+  SC_CHECK_MSG(meta_len <= r.bytes_.size() - kFixedHeaderBytes - 4,
+               "sct file truncated inside metadata");
+  r.header_.event_count = GetU64(base + 16);
+  r.header_.chunk_count = GetU64(base + 24);
+  r.header_.last_cycle = GetU64(base + 32);
+  r.header_.bytes_read = GetU64(base + 40);
+  r.header_.bytes_written = GetU64(base + 48);
+
+  const std::size_t crc_at = kFixedHeaderBytes + meta_len;
+  const std::uint32_t want_crc = GetU32(base + crc_at);
+  const std::uint32_t got_crc = Crc32c(base, crc_at);
+  if (got_crc != want_crc) {
+    Metrics().crc_failures.Add();
+    SC_CHECK_MSG(false, "sct header CRC mismatch (file corrupt)");
+  }
+  const std::string meta_text = r.bytes_.substr(kFixedHeaderBytes, meta_len);
+  r.header_.meta = json::Parse(meta_text);
+  SC_CHECK_MSG(r.header_.meta.kind == json::Value::Kind::kObject,
+               "sct metadata must be a JSON object");
+  // sct-v1 is canonical (one encoding per contents); metadata that is not
+  // in Dump's canonical form was not written by StoreWriter.
+  SC_CHECK_MSG(json::Dump(r.header_.meta) == meta_text,
+               "sct metadata is not in canonical form");
+  r.pos_ = crc_at + 4;
+
+  // Geometry sanity before any chunk streams: the chunk grid must mirror
+  // TraceBuffer's (full chunks then one 1..kChunkEvents tail), and the
+  // remaining bytes must at least fit the claimed chunk headers.
+  constexpr std::uint64_t kChunkEvents = trace::TraceBuffer::kChunkEvents;
+  const Header& h = r.header_;
+  if (h.chunk_count == 0) {
+    SC_CHECK_MSG(h.event_count == 0,
+                 "sct header claims events but no chunks");
+    SC_CHECK_MSG(h.last_cycle == 0 && h.bytes_read == 0 &&
+                     h.bytes_written == 0,
+                 "sct header stats nonzero for an empty trace");
+  } else {
+    SC_CHECK_MSG(h.event_count > (h.chunk_count - 1) * kChunkEvents &&
+                     h.event_count <= h.chunk_count * kChunkEvents,
+                 "sct header event/chunk counts do not mirror the chunk grid");
+  }
+  SC_CHECK_MSG(h.chunk_count <=
+                   (r.bytes_.size() - r.pos_) / kChunkHeaderBytes,
+               "sct file truncated: too small for " << h.chunk_count
+                                                    << " chunks");
+  if (h.chunk_count == 0)
+    SC_CHECK_MSG(r.pos_ == r.bytes_.size(),
+                 "trailing bytes after sct chunks");
+  return r;
+}
+
+StoreReader StoreReader::OpenFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  SC_CHECK_MSG(f.is_open(), "cannot open " << path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  SC_CHECK_MSG(!f.bad(), "read failure on " << path);
+  return FromString(std::move(ss).str());
+}
+
+bool StoreReader::NextChunk(trace::TraceBuffer::ChunkView* out) {
+  if (chunks_done_ == header_.chunk_count) return false;
+  const obs::ScopedTimer timer(Metrics().decode_ns);
+  if (!scratch_) scratch_ = std::make_shared<Scratch>();
+  Scratch& s = *scratch_;
+  constexpr std::uint64_t kChunkEvents = trace::TraceBuffer::kChunkEvents;
+
+  const std::uint8_t* base =
+      reinterpret_cast<const std::uint8_t*>(bytes_.data());
+  SC_CHECK_MSG(bytes_.size() - pos_ >= kChunkHeaderBytes,
+               "sct file truncated inside chunk header");
+  const std::uint32_t count = GetU32(base + pos_);
+  const std::uint32_t payload_len = GetU32(base + pos_ + 4);
+  const std::uint32_t want_crc = GetU32(base + pos_ + 8);
+  const bool last = chunks_done_ + 1 == header_.chunk_count;
+  const std::uint64_t expect =
+      last ? header_.event_count - (header_.chunk_count - 1) * kChunkEvents
+           : kChunkEvents;
+  SC_CHECK_MSG(count == expect, "sct chunk " << chunks_done_ << " holds "
+                                             << count << " events, expected "
+                                             << expect);
+  SC_CHECK_MSG(payload_len <= bytes_.size() - pos_ - kChunkHeaderBytes,
+               "sct file truncated inside chunk payload");
+  const std::uint8_t* p = base + pos_ + kChunkHeaderBytes;
+  const std::uint8_t* end = p + payload_len;
+  if (Crc32c(p, payload_len) != want_crc) {
+    Metrics().crc_failures.Add();
+    SC_CHECK_MSG(false,
+                 "sct chunk " << chunks_done_ << " CRC mismatch (corrupt)");
+  }
+
+  // Column streams, in file order. Every TraceBuffer validity rule is
+  // enforced here so AppendColumns-based rebuilds cannot trip a CHECK on
+  // data that got past the decoder.
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t delta = GetVarint(&p, end);
+    SC_CHECK_MSG(delta <= UINT64_MAX - prev_cycle_,
+                 "sct cycle column overflows 64 bits");
+    prev_cycle_ += delta;
+    s.cycles[i] = prev_cycle_;
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    prev_addr_ += UnZigZag(GetVarint(&p, end));  // modular; validated below
+    s.addrs[i] = prev_addr_;
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t b = GetVarint(&p, end);
+    SC_CHECK_MSG(b > 0, "sct burst size 0");
+    SC_CHECK_MSG(b <= UINT32_MAX, "sct burst size " << b << " overflows u32");
+    SC_CHECK_MSG(s.addrs[i] <= UINT64_MAX - b,
+                 "sct burst runs past the end of the address space");
+    s.bytes[i] = static_cast<std::uint32_t>(b);
+  }
+  const std::size_t bitmap_len = (count + 7) / 8;
+  SC_CHECK_MSG(static_cast<std::size_t>(end - p) >= bitmap_len,
+               "sct chunk payload truncated before op bitmap");
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint8_t v = (p[i / 8] >> (i % 8)) & 1u;
+    s.ops[i] = v;
+    if (static_cast<trace::MemOp>(v) == trace::MemOp::kRead)
+      read_bytes_ += s.bytes[i];
+    else
+      written_bytes_ += s.bytes[i];
+  }
+  // Canonical form: bits past the last event in the final bitmap byte are
+  // zero (the writer never sets them).
+  if (count % 8 != 0)
+    SC_CHECK_MSG(p[bitmap_len - 1] >> (count % 8) == 0,
+                 "sct op bitmap has stray bits");
+  p += bitmap_len;
+  SC_CHECK_MSG(p == end, "sct chunk payload not fully consumed");
+
+  pos_ += kChunkHeaderBytes + payload_len;
+  ++chunks_done_;
+  events_done_ += count;
+  Metrics().bytes.Add(kChunkHeaderBytes + payload_len);
+  Metrics().chunks.Add();
+
+  if (last) {
+    // The redundant header stats and the byte stream must agree — a
+    // mismatch means a forged header or a corruption the CRCs missed.
+    SC_CHECK_MSG(pos_ == bytes_.size(), "trailing bytes after sct chunks");
+    SC_CHECK_MSG(prev_cycle_ == header_.last_cycle &&
+                     read_bytes_ == header_.bytes_read &&
+                     written_bytes_ == header_.bytes_written,
+                 "sct header stats disagree with decoded chunks");
+  }
+
+  *out = trace::TraceBuffer::ChunkView{
+      s.cycles, s.addrs, s.bytes, s.ops, static_cast<std::size_t>(count)};
+  return true;
+}
+
+trace::Trace StoreReader::ReadAll() {
+  trace::TraceBuffer buf;
+  trace::TraceBuffer::ChunkView v;
+  while (NextChunk(&v))
+    buf.AppendColumns(v.cycles, v.addrs, v.bytes, v.ops, v.count);
+  return trace::Trace(std::move(buf));
+}
+
+trace::Trace ReadTraceFile(const std::string& path, json::Value* meta) {
+  StoreReader r = StoreReader::OpenFile(path);
+  if (meta != nullptr) *meta = r.header().meta;
+  return r.ReadAll();
+}
+
+}  // namespace sc::store

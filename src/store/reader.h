@@ -1,0 +1,87 @@
+// sct-v1 streaming trace decoder (DESIGN.md §14).
+//
+// StoreReader validates the self-describing header eagerly, then decodes
+// chunk by chunk on demand: NextChunk() hands out a TraceBuffer::ChunkView
+// over reader-owned column scratch — the same shape the analysis passes
+// (SegmentTrace / AnalyzeTrace) stream — so single-pass consumers (sctool
+// stats, corpus scans) never materialize the whole trace, and ReadAll()
+// bulk-copies each decoded chunk straight into a TraceBuffer with no
+// per-event object churn.
+//
+// Hostile-input contract (same standard as Trace::ReadCsv and checkpoint
+// JSON): arbitrary bytes either decode into a valid trace or throw
+// sc::Error — bounded varints, CRC32C verification per chunk and for the
+// header, exact payload/file consumption, and every TraceBuffer validity
+// rule (non-empty bursts, non-decreasing cycles, bursts inside the address
+// space). Allocation is bounded by the validated chunk geometry, so a tiny
+// forged header cannot demand huge buffers.
+#ifndef SC_STORE_READER_H_
+#define SC_STORE_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "support/json.h"
+#include "trace/trace.h"
+#include "trace/trace_buffer.h"
+
+namespace sc::store {
+
+class StoreReader {
+ public:
+  // Decoded header fields. The three stat fields are redundant with the
+  // chunk data and re-validated once the final chunk streams.
+  struct Header {
+    std::uint64_t event_count = 0;
+    std::uint64_t chunk_count = 0;
+    std::uint64_t last_cycle = 0;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t bytes_written = 0;
+    support::json::Value meta;
+  };
+
+  // Parses and validates the header; throws sc::Error on anything that is
+  // not a well-formed sct-v1 prefix. Chunks are validated as they stream.
+  static StoreReader FromString(std::string bytes);
+  static StoreReader OpenFile(const std::string& path);
+
+  const Header& header() const { return header_; }
+
+  // Decodes the next chunk into reader-owned scratch and points `out` at
+  // it; the view stays valid until the next call. Returns false once every
+  // chunk has streamed (at which point the header stats have been verified
+  // against the decoded totals).
+  bool NextChunk(trace::TraceBuffer::ChunkView* out);
+
+  // Streams every remaining chunk into a Trace (bulk column appends).
+  trace::Trace ReadAll();
+
+  StoreReader(StoreReader&&) = default;
+  StoreReader& operator=(StoreReader&&) = default;
+
+ private:
+  StoreReader() = default;
+
+  struct Scratch;
+
+  std::string bytes_;
+  Header header_;
+  std::size_t pos_ = 0;          // next unread byte (first chunk header)
+  std::uint64_t chunks_done_ = 0;
+  std::uint64_t prev_cycle_ = 0;
+  std::uint64_t prev_addr_ = 0;
+  std::uint64_t events_done_ = 0;
+  std::uint64_t read_bytes_ = 0;     // decoded burst totals, per direction
+  std::uint64_t written_bytes_ = 0;
+  std::shared_ptr<Scratch> scratch_;  // lazily allocated column buffers
+};
+
+// One-shot convenience: decode `path` fully; optionally surfaces the
+// header metadata.
+trace::Trace ReadTraceFile(const std::string& path,
+                           support::json::Value* meta = nullptr);
+
+}  // namespace sc::store
+
+#endif  // SC_STORE_READER_H_

@@ -1,0 +1,48 @@
+// sct-v1 trace encoder (DESIGN.md §14).
+//
+// StoreWriter serializes a Trace's columnar buffer into the sct-v1 byte
+// layout (store/format.h): delta/varint cycle and address columns,
+// varint burst sizes, a bitpacked op column, CRC32C per chunk, and a
+// self-describing header carrying caller metadata (acquisition keys,
+// config fingerprints) as one canonical JSON object.
+//
+// Encoding is a pure function of the trace and the metadata — two encodes
+// of the same inputs are byte-identical, which the golden .sct artifact
+// and the campaign's resume-equivalence contract rely on. WriteFile is
+// crash-safe: write-then-rename, like campaign checkpoints.
+#ifndef SC_STORE_WRITER_H_
+#define SC_STORE_WRITER_H_
+
+#include <string>
+
+#include "support/json.h"
+#include "trace/trace.h"
+
+namespace sc::store {
+
+class StoreWriter {
+ public:
+  StoreWriter() : meta_(support::json::Value::Object()) {}
+
+  // Metadata embedded in the header. Must be a JSON object; it is dumped
+  // canonically, so logically equal metadata never perturbs the bytes.
+  void set_meta(support::json::Value meta);
+  const support::json::Value& meta() const { return meta_; }
+
+  // Serializes `t` to an sct-v1 byte string.
+  std::string Encode(const trace::Trace& t) const;
+
+  // Atomic write-then-rename of Encode(t) to `path` (tmp: path + ".tmp").
+  void WriteFile(const std::string& path, const trace::Trace& t) const;
+
+ private:
+  support::json::Value meta_;
+};
+
+// One-shot convenience used by the accel capture hook and the campaign.
+void WriteTraceFile(const std::string& path, const trace::Trace& t,
+                    support::json::Value meta = support::json::Value::Object());
+
+}  // namespace sc::store
+
+#endif  // SC_STORE_WRITER_H_

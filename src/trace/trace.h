@@ -14,6 +14,7 @@
 #include <iosfwd>
 #include <iterator>
 #include <string>
+#include <utility>
 
 #include "trace/mem_event.h"
 #include "trace/trace_buffer.h"
@@ -77,6 +78,10 @@ class Trace {
   };
 
   Trace() = default;
+
+  // Adopts an already-populated buffer (the store decoder builds one via
+  // bulk column appends and wraps it without copying).
+  explicit Trace(TraceBuffer buf) : buf_(std::move(buf)) {}
 
   // Appends an event. Cycles must be non-decreasing (a bus observes
   // transactions in time order) and bursts must be non-empty.

@@ -1,5 +1,7 @@
 #include "trace/trace_buffer.h"
 
+#include <algorithm>
+
 namespace sc::trace {
 
 void TraceBuffer::AddChunk() {
@@ -7,6 +9,45 @@ void TraceBuffer::AddChunk() {
   // exhausted.
   if (size_ == chunks_.size() * kChunkEvents)
     chunks_.push_back(std::make_unique<Chunk>());
+}
+
+void TraceBuffer::AppendColumns(const std::uint64_t* cycles,
+                                const std::uint64_t* addrs,
+                                const std::uint32_t* bytes,
+                                const std::uint8_t* ops, std::size_t count) {
+  if (count == 0) return;
+  // Validate the whole batch before touching storage, so a bad column
+  // leaves the buffer unchanged.
+  std::uint64_t prev = last_cycle();
+  std::uint64_t r = 0, w = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    SC_CHECK_MSG(bytes[i] > 0, "empty burst");
+    SC_CHECK_MSG(size_ + i == 0 || prev <= cycles[i],
+                 "trace cycles must be non-decreasing: last="
+                     << prev << " new=" << cycles[i]);
+    prev = cycles[i];
+    SC_CHECK_MSG(ops[i] <= 1, "invalid mem op " << int{ops[i]});
+    if (static_cast<MemOp>(ops[i]) == MemOp::kRead)
+      r += bytes[i];
+    else
+      w += bytes[i];
+  }
+  std::size_t done = 0;
+  while (done < count) {
+    if (size_ == chunks_.size() * kChunkEvents) AddChunk();
+    Chunk& c = *chunks_[size_ >> kChunkShift];
+    const std::size_t at = size_ & kChunkMask;
+    const std::size_t n = std::min(count - done, kChunkEvents - at);
+    std::copy_n(cycles + done, n, c.cycles + at);
+    std::copy_n(addrs + done, n, c.addrs + at);
+    std::copy_n(bytes + done, n, c.bytes + at);
+    std::copy_n(ops + done, n, c.ops + at);
+    size_ += n;
+    done += n;
+  }
+  last_cycle_ = prev;
+  bytes_read_ += r;
+  bytes_written_ += w;
 }
 
 void TraceBuffer::Clear() {

@@ -77,6 +77,15 @@ class TraceBuffer {
   }
   void Append(const MemEvent& e) { Append(e.cycle, e.addr, e.bytes, e.op); }
 
+  // Bulk-appends `count` events given as parallel columns (the ChunkView
+  // shape). Enforces the same invariants as Append — non-empty bursts,
+  // non-decreasing cycles (including against the current tail), ops in
+  // {kRead, kWrite} — then copies whole column runs instead of making
+  // count per-event calls. This is the store decoder's rebuild path.
+  void AppendColumns(const std::uint64_t* cycles, const std::uint64_t* addrs,
+                     const std::uint32_t* bytes, const std::uint8_t* ops,
+                     std::size_t count);
+
   MemEvent Get(std::size_t i) const {
     SC_CHECK(i < size_);
     const Chunk& c = *chunks_[i >> kChunkShift];

@@ -12,11 +12,14 @@
 #include <atomic>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "accel/dataflow.h"
 #include "campaign/campaign.h"
+#include "obs/metrics.h"
 #include "support/check.h"
 #include "support/thread_pool.h"
 
@@ -114,6 +117,8 @@ Artifacts KillResumeRoundTrip(
 
   fs::remove(uninterrupted.checkpoint_path);
   fs::remove(killed.checkpoint_path);
+  fs::remove_all(uninterrupted.checkpoint_path + ".traces");
+  fs::remove_all(killed.checkpoint_path + ".traces");
   return want;
 }
 
@@ -196,6 +201,122 @@ TEST_F(CampaignResumeTest, ResumeAfterWeightPhaseKill) {
   EXPECT_EQ(got.structure_csv, want.structure_csv);
   EXPECT_EQ(got.filter_csv, want.filter_csv);
   fs::remove(killed.checkpoint_path);
+}
+
+// --- persisted acquisitions (trace store, DESIGN.md §14) -----------------
+
+// A campaign with a checkpoint also owns <checkpoint>.traces/: the corpus
+// manifest plus one .sct per acquisition (and the clean capture). A rerun
+// whose checkpoint is deleted but whose traces survive must rehydrate the
+// acquisitions from the store — no victim re-simulation — and still
+// produce byte-identical artifacts, at any thread count.
+TEST_F(CampaignResumeTest, TraceStoreRehydratesAcrossThreadCounts) {
+  const bool was_enabled = obs::Enabled();
+  obs::SetEnabled(true);
+  obs::Counter& rehydrated =
+      obs::Registry::Get().GetCounter("campaign.traces.rehydrated");
+  obs::Counter& persisted =
+      obs::Registry::Get().GetCounter("campaign.traces.persisted");
+
+  for (const int threads : {1, 4}) {
+    support::ThreadPool::SetGlobalThreads(threads);
+    const std::string tag = "store_t" + std::to_string(threads);
+
+    CampaignConfig first = TestCampaign("lenet");
+    first.checkpoint_path = TempPath("rehydrate_" + tag + ".json");
+    fs::remove(first.checkpoint_path);
+    fs::remove_all(first.checkpoint_path + ".traces");
+    const std::uint64_t persisted_before = persisted.value();
+    const Artifacts want = ArtifactsOf(RunCampaign(first));
+    EXPECT_GT(persisted.value(), persisted_before);
+
+    const fs::path store_dir = first.checkpoint_path + ".traces";
+    EXPECT_TRUE(fs::exists(store_dir / "corpus.json"));
+    EXPECT_TRUE(fs::exists(store_dir / "clean.sct"));
+    for (int k = 0; k < 3; ++k)
+      EXPECT_TRUE(
+          fs::exists(store_dir / ("acquire_" + std::to_string(k) + ".sct")))
+          << "acquisition " << k << " not persisted at " << threads
+          << " threads";
+
+    // Forget the checkpoint, keep the traces: the rerun redoes the
+    // analysis but feeds it the stored acquisition bytes.
+    fs::remove(first.checkpoint_path);
+    CampaignConfig rerun = TestCampaign("lenet");
+    rerun.checkpoint_path = first.checkpoint_path;
+    const std::uint64_t rehydrated_before = rehydrated.value();
+    const Artifacts got = ArtifactsOf(RunCampaign(rerun));
+    EXPECT_GT(rehydrated.value(), rehydrated_before)
+        << "rerun regenerated instead of rehydrating";
+    EXPECT_EQ(got.structure_csv, want.structure_csv)
+        << "rehydrated artifacts diverged at " << threads << " threads";
+    EXPECT_EQ(got.filter_csv, want.filter_csv);
+
+    fs::remove(first.checkpoint_path);
+    fs::remove_all(store_dir);
+  }
+  obs::SetEnabled(was_enabled);
+}
+
+TEST_F(CampaignResumeTest, CorruptPersistedTraceRegenerates) {
+  // A flipped byte in a stored acquisition is a cache miss, not a failure:
+  // the rerun regenerates that acquisition and the artifacts still match.
+  support::ThreadPool::SetGlobalThreads(4);
+  CampaignConfig first = TestCampaign("lenet");
+  first.checkpoint_path = TempPath("store_corrupt.json");
+  fs::remove(first.checkpoint_path);
+  fs::remove_all(first.checkpoint_path + ".traces");
+  const Artifacts want = ArtifactsOf(RunCampaign(first));
+
+  const fs::path victim_sct =
+      fs::path(first.checkpoint_path + ".traces") / "acquire_1.sct";
+  ASSERT_TRUE(fs::exists(victim_sct));
+  std::string bytes;
+  {
+    std::ifstream in(victim_sct, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    bytes = ss.str();
+  }
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x20);
+  {
+    std::ofstream out(victim_sct, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  fs::remove(first.checkpoint_path);
+  CampaignConfig rerun = TestCampaign("lenet");
+  rerun.checkpoint_path = first.checkpoint_path;
+  const Artifacts got = ArtifactsOf(RunCampaign(rerun));
+  EXPECT_EQ(got.structure_csv, want.structure_csv);
+  EXPECT_EQ(got.filter_csv, want.filter_csv);
+
+  fs::remove(first.checkpoint_path);
+  fs::remove_all(first.checkpoint_path + ".traces");
+}
+
+TEST_F(CampaignResumeTest, PersistTracesOffMatchesOn) {
+  // persist_traces=false restores the storeless behavior: no .traces
+  // directory, same artifacts (the store may never perturb results).
+  support::ThreadPool::SetGlobalThreads(4);
+  CampaignConfig stored = TestCampaign("lenet");
+  stored.checkpoint_path = TempPath("store_on.json");
+  fs::remove(stored.checkpoint_path);
+  fs::remove_all(stored.checkpoint_path + ".traces");
+  const Artifacts want = ArtifactsOf(RunCampaign(stored));
+
+  CampaignConfig storeless = TestCampaign("lenet");
+  storeless.checkpoint_path = TempPath("store_off.json");
+  storeless.persist_traces = false;
+  fs::remove(storeless.checkpoint_path);
+  const Artifacts got = ArtifactsOf(RunCampaign(storeless));
+  EXPECT_FALSE(fs::exists(storeless.checkpoint_path + ".traces"));
+  EXPECT_EQ(got.structure_csv, want.structure_csv);
+  EXPECT_EQ(got.filter_csv, want.filter_csv);
+
+  fs::remove(stored.checkpoint_path);
+  fs::remove_all(stored.checkpoint_path + ".traces");
+  fs::remove(storeless.checkpoint_path);
 }
 
 }  // namespace

@@ -1,0 +1,511 @@
+// sc_store test suite (DESIGN.md §14): sct-v1 codec round trips, hostile
+// input rejection, the committed golden artifact, the corpus manifest,
+// and the accelerator's capture-to-store mode.
+//
+// The codec contract under test:
+//   - encode(decode(x)) == x for every accepted file (sct-v1 is canonical);
+//   - decode(encode(t)) == t bit-exactly for every valid trace;
+//   - every corrupted byte, flipped bit, or truncation of a valid file is
+//     rejected with a typed sc::Error (no UB, no partial traces);
+//   - the committed golden lenet_trace.sct pins the format: any codec or
+//     accelerator traffic-model change shows up as a byte diff here.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "accel/accelerator.h"
+#include "models/zoo.h"
+#include "nn/tensor.h"
+#include "obs/metrics.h"
+#include "store/corpus.h"
+#include "store/format.h"
+#include "store/reader.h"
+#include "store/writer.h"
+#include "support/check.h"
+#include "support/rng.h"
+#include "trace/trace.h"
+
+#ifndef SC_GOLDEN_DIR
+#error "SC_GOLDEN_DIR must be defined by the build (tests/CMakeLists.txt)"
+#endif
+
+namespace sc::store {
+namespace {
+
+namespace json = support::json;
+
+constexpr int kCases = 100;
+
+// Mirrors trace_property_test's adversarial generator: empty traces,
+// single events, 1-byte and UINT32_MAX bursts, addresses at the top of the
+// address space, long runs of equal cycles.
+trace::Trace RandomTrace(std::uint64_t seed) {
+  Rng rng(seed);
+  trace::Trace t;
+  const int n = rng.UniformInt(0, 200);
+  std::uint64_t cycle = static_cast<std::uint64_t>(rng.UniformInt(0, 1000));
+  for (int i = 0; i < n; ++i) {
+    trace::MemEvent e;
+    if (!rng.Chance(0.25))
+      cycle += static_cast<std::uint64_t>(rng.UniformInt(0, 1 << 16));
+    e.cycle = cycle;
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+        e.bytes = 1;
+        break;
+      case 1:
+        e.bytes = std::numeric_limits<std::uint32_t>::max();
+        break;
+      default:
+        e.bytes = static_cast<std::uint32_t>(rng.UniformInt(1, 1 << 20));
+    }
+    e.addr = static_cast<std::uint64_t>(rng.UniformInt(0, 1 << 30));
+    if (rng.Chance(0.05))
+      e.addr = std::numeric_limits<std::uint64_t>::max() - e.bytes - e.addr;
+    e.op = rng.Chance(0.5) ? trace::MemOp::kRead : trace::MemOp::kWrite;
+    t.Append(e);
+  }
+  return t;
+}
+
+void ExpectTracesEqual(const trace::Trace& a, const trace::Trace& b,
+                       const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(a[i], b[i]) << what << " event " << i;
+  EXPECT_EQ(a.last_cycle(), b.last_cycle()) << what;
+  EXPECT_EQ(a.bytes_read(), b.bytes_read()) << what;
+  EXPECT_EQ(a.bytes_written(), b.bytes_written()) << what;
+}
+
+trace::Trace Decode(const std::string& bytes) {
+  return StoreReader::FromString(bytes).ReadAll();
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// Byte-exact expectations pin the dataflow so SC_DATAFLOW sweeps cannot
+// redefine them; the capture-to-store test overrides it explicitly.
+accel::AcceleratorConfig PinnedConfig() {
+  accel::AcceleratorConfig cfg;
+  cfg.dataflow = accel::Dataflow::kWeightStationary;
+  return cfg;
+}
+
+trace::Trace CaptureLeNetTrace(
+    const accel::AcceleratorConfig& cfg = PinnedConfig()) {
+  nn::Network net = models::MakeLeNet(3);
+  nn::Tensor input(net.input_shape(), 0.5f);
+  accel::Accelerator accelerator{cfg};
+  trace::Trace tr;
+  accelerator.Run(net, input, &tr);
+  return tr;
+}
+
+// --- round trips ---------------------------------------------------------
+
+TEST(StoreCodec, RandomTraceRoundTripIsExact) {
+  StoreWriter w;
+  for (int c = 0; c < kCases; ++c) {
+    const trace::Trace original =
+        RandomTrace(static_cast<std::uint64_t>(c) + 1);
+    const std::string bytes = w.Encode(original);
+    const trace::Trace restored = Decode(bytes);
+    ExpectTracesEqual(original, restored, "seed " + std::to_string(c + 1));
+  }
+}
+
+TEST(StoreCodec, EncodeIsDeterministicAndCanonical) {
+  for (int c = 0; c < 10; ++c) {
+    const trace::Trace t = RandomTrace(static_cast<std::uint64_t>(c) + 1);
+    StoreWriter w;
+    json::Value meta = json::Value::Object();
+    meta.object["b"] = json::Value::String("two");
+    meta.object["a"] = json::Value::Number(1);
+    w.set_meta(meta);
+    const std::string once = w.Encode(t);
+    const std::string twice = w.Encode(t);
+    EXPECT_EQ(once, twice);
+    // Any accepted file re-encodes to itself: one encoding per contents.
+    StoreReader r = StoreReader::FromString(once);
+    StoreWriter w2;
+    w2.set_meta(r.header().meta);
+    EXPECT_EQ(w2.Encode(r.ReadAll()), once);
+  }
+}
+
+TEST(StoreCodec, MultiChunkTraceRoundTrips) {
+  // 2.5 chunks: exercises the full-chunk grid, the cross-chunk
+  // cycle/address predecessor carry, and the short tail chunk.
+  trace::Trace t;
+  Rng rng(7);
+  std::uint64_t cycle = 0;
+  const std::size_t n = trace::TraceBuffer::kChunkEvents * 5 / 2;
+  for (std::size_t i = 0; i < n; ++i) {
+    cycle += static_cast<std::uint64_t>(rng.UniformInt(0, 100));
+    t.Append(cycle, static_cast<std::uint64_t>(rng.UniformInt(0, 1 << 28)),
+             static_cast<std::uint32_t>(rng.UniformInt(1, 4096)),
+             rng.Chance(0.5) ? trace::MemOp::kRead : trace::MemOp::kWrite);
+  }
+  const std::string bytes = StoreWriter{}.Encode(t);
+
+  StoreReader r = StoreReader::FromString(bytes);
+  EXPECT_EQ(r.header().event_count, n);
+  EXPECT_EQ(r.header().chunk_count, 3u);
+  trace::TraceBuffer::ChunkView v;
+  ASSERT_TRUE(r.NextChunk(&v));
+  EXPECT_EQ(v.count, trace::TraceBuffer::kChunkEvents);
+  ASSERT_TRUE(r.NextChunk(&v));
+  EXPECT_EQ(v.count, trace::TraceBuffer::kChunkEvents);
+  ASSERT_TRUE(r.NextChunk(&v));
+  EXPECT_EQ(v.count, n - 2 * trace::TraceBuffer::kChunkEvents);
+  EXPECT_FALSE(r.NextChunk(&v));
+
+  ExpectTracesEqual(t, Decode(bytes), "multi-chunk");
+}
+
+TEST(StoreCodec, EmptyTraceRoundTrips) {
+  const trace::Trace empty;
+  const std::string bytes = StoreWriter{}.Encode(empty);
+  StoreReader r = StoreReader::FromString(bytes);
+  EXPECT_EQ(r.header().event_count, 0u);
+  EXPECT_EQ(r.header().chunk_count, 0u);
+  trace::TraceBuffer::ChunkView v;
+  EXPECT_FALSE(r.NextChunk(&v));
+  EXPECT_EQ(Decode(bytes).size(), 0u);
+}
+
+TEST(StoreCodec, CsvAndSctDecodeIdentically) {
+  // The two persistence formats must agree event-for-event, LeNet capture
+  // included — sctool's from-csv/to-csv conversions rely on this.
+  for (int c = 0; c < 20; ++c) {
+    const trace::Trace original =
+        c == 0 ? CaptureLeNetTrace()
+               : RandomTrace(static_cast<std::uint64_t>(c) + 1);
+    std::stringstream csv;
+    original.WriteCsv(csv);
+    const trace::Trace via_csv = trace::Trace::ReadCsv(csv);
+    const trace::Trace via_sct = Decode(StoreWriter{}.Encode(original));
+    ExpectTracesEqual(via_csv, via_sct, "case " + std::to_string(c));
+  }
+}
+
+TEST(StoreCodec, MetadataRoundTrips) {
+  StoreWriter w;
+  json::Value meta = json::Value::Object();
+  meta.object["victim"] = json::Value::String("lenet");
+  meta.object["seed"] = json::Value::String("42");
+  meta.object["nested"] = json::Value::Object();
+  meta.object["nested"].object["k"] = json::Value::Bool(true);
+  w.set_meta(meta);
+  const std::string bytes = w.Encode(RandomTrace(3));
+  StoreReader r = StoreReader::FromString(bytes);
+  EXPECT_EQ(json::Dump(r.header().meta), json::Dump(meta));
+}
+
+TEST(StoreCodec, NonObjectMetadataIsRejected) {
+  StoreWriter w;
+  EXPECT_THROW(w.set_meta(json::Value::Number(3)), Error);
+  EXPECT_THROW(w.set_meta(json::Value::Array()), Error);
+}
+
+TEST(StoreCodec, FileRoundTripIsAtomicAndExact) {
+  const trace::Trace t = RandomTrace(11);
+  const std::string path = TempPath("sc_store_test_roundtrip.sct");
+  json::Value meta = json::Value::Object();
+  meta.object["k"] = json::Value::String("v");
+  WriteTraceFile(path, t, std::move(meta));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  json::Value back_meta;
+  const trace::Trace back = ReadTraceFile(path, &back_meta);
+  ExpectTracesEqual(t, back, "file round trip");
+  EXPECT_EQ(back_meta.Str("k"), "v");
+  std::filesystem::remove(path);
+}
+
+// --- hostile input -------------------------------------------------------
+
+TEST(StoreHardening, EveryTruncationIsRejected) {
+  const std::string bytes = StoreWriter{}.Encode(RandomTrace(5));
+  ASSERT_GT(bytes.size(), 100u);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    try {
+      Decode(bytes.substr(0, len));
+      FAIL() << "prefix of length " << len << " decoded";
+    } catch (const Error&) {
+      // Typed rejection is the contract.
+    }
+  }
+}
+
+TEST(StoreHardening, EverySingleBitFlipIsRejected) {
+  // Every field of the format is integrity-protected: the header by its
+  // CRC, payloads by theirs, and the chunk headers by the grid/consumption
+  // cross-checks. So *any* single-bit corruption must surface as a typed
+  // error, never as a silently different trace.
+  const std::string bytes = StoreWriter{}.Encode(RandomTrace(5));
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (int b = 0; b < 8; ++b) {
+      std::string mut = bytes;
+      mut[i] = static_cast<char>(mut[i] ^ (1 << b));
+      try {
+        Decode(mut);
+        FAIL() << "bit " << b << " of byte " << i << " flipped undetected";
+      } catch (const Error&) {
+      }
+    }
+  }
+}
+
+TEST(StoreHardening, HeaderFieldCorruptionsAreTyped) {
+  const trace::Trace t = RandomTrace(9);
+  const std::string bytes = StoreWriter{}.Encode(t);
+
+  auto expect_reject = [](std::string mut, const std::string& what) {
+    try {
+      Decode(mut);
+      FAIL() << what << " accepted";
+    } catch (const Error&) {
+    }
+  };
+
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  expect_reject(bad_magic, "bad magic");
+
+  std::string bad_version = bytes;
+  bad_version[8] = 2;
+  expect_reject(bad_version, "unsupported version");
+
+  // meta_len far past the file (and past the cap).
+  std::string bad_meta = bytes;
+  bad_meta[14] = '\x7f';
+  expect_reject(bad_meta, "oversized meta_len");
+
+  // event_count perturbed: chunk-grid mirror check fires before any
+  // payload decode.
+  std::string bad_events = bytes;
+  bad_events[16] = static_cast<char>(bad_events[16] ^ 0x01);
+  expect_reject(bad_events, "event/chunk mismatch");
+
+  expect_reject(bytes + "x", "trailing bytes");
+  expect_reject(std::string(), "empty file");
+  expect_reject("sctrace1", "header-only file");
+}
+
+TEST(StoreHardening, PayloadCrcMismatchCountsAndThrows) {
+  const bool was_enabled = obs::Enabled();
+  obs::SetEnabled(true);
+  obs::Counter& failures =
+      obs::Registry::Get().GetCounter("store.crc_failures");
+  const std::uint64_t before = failures.value();
+
+  std::string bytes = StoreWriter{}.Encode(RandomTrace(5));
+  bytes[bytes.size() - 1] = static_cast<char>(bytes.back() ^ 0x40);
+  EXPECT_THROW(Decode(bytes), Error);
+  EXPECT_GT(failures.value(), before);
+  obs::SetEnabled(was_enabled);
+}
+
+TEST(StoreHardening, ForgedHeaderCannotDemandHugeAllocation) {
+  // A tiny file claiming 2^40 events must be rejected from the header
+  // geometry alone — decode scratch is bounded by the fixed chunk size.
+  std::string out;
+  out.append(kMagic, sizeof kMagic);
+  PutU32(out, kFormatVersion);
+  PutU32(out, 2);  // meta_len
+  PutU64(out, std::uint64_t{1} << 40);
+  PutU64(out, (std::uint64_t{1} << 40) / trace::TraceBuffer::kChunkEvents);
+  PutU64(out, 0);
+  PutU64(out, 0);
+  PutU64(out, 0);
+  out += "{}";
+  PutU32(out, Crc32c(out.data(), out.size()));
+  EXPECT_THROW(Decode(out), Error);
+}
+
+TEST(StoreHardening, NonCanonicalVarintIsRejected) {
+  // Re-encode event 0's cycle delta with a redundant trailing group; fix
+  // up the chunk header and CRC so only the varint rule can object.
+  trace::Trace t;
+  t.Append(5, 100, 8, trace::MemOp::kRead);
+  const std::string bytes = StoreWriter{}.Encode(t);
+  const std::uint8_t* base =
+      reinterpret_cast<const std::uint8_t*>(bytes.data());
+  const std::size_t chunk_at = kFixedHeaderBytes + GetU32(base + 12) + 4;
+  std::string payload = bytes.substr(chunk_at + kChunkHeaderBytes);
+  ASSERT_EQ(payload[0], 5);  // cycle delta varint
+  payload = std::string("\x85\x00", 2) + payload.substr(1);
+  std::string mut = bytes.substr(0, chunk_at);
+  PutU32(mut, 1);
+  PutU32(mut, static_cast<std::uint32_t>(payload.size()));
+  PutU32(mut, Crc32c(payload.data(), payload.size()));
+  mut += payload;
+  try {
+    Decode(mut);
+    FAIL() << "non-minimal varint accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("non-minimal"), std::string::npos);
+  }
+}
+
+TEST(StoreHardening, NonCanonicalMetadataIsRejected) {
+  // Same JSON value, non-canonical spelling (whitespace): the header CRC
+  // is valid, so only the canonical-form rule can reject it.
+  const std::string meta = "{ }";
+  std::string out;
+  out.append(kMagic, sizeof kMagic);
+  PutU32(out, kFormatVersion);
+  PutU32(out, static_cast<std::uint32_t>(meta.size()));
+  PutU64(out, 0);
+  PutU64(out, 0);
+  PutU64(out, 0);
+  PutU64(out, 0);
+  PutU64(out, 0);
+  out += meta;
+  PutU32(out, Crc32c(out.data(), out.size()));
+  try {
+    Decode(out);
+    FAIL() << "non-canonical metadata accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("canonical"), std::string::npos);
+  }
+}
+
+// --- golden artifact -----------------------------------------------------
+
+// Binary golden: the LeNet weight-stationary capture as sct-v1. Pins the
+// byte format itself — chunk layout, varint coding, CRCs — on top of the
+// accelerator traffic model the CSV goldens already pin. Regenerate with
+// SC_REGEN_GOLDENS=1 after an intentional format or traffic change.
+TEST(StoreGolden, LeNetTraceSct) {
+  StoreWriter w;
+  json::Value meta = json::Value::Object();
+  meta.object["victim"] = json::Value::String("lenet");
+  meta.object["dataflow"] = json::Value::String("weight_stationary");
+  w.set_meta(std::move(meta));
+  const std::string actual = w.Encode(CaptureLeNetTrace());
+
+  const std::string path = std::string(SC_GOLDEN_DIR) + "/lenet_trace.sct";
+  const char* regen = std::getenv("SC_REGEN_GOLDENS");
+  if (regen && std::string(regen) == "1") {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.is_open()) << "cannot rewrite " << path;
+    out.write(actual.data(), static_cast<std::streamsize>(actual.size()));
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open())
+      << path << " missing; regenerate with SC_REGEN_GOLDENS=1";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string expected = buf.str();
+  ASSERT_EQ(actual.size(), expected.size()) << "golden size differs";
+  for (std::size_t i = 0; i < actual.size(); ++i)
+    ASSERT_EQ(actual[i], expected[i]) << "first byte difference at offset "
+                                      << i;
+  // And the committed golden must decode back to the capture.
+  ExpectTracesEqual(CaptureLeNetTrace(), Decode(expected), "golden decode");
+}
+
+// --- capture-to-store ----------------------------------------------------
+
+TEST(StoreCapture, AcceleratorPersistsTheAdversaryView) {
+  const std::string path = TempPath("sc_store_test_capture.sct");
+  accel::AcceleratorConfig cfg;
+  cfg.dataflow = accel::Dataflow::kOutputStationary;
+  cfg.capture_store_path = path;
+  const trace::Trace live = CaptureLeNetTrace(cfg);
+
+  json::Value meta;
+  const trace::Trace stored = ReadTraceFile(path, &meta);
+  ExpectTracesEqual(live, stored, "capture");
+  EXPECT_EQ(meta.Str("dataflow"), "output_stationary");
+  std::filesystem::remove(path);
+}
+
+// --- corpus manifest -----------------------------------------------------
+
+Corpus::Entry MakeEntry() {
+  Corpus::Entry e;
+  e.file = "acquire_0.sct";
+  e.victim = "lenet";
+  e.seed = std::numeric_limits<std::uint64_t>::max();  // string-coded: exact
+  e.dataflow = "weight_stationary";
+  e.noise = "";
+  e.events = 659;
+  return e;
+}
+
+TEST(CorpusManifest, RoundTripsExactly) {
+  Corpus c("fp-1");
+  c.Record("acquire:0", MakeEntry());
+  Corpus::Entry e2 = MakeEntry();
+  e2.file = "clean.sct";
+  e2.noise = "{\"drop\":0.01}";
+  c.Record("clean", e2);
+
+  const Corpus back = Corpus::Parse(c.Serialize(), "fp-1");
+  EXPECT_EQ(back.fingerprint(), "fp-1");
+  ASSERT_EQ(back.size(), 2u);
+  const Corpus::Entry& a = back.Get("acquire:0");
+  EXPECT_EQ(a.file, "acquire_0.sct");
+  EXPECT_EQ(a.victim, "lenet");
+  EXPECT_EQ(a.seed, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(a.dataflow, "weight_stationary");
+  EXPECT_EQ(a.events, 659u);
+  EXPECT_EQ(back.Get("clean").noise, "{\"drop\":0.01}");
+  // Canonical: serializing the parse reproduces the bytes.
+  EXPECT_EQ(back.Serialize(), c.Serialize());
+}
+
+TEST(CorpusManifest, RejectsForeignAndMalformed) {
+  Corpus c("fp-1");
+  c.Record("acquire:0", MakeEntry());
+  const std::string good = c.Serialize();
+
+  EXPECT_THROW(Corpus::Parse(good, "fp-2"), Error);     // foreign fingerprint
+  EXPECT_THROW(Corpus::Parse("{]", "fp-1"), Error);     // garbage
+  EXPECT_THROW(Corpus::Parse("[]", "fp-1"), Error);     // wrong root
+  EXPECT_THROW(Corpus::Parse("{}", "fp-1"), Error);     // missing schema
+
+  std::string foreign = good;
+  const std::size_t at = foreign.find("sc-corpus-v1");
+  ASSERT_NE(at, std::string::npos);
+  foreign.replace(at, 12, "sc-other-v99");
+  EXPECT_THROW(Corpus::Parse(foreign, "fp-1"), Error);  // foreign schema
+
+  // Entries must name plain files: no separators, no dot-dot traversal out
+  // of the store directory.
+  Corpus evil("fp-1");
+  Corpus::Entry e = MakeEntry();
+  e.file = "../../etc/passwd";
+  evil.Record("acquire:0", e);
+  EXPECT_THROW(Corpus::Parse(evil.Serialize(), "fp-1"), Error);
+  e.file = "..";
+  evil.Record("acquire:0", e);
+  EXPECT_THROW(Corpus::Parse(evil.Serialize(), "fp-1"), Error);
+}
+
+TEST(CorpusManifest, FileRoundTripIsAtomic) {
+  const std::string path = TempPath("sc_store_test_corpus.json");
+  Corpus c("fp-x");
+  c.Record("acquire:0", MakeEntry());
+  c.SaveFile(path);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  const Corpus back = Corpus::LoadFile(path, "fp-x");
+  EXPECT_EQ(back.Serialize(), c.Serialize());
+  EXPECT_THROW(Corpus::LoadFile(path, "other"), Error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace sc::store
