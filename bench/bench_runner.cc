@@ -35,13 +35,16 @@
 
 #include <filesystem>
 
+#include "accel/synthesis_cache.h"
 #include "attack/structure/pipeline.h"
 #include "attack/structure/segmentation.h"
 #include "attack/weights/attack.h"
+#include "attack/weights/oracle.h"
 #include "bench_util.h"
 #include "campaign/campaign.h"
 #include "defense/eval.h"
 #include "models/zoo.h"
+#include "sim/noise.h"
 #include "store/reader.h"
 #include "store/writer.h"
 #include "support/json.h"
@@ -134,7 +137,8 @@ std::vector<Scenario> AllScenarios() {
   return {
       {"fig3_trace_gen",
        "AlexNet inference on the simulated accelerator, full bus trace "
-       "emitted into a pooled buffer",
+       "emitted into a pooled buffer (warm synthesis cache: reps replay "
+       "the memoized address stream)",
        1,
        [] {
          auto net = std::make_shared<nn::Network>(models::MakeAlexNet(1));
@@ -144,10 +148,11 @@ std::vector<Scenario> AllScenarios() {
              accel::AcceleratorConfig{});
          auto map =
              std::make_shared<accel::AddressMap>(accel->BuildMap(*net));
+         auto cache = std::make_shared<accel::SynthesisCache>();
          auto tr = std::make_shared<trace::Trace>();
          return std::function<void()>([=] {
            tr->Clear();
-           accel->Run(*net, *input, tr.get(), map.get());
+           accel->Run(*net, *input, tr.get(), map.get(), cache.get());
          });
        }},
       {"raw_segmentation",
@@ -186,7 +191,7 @@ std::vector<Scenario> AllScenarios() {
        }},
       {"fig3_trace_gen_os",
        "AlexNet inference with the output-stationary backend, full bus "
-       "trace emitted (per-backend perf baseline)",
+       "trace emitted (per-backend perf baseline, warm synthesis cache)",
        1,
        [] {
          auto net = std::make_shared<nn::Network>(models::MakeAlexNet(1));
@@ -197,10 +202,11 @@ std::vector<Scenario> AllScenarios() {
          auto accel = std::make_shared<accel::Accelerator>(acfg);
          auto map =
              std::make_shared<accel::AddressMap>(accel->BuildMap(*net));
+         auto cache = std::make_shared<accel::SynthesisCache>();
          auto tr = std::make_shared<trace::Trace>();
          return std::function<void()>([=] {
            tr->Clear();
-           accel->Run(*net, *input, tr.get(), map.get());
+           accel->Run(*net, *input, tr.get(), map.get(), cache.get());
          });
        }},
       {"structure_search_os",
@@ -215,6 +221,45 @@ std::vector<Scenario> AllScenarios() {
          return std::function<void()>([&tr, cfg] {
            const auto r = attack::RunStructureAttack(tr, cfg);
            if (r.num_structures() == 0) std::abort();
+         });
+       }},
+      {"noisy_acquisition",
+       "one noisy AlexNet acquisition: memoized trace synthesis plus a "
+       "streaming reference-noise pass into a pooled output trace",
+       1,
+       [] {
+         auto net = std::make_shared<nn::Network>(models::MakeAlexNet(1));
+         auto input = std::make_shared<nn::Tensor>(
+             bench::RandomInput(net->input_shape(), 11));
+         auto accel = std::make_shared<accel::Accelerator>(
+             accel::AcceleratorConfig{});
+         auto map =
+             std::make_shared<accel::AddressMap>(accel->BuildMap(*net));
+         auto cache = std::make_shared<accel::SynthesisCache>();
+         auto noise = std::make_shared<sim::TraceNoiseModel>(
+             sim::ReferenceTraceNoise(7));
+         auto tr = std::make_shared<trace::Trace>();
+         auto noisy = std::make_shared<trace::Trace>();
+         return std::function<void()>([=] {
+           tr->Clear();
+           accel->Run(*net, *input, tr.get(), map.get(), cache.get());
+           noise->ApplyNthTo(*tr, 3, noisy.get());
+           if (noisy->empty()) std::abort();
+         });
+       }},
+      {"weight_oracle_replay",
+       "repeated identical crafted-input query against the accelerator "
+       "zero-count oracle (the calibration access pattern the synthesis "
+       "cache replays)",
+       100,
+       [] {
+         auto net = std::make_shared<nn::Network>(models::MakeLeNet(1));
+         auto oracle = std::make_shared<attack::AcceleratorOracle>(
+             *net, net->num_nodes() - 1, accel::AcceleratorConfig{});
+         const std::vector<attack::SparsePixel> pixels{{0, 4, 4, 0.7f}};
+         // net captured explicitly: the oracle holds a reference to it.
+         return std::function<void()>([net, oracle, pixels] {
+           (void)oracle->ChannelNonZeros(pixels, 2);
          });
        }},
       {"weight_sweep",

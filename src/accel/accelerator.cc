@@ -1,16 +1,48 @@
 #include "accel/accelerator.h"
 
 #include <optional>
+#include <utility>
 
 #include "accel/backend.h"
 #include "accel/backend_common.h"
+#include "accel/synthesis_cache.h"
 #include "store/writer.h"
 #include "support/check.h"
 #include "support/json.h"
+#include "support/thread_pool.h"
 
 namespace sc::accel {
 
 using nn::Tensor;
+
+namespace {
+
+// Bulk copy of events [from, size) of `t` into a fresh trace, for the
+// observation hooks and capture path (they transform only the events the
+// current run appended).
+trace::Trace CopyTail(const trace::Trace& t, std::size_t from) {
+  trace::Trace out;
+  const trace::TraceBuffer& buf = t.buffer();
+  for (std::size_t ci = from >> trace::TraceBuffer::kChunkShift;
+       ci < buf.num_chunks(); ++ci) {
+    const trace::TraceBuffer::ChunkView v = buf.chunk(ci);
+    const std::size_t lo = ci << trace::TraceBuffer::kChunkShift;
+    const std::size_t skip = from > lo ? from - lo : 0;
+    if (skip >= v.count) continue;
+    out.AppendColumns(v.cycles + skip, v.addrs + skip, v.bytes + skip,
+                      v.ops + skip, v.count - skip);
+  }
+  return out;
+}
+
+void RecordStageCycleMetrics(const AcceleratorConfig& cfg,
+                             std::uint64_t delta) {
+  if (!cfg.collect_metrics) return;
+  Metrics().stage_cycles.Record(delta);
+  MetricsFor(cfg.dataflow).stage_cycles.Record(delta);
+}
+
+}  // namespace
 
 AddressMap Accelerator::BuildMap(const nn::Network& net) const {
   // With zero pruning the compressed stream can exceed the dense size when
@@ -27,10 +59,67 @@ AddressMap Accelerator::BuildMap(const nn::Network& net) const {
 
 RunResult Accelerator::Run(const nn::Network& net, const nn::Tensor& input,
                            trace::Trace* out_trace,
-                           const AddressMap* prebuilt_map) const {
+                           const AddressMap* prebuilt_map,
+                           SynthesisCache* cache) const {
   SC_CHECK_MSG(net.num_nodes() > 0, "cannot run an empty network");
   const Backend& backend = GetBackend(cfg_.dataflow);
   const std::size_t trace_prefix = out_trace ? out_trace->size() : 0;
+
+  if (cfg_.collect_metrics) {
+    Metrics().runs.Add();
+    MetricsFor(cfg_.dataflow).runs.Add();
+  }
+
+  // Post-synthesis pipeline, shared by the fresh and replayed paths.
+  // Observation hooks transform only the events this run appended, leaving
+  // any earlier capture the caller accumulated untouched. The defense
+  // controller sits on the bus, so it runs first; the probe's fault model
+  // corrupts the defended traffic it observes. Capture-to-store persists
+  // exactly what the adversary sees (post-hook events of this run).
+  const auto finish = [&](RunResult&& result) {
+    const trace::TraceTransform* hooks[] = {cfg_.defense_hook,
+                                            cfg_.trace_fault_hook};
+    for (const trace::TraceTransform* hook : hooks) {
+      if (out_trace == nullptr || hook == nullptr) continue;
+      const trace::Trace transformed =
+          hook->Apply(CopyTail(*out_trace, trace_prefix));
+      out_trace->Truncate(trace_prefix);
+      out_trace->AppendAll(transformed);
+    }
+    if (!cfg_.capture_store_path.empty() && out_trace != nullptr) {
+      support::json::Value meta = support::json::Value::Object();
+      meta.object["dataflow"] =
+          support::json::Value::String(ToString(cfg_.dataflow));
+      meta.object["source"] = support::json::Value::String("accel.run");
+      store::WriteTraceFile(cfg_.capture_store_path,
+                            CopyTail(*out_trace, trace_prefix),
+                            std::move(meta));
+    }
+    return std::move(result);
+  };
+
+  std::uint64_t run_key = 0;
+  if (cache != nullptr) {
+    cache->Bind(net, cfg_);
+    run_key = cache->RunKey(input, cfg_);
+    if (const SynthesisCache::RunRecord* rec = cache->FindRun(run_key)) {
+      // Whole-run replay: no forward pass, no per-stage simulation — just
+      // bulk appends of the recorded blocks plus the stored stats/output.
+      Emitter emit(out_trace, cfg_);
+      for (const SynthesisCache::StageKey& sk : rec->stage_keys) {
+        const StageBlock* b = cache->FindStage(sk);
+        SC_CHECK(b != nullptr);  // FindRun verified the blocks exist
+        emit.Replay(*b, /*add_metrics=*/true);
+        RecordStageCycleMetrics(cfg_, b->cycle_delta);
+      }
+      RunResult result;
+      result.stages = rec->stages;
+      result.total_cycles = rec->total_cycles;
+      result.output = rec->output;
+      return finish(std::move(result));
+    }
+  }
+
   std::optional<AddressMap> owned_map;
   if (prebuilt_map == nullptr) owned_map.emplace(BuildMap(net));
   const AddressMap& map = prebuilt_map ? *prebuilt_map : *owned_map;
@@ -43,47 +132,125 @@ RunResult Accelerator::Run(const nn::Network& net, const nn::Tensor& input,
       static_cast<std::size_t>(net.num_nodes()));
   StageContext ctx{net, map, cfg_, node_outputs, input, emit, region_info};
 
-  if (cfg_.collect_metrics) {
-    Metrics().runs.Add();
-    MetricsFor(cfg_.dataflow).runs.Add();
+  RunResult result;
+  result.stages.resize(stages.size());
+  for (std::size_t si = 0; si < stages.size(); ++si) {
+    StageStats& stats = result.stages[si];
+    stats.stage_index = static_cast<int>(si);
+    stats.kind = stages[si].kind;
+    stats.main_node = stages[si].main_node;
+    stats.output_node = stages[si].output_node;
   }
 
-  RunResult result;
-  result.stages.reserve(stages.size());
-
-  for (std::size_t si = 0; si < stages.size(); ++si) {
-    const Stage& stage = stages[si];
-    StageStats stats;
-    stats.stage_index = static_cast<int>(si);
-    stats.kind = stage.kind;
-    stats.main_node = stage.main_node;
-    stats.output_node = stage.output_node;
-    stats.start_cycle = emit.cycle();
-    emit.BeginStage();
-
+  const auto simulate = [&backend](const StageContext& sctx,
+                                   const Stage& stage, StageStats* stats) {
     switch (stage.kind) {
       case StageKind::kConv:
-        backend.SimulateConv(ctx, stage, &stats);
+        backend.SimulateConv(sctx, stage, stats);
         break;
       case StageKind::kFc:
-        backend.SimulateFc(ctx, stage, &stats);
+        backend.SimulateFc(sctx, stage, stats);
         break;
       case StageKind::kPool:
       case StageKind::kEltwise:
-        backend.SimulateStream(ctx, stage, &stats);
+        backend.SimulateStream(sctx, stage, stats);
         break;
     }
+  };
 
-    stats.end_cycle = emit.cycle();
-    stats.bytes_read = emit.stage_read();
-    stats.bytes_written = emit.stage_written();
-    if (cfg_.collect_metrics) {
-      Metrics().stage_cycles.Record(stats.end_cycle - stats.start_cycle);
-      MetricsFor(cfg_.dataflow)
-          .stage_cycles.Record(stats.end_cycle - stats.start_cycle);
+  const bool want_events = out_trace != nullptr || cache != nullptr;
+  // Without zero pruning, region_info is never written, so stages share no
+  // emission state and their blocks can be synthesized concurrently (cycle
+  // math inside a block is shift-invariant); the in-order Replay stitch
+  // below then reproduces the serial trace byte for byte. With pruning,
+  // reads of a pruned producer depend on the producer stage's compressed
+  // stream sizes, so synthesis stays serial.
+  const bool parallel = want_events && !cfg_.zero_pruning &&
+                        stages.size() > 1 &&
+                        support::ThreadPool::GlobalThreads() > 1;
+
+  SynthesisCache::RunRecord rec;
+  if (cache != nullptr) rec.stage_keys.reserve(stages.size());
+
+  if (parallel) {
+    std::vector<StageBlock> blocks(stages.size());
+    support::ParallelFor(
+        0, static_cast<std::int64_t>(stages.size()), 1,
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            const auto si = static_cast<std::size_t>(i);
+            Emitter worker(nullptr, cfg_);
+            StageContext wctx{net,   map,    cfg_, node_outputs,
+                              input, worker, region_info};
+            worker.BeginStage(&blocks[si]);
+            simulate(wctx, stages[si], &result.stages[si]);
+            worker.EndStage();
+            blocks[si].macs = result.stages[si].macs;
+          }
+        });
+    for (std::size_t si = 0; si < stages.size(); ++si) {
+      StageStats& stats = result.stages[si];
+      stats.start_cycle = emit.cycle();
+      // Workers already counted DRAM metrics while recording.
+      emit.Replay(blocks[si], /*add_metrics=*/false);
+      stats.end_cycle = emit.cycle();
+      stats.bytes_read = blocks[si].stage_read;
+      stats.bytes_written = blocks[si].stage_written;
+      RecordStageCycleMetrics(cfg_, stats.end_cycle - stats.start_cycle);
+      if (cache != nullptr) {
+        const SynthesisCache::StageKey key{si, 0, 0};
+        rec.stage_keys.push_back(key);
+        cache->StoreStage(key, std::move(blocks[si]));
+      }
     }
+  } else {
+    StageBlock scratch;  // pooled across stages; moved out only on store
+    for (std::size_t si = 0; si < stages.size(); ++si) {
+      const Stage& stage = stages[si];
+      StageStats& stats = result.stages[si];
 
-    const Tensor& out = TensorOf(ctx, stage.output_node);
+      SynthesisCache::StageKey key{si, 0, 0};
+      const StageBlock* hit = nullptr;
+      if (cache != nullptr) {
+        if (cfg_.zero_pruning) {
+          key.data_digest =
+              SynthesisCache::DataDigest(TensorOf(ctx, stage.output_node));
+          key.producer_digest = SynthesisCache::ProducerDigest(
+              net, region_info, stage.input_nodes);
+        }
+        hit = cache->FindStage(key);
+        rec.stage_keys.push_back(key);
+      }
+
+      stats.start_cycle = emit.cycle();
+      if (hit != nullptr) {
+        emit.Replay(*hit, /*add_metrics=*/true);
+        stats.bytes_read = hit->stage_read;
+        stats.bytes_written = hit->stage_written;
+        stats.macs = hit->macs;
+        region_info[static_cast<std::size_t>(stage.output_node)] = hit->info;
+      } else {
+        emit.BeginStage(want_events ? &scratch : nullptr);
+        simulate(ctx, stage, &stats);
+        emit.EndStage();
+        stats.bytes_read = emit.stage_read();
+        stats.bytes_written = emit.stage_written();
+        if (cache != nullptr) {
+          scratch.macs = stats.macs;
+          scratch.info =
+              region_info[static_cast<std::size_t>(stage.output_node)];
+          cache->StoreStage(key, std::move(scratch));
+          scratch = StageBlock{};
+        }
+      }
+      stats.end_cycle = emit.cycle();
+      RecordStageCycleMetrics(cfg_, stats.end_cycle - stats.start_cycle);
+    }
+  }
+
+  for (std::size_t si = 0; si < stages.size(); ++si) {
+    StageStats& stats = result.stages[si];
+    const Tensor& out = TensorOf(ctx, stages[si].output_node);
     stats.ofm_elems = out.numel();
     stats.ofm_nonzeros = out.CountNonZeros();
     if (out.shape().rank() == 3) {
@@ -93,41 +260,18 @@ RunResult Accelerator::Run(const nn::Network& net, const nn::Tensor& input,
         stats.ofm_channel_nonzeros[static_cast<std::size_t>(c)] =
             CountNonZerosRows(out, c, 0, out.shape()[1]);
     }
-    result.stages.push_back(std::move(stats));
   }
 
   result.total_cycles = emit.cycle();
   result.output = node_outputs.back();
 
-  // Observation hooks: transform only the events this run appended, leaving
-  // any earlier capture the caller accumulated untouched. The defense
-  // controller sits on the bus, so it runs first; the probe's fault model
-  // corrupts the defended traffic it observes.
-  const trace::TraceTransform* hooks[] = {cfg_.defense_hook,
-                                          cfg_.trace_fault_hook};
-  for (const trace::TraceTransform* hook : hooks) {
-    if (out_trace == nullptr || hook == nullptr) continue;
-    trace::Trace run_part;
-    for (std::size_t i = trace_prefix; i < out_trace->size(); ++i)
-      run_part.Append((*out_trace)[i]);
-    const trace::Trace transformed = hook->Apply(run_part);
-    out_trace->Truncate(trace_prefix);
-    out_trace->AppendAll(transformed);
+  if (cache != nullptr) {
+    rec.stages = result.stages;
+    rec.output = result.output;
+    rec.total_cycles = result.total_cycles;
+    cache->StoreRun(run_key, std::move(rec));
   }
-
-  // Capture-to-store: persist exactly what the adversary sees (post-hook
-  // events of this run) as an sct-v1 file.
-  if (!cfg_.capture_store_path.empty() && out_trace != nullptr) {
-    trace::Trace run_part;
-    for (std::size_t i = trace_prefix; i < out_trace->size(); ++i)
-      run_part.Append((*out_trace)[i]);
-    support::json::Value meta = support::json::Value::Object();
-    meta.object["dataflow"] =
-        support::json::Value::String(ToString(cfg_.dataflow));
-    meta.object["source"] = support::json::Value::String("accel.run");
-    store::WriteTraceFile(cfg_.capture_store_path, run_part, std::move(meta));
-  }
-  return result;
+  return finish(std::move(result));
 }
 
 ScheduleModel Accelerator::schedule_model() const {

@@ -30,6 +30,8 @@
 
 namespace sc::accel {
 
+class SynthesisCache;
+
 struct StageStats {
   int stage_index = -1;
   StageKind kind = StageKind::kConv;
@@ -66,9 +68,18 @@ class Accelerator {
   // by default it is rebuilt per call, but a caller replaying the same
   // network many times (e.g. the zero-count oracle) can pass a map it built
   // once with BuildMap(). The map must match the current config.
+  //
+  // `cache` (accel/synthesis_cache.h) memoizes trace synthesis across
+  // calls: repeated stages replay their recorded column blocks, and an
+  // exact (input, config) repeat skips the forward pass entirely. The
+  // trace, stats and output are byte-identical with and without a cache;
+  // pass one when the same victim is run many times (oracles, noisy
+  // acquisition campaigns, benchmarks). The cache must be used with one
+  // network only and is not thread-safe across concurrent Run calls.
   RunResult Run(const nn::Network& net, const nn::Tensor& input,
                 trace::Trace* out_trace,
-                const AddressMap* prebuilt_map = nullptr) const;
+                const AddressMap* prebuilt_map = nullptr,
+                SynthesisCache* cache = nullptr) const;
 
   // The DRAM layout the accelerator uses for this network.
   AddressMap BuildMap(const nn::Network& net) const;

@@ -104,13 +104,14 @@ void EmitCompressedStreamReads(const StageContext& ctx, int node) {
   }
   const Region region = RegionOf(ctx, node);
   const auto& info = ctx.region_info[static_cast<std::size_t>(node)];
+  std::uint64_t raw = 0;
   for (std::size_t c = 0; c < info.stream_bytes.size(); ++c) {
     ctx.emit.Read(region.base + static_cast<std::uint64_t>(c) *
                                     info.slot_bytes,
                   info.stream_bytes[c]);
-    if (ctx.cfg.collect_metrics && info.stream_bytes[c] > 0)
-      Metrics().raw_reads.Add();
+    if (info.stream_bytes[c] > 0) ++raw;
   }
+  ctx.emit.RawReads(raw);
 }
 
 bool EmitFmapRowReads(const StageContext& ctx, int node, int y0, int y1) {
@@ -132,8 +133,8 @@ bool EmitFmapRowReads(const StageContext& ctx, int node, int y0, int y1) {
   }
   // Reads of an earlier stage's OFM are the RAW-dependency events the
   // structure attack segments on (paper §3); input reads are not RAW.
-  if (ctx.cfg.collect_metrics && node != nn::kInputNode)
-    Metrics().raw_reads.Add(static_cast<std::uint64_t>(shape[0]));
+  if (node != nn::kInputNode)
+    ctx.emit.RawReads(static_cast<std::uint64_t>(shape[0]));
   return false;
 }
 

@@ -62,7 +62,70 @@ inline std::uint64_t CeilDiv(std::uint64_t a, std::uint64_t b) {
   return (a + b - 1) / b;
 }
 
+// Per-region bookkeeping of zero-pruned (compressed) contents. Each output
+// channel owns a fixed-capacity slot inside the region (how RLE designs
+// keep channels addressable); stream_bytes[c] is the compressed size of
+// channel c's stream after write-back.
+struct PrunedInfo {
+  bool pruned = false;
+  std::uint64_t slot_bytes = 0;  // per-channel slot capacity (0: one slot)
+  std::vector<std::uint64_t> stream_bytes;
+};
+
+// One stage's DRAM event stream as recorded columns, with cycles relative
+// to the stage start. The emitter's cycle math is pure deltas (FinishTile
+// advances by max(compute, mem) regardless of the absolute clock), so a
+// block is shift-invariant: replaying it at any later stage start via
+// AppendColumns(cycle_offset) reproduces the exact events a fresh
+// simulation would emit there. That property is what both the bulk flush
+// and the memoization cache (accel/synthesis_cache.h) rest on.
+struct StageBlock {
+  std::vector<std::uint64_t> cycles;  // relative to stage start
+  std::vector<std::uint64_t> addrs;
+  std::vector<std::uint32_t> bytes;
+  std::vector<std::uint8_t> ops;  // trace::MemOp values
+  std::uint64_t cycle_delta = 0;  // stage end cycle - stage start cycle
+  std::uint64_t stage_read = 0;   // total bytes read
+  std::uint64_t stage_written = 0;
+  std::uint64_t read_events = 0;
+  std::uint64_t write_events = 0;
+  std::uint64_t raw_reads = 0;  // RAW-dependency reads (obs counter)
+  long long macs = 0;
+  PrunedInfo info;  // region_info[output node] after the stage ran
+
+  void Clear() {
+    cycles.clear();
+    addrs.clear();
+    bytes.clear();
+    ops.clear();
+    cycle_delta = 0;
+    stage_read = 0;
+    stage_written = 0;
+    read_events = 0;
+    write_events = 0;
+    raw_reads = 0;
+    macs = 0;
+    info = PrunedInfo{};
+  }
+
+  std::size_t ApproxBytes() const {
+    return cycles.capacity() * sizeof(std::uint64_t) +
+           addrs.capacity() * sizeof(std::uint64_t) +
+           bytes.capacity() * sizeof(std::uint32_t) + ops.capacity() +
+           info.stream_bytes.capacity() * sizeof(std::uint64_t) +
+           sizeof(StageBlock);
+  }
+};
+
 // Collects trace events and per-stage byte counters; owns the cycle clock.
+//
+// Emission is bulk-columnar: during a stage, events accumulate in the
+// caller-provided StageBlock (stage-relative cycles), and EndStage() lands
+// the whole stage in the sink trace with one AppendColumns call — no
+// per-event appends on the hot path. The same block doubles as the
+// memoization unit: Replay() re-lands a recorded block at the current
+// cycle and advances the clock by its delta, byte-identical to re-running
+// the stage (see StageBlock above for why).
 class Emitter {
  public:
   Emitter(trace::Trace* t, const AcceleratorConfig& cfg)
@@ -76,8 +139,7 @@ class Emitter {
       Metrics().read_events.Add();
       Metrics().read_bytes.Add(bytes);
     }
-    if (trace_)
-      trace_->Append(cycle_, addr, Narrow(bytes), trace::MemOp::kRead);
+    if (block_) Push(addr, bytes, trace::MemOp::kRead);
   }
 
   void Write(std::uint64_t addr, std::uint64_t bytes) {
@@ -88,8 +150,16 @@ class Emitter {
       Metrics().write_events.Add();
       Metrics().write_bytes.Add(bytes);
     }
-    if (trace_)
-      trace_->Append(cycle_, addr, Narrow(bytes), trace::MemOp::kWrite);
+    if (block_) Push(addr, bytes, trace::MemOp::kWrite);
+  }
+
+  // Counts n RAW-dependency reads (reads of an earlier stage's OFM, the
+  // events the structure attack segments on). Recorded into the block so a
+  // replayed stage restores the same accel.raw_reads total.
+  void RawReads(std::uint64_t n) {
+    if (n == 0) return;
+    if (block_) block_->raw_reads += n;
+    if (cfg_.collect_metrics) Metrics().raw_reads.Add(n);
   }
 
   // Ends the current tile: advances the clock by the larger of the tile's
@@ -106,10 +176,59 @@ class Emitter {
     tile_bytes_ = 0;
   }
 
-  void BeginStage() {
+  // Starts a stage recording into `block` (cleared first; may be null for a
+  // pure-timing run with no sink trace and no cache, in which case only the
+  // clock and byte counters advance).
+  void BeginStage(StageBlock* block) {
+    block_ = block;
+    if (block_) block_->Clear();
+    stage_start_ = cycle_;
     stage_read_ = 0;
     stage_written_ = 0;
     tile_bytes_ = 0;
+  }
+
+  // Ends the stage: finalizes the block's aggregate fields and lands its
+  // events in the sink trace as one bulk column append rebased to the
+  // stage's start cycle.
+  void EndStage() {
+    if (!block_) return;
+    block_->cycle_delta = cycle_ - stage_start_;
+    block_->stage_read = stage_read_;
+    block_->stage_written = stage_written_;
+    if (trace_)
+      trace_->AppendColumns(block_->cycles.data(), block_->addrs.data(),
+                            block_->bytes.data(), block_->ops.data(),
+                            block_->cycles.size(), stage_start_);
+    block_ = nullptr;
+  }
+
+  // Replays a recorded stage block at the current cycle: bulk-appends its
+  // events with the clock as the cycle offset and advances the clock by the
+  // block's delta. `add_metrics` is false when the events were already
+  // counted (parallel workers count during recording).
+  void Replay(const StageBlock& b, bool add_metrics) {
+    if (trace_)
+      trace_->AppendColumns(b.cycles.data(), b.addrs.data(), b.bytes.data(),
+                            b.ops.data(), b.cycles.size(), cycle_);
+    stage_start_ = cycle_;
+    cycle_ += b.cycle_delta;
+    stage_read_ = b.stage_read;
+    stage_written_ = b.stage_written;
+    tile_bytes_ = 0;
+    block_ = nullptr;
+    if (add_metrics && cfg_.collect_metrics) {
+      AccelMetrics& m = Metrics();
+      if (b.read_events > 0) {
+        m.read_events.Add(b.read_events);
+        m.read_bytes.Add(b.stage_read);
+      }
+      if (b.write_events > 0) {
+        m.write_events.Add(b.write_events);
+        m.write_bytes.Add(b.stage_written);
+      }
+      if (b.raw_reads > 0) m.raw_reads.Add(b.raw_reads);
+    }
   }
 
   std::uint64_t cycle() const { return cycle_; }
@@ -122,22 +241,25 @@ class Emitter {
     return static_cast<std::uint32_t>(bytes);
   }
 
+  void Push(std::uint64_t addr, std::uint64_t bytes, trace::MemOp op) {
+    block_->cycles.push_back(cycle_ - stage_start_);
+    block_->addrs.push_back(addr);
+    block_->bytes.push_back(Narrow(bytes));
+    block_->ops.push_back(static_cast<std::uint8_t>(op));
+    if (op == trace::MemOp::kRead)
+      ++block_->read_events;
+    else
+      ++block_->write_events;
+  }
+
   trace::Trace* trace_;
   const AcceleratorConfig& cfg_;
+  StageBlock* block_ = nullptr;
   std::uint64_t cycle_ = 0;
+  std::uint64_t stage_start_ = 0;
   std::uint64_t stage_read_ = 0;
   std::uint64_t stage_written_ = 0;
   std::uint64_t tile_bytes_ = 0;
-};
-
-// Per-region bookkeeping of zero-pruned (compressed) contents. Each output
-// channel owns a fixed-capacity slot inside the region (how RLE designs
-// keep channels addressable); stream_bytes[c] is the compressed size of
-// channel c's stream after write-back.
-struct PrunedInfo {
-  bool pruned = false;
-  std::uint64_t slot_bytes = 0;  // per-channel slot capacity (0: one slot)
-  std::vector<std::uint64_t> stream_bytes;
 };
 
 // Functional forward pass that honours the accelerator's ReLU-threshold

@@ -1,0 +1,202 @@
+#include "accel/synthesis_cache.h"
+
+#include <cstring>
+#include <utility>
+
+#include "support/check.h"
+
+namespace sc::accel {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+// FNV-1a over 64-bit words (digests here hash megabytes of tensor data per
+// run key, so mix a word per step rather than a byte).
+inline std::uint64_t MixWord(std::uint64_t h, std::uint64_t w) {
+  h ^= w;
+  return h * kFnvPrime;
+}
+
+std::uint64_t MixBytes(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  while (n >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    h = MixWord(h, w);
+    p += 8;
+    n -= 8;
+  }
+  std::uint64_t tail = 0;
+  if (n > 0) {
+    std::memcpy(&tail, p, n);
+    h = MixWord(h, tail ^ (std::uint64_t{n} << 56));
+  }
+  return h;
+}
+
+// Digest of the config fields that determine *which events* a stage emits.
+// collect_metrics, the bus hooks, the capture path and the ReLU override
+// change metrics, post-processing or data — never the emission schedule —
+// so they are deliberately absent (the override is in the run key instead).
+std::uint64_t EmissionFingerprint(const AcceleratorConfig& cfg) {
+  std::uint64_t h = kFnvOffset;
+  h = MixWord(h, static_cast<std::uint64_t>(cfg.dataflow));
+  h = MixWord(h, static_cast<std::uint64_t>(cfg.macs_per_cycle));
+  h = MixWord(h, static_cast<std::uint64_t>(cfg.simd_lanes));
+  h = MixWord(h, cfg.ifm_buffer_bytes);
+  h = MixWord(h, cfg.weight_buffer_bytes);
+  h = MixWord(h, cfg.ofm_buffer_bytes);
+  h = MixWord(h, static_cast<std::uint64_t>(cfg.element_bytes));
+  h = MixWord(h, static_cast<std::uint64_t>(cfg.bytes_per_cycle));
+  h = MixWord(h, cfg.region_align);
+  h = MixWord(h, cfg.region_guard);
+  h = MixWord(h, cfg.zero_pruning ? 1 : 0);
+  h = MixWord(h, static_cast<std::uint64_t>(cfg.prune_index_bytes));
+  h = MixWord(h, static_cast<std::uint64_t>(cfg.prune_header_bytes));
+  h = MixWord(h, cfg.prune_constant_shape ? 1 : 0);
+  return h;
+}
+
+std::size_t RunRecordBytes(const SynthesisCache::RunRecord& rec) {
+  std::size_t b = sizeof(rec) +
+                  rec.stage_keys.capacity() * sizeof(SynthesisCache::StageKey) +
+                  rec.output.numel() * sizeof(float);
+  for (const StageStats& s : rec.stages)
+    b += sizeof(s) + s.ofm_channel_nonzeros.capacity() * sizeof(std::size_t);
+  return b;
+}
+
+}  // namespace
+
+std::size_t SynthesisCache::StageKeyHash::operator()(const StageKey& k) const {
+  std::uint64_t h = kFnvOffset;
+  h = MixWord(h, k.stage_index);
+  h = MixWord(h, k.data_digest);
+  h = MixWord(h, k.producer_digest);
+  return static_cast<std::size_t>(h);
+}
+
+void SynthesisCache::Bind(const nn::Network& net,
+                          const AcceleratorConfig& cfg) {
+  SC_CHECK_MSG(net_ == nullptr || net_ == &net,
+               "a SynthesisCache serves one victim network; create a new "
+               "cache (or Clone the oracle) for a different victim");
+  const std::uint64_t fp = EmissionFingerprint(cfg);
+  if (net_ != nullptr && fp != cfg_fingerprint_) Clear();
+  net_ = &net;
+  cfg_fingerprint_ = fp;
+}
+
+std::uint64_t SynthesisCache::RunKey(const nn::Tensor& input,
+                                     const AcceleratorConfig& cfg) const {
+  std::uint64_t h = MixWord(kFnvOffset, cfg_fingerprint_);
+  std::uint32_t relu_bits;
+  std::memcpy(&relu_bits, &cfg.relu_threshold_override, sizeof(relu_bits));
+  h = MixWord(h, relu_bits);
+  const nn::Shape& s = input.shape();
+  h = MixWord(h, static_cast<std::uint64_t>(s.rank()));
+  for (int d = 0; d < s.rank(); ++d)
+    h = MixWord(h, static_cast<std::uint64_t>(s[d]));
+  return MixBytes(h, input.data(), input.numel() * sizeof(float));
+}
+
+std::uint64_t SynthesisCache::DataDigest(const nn::Tensor& out) {
+  std::uint64_t h = kFnvOffset;
+  if (out.shape().rank() == 3) {
+    const int d = out.shape()[0];
+    const int rows = out.shape()[1];
+    for (int c = 0; c < d; ++c)
+      for (int y = 0; y < rows; ++y)
+        h = MixWord(h, CountNonZerosRows(out, c, y, y + 1));
+    return h;
+  }
+  return MixWord(h, out.CountNonZeros());
+}
+
+std::uint64_t SynthesisCache::ProducerDigest(
+    const nn::Network& net, const std::vector<PrunedInfo>& info,
+    const std::vector<int>& input_nodes) {
+  std::uint64_t h = kFnvOffset;
+  // Iterative expansion of concat producers, mirroring the recursion in
+  // IsPruned/EmitCompressedStreamReads.
+  std::vector<int> work(input_nodes.rbegin(), input_nodes.rend());
+  while (!work.empty()) {
+    const int node = work.back();
+    work.pop_back();
+    if (node == nn::kInputNode) {
+      h = MixWord(h, 0x1du);  // dense host input marker
+      continue;
+    }
+    if (net.layer(node).kind() == nn::LayerKind::kConcat) {
+      const auto& srcs = net.inputs_of(node);
+      work.insert(work.end(), srcs.rbegin(), srcs.rend());
+      continue;
+    }
+    const PrunedInfo& pi = info[static_cast<std::size_t>(node)];
+    h = MixWord(h, pi.pruned ? 1 : 0);
+    h = MixWord(h, pi.slot_bytes);
+    h = MixWord(h, pi.stream_bytes.size());
+    for (std::uint64_t b : pi.stream_bytes) h = MixWord(h, b);
+  }
+  return h;
+}
+
+const StageBlock* SynthesisCache::FindStage(const StageKey& key) const {
+  const auto it = stages_.find(key);
+  if (it == stages_.end()) {
+    ++stage_misses_;
+    return nullptr;
+  }
+  ++stage_hits_;
+  return &it->second;
+}
+
+void SynthesisCache::StoreStage(const StageKey& key, StageBlock&& block) {
+  const std::size_t bytes = block.ApproxBytes();
+  if (bytes > budget_bytes_) return;  // pathological single stage: skip
+  if (used_bytes_ + bytes > budget_bytes_) Clear();
+  used_bytes_ += bytes;
+  stages_.insert_or_assign(key, std::move(block));
+}
+
+const SynthesisCache::RunRecord* SynthesisCache::FindRun(
+    std::uint64_t key) const {
+  const auto it = runs_.find(key);
+  if (it == runs_.end()) {
+    ++run_misses_;
+    return nullptr;
+  }
+  // A budget flush may have dropped stage blocks this record points at;
+  // treat that as a miss so the caller re-synthesizes.
+  for (const StageKey& sk : it->second.stage_keys) {
+    if (stages_.find(sk) == stages_.end()) {
+      ++run_misses_;
+      return nullptr;
+    }
+  }
+  ++run_hits_;
+  return &it->second;
+}
+
+void SynthesisCache::StoreRun(std::uint64_t key, RunRecord&& rec) {
+  for (const StageKey& sk : rec.stage_keys) {
+    if (stages_.find(sk) == stages_.end()) return;  // flushed mid-run
+  }
+  const std::size_t bytes = RunRecordBytes(rec);
+  if (bytes > budget_bytes_) return;
+  // Clearing here would drop the stage blocks the record needs, so a
+  // record that does not fit is simply not stored.
+  if (used_bytes_ + bytes > budget_bytes_) return;
+  used_bytes_ += bytes;
+  runs_.insert_or_assign(key, std::move(rec));
+}
+
+void SynthesisCache::Clear() {
+  stages_.clear();
+  runs_.clear();
+  used_bytes_ = 0;
+}
+
+}  // namespace sc::accel

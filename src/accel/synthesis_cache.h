@@ -1,0 +1,126 @@
+// Memoization of accelerator trace synthesis (DESIGN.md §15).
+//
+// For a fixed network, address map and emission-relevant config, a stage's
+// DRAM event stream is a deterministic function of (a) the static shapes
+// and tiling and (b) with zero pruning, the per-row non-zero counts of its
+// output and the compressed stream sizes of its producers. Cycles inside a
+// stage are pure deltas (see StageBlock), so the whole stage can be
+// captured once as a relative-cycle column block and replayed at any later
+// clock with one bulk append. This cache holds
+//   - stage blocks keyed by {stage index, output-data digest, producer
+//     digest}, reused across runs whose inputs differ but drive a stage
+//     through identical observable behaviour (always true without pruning,
+//     and true with pruning whenever the nnz pattern repeats), and
+//   - whole-run records keyed by a digest of (input tensor, config), which
+//     skip the functional forward pass entirely on an exact repeat — the
+//     shape of the weight oracle's repeated queries and of K-acquisition
+//     noisy campaigns.
+//
+// The cache is bound to one network + emission fingerprint at first use;
+// changing emission-relevant config fields on the owning accelerator
+// clears it, and a different network is an error. Non-emission knobs
+// (collect_metrics, hooks, capture path, relu_threshold_override) do not
+// invalidate stage blocks; the ReLU override changes data, so it is part
+// of the *run* key and flows into the stage keys via the data digests.
+//
+// Not thread-safe: one cache per accelerator user (parallel sweeps clone
+// their oracle and get a cache per clone). The accelerator's *internal*
+// per-stage parallelism never touches the cache from workers.
+#ifndef SC_ACCEL_SYNTHESIS_CACHE_H_
+#define SC_ACCEL_SYNTHESIS_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "accel/backend_common.h"
+#include "accel/config.h"
+#include "nn/network.h"
+#include "nn/tensor.h"
+
+namespace sc::accel {
+
+class SynthesisCache {
+ public:
+  // Soft byte budget over stored blocks/records; exceeding it clears the
+  // cache (simple and predictable — the workloads that benefit loop over a
+  // handful of distinct victims, far below the cap).
+  static constexpr std::size_t kDefaultBudgetBytes = std::size_t{128} << 20;
+
+  explicit SynthesisCache(std::size_t budget_bytes = kDefaultBudgetBytes)
+      : budget_bytes_(budget_bytes) {}
+
+  struct StageKey {
+    std::uint64_t stage_index = 0;
+    std::uint64_t data_digest = 0;
+    std::uint64_t producer_digest = 0;
+    bool operator==(const StageKey&) const = default;
+  };
+
+  struct RunRecord {
+    std::vector<StageKey> stage_keys;
+    std::vector<StageStats> stages;
+    nn::Tensor output;
+    std::uint64_t total_cycles = 0;
+  };
+
+  // Binds to (net, emission fingerprint of cfg). First call binds; a
+  // changed fingerprint clears and rebinds; a different network throws
+  // (keys embed no network identity, so reuse would alias).
+  void Bind(const nn::Network& net, const AcceleratorConfig& cfg);
+
+  // Digest of everything that selects a run's exact trace and output:
+  // emission fingerprint, ReLU override, input shape and raw contents.
+  std::uint64_t RunKey(const nn::Tensor& input,
+                       const AcceleratorConfig& cfg) const;
+
+  // Digest of the observable output data a stage's emission depends on
+  // under zero pruning: per-(channel, row) non-zero counts for rank-3
+  // outputs, the whole-tensor count otherwise (the FC single-stream case).
+  static std::uint64_t DataDigest(const nn::Tensor& out);
+
+  // Digest of the producer-side state a stage's reads depend on under zero
+  // pruning: pruned flag, slot size and compressed stream sizes of every
+  // input node, with concat fanned out to its components (mirrors
+  // EmitCompressedStreamReads).
+  static std::uint64_t ProducerDigest(const nn::Network& net,
+                                      const std::vector<PrunedInfo>& info,
+                                      const std::vector<int>& input_nodes);
+
+  const StageBlock* FindStage(const StageKey& key) const;
+  void StoreStage(const StageKey& key, StageBlock&& block);
+
+  const RunRecord* FindRun(std::uint64_t key) const;
+  void StoreRun(std::uint64_t key, RunRecord&& rec);
+
+  void Clear();
+
+  // Introspection (tests, tuning).
+  std::uint64_t stage_hits() const { return stage_hits_; }
+  std::uint64_t stage_misses() const { return stage_misses_; }
+  std::uint64_t run_hits() const { return run_hits_; }
+  std::uint64_t run_misses() const { return run_misses_; }
+  std::size_t approx_bytes() const { return used_bytes_; }
+
+ private:
+  struct StageKeyHash {
+    std::size_t operator()(const StageKey& k) const;
+  };
+
+  std::size_t budget_bytes_;
+  std::size_t used_bytes_ = 0;
+  const nn::Network* net_ = nullptr;
+  std::uint64_t cfg_fingerprint_ = 0;
+  std::unordered_map<StageKey, StageBlock, StageKeyHash> stages_;
+  std::unordered_map<std::uint64_t, RunRecord> runs_;
+  mutable std::uint64_t stage_hits_ = 0;
+  mutable std::uint64_t stage_misses_ = 0;
+  mutable std::uint64_t run_hits_ = 0;
+  mutable std::uint64_t run_misses_ = 0;
+};
+
+}  // namespace sc::accel
+
+#endif  // SC_ACCEL_SYNTHESIS_CACHE_H_

@@ -71,7 +71,7 @@ AcceleratorOracle::Counts AcceleratorOracle::Query(
   ++queries_;
   const nn::Tensor input = Densify(net_.input_shape(), pixels);
   scratch_.Clear();
-  accel_.Run(net_, input, &scratch_, &map_);
+  accel_.Run(net_, input, &scratch_, &map_, &cache_);
 
   // Side-channel decode: compressed write bursts inside the target OFM
   // region. Burst size = header + nnz*(element+index); the channel is the
@@ -90,16 +90,25 @@ AcceleratorOracle::Counts AcceleratorOracle::Query(
 
   Counts counts;
   counts.per_channel.assign(static_cast<std::size_t>(d), 0);
-  for (const trace::MemEvent& e : scratch_) {
-    if (e.op != trace::MemOp::kWrite) continue;
-    if (e.addr < region.base || e.addr >= region.end()) continue;
-    SC_CHECK_MSG(e.bytes >= header && (e.bytes - header) % per_elem == 0,
-                 "unexpected compressed burst size");
-    const std::size_t nnz = (e.bytes - header) / per_elem;
-    counts.total += nnz;
-    const std::uint64_t channel = (e.addr - region.base) / slot;
-    SC_CHECK(channel < d);
-    counts.per_channel[static_cast<std::size_t>(channel)] += nnz;
+  // Chunk-view scan (no per-event facade materialization on the sweep's
+  // hottest loop).
+  const trace::TraceBuffer& buf = scratch_.buffer();
+  for (std::size_t ci = 0; ci < buf.num_chunks(); ++ci) {
+    const trace::TraceBuffer::ChunkView v = buf.chunk(ci);
+    for (std::size_t i = 0; i < v.count; ++i) {
+      if (static_cast<trace::MemOp>(v.ops[i]) != trace::MemOp::kWrite)
+        continue;
+      const std::uint64_t addr = v.addrs[i];
+      if (addr < region.base || addr >= region.end()) continue;
+      const std::uint64_t burst = v.bytes[i];
+      SC_CHECK_MSG(burst >= header && (burst - header) % per_elem == 0,
+                   "unexpected compressed burst size");
+      const std::size_t nnz = (burst - header) / per_elem;
+      counts.total += nnz;
+      const std::uint64_t channel = (addr - region.base) / slot;
+      SC_CHECK(channel < d);
+      counts.per_channel[static_cast<std::size_t>(channel)] += nnz;
+    }
   }
   return counts;
 }

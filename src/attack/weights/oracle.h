@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "accel/accelerator.h"
+#include "accel/synthesis_cache.h"
 #include "nn/geometry.h"
 #include "nn/network.h"
 #include "nn/tensor.h"
@@ -127,10 +128,14 @@ class AcceleratorOracle : public ZeroCountOracle {
   accel::Accelerator accel_;
   // Pooled per-oracle state: the DRAM layout is deterministic for the
   // victim, so build it once; the scratch trace keeps its chunk storage
-  // across queries (Clear() does not free). Parallel sweeps use Clone(),
-  // so a query never runs concurrently on one instance.
+  // across queries (Clear() does not free); the synthesis cache replays
+  // repeated crafted inputs (calibration and sweep queries reuse the same
+  // pixel patterns heavily) without re-running the forward pass. Parallel
+  // sweeps use Clone(), so a query never runs concurrently on one instance
+  // and each clone owns its own cache.
   accel::AddressMap map_;
   trace::Trace scratch_;
+  accel::SynthesisCache cache_;
 };
 
 // Fast functional oracle for a single fused conv stage (conv [+ReLU]

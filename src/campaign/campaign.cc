@@ -803,8 +803,12 @@ CampaignResult RunCampaign(const CampaignConfig& cfg) {
             return EncodeAcquisition(attack::AnalyzeAcquisition(*t, scfg));
           if (!store_enabled) {
             if (cfg.trace_noise.enabled()) {
-              const trace::Trace acq =
-                  noise.ApplyNth(get_clean(), static_cast<std::uint64_t>(idx));
+              // Pooled acquisition: the per-worker trace keeps its chunk
+              // storage across the K draws, so a large-K campaign corrupts
+              // traces with zero steady-state allocation.
+              thread_local trace::Trace acq;
+              noise.ApplyNthTo(get_clean(), static_cast<std::uint64_t>(idx),
+                               &acq);
               return EncodeAcquisition(attack::AnalyzeAcquisition(acq, scfg));
             }
             return EncodeAcquisition(

@@ -47,79 +47,153 @@ trace::Trace TraceNoiseModel::ApplyNth(const trace::Trace& in,
   return ApplySeeded(in, MixSeed(cfg_.seed, k));
 }
 
+void TraceNoiseModel::ApplyTo(const trace::Trace& in,
+                              trace::Trace* out) const {
+  ApplySeededTo(in, cfg_.seed, out);
+}
+
+void TraceNoiseModel::ApplyNthTo(const trace::Trace& in, std::uint64_t k,
+                                 trace::Trace* out) const {
+  ApplySeededTo(in, MixSeed(cfg_.seed, k), out);
+}
+
 trace::Trace TraceNoiseModel::ApplySeeded(const trace::Trace& in,
                                           std::uint64_t seed) const {
-  if (!cfg_.enabled() || in.empty()) return in;
+  trace::Trace out;
+  ApplySeededTo(in, seed, &out);
+  return out;
+}
+
+namespace {
+
+// Column workspace for the streaming passes, pooled per thread (defense
+// matrices corrupt traces from several workers): clear() keeps vector
+// capacity, so a K-acquisition loop allocates only on its first draw.
+struct NoiseWorkspace {
+  std::vector<std::uint64_t> cycles, addrs;
+  std::vector<std::uint32_t> bytes;
+  std::vector<std::uint8_t> ops;
+
+  void Clear() {
+    cycles.clear();
+    addrs.clear();
+    bytes.clear();
+    ops.clear();
+  }
+  void Reserve(std::size_t n) {
+    cycles.reserve(n);
+    addrs.reserve(n);
+    bytes.reserve(n);
+    ops.reserve(n);
+  }
+  std::size_t size() const { return cycles.size(); }
+  void Push(std::uint64_t cy, std::uint64_t a, std::uint32_t b,
+            std::uint8_t op) {
+    cycles.push_back(cy);
+    addrs.push_back(a);
+    bytes.push_back(b);
+    ops.push_back(op);
+  }
+};
+
+NoiseWorkspace& TlsWorkspace(int which) {
+  thread_local NoiseWorkspace ws[2];
+  return ws[static_cast<std::size_t>(which)];
+}
+
+}  // namespace
+
+// Streaming equivalent of the historical AoS implementation (kept under
+// tests/legacy_noise.h): same three passes, same RNG draw order — one
+// stream of draws across drop/split/spurious, then merge, then jitter — so
+// every output is bit-for-bit identical. The passes walk TraceBuffer chunk
+// views and pooled column vectors instead of materializing MemEvent
+// vectors, and the result lands in `out` as a single bulk column append.
+void TraceNoiseModel::ApplySeededTo(const trace::Trace& in, std::uint64_t seed,
+                                    trace::Trace* out) const {
+  SC_CHECK_MSG(out != nullptr && out != &in,
+               "noise output must be a distinct trace");
+  out->Clear();
+  if (!cfg_.enabled() || in.empty()) {
+    out->AppendAll(in);
+    return;
+  }
   Rng rng(seed);
 
-  std::vector<trace::MemEvent> out;
-  out.reserve(in.size());
-  for (const trace::MemEvent& e : in) {
-    if (cfg_.drop_prob > 0.0 && rng.Chance(cfg_.drop_prob)) continue;
-
-    // Fragmentation at the probe's sampling boundary.
-    std::vector<trace::MemEvent> parts{e};
-    if (e.bytes > 1 && cfg_.split_prob > 0.0 && rng.Chance(cfg_.split_prob)) {
-      const auto cut = static_cast<std::uint32_t>(
-          rng.UniformInt(1, static_cast<int>(
-                                std::min<std::uint32_t>(e.bytes - 1, 1u << 30))));
-      trace::MemEvent head = e;
-      head.bytes = cut;
-      trace::MemEvent tail = e;
-      tail.addr = e.addr + cut;
-      tail.bytes = e.bytes - cut;
-      parts = {head, tail};
-    }
-
-    for (const trace::MemEvent& part : parts) {
-      out.push_back(part);
-      // Double-sampled transaction: same address range reported again.
-      if (cfg_.spurious_prob > 0.0 && rng.Chance(cfg_.spurious_prob))
-        out.push_back(part);
+  // Pass 1 — drop, split, spurious duplication — input chunks to columns.
+  NoiseWorkspace& a = TlsWorkspace(0);
+  a.Clear();
+  a.Reserve(in.size());
+  const trace::TraceBuffer& buf = in.buffer();
+  const auto emit_part = [&](std::uint64_t cy, std::uint64_t addr,
+                             std::uint32_t b, std::uint8_t op) {
+    a.Push(cy, addr, b, op);
+    // Double-sampled transaction: same address range reported again.
+    if (cfg_.spurious_prob > 0.0 && rng.Chance(cfg_.spurious_prob))
+      a.Push(cy, addr, b, op);
+  };
+  for (std::size_t ci = 0; ci < buf.num_chunks(); ++ci) {
+    const trace::TraceBuffer::ChunkView v = buf.chunk(ci);
+    for (std::size_t i = 0; i < v.count; ++i) {
+      if (cfg_.drop_prob > 0.0 && rng.Chance(cfg_.drop_prob)) continue;
+      const std::uint32_t b = v.bytes[i];
+      // Fragmentation at the probe's sampling boundary.
+      if (b > 1 && cfg_.split_prob > 0.0 && rng.Chance(cfg_.split_prob)) {
+        const auto cut = static_cast<std::uint32_t>(rng.UniformInt(
+            1, static_cast<int>(std::min<std::uint32_t>(b - 1, 1u << 30))));
+        emit_part(v.cycles[i], v.addrs[i], cut, v.ops[i]);
+        emit_part(v.cycles[i], v.addrs[i] + cut, b - cut, v.ops[i]);
+      } else {
+        emit_part(v.cycles[i], v.addrs[i], b, v.ops[i]);
+      }
     }
   }
 
-  // Coalescing: a burst absorbs a directly following contiguous burst of
-  // the same direction (one merge per pair, single left-to-right pass).
+  // Pass 2 — coalescing: a burst absorbs a directly following contiguous
+  // burst of the same direction (one merge per pair, single left-to-right
+  // pass).
+  NoiseWorkspace* src = &a;
   if (cfg_.merge_prob > 0.0) {
-    std::vector<trace::MemEvent> merged;
-    merged.reserve(out.size());
-    for (const trace::MemEvent& e : out) {
-      if (!merged.empty() && merged.back().op == e.op &&
-          merged.back().end() == e.addr && rng.Chance(cfg_.merge_prob)) {
-        merged.back().bytes += e.bytes;
+    NoiseWorkspace& m = TlsWorkspace(1);
+    m.Clear();
+    m.Reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (!m.cycles.empty() && m.ops.back() == a.ops[i] &&
+          m.addrs.back() + m.bytes.back() == a.addrs[i] &&
+          rng.Chance(cfg_.merge_prob)) {
+        m.bytes.back() += a.bytes[i];
         continue;
       }
-      merged.push_back(e);
+      m.Push(a.cycles[i], a.addrs[i], a.bytes[i], a.ops[i]);
     }
-    out = std::move(merged);
+    src = &m;
   }
 
-  // Timestamp jitter. The probe observes the serial bus, so transaction
-  // ORDER is ground truth — only the timestamp counter wobbles. Jittered
-  // timestamps that would run backwards are clamped to the preceding
-  // event's cycle, exactly what a monotonizing capture pass does.
+  // Pass 3 — timestamp jitter, in place over the surviving column. The
+  // probe observes the serial bus, so transaction ORDER is ground truth —
+  // only the timestamp counter wobbles. Jittered timestamps that would run
+  // backwards are clamped to the preceding event's cycle, exactly what a
+  // monotonizing capture pass does.
   if (cfg_.jitter_prob > 0.0) {
     const auto span = static_cast<int>(cfg_.max_jitter_cycles);
     std::uint64_t prev = 0;
-    for (trace::MemEvent& e : out) {
+    for (std::uint64_t& cy : src->cycles) {
       if (rng.Chance(cfg_.jitter_prob)) {
         const int delta = rng.UniformInt(-span, span);
         if (delta < 0) {
           const auto back = static_cast<std::uint64_t>(-delta);
-          e.cycle = e.cycle < back ? 0 : e.cycle - back;
+          cy = cy < back ? 0 : cy - back;
         } else {
-          e.cycle += static_cast<std::uint64_t>(delta);
+          cy += static_cast<std::uint64_t>(delta);
         }
       }
-      e.cycle = std::max(e.cycle, prev);
-      prev = e.cycle;
+      cy = std::max(cy, prev);
+      prev = cy;
     }
   }
 
-  trace::Trace result;
-  for (const trace::MemEvent& e : out) result.Append(e);
-  return result;
+  out->AppendColumns(src->cycles.data(), src->addrs.data(), src->bytes.data(),
+                     src->ops.data(), src->size());
 }
 
 }  // namespace sc::sim

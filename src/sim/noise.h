@@ -63,8 +63,18 @@ class TraceNoiseModel : public trace::TraceTransform {
   // in general; determinism holds per (cfg.seed, k, in).
   trace::Trace ApplyNth(const trace::Trace& in, std::uint64_t k) const;
 
+  // Pooled variants for acquisition loops: `out` is cleared (its chunk
+  // storage survives) and refilled, so a campaign drawing K acquisitions
+  // reuses one output trace with zero steady-state allocation. `out` must
+  // not alias `in`. Bit-for-bit identical to the returning overloads.
+  void ApplyTo(const trace::Trace& in, trace::Trace* out) const;
+  void ApplyNthTo(const trace::Trace& in, std::uint64_t k,
+                  trace::Trace* out) const;
+
  private:
   trace::Trace ApplySeeded(const trace::Trace& in, std::uint64_t seed) const;
+  void ApplySeededTo(const trace::Trace& in, std::uint64_t seed,
+                     trace::Trace* out) const;
 
   TraceNoiseConfig cfg_;
 };

@@ -92,7 +92,18 @@ class Trace {
   }
 
   // Appends every event of `other` (cycles must continue non-decreasing).
+  // Copies whole column runs per chunk rather than iterating events.
   void AppendAll(const Trace& other);
+
+  // Bulk-appends `count` events given as parallel columns, adding
+  // `cycle_offset` to every cycle while copying (see
+  // TraceBuffer::AppendColumns). This is the producer-side flush path: the
+  // emitter records stage-relative columns and lands them here in one call.
+  void AppendColumns(const std::uint64_t* cycles, const std::uint64_t* addrs,
+                     const std::uint32_t* bytes, const std::uint8_t* ops,
+                     std::size_t count, std::uint64_t cycle_offset = 0) {
+    buf_.AppendColumns(cycles, addrs, bytes, ops, count, cycle_offset);
+  }
 
   // Drops all events; retains storage so the trace can be refilled without
   // reallocating (pooled emission in the accelerator).

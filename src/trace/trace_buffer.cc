@@ -14,7 +14,8 @@ void TraceBuffer::AddChunk() {
 void TraceBuffer::AppendColumns(const std::uint64_t* cycles,
                                 const std::uint64_t* addrs,
                                 const std::uint32_t* bytes,
-                                const std::uint8_t* ops, std::size_t count) {
+                                const std::uint8_t* ops, std::size_t count,
+                                std::uint64_t cycle_offset) {
   if (count == 0) return;
   // Validate the whole batch before touching storage, so a bad column
   // leaves the buffer unchanged.
@@ -22,10 +23,12 @@ void TraceBuffer::AppendColumns(const std::uint64_t* cycles,
   std::uint64_t r = 0, w = 0;
   for (std::size_t i = 0; i < count; ++i) {
     SC_CHECK_MSG(bytes[i] > 0, "empty burst");
-    SC_CHECK_MSG(size_ + i == 0 || prev <= cycles[i],
-                 "trace cycles must be non-decreasing: last="
-                     << prev << " new=" << cycles[i]);
-    prev = cycles[i];
+    const std::uint64_t cyc = cycles[i] + cycle_offset;
+    SC_CHECK_MSG(cyc >= cycle_offset, "cycle overflow in column batch");
+    SC_CHECK_MSG(size_ + i == 0 || prev <= cyc,
+                 "trace cycles must be non-decreasing: last=" << prev << " new="
+                                                              << cyc);
+    prev = cyc;
     SC_CHECK_MSG(ops[i] <= 1, "invalid mem op " << int{ops[i]});
     if (static_cast<MemOp>(ops[i]) == MemOp::kRead)
       r += bytes[i];
@@ -38,7 +41,12 @@ void TraceBuffer::AppendColumns(const std::uint64_t* cycles,
     Chunk& c = *chunks_[size_ >> kChunkShift];
     const std::size_t at = size_ & kChunkMask;
     const std::size_t n = std::min(count - done, kChunkEvents - at);
-    std::copy_n(cycles + done, n, c.cycles + at);
+    if (cycle_offset == 0) {
+      std::copy_n(cycles + done, n, c.cycles + at);
+    } else {
+      for (std::size_t i = 0; i < n; ++i)
+        c.cycles[at + i] = cycles[done + i] + cycle_offset;
+    }
     std::copy_n(addrs + done, n, c.addrs + at);
     std::copy_n(bytes + done, n, c.bytes + at);
     std::copy_n(ops + done, n, c.ops + at);
@@ -86,9 +94,7 @@ void TraceBuffer::Truncate(std::size_t n) {
 void TraceBuffer::CopyFrom(const TraceBuffer& o) {
   for (std::size_t ci = 0; ci < o.num_chunks(); ++ci) {
     const ChunkView v = o.chunk(ci);
-    for (std::size_t i = 0; i < v.count; ++i)
-      Append(v.cycles[i], v.addrs[i], v.bytes[i],
-             static_cast<MemOp>(v.ops[i]));
+    AppendColumns(v.cycles, v.addrs, v.bytes, v.ops, v.count);
   }
 }
 

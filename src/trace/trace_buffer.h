@@ -81,10 +81,14 @@ class TraceBuffer {
   // shape). Enforces the same invariants as Append — non-empty bursts,
   // non-decreasing cycles (including against the current tail), ops in
   // {kRead, kWrite} — then copies whole column runs instead of making
-  // count per-event calls. This is the store decoder's rebuild path.
+  // count per-event calls. This is the store decoder's rebuild path and
+  // the emitter's stage-flush path. `cycle_offset` is added to every cycle
+  // while copying, so a block recorded with stage-relative cycles can be
+  // replayed at any (monotone) position in the stream without the caller
+  // materializing a rebased cycle column.
   void AppendColumns(const std::uint64_t* cycles, const std::uint64_t* addrs,
                      const std::uint32_t* bytes, const std::uint8_t* ops,
-                     std::size_t count);
+                     std::size_t count, std::uint64_t cycle_offset = 0);
 
   MemEvent Get(std::size_t i) const {
     SC_CHECK(i < size_);

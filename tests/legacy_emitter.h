@@ -1,0 +1,91 @@
+// The pre-bulk-emission Emitter, kept verbatim (modulo the class name) as
+// the differential reference for the columnar producer path: it appends one
+// trace event per DMA burst at the moment the burst is emitted, which was
+// the accelerator's emission strategy before stage blocks + AppendColumns.
+// emitter_differential_test.cc drives both emitters through the same
+// schedules and requires byte-identical traces. Do not "improve" this file;
+// its value is that it does not change.
+#ifndef SC_TESTS_LEGACY_EMITTER_H_
+#define SC_TESTS_LEGACY_EMITTER_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "accel/backend_common.h"
+#include "accel/config.h"
+#include "support/check.h"
+#include "trace/trace.h"
+
+namespace sc::accel {
+
+// Collects trace events and per-stage byte counters; owns the cycle clock.
+class LegacyEmitter {
+ public:
+  LegacyEmitter(trace::Trace* t, const AcceleratorConfig& cfg)
+      : trace_(t), cfg_(cfg) {}
+
+  void Read(std::uint64_t addr, std::uint64_t bytes) {
+    if (bytes == 0) return;
+    stage_read_ += bytes;
+    tile_bytes_ += bytes;
+    if (cfg_.collect_metrics) {
+      Metrics().read_events.Add();
+      Metrics().read_bytes.Add(bytes);
+    }
+    if (trace_)
+      trace_->Append(cycle_, addr, Narrow(bytes), trace::MemOp::kRead);
+  }
+
+  void Write(std::uint64_t addr, std::uint64_t bytes) {
+    if (bytes == 0) return;
+    stage_written_ += bytes;
+    tile_bytes_ += bytes;
+    if (cfg_.collect_metrics) {
+      Metrics().write_events.Add();
+      Metrics().write_bytes.Add(bytes);
+    }
+    if (trace_)
+      trace_->Append(cycle_, addr, Narrow(bytes), trace::MemOp::kWrite);
+  }
+
+  // Ends the current tile: advances the clock by the larger of the tile's
+  // compute time and its memory time, then starts a fresh tile.
+  void FinishTile(long long tile_macs, long long tile_simd_ops) {
+    const std::uint64_t compute =
+        CeilDiv(static_cast<std::uint64_t>(tile_macs),
+                static_cast<std::uint64_t>(cfg_.macs_per_cycle)) +
+        CeilDiv(static_cast<std::uint64_t>(tile_simd_ops),
+                static_cast<std::uint64_t>(cfg_.simd_lanes));
+    const std::uint64_t mem =
+        CeilDiv(tile_bytes_, static_cast<std::uint64_t>(cfg_.bytes_per_cycle));
+    cycle_ += std::max<std::uint64_t>(1, std::max(compute, mem));
+    tile_bytes_ = 0;
+  }
+
+  void BeginStage() {
+    stage_read_ = 0;
+    stage_written_ = 0;
+    tile_bytes_ = 0;
+  }
+
+  std::uint64_t cycle() const { return cycle_; }
+  std::uint64_t stage_read() const { return stage_read_; }
+  std::uint64_t stage_written() const { return stage_written_; }
+
+ private:
+  static std::uint32_t Narrow(std::uint64_t bytes) {
+    SC_CHECK_MSG(bytes <= UINT32_MAX, "burst too large");
+    return static_cast<std::uint32_t>(bytes);
+  }
+
+  trace::Trace* trace_;
+  const AcceleratorConfig& cfg_;
+  std::uint64_t cycle_ = 0;
+  std::uint64_t stage_read_ = 0;
+  std::uint64_t stage_written_ = 0;
+  std::uint64_t tile_bytes_ = 0;
+};
+
+}  // namespace sc::accel
+
+#endif  // SC_TESTS_LEGACY_EMITTER_H_

@@ -1,0 +1,111 @@
+// The pre-streaming TraceNoiseModel::ApplySeeded, kept verbatim (modulo
+// being a free function) as the bit-for-bit reference for the chunked
+// streaming rewrite in sim/noise.cc: it materializes AoS MemEvent vectors
+// per pass and walks the input through the event facade, which was the
+// noise model's shape before pooled column workspaces. noise_test.cc
+// requires the streaming implementation to reproduce these outputs — RNG
+// draw for RNG draw — on every config. Do not "improve" this file; its
+// value is that it does not change.
+#ifndef SC_TESTS_LEGACY_NOISE_H_
+#define SC_TESTS_LEGACY_NOISE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/noise.h"
+#include "support/rng.h"
+#include "trace/trace.h"
+
+namespace sc::sim {
+
+inline trace::Trace LegacyNoiseApplySeeded(const TraceNoiseConfig& cfg_,
+                                           const trace::Trace& in,
+                                           std::uint64_t seed) {
+  if (!cfg_.enabled() || in.empty()) return in;
+  Rng rng(seed);
+
+  std::vector<trace::MemEvent> out;
+  out.reserve(in.size());
+  for (const trace::MemEvent& e : in) {
+    if (cfg_.drop_prob > 0.0 && rng.Chance(cfg_.drop_prob)) continue;
+
+    // Fragmentation at the probe's sampling boundary.
+    std::vector<trace::MemEvent> parts{e};
+    if (e.bytes > 1 && cfg_.split_prob > 0.0 && rng.Chance(cfg_.split_prob)) {
+      const std::uint32_t cap = std::min<std::uint32_t>(e.bytes - 1, 1u << 30);
+      const auto cut = static_cast<std::uint32_t>(
+          rng.UniformInt(1, static_cast<int>(cap)));
+      trace::MemEvent head = e;
+      head.bytes = cut;
+      trace::MemEvent tail = e;
+      tail.addr = e.addr + cut;
+      tail.bytes = e.bytes - cut;
+      parts = {head, tail};
+    }
+
+    for (const trace::MemEvent& part : parts) {
+      out.push_back(part);
+      // Double-sampled transaction: same address range reported again.
+      if (cfg_.spurious_prob > 0.0 && rng.Chance(cfg_.spurious_prob))
+        out.push_back(part);
+    }
+  }
+
+  // Coalescing: a burst absorbs a directly following contiguous burst of
+  // the same direction (one merge per pair, single left-to-right pass).
+  if (cfg_.merge_prob > 0.0) {
+    std::vector<trace::MemEvent> merged;
+    merged.reserve(out.size());
+    for (const trace::MemEvent& e : out) {
+      if (!merged.empty() && merged.back().op == e.op &&
+          merged.back().end() == e.addr && rng.Chance(cfg_.merge_prob)) {
+        merged.back().bytes += e.bytes;
+        continue;
+      }
+      merged.push_back(e);
+    }
+    out = std::move(merged);
+  }
+
+  // Timestamp jitter. The probe observes the serial bus, so transaction
+  // ORDER is ground truth — only the timestamp counter wobbles. Jittered
+  // timestamps that would run backwards are clamped to the preceding
+  // event's cycle, exactly what a monotonizing capture pass does.
+  if (cfg_.jitter_prob > 0.0) {
+    const auto span = static_cast<int>(cfg_.max_jitter_cycles);
+    std::uint64_t prev = 0;
+    for (trace::MemEvent& e : out) {
+      if (rng.Chance(cfg_.jitter_prob)) {
+        const int delta = rng.UniformInt(-span, span);
+        if (delta < 0) {
+          const auto back = static_cast<std::uint64_t>(-delta);
+          e.cycle = e.cycle < back ? 0 : e.cycle - back;
+        } else {
+          e.cycle += static_cast<std::uint64_t>(delta);
+        }
+      }
+      e.cycle = std::max(e.cycle, prev);
+      prev = e.cycle;
+    }
+  }
+
+  trace::Trace result;
+  for (const trace::MemEvent& e : out) result.Append(e);
+  return result;
+}
+
+inline trace::Trace LegacyNoiseApply(const TraceNoiseConfig& cfg,
+                                     const trace::Trace& in) {
+  return LegacyNoiseApplySeeded(cfg, in, cfg.seed);
+}
+
+inline trace::Trace LegacyNoiseApplyNth(const TraceNoiseConfig& cfg,
+                                        const trace::Trace& in,
+                                        std::uint64_t k) {
+  return LegacyNoiseApplySeeded(cfg, in, MixSeed(cfg.seed, k));
+}
+
+}  // namespace sc::sim
+
+#endif  // SC_TESTS_LEGACY_NOISE_H_

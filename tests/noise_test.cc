@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "attack/weights/robust.h"
+#include "legacy_noise.h"
 #include "sim/noisy_oracle.h"
 #include "support/check.h"
 #include "support/rng.h"
@@ -286,6 +287,87 @@ TEST(VotingOracle, RejectsEvenVoteCounts) {
   VotingOracleConfig cfg;
   cfg.votes = 2;
   EXPECT_THROW((VotingOracle{inner, cfg}), Error);
+}
+
+// --- Streaming rewrite vs the historical AoS implementation --------------
+//
+// The chunked streaming ApplySeededTo must reproduce the legacy event-
+// vector implementation (tests/legacy_noise.h) RNG draw for RNG draw: same
+// events, same order, same timestamps, on every fault-type combination.
+
+std::vector<sim::TraceNoiseConfig> DifferentialConfigs(std::uint64_t seed) {
+  std::vector<sim::TraceNoiseConfig> cfgs;
+  cfgs.push_back(sim::ReferenceTraceNoise(seed));
+  const auto one = [&](auto set) {
+    sim::TraceNoiseConfig c;
+    c.seed = seed;
+    set(c);
+    cfgs.push_back(c);
+  };
+  one([](sim::TraceNoiseConfig& c) { c.drop_prob = 0.3; });
+  one([](sim::TraceNoiseConfig& c) {
+    c.jitter_prob = 0.5;
+    c.max_jitter_cycles = 5;
+  });
+  one([](sim::TraceNoiseConfig& c) { c.split_prob = 0.5; });
+  one([](sim::TraceNoiseConfig& c) { c.merge_prob = 0.5; });
+  one([](sim::TraceNoiseConfig& c) { c.spurious_prob = 0.3; });
+  // Aggressive everything: maximizes pass interactions.
+  sim::TraceNoiseConfig hard;
+  hard.seed = seed;
+  hard.drop_prob = 0.1;
+  hard.jitter_prob = 0.4;
+  hard.max_jitter_cycles = 9;
+  hard.split_prob = 0.4;
+  hard.merge_prob = 0.4;
+  hard.spurious_prob = 0.2;
+  cfgs.push_back(hard);
+  return cfgs;
+}
+
+TEST(TraceNoiseDifferential, StreamingMatchesLegacyBitForBit) {
+  // 20000 events spans multiple TraceBuffer chunks, so the streaming pass
+  // crosses chunk-view boundaries mid-trace.
+  for (const int events : {1, 50, 800, 20000}) {
+    const trace::Trace t =
+        SyntheticTrace(events, 17 + static_cast<std::uint64_t>(events));
+    for (const sim::TraceNoiseConfig& cfg :
+         DifferentialConfigs(NoiseSeed())) {
+      const sim::TraceNoiseModel model(cfg);
+      SCOPED_TRACE("events=" + std::to_string(events) +
+                   " drop=" + std::to_string(cfg.drop_prob) +
+                   " jitter=" + std::to_string(cfg.jitter_prob) +
+                   " split=" + std::to_string(cfg.split_prob) +
+                   " merge=" + std::to_string(cfg.merge_prob) +
+                   " spurious=" + std::to_string(cfg.spurious_prob));
+      EXPECT_TRUE(SameTrace(model.Apply(t), sim::LegacyNoiseApply(cfg, t)));
+      for (const std::uint64_t k : {0ull, 1ull, 7ull, 1000ull})
+        EXPECT_TRUE(SameTrace(model.ApplyNth(t, k),
+                              sim::LegacyNoiseApplyNth(cfg, t, k)))
+            << "k=" << k;
+    }
+  }
+}
+
+TEST(TraceNoiseDifferential, PooledVariantsMatchReturningOverloads) {
+  const trace::Trace t = SyntheticTrace(3000, 23);
+  const sim::TraceNoiseModel model(sim::ReferenceTraceNoise(NoiseSeed()));
+  trace::Trace out;  // reused across draws: chunk pooling must not leak state
+  for (std::uint64_t k = 0; k < 16; ++k) {
+    model.ApplyNthTo(t, k, &out);
+    EXPECT_TRUE(SameTrace(out, model.ApplyNth(t, k))) << "k=" << k;
+  }
+  model.ApplyTo(t, &out);
+  EXPECT_TRUE(SameTrace(out, model.Apply(t)));
+}
+
+TEST(TraceNoiseDifferential, PooledDisabledConfigIsIdentity) {
+  const trace::Trace t = SyntheticTrace(100, 29);
+  const sim::TraceNoiseModel model{sim::TraceNoiseConfig{}};
+  trace::Trace out;
+  out.Append(1, 2, 3, trace::MemOp::kRead);  // stale content must be cleared
+  model.ApplyNthTo(t, 5, &out);
+  EXPECT_TRUE(SameTrace(out, t));
 }
 
 }  // namespace

@@ -1,0 +1,230 @@
+// Property tests for the per-stage synthesis cache (DESIGN.md §15): for
+// ~100 seeded random victims, a cached accelerator run must be
+// indistinguishable from a fresh one — byte-identical trace, identical
+// stats, identical output — across run-record replays (exact input repeat)
+// and stage-block replays (different input, same observable stage
+// behaviour), under both dataflows with pruning on and off. Also pins the
+// cache's contract edges: one network per cache, clean behaviour at a tiny
+// byte budget, and ReLU-threshold overrides changing the run key but not
+// the binding.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "accel/config.h"
+#include "accel/synthesis_cache.h"
+#include "models/zoo.h"
+#include "nn/activation.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/init.h"
+#include "nn/network.h"
+#include "nn/pooling.h"
+#include "nn/tensor.h"
+#include "support/check.h"
+#include "support/rng.h"
+#include "trace/trace.h"
+
+namespace sc {
+namespace {
+
+constexpr int kNumSeeds = 100;
+
+constexpr accel::Dataflow kDataflows[] = {
+    accel::Dataflow::kWeightStationary,
+    accel::Dataflow::kOutputStationary,
+};
+
+// Same family of random linear victims as schedule_property_test.cc.
+nn::Network RandomNet(Rng& rng) {
+  int w = 2 * rng.UniformInt(4, 7);
+  int depth = rng.UniformInt(1, 3);
+  nn::Network net(nn::Shape{depth, w, w});
+  int prev = nn::kInputNode;
+  const int convs = rng.UniformInt(1, 3);
+  for (int l = 0; l < convs; ++l) {
+    const int f = 1 + 2 * rng.UniformInt(0, 2);
+    const int od = rng.UniformInt(2, 10);
+    prev = net.Add(std::make_unique<nn::Conv2D>("conv" + std::to_string(l),
+                                                depth, od, f, 1, (f - 1) / 2),
+                   {prev});
+    depth = od;
+    if (rng.Chance(0.7))
+      prev = net.Add(std::make_unique<nn::Relu>("relu" + std::to_string(l)),
+                     {prev});
+    if (w >= 8 && rng.Chance(0.5)) {
+      prev = net.Add(nn::MakeMaxPool("pool" + std::to_string(l), 2, 2, 0),
+                     {prev});
+      w /= 2;
+    }
+  }
+  if (rng.Chance(0.5)) {
+    prev = net.Add(std::make_unique<nn::FullyConnected>(
+                       "fc", depth * w * w, rng.UniformInt(4, 10)),
+                   {prev});
+  }
+  (void)prev;
+  Rng init(rng.Fork());
+  nn::InitNetwork(net, init);
+  return net;
+}
+
+nn::Tensor RandomInput(const nn::Shape& s, Rng& rng) {
+  nn::Tensor t(s);
+  for (std::size_t i = 0; i < t.numel(); ++i) t[i] = rng.GaussianF(1.0f);
+  return t;
+}
+
+void ExpectTracesEqual(const trace::Trace& a, const trace::Trace& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].cycle, b[i].cycle) << "event " << i;
+    ASSERT_EQ(a[i].addr, b[i].addr) << "event " << i;
+    ASSERT_EQ(a[i].bytes, b[i].bytes) << "event " << i;
+    ASSERT_EQ(a[i].op, b[i].op) << "event " << i;
+  }
+}
+
+void ExpectRunsEqual(const accel::RunResult& a, const accel::RunResult& b) {
+  ASSERT_EQ(a.stages.size(), b.stages.size());
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  for (std::size_t s = 0; s < a.stages.size(); ++s) {
+    EXPECT_EQ(a.stages[s].start_cycle, b.stages[s].start_cycle);
+    EXPECT_EQ(a.stages[s].end_cycle, b.stages[s].end_cycle);
+    EXPECT_EQ(a.stages[s].bytes_read, b.stages[s].bytes_read);
+    EXPECT_EQ(a.stages[s].bytes_written, b.stages[s].bytes_written);
+    EXPECT_EQ(a.stages[s].macs, b.stages[s].macs);
+    EXPECT_EQ(a.stages[s].ofm_elems, b.stages[s].ofm_elems);
+    EXPECT_EQ(a.stages[s].ofm_nonzeros, b.stages[s].ofm_nonzeros);
+    EXPECT_EQ(a.stages[s].ofm_channel_nonzeros,
+              b.stages[s].ofm_channel_nonzeros);
+  }
+  ASSERT_EQ(a.output.numel(), b.output.numel());
+  for (std::size_t i = 0; i < a.output.numel(); ++i)
+    ASSERT_EQ(a.output[i], b.output[i]) << "output elem " << i;
+}
+
+// The central property: on any victim, interleaving cached runs over two
+// distinct inputs reproduces fresh synthesis exactly — the second A run is
+// a run-record hit, the B run exercises stage-block reuse where digests
+// allow it, and none of that may change a single byte.
+TEST(SynthesisCacheProperty, MemoizedReplayMatchesFreshSynthesis) {
+  for (int seed = 0; seed < kNumSeeds; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(static_cast<std::uint64_t>(5000 + seed));
+    const nn::Network net = RandomNet(rng);
+    const nn::Tensor input_a = RandomInput(net.input_shape(), rng);
+    const nn::Tensor input_b = RandomInput(net.input_shape(), rng);
+    const bool pruning = seed % 2 == 1;
+    const accel::Dataflow d = kDataflows[(seed / 2) % 2];
+    SCOPED_TRACE(std::string(accel::ToString(d)) +
+                 (pruning ? " pruned" : " dense"));
+
+    accel::AcceleratorConfig cfg;
+    cfg.dataflow = d;
+    cfg.zero_pruning = pruning;
+    const accel::Accelerator accel{cfg};
+
+    trace::Trace fresh_a, fresh_b;
+    const accel::RunResult fresh_run_a = accel.Run(net, input_a, &fresh_a);
+    const accel::RunResult fresh_run_b = accel.Run(net, input_b, &fresh_b);
+
+    accel::SynthesisCache cache;
+    trace::Trace tr;
+    const accel::RunResult miss_a =
+        accel.Run(net, input_a, &tr, nullptr, &cache);
+    ExpectTracesEqual(fresh_a, tr);
+    ExpectRunsEqual(fresh_run_a, miss_a);
+
+    tr.Clear();
+    const accel::RunResult run_b = accel.Run(net, input_b, &tr, nullptr,
+                                             &cache);
+    ExpectTracesEqual(fresh_b, tr);
+    ExpectRunsEqual(fresh_run_b, run_b);
+
+    tr.Clear();
+    const accel::RunResult hit_a =
+        accel.Run(net, input_a, &tr, nullptr, &cache);
+    ExpectTracesEqual(fresh_a, tr);
+    ExpectRunsEqual(fresh_run_a, hit_a);
+    EXPECT_GE(cache.run_hits(), 1u);
+  }
+}
+
+// A starved cache (budget below any block) must degrade to fresh synthesis
+// without changing output — every store is rejected or flushed, never
+// corrupted.
+TEST(SynthesisCacheProperty, TinyBudgetDegradesGracefully) {
+  for (int seed = 0; seed < 10; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(static_cast<std::uint64_t>(6000 + seed));
+    const nn::Network net = RandomNet(rng);
+    const nn::Tensor input = RandomInput(net.input_shape(), rng);
+    accel::AcceleratorConfig cfg;
+    cfg.zero_pruning = seed % 2 == 1;
+    const accel::Accelerator accel{cfg};
+
+    trace::Trace fresh;
+    const accel::RunResult fresh_run = accel.Run(net, input, &fresh);
+
+    accel::SynthesisCache cache(/*budget_bytes=*/64);
+    for (int rep = 0; rep < 3; ++rep) {
+      trace::Trace tr;
+      const accel::RunResult run =
+          accel.Run(net, input, &tr, nullptr, &cache);
+      ExpectTracesEqual(fresh, tr);
+      ExpectRunsEqual(fresh_run, run);
+    }
+    EXPECT_EQ(cache.run_hits(), 0u);
+    EXPECT_LE(cache.approx_bytes(), std::size_t{64});
+  }
+}
+
+// The ReLU-override knob changes data, so it must miss the run cache and
+// produce the overridden trace, while blocks for the base threshold stay
+// valid (the emission fingerprint excludes the override).
+TEST(SynthesisCacheProperty, ReluOverrideKeysRunsSeparately) {
+  const nn::Network net = models::MakeLeNet(1);
+  Rng rng(42);
+  const nn::Tensor input = RandomInput(net.input_shape(), rng);
+  accel::AcceleratorConfig cfg;
+  cfg.zero_pruning = true;
+  accel::AcceleratorConfig cfg_hi = cfg;
+  cfg_hi.relu_threshold_override = 0.5f;
+
+  trace::Trace fresh_base, fresh_hi;
+  accel::Accelerator{cfg}.Run(net, input, &fresh_base);
+  accel::Accelerator{cfg_hi}.Run(net, input, &fresh_hi);
+
+  accel::SynthesisCache cache;
+  trace::Trace tr;
+  accel::Accelerator{cfg}.Run(net, input, &tr, nullptr, &cache);
+  ExpectTracesEqual(fresh_base, tr);
+  tr.Clear();
+  accel::Accelerator{cfg_hi}.Run(net, input, &tr, nullptr, &cache);
+  ExpectTracesEqual(fresh_hi, tr);
+  tr.Clear();
+  accel::Accelerator{cfg}.Run(net, input, &tr, nullptr, &cache);
+  ExpectTracesEqual(fresh_base, tr);
+  EXPECT_GE(cache.run_hits(), 1u);
+}
+
+// Keys embed no network identity, so a cache must refuse a second victim.
+TEST(SynthesisCacheProperty, SecondNetworkIsRejected) {
+  const nn::Network a = models::MakeLeNet(1);
+  const nn::Network b = models::MakeConvNet(1);
+  Rng rng(43);
+  const nn::Tensor input_a = RandomInput(a.input_shape(), rng);
+  const nn::Tensor input_b = RandomInput(b.input_shape(), rng);
+  const accel::Accelerator accel{accel::AcceleratorConfig{}};
+  accel::SynthesisCache cache;
+  trace::Trace tr;
+  accel.Run(a, input_a, &tr, nullptr, &cache);
+  tr.Clear();
+  EXPECT_THROW(accel.Run(b, input_b, &tr, nullptr, &cache), Error);
+}
+
+}  // namespace
+}  // namespace sc
